@@ -1,0 +1,291 @@
+//! Relative-deltoid detection over paired streams (§8.2).
+//!
+//! The task: estimate per-item occurrence ratios `φ(i) = n₁(i)/n₂(i)`
+//! between two concurrent streams and retrieve the items where `φ` (or its
+//! reciprocal) is large. Three detectors:
+//!
+//! * [`ExactRatioTable`] — exact counts, defines ground truth;
+//! * [`PairedCountMin`] — the Cormode–Muthukrishnan baseline: one
+//!   Count-Min sketch per stream, ratio of estimates (Fig. 10's "CM" and
+//!   "CMx8");
+//! * [`DeltoidDetector`] — the paper's approach: a budgeted classifier
+//!   labelling stream-1 items `+1` and stream-2 items `−1`; the logistic
+//!   weight of an item converges (λ→0) to `log φ(i)` up to the class
+//!   prior, so the top positive weights are the deltoids.
+
+use wmsketch_datagen::{PacketEvent, StreamSide};
+use wmsketch_hashing::FastHashMap;
+use wmsketch_learn::{OnlineLearner, SparseVector, TopKRecovery, WeightEntry};
+use wmsketch_sketch::CountMinSketch;
+
+/// Exact per-item counts on both sides.
+#[derive(Debug, Clone, Default)]
+pub struct ExactRatioTable {
+    counts: FastHashMap<u32, (u64, u64)>,
+}
+
+impl ExactRatioTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event.
+    pub fn observe(&mut self, event: PacketEvent) {
+        let e = self.counts.entry(event.addr).or_insert((0, 0));
+        match event.side {
+            StreamSide::Outbound => e.0 += 1,
+            StreamSide::Inbound => e.1 += 1,
+        }
+    }
+
+    /// Outbound/inbound counts of `addr`.
+    #[must_use]
+    pub fn counts(&self, addr: u32) -> (u64, u64) {
+        self.counts.get(&addr).copied().unwrap_or((0, 0))
+    }
+
+    /// The occurrence ratio `n_out/n_in` with ±1 smoothing on the
+    /// denominator to keep never-inbound items finite and rankable.
+    #[must_use]
+    pub fn smoothed_ratio(&self, addr: u32) -> f64 {
+        let (o, i) = self.counts(addr);
+        o as f64 / (i as f64 + 1.0)
+    }
+
+    /// All items whose smoothed log-ratio is at least `log_threshold`,
+    /// restricted to items with at least `min_out` outbound occurrences
+    /// (rare items cannot certify a large ratio).
+    #[must_use]
+    pub fn items_above(&self, log_threshold: f64, min_out: u64) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .counts
+            .iter()
+            .filter(|(_, &(o, _))| o >= min_out)
+            .filter(|(&addr, _)| self.smoothed_ratio(addr).ln() >= log_threshold)
+            .map(|(&addr, _)| addr)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Iterates all observed items.
+    pub fn items(&self) -> impl Iterator<Item = u32> + '_ {
+        self.counts.keys().copied()
+    }
+}
+
+/// The paired-Count-Min baseline of Cormode & Muthukrishnan (2005a).
+#[derive(Debug)]
+pub struct PairedCountMin {
+    out: CountMinSketch,
+    inb: CountMinSketch,
+}
+
+impl PairedCountMin {
+    /// Two `depth × width` Count-Min sketches (one per stream).
+    #[must_use]
+    pub fn new(depth: u32, width: u32, seed: u64) -> Self {
+        Self {
+            out: CountMinSketch::new(depth, width, seed),
+            inb: CountMinSketch::new(depth, width, seed.wrapping_add(1)),
+        }
+    }
+
+    /// Sizes a pair of depth-4 sketches to a byte budget (4 B per counter,
+    /// two sketches).
+    #[must_use]
+    pub fn with_budget_bytes(budget: usize, seed: u64) -> Self {
+        let cells_per_sketch = (budget / (2 * 4)).max(8);
+        let depth = 4u32;
+        let width = (cells_per_sketch as u32 / depth).max(2);
+        Self::new(depth, width, seed)
+    }
+
+    /// Memory cost in bytes under the paper's cost model.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        (self.out.size() + self.inb.size()) * 4
+    }
+
+    /// Records one event.
+    pub fn observe(&mut self, event: PacketEvent) {
+        match event.side {
+            StreamSide::Outbound => self.out.update(u64::from(event.addr), 1.0),
+            StreamSide::Inbound => self.inb.update(u64::from(event.addr), 1.0),
+        }
+    }
+
+    /// Estimated smoothed ratio of `addr` (denominator +1, matching
+    /// [`ExactRatioTable::smoothed_ratio`]).
+    #[must_use]
+    pub fn ratio_estimate(&self, addr: u32) -> f64 {
+        let o = self.out.estimate(u64::from(addr));
+        let i = self.inb.estimate(u64::from(addr));
+        o / (i + 1.0)
+    }
+
+    /// The `k` items with the largest estimated ratios among `candidates`.
+    #[must_use]
+    pub fn top_k_by_ratio(&self, candidates: impl Iterator<Item = u32>, k: usize) -> Vec<u32> {
+        let mut scored: Vec<(u32, f64)> =
+            candidates.map(|a| (a, self.ratio_estimate(a))).collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN ratio").then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored.into_iter().map(|(a, _)| a).collect()
+    }
+}
+
+/// Classifier-based deltoid detection: wraps any budgeted online learner.
+///
+/// Outbound events become `(one_hot(addr), +1)`, inbound events
+/// `(one_hot(addr), −1)`; heavily positive weights mark outbound-heavy
+/// items and heavily negative weights inbound-heavy ones.
+#[derive(Debug)]
+pub struct DeltoidDetector<L> {
+    learner: L,
+    events: u64,
+}
+
+impl<L: OnlineLearner + TopKRecovery> DeltoidDetector<L> {
+    /// Wraps a learner.
+    #[must_use]
+    pub fn new(learner: L) -> Self {
+        Self { learner, events: 0 }
+    }
+
+    /// Records one event.
+    pub fn observe(&mut self, event: PacketEvent) {
+        self.events += 1;
+        let y = match event.side {
+            StreamSide::Outbound => 1,
+            StreamSide::Inbound => -1,
+        };
+        self.learner.update(&SparseVector::one_hot(event.addr, 1.0), y);
+    }
+
+    /// Events seen.
+    #[must_use]
+    pub fn events_seen(&self) -> u64 {
+        self.events
+    }
+
+    /// Access to the wrapped learner.
+    #[must_use]
+    pub fn learner(&self) -> &L {
+        &self.learner
+    }
+
+    /// The `k` most outbound-heavy items: top-k *positive* weights.
+    #[must_use]
+    pub fn top_outbound(&self, k: usize) -> Vec<u32> {
+        // Scan the learner's full recoverable set: inbound-heavy items have
+        // strongly negative weights and can otherwise crowd out the
+        // positive tail.
+        let mut entries: Vec<WeightEntry> = self
+            .learner
+            .recover_top_k(usize::MAX)
+            .into_iter()
+            .filter(|e| e.weight > 0.0)
+            .collect();
+        entries.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("NaN weight"));
+        entries.truncate(k);
+        entries.into_iter().map(|e| e.feature).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmsketch_core::{AwmSketch, AwmSketchConfig};
+    use wmsketch_datagen::{PacketTraceConfig, PacketTraceGen};
+
+    fn gen() -> PacketTraceGen {
+        PacketTraceGen::new(PacketTraceConfig {
+            n_addrs: 2048,
+            zipf_s: 1.05,
+            n_deltoids: 8,
+            ratio: 32.0,
+            stride: 7,
+            seed: 2,
+        })
+    }
+
+    #[test]
+    fn exact_table_ratios_reflect_planting() {
+        let mut g = gen();
+        let mut t = ExactRatioTable::new();
+        for e in g.take(200_000) {
+            t.observe(e);
+        }
+        // Average smoothed ratio over deltoids far exceeds non-deltoids'.
+        let d_avg: f64 = g
+            .deltoids()
+            .iter()
+            .map(|&a| t.smoothed_ratio(a))
+            .sum::<f64>()
+            / g.deltoids().len() as f64;
+        assert!(d_avg > 5.0, "deltoid avg ratio {d_avg:.1}");
+        let (o, i) = t.counts(0); // rank-0 address: heavy, balanced
+        let r = o as f64 / i as f64;
+        assert!((r - 1.0).abs() < 0.1, "balanced item ratio {r:.2}");
+    }
+
+    #[test]
+    fn paired_cm_overestimates_but_ranks_heavy_deltoids() {
+        let mut g = gen();
+        let mut t = ExactRatioTable::new();
+        let mut cm = PairedCountMin::new(4, 1024, 3);
+        for e in g.take(100_000) {
+            t.observe(e);
+            cm.observe(e);
+        }
+        // CM estimates are upper bounds on counts, so heavily-outbound
+        // items still rank high; the most popular deltoid should appear in
+        // the CM top-32.
+        let top = cm.top_k_by_ratio(t.items(), 32);
+        let heaviest_deltoid = g.deltoids()[0]; // lowest rank = most popular
+        assert!(
+            top.contains(&heaviest_deltoid),
+            "heaviest deltoid missing from CM top-32"
+        );
+    }
+
+    #[test]
+    fn awm_detector_recalls_planted_deltoids() {
+        let mut g = gen();
+        let mut det = DeltoidDetector::new(AwmSketch::new(
+            AwmSketchConfig::new(64, 512).lambda(1e-6).seed(4),
+        ));
+        let mut t = ExactRatioTable::new();
+        for e in g.take(200_000) {
+            det.observe(e);
+            t.observe(e);
+        }
+        let relevant = t.items_above(2.0f64.ln(), 20);
+        let retrieved = det.top_outbound(64);
+        let retrieved_set: std::collections::HashSet<u32> = retrieved.into_iter().collect();
+        let hits = relevant.iter().filter(|a| retrieved_set.contains(a)).count();
+        let recall = hits as f64 / relevant.len().max(1) as f64;
+        assert!(
+            recall > 0.5,
+            "recall {recall:.2} over {} relevant items",
+            relevant.len()
+        );
+    }
+
+    #[test]
+    fn detector_counts_events() {
+        let mut det = DeltoidDetector::new(AwmSketch::new(AwmSketchConfig::new(4, 32)));
+        det.observe(PacketEvent { addr: 1, side: StreamSide::Outbound });
+        det.observe(PacketEvent { addr: 2, side: StreamSide::Inbound });
+        assert_eq!(det.events_seen(), 2);
+    }
+
+    #[test]
+    fn paired_cm_budget_sizing() {
+        let cm = PairedCountMin::with_budget_bytes(32 * 1024, 0);
+        assert!(cm.memory_bytes() <= 32 * 1024);
+    }
+}

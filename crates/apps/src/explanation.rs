@@ -1,0 +1,162 @@
+//! Streaming explanation (§8.1): finding attributes indicative of outliers.
+//!
+//! The classification framing: label outliers `+1` and inliers `−1`, train
+//! a budgeted classifier on 1-sparse attribute vectors, and read the
+//! heavily-weighted features as the explanation. The paper compares this
+//! against MacroBase's heuristic — track the *frequent* attributes of the
+//! outlier class (or of both classes) with Space-Saving and rank by
+//! relative risk afterwards.
+//!
+//! [`ExactRiskTable`] provides the ground-truth relative risks used to
+//! score either approach (Figs. 8 and 9).
+
+use wmsketch_hashing::FastHashMap;
+
+/// Exact per-feature occurrence counts by class, supporting relative-risk
+/// queries.
+///
+/// The relative risk of feature `x` is
+/// `r_x = p(y=+1 | x present) / p(y=+1 | x absent)` (§8.1). Counts are at
+/// *row* granularity: call [`ExactRiskTable::observe_row`] once per row
+/// with all its attribute features.
+#[derive(Debug, Clone, Default)]
+pub struct ExactRiskTable {
+    /// feature → (rows containing it that are outliers, rows containing it).
+    counts: FastHashMap<u32, (u64, u64)>,
+    outlier_rows: u64,
+    total_rows: u64,
+}
+
+impl ExactRiskTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one row's features and outlier label.
+    pub fn observe_row(&mut self, features: &[u32], outlier: bool) {
+        self.total_rows += 1;
+        if outlier {
+            self.outlier_rows += 1;
+        }
+        for &f in features {
+            let e = self.counts.entry(f).or_insert((0, 0));
+            e.1 += 1;
+            if outlier {
+                e.0 += 1;
+            }
+        }
+    }
+
+    /// Rows seen.
+    #[must_use]
+    pub fn total_rows(&self) -> u64 {
+        self.total_rows
+    }
+
+    /// The relative risk of `feature`; `None` if the feature was never
+    /// seen, it appeared in every row (risk undefined), or no outliers
+    /// exist without it and none with it (0/0).
+    #[must_use]
+    pub fn relative_risk(&self, feature: u32) -> Option<f64> {
+        let &(out_with, tot_with) = self.counts.get(&feature)?;
+        let tot_without = self.total_rows - tot_with;
+        if tot_with == 0 || tot_without == 0 {
+            return None;
+        }
+        let out_without = self.outlier_rows - out_with;
+        let p_with = out_with as f64 / tot_with as f64;
+        let p_without = out_without as f64 / tot_without as f64;
+        if p_without == 0.0 {
+            // Feature exclusively in outliers: conventionally infinite;
+            // report a large finite value so rankings remain usable.
+            return Some(f64::INFINITY);
+        }
+        Some(p_with / p_without)
+    }
+
+    /// Number of rows containing `feature`.
+    #[must_use]
+    pub fn support(&self, feature: u32) -> u64 {
+        self.counts.get(&feature).map_or(0, |&(_, tot)| tot)
+    }
+
+    /// All features seen at least `min_support` times.
+    #[must_use]
+    pub fn features_with_support(&self, min_support: u64) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .counts
+            .iter()
+            .filter(|(_, &(_, tot))| tot >= min_support)
+            .map(|(&f, _)| f)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn risk_of_pure_outlier_feature_is_infinite() {
+        let mut t = ExactRiskTable::new();
+        t.observe_row(&[1], true);
+        t.observe_row(&[2], false);
+        t.observe_row(&[2], false);
+        assert_eq!(t.relative_risk(1), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn neutral_feature_has_risk_one() {
+        let mut t = ExactRiskTable::new();
+        // Feature 5 appears in half the outliers and half the inliers.
+        t.observe_row(&[5], true);
+        t.observe_row(&[6], true);
+        t.observe_row(&[5], false);
+        t.observe_row(&[6], false);
+        let r = t.relative_risk(5).unwrap();
+        assert!((r - 1.0).abs() < 1e-12, "risk {r}");
+    }
+
+    #[test]
+    fn risky_feature_scores_above_protective() {
+        let mut t = ExactRiskTable::new();
+        for _ in 0..80 {
+            t.observe_row(&[1, 3], true); // 1 rides with outliers
+        }
+        for _ in 0..20 {
+            t.observe_row(&[1, 3], false);
+        }
+        for _ in 0..20 {
+            t.observe_row(&[2, 3], true); // 2 rides with inliers
+        }
+        for _ in 0..80 {
+            t.observe_row(&[2, 3], false);
+        }
+        let r1 = t.relative_risk(1).unwrap();
+        let r2 = t.relative_risk(2).unwrap();
+        assert!(r1 > 2.0, "risky feature r = {r1}");
+        assert!(r2 < 0.5, "protective feature r = {r2}");
+        // Feature 3 is in every row → undefined.
+        assert_eq!(t.relative_risk(3), None);
+    }
+
+    #[test]
+    fn unseen_feature_is_none() {
+        let t = ExactRiskTable::new();
+        assert_eq!(t.relative_risk(9), None);
+    }
+
+    #[test]
+    fn support_filtering() {
+        let mut t = ExactRiskTable::new();
+        t.observe_row(&[1], true);
+        t.observe_row(&[1, 2], false);
+        assert_eq!(t.support(1), 2);
+        assert_eq!(t.support(2), 1);
+        assert_eq!(t.features_with_support(2), vec![1]);
+    }
+}

@@ -1,0 +1,22 @@
+//! The paper's §8 applications, each framing a stream-processing task as
+//! memory-budgeted classification:
+//!
+//! * [`explanation`] — §8.1 streaming explanation: which attributes are
+//!   indicative of outlier data points? (Classifier weights vs the
+//!   MacroBase-style heavy-hitters heuristic.)
+//! * [`deltoids`] — §8.2 network monitoring: which items differ most in
+//!   *relative* frequency between two concurrent streams? (Classifier
+//!   weights vs paired Count-Min ratio estimation.)
+//! * [`pmi`] — §8.3 streaming pointwise mutual information: which token
+//!   pairs are most correlated? (Logistic regression on true-vs-synthetic
+//!   bigrams converges to the PMI, per Levy & Goldberg 2014.)
+
+#![warn(missing_docs)]
+
+pub mod deltoids;
+pub mod explanation;
+pub mod pmi;
+
+pub use deltoids::{DeltoidDetector, ExactRatioTable, PairedCountMin};
+pub use explanation::ExactRiskTable;
+pub use pmi::{ExactPmi, PmiEstimator, PmiEstimatorConfig};

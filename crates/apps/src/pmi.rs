@@ -1,0 +1,384 @@
+//! Streaming pointwise mutual information (§8.3).
+//!
+//! The classification framing (after word2vec/SGNS; PMI connection by Levy
+//! & Goldberg 2014): for each co-occurring token pair `(u, v)` within a
+//! sliding window, emit a *positive* example; for each positive, emit
+//! `neg_samples` *negative* examples `(u, v')` with `v'` drawn from (a
+//! reservoir approximation of) the unigram distribution. A logistic model
+//! over 1-sparse "pair-id" vectors then converges to
+//! `w(u,v) = log(p(u,v) / (κ·p(u)p(v))) = PMI(u,v) − log κ`, where
+//! `κ` is the negative-to-positive ratio; [`PmiEstimator::estimate_pmi`]
+//! adds the `log κ` correction back.
+//!
+//! Pair identifiers are MurmurHash3 hashes of the token pair, exactly as
+//! the reference implementation hashes strings (§8.3), and the estimator
+//! is an AWM-Sketch with depth 1 and a heap of the top pairs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wmsketch_core::{AwmSketch, AwmSketchConfig, OnlineLearner, TopKRecovery, WeightEntry,
+    WeightEstimator};
+use wmsketch_datagen::Reservoir;
+use wmsketch_hashing::{murmur3_32, FastHashMap};
+use wmsketch_learn::{LearningRate, SparseVector};
+
+/// Hashes a token pair to a 32-bit pair identifier (MurmurHash3 over the
+/// two token ids, as the paper hashes token strings).
+#[must_use]
+pub fn pair_id(u: u32, v: u32) -> u32 {
+    let mut bytes = [0u8; 8];
+    bytes[..4].copy_from_slice(&u.to_le_bytes());
+    bytes[4..].copy_from_slice(&v.to_le_bytes());
+    murmur3_32(&bytes, 0x9747_B28C)
+}
+
+/// Configuration for [`PmiEstimator`].
+#[derive(Debug, Clone, Copy)]
+pub struct PmiEstimatorConfig {
+    /// Sliding-window size (paper: 6).
+    pub window: usize,
+    /// Negative samples per positive (paper: 5).
+    pub neg_samples: usize,
+    /// Unigram reservoir size (paper: 4000).
+    pub reservoir: usize,
+    /// AWM sketch width (number of bins).
+    pub width: u32,
+    /// AWM heap size (paper: 1024).
+    pub heap: usize,
+    /// `ℓ2` regularization λ.
+    pub lambda: f64,
+    /// Learning-rate schedule (paper default `0.1/√t`). Note that both
+    /// the convergence of `w → PMI − log κ` and the ℓ2-driven eviction of
+    /// erroneously-promoted pairs (paper §9) are governed by `λ·Ση_t`; at
+    /// laptop-scale corpora (≲10⁶ tokens vs the paper's 77.7M) retrieval
+    /// quality therefore favours corpora/width/λ combinations with
+    /// meaningful decay — see `EXPERIMENTS.md`.
+    pub learning_rate: LearningRate,
+    /// RNG / hash seed.
+    pub seed: u64,
+}
+
+impl Default for PmiEstimatorConfig {
+    fn default() -> Self {
+        Self {
+            window: 6,
+            neg_samples: 5,
+            reservoir: 4000,
+            width: 1 << 16,
+            heap: 1024,
+            lambda: 1e-7,
+            learning_rate: LearningRate::InvSqrt(0.1),
+            seed: 0,
+        }
+    }
+}
+
+/// Streaming PMI estimator (see module docs).
+#[derive(Debug)]
+pub struct PmiEstimator {
+    cfg: PmiEstimatorConfig,
+    model: AwmSketch,
+    unigrams: Reservoir<u32>,
+    window: std::collections::VecDeque<u32>,
+    rng: StdRng,
+    pairs_seen: u64,
+}
+
+impl PmiEstimator {
+    /// Creates an estimator.
+    #[must_use]
+    pub fn new(cfg: PmiEstimatorConfig) -> Self {
+        let model = AwmSketch::new(
+            AwmSketchConfig::new(cfg.heap, cfg.width)
+                .lambda(cfg.lambda)
+                .learning_rate(cfg.learning_rate)
+                .seed(cfg.seed),
+        );
+        Self {
+            cfg,
+            model,
+            unigrams: Reservoir::new(cfg.reservoir),
+            window: std::collections::VecDeque::with_capacity(cfg.window),
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x9A11),
+            pairs_seen: 0,
+        }
+    }
+
+    /// The configuration this estimator was built with.
+    #[must_use]
+    pub fn config(&self) -> &PmiEstimatorConfig {
+        &self.cfg
+    }
+
+    /// Number of positive pairs consumed.
+    #[must_use]
+    pub fn pairs_seen(&self) -> u64 {
+        self.pairs_seen
+    }
+
+    /// Consumes one token: forms positive pairs with the current window,
+    /// generates negatives from the unigram reservoir, and updates the
+    /// model.
+    pub fn observe_token(&mut self, token: u32) {
+        // Positive pairs (u, token) for every u in the window.
+        let window: Vec<u32> = self.window.iter().copied().collect();
+        for u in window {
+            self.observe_pair(u, token);
+        }
+        self.unigrams.offer(token, &mut self.rng);
+        if self.window.len() == self.cfg.window {
+            self.window.pop_front();
+        }
+        self.window.push_back(token);
+    }
+
+    /// Consumes one explicit co-occurring pair.
+    pub fn observe_pair(&mut self, u: u32, v: u32) {
+        self.pairs_seen += 1;
+        let pos = SparseVector::one_hot(pair_id(u, v), 1.0);
+        self.model.update(&pos, 1);
+        for _ in 0..self.cfg.neg_samples {
+            let Some(&v_neg) = self.unigrams.sample(&mut self.rng) else {
+                continue;
+            };
+            let neg = SparseVector::one_hot(pair_id(u, v_neg), 1.0);
+            self.model.update(&neg, -1);
+        }
+    }
+
+    /// The raw logistic weight of a pair (converges to PMI − log κ).
+    #[must_use]
+    pub fn weight(&self, u: u32, v: u32) -> f64 {
+        self.model.estimate(pair_id(u, v))
+    }
+
+    /// The PMI estimate: weight + log(neg_samples).
+    #[must_use]
+    pub fn estimate_pmi(&self, u: u32, v: u32) -> f64 {
+        self.weight(u, v) + (self.cfg.neg_samples as f64).ln()
+    }
+
+    /// The top-`k` pair ids by weight (most positively-associated pairs).
+    /// Pair ids map back to token pairs via the caller's bookkeeping (e.g.
+    /// [`ExactPmi::resolve`]).
+    #[must_use]
+    pub fn top_pair_ids(&self, k: usize) -> Vec<WeightEntry> {
+        // Scan the whole active set: strongly *negative* pairs (frequent
+        // tokens paired with sampled negatives) can dominate the top-|w|
+        // entries, so a small pool could miss every positive pair.
+        let mut entries: Vec<WeightEntry> = self
+            .model
+            .recover_top_k(usize::MAX)
+            .into_iter()
+            .filter(|e| e.weight > 0.0)
+            .collect();
+        entries.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("NaN weight"));
+        entries.truncate(k);
+        entries
+    }
+
+    /// Memory cost of the sketch state in bytes (paper cost model;
+    /// excludes the unigram reservoir, which the paper accounts
+    /// separately).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.model.memory_bytes()
+    }
+}
+
+/// Exact windowed unigram/bigram counter: ground-truth PMI and the pair-id
+/// reverse map for evaluation.
+#[derive(Debug, Default)]
+pub struct ExactPmi {
+    window_size: usize,
+    window: std::collections::VecDeque<u32>,
+    unigrams: FastHashMap<u32, u64>,
+    bigrams: FastHashMap<(u32, u32), u64>,
+    /// pair-id → token pair, for resolving sketch retrievals.
+    reverse: FastHashMap<u32, (u32, u32)>,
+    tokens: u64,
+    pairs: u64,
+}
+
+impl ExactPmi {
+    /// Creates a counter with the given sliding-window size.
+    #[must_use]
+    pub fn new(window_size: usize) -> Self {
+        Self { window_size, ..Self::default() }
+    }
+
+    /// Consumes one token.
+    pub fn observe_token(&mut self, token: u32) {
+        self.tokens += 1;
+        *self.unigrams.entry(token).or_insert(0) += 1;
+        let window: Vec<u32> = self.window.iter().copied().collect();
+        for u in window {
+            self.pairs += 1;
+            *self.bigrams.entry((u, token)).or_insert(0) += 1;
+            self.reverse.entry(pair_id(u, token)).or_insert((u, token));
+        }
+        if self.window.len() == self.window_size {
+            self.window.pop_front();
+        }
+        self.window.push_back(token);
+    }
+
+    /// Tokens seen.
+    #[must_use]
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+
+    /// Distinct bigrams seen.
+    #[must_use]
+    pub fn distinct_bigrams(&self) -> usize {
+        self.bigrams.len()
+    }
+
+    /// Resolves a pair id back to its token pair (first-seen wins on hash
+    /// collision).
+    #[must_use]
+    pub fn resolve(&self, id: u32) -> Option<(u32, u32)> {
+        self.reverse.get(&id).copied()
+    }
+
+    /// Occurrence count of pair `(u, v)`.
+    #[must_use]
+    pub fn pair_count(&self, u: u32, v: u32) -> u64 {
+        self.bigrams.get(&(u, v)).copied().unwrap_or(0)
+    }
+
+    /// The exact PMI `log(p(u,v) / (p(u)p(v)))` over the windowed pair
+    /// distribution; `None` if any count is zero.
+    #[must_use]
+    pub fn pmi(&self, u: u32, v: u32) -> Option<f64> {
+        let c_uv = self.bigrams.get(&(u, v)).copied()?;
+        let c_u = self.unigrams.get(&u).copied()?;
+        let c_v = self.unigrams.get(&v).copied()?;
+        if c_uv == 0 || c_u == 0 || c_v == 0 || self.pairs == 0 || self.tokens == 0 {
+            return None;
+        }
+        let p_uv = c_uv as f64 / self.pairs as f64;
+        let p_u = c_u as f64 / self.tokens as f64;
+        let p_v = c_v as f64 / self.tokens as f64;
+        Some((p_uv / (p_u * p_v)).ln())
+    }
+
+    /// Relative frequency of the pair among all pairs.
+    #[must_use]
+    pub fn pair_frequency(&self, u: u32, v: u32) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.pair_count(u, v) as f64 / self.pairs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmsketch_datagen::{CorpusConfig, CorpusGen};
+
+    fn corpus() -> CorpusGen {
+        CorpusGen::new(CorpusConfig {
+            vocab: 2048,
+            zipf_s: 1.05,
+            n_collocations: 4,
+            collocation_rate: 0.03,
+            collocation_base: 64,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn pair_id_is_order_sensitive_and_deterministic() {
+        assert_eq!(pair_id(1, 2), pair_id(1, 2));
+        assert_ne!(pair_id(1, 2), pair_id(2, 1));
+    }
+
+    #[test]
+    fn exact_pmi_window_pairs() {
+        let mut e = ExactPmi::new(2);
+        for t in [1u32, 2, 3, 1, 2] {
+            e.observe_token(t);
+        }
+        // Windows of 2: pairs (1,2),(1,3),(2,3),(2,1),(3,1),(3,2),(1,2)...
+        assert!(e.pair_count(1, 2) >= 2);
+        assert_eq!(e.tokens(), 5);
+        assert!(e.distinct_bigrams() >= 4);
+    }
+
+    #[test]
+    fn planted_collocations_get_high_estimated_pmi() {
+        let mut g = corpus();
+        let mut est = PmiEstimator::new(PmiEstimatorConfig {
+            width: 1 << 14,
+            heap: 256,
+            window: 4,
+            lambda: 1e-7,
+            ..PmiEstimatorConfig::default()
+        });
+        let mut exact = ExactPmi::new(4);
+        for _ in 0..120_000 {
+            let t = g.next_token();
+            est.observe_token(t);
+            exact.observe_token(t);
+        }
+        let (u, v) = g.collocations()[0];
+        let est_pmi = est.estimate_pmi(u, v);
+        let true_pmi = exact.pmi(u, v).expect("planted pair must occur");
+        assert!(true_pmi > 2.0, "true PMI {true_pmi:.2}");
+        assert!(est_pmi > 1.0, "estimated PMI {est_pmi:.2} (true {true_pmi:.2})");
+        // A frequent pair should score clearly lower (the gap narrows at
+        // this stream length because the 1/√t rate slows convergence).
+        let est_freq = est.estimate_pmi(0, 1);
+        assert!(
+            est_freq < est_pmi - 0.3,
+            "frequent-pair PMI {est_freq:.2} vs planted {est_pmi:.2}"
+        );
+    }
+
+    #[test]
+    fn top_pairs_resolve_to_planted_collocations() {
+        let mut g = corpus();
+        let mut est = PmiEstimator::new(PmiEstimatorConfig {
+            width: 1 << 14,
+            heap: 256,
+            window: 4,
+            ..PmiEstimatorConfig::default()
+        });
+        let mut exact = ExactPmi::new(4);
+        for _ in 0..120_000 {
+            let t = g.next_token();
+            est.observe_token(t);
+            exact.observe_token(t);
+        }
+        let top = est.top_pair_ids(20);
+        assert!(!top.is_empty());
+        let resolved: Vec<(u32, u32)> = top
+            .iter()
+            .filter_map(|e| exact.resolve(e.feature))
+            .collect();
+        let planted_hits = resolved
+            .iter()
+            .filter(|&&(u, v)| g.is_collocation(u, v))
+            .count();
+        assert!(
+            planted_hits >= 2,
+            "only {planted_hits} planted collocations in top 20: {resolved:?}"
+        );
+    }
+
+    #[test]
+    fn reservoir_fills_from_stream() {
+        let mut est = PmiEstimator::new(PmiEstimatorConfig {
+            reservoir: 16,
+            ..PmiEstimatorConfig::default()
+        });
+        for t in 0..100u32 {
+            est.observe_token(t);
+        }
+        assert!(est.pairs_seen() > 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Hash-family evaluation costs: the paper's tabulation-vs-k-wise choice
+//! (Appendix B) is a constant-factor question answered here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wmsketch_hashing::{murmur3_32, splitmix64, PolyHash, TabulationHash};
+
+fn bench_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_families");
+    let tab = TabulationHash::new(1);
+    group.bench_function("tabulation", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            black_box(tab.hash(black_box(k)))
+        })
+    });
+    for deg in [2usize, 4, 16] {
+        let poly = PolyHash::new(deg, 1);
+        group.bench_function(format!("poly_k{deg}"), |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(1);
+                black_box(poly.hash(black_box(k)))
+            })
+        });
+    }
+    group.bench_function("splitmix64", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            black_box(splitmix64(black_box(k)))
+        })
+    });
+    group.bench_function("murmur3_8bytes", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            black_box(murmur3_32(&k.to_le_bytes(), 0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_families);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Count-Sketch / Count-Min update and point-query costs across depths —
+//! the substrate costs underlying every WM-Sketch operation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wmsketch_sketch::{CountMinSketch, CountSketch};
+
+fn bench_countsketch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("countsketch");
+    for depth in [1u32, 4, 16] {
+        let mut cs = CountSketch::new(depth, 4096 / depth, 1);
+        group.bench_function(format!("update_d{depth}"), |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(1);
+                cs.update(black_box(k % 100_000), 1.0);
+            })
+        });
+        group.bench_function(format!("estimate_d{depth}"), |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(1);
+                black_box(cs.estimate(black_box(k % 100_000)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_countmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("countmin");
+    let mut cm = CountMinSketch::new(4, 1024, 2);
+    group.bench_function("update_d4", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            cm.update(black_box(k % 100_000), 1.0);
+        })
+    });
+    group.bench_function("estimate_d4", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            black_box(cm.estimate(black_box(k % 100_000)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_countsketch, bench_countmin);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Heavy-hitter structure costs: the heap operations dominating the
+//! AWM-Sketch's overhead over feature hashing (paper §7.4).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use wmsketch_hh::{IndexedHeap, SpaceSaving, TopKWeights};
+
+fn bench_indexed_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indexed_heap");
+    group.bench_function("insert_update_512", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut h = IndexedHeap::with_capacity(512);
+                for i in 0..512u32 {
+                    h.insert(i, f64::from(i));
+                }
+                (h, 0u32)
+            },
+            |(h, i)| {
+                *i = i.wrapping_add(1);
+                h.insert(*i % 512, f64::from(*i % 97));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_weights");
+    group.bench_function("offer_512", |b| {
+        b.iter_batched_ref(
+            || (TopKWeights::new(512), 0u32),
+            |(t, i)| {
+                *i = i.wrapping_add(1);
+                black_box(t.offer(*i % 2048, f64::from(*i % 101) - 50.0));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_spacesaving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spacesaving");
+    group.bench_function("update_682", |b| {
+        b.iter_batched_ref(
+            || (SpaceSaving::new(682), 0u64),
+            |(ss, i)| {
+                *i = i.wrapping_add(1);
+                black_box(ss.update(*i % 10_000, 1.0));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexed_heap, bench_topk, bench_spacesaving);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Per-update cost of every budgeted method on an RCV1-like stream — the
+//! micro-benchmark behind Figure 7 (normalized runtime). The paper's
+//! ordering: LR fastest (direct array writes), Hash ≈ 2× LR, AWM ≈ 2×
+//! Hash (heap maintenance), WM slowest and growing with depth.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use wmsketch_core::{
+    AwmSketch, AwmSketchConfig, FeatureHashingClassifier, FeatureHashingConfig,
+    LogisticRegression, LogisticRegressionConfig, OnlineLearner, ProbabilisticTruncation,
+    SimpleTruncation, SpaceSavingClassifier, SpaceSavingClassifierConfig, TruncationConfig,
+    WmSketch, WmSketchConfig,
+};
+use wmsketch_datagen::SyntheticClassification;
+use wmsketch_learn::{Label, SparseVector};
+
+const BUDGET: usize = 8 * 1024;
+const BATCH: usize = 256;
+
+fn stream(n: usize) -> Vec<(SparseVector, Label)> {
+    let mut gen = SyntheticClassification::rcv1_like(7);
+    gen.take(n)
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let data = stream(4096);
+    let mut group = c.benchmark_group("update_8kb_rcv1");
+    group.throughput(criterion::Throughput::Elements(BATCH as u64));
+
+    macro_rules! bench_method {
+        ($name:expr, $make:expr) => {
+            group.bench_function($name, |b| {
+                b.iter_batched_ref(
+                    || ($make, 0usize),
+                    |(m, pos)| {
+                        for _ in 0..BATCH {
+                            let (x, y) = &data[*pos % data.len()];
+                            m.update(black_box(x), *y);
+                            *pos += 1;
+                        }
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        };
+    }
+
+    bench_method!(
+        "LR_unconstrained",
+        LogisticRegression::new(LogisticRegressionConfig::new(1 << 16).track_top_k(128))
+    );
+    bench_method!(
+        "Hash",
+        FeatureHashingClassifier::new(FeatureHashingConfig::with_budget_bytes(BUDGET))
+    );
+    bench_method!(
+        "AWM",
+        AwmSketch::new(AwmSketchConfig::with_budget_bytes(BUDGET))
+    );
+    bench_method!("WM", WmSketch::new(WmSketchConfig::with_budget_bytes(BUDGET)));
+    bench_method!(
+        "Trun",
+        SimpleTruncation::new(TruncationConfig::simple_with_budget_bytes(BUDGET))
+    );
+    bench_method!(
+        "PTrun",
+        ProbabilisticTruncation::new(TruncationConfig::probabilistic_with_budget_bytes(BUDGET))
+    );
+    bench_method!(
+        "SS",
+        SpaceSavingClassifier::new(SpaceSavingClassifierConfig::with_budget_bytes(BUDGET))
+    );
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let data = stream(4096);
+    let mut awm = AwmSketch::new(AwmSketchConfig::with_budget_bytes(BUDGET));
+    let mut wm = WmSketch::new(WmSketchConfig::with_budget_bytes(BUDGET));
+    for (x, y) in &data {
+        awm.update(x, *y);
+        wm.update(x, *y);
+    }
+    let mut group = c.benchmark_group("weight_query");
+    group.bench_function("AWM_estimate", |b| {
+        let mut f = 0u32;
+        b.iter(|| {
+            f = (f + 1) % (1 << 16);
+            black_box(wmsketch_learn::WeightEstimator::estimate(&awm, f))
+        })
+    });
+    group.bench_function("WM_estimate", |b| {
+        let mut f = 0u32;
+        b.iter(|| {
+            f = (f + 1) % (1 << 16);
+            black_box(wmsketch_learn::WeightEstimator::estimate(&wm, f))
+        })
+    });
+    group.bench_function("AWM_top128", |b| {
+        b.iter(|| black_box(wmsketch_learn::TopKRecovery::recover_top_k(&awm, 128)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_queries);
+criterion_main!(benches);

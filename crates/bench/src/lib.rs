@@ -1,0 +1,15 @@
+//! Criterion micro-benchmarks for the WM-Sketch reproduction.
+//!
+//! The bench targets live in `benches/`:
+//!
+//! * `update_throughput` — per-update cost of every budgeted method on an
+//!   RCV1-like stream at the Table 2 configurations; together with the
+//!   unconstrained-LR baseline this regenerates the *shape* of Fig. 7
+//!   (normalized runtime).
+//! * `sketch_ops` — Count-Sketch / Count-Min update and query costs.
+//! * `hashing` — tabulation vs polynomial vs MurmurHash3 evaluation cost.
+//! * `structures` — indexed-heap and Space-Saving operation costs.
+//!
+//! This crate intentionally has no library code beyond this doc.
+
+#![warn(missing_docs)]

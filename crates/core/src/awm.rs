@@ -1,0 +1,483 @@
+//! The Active-Set Weight-Median Sketch — Algorithm 2 of the paper.
+//!
+//! The AWM-Sketch splits the model between an **active set** `S` — a min-heap
+//! of the highest-|weight| features whose weights are stored *exactly* — and
+//! a WM-Sketch that estimates the tail. Features in the active set are *not*
+//! hashed into the sketch; the sketch is touched lazily, only when a feature
+//! is evicted from the heap. Per update, for each input feature `i ∉ S` the
+//! candidate weight `w̃ = Query(i) − η_t·y·x_i·ℓ'(yτ)` competes against the
+//! heap minimum:
+//!
+//! * if `|w̃|` beats the minimum, `i` is promoted into the heap with weight
+//!   `w̃` and the displaced feature `i_min` spills back into the sketch with
+//!   the residual `S[i_min] − Query(i_min)`, so the sketch's estimate of the
+//!   evicted feature becomes its exact last value;
+//! * otherwise the gradient step is applied to `i`'s sketch cells as in the
+//!   basic WM-Sketch.
+//!
+//! The paper's intuition (§9): erroneous promotions decay under `ℓ2`
+//! regularization and get evicted, while truly heavy features stay — the
+//! heap doubles as the disambiguation mechanism that multiple hashing
+//! provides in the basic sketch, which is why the best AWM configuration
+//! uses a **depth-1** sketch (§7.3) and beats feature hashing despite
+//! spending half its budget on identifiers.
+
+use wmsketch_hashing::{HashFamilyKind, RowHashers};
+use wmsketch_hh::{Offer, TopKWeights};
+use wmsketch_learn::{
+    debug_check_label, Label, LearningRate, Loss, LossKind, OnlineLearner, ScaleState,
+    SparseVector, TopKRecovery, WeightEntry, WeightEstimator,
+};
+use wmsketch_sketch::median_inplace;
+
+/// Configuration for [`AwmSketch`].
+#[derive(Debug, Clone, Copy)]
+pub struct AwmSketchConfig {
+    /// Buckets per sketch row.
+    pub width: u32,
+    /// Sketch depth (the paper's best configurations all use 1).
+    pub depth: u32,
+    /// Active-set capacity `|S|`.
+    pub heap_capacity: usize,
+    /// `ℓ2` regularization strength λ.
+    pub lambda: f64,
+    /// Learning-rate schedule.
+    pub learning_rate: LearningRate,
+    /// Loss function.
+    pub loss: LossKind,
+    /// Hash family for the sketch.
+    pub hash_family: HashFamilyKind,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl AwmSketchConfig {
+    /// An AWM-Sketch with the given active-set capacity and sketch width,
+    /// depth 1, and paper-default hyperparameters.
+    #[must_use]
+    pub fn new(heap_capacity: usize, width: u32) -> Self {
+        Self {
+            width,
+            depth: 1,
+            heap_capacity,
+            lambda: 1e-6,
+            learning_rate: LearningRate::default(),
+            loss: LossKind::Logistic,
+            hash_family: HashFamilyKind::Tabulation,
+            seed: 0,
+        }
+    }
+
+    /// The paper's uniformly-best budget split (§7.3): half the budget on
+    /// the active set, the rest on a depth-1 sketch. Under the §7.1 cost
+    /// model a heap entry costs 2 units and a sketch cell 1, so
+    /// `|S| = B/16` and `width = B/8` (both rounded to powers of two, as in
+    /// Table 2).
+    #[must_use]
+    pub fn with_budget_bytes(budget: usize) -> Self {
+        let units = budget / crate::budget::BYTES_PER_UNIT;
+        let heap = (units / 4).next_power_of_two().max(1);
+        let heap = if heap * 4 > units { heap / 2 } else { heap }.max(1);
+        let width = (units.saturating_sub(2 * heap)).next_power_of_two();
+        let width = if width + 2 * heap > units { width / 2 } else { width }.max(1);
+        Self::new(heap, width as u32)
+    }
+
+    /// Sets the sketch depth.
+    #[must_use]
+    pub fn depth(mut self, depth: u32) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    /// Sets λ.
+    #[must_use]
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the learning-rate schedule.
+    #[must_use]
+    pub fn learning_rate(mut self, lr: LearningRate) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Sets the loss.
+    #[must_use]
+    pub fn loss(mut self, loss: LossKind) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the hash family.
+    #[must_use]
+    pub fn hash_family(mut self, kind: HashFamilyKind) -> Self {
+        self.hash_family = kind;
+        self
+    }
+
+    /// Sets the hash seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Memory cost in bytes under the paper's §7.1 model.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        crate::budget::awm_bytes(self.heap_capacity, self.width as usize * self.depth as usize)
+    }
+}
+
+/// The Active-Set Weight-Median Sketch (see module docs).
+pub struct AwmSketch {
+    cfg: AwmSketchConfig,
+    hashers: RowHashers,
+    /// Pre-scale sketch cells (row-major).
+    z: Vec<f64>,
+    /// Active set: exact pre-scale weights, min-heap by |weight|.
+    active: TopKWeights,
+    scale: ScaleState,
+    inv_sqrt_s: f64,
+    sqrt_s: f64,
+    t: u64,
+}
+
+impl std::fmt::Debug for AwmSketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AwmSketch")
+            .field("width", &self.cfg.width)
+            .field("depth", &self.cfg.depth)
+            .field("heap_capacity", &self.cfg.heap_capacity)
+            .field("t", &self.t)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AwmSketch {
+    /// Creates a zero-initialized AWM-Sketch.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`, `depth == 0`, or `heap_capacity == 0`.
+    #[must_use]
+    pub fn new(cfg: AwmSketchConfig) -> Self {
+        let hashers = RowHashers::new(cfg.hash_family, cfg.depth, cfg.width, cfg.seed);
+        let s = f64::from(cfg.depth);
+        Self {
+            cfg,
+            hashers,
+            z: vec![0.0; cfg.depth as usize * cfg.width as usize],
+            active: TopKWeights::new(cfg.heap_capacity),
+            scale: ScaleState::new(),
+            inv_sqrt_s: 1.0 / s.sqrt(),
+            sqrt_s: s.sqrt(),
+            t: 0,
+        }
+    }
+
+    /// The configuration this sketch was built with.
+    #[must_use]
+    pub fn config(&self) -> &AwmSketchConfig {
+        &self.cfg
+    }
+
+    /// Memory cost in bytes under the paper's §7.1 model.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.cfg.memory_bytes()
+    }
+
+    /// Number of features currently in the active set.
+    #[must_use]
+    pub fn active_set_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether `feature` is currently held exactly in the active set.
+    #[must_use]
+    pub fn in_active_set(&self, feature: u32) -> bool {
+        self.active.contains(feature)
+    }
+
+    /// Count-Sketch median estimate of `feature` (pre-scale).
+    fn query_stored(&self, feature: u32) -> f64 {
+        let key = u64::from(feature);
+        let width = self.cfg.width as usize;
+        let depth = self.cfg.depth as usize;
+        let mut buf = [0.0f64; 64];
+        let mut spill;
+        let vals: &mut [f64] = if depth <= 64 {
+            for (j, bs) in self.hashers.bucket_signs(key) {
+                buf[j] = self.sqrt_s * bs.sign * self.z[j * width + bs.bucket as usize];
+            }
+            &mut buf[..depth]
+        } else {
+            spill = vec![0.0; depth];
+            for (j, bs) in self.hashers.bucket_signs(key) {
+                spill[j] = self.sqrt_s * bs.sign * self.z[j * width + bs.bucket as usize];
+            }
+            &mut spill
+        };
+        median_inplace(vals)
+    }
+
+    /// Adds `delta` (pre-scale) to `feature`'s sketch cells.
+    fn sketch_add(&mut self, feature: u32, delta: f64) {
+        let width = self.cfg.width as usize;
+        let d = delta * self.inv_sqrt_s;
+        for (j, bs) in self.hashers.bucket_signs(u64::from(feature)) {
+            self.z[j * width + bs.bucket as usize] += bs.sign * d;
+        }
+    }
+
+    fn fold_scale(&mut self) {
+        let a = self.scale.fold();
+        for v in &mut self.z {
+            *v *= a;
+        }
+        // Fold the active set's stored weights too: they share the scale.
+        let entries: Vec<WeightEntry> = self.active.iter().collect();
+        for e in entries {
+            self.active.update_existing(e.feature, e.weight * a);
+        }
+    }
+}
+
+impl OnlineLearner for AwmSketch {
+    fn margin(&self, x: &SparseVector) -> f64 {
+        // τ = Σ_{i∈S} S[i]·x_i + zᵀRx_{∉S}, all times the global scale.
+        let width = self.cfg.width as usize;
+        let mut acc = 0.0;
+        for (i, xi) in x.iter() {
+            if let Some(w) = self.active.get(i) {
+                acc += w * xi;
+            } else {
+                let mut proj = 0.0;
+                for (j, bs) in self.hashers.bucket_signs(u64::from(i)) {
+                    proj += bs.sign * self.z[j * width + bs.bucket as usize];
+                }
+                acc += xi * proj * self.inv_sqrt_s;
+            }
+        }
+        self.scale.load(acc)
+    }
+
+    fn update(&mut self, x: &SparseVector, y: Label) {
+        debug_check_label(y);
+        self.t += 1;
+        let eta = self.cfg.learning_rate.at(self.t);
+        let tau = self.margin(x);
+        let g = self.cfg.loss.deriv(f64::from(y) * tau) * f64::from(y);
+        if self.scale.decay(eta, self.cfg.lambda) {
+            self.fold_scale();
+        }
+        if g == 0.0 {
+            return;
+        }
+        for (i, xi) in x.iter() {
+            let stored_step = self.scale.store(-eta * g * xi);
+            if let Some(w) = self.active.get(i) {
+                // Heap update: exact gradient step on the stored weight.
+                self.active.update_existing(i, w + stored_step);
+            } else {
+                // Candidate weight w̃ = Query(i) − η·y·x_i·ℓ'(yτ), pre-scale.
+                let w_tilde = self.query_stored(i) + stored_step;
+                match self.active.offer(i, w_tilde) {
+                    Offer::Evicted(evicted) => {
+                        // Spill the evicted feature back: write the residual
+                        // so the sketch's estimate equals its exact weight.
+                        let residual = evicted.weight - self.query_stored(evicted.feature);
+                        self.sketch_add(evicted.feature, residual);
+                    }
+                    Offer::Inserted => {
+                        // Admitted into spare capacity; nothing to spill.
+                    }
+                    Offer::Rejected => {
+                        // Stay in the sketch: plain WM-Sketch gradient step.
+                        self.sketch_add(i, stored_step);
+                    }
+                    Offer::Updated => unreachable!("feature checked absent from active set"),
+                }
+            }
+        }
+    }
+
+    fn examples_seen(&self) -> u64 {
+        self.t
+    }
+}
+
+impl WeightEstimator for AwmSketch {
+    fn estimate(&self, feature: u32) -> f64 {
+        let stored = self
+            .active
+            .get(feature)
+            .unwrap_or_else(|| self.query_stored(feature));
+        self.scale.load(stored)
+    }
+}
+
+impl TopKRecovery for AwmSketch {
+    fn recover_top_k(&self, k: usize) -> Vec<WeightEntry> {
+        self.active
+            .top_k(k)
+            .into_iter()
+            .map(|e| WeightEntry { feature: e.feature, weight: self.scale.load(e.weight) })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planted_stream(n: usize) -> impl Iterator<Item = (SparseVector, Label)> {
+        (0..n).map(|t| {
+            let noise = 100 + (t * 13 % 500) as u32;
+            if t % 2 == 0 {
+                (SparseVector::from_pairs(&[(3, 1.0), (noise, 0.5)]), 1)
+            } else {
+                (SparseVector::from_pairs(&[(9, 1.0), (noise, 0.5)]), -1)
+            }
+        })
+    }
+
+    #[test]
+    fn heavy_features_end_up_in_active_set() {
+        let mut awm = AwmSketch::new(AwmSketchConfig::new(16, 256).lambda(1e-5).seed(1));
+        for (x, y) in planted_stream(4000) {
+            awm.update(&x, y);
+        }
+        assert!(awm.in_active_set(3), "feature 3 not in active set");
+        assert!(awm.in_active_set(9), "feature 9 not in active set");
+        assert!(awm.estimate(3) > 0.2);
+        assert!(awm.estimate(9) < -0.2);
+        let top: Vec<u32> = awm.recover_top_k(2).iter().map(|e| e.feature).collect();
+        assert!(top.contains(&3) && top.contains(&9), "top = {top:?}");
+    }
+
+    #[test]
+    fn classification_through_mixed_representation() {
+        let mut awm = AwmSketch::new(AwmSketchConfig::new(8, 128).seed(2));
+        for (x, y) in planted_stream(2000) {
+            awm.update(&x, y);
+        }
+        assert_eq!(awm.predict(&SparseVector::one_hot(3, 1.0)), 1);
+        assert_eq!(awm.predict(&SparseVector::one_hot(9, 1.0)), -1);
+    }
+
+    #[test]
+    fn active_set_never_exceeds_capacity() {
+        let mut awm = AwmSketch::new(AwmSketchConfig::new(4, 64).seed(3));
+        for (x, y) in planted_stream(1000) {
+            awm.update(&x, y);
+            assert!(awm.active_set_len() <= 4);
+        }
+        assert_eq!(awm.active_set_len(), 4);
+    }
+
+    #[test]
+    fn matches_dense_ogd_when_all_features_fit_in_heap() {
+        // Heap capacity ≥ number of distinct features ⇒ every weight is
+        // exact and the AWM-Sketch IS dense OGD.
+        use wmsketch_learn::{LogisticRegression, LogisticRegressionConfig};
+        let mut awm = AwmSketch::new(AwmSketchConfig::new(32, 64).lambda(1e-4).seed(4));
+        let mut lr = LogisticRegression::new(
+            LogisticRegressionConfig::new(16).lambda(1e-4).track_top_k(0),
+        );
+        for t in 0..800 {
+            let f = (t % 8) as u32;
+            let y: Label = if f < 4 { 1 } else { -1 };
+            let x = SparseVector::from_pairs(&[(f, 1.0), (8 + f, 0.25)]);
+            awm.update(&x, y);
+            lr.update(&x, y);
+        }
+        for f in 0..16u32 {
+            assert!(
+                (awm.estimate(f) - lr.weight(f)).abs() < 1e-9,
+                "feature {f}: awm {} vs dense {}",
+                awm.estimate(f),
+                lr.weight(f)
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_spills_residual_into_sketch() {
+        // Capacity-1 heap: feature 1 trained hard, then feature 2 trained
+        // harder; feature 1 must be evicted but remain estimable from the
+        // sketch with its last exact value (no other features collide).
+        let mut awm = AwmSketch::new(
+            AwmSketchConfig::new(1, 1024)
+                .lambda(0.0)
+                .learning_rate(LearningRate::Constant(0.5))
+                .seed(5),
+        );
+        for _ in 0..20 {
+            awm.update(&SparseVector::one_hot(1, 1.0), 1);
+        }
+        let w1_exact = awm.estimate(1);
+        assert!(awm.in_active_set(1));
+        for _ in 0..60 {
+            awm.update(&SparseVector::one_hot(2, 1.0), 1);
+        }
+        assert!(awm.in_active_set(2), "feature 2 should displace 1");
+        assert!(!awm.in_active_set(1));
+        // Feature 1's sketched estimate should preserve its exact weight
+        // at eviction time (its prior sketch mass was zero — it went
+        // straight to the heap on first sight).
+        let w1_sketched = awm.estimate(1);
+        assert!(
+            (w1_sketched - w1_exact).abs() < 0.15 * w1_exact.abs(),
+            "sketched {w1_sketched} vs exact-at-eviction {w1_exact}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut awm = AwmSketch::new(AwmSketchConfig::new(8, 128).seed(6));
+            for (x, y) in planted_stream(600) {
+                awm.update(&x, y);
+            }
+            (0..30u32).map(|f| awm.estimate(f)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn budget_constructor_fits_and_uses_half_for_heap() {
+        for budget in [2048usize, 4096, 8192, 16384, 32768] {
+            let cfg = AwmSketchConfig::with_budget_bytes(budget);
+            assert!(cfg.memory_bytes() <= budget, "budget {budget}: {} bytes", cfg.memory_bytes());
+            assert_eq!(cfg.depth, 1);
+            // Paper Table 2: 8 KB → |S| = 512, width 1024.
+            if budget == 8192 {
+                assert_eq!(cfg.heap_capacity, 512);
+                assert_eq!(cfg.width, 1024);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_fold_preserves_active_weights() {
+        // Aggressive decay forces folds; logical estimates must stay finite
+        // and consistent.
+        let mut awm = AwmSketch::new(
+            AwmSketchConfig::new(4, 64)
+                .lambda(0.9)
+                .learning_rate(LearningRate::Constant(0.9))
+                .seed(7),
+        );
+        for t in 0..5000 {
+            let f = (t % 3) as u32;
+            awm.update(&SparseVector::one_hot(f, 1.0), if f == 0 { 1 } else { -1 });
+        }
+        for f in 0..3u32 {
+            assert!(awm.estimate(f).is_finite());
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The paper's memory cost model (§7.1) and budget-constrained
+//! configuration enumeration (the Table 2 sweeps).
+//!
+//! > "we charge 4B of memory utilization for each feature identifier,
+//! > feature weight, and auxiliary weight (e.g., random keys … or counts …)
+//! > used."
+//!
+//! Under this model:
+//!
+//! | Method | cost (bytes) | capacity at budget `B` |
+//! |---|---|---|
+//! | Simple Truncation | `8K` (id + weight) | `K = B/8` |
+//! | Probabilistic Truncation | `12K` (id + weight + reservoir key) | `K = B/12` |
+//! | Space-Saving Frequent | `12m` (id + count + weight) | `m = B/12` |
+//! | Feature Hashing | `4k` (weights only) | `k = B/4` |
+//! | WM-Sketch | `8·\|S\| + 4·k` | sweep |
+//! | AWM-Sketch | `8·\|S\| + 4·k` | sweep |
+//! | CM Frequent | `8K + 4·k_cm` | sweep |
+
+use crate::awm::AwmSketchConfig;
+use crate::wm::WmSketchConfig;
+
+/// Bytes charged per identifier / weight / auxiliary value.
+pub const BYTES_PER_UNIT: usize = 4;
+
+/// Simple Truncation capacity for a byte budget (2 units per entry).
+#[must_use]
+pub fn trun_capacity(budget_bytes: usize) -> usize {
+    (budget_bytes / (2 * BYTES_PER_UNIT)).max(1)
+}
+
+/// Probabilistic Truncation capacity (3 units per entry: the reservoir key
+/// is auxiliary state).
+#[must_use]
+pub fn ptrun_capacity(budget_bytes: usize) -> usize {
+    (budget_bytes / (3 * BYTES_PER_UNIT)).max(1)
+}
+
+/// Space-Saving classifier capacity (3 units per counter: id, count,
+/// weight).
+#[must_use]
+pub fn spacesaving_capacity(budget_bytes: usize) -> usize {
+    (budget_bytes / (3 * BYTES_PER_UNIT)).max(1)
+}
+
+/// Feature-hashing table size (1 unit per cell).
+#[must_use]
+pub fn feature_hashing_table_size(budget_bytes: usize) -> u32 {
+    (budget_bytes / BYTES_PER_UNIT).max(1) as u32
+}
+
+/// WM-Sketch cost: heap entries are 2 units, sketch cells 1 unit.
+#[must_use]
+pub fn wm_bytes(heap_capacity: usize, sketch_cells: usize) -> usize {
+    (2 * heap_capacity + sketch_cells) * BYTES_PER_UNIT
+}
+
+/// AWM-Sketch cost — identical structure to the WM-Sketch.
+#[must_use]
+pub fn awm_bytes(heap_capacity: usize, sketch_cells: usize) -> usize {
+    wm_bytes(heap_capacity, sketch_cells)
+}
+
+/// Count-Min frequent-features classifier cost: a K-entry (id, weight) heap
+/// plus the CM counter array.
+#[must_use]
+pub fn cm_classifier_bytes(heap_capacity: usize, cm_cells: usize) -> usize {
+    (2 * heap_capacity + cm_cells) * BYTES_PER_UNIT
+}
+
+/// One candidate sketch shape from a budget sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetedConfig {
+    /// Heap / active-set capacity.
+    pub heap_capacity: usize,
+    /// Sketch row width.
+    pub width: u32,
+    /// Sketch depth.
+    pub depth: u32,
+}
+
+impl BudgetedConfig {
+    /// Cost in bytes under the §7.1 model.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        wm_bytes(self.heap_capacity, self.width as usize * self.depth as usize)
+    }
+
+    /// Instantiates a [`WmSketchConfig`] with this shape.
+    #[must_use]
+    pub fn wm(&self) -> WmSketchConfig {
+        WmSketchConfig::new(self.width, self.depth).heap_capacity(self.heap_capacity)
+    }
+
+    /// Instantiates an [`AwmSketchConfig`] with this shape.
+    #[must_use]
+    pub fn awm(&self) -> AwmSketchConfig {
+        AwmSketchConfig::new(self.heap_capacity, self.width).depth(self.depth)
+    }
+}
+
+/// Enumerates WM-Sketch shapes compatible with a byte budget, mirroring the
+/// paper's §7.1 sweep: power-of-two heap sizes and widths, with depth
+/// filling the remaining budget.
+///
+/// Every returned config satisfies `memory_bytes() ≤ budget_bytes` and
+/// wastes less than half the cell budget.
+#[must_use]
+pub fn enumerate_wm_configs(budget_bytes: usize) -> Vec<BudgetedConfig> {
+    let units = budget_bytes / BYTES_PER_UNIT;
+    let mut out = Vec::new();
+    let mut heap = 16usize;
+    while 2 * heap < units {
+        let cell_units = units - 2 * heap;
+        let mut width = 16u32;
+        while (width as usize) <= cell_units {
+            let depth = (cell_units / width as usize).min(64) as u32;
+            if depth >= 1 {
+                out.push(BudgetedConfig { heap_capacity: heap, width, depth });
+            }
+            width *= 2;
+        }
+        heap *= 2;
+    }
+    debug_assert!(out.iter().all(|c| c.memory_bytes() <= budget_bytes));
+    out
+}
+
+/// Enumerates AWM-Sketch shapes for a budget: like
+/// [`enumerate_wm_configs`] but restricted to the depth-1 sketches the
+/// active set favours, plus depth 2 and 4 for the ablations.
+#[must_use]
+pub fn enumerate_awm_configs(budget_bytes: usize) -> Vec<BudgetedConfig> {
+    let units = budget_bytes / BYTES_PER_UNIT;
+    let mut out = Vec::new();
+    let mut heap = 16usize;
+    while 2 * heap < units {
+        let cell_units = units - 2 * heap;
+        for depth in [1u32, 2, 4] {
+            let per_row = cell_units / depth as usize;
+            if per_row < 16 {
+                continue;
+            }
+            // Largest power-of-two width that fits.
+            let width = (per_row + 1).next_power_of_two() / 2;
+            out.push(BudgetedConfig { heap_capacity: heap, width: width as u32, depth });
+        }
+        heap *= 2;
+    }
+    debug_assert!(out.iter().all(|c| c.memory_bytes() <= budget_bytes));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_match_paper_cost_model() {
+        // 8 KB budget.
+        assert_eq!(trun_capacity(8192), 1024);
+        assert_eq!(ptrun_capacity(8192), 682);
+        assert_eq!(spacesaving_capacity(8192), 682);
+        assert_eq!(feature_hashing_table_size(8192), 2048);
+    }
+
+    #[test]
+    fn paper_example_1024_bytes_for_128_entry_truncation() {
+        // §7.1: "a simple truncation instance with 128 entries … 1024B".
+        assert_eq!(trun_capacity(1024), 128);
+    }
+
+    #[test]
+    fn table2_wm_8kb_row_fits() {
+        // Table 2, 8 KB, WM: |S|=128, width 128, depth 14.
+        let c = BudgetedConfig { heap_capacity: 128, width: 128, depth: 14 };
+        assert!(c.memory_bytes() <= 8192);
+        // Depth 15 would not fit alongside the heap.
+        let c2 = BudgetedConfig { heap_capacity: 128, width: 128, depth: 15 };
+        assert!(c2.memory_bytes() > 8192);
+    }
+
+    #[test]
+    fn table2_awm_8kb_row_fits_exactly() {
+        // Table 2, 8 KB, AWM: |S|=512, width 1024, depth 1.
+        let c = BudgetedConfig { heap_capacity: 512, width: 1024, depth: 1 };
+        assert_eq!(c.memory_bytes(), 8192);
+    }
+
+    #[test]
+    fn enumerations_fit_budget_and_are_nonempty() {
+        for budget in [2048usize, 4096, 8192, 16384, 32768] {
+            for cfgs in [enumerate_wm_configs(budget), enumerate_awm_configs(budget)] {
+                assert!(!cfgs.is_empty(), "no configs at {budget}");
+                for c in &cfgs {
+                    assert!(
+                        c.memory_bytes() <= budget,
+                        "{c:?} exceeds {budget} ({} bytes)",
+                        c.memory_bytes()
+                    );
+                    assert!(c.depth >= 1 && c.width >= 16);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_config_instantiates_both_sketches() {
+        let c = BudgetedConfig { heap_capacity: 64, width: 256, depth: 2 };
+        let wm = c.wm();
+        assert_eq!(wm.width, 256);
+        assert_eq!(wm.depth, 2);
+        assert_eq!(wm.heap_capacity, 64);
+        let awm = c.awm();
+        assert_eq!(awm.width, 256);
+        assert_eq!(awm.depth, 2);
+        assert_eq!(awm.heap_capacity, 64);
+    }
+}

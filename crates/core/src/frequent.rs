@@ -1,0 +1,476 @@
+//! Frequent-features baselines: learn weights only for the features a
+//! heavy-hitters structure currently believes are *frequent*.
+//!
+//! The paper evaluates two (§7.1–7.3): Space-Saving ("SS") and Count-Min
+//! ("CM-FF", dominated by SS in their experiments and omitted from the
+//! figures). Both embody the heuristic the paper sets out to beat:
+//! *frequent features are not necessarily discriminative* — these learners
+//! waste budget on features common to both classes (Fig. 8's "Heavy-Hitters
+//! Both" panel).
+
+use wmsketch_hh::{IndexedHeap, SpaceSaving};
+use wmsketch_learn::{
+    debug_check_label, Label, LearningRate, Loss, LossKind, OnlineLearner, ScaleState,
+    SparseVector, TopKRecovery, WeightEntry, WeightEstimator,
+};
+use wmsketch_sketch::CountMinSketch;
+
+/// Configuration for [`SpaceSavingClassifier`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpaceSavingClassifierConfig {
+    /// Number of Space-Saving counters (= number of learnable weights).
+    pub capacity: usize,
+    /// `ℓ2` regularization strength λ.
+    pub lambda: f64,
+    /// Learning-rate schedule.
+    pub learning_rate: LearningRate,
+    /// Loss function.
+    pub loss: LossKind,
+}
+
+impl SpaceSavingClassifierConfig {
+    /// Config with paper-default hyperparameters.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            lambda: 1e-6,
+            learning_rate: LearningRate::default(),
+            loss: LossKind::Logistic,
+        }
+    }
+
+    /// Capacity from a byte budget (3 units per counter: id, count,
+    /// weight).
+    #[must_use]
+    pub fn with_budget_bytes(budget: usize) -> Self {
+        Self::new(crate::budget::spacesaving_capacity(budget))
+    }
+
+    /// Sets λ.
+    #[must_use]
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the learning-rate schedule.
+    #[must_use]
+    pub fn learning_rate(mut self, lr: LearningRate) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Sets the loss.
+    #[must_use]
+    pub fn loss(mut self, loss: LossKind) -> Self {
+        self.loss = loss;
+        self
+    }
+}
+
+/// "SS": weights exist only for features monitored by Space-Saving.
+///
+/// Feature occurrences feed the Space-Saving summary; when Space-Saving
+/// evicts a feature, its learned weight is discarded with it.
+pub struct SpaceSavingClassifier {
+    cfg: SpaceSavingClassifierConfig,
+    counts: SpaceSaving,
+    /// feature → pre-scale weight, for monitored features only.
+    weights: wmsketch_hashing::FastHashMap<u32, f64>,
+    scale: ScaleState,
+    t: u64,
+}
+
+impl std::fmt::Debug for SpaceSavingClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpaceSavingClassifier")
+            .field("capacity", &self.cfg.capacity)
+            .field("t", &self.t)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SpaceSavingClassifier {
+    /// Creates an empty model.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(cfg: SpaceSavingClassifierConfig) -> Self {
+        Self {
+            cfg,
+            counts: SpaceSaving::new(cfg.capacity),
+            weights: wmsketch_hashing::FastHashMap::default(),
+            scale: ScaleState::new(),
+            t: 0,
+        }
+    }
+
+    /// The configuration this model was built with.
+    #[must_use]
+    pub fn config(&self) -> &SpaceSavingClassifierConfig {
+        &self.cfg
+    }
+
+    /// Memory cost in bytes under the paper's §7.1 model.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.cfg.capacity * 3 * crate::budget::BYTES_PER_UNIT
+    }
+
+    fn fold_scale(&mut self) {
+        let a = self.scale.fold();
+        for w in self.weights.values_mut() {
+            *w *= a;
+        }
+    }
+}
+
+impl OnlineLearner for SpaceSavingClassifier {
+    fn margin(&self, x: &SparseVector) -> f64 {
+        let acc: f64 = x
+            .iter()
+            .filter_map(|(i, xi)| self.weights.get(&i).map(|w| w * xi))
+            .sum();
+        self.scale.load(acc)
+    }
+
+    fn update(&mut self, x: &SparseVector, y: Label) {
+        debug_check_label(y);
+        self.t += 1;
+        let eta = self.cfg.learning_rate.at(self.t);
+        let tau = self.margin(x);
+        let g = self.cfg.loss.deriv(f64::from(y) * tau) * f64::from(y);
+        if self.scale.decay(eta, self.cfg.lambda) {
+            self.fold_scale();
+        }
+        for (i, xi) in x.iter() {
+            // Count the occurrence; an eviction drops the evicted feature's
+            // weight with it.
+            if let Some(evicted) = self.counts.update(u64::from(i), 1.0) {
+                self.weights.remove(&(evicted as u32));
+            }
+            // Learn only on currently-monitored features.
+            if g != 0.0 && self.counts.contains(u64::from(i)) {
+                let step = self.scale.store(-eta * g * xi);
+                *self.weights.entry(i).or_insert(0.0) += step;
+            }
+        }
+    }
+
+    fn examples_seen(&self) -> u64 {
+        self.t
+    }
+}
+
+impl WeightEstimator for SpaceSavingClassifier {
+    fn estimate(&self, feature: u32) -> f64 {
+        self.weights
+            .get(&feature)
+            .map_or(0.0, |&w| self.scale.load(w))
+    }
+}
+
+impl TopKRecovery for SpaceSavingClassifier {
+    fn recover_top_k(&self, k: usize) -> Vec<WeightEntry> {
+        let mut entries: Vec<WeightEntry> = self
+            .weights
+            .iter()
+            .map(|(&feature, &w)| WeightEntry { feature, weight: self.scale.load(w) })
+            .collect();
+        entries.sort_by(|a, b| {
+            b.weight
+                .abs()
+                .partial_cmp(&a.weight.abs())
+                .expect("NaN weight")
+                .then(a.feature.cmp(&b.feature))
+        });
+        entries.truncate(k);
+        entries
+    }
+}
+
+/// Configuration for [`CountMinClassifier`].
+#[derive(Debug, Clone, Copy)]
+pub struct CountMinClassifierConfig {
+    /// Heap capacity: number of learnable (id, weight) pairs.
+    pub heap_capacity: usize,
+    /// Count-Min width.
+    pub cm_width: u32,
+    /// Count-Min depth.
+    pub cm_depth: u32,
+    /// `ℓ2` regularization strength λ.
+    pub lambda: f64,
+    /// Learning-rate schedule.
+    pub learning_rate: LearningRate,
+    /// Loss function.
+    pub loss: LossKind,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl CountMinClassifierConfig {
+    /// Config with paper-default hyperparameters.
+    #[must_use]
+    pub fn new(heap_capacity: usize, cm_width: u32, cm_depth: u32) -> Self {
+        Self {
+            heap_capacity,
+            cm_width,
+            cm_depth,
+            lambda: 1e-6,
+            learning_rate: LearningRate::default(),
+            loss: LossKind::Logistic,
+            seed: 0,
+        }
+    }
+
+    /// Splits a byte budget half-and-half between the weight heap and a
+    /// depth-4 Count-Min sketch.
+    #[must_use]
+    pub fn with_budget_bytes(budget: usize) -> Self {
+        let units = budget / crate::budget::BYTES_PER_UNIT;
+        let heap = (units / 4).max(1);
+        let cm_cells = units - 2 * heap;
+        let depth = 4u32;
+        let width = (cm_cells as u32 / depth).max(1);
+        Self::new(heap, width, depth)
+    }
+
+    /// Sets λ.
+    #[must_use]
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// "CM-FF": a Count-Min sketch estimates feature frequencies; the
+/// heap-resident most-frequent features get learnable weights.
+pub struct CountMinClassifier {
+    cfg: CountMinClassifierConfig,
+    cm: CountMinSketch,
+    /// Min-heap of monitored features keyed by estimated frequency.
+    freq_heap: IndexedHeap<u32>,
+    /// feature → pre-scale weight for heap-resident features.
+    weights: wmsketch_hashing::FastHashMap<u32, f64>,
+    scale: ScaleState,
+    t: u64,
+}
+
+impl std::fmt::Debug for CountMinClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CountMinClassifier")
+            .field("heap_capacity", &self.cfg.heap_capacity)
+            .field("t", &self.t)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CountMinClassifier {
+    /// Creates an empty model.
+    #[must_use]
+    pub fn new(cfg: CountMinClassifierConfig) -> Self {
+        Self {
+            cfg,
+            cm: CountMinSketch::new(cfg.cm_depth, cfg.cm_width, cfg.seed),
+            freq_heap: IndexedHeap::with_capacity(cfg.heap_capacity),
+            weights: wmsketch_hashing::FastHashMap::default(),
+            scale: ScaleState::new(),
+            t: 0,
+        }
+    }
+
+    /// The configuration this model was built with.
+    #[must_use]
+    pub fn config(&self) -> &CountMinClassifierConfig {
+        &self.cfg
+    }
+
+    /// Memory cost in bytes under the paper's §7.1 model.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        crate::budget::cm_classifier_bytes(
+            self.cfg.heap_capacity,
+            self.cfg.cm_width as usize * self.cfg.cm_depth as usize,
+        )
+    }
+
+    fn fold_scale(&mut self) {
+        let a = self.scale.fold();
+        for w in self.weights.values_mut() {
+            *w *= a;
+        }
+    }
+}
+
+impl OnlineLearner for CountMinClassifier {
+    fn margin(&self, x: &SparseVector) -> f64 {
+        let acc: f64 = x
+            .iter()
+            .filter_map(|(i, xi)| self.weights.get(&i).map(|w| w * xi))
+            .sum();
+        self.scale.load(acc)
+    }
+
+    fn update(&mut self, x: &SparseVector, y: Label) {
+        debug_check_label(y);
+        self.t += 1;
+        let eta = self.cfg.learning_rate.at(self.t);
+        let tau = self.margin(x);
+        let g = self.cfg.loss.deriv(f64::from(y) * tau) * f64::from(y);
+        if self.scale.decay(eta, self.cfg.lambda) {
+            self.fold_scale();
+        }
+        for (i, xi) in x.iter() {
+            self.cm.update(u64::from(i), 1.0);
+            let est = self.cm.estimate(u64::from(i));
+            if self.freq_heap.contains(&i) {
+                self.freq_heap.insert(i, est);
+            } else if self.freq_heap.len() < self.cfg.heap_capacity {
+                self.freq_heap.insert(i, est);
+                self.weights.insert(i, 0.0);
+            } else if let Some((_, min_freq)) = self.freq_heap.peek_min() {
+                if est > min_freq {
+                    let (evicted, _) = self.freq_heap.pop_min().expect("nonempty");
+                    self.weights.remove(&evicted);
+                    self.freq_heap.insert(i, est);
+                    self.weights.insert(i, 0.0);
+                }
+            }
+            if g != 0.0 {
+                if let Some(w) = self.weights.get_mut(&i) {
+                    *w += self.scale.store(-eta * g * xi);
+                }
+            }
+        }
+    }
+
+    fn examples_seen(&self) -> u64 {
+        self.t
+    }
+}
+
+impl WeightEstimator for CountMinClassifier {
+    fn estimate(&self, feature: u32) -> f64 {
+        self.weights
+            .get(&feature)
+            .map_or(0.0, |&w| self.scale.load(w))
+    }
+}
+
+impl TopKRecovery for CountMinClassifier {
+    fn recover_top_k(&self, k: usize) -> Vec<WeightEntry> {
+        let mut entries: Vec<WeightEntry> = self
+            .weights
+            .iter()
+            .map(|(&feature, &w)| WeightEntry { feature, weight: self.scale.load(w) })
+            .collect();
+        entries.sort_by(|a, b| {
+            b.weight
+                .abs()
+                .partial_cmp(&a.weight.abs())
+                .expect("NaN weight")
+                .then(a.feature.cmp(&b.feature))
+        });
+        entries.truncate(k);
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Stream where discriminative features ARE frequent — the favourable
+    /// case for frequency-based heuristics.
+    fn frequent_discriminative(n: usize) -> impl Iterator<Item = (SparseVector, Label)> {
+        (0..n).map(|t| {
+            let noise = 100 + (t * 7 % 300) as u32;
+            if t % 2 == 0 {
+                (SparseVector::from_pairs(&[(3, 1.0), (noise, 0.5)]), 1)
+            } else {
+                (SparseVector::from_pairs(&[(9, 1.0), (noise, 0.5)]), -1)
+            }
+        })
+    }
+
+    #[test]
+    fn ss_learns_frequent_discriminative_features() {
+        let mut ss = SpaceSavingClassifier::new(SpaceSavingClassifierConfig::new(16).lambda(1e-5));
+        for (x, y) in frequent_discriminative(3000) {
+            ss.update(&x, y);
+        }
+        assert!(ss.estimate(3) > 0.2, "w(3) = {}", ss.estimate(3));
+        assert!(ss.estimate(9) < -0.2, "w(9) = {}", ss.estimate(9));
+    }
+
+    #[test]
+    fn ss_misses_rare_discriminative_features() {
+        // Discriminative features 900/901 appear only every 10th example;
+        // high-frequency class-neutral features swamp a tiny SS summary.
+        let mut ss = SpaceSavingClassifier::new(SpaceSavingClassifierConfig::new(4));
+        for t in 0..2000usize {
+            let common = (t % 8) as u32; // frequent, class-neutral
+            let y: Label = if t % 2 == 0 { 1 } else { -1 };
+            let x = if t % 10 == 0 {
+                let rare = if y == 1 { 900 } else { 901 };
+                SparseVector::from_pairs(&[(common, 1.0), (rare, 1.0)])
+            } else {
+                SparseVector::one_hot(common, 1.0)
+            };
+            ss.update(&x, y);
+        }
+        // The rare-but-predictive features never hold a counter long enough
+        // to learn: their weights stay (near) zero.
+        assert!(ss.estimate(900).abs() < 0.05);
+        assert!(ss.estimate(901).abs() < 0.05);
+    }
+
+    #[test]
+    fn ss_weights_only_for_monitored() {
+        let mut ss = SpaceSavingClassifier::new(SpaceSavingClassifierConfig::new(2));
+        for t in 0..100u32 {
+            ss.update(&SparseVector::one_hot(t % 10, 1.0), 1);
+        }
+        let with_weights = (0..10u32).filter(|&f| ss.estimate(f) != 0.0).count();
+        assert!(with_weights <= 2);
+    }
+
+    #[test]
+    fn cm_learns_frequent_discriminative_features() {
+        let mut cm = CountMinClassifier::new(
+            CountMinClassifierConfig::new(16, 256, 4).lambda(1e-5),
+        );
+        for (x, y) in frequent_discriminative(3000) {
+            cm.update(&x, y);
+        }
+        assert!(cm.estimate(3) > 0.2, "w(3) = {}", cm.estimate(3));
+        assert!(cm.estimate(9) < -0.2, "w(9) = {}", cm.estimate(9));
+    }
+
+    #[test]
+    fn cm_heap_respects_capacity() {
+        let mut cm = CountMinClassifier::new(CountMinClassifierConfig::new(4, 64, 2));
+        for (x, y) in frequent_discriminative(500) {
+            cm.update(&x, y);
+        }
+        assert!(cm.recover_top_k(100).len() <= 4);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let ss = SpaceSavingClassifier::new(SpaceSavingClassifierConfig::with_budget_bytes(8192));
+        assert_eq!(ss.config().capacity, 682);
+        assert!(ss.memory_bytes() <= 8192);
+        let cm = CountMinClassifier::new(CountMinClassifierConfig::with_budget_bytes(8192));
+        assert!(cm.memory_bytes() <= 8192);
+    }
+}

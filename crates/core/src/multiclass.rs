@@ -1,0 +1,250 @@
+//! Multiclass extension (paper §9): one AWM-Sketch per class, prediction
+//! by maximum margin, one-vs-rest training.
+//!
+//! > "Given M output classes, maintain M copies of the WM-Sketch. In order
+//! > to predict the output, we evaluate the output on each copy and return
+//! > the maximum."
+//!
+//! For large `M` the paper notes the one-vs-rest update cost (`O(M)` per
+//! example) is prohibitive and prescribes **noise contrastive
+//! estimation** — "a standard reduction to binary classification" — which
+//! [`MulticlassAwmSketch::update_nce`] implements: the true class's sketch
+//! sees a positive update and only `k` *sampled* noise classes see
+//! negative updates, making the per-example cost `O(k)` independent of
+//! `M`.
+
+use crate::awm::{AwmSketch, AwmSketchConfig};
+use wmsketch_hashing::{fast_range, SplitMix64};
+use wmsketch_learn::{OnlineLearner, SparseVector, TopKRecovery, WeightEntry, WeightEstimator};
+
+/// Configuration for [`MulticlassAwmSketch`].
+#[derive(Debug, Clone, Copy)]
+pub struct MulticlassConfig {
+    /// Number of classes `M`.
+    pub classes: usize,
+    /// Per-class sketch configuration (seeds are offset per class).
+    pub per_class: AwmSketchConfig,
+}
+
+/// One-vs-rest multiclass classifier over `M` AWM-Sketches.
+pub struct MulticlassAwmSketch {
+    sketches: Vec<AwmSketch>,
+    /// RNG stream for NCE noise-class sampling.
+    nce_rng: SplitMix64,
+}
+
+impl std::fmt::Debug for MulticlassAwmSketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MulticlassAwmSketch")
+            .field("classes", &self.sketches.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MulticlassAwmSketch {
+    /// Creates `M` independent per-class sketches.
+    ///
+    /// # Panics
+    /// Panics if `classes < 2`.
+    #[must_use]
+    pub fn new(cfg: MulticlassConfig) -> Self {
+        assert!(cfg.classes >= 2, "multiclass needs at least 2 classes");
+        let sketches = (0..cfg.classes)
+            .map(|c| {
+                let mut per = cfg.per_class;
+                per.seed = cfg.per_class.seed.wrapping_add(c as u64);
+                AwmSketch::new(per)
+            })
+            .collect();
+        Self {
+            sketches,
+            nce_rng: SplitMix64::new(cfg.per_class.seed ^ 0x4E_CE),
+        }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// Per-class margins for `x`.
+    #[must_use]
+    pub fn margins(&self, x: &SparseVector) -> Vec<f64> {
+        self.sketches.iter().map(|s| s.margin(x)).collect()
+    }
+
+    /// The predicted class: argmax of the per-class margins.
+    #[must_use]
+    pub fn predict(&self, x: &SparseVector) -> usize {
+        self.margins(x)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN margin"))
+            .map(|(c, _)| c)
+            .expect("at least 2 classes")
+    }
+
+    /// One-vs-rest update: the true class's sketch sees `(x, +1)`, every
+    /// other sketch sees `(x, −1)`.
+    ///
+    /// # Panics
+    /// Panics if `class` is out of range.
+    pub fn update(&mut self, x: &SparseVector, class: usize) {
+        assert!(class < self.sketches.len(), "class {class} out of range");
+        for (c, sketch) in self.sketches.iter_mut().enumerate() {
+            sketch.update(x, if c == class { 1 } else { -1 });
+        }
+    }
+
+    /// NCE-style update (paper §9, for large `M`): the true class's sketch
+    /// sees `(x, +1)` and `noise_samples` uniformly-sampled *other*
+    /// classes see `(x, −1)` — `O(noise_samples)` instead of `O(M)` work.
+    ///
+    /// # Panics
+    /// Panics if `class` is out of range.
+    pub fn update_nce(&mut self, x: &SparseVector, class: usize, noise_samples: usize) {
+        let m = self.sketches.len();
+        assert!(class < m, "class {class} out of range");
+        self.sketches[class].update(x, 1);
+        for _ in 0..noise_samples {
+            // Rejection-free sample over the other M−1 classes.
+            let r = fast_range(self.nce_rng.next_u64(), (m - 1) as u64) as usize;
+            let noise = if r >= class { r + 1 } else { r };
+            self.sketches[noise].update(x, -1);
+        }
+    }
+
+    /// The estimated weight of `feature` in `class`'s model.
+    #[must_use]
+    pub fn estimate(&self, class: usize, feature: u32) -> f64 {
+        self.sketches[class].estimate(feature)
+    }
+
+    /// Top-K features for one class.
+    #[must_use]
+    pub fn recover_top_k(&self, class: usize, k: usize) -> Vec<WeightEntry> {
+        self.sketches[class].recover_top_k(k)
+    }
+
+    /// Total memory cost in bytes (M independent sketches).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.sketches.iter().map(AwmSketch::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MulticlassConfig {
+        MulticlassConfig {
+            classes: 3,
+            per_class: AwmSketchConfig::new(16, 128).lambda(1e-5).seed(7),
+        }
+    }
+
+    fn class_stream(n: usize) -> impl Iterator<Item = (SparseVector, usize)> {
+        // Class c is signalled by feature 10+c plus shared noise.
+        (0..n).map(|t| {
+            let c = t % 3;
+            let noise = 100 + (t * 11 % 200) as u32;
+            (
+                SparseVector::from_pairs(&[(10 + c as u32, 1.0), (noise, 0.5)]),
+                c,
+            )
+        })
+    }
+
+    #[test]
+    fn learns_three_classes() {
+        let mut mc = MulticlassAwmSketch::new(cfg());
+        for (x, c) in class_stream(3000) {
+            mc.update(&x, c);
+        }
+        for c in 0..3usize {
+            let x = SparseVector::one_hot(10 + c as u32, 1.0);
+            assert_eq!(mc.predict(&x), c, "class {c} misclassified");
+        }
+    }
+
+    #[test]
+    fn per_class_recovery_finds_indicator_features() {
+        let mut mc = MulticlassAwmSketch::new(cfg());
+        for (x, c) in class_stream(3000) {
+            mc.update(&x, c);
+        }
+        for c in 0..3usize {
+            // One-vs-rest models weight the *other* classes' indicators
+            // strongly negative, so look for the most positive weight:
+            // it must be this class's own indicator feature.
+            let top = mc.recover_top_k(c, 16);
+            let best_positive = top
+                .iter()
+                .max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap())
+                .expect("nonempty top-k");
+            assert_eq!(best_positive.feature, 10 + c as u32, "class {c} top = {top:?}");
+            assert!(best_positive.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn memory_scales_with_classes() {
+        let mc = MulticlassAwmSketch::new(cfg());
+        let single = AwmSketch::new(cfg().per_class).memory_bytes();
+        assert_eq!(mc.memory_bytes(), 3 * single);
+    }
+
+    #[test]
+    fn nce_training_learns_many_classes_cheaply() {
+        // 10 classes, only 3 noise updates per example — cost O(4) not
+        // O(10) — must still separate the classes.
+        let mut mc = MulticlassAwmSketch::new(MulticlassConfig {
+            classes: 10,
+            per_class: AwmSketchConfig::new(16, 128).lambda(1e-5).seed(11),
+        });
+        for t in 0..8000usize {
+            let c = t % 10;
+            let noise = 100 + (t * 13 % 200) as u32;
+            let x = SparseVector::from_pairs(&[(10 + c as u32, 1.0), (noise, 0.5)]);
+            mc.update_nce(&x, c, 3);
+        }
+        let correct = (0..10usize)
+            .filter(|&c| mc.predict(&SparseVector::one_hot(10 + c as u32, 1.0)) == c)
+            .count();
+        assert!(correct >= 9, "only {correct}/10 classes separated");
+    }
+
+    #[test]
+    fn nce_never_updates_true_class_negatively() {
+        // With 2 classes and k=1, the noise class is always "the other
+        // one"; the true class's indicator weight must end positive in its
+        // own model and negative in the other.
+        let mut mc = MulticlassAwmSketch::new(MulticlassConfig {
+            classes: 2,
+            per_class: AwmSketchConfig::new(8, 64).lambda(1e-5).seed(3),
+        });
+        for _ in 0..300 {
+            mc.update_nce(&SparseVector::one_hot(5, 1.0), 0, 1);
+        }
+        assert!(mc.estimate(0, 5) > 0.0);
+        assert!(mc.estimate(1, 5) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 classes")]
+    fn rejects_single_class() {
+        let _ = MulticlassAwmSketch::new(MulticlassConfig {
+            classes: 1,
+            per_class: AwmSketchConfig::new(4, 16),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_class() {
+        let mut mc = MulticlassAwmSketch::new(cfg());
+        mc.update(&SparseVector::one_hot(1, 1.0), 5);
+    }
+}

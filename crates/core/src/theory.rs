@@ -1,0 +1,194 @@
+//! Theory-driven parameter selection — Theorems 1 and 2 of the paper.
+//!
+//! Theorem 1 (batch): for feature dimension `d`, failure probability `δ`,
+//! a β-strongly-smooth loss, inputs with `‖x‖₁ ≤ γ`, and `ℓ2` strength
+//! `λ`, choosing
+//!
+//! ```text
+//! k = (C₁/ε⁴)·log³(d/δ)·max{1, β²γ⁴/λ²}      (total sketch cells)
+//! s = (C₂/ε²)·log²(d/δ)·max{1, βγ²/λ}        (sketch depth)
+//! ```
+//!
+//! gives `‖w* − w_est‖∞ ≤ ε·‖w*‖₁` with probability `1 − δ`. Theorem 2
+//! extends the guarantee to single-pass online updates over
+//! randomly-ordered streams with the same `k`/`s` scaling, given a minimum
+//! stream length `T`.
+//!
+//! The constants `C₁, C₂` are not given explicitly by the analysis (they
+//! absorb the JL and Count-Sketch constants); we expose them as inputs
+//! with defaults of 1, which matches how practitioners use such bounds —
+//! as *scaling laws* for how much to grow the sketch when ε, δ, d, or λ
+//! change. The paper's own experiments likewise pick sizes empirically
+//! (Table 2) rather than from the constants.
+
+/// Problem parameters for the recovery guarantee.
+#[derive(Debug, Clone, Copy)]
+pub struct GuaranteeParams {
+    /// Target per-weight error `ε` (error bound is `ε‖w*‖₁`).
+    pub epsilon: f64,
+    /// Failure probability `δ`.
+    pub delta: f64,
+    /// Feature dimension `d`.
+    pub dim: u64,
+    /// Smoothness constant β of the loss (1 for logistic / squared).
+    pub beta: f64,
+    /// Bound `γ ≥ max_t ‖x_t‖₁` on input ℓ1 norms.
+    pub gamma: f64,
+    /// `ℓ2` regularization strength λ.
+    pub lambda: f64,
+    /// Scaling constant `C₁` for the size bound (default 1).
+    pub c1: f64,
+    /// Scaling constant `C₂` for the depth bound (default 1).
+    pub c2: f64,
+}
+
+impl GuaranteeParams {
+    /// Parameters for a normalized logistic-regression workload
+    /// (`β = γ = 1`, the paper's "simpler expressions" setting).
+    #[must_use]
+    pub fn normalized_logistic(epsilon: f64, delta: f64, dim: u64, lambda: f64) -> Self {
+        Self { epsilon, delta, dim, beta: 1.0, gamma: 1.0, lambda, c1: 1.0, c2: 1.0 }
+    }
+
+    fn log_d_delta(&self) -> f64 {
+        (self.dim as f64 / self.delta).ln().max(1.0)
+    }
+
+    /// Theorem 1's total sketch size `k` (number of cells).
+    ///
+    /// # Panics
+    /// Panics if `ε`, `δ`, or `λ` are not in `(0, 1]`/positive.
+    #[must_use]
+    pub fn sketch_size(&self) -> u64 {
+        self.validate();
+        let l = self.log_d_delta();
+        let cond = (self.beta * self.beta * self.gamma.powi(4) / (self.lambda * self.lambda))
+            .max(1.0);
+        (self.c1 / self.epsilon.powi(4) * l.powi(3) * cond).ceil() as u64
+    }
+
+    /// Theorem 1's sketch depth `s` (number of rows).
+    #[must_use]
+    pub fn sketch_depth(&self) -> u64 {
+        self.validate();
+        let l = self.log_d_delta();
+        let cond = (self.beta * self.gamma * self.gamma / self.lambda).max(1.0);
+        (self.c2 / (self.epsilon * self.epsilon) * l * l * cond).ceil() as u64
+    }
+
+    /// Row width `k/s` implied by the two bounds (at least 1).
+    #[must_use]
+    pub fn sketch_width(&self) -> u64 {
+        (self.sketch_size() / self.sketch_depth().max(1)).max(1)
+    }
+
+    /// Theorem 2's minimum stream length `T` for the online guarantee,
+    /// given bounds `D₂ ≥ ‖w*‖₂`, `D₁ ≥ ‖w*‖₁`, and derivative bound `H`.
+    ///
+    /// `T ≥ (C₃/ε⁴)·ζ·log²(d/δ)·max{1, βγ²/λ}` with
+    /// `ζ = (1/λ²)(D₂/‖w*‖₁)²(G + (1+γ)H)²` and `G ≤ H(1+γ) + λD`,
+    /// `D = D₂ + εD₁`.
+    #[must_use]
+    pub fn online_min_stream_length(&self, d2: f64, d1: f64, h: f64, w_star_l1: f64) -> u64 {
+        self.validate();
+        assert!(w_star_l1 > 0.0, "w* l1 norm must be positive");
+        let l = self.log_d_delta();
+        let dd = d2 + self.epsilon * d1;
+        let g = h * (1.0 + self.gamma) + self.lambda * dd;
+        let zeta = (1.0 / (self.lambda * self.lambda))
+            * (d2 / w_star_l1).powi(2)
+            * (g + (1.0 + self.gamma) * h).powi(2);
+        let cond = (self.beta * self.gamma * self.gamma / self.lambda).max(1.0);
+        (zeta / self.epsilon.powi(4) * l * l * cond).ceil() as u64
+    }
+
+    /// Memory (bytes, 4 B/cell) the Theorem-1 sketch would occupy —
+    /// useful for sanity-checking that a guarantee is affordable.
+    #[must_use]
+    pub fn sketch_bytes(&self) -> u64 {
+        self.sketch_size() * crate::budget::BYTES_PER_UNIT as u64
+    }
+
+    fn validate(&self) {
+        assert!(self.epsilon > 0.0 && self.epsilon <= 1.0, "epsilon in (0,1]");
+        assert!(self.delta > 0.0 && self.delta < 1.0, "delta in (0,1)");
+        assert!(self.lambda > 0.0, "lambda must be positive");
+        assert!(self.beta > 0.0 && self.gamma > 0.0, "beta/gamma positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> GuaranteeParams {
+        GuaranteeParams::normalized_logistic(0.5, 0.1, 1 << 20, 1.0)
+    }
+
+    #[test]
+    fn size_scales_as_eps_to_minus_4() {
+        let p1 = GuaranteeParams { epsilon: 0.5, ..base() };
+        let p2 = GuaranteeParams { epsilon: 0.25, ..base() };
+        let ratio = p2.sketch_size() as f64 / p1.sketch_size() as f64;
+        assert!((ratio - 16.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn depth_scales_as_eps_to_minus_2() {
+        let p1 = GuaranteeParams { epsilon: 0.5, ..base() };
+        let p2 = GuaranteeParams { epsilon: 0.25, ..base() };
+        let ratio = p2.sketch_depth() as f64 / p1.sketch_depth() as f64;
+        assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn size_is_polylog_in_dimension() {
+        // Doubling d many times must grow k only polylogarithmically:
+        // going from 2^20 to 2^40 multiplies log(d/δ) by < 2, so k grows
+        // by < 8 (cubed) — *sub-linear* in d by an enormous margin.
+        let p_small = GuaranteeParams { dim: 1 << 20, ..base() };
+        let p_large = GuaranteeParams { dim: 1 << 40, ..base() };
+        let growth = p_large.sketch_size() as f64 / p_small.sketch_size() as f64;
+        assert!(growth < 8.0, "growth {growth}");
+        assert!(growth > 1.0);
+    }
+
+    #[test]
+    fn weak_regularization_inflates_requirements() {
+        let strong = GuaranteeParams { lambda: 1.0, ..base() };
+        let weak = GuaranteeParams { lambda: 0.01, ..base() };
+        // k scales with 1/λ² (for λ < βγ²), s with 1/λ.
+        assert!(weak.sketch_size() > 5000 * strong.sketch_size() / 1000);
+        assert!(weak.sketch_depth() > strong.sketch_depth());
+    }
+
+    #[test]
+    fn width_times_depth_consistent() {
+        let p = base();
+        assert!(p.sketch_width() * p.sketch_depth() <= p.sketch_size());
+        assert_eq!(p.sketch_bytes(), p.sketch_size() * 4);
+    }
+
+    #[test]
+    fn online_length_scales_with_inverse_lambda_squared() {
+        let p1 = GuaranteeParams { lambda: 1.0, ..base() };
+        let p2 = GuaranteeParams { lambda: 0.5, ..base() };
+        let t1 = p1.online_min_stream_length(1.0, 4.0, 1.0, 4.0);
+        let t2 = p2.online_min_stream_length(1.0, 4.0, 1.0, 4.0);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon in (0,1]")]
+    fn rejects_bad_epsilon() {
+        let p = GuaranteeParams { epsilon: 0.0, ..base() };
+        let _ = p.sketch_size();
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn rejects_bad_lambda() {
+        let p = GuaranteeParams { lambda: 0.0, ..base() };
+        let _ = p.sketch_depth();
+    }
+}

@@ -1,0 +1,429 @@
+//! The Weight-Median Sketch — Algorithm 1 of the paper.
+//!
+//! A Count-Sketch-shaped array `z ∈ R^{s × k/s}` holds a compressed linear
+//! classifier. Each update performs online gradient descent *in sketch
+//! space* on the compressed objective
+//! `L̂_t(z) = ℓ(y_t·zᵀRx_t) + (λ/2)‖z‖₂²`, where `R = A/√s` is the scaled
+//! Count-Sketch projection:
+//!
+//! ```text
+//! τ ← zᵀRx                     (prediction)
+//! z ← (1 − λη_t)·z − η_t·y·ℓ'(yτ)·Rx
+//! ```
+//!
+//! Queries recover individual weights by Count-Sketch estimation on `√s·z`:
+//! `ŵ_i = median_j(√s·σ_j(i)·z[j, h_j(i)])`. Theorem 1/2 guarantee
+//! `|ŵ_i − w*_i| ≤ ε‖w*‖₁` for `k = Õ(ε⁻⁴)`, `s = Õ(ε⁻²)`.
+//!
+//! The `(1 − λη_t)` decay uses the global-scale trick (§5.1), so an update
+//! costs `O(s·nnz(x))` rather than `O(k)`. A passive top-K heap tracks the
+//! heaviest estimated weights for `O(1)`-time retrieval, as in the
+//! reference implementation.
+
+use wmsketch_hashing::{HashFamilyKind, RowHashers};
+use wmsketch_learn::{
+    debug_check_label, Label, LearningRate, Loss, LossKind, OnlineLearner, ScaleState,
+    SparseVector, TopKRecovery, WeightEntry, WeightEstimator,
+};
+use wmsketch_sketch::median_inplace;
+
+/// Configuration for [`WmSketch`].
+#[derive(Debug, Clone, Copy)]
+pub struct WmSketchConfig {
+    /// Buckets per row (`k/s` in the paper). The total sketch size is
+    /// `width × depth`.
+    pub width: u32,
+    /// Number of rows `s`.
+    pub depth: u32,
+    /// Capacity of the passive top-K heap (`|S|`); 0 disables the heap
+    /// (recovery then requires scanning a candidate domain).
+    pub heap_capacity: usize,
+    /// `ℓ2` regularization strength λ.
+    pub lambda: f64,
+    /// Learning-rate schedule (paper default `0.1/√t`).
+    pub learning_rate: LearningRate,
+    /// Loss function (paper default logistic).
+    pub loss: LossKind,
+    /// Hash family for the projection (paper default: tabulation).
+    pub hash_family: HashFamilyKind,
+    /// Seed for all hash functions.
+    pub seed: u64,
+}
+
+impl WmSketchConfig {
+    /// A `width × depth` sketch with a 128-entry heap and paper-default
+    /// hyperparameters.
+    #[must_use]
+    pub fn new(width: u32, depth: u32) -> Self {
+        Self {
+            width,
+            depth,
+            heap_capacity: 128,
+            lambda: 1e-6,
+            learning_rate: LearningRate::default(),
+            loss: LossKind::Logistic,
+            hash_family: HashFamilyKind::Tabulation,
+            seed: 0,
+        }
+    }
+
+    /// The best-performing shape for a byte budget per the paper's Table 2
+    /// sweeps for the *basic* WM-Sketch: a 128-entry heap, width 128, and
+    /// all remaining budget spent on depth.
+    #[must_use]
+    pub fn with_budget_bytes(budget: usize) -> Self {
+        let heap = 128usize;
+        let heap_bytes = heap * 2 * crate::budget::BYTES_PER_UNIT;
+        let cells = budget.saturating_sub(heap_bytes) / crate::budget::BYTES_PER_UNIT;
+        let width = 128u32;
+        let depth = (cells as u32 / width).max(1);
+        let mut cfg = Self::new(width, depth);
+        cfg.heap_capacity = heap;
+        cfg
+    }
+
+    /// Sets the heap capacity.
+    #[must_use]
+    pub fn heap_capacity(mut self, cap: usize) -> Self {
+        self.heap_capacity = cap;
+        self
+    }
+
+    /// Sets λ.
+    #[must_use]
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the learning-rate schedule.
+    #[must_use]
+    pub fn learning_rate(mut self, lr: LearningRate) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Sets the loss.
+    #[must_use]
+    pub fn loss(mut self, loss: LossKind) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the hash family.
+    #[must_use]
+    pub fn hash_family(mut self, kind: HashFamilyKind) -> Self {
+        self.hash_family = kind;
+        self
+    }
+
+    /// Sets the hash seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Memory cost in bytes under the paper's §7.1 model.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        crate::budget::wm_bytes(self.heap_capacity, self.width as usize * self.depth as usize)
+    }
+}
+
+/// The Weight-Median Sketch (see module docs).
+pub struct WmSketch {
+    cfg: WmSketchConfig,
+    hashers: RowHashers,
+    /// Row-major `depth × width` pre-scale sketch cells; logical `z = α·z_v`.
+    z: Vec<f64>,
+    scale: ScaleState,
+    /// `1/√s`, the projection scaling of `R = A/√s`.
+    inv_sqrt_s: f64,
+    /// `√s`, the query-side rescaling.
+    sqrt_s: f64,
+    heap: Option<wmsketch_hh::TopKWeights>,
+    t: u64,
+}
+
+impl std::fmt::Debug for WmSketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WmSketch")
+            .field("width", &self.cfg.width)
+            .field("depth", &self.cfg.depth)
+            .field("t", &self.t)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WmSketch {
+    /// Creates a zero-initialized WM-Sketch.
+    ///
+    /// # Panics
+    /// Panics if `width == 0` or `depth == 0`.
+    #[must_use]
+    pub fn new(cfg: WmSketchConfig) -> Self {
+        let hashers = RowHashers::new(cfg.hash_family, cfg.depth, cfg.width, cfg.seed);
+        let s = f64::from(cfg.depth);
+        Self {
+            cfg,
+            hashers,
+            z: vec![0.0; cfg.depth as usize * cfg.width as usize],
+            scale: ScaleState::new(),
+            inv_sqrt_s: 1.0 / s.sqrt(),
+            sqrt_s: s.sqrt(),
+            heap: (cfg.heap_capacity > 0).then(|| wmsketch_hh::TopKWeights::new(cfg.heap_capacity)),
+            t: 0,
+        }
+    }
+
+    /// The configuration this sketch was built with.
+    #[must_use]
+    pub fn config(&self) -> &WmSketchConfig {
+        &self.cfg
+    }
+
+    /// Memory cost in bytes under the paper's §7.1 model.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.cfg.memory_bytes()
+    }
+
+    /// The estimated weight of `feature` via Count-Sketch median recovery
+    /// (pre-scale; multiply by α for the logical value).
+    fn query_stored(&self, feature: u32) -> f64 {
+        let key = u64::from(feature);
+        let width = self.cfg.width as usize;
+        let depth = self.cfg.depth as usize;
+        let mut buf = [0.0f64; 64];
+        let mut spill;
+        let vals: &mut [f64] = if depth <= 64 {
+            for (j, bs) in self.hashers.bucket_signs(key) {
+                buf[j] = self.sqrt_s * bs.sign * self.z[j * width + bs.bucket as usize];
+            }
+            &mut buf[..depth]
+        } else {
+            spill = vec![0.0; depth];
+            for (j, bs) in self.hashers.bucket_signs(key) {
+                spill[j] = self.sqrt_s * bs.sign * self.z[j * width + bs.bucket as usize];
+            }
+            &mut spill
+        };
+        median_inplace(vals)
+    }
+
+    fn fold_scale(&mut self) {
+        let a = self.scale.fold();
+        for v in &mut self.z {
+            *v *= a;
+        }
+    }
+
+    /// Pre-scale margin contribution `z_vᵀRx`.
+    fn raw_margin(&self, x: &SparseVector) -> f64 {
+        let width = self.cfg.width as usize;
+        let mut acc = 0.0;
+        for (i, xi) in x.iter() {
+            let mut proj = 0.0;
+            for (j, bs) in self.hashers.bucket_signs(u64::from(i)) {
+                proj += bs.sign * self.z[j * width + bs.bucket as usize];
+            }
+            acc += xi * proj;
+        }
+        acc * self.inv_sqrt_s
+    }
+}
+
+impl OnlineLearner for WmSketch {
+    fn margin(&self, x: &SparseVector) -> f64 {
+        self.scale.load(self.raw_margin(x))
+    }
+
+    fn update(&mut self, x: &SparseVector, y: Label) {
+        debug_check_label(y);
+        self.t += 1;
+        let eta = self.cfg.learning_rate.at(self.t);
+        let tau = self.margin(x);
+        let g = self.cfg.loss.deriv(f64::from(y) * tau) * f64::from(y);
+        if self.scale.decay(eta, self.cfg.lambda) {
+            self.fold_scale();
+        }
+        if g != 0.0 {
+            let width = self.cfg.width as usize;
+            for (i, xi) in x.iter() {
+                let delta = self.scale.store(-eta * g * xi * self.inv_sqrt_s);
+                for (j, bs) in self.hashers.bucket_signs(u64::from(i)) {
+                    self.z[j * width + bs.bucket as usize] += bs.sign * delta;
+                }
+                if self.heap.is_some() {
+                    // Passive heap maintenance: re-estimate the feature
+                    // just touched and offer it (borrow split: estimate
+                    // first, then mutate the heap).
+                    let est = self.query_stored(i);
+                    if let Some(heap) = &mut self.heap {
+                        heap.offer(i, est);
+                    }
+                }
+            }
+        }
+    }
+
+    fn examples_seen(&self) -> u64 {
+        self.t
+    }
+}
+
+impl WeightEstimator for WmSketch {
+    fn estimate(&self, feature: u32) -> f64 {
+        self.scale.load(self.query_stored(feature))
+    }
+}
+
+impl TopKRecovery for WmSketch {
+    /// Top-K from the passive heap, with each weight re-estimated from the
+    /// sketch at query time (the heap's stored values can be stale: later
+    /// collisions change a feature's median estimate).
+    fn recover_top_k(&self, k: usize) -> Vec<WeightEntry> {
+        let Some(heap) = &self.heap else {
+            return Vec::new();
+        };
+        let mut entries: Vec<WeightEntry> = heap
+            .iter()
+            .map(|e| WeightEntry { feature: e.feature, weight: self.estimate(e.feature) })
+            .collect();
+        entries.sort_by(|a, b| {
+            b.weight
+                .abs()
+                .partial_cmp(&a.weight.abs())
+                .expect("NaN weight")
+                .then(a.feature.cmp(&b.feature))
+        });
+        entries.truncate(k);
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planted_stream(n: usize) -> impl Iterator<Item = (SparseVector, Label)> {
+        // Features 3 and 9 are discriminative; tail features 100.. are noise.
+        (0..n).map(|t| {
+            let noise = 100 + (t * 17 % 400) as u32;
+            if t % 2 == 0 {
+                (SparseVector::from_pairs(&[(3, 1.0), (noise, 0.5)]), 1)
+            } else {
+                (SparseVector::from_pairs(&[(9, 1.0), (noise, 0.5)]), -1)
+            }
+        })
+    }
+
+    #[test]
+    fn recovers_planted_discriminative_features() {
+        let mut wm = WmSketch::new(WmSketchConfig::new(256, 4).lambda(1e-5).seed(3));
+        for (x, y) in planted_stream(4000) {
+            wm.update(&x, y);
+        }
+        assert!(wm.estimate(3) > 0.2, "w(3) = {}", wm.estimate(3));
+        assert!(wm.estimate(9) < -0.2, "w(9) = {}", wm.estimate(9));
+        let top: Vec<u32> = wm.recover_top_k(2).iter().map(|e| e.feature).collect();
+        assert!(top.contains(&3) && top.contains(&9), "top = {top:?}");
+    }
+
+    #[test]
+    fn classification_works_through_sketch() {
+        let mut wm = WmSketch::new(WmSketchConfig::new(128, 2).seed(5));
+        for (x, y) in planted_stream(2000) {
+            wm.update(&x, y);
+        }
+        assert_eq!(wm.predict(&SparseVector::one_hot(3, 1.0)), 1);
+        assert_eq!(wm.predict(&SparseVector::one_hot(9, 1.0)), -1);
+    }
+
+    #[test]
+    fn matches_dense_ogd_when_projection_is_lossless() {
+        // With width ≫ number of active features and depth 1, collisions are
+        // (almost surely) absent and the sketch should track dense OGD
+        // exactly: the Count-Sketch projection restricted to the active
+        // features is then an isometry (a signed permutation).
+        use wmsketch_learn::{LogisticRegression, LogisticRegressionConfig};
+        let mut wm = WmSketch::new(
+            WmSketchConfig::new(4096, 1).lambda(1e-4).seed(11),
+        );
+        let mut lr = LogisticRegression::new(
+            LogisticRegressionConfig::new(16).lambda(1e-4).track_top_k(0),
+        );
+        let stream: Vec<(SparseVector, Label)> = (0..500)
+            .map(|t| {
+                let f = (t % 8) as u32;
+                let y: Label = if f < 4 { 1 } else { -1 };
+                (SparseVector::from_pairs(&[(f, 1.0), (8 + f, 0.25)]), y)
+            })
+            .collect();
+        // Verify no collisions among the 16 active features for this seed.
+        let hasher = RowHashers::new(HashFamilyKind::Tabulation, 1, 4096, 11);
+        let buckets: std::collections::HashSet<u32> =
+            (0..16u64).map(|i| hasher.row(0).bucket_sign(i).bucket).collect();
+        assert_eq!(buckets.len(), 16, "collision in test setup; change seed");
+        for (x, y) in &stream {
+            wm.update(x, *y);
+            lr.update(x, *y);
+        }
+        for f in 0..16u32 {
+            assert!(
+                (wm.estimate(f) - lr.weight(f)).abs() < 1e-9,
+                "feature {f}: wm {} vs dense {}",
+                wm.estimate(f),
+                lr.weight(f)
+            );
+        }
+    }
+
+    #[test]
+    fn unseen_features_estimate_near_zero_on_empty_sketch() {
+        let wm = WmSketch::new(WmSketchConfig::new(64, 3));
+        for f in 0..50u32 {
+            assert_eq!(wm.estimate(f), 0.0);
+        }
+    }
+
+    #[test]
+    fn heap_disabled_returns_empty_top_k() {
+        let mut wm = WmSketch::new(WmSketchConfig::new(64, 2).heap_capacity(0));
+        for (x, y) in planted_stream(100) {
+            wm.update(&x, y);
+        }
+        assert!(wm.recover_top_k(5).is_empty());
+        // But point estimation still works.
+        assert!(wm.estimate(3).abs() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut wm = WmSketch::new(WmSketchConfig::new(128, 2).seed(9));
+            for (x, y) in planted_stream(500) {
+                wm.update(&x, y);
+            }
+            (0..20u32).map(|f| wm.estimate(f)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn memory_accounting_matches_budget_helper() {
+        let cfg = WmSketchConfig::new(128, 14).heap_capacity(128);
+        // Table 2's 8 KB WM row: |S|=128, width 128, depth 14.
+        assert_eq!(cfg.memory_bytes(), 128 * 8 + 128 * 14 * 4);
+        assert!(cfg.memory_bytes() <= 8 * 1024);
+    }
+
+    #[test]
+    fn with_budget_bytes_fits_budget() {
+        for budget in [2048usize, 4096, 8192, 16384, 32768] {
+            let cfg = WmSketchConfig::with_budget_bytes(budget);
+            assert!(cfg.memory_bytes() <= budget, "budget {budget}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Synthetic token streams with planted collocations, standing in for the
+//! billion-word newswire corpus of §8.3.
+//!
+//! Tokens are drawn from a Zipfian vocabulary (token id = frequency rank).
+//! A set of planted *collocation pairs* `(u, v)` occasionally fires as an
+//! adjacent bigram: because `u` and `v` individually sit in the mid-tail,
+//! their joint probability vastly exceeds the independence baseline
+//! `p(u)p(v)`, giving them large positive PMI — the "prime minister" /
+//! "los angeles" structure Table 3 recovers. Frequent-token pairs like
+//! ", the" co-occur often but have PMI ≈ 0, reproducing the paper's
+//! contrast between frequent and informative pairs.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Configuration for [`CorpusGen`].
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusConfig {
+    /// Vocabulary size.
+    pub vocab: u32,
+    /// Zipf exponent of the unigram distribution.
+    pub zipf_s: f64,
+    /// Number of planted collocation pairs.
+    pub n_collocations: usize,
+    /// Probability that the next emission is a planted collocation
+    /// (two tokens) instead of a single unigram draw.
+    pub collocation_rate: f64,
+    /// First token rank (0-based) used for collocation members; members
+    /// are taken from the mid-tail starting here.
+    pub collocation_base: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            vocab: 1 << 16,
+            zipf_s: 1.05,
+            n_collocations: 64,
+            collocation_rate: 0.01,
+            collocation_base: 1000,
+            seed: 0,
+        }
+    }
+}
+
+/// Generator of a token stream with planted collocations (see module
+/// docs).
+#[derive(Debug)]
+pub struct CorpusGen {
+    cfg: CorpusConfig,
+    zipf: Zipf,
+    rng: StdRng,
+    /// Planted pairs `(u, v)`.
+    collocations: Vec<(u32, u32)>,
+    /// Pending second token of a fired collocation.
+    pending: Option<u32>,
+}
+
+impl CorpusGen {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    /// Panics if the collocation region exceeds the vocabulary.
+    #[must_use]
+    pub fn new(cfg: CorpusConfig) -> Self {
+        let needed = u64::from(cfg.collocation_base) + 2 * cfg.n_collocations as u64;
+        assert!(
+            needed <= u64::from(cfg.vocab),
+            "collocation region exceeds vocabulary"
+        );
+        let collocations: Vec<(u32, u32)> = (0..cfg.n_collocations as u32)
+            .map(|j| {
+                (
+                    cfg.collocation_base + 2 * j,
+                    cfg.collocation_base + 2 * j + 1,
+                )
+            })
+            .collect();
+        Self {
+            zipf: Zipf::new(u64::from(cfg.vocab), cfg.zipf_s),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            collocations,
+            pending: None,
+            cfg,
+        }
+    }
+
+    /// The configuration this generator was built with.
+    #[must_use]
+    pub fn config(&self) -> &CorpusConfig {
+        &self.cfg
+    }
+
+    /// The planted collocation pairs.
+    #[must_use]
+    pub fn collocations(&self) -> &[(u32, u32)] {
+        &self.collocations
+    }
+
+    /// Whether `(u, v)` is a planted collocation.
+    #[must_use]
+    pub fn is_collocation(&self, u: u32, v: u32) -> bool {
+        v == u + 1
+            && u >= self.cfg.collocation_base
+            && (u - self.cfg.collocation_base).is_multiple_of(2)
+            && ((u - self.cfg.collocation_base) / 2) < self.cfg.n_collocations as u32
+    }
+
+    /// Draws the next token.
+    pub fn next_token(&mut self) -> u32 {
+        if let Some(v) = self.pending.take() {
+            return v;
+        }
+        if self.rng.random::<f64>() < self.cfg.collocation_rate {
+            let j = self.rng.random_range(0..self.collocations.len());
+            let (u, v) = self.collocations[j];
+            self.pending = Some(v);
+            return u;
+        }
+        (self.zipf.sample(&mut self.rng) - 1) as u32
+    }
+
+    /// Materializes `n` tokens.
+    #[must_use]
+    pub fn take(&mut self, n: usize) -> Vec<u32> {
+        (0..n).map(|_| self.next_token()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(seed: u64) -> CorpusGen {
+        CorpusGen::new(CorpusConfig {
+            vocab: 4096,
+            zipf_s: 1.05,
+            n_collocations: 8,
+            collocation_rate: 0.02,
+            collocation_base: 100,
+            seed,
+        })
+    }
+
+    #[test]
+    fn tokens_in_vocab() {
+        let mut g = small(1);
+        for t in g.take(10_000) {
+            assert!(t < 4096);
+        }
+    }
+
+    #[test]
+    fn collocations_fire_adjacently() {
+        let mut g = small(2);
+        let tokens = g.take(200_000);
+        // Count adjacent occurrences of the first planted pair.
+        let (u, v) = g.collocations()[0];
+        let adjacent = tokens
+            .windows(2)
+            .filter(|w| w[0] == u && w[1] == v)
+            .count();
+        // Rate 0.02 over 8 pairs → pair 0 fires ≈ 0.0025 of emissions; as
+        // each firing consumes 2 tokens, expect ≳ 150 in 200k tokens.
+        assert!(adjacent > 100, "adjacent firings: {adjacent}");
+    }
+
+    #[test]
+    fn planted_pairs_have_high_empirical_pmi() {
+        let mut g = small(3);
+        let tokens = g.take(400_000);
+        let n = tokens.len() as f64;
+        let mut uni = std::collections::HashMap::new();
+        let mut bi = std::collections::HashMap::new();
+        for w in tokens.windows(2) {
+            *uni.entry(w[0]).or_insert(0.0f64) += 1.0;
+            *bi.entry((w[0], w[1])).or_insert(0.0f64) += 1.0;
+        }
+        *uni.entry(tokens[tokens.len() - 1]).or_insert(0.0) += 1.0;
+        let (u, v) = g.collocations()[0];
+        let p_uv = bi.get(&(u, v)).copied().unwrap_or(0.0) / n;
+        let p_u = uni[&u] / n;
+        let p_v = uni[&v] / n;
+        let pmi = (p_uv / (p_u * p_v)).ln();
+        assert!(pmi > 3.0, "PMI of planted pair = {pmi:.2}");
+        // A frequent pair (top two ranks) should have much lower PMI.
+        if let Some(&c) = bi.get(&(0, 1)) {
+            let pmi_freq = ((c / n) / (uni[&0] / n * uni[&1] / n)).ln();
+            assert!(pmi_freq < pmi - 2.0, "frequent-pair PMI {pmi_freq:.2}");
+        }
+    }
+
+    #[test]
+    fn is_collocation_agrees_with_list() {
+        let g = small(4);
+        for &(u, v) in g.collocations() {
+            assert!(g.is_collocation(u, v));
+        }
+        assert!(!g.is_collocation(0, 1));
+        assert!(!g.is_collocation(101, 102)); // (100,101) is planted; (101,102) is not
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(small(5).take(100), small(5).take(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds vocabulary")]
+    fn oversized_collocation_region_panics() {
+        let _ = CorpusGen::new(CorpusConfig {
+            vocab: 16,
+            collocation_base: 10,
+            n_collocations: 10,
+            ..CorpusConfig::default()
+        });
+    }
+}

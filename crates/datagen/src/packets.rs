@@ -1,0 +1,225 @@
+//! Synthetic paired packet streams with planted relative deltoids,
+//! standing in for the CAIDA OC-48 trace of §8.2.
+//!
+//! Two concurrent streams share a Zipfian address population. A planted
+//! *deltoid set* of addresses appears `ratio`× more often in the outbound
+//! stream than the inbound one (implemented by thinning: a deltoid
+//! candidate drawn for the inbound side is kept with probability
+//! `1/ratio`), so the ground-truth occurrence ratio of every address is
+//! known by construction and can also be measured exactly from the emitted
+//! events.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Which stream an event belongs to (outbound source IPs vs inbound
+/// destination IPs in the paper's setup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamSide {
+    /// The positive-class stream (outbound).
+    Outbound,
+    /// The negative-class stream (inbound).
+    Inbound,
+}
+
+/// One observed packet: an address on one side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketEvent {
+    /// Address identifier (stands in for a 32-bit IP).
+    pub addr: u32,
+    /// Stream side.
+    pub side: StreamSide,
+}
+
+/// Configuration for [`PacketTraceGen`].
+#[derive(Debug, Clone, Copy)]
+pub struct PacketTraceConfig {
+    /// Address population size.
+    pub n_addrs: u32,
+    /// Zipf exponent of address popularity.
+    pub zipf_s: f64,
+    /// Number of planted deltoid addresses.
+    pub n_deltoids: usize,
+    /// Outbound:inbound occurrence ratio of deltoid addresses (> 1).
+    pub ratio: f64,
+    /// Deltoid placement stride: deltoids are ranks `stride, 2·stride, …`
+    /// so they span the popularity spectrum.
+    pub stride: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PacketTraceConfig {
+    fn default() -> Self {
+        Self {
+            n_addrs: 1 << 17,
+            zipf_s: 1.05,
+            n_deltoids: 256,
+            ratio: 256.0,
+            stride: 37,
+            seed: 0,
+        }
+    }
+}
+
+/// Generator of paired packet streams (see module docs).
+#[derive(Debug)]
+pub struct PacketTraceGen {
+    cfg: PacketTraceConfig,
+    zipf: Zipf,
+    rng: StdRng,
+    /// Sorted deltoid address ids.
+    deltoids: Vec<u32>,
+}
+
+impl PacketTraceGen {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    /// Panics if `ratio <= 1` or the deltoid set does not fit the
+    /// population.
+    #[must_use]
+    pub fn new(cfg: PacketTraceConfig) -> Self {
+        assert!(cfg.ratio > 1.0, "deltoid ratio must exceed 1");
+        assert!(
+            (cfg.n_deltoids as u64) * u64::from(cfg.stride) < u64::from(cfg.n_addrs),
+            "deltoid set exceeds address population"
+        );
+        let deltoids: Vec<u32> = (1..=cfg.n_deltoids as u32).map(|j| j * cfg.stride).collect();
+        Self {
+            zipf: Zipf::new(u64::from(cfg.n_addrs), cfg.zipf_s),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            deltoids,
+            cfg,
+        }
+    }
+
+    /// The configuration this generator was built with.
+    #[must_use]
+    pub fn config(&self) -> &PacketTraceConfig {
+        &self.cfg
+    }
+
+    /// The planted deltoid addresses (sorted ascending).
+    #[must_use]
+    pub fn deltoids(&self) -> &[u32] {
+        &self.deltoids
+    }
+
+    /// Whether `addr` is a planted deltoid.
+    #[must_use]
+    pub fn is_deltoid(&self, addr: u32) -> bool {
+        self.deltoids.binary_search(&addr).is_ok()
+    }
+
+    /// Draws the next packet event.
+    pub fn next_event(&mut self) -> PacketEvent {
+        loop {
+            let side = if self.rng.random::<bool>() {
+                StreamSide::Outbound
+            } else {
+                StreamSide::Inbound
+            };
+            let addr = (self.zipf.sample(&mut self.rng) - 1) as u32;
+            if side == StreamSide::Inbound
+                && self.is_deltoid(addr)
+                && self.rng.random::<f64>() >= 1.0 / self.cfg.ratio
+            {
+                // Thin deltoids out of the inbound stream.
+                continue;
+            }
+            return PacketEvent { addr, side };
+        }
+    }
+
+    /// Materializes `n` events.
+    #[must_use]
+    pub fn take(&mut self, n: usize) -> Vec<PacketEvent> {
+        (0..n).map(|_| self.next_event()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PacketTraceGen {
+        PacketTraceGen::new(PacketTraceConfig {
+            n_addrs: 4096,
+            zipf_s: 1.05,
+            n_deltoids: 16,
+            ratio: 16.0,
+            stride: 5,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn events_are_in_range() {
+        let mut g = small();
+        for _ in 0..1000 {
+            let e = g.next_event();
+            assert!(e.addr < 4096);
+        }
+    }
+
+    #[test]
+    fn deltoids_skew_to_outbound() {
+        let mut g = small();
+        let mut out = 0u32;
+        let mut inb = 0u32;
+        for e in g.take(400_000) {
+            if g_is_deltoid_static(&g, e.addr) {
+                match e.side {
+                    StreamSide::Outbound => out += 1,
+                    StreamSide::Inbound => inb += 1,
+                }
+            }
+        }
+        assert!(inb > 0, "need some inbound deltoid mass to form a ratio");
+        let ratio = f64::from(out) / f64::from(inb);
+        assert!(
+            ratio > 8.0 && ratio < 32.0,
+            "aggregate deltoid ratio {ratio:.1}, expected ≈16"
+        );
+    }
+
+    fn g_is_deltoid_static(g: &PacketTraceGen, addr: u32) -> bool {
+        g.is_deltoid(addr)
+    }
+
+    #[test]
+    fn non_deltoids_are_balanced() {
+        let mut g = small();
+        let mut out = 0u64;
+        let mut inb = 0u64;
+        for e in g.take(200_000) {
+            if !g.is_deltoid(e.addr) {
+                match e.side {
+                    StreamSide::Outbound => out += 1,
+                    StreamSide::Inbound => inb += 1,
+                }
+            }
+        }
+        let ratio = out as f64 / inb as f64;
+        assert!((ratio - 1.0).abs() < 0.05, "non-deltoid ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small().take(100);
+        let b = small().take(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must exceed 1")]
+    fn unit_ratio_panics() {
+        let _ = PacketTraceGen::new(PacketTraceConfig {
+            ratio: 1.0,
+            ..PacketTraceConfig::default()
+        });
+    }
+}

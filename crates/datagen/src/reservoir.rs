@@ -1,0 +1,137 @@
+//! Uniform reservoir sampling (Vitter's Algorithm R).
+//!
+//! The paper's streaming-PMI estimator (§8.3) approximates sampling from
+//! the unigram distribution by sampling from "a reservoir sample of
+//! tokens"; the Probabilistic Truncation baseline is itself a *weighted*
+//! reservoir (implemented separately in `wmsketch-core`).
+
+use rand::{Rng, RngExt};
+
+/// A fixed-capacity uniform sample over a stream of `T`s.
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    items: Vec<T>,
+    capacity: usize,
+    seen: u64,
+}
+
+impl<T> Reservoir<T> {
+    /// Creates an empty reservoir with the given capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be nonzero");
+        Self { items: Vec::with_capacity(capacity), capacity, seen: 0 }
+    }
+
+    /// Number of stream elements observed so far.
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Number of currently held samples (`min(seen, capacity)`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the reservoir holds no samples yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers one stream element.
+    pub fn offer<R: Rng + ?Sized>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            let j = rng.random_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// Draws one held sample uniformly at random (None while empty).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(&self.items[rng.random_range(0..self.items.len())])
+        }
+    }
+
+    /// The currently held samples.
+    #[must_use]
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn fills_before_replacing() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = Reservoir::new(4);
+        for i in 0..4u32 {
+            r.offer(i, &mut rng);
+        }
+        let mut held: Vec<u32> = r.items().to_vec();
+        held.sort_unstable();
+        assert_eq!(held, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn len_caps_at_capacity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r = Reservoir::new(8);
+        for i in 0..100u32 {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.seen(), 100);
+    }
+
+    #[test]
+    fn inclusion_probability_is_uniform() {
+        // Each of 20 items should appear in a size-5 reservoir with
+        // probability 1/4; average over many trials.
+        let mut inclusions = [0u32; 20];
+        for trial in 0..4000u64 {
+            let mut rng = StdRng::seed_from_u64(trial);
+            let mut r = Reservoir::new(5);
+            for i in 0..20u32 {
+                r.offer(i, &mut rng);
+            }
+            for &i in r.items() {
+                inclusions[i as usize] += 1;
+            }
+        }
+        for (i, &c) in inclusions.iter().enumerate() {
+            let p = f64::from(c) / 4000.0;
+            assert!((p - 0.25).abs() < 0.03, "item {i}: inclusion {p:.3}");
+        }
+    }
+
+    #[test]
+    fn sample_none_when_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r: Reservoir<u32> = Reservoir::new(4);
+        assert!(r.sample(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! Ablation: sketch depth at a fixed total budget for the AWM-Sketch.
+//!
+//! Table 2's striking finding is that the best AWM configuration always
+//! uses a **depth-1** sketch: the active set already disambiguates heavy
+//! features, so spending cells on replication (depth) instead of width
+//! only increases the collision rate per row. This ablation holds the
+//! total cell count fixed and varies the split.
+
+use wmsketch_core::{AwmSketch, AwmSketchConfig, OnlineLearner, TopKRecovery};
+use wmsketch_experiments::{median, scaled, train_reference, Dataset, Table};
+use wmsketch_learn::{rel_err_top_k, OnlineErrorRate};
+
+fn main() {
+    let n = scaled(60_000);
+    let k = 64usize;
+    let lambda = 1e-6;
+    let heap = 512usize;
+    let total_cells = 1024u32;
+    println!(
+        "== Ablation: AWM depth at fixed budget (heap {heap}, {total_cells} cells, n={n}) ==\n"
+    );
+    let (w_star, _, _) = train_reference(Dataset::Rcv1, lambda, n, 0);
+    let mut t = Table::new(&["depth", "width", "RelErr (median/3)", "error rate"]);
+    for depth in [1u32, 2, 4, 8] {
+        let width = total_cells / depth;
+        let mut errs = Vec::new();
+        let mut rate = 0.0;
+        for seed in 0..3u64 {
+            let mut m = AwmSketch::new(
+                AwmSketchConfig::new(heap, width)
+                    .depth(depth)
+                    .lambda(lambda)
+                    .seed(seed),
+            );
+            let mut gen = Dataset::Rcv1.generator(0);
+            let mut err = OnlineErrorRate::new();
+            for _ in 0..n {
+                let (x, y) = gen.next_example();
+                err.record(m.predict(&x), y);
+                m.update(&x, y);
+            }
+            errs.push(rel_err_top_k(&m.recover_top_k(k), &w_star, k));
+            rate = err.rate();
+        }
+        t.row(vec![
+            depth.to_string(),
+            width.to_string(),
+            format!("{:.3}", median(&mut errs)),
+            format!("{rate:.4}"),
+        ]);
+    }
+    t.print();
+    println!("\nexpected: depth 1 (maximal width) minimizes RelErr, matching Table 2.");
+}

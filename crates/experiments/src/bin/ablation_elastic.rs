@@ -1,0 +1,63 @@
+//! Ablation: elastic-net (ℓ1/ℓ2) reference models — the paper's "Weight
+//! Sparsity" remark (§6): Theorem 1's error scales with `‖w*‖₁`, so
+//! sparser reference solutions should be recovered *more accurately* by
+//! the same sketch.
+//!
+//! We train elastic-net references at increasing λ₁, then measure the
+//! theorem's own quantity — `max_i |ŵ_i − w*_i| / ‖w*‖₁` over the
+//! reference's top-K — for a fixed 2 KB AWM-Sketch trained with plain ℓ2
+//! on the same stream. (The *relative* ℓ2 metric of §7.2 is unusable
+//! here: its denominator is the reference's tail mass, which ℓ1 drives to
+//! zero.)
+
+use wmsketch_core::{AwmSketch, AwmSketchConfig, OnlineLearner, WeightEstimator};
+use wmsketch_experiments::{scaled, Dataset, Table};
+use wmsketch_learn::metrics::top_k_of_dense;
+use wmsketch_learn::{ElasticNetConfig, ElasticNetLogisticRegression};
+
+fn main() {
+    let n = scaled(60_000);
+    let k = 128usize;
+    println!("== Ablation: recovery vs reference sparsity (2KB AWM, RCV1-like, n={n}) ==\n");
+    let mut t = Table::new(&["lambda1", "ref zero weights", "ref |w|_1", "linf_err/|w*|_1"]);
+    for lambda1 in [0.0, 1e-5, 1e-4, 1e-3] {
+        // Reference: elastic-net dense model.
+        let mut en = ElasticNetLogisticRegression::new(
+            ElasticNetConfig::new(Dataset::Rcv1.dim())
+                .lambda1(lambda1)
+                .lambda2(1e-6),
+        );
+        let mut gen = Dataset::Rcv1.generator(0);
+        for _ in 0..n {
+            let (x, y) = gen.next_example();
+            en.update(&x, y);
+        }
+        let w_star: Vec<f64> = (0..Dataset::Rcv1.dim()).map(|f| en.weight(f)).collect();
+
+        // Budgeted model: 2KB AWM with plain ℓ2.
+        let mut awm = AwmSketch::new(
+            AwmSketchConfig::with_budget_bytes(2 * 1024).lambda(1e-6).seed(1),
+        );
+        let mut gen = Dataset::Rcv1.generator(0);
+        for _ in 0..n {
+            let (x, y) = gen.next_example();
+            awm.update(&x, y);
+        }
+        // Theorem 1's guarantee: per-weight error bounded by ε‖w*‖₁.
+        let l1: f64 = w_star.iter().map(|w| w.abs()).sum();
+        let linf = top_k_of_dense(&w_star, k)
+            .iter()
+            .map(|e| (awm.estimate(e.feature) - e.weight).abs())
+            .fold(0.0f64, f64::max);
+        t.row(vec![
+            format!("{lambda1:.0e}"),
+            en.zero_weights().to_string(),
+            format!("{:.1}", en.l1_norm()),
+            format!("{:.4}", linf / l1),
+        ]);
+    }
+    t.print();
+    println!("\nexpected: higher λ₁ → sparser, smaller-‖w*‖₁ references; the normalized");
+    println!("per-weight error ε = ℓ∞/‖w*‖₁ stays bounded (Theorem 1's contract), with");
+    println!("the absolute errors shrinking alongside ‖w*‖₁.");
+}

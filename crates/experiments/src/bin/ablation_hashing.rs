@@ -1,0 +1,53 @@
+//! Ablation: hash-family independence (Appendix B).
+//!
+//! The theory wants `Θ(log(d/δ))`-wise independent hashing; the paper's
+//! implementation (and our default) uses 3-wise independent tabulation,
+//! reporting "no significant degradation". We compare tabulation against
+//! genuinely k-wise polynomial families on recovery error and update
+//! throughput.
+
+use wmsketch_core::{AwmSketch, AwmSketchConfig, OnlineLearner, TopKRecovery};
+use wmsketch_experiments::{median, scaled, train_reference, Dataset, Table};
+use wmsketch_hashing::HashFamilyKind;
+use wmsketch_learn::rel_err_top_k;
+
+fn main() {
+    let n = scaled(60_000);
+    let k = 64usize;
+    let lambda = 1e-6;
+    println!("== Ablation: hash family for the AWM-Sketch (8KB, RCV1-like, n={n}) ==\n");
+    let (w_star, _, _) = train_reference(Dataset::Rcv1, lambda, n, 0);
+    let mut t = Table::new(&["family", "RelErr (median/3)", "updates/s"]);
+    for (name, family) in [
+        ("tabulation (3-wise)", HashFamilyKind::Tabulation),
+        ("polynomial k=4", HashFamilyKind::Polynomial(4)),
+        ("polynomial k=16", HashFamilyKind::Polynomial(16)),
+    ] {
+        let mut errs = Vec::new();
+        let mut rate = 0.0;
+        for seed in 0..3u64 {
+            let mut m = AwmSketch::new(
+                AwmSketchConfig::new(512, 1024)
+                    .lambda(lambda)
+                    .hash_family(family)
+                    .seed(seed),
+            );
+            let mut gen = Dataset::Rcv1.generator(0);
+            let start = std::time::Instant::now();
+            for _ in 0..n {
+                let (x, y) = gen.next_example();
+                m.update(&x, y);
+            }
+            rate = n as f64 / start.elapsed().as_secs_f64();
+            errs.push(rel_err_top_k(&m.recover_top_k(k), &w_star, k));
+        }
+        t.row(vec![
+            name.to_string(),
+            format!("{:.3}", median(&mut errs)),
+            format!("{rate:.0}"),
+        ]);
+    }
+    t.print();
+    println!("\nexpected (paper Appendix B): no significant recovery difference;");
+    println!("tabulation fastest, polynomial cost growing with independence k.");
+}

@@ -1,0 +1,31 @@
+//! Runs every experiment binary in sequence (Table 1–3, Fig 3–11,
+//! ablations). Set `WM_SCALE=0.1` for a quick smoke pass.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "table3", "fig11", "ablation_depth", "ablation_active_set", "ablation_hashing",
+        "ablation_elastic",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n################ {bin} ################\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        if !status.success() {
+            eprintln!("!! {bin} exited with {status}");
+            failures.push(bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll experiments completed.");
+    } else {
+        eprintln!("\nFailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

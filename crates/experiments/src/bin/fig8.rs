@@ -1,0 +1,142 @@
+//! Figure 8: distribution of exact relative risks among the top-2048
+//! features retrieved by each approach on the disbursements-like stream:
+//!
+//! * Heavy-Hitters (positive class only) — Space-Saving over outlier rows;
+//! * Heavy-Hitters (both classes) — Space-Saving over all rows;
+//! * Logistic Regression (exact) — top |weight| of the unconstrained model;
+//! * AWM-Sketch (32 KB) — top |weight| of the budgeted model.
+//!
+//! The paper's point: frequency-based retrieval concentrates near relative
+//! risk ≈ 1 (uninformative), while classifier-based retrieval concentrates
+//! at the extremes.
+
+use wmsketch_apps::ExactRiskTable;
+use wmsketch_core::{
+    AwmSketch, AwmSketchConfig, LogisticRegression, LogisticRegressionConfig, OnlineLearner,
+    TopKRecovery,
+};
+use wmsketch_datagen::{DisbursementConfig, DisbursementGen};
+use wmsketch_learn::LearningRate;
+use wmsketch_experiments::{scaled, Table};
+use wmsketch_hh::SpaceSaving;
+
+// The paper retrieves 2048 of 514K features (0.4%). Our stand-in has a
+// denser feature space (DESIGN.md §1.3), so we retrieve 256 to keep the
+// selection comparably selective.
+const TOP: usize = 256;
+const BINS: usize = 11; // [0,0.5), [0.5,1.0), ..., [4.5,5.0), [5,∞]
+
+fn bin_of(risk: f64) -> usize {
+    if risk.is_infinite() || risk >= 5.0 {
+        BINS - 1
+    } else {
+        (risk / 0.5) as usize
+    }
+}
+
+fn histogram(features: &[u32], risks: &ExactRiskTable) -> Vec<f64> {
+    let mut counts = vec![0u32; BINS];
+    let mut scored = 0u32;
+    for &f in features {
+        if let Some(r) = risks.relative_risk(f) {
+            counts[bin_of(r)] += 1;
+            scored += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|c| f64::from(c) / f64::from(scored.max(1)))
+        .collect()
+}
+
+fn main() {
+    let rows = scaled(400_000);
+    println!("== Fig 8: relative-risk distribution of top-{TOP} features ({rows} rows) ==\n");
+    let mut gen = DisbursementGen::new(DisbursementConfig { seed: 0, ..Default::default() });
+    let dim = gen.dim();
+
+    let mut risks = ExactRiskTable::new();
+    let mut hh_pos = SpaceSaving::new(TOP);
+    let mut hh_both = SpaceSaving::new(TOP);
+    // Constant learning rate: our stream is ~100x shorter than the
+    // paper's 40.8M-row FEC stream, so a decayed rate would leave
+    // weights far from their log-odds asymptotes (which is what this
+    // figure measures). A constant rate reaches the same converged
+    // regime the paper's long stream reaches under decay.
+    let lr_schedule = LearningRate::Constant(0.1);
+    let mut lr = LogisticRegression::new(
+        LogisticRegressionConfig::new(dim)
+            .lambda(1e-6)
+            .learning_rate(lr_schedule)
+            .track_top_k(0),
+    );
+    let mut awm = AwmSketch::new(
+        AwmSketchConfig::with_budget_bytes(32 * 1024)
+            .lambda(1e-6)
+            .learning_rate(lr_schedule)
+            .seed(1),
+    );
+
+    for _ in 0..rows {
+        let row = gen.next_row();
+        risks.observe_row(&row.features, row.label == 1);
+        for &f in &row.features {
+            hh_both.update(u64::from(f), 1.0);
+            if row.label == 1 {
+                hh_pos.update(u64::from(f), 1.0);
+            }
+        }
+        for (x, y) in row.one_sparse_examples() {
+            lr.update(&x, y);
+            awm.update(&x, y);
+        }
+    }
+
+    let hh_pos_top: Vec<u32> = hh_pos.top_k(TOP).iter().map(|e| e.item as u32).collect();
+    let hh_both_top: Vec<u32> = hh_both.top_k(TOP).iter().map(|e| e.item as u32).collect();
+    let lr_top: Vec<u32> = lr.exact_top_k(TOP).iter().map(|e| e.feature).collect();
+    let awm_top: Vec<u32> = awm.recover_top_k(TOP).iter().map(|e| e.feature).collect();
+
+    let mut t = Table::new(&["risk bin", "HH:Pos", "HH:Both", "LR:Exact", "LR:AWM"]);
+    let hists = [
+        histogram(&hh_pos_top, &risks),
+        histogram(&hh_both_top, &risks),
+        histogram(&lr_top, &risks),
+        histogram(&awm_top, &risks),
+    ];
+    for (b, _) in hists[0].iter().enumerate() {
+        let label = if b == BINS - 1 {
+            ">=5.0".to_string()
+        } else {
+            format!("[{:.1},{:.1})", b as f64 * 0.5, (b + 1) as f64 * 0.5)
+        };
+        t.row(vec![
+            label,
+            format!("{:.3}", hists[0][b]),
+            format!("{:.3}", hists[1][b]),
+            format!("{:.3}", hists[2][b]),
+            format!("{:.3}", hists[3][b]),
+        ]);
+    }
+    t.print();
+
+    // Summary statistic: mass far from risk 1 (|log risk| > log 2).
+    let extreme = |feats: &[u32]| -> f64 {
+        let scored: Vec<f64> = feats
+            .iter()
+            .filter_map(|&f| risks.relative_risk(f))
+            .collect();
+        let far = scored
+            .iter()
+            .filter(|&&r| !(0.5..=2.0).contains(&r))
+            .count();
+        far as f64 / scored.len().max(1) as f64
+    };
+    println!("\nfraction of retrieved features with risk outside [0.5, 2]:");
+    println!("  HH:Pos   {:.3}", extreme(&hh_pos_top));
+    println!("  HH:Both  {:.3}", extreme(&hh_both_top));
+    println!("  LR:Exact {:.3}", extreme(&lr_top));
+    println!("  LR:AWM   {:.3}", extreme(&awm_top));
+    println!("\npaper shape: classifier-based retrieval concentrates at the extremes of");
+    println!("the risk scale; heavy-hitter retrieval concentrates near risk 1.");
+}

@@ -1,0 +1,75 @@
+//! Figure 9: correlation between learned classifier weights and the exact
+//! relative risk over the top-2048 retrieved features, for the
+//! memory-unconstrained LR (paper: Pearson ≈ 0.95) and the 32 KB
+//! AWM-Sketch (paper: ≈ 0.91).
+//!
+//! Logistic weights estimate log-odds ratios, a monotone relative of
+//! relative risk; we correlate weight against *log* risk for the same
+//! reason the paper plots them on those axes.
+
+use wmsketch_apps::ExactRiskTable;
+use wmsketch_core::{
+    AwmSketch, AwmSketchConfig, LogisticRegression, LogisticRegressionConfig, OnlineLearner,
+    TopKRecovery, WeightEntry,
+};
+use wmsketch_datagen::{DisbursementConfig, DisbursementGen};
+use wmsketch_experiments::scaled;
+use wmsketch_learn::{pearson, LearningRate};
+
+const TOP: usize = 2048;
+
+fn correlation(entries: &[WeightEntry], risks: &ExactRiskTable) -> (f64, usize) {
+    let mut ws = Vec::new();
+    let mut lrs = Vec::new();
+    for e in entries {
+        if let Some(r) = risks.relative_risk(e.feature) {
+            if r.is_finite() && r > 0.0 && risks.support(e.feature) >= 100 {
+                ws.push(e.weight);
+                lrs.push(r.ln());
+            }
+        }
+    }
+    (pearson(&ws, &lrs), ws.len())
+}
+
+fn main() {
+    let rows = scaled(400_000);
+    println!("== Fig 9: weight vs relative-risk correlation ({rows} rows, top {TOP}) ==\n");
+    let mut gen = DisbursementGen::new(DisbursementConfig { seed: 0, ..Default::default() });
+    let dim = gen.dim();
+
+    let mut risks = ExactRiskTable::new();
+    // Constant learning rate: our stream is ~100x shorter than the
+    // paper's 40.8M-row FEC stream, so a decayed rate would leave
+    // weights far from their log-odds asymptotes (which is what this
+    // figure measures). A constant rate reaches the same converged
+    // regime the paper's long stream reaches under decay.
+    let lr_schedule = LearningRate::Constant(0.1);
+    let mut lr = LogisticRegression::new(
+        LogisticRegressionConfig::new(dim)
+            .lambda(1e-6)
+            .learning_rate(lr_schedule)
+            .track_top_k(0),
+    );
+    let mut awm = AwmSketch::new(
+        AwmSketchConfig::with_budget_bytes(32 * 1024)
+            .lambda(1e-6)
+            .learning_rate(lr_schedule)
+            .seed(1),
+    );
+    for _ in 0..rows {
+        let row = gen.next_row();
+        risks.observe_row(&row.features, row.label == 1);
+        for (x, y) in row.one_sparse_examples() {
+            lr.update(&x, y);
+            awm.update(&x, y);
+        }
+    }
+
+    let (r_lr, n_lr) = correlation(&lr.exact_top_k(TOP), &risks);
+    let (r_awm, n_awm) = correlation(&awm.recover_top_k(TOP), &risks);
+    println!("LR (exact, unconstrained): Pearson(weight, log risk) = {r_lr:.3} over {n_lr} features");
+    println!("AWM-Sketch (32KB):         Pearson(weight, log risk) = {r_awm:.3} over {n_awm} features");
+    println!("\npaper: 0.95 (LR) and 0.91 (AWM) — both strongly positive, AWM slightly");
+    println!("noisier than the exact model.");
+}

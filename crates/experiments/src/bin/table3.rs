@@ -1,0 +1,91 @@
+//! Table 3: top recovered PMI pairs — estimated (from classifier weights)
+//! vs exact (from full counts) — alongside the most frequent pairs in the
+//! corpus, whose PMI is near zero.
+
+use wmsketch_apps::{ExactPmi, PmiEstimator, PmiEstimatorConfig};
+use wmsketch_datagen::{CorpusConfig, CorpusGen};
+use wmsketch_experiments::{scaled, Table};
+
+fn main() {
+    // 400k tokens (not the paper's 77.7M): long enough for planted
+    // collocations to dominate the heap, short enough that ℓ2 eviction
+    // dynamics (λ·Ση) remain in the regime where retrieval works — see
+    // EXPERIMENTS.md for the scaling note.
+    let n_tokens = scaled(400_000);
+    println!("== Table 3: streaming PMI estimation ({n_tokens} tokens, 2^14 bins, heap 1024) ==\n");
+    // Corpus and sketch are jointly scaled down from the paper's 77.7M
+    // tokens / 2^16 bins so that per-pair occurrence counts (and the
+    // λ·Ση eviction dynamics) sit in the same regime.
+    let mut gen = CorpusGen::new(CorpusConfig {
+        vocab: 1 << 15,
+        // Collocations must fire during the heap's initial fill phase
+        // (~200 tokens at heap 1024) to be admitted at laptop stream
+        // lengths; the paper's 77.7M-token stream gives mid-stream pairs
+        // thousands of firings to earn admission instead.
+        n_collocations: 16,
+        collocation_rate: 0.1,
+        collocation_base: 500,
+        seed: 0,
+        ..Default::default()
+    });
+    let window = 6;
+    let mut est = PmiEstimator::new(PmiEstimatorConfig {
+        window,
+        width: 1 << 14,
+        heap: 1024,
+        lambda: 1e-7,
+        seed: 1,
+        ..Default::default()
+    });
+    let mut exact = ExactPmi::new(window);
+    for _ in 0..n_tokens {
+        let t = gen.next_token();
+        est.observe_token(t);
+        exact.observe_token(t);
+    }
+
+    println!("Left: top recovered pairs.  (planted collocations marked *)\n");
+    let mut t = Table::new(&["Pair", "PMI (exact)", "PMI (est.)", "planted"]);
+    for e in est.top_pair_ids(8) {
+        let Some((u, v)) = exact.resolve(e.feature) else {
+            continue;
+        };
+        let true_pmi = exact.pmi(u, v).unwrap_or(f64::NAN);
+        let est_pmi = est.estimate_pmi(u, v);
+        t.row(vec![
+            format!("({u},{v})"),
+            format!("{true_pmi:.3}"),
+            format!("{est_pmi:.3}"),
+            if gen.is_collocation(u, v) { "*".into() } else { String::new() },
+        ]);
+    }
+    t.print();
+
+    println!("\nRight: most frequent pairs (high count, PMI ≈ 0).\n");
+    let mut freq: Vec<((u32, u32), u64)> = Vec::new();
+    for u in 0..4u32 {
+        for v in 0..4u32 {
+            let c = exact.pair_count(u, v);
+            if c > 0 {
+                freq.push(((u, v), c));
+            }
+        }
+    }
+    freq.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    let mut t2 = Table::new(&["Pair", "count", "PMI (exact)"]);
+    for ((u, v), c) in freq.into_iter().take(4) {
+        t2.row(vec![
+            format!("({u},{v})"),
+            c.to_string(),
+            format!("{:.3}", exact.pmi(u, v).unwrap_or(f64::NAN)),
+        ]);
+    }
+    t2.print();
+    println!("\npaper shape: recovered pairs are high-PMI collocations with estimates");
+    println!("tracking exact PMI to within a few tenths; frequent pairs score ≈ 0.");
+    println!(
+        "(corpus: {} distinct bigrams over {} tokens)",
+        exact.distinct_bigrams(),
+        exact.tokens()
+    );
+}

@@ -1,0 +1,318 @@
+//! The method matrix of the paper's figures, behind one uniform API.
+
+use wmsketch_core::{
+    AwmSketch, AwmSketchConfig, CountMinClassifier, CountMinClassifierConfig,
+    FeatureHashingClassifier, FeatureHashingConfig, Label, OnlineLearner,
+    ProbabilisticTruncation, SimpleTruncation, SpaceSavingClassifier,
+    SpaceSavingClassifierConfig, TopKRecovery, TruncationConfig, WeightEntry, WeightEstimator,
+    WmSketch, WmSketchConfig,
+};
+use wmsketch_learn::metrics::top_k_by_estimate;
+use wmsketch_learn::SparseVector;
+
+/// One of the paper's budgeted methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Simple Truncation (Algorithm 3).
+    Trun,
+    /// Probabilistic Truncation (Algorithm 4).
+    PTrun,
+    /// Space-Saving Frequent.
+    Ss,
+    /// Count-Min Frequent Features.
+    CmFf,
+    /// Feature hashing.
+    Hash,
+    /// Weight-Median Sketch (Algorithm 1).
+    Wm,
+    /// Active-Set Weight-Median Sketch (Algorithm 2).
+    Awm,
+}
+
+/// The methods shown in the paper's main figures (CM-FF omitted there as
+/// dominated by SS, matching Fig. 3's caption).
+pub const FIGURE_METHODS: [Method; 6] = [
+    Method::Trun,
+    Method::PTrun,
+    Method::Ss,
+    Method::Hash,
+    Method::Wm,
+    Method::Awm,
+];
+
+/// Every budgeted method, including CM-FF.
+pub const ALL_BUDGETED_METHODS: [Method; 7] = [
+    Method::Trun,
+    Method::PTrun,
+    Method::Ss,
+    Method::CmFf,
+    Method::Hash,
+    Method::Wm,
+    Method::Awm,
+];
+
+impl Method {
+    /// Display name, matching the paper's figure legends.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Trun => "Trun",
+            Method::PTrun => "PTrun",
+            Method::Ss => "SS",
+            Method::CmFf => "CM-FF",
+            Method::Hash => "Hash",
+            Method::Wm => "WM",
+            Method::Awm => "AWM",
+        }
+    }
+}
+
+/// A budgeted method instantiation request.
+#[derive(Debug, Clone, Copy)]
+pub struct MethodConfig {
+    /// Which method.
+    pub method: Method,
+    /// Byte budget under the §7.1 cost model.
+    pub budget_bytes: usize,
+    /// `ℓ2` regularization λ.
+    pub lambda: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl MethodConfig {
+    /// Creates a request.
+    #[must_use]
+    pub fn new(method: Method, budget_bytes: usize, lambda: f64, seed: u64) -> Self {
+        Self { method, budget_bytes, lambda, seed }
+    }
+}
+
+/// A uniform wrapper over the whole method matrix, so harness code is a
+/// single loop. (An enum rather than `Box<dyn …>` because the recovery
+/// path differs: feature hashing has no native top-K and must scan the
+/// feature domain.)
+pub enum AnyLearner {
+    /// Simple Truncation.
+    Trun(SimpleTruncation),
+    /// Probabilistic Truncation.
+    PTrun(ProbabilisticTruncation),
+    /// Space-Saving Frequent.
+    Ss(SpaceSavingClassifier),
+    /// Count-Min Frequent Features.
+    CmFf(CountMinClassifier),
+    /// Feature hashing.
+    Hash(FeatureHashingClassifier),
+    /// WM-Sketch.
+    Wm(WmSketch),
+    /// AWM-Sketch.
+    Awm(AwmSketch),
+}
+
+impl AnyLearner {
+    /// Instantiates a method within its byte budget.
+    #[must_use]
+    pub fn build(cfg: &MethodConfig) -> Self {
+        let b = cfg.budget_bytes;
+        match cfg.method {
+            Method::Trun => AnyLearner::Trun(SimpleTruncation::new(
+                TruncationConfig::simple_with_budget_bytes(b)
+                    .lambda(cfg.lambda)
+                    .seed(cfg.seed),
+            )),
+            Method::PTrun => AnyLearner::PTrun(ProbabilisticTruncation::new(
+                TruncationConfig::probabilistic_with_budget_bytes(b)
+                    .lambda(cfg.lambda)
+                    .seed(cfg.seed),
+            )),
+            Method::Ss => AnyLearner::Ss(SpaceSavingClassifier::new(
+                SpaceSavingClassifierConfig::with_budget_bytes(b).lambda(cfg.lambda),
+            )),
+            Method::CmFf => AnyLearner::CmFf(CountMinClassifier::new(
+                CountMinClassifierConfig::with_budget_bytes(b)
+                    .lambda(cfg.lambda)
+                    .seed(cfg.seed),
+            )),
+            Method::Hash => AnyLearner::Hash(FeatureHashingClassifier::new(
+                FeatureHashingConfig::with_budget_bytes(b)
+                    .lambda(cfg.lambda)
+                    .seed(cfg.seed),
+            )),
+            Method::Wm => {
+                let mut c = WmSketchConfig::with_budget_bytes(b);
+                c.lambda = cfg.lambda;
+                c.seed = cfg.seed;
+                AnyLearner::Wm(WmSketch::new(c))
+            }
+            Method::Awm => {
+                let mut c = AwmSketchConfig::with_budget_bytes(b);
+                c.lambda = cfg.lambda;
+                c.seed = cfg.seed;
+                AnyLearner::Awm(AwmSketch::new(c))
+            }
+        }
+    }
+
+    /// Instantiates a WM/AWM shape directly (Table 2 sweeps).
+    #[must_use]
+    pub fn from_wm_config(c: WmSketchConfig) -> Self {
+        AnyLearner::Wm(WmSketch::new(c))
+    }
+
+    /// Instantiates an AWM shape directly.
+    #[must_use]
+    pub fn from_awm_config(c: AwmSketchConfig) -> Self {
+        AnyLearner::Awm(AwmSketch::new(c))
+    }
+
+    /// Method display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnyLearner::Trun(_) => "Trun",
+            AnyLearner::PTrun(_) => "PTrun",
+            AnyLearner::Ss(_) => "SS",
+            AnyLearner::CmFf(_) => "CM-FF",
+            AnyLearner::Hash(_) => "Hash",
+            AnyLearner::Wm(_) => "WM",
+            AnyLearner::Awm(_) => "AWM",
+        }
+    }
+
+    /// Memory cost in bytes under the §7.1 model.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            AnyLearner::Trun(m) => m.memory_bytes(),
+            AnyLearner::PTrun(m) => m.memory_bytes(),
+            AnyLearner::Ss(m) => m.memory_bytes(),
+            AnyLearner::CmFf(m) => m.memory_bytes(),
+            AnyLearner::Hash(m) => m.memory_bytes(),
+            AnyLearner::Wm(m) => m.memory_bytes(),
+            AnyLearner::Awm(m) => m.memory_bytes(),
+        }
+    }
+
+    /// Estimated top-`k` weights. Methods with native recovery use their
+    /// heap; feature hashing scans the feature domain `0..dim`, the
+    /// evaluation protocol of §7.2.
+    #[must_use]
+    pub fn top_k_estimates(&self, k: usize, dim: u32) -> Vec<WeightEntry> {
+        match self {
+            AnyLearner::Trun(m) => m.recover_top_k(k),
+            AnyLearner::PTrun(m) => m.recover_top_k(k),
+            AnyLearner::Ss(m) => m.recover_top_k(k),
+            AnyLearner::CmFf(m) => m.recover_top_k(k),
+            AnyLearner::Hash(m) => top_k_by_estimate(m, 0..dim, k),
+            AnyLearner::Wm(m) => m.recover_top_k(k),
+            AnyLearner::Awm(m) => m.recover_top_k(k),
+        }
+    }
+}
+
+impl OnlineLearner for AnyLearner {
+    fn margin(&self, x: &SparseVector) -> f64 {
+        match self {
+            AnyLearner::Trun(m) => m.margin(x),
+            AnyLearner::PTrun(m) => m.margin(x),
+            AnyLearner::Ss(m) => m.margin(x),
+            AnyLearner::CmFf(m) => m.margin(x),
+            AnyLearner::Hash(m) => m.margin(x),
+            AnyLearner::Wm(m) => m.margin(x),
+            AnyLearner::Awm(m) => m.margin(x),
+        }
+    }
+
+    fn update(&mut self, x: &SparseVector, y: Label) {
+        match self {
+            AnyLearner::Trun(m) => m.update(x, y),
+            AnyLearner::PTrun(m) => m.update(x, y),
+            AnyLearner::Ss(m) => m.update(x, y),
+            AnyLearner::CmFf(m) => m.update(x, y),
+            AnyLearner::Hash(m) => m.update(x, y),
+            AnyLearner::Wm(m) => m.update(x, y),
+            AnyLearner::Awm(m) => m.update(x, y),
+        }
+    }
+
+    fn examples_seen(&self) -> u64 {
+        match self {
+            AnyLearner::Trun(m) => m.examples_seen(),
+            AnyLearner::PTrun(m) => m.examples_seen(),
+            AnyLearner::Ss(m) => m.examples_seen(),
+            AnyLearner::CmFf(m) => m.examples_seen(),
+            AnyLearner::Hash(m) => m.examples_seen(),
+            AnyLearner::Wm(m) => m.examples_seen(),
+            AnyLearner::Awm(m) => m.examples_seen(),
+        }
+    }
+}
+
+impl WeightEstimator for AnyLearner {
+    fn estimate(&self, feature: u32) -> f64 {
+        match self {
+            AnyLearner::Trun(m) => m.estimate(feature),
+            AnyLearner::PTrun(m) => m.estimate(feature),
+            AnyLearner::Ss(m) => m.estimate(feature),
+            AnyLearner::CmFf(m) => m.estimate(feature),
+            AnyLearner::Hash(m) => m.estimate(feature),
+            AnyLearner::Wm(m) => m.estimate(feature),
+            AnyLearner::Awm(m) => m.estimate(feature),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_method_builds_within_budget() {
+        for method in ALL_BUDGETED_METHODS {
+            for budget in [2048usize, 8192, 32768] {
+                let l = AnyLearner::build(&MethodConfig::new(method, budget, 1e-6, 1));
+                assert!(
+                    l.memory_bytes() <= budget,
+                    "{} at {budget}: {} bytes",
+                    l.name(),
+                    l.memory_bytes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_method_learns_a_trivial_problem() {
+        for method in ALL_BUDGETED_METHODS {
+            let mut l = AnyLearner::build(&MethodConfig::new(method, 8192, 1e-6, 1));
+            for t in 0..400 {
+                let (x, y) = if t % 2 == 0 {
+                    (SparseVector::one_hot(3, 1.0), 1)
+                } else {
+                    (SparseVector::one_hot(7, 1.0), -1)
+                };
+                l.update(&x, y);
+            }
+            assert!(
+                l.estimate(3) > 0.0 && l.estimate(7) < 0.0,
+                "{} failed to learn: w3={} w7={}",
+                l.name(),
+                l.estimate(3),
+                l.estimate(7)
+            );
+            assert_eq!(l.examples_seen(), 400);
+        }
+    }
+
+    #[test]
+    fn top_k_estimates_nonempty_for_all_methods() {
+        for method in ALL_BUDGETED_METHODS {
+            let mut l = AnyLearner::build(&MethodConfig::new(method, 4096, 1e-6, 2));
+            for t in 0..200u32 {
+                l.update(&SparseVector::one_hot(t % 5, 1.0), if t % 2 == 0 { 1 } else { -1 });
+            }
+            let top = l.top_k_estimates(3, 64);
+            assert!(!top.is_empty(), "{} returned empty top-k", l.name());
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Bit mixers and small utilities shared by the hash families.
+
+/// Finalizing mixer from the SplitMix64 generator (Steele et al.).
+///
+/// A fast bijective mixer with good avalanche behaviour; used for seeding
+/// the table-based hash families and as a cheap integer hash for internal
+/// hash maps. Not independent in any formal sense — the sketches use
+/// [`crate::TabulationHash`] or [`crate::PolyHash`] instead.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A tiny deterministic stream of 64-bit values derived from a seed.
+///
+/// Used to derive per-row, per-table seeds so that constructing the same
+/// structure from the same seed always yields the same hash functions.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit value in the stream.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Maps a 64-bit hash value uniformly onto `0..n` without division
+/// (Lemire's multiply-shift range reduction).
+///
+/// `n` must be nonzero. The top bits of `h` dominate the result, so `h`
+/// should be a well-mixed hash value, not a raw key.
+#[inline]
+pub fn fast_range(h: u64, n: u64) -> u64 {
+    debug_assert!(n > 0, "fast_range: range must be nonzero");
+    ((u128::from(h) * u128::from(n)) >> 64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_known_values_differ_and_are_deterministic() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn splitmix64_is_bijective_on_small_sample() {
+        // A bijection never collides; check a decent sample.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(splitmix64(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn splitmix64_stream_is_reproducible() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn fast_range_stays_in_range() {
+        for n in [1u64, 2, 3, 7, 100, 1 << 20] {
+            for i in 0..1000u64 {
+                let h = splitmix64(i);
+                assert!(fast_range(h, n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_range_is_roughly_uniform() {
+        let n = 16u64;
+        let mut counts = vec![0u32; n as usize];
+        let trials = 160_000;
+        for i in 0..trials {
+            counts[fast_range(splitmix64(i), n) as usize] += 1;
+        }
+        let expected = trials as f64 / n as f64;
+        for (bucket, &c) in counts.iter().enumerate() {
+            let dev = (f64::from(c) - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket {bucket} deviates {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn fast_range_n_one_is_always_zero() {
+        for i in 0..100u64 {
+            assert_eq!(fast_range(splitmix64(i), 1), 0);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Per-row bucket-and-sign hashing for Count-Sketch-style structures.
+//!
+//! A sketch of depth `s` and width `w` keeps, for each row `j ∈ [s]`, a pair
+//! `(h_j, σ_j)` with `h_j(i) ∈ [w]` and `σ_j(i) ∈ {-1, +1}`. We derive both
+//! from a single 64-bit hash per row: the top bits select the bucket (via
+//! multiply-shift range reduction) and bit 0 selects the sign, which costs
+//! one table-hash evaluation per row per feature.
+
+use crate::mix::{fast_range, SplitMix64};
+use crate::poly::PolyHash;
+use crate::tabulation::TabulationHash;
+
+/// Which hash family backs a sketch's rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum HashFamilyKind {
+    /// 3-wise independent simple tabulation (the paper's implementation
+    /// choice, Appendix B). Fast; the default.
+    #[default]
+    Tabulation,
+    /// k-wise independent polynomial hashing over `2^61 - 1` with the given
+    /// independence level (theory-faithful; slower).
+    Polynomial(usize),
+}
+
+
+/// A bucket index together with a ±1 sign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketSign {
+    /// Bucket index in `[0, width)`.
+    pub bucket: u32,
+    /// Sign flip: `+1.0` or `-1.0`.
+    pub sign: f64,
+}
+
+enum RowFn {
+    Tab(TabulationHash),
+    Poly(PolyHash),
+}
+
+impl RowFn {
+    #[inline]
+    fn raw(&self, key: u64) -> u64 {
+        match self {
+            RowFn::Tab(t) => t.hash(key),
+            // Spread the 61-bit field element over 64 bits so the
+            // multiply-shift reduction sees uniform top bits.
+            RowFn::Poly(p) => p.hash(key).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+}
+
+/// The hash functions for a single sketch row.
+pub struct RowHasher {
+    f: RowFn,
+    width: u32,
+}
+
+impl std::fmt::Debug for RowHasher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RowHasher").field("width", &self.width).finish()
+    }
+}
+
+impl RowHasher {
+    /// Builds one row's `(h, σ)` pair deterministically from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn new(kind: HashFamilyKind, width: u32, seed: u64) -> Self {
+        assert!(width > 0, "sketch row width must be nonzero");
+        let f = match kind {
+            HashFamilyKind::Tabulation => RowFn::Tab(TabulationHash::new(seed)),
+            HashFamilyKind::Polynomial(k) => RowFn::Poly(PolyHash::new(k, seed)),
+        };
+        Self { f, width }
+    }
+
+    /// Row width this hasher maps into.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Returns the bucket and sign for feature `key`.
+    #[inline]
+    #[must_use]
+    pub fn bucket_sign(&self, key: u64) -> BucketSign {
+        let h = self.f.raw(key);
+        // Bit 63 is the sign; the low 63 bits (shifted up so the range
+        // reduction sees uniform top bits) choose the bucket. Using disjoint
+        // bits keeps h and σ independent of each other.
+        let sign = if h >> 63 == 0 { 1.0 } else { -1.0 };
+        let bucket = fast_range(h << 1, u64::from(self.width)) as u32;
+        BucketSign { bucket, sign }
+    }
+
+    /// Returns only the bucket (for unsigned sketches such as Count-Min).
+    #[inline]
+    #[must_use]
+    pub fn bucket(&self, key: u64) -> u32 {
+        fast_range(self.f.raw(key), u64::from(self.width)) as u32
+    }
+}
+
+/// The full set of row hashers for a depth-`s` sketch.
+#[derive(Debug)]
+pub struct RowHashers {
+    rows: Vec<RowHasher>,
+}
+
+impl RowHashers {
+    /// Builds `depth` independent row hashers of the given `width`,
+    /// deterministically seeded from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `depth == 0` or `width == 0`.
+    #[must_use]
+    pub fn new(kind: HashFamilyKind, depth: u32, width: u32, seed: u64) -> Self {
+        assert!(depth > 0, "sketch depth must be nonzero");
+        let mut seeds = SplitMix64::new(seed);
+        let rows = (0..depth)
+            .map(|_| RowHasher::new(kind, width, seeds.next_u64()))
+            .collect();
+        Self { rows }
+    }
+
+    /// Number of rows (sketch depth).
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.rows.len() as u32
+    }
+
+    /// Row width.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.rows[0].width()
+    }
+
+    /// The hasher for row `j`.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, j: usize) -> &RowHasher {
+        &self.rows[j]
+    }
+
+    /// Iterates over `(row_index, BucketSign)` for a feature key.
+    #[inline]
+    pub fn bucket_signs<'a>(
+        &'a self,
+        key: u64,
+    ) -> impl Iterator<Item = (usize, BucketSign)> + 'a {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(move |(j, r)| (j, r.bucket_sign(key)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_in_range_and_signs_unit() {
+        for kind in [HashFamilyKind::Tabulation, HashFamilyKind::Polynomial(4)] {
+            let h = RowHasher::new(kind, 37, 12);
+            for key in 0..5000u64 {
+                let bs = h.bucket_sign(key);
+                assert!(bs.bucket < 37);
+                assert!(bs.sign == 1.0 || bs.sign == -1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn signs_are_balanced() {
+        let h = RowHasher::new(HashFamilyKind::Tabulation, 64, 5);
+        let n = 100_000u64;
+        let pos = (0..n).filter(|&k| h.bucket_sign(k).sign > 0.0).count();
+        let frac = pos as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "positive-sign fraction {frac}");
+    }
+
+    #[test]
+    fn buckets_are_balanced() {
+        let w = 32u32;
+        let h = RowHasher::new(HashFamilyKind::Tabulation, w, 77);
+        let n = 320_000u64;
+        let mut counts = vec![0u32; w as usize];
+        for k in 0..n {
+            counts[h.bucket_sign(k).bucket as usize] += 1;
+        }
+        let expected = n as f64 / f64::from(w);
+        for &c in &counts {
+            assert!((f64::from(c) - expected).abs() / expected < 0.05);
+        }
+    }
+
+    #[test]
+    fn rows_are_mutually_independent_looking() {
+        let hs = RowHashers::new(HashFamilyKind::Tabulation, 4, 256, 3);
+        // Two distinct rows should disagree on buckets for most keys.
+        let agree = (0..10_000u64)
+            .filter(|&k| hs.row(0).bucket_sign(k).bucket == hs.row(1).bucket_sign(k).bucket)
+            .count();
+        // Chance agreement is 1/256 ≈ 39 of 10k.
+        assert!(agree < 200, "rows agree on {agree} of 10000 keys");
+    }
+
+    #[test]
+    fn deterministic_across_constructions() {
+        let a = RowHashers::new(HashFamilyKind::Tabulation, 3, 128, 99);
+        let b = RowHashers::new(HashFamilyKind::Tabulation, 3, 128, 99);
+        for k in 0..100u64 {
+            for j in 0..3 {
+                assert_eq!(a.row(j).bucket_sign(k), b.row(j).bucket_sign(k));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be nonzero")]
+    fn zero_width_panics() {
+        let _ = RowHasher::new(HashFamilyKind::Tabulation, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be nonzero")]
+    fn zero_depth_panics() {
+        let _ = RowHashers::new(HashFamilyKind::Tabulation, 0, 4, 1);
+    }
+}

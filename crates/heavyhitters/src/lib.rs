@@ -1,0 +1,27 @@
+//! Heavy-hitter and top-K substrates.
+//!
+//! The paper's baselines and the AWM-Sketch's *active set* all need
+//! efficiently-updatable ordered summaries:
+//!
+//! * [`IndexedHeap`] — a binary min-heap with a position map supporting
+//!   `O(log n)` change-key and remove-by-key; the workhorse under
+//!   everything else here.
+//! * [`TopKWeights`] — "the heap" of Algorithms 2–4: the top-K features by
+//!   absolute weight, with exact stored weights.
+//! * [`SpaceSaving`] — the Metwally et al. Space-Saving algorithm backing
+//!   the paper's "SS" frequent-features baseline and the MacroBase-style
+//!   heavy-hitters explanation baseline (Fig. 8).
+//! * [`MisraGries`] — the classic deterministic counter algorithm, an
+//!   additional baseline for ablations.
+
+#![warn(missing_docs)]
+
+pub mod indexed_heap;
+pub mod misragries;
+pub mod spacesaving;
+pub mod topk;
+
+pub use indexed_heap::IndexedHeap;
+pub use misragries::MisraGries;
+pub use spacesaving::{SpaceSaving, SsEntry};
+pub use topk::{Offer, TopKWeights, WeightEntry};

@@ -1,0 +1,156 @@
+//! The Misra–Gries frequent-items algorithm (1982).
+//!
+//! Deterministic `k`-counter summary: increments a monitored counter,
+//! admits new items while space remains, otherwise decrements *all*
+//! counters and drops zeros. Guarantees `true − N/(k+1) ≤ estimate ≤ true`
+//! — note the *under*-estimation, the mirror image of Space-Saving.
+//! Included as an additional counter-based baseline for ablations.
+
+use wmsketch_hashing::FastHashMap;
+
+/// Misra–Gries summary over 64-bit items with integer counts.
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    counters: FastHashMap<u64, u64>,
+    capacity: usize,
+    total: u64,
+}
+
+impl MisraGries {
+    /// Creates a summary with `capacity` counters.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "Misra-Gries capacity must be nonzero");
+        Self { counters: FastHashMap::default(), capacity, total: 0 }
+    }
+
+    /// Number of monitored items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no items are monitored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Stream length observed so far.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observes one occurrence of `item`.
+    pub fn update(&mut self, item: u64) {
+        self.total += 1;
+        if let Some(c) = self.counters.get_mut(&item) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(item, 1);
+            return;
+        }
+        // Decrement phase: every counter loses one; zeros are dropped.
+        self.counters.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// The (under-)estimated count of `item` (0 if unmonitored).
+    #[must_use]
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.counters.get(&item).copied().unwrap_or(0)
+    }
+
+    /// All monitored `(item, count)` pairs, unordered.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The `k` highest-count items, sorted descending.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<(u64, u64)> {
+        let mut all: Vec<(u64, u64)> = self.iter().collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_under_capacity() {
+        let mut mg = MisraGries::new(4);
+        for _ in 0..3 {
+            mg.update(1);
+        }
+        mg.update(2);
+        assert_eq!(mg.estimate(1), 3);
+        assert_eq!(mg.estimate(2), 1);
+        assert_eq!(mg.estimate(3), 0);
+    }
+
+    #[test]
+    fn never_overestimates() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mg = MisraGries::new(16);
+        let mut truth: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            let k = rng.random_range(0..300u64);
+            *truth.entry(k).or_default() += 1;
+            mg.update(k);
+        }
+        for (&k, &t) in &truth {
+            assert!(mg.estimate(k) <= t, "overestimated item {k}");
+        }
+    }
+
+    #[test]
+    fn undercount_bounded_by_n_over_k_plus_one() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(4);
+        let k = 32;
+        let mut mg = MisraGries::new(k);
+        let mut truth: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for _ in 0..30_000 {
+            let item = rng.random_range(0..200u64);
+            *truth.entry(item).or_default() += 1;
+            mg.update(item);
+        }
+        let bound = mg.total() as f64 / (k as f64 + 1.0);
+        for (&item, &t) in &truth {
+            let under = t as f64 - mg.estimate(item) as f64;
+            assert!(under <= bound + 1e-9, "item {item}: under {under} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn majority_element_survives() {
+        let mut mg = MisraGries::new(1);
+        // Classic majority: item 7 appears 60 of 100 times.
+        for i in 0..100u64 {
+            mg.update(if i % 5 < 3 { 7 } else { i });
+        }
+        assert!(mg.estimate(7) > 0, "majority element lost");
+    }
+
+    #[test]
+    fn decrement_drops_to_empty_possible() {
+        let mut mg = MisraGries::new(1);
+        mg.update(1);
+        mg.update(2); // decrements 1 → dropped, 2 not inserted
+        assert!(mg.is_empty());
+        assert_eq!(mg.total(), 2);
+    }
+}

@@ -1,0 +1,267 @@
+//! The Space-Saving algorithm of Metwally, Agrawal & El Abbadi (2005).
+//!
+//! Maintains `m` counters. A monitored item's counter is incremented in
+//! place; an unmonitored item replaces the minimum counter, inheriting its
+//! count (recorded as the new item's overestimation error). Guarantees:
+//! for stream length `N`, every item with true count `> N/m` is monitored,
+//! and `count - error ≤ true ≤ count` for monitored items.
+//!
+//! This backs the paper's "SS" frequent-features baseline (§7) and the
+//! MacroBase-style heavy-hitters comparison in the streaming-explanation
+//! experiment (Fig. 8).
+
+use crate::indexed_heap::IndexedHeap;
+use wmsketch_hashing::FastHashMap;
+
+/// A monitored item: its counter and overestimation error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsEntry {
+    /// Item identifier.
+    pub item: u64,
+    /// Counter value (an upper bound on the true count).
+    pub count: f64,
+    /// Overestimation error inherited at admission (`count − error` is a
+    /// lower bound on the true count).
+    pub error: f64,
+}
+
+/// Space-Saving summary over 64-bit items with `f64` counts.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    heap: IndexedHeap<u64>,
+    errors: FastHashMap<u64, f64>,
+    capacity: usize,
+    total: f64,
+}
+
+impl SpaceSaving {
+    /// Creates a summary with `capacity` counters.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "Space-Saving capacity must be nonzero");
+        Self {
+            heap: IndexedHeap::with_capacity(capacity),
+            errors: FastHashMap::default(),
+            capacity,
+            total: 0.0,
+        }
+    }
+
+    /// Number of counters.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently monitored items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no items are monitored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total stream mass observed.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Whether `item` is currently monitored.
+    #[must_use]
+    pub fn contains(&self, item: u64) -> bool {
+        self.heap.contains(&item)
+    }
+
+    /// Observes `item` with weight `delta` (use `1.0` for counting).
+    ///
+    /// Returns the identifier of the item that was *evicted* to admit this
+    /// one, if any — callers tracking auxiliary per-item state (e.g. the
+    /// frequent-features classifier's weights) must drop state for evicted
+    /// items.
+    pub fn update(&mut self, item: u64, delta: f64) -> Option<u64> {
+        debug_assert!(delta > 0.0, "Space-Saving updates must be positive");
+        self.total += delta;
+        if let Some(count) = self.heap.priority(&item) {
+            self.heap.insert(item, count + delta);
+            return None;
+        }
+        if self.heap.len() < self.capacity {
+            self.heap.insert(item, delta);
+            self.errors.insert(item, 0.0);
+            return None;
+        }
+        // Replace the minimum counter; the newcomer inherits its count as
+        // error.
+        let (evicted, min_count) = self.heap.pop_min().expect("capacity > 0");
+        self.errors.remove(&evicted);
+        self.heap.insert(item, min_count + delta);
+        self.errors.insert(item, min_count);
+        Some(evicted)
+    }
+
+    /// The estimated count of `item` (its counter if monitored, otherwise
+    /// the minimum counter — a valid upper bound for any unmonitored item).
+    #[must_use]
+    pub fn estimate(&self, item: u64) -> f64 {
+        self.heap
+            .priority(&item)
+            .or_else(|| self.heap.peek_min().map(|(_, c)| c))
+            .unwrap_or(0.0)
+    }
+
+    /// The guaranteed lower bound on `item`'s true count (0 if unmonitored).
+    #[must_use]
+    pub fn guaranteed(&self, item: u64) -> f64 {
+        match (self.heap.priority(&item), self.errors.get(&item)) {
+            (Some(c), Some(&e)) => c - e,
+            _ => 0.0,
+        }
+    }
+
+    /// All monitored entries, unordered.
+    pub fn iter(&self) -> impl Iterator<Item = SsEntry> + '_ {
+        self.heap.iter().map(|(item, count)| SsEntry {
+            item,
+            count,
+            error: self.errors.get(&item).copied().unwrap_or(0.0),
+        })
+    }
+
+    /// The `k` highest-count entries, sorted descending by count.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<SsEntry> {
+        let mut all: Vec<SsEntry> = self.iter().collect();
+        all.sort_by(|a, b| {
+            b.count
+                .partial_cmp(&a.count)
+                .expect("NaN count")
+                .then(a.item.cmp(&b.item))
+        });
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_exactly_when_under_capacity() {
+        let mut ss = SpaceSaving::new(10);
+        for _ in 0..5 {
+            assert_eq!(ss.update(1, 1.0), None);
+        }
+        ss.update(2, 1.0);
+        assert_eq!(ss.estimate(1), 5.0);
+        assert_eq!(ss.guaranteed(1), 5.0);
+        assert_eq!(ss.estimate(2), 1.0);
+        assert_eq!(ss.len(), 2);
+    }
+
+    #[test]
+    fn eviction_reports_displaced_item() {
+        let mut ss = SpaceSaving::new(2);
+        ss.update(1, 1.0);
+        ss.update(2, 5.0);
+        let evicted = ss.update(3, 1.0);
+        assert_eq!(evicted, Some(1));
+        assert!(!ss.contains(1));
+        // Newcomer inherits min count 1 as error: counter 2, guaranteed 1.
+        assert_eq!(ss.estimate(3), 2.0);
+        assert_eq!(ss.guaranteed(3), 1.0);
+    }
+
+    #[test]
+    fn never_underestimates() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut ss = SpaceSaving::new(32);
+        let mut truth = vec![0.0f64; 200];
+        // Zipf-ish skew: low ids much more frequent.
+        for _ in 0..20_000 {
+            let r: f64 = rng.random();
+            let k = ((200.0 * r * r * r) as u64).min(199);
+            truth[k as usize] += 1.0;
+            ss.update(k, 1.0);
+        }
+        for k in 0..200u64 {
+            assert!(
+                ss.estimate(k) + 1e-9 >= truth[k as usize].min(ss.estimate(k)),
+                "estimate below truth for monitored item"
+            );
+            if ss.contains(k) {
+                assert!(ss.estimate(k) >= truth[k as usize] - 1e-9);
+                assert!(ss.guaranteed(k) <= truth[k as usize] + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_items_always_monitored() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = 50;
+        let n = 10_000u32;
+        let mut ss = SpaceSaving::new(m);
+        let mut truth: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for _ in 0..n {
+            // Item 0..4 get 10% each; the rest uniform over 1000 ids.
+            let k = if rng.random::<f64>() < 0.5 {
+                rng.random_range(0..5u64)
+            } else {
+                rng.random_range(5..1005u64)
+            };
+            *truth.entry(k).or_default() += 1;
+            ss.update(k, 1.0);
+        }
+        // Guarantee: any item with count > N/m must be monitored.
+        let threshold = f64::from(n) / m as f64;
+        for (&k, &c) in &truth {
+            if f64::from(c) > threshold {
+                assert!(ss.contains(k), "heavy item {k} (count {c}) evicted");
+            }
+        }
+    }
+
+    #[test]
+    fn error_bound_n_over_m() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(10);
+        let m = 64;
+        let mut ss = SpaceSaving::new(m);
+        let mut truth: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+        for _ in 0..30_000 {
+            let k = rng.random_range(0..500u64);
+            *truth.entry(k).or_default() += 1.0;
+            ss.update(k, 1.0);
+        }
+        let bound = ss.total() / m as f64;
+        for e in ss.iter() {
+            let t = truth.get(&e.item).copied().unwrap_or(0.0);
+            assert!(e.count - t <= bound + 1e-9, "overestimate exceeds N/m");
+            assert!(e.error <= bound + 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_k_sorted() {
+        let mut ss = SpaceSaving::new(8);
+        for (item, n) in [(1u64, 5), (2, 9), (3, 2)] {
+            for _ in 0..n {
+                ss.update(item, 1.0);
+            }
+        }
+        let top = ss.top_k(2);
+        assert_eq!(top[0].item, 2);
+        assert_eq!(top[1].item, 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Top-K-by-absolute-weight tracking — "the heap" of the paper's
+//! Algorithms 2 (AWM-Sketch active set), 3 (Simple Truncation) and
+//! 4 (Probabilistic Truncation).
+
+use crate::indexed_heap::IndexedHeap;
+
+/// One tracked feature and its exactly-stored weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightEntry {
+    /// Feature identifier.
+    pub feature: u32,
+    /// Stored weight (in the caller's units — e.g. pre-scale for learners
+    /// using a global scale factor).
+    pub weight: f64,
+}
+
+/// Result of offering a feature/weight to the tracker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Offer {
+    /// The feature was already tracked; its weight was overwritten.
+    Updated,
+    /// The tracker had spare capacity and admitted the feature.
+    Inserted,
+    /// The feature displaced the minimum-|weight| entry, which is returned
+    /// so the caller can spill it elsewhere (the AWM-Sketch writes it back
+    /// into the sketch).
+    Evicted(WeightEntry),
+    /// The offered |weight| did not beat the current minimum; nothing
+    /// changed.
+    Rejected,
+}
+
+/// Tracks the K features with the largest absolute weights, storing the
+/// weights exactly.
+///
+/// Internally a min-heap ordered by |weight|, so the entry cheapest to
+/// displace is always at the root. Weight ordering is invariant under a
+/// positive global scale factor, so learners using the lazy-regularization
+/// scale trick (paper §5.1) can store pre-scale weights here directly.
+#[derive(Debug, Clone)]
+pub struct TopKWeights {
+    heap: IndexedHeap<u32>,
+    weights: wmsketch_hashing::FastHashMap<u32, f64>,
+    capacity: usize,
+}
+
+impl TopKWeights {
+    /// Creates a tracker holding at most `capacity` features.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "top-K capacity must be nonzero");
+        Self {
+            heap: IndexedHeap::with_capacity(capacity),
+            weights: wmsketch_hashing::FastHashMap::default(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of tracked features.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of tracked features.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no features are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether `feature` is tracked.
+    #[must_use]
+    pub fn contains(&self, feature: u32) -> bool {
+        self.weights.contains_key(&feature)
+    }
+
+    /// The stored weight of `feature`, if tracked.
+    #[must_use]
+    pub fn get(&self, feature: u32) -> Option<f64> {
+        self.weights.get(&feature).copied()
+    }
+
+    /// The minimum-|weight| entry, if any.
+    #[must_use]
+    pub fn min_entry(&self) -> Option<WeightEntry> {
+        self.heap.peek_min().map(|(feature, _)| WeightEntry {
+            feature,
+            weight: self.weights[&feature],
+        })
+    }
+
+    /// Sets the weight of an *already tracked* feature, rebalancing the
+    /// heap. Returns false if the feature is not tracked.
+    pub fn update_existing(&mut self, feature: u32, weight: f64) -> bool {
+        if let Some(w) = self.weights.get_mut(&feature) {
+            *w = weight;
+            self.heap.insert(feature, weight.abs());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Offers `(feature, weight)` to the tracker; see [`Offer`] for the
+    /// possible outcomes.
+    pub fn offer(&mut self, feature: u32, weight: f64) -> Offer {
+        if self.update_existing(feature, weight) {
+            return Offer::Updated;
+        }
+        if self.heap.len() < self.capacity {
+            self.heap.insert(feature, weight.abs());
+            self.weights.insert(feature, weight);
+            return Offer::Inserted;
+        }
+        let (min_feature, min_abs) = self.heap.peek_min().expect("capacity > 0");
+        if weight.abs() > min_abs {
+            let evicted_weight = self
+                .weights
+                .remove(&min_feature)
+                .expect("heap/map out of sync");
+            self.heap.pop_min();
+            self.heap.insert(feature, weight.abs());
+            self.weights.insert(feature, weight);
+            Offer::Evicted(WeightEntry { feature: min_feature, weight: evicted_weight })
+        } else {
+            Offer::Rejected
+        }
+    }
+
+    /// Removes `feature`, returning its weight if it was tracked.
+    pub fn remove(&mut self, feature: u32) -> Option<f64> {
+        self.heap.remove(&feature)?;
+        self.weights.remove(&feature)
+    }
+
+    /// All tracked entries, unordered.
+    pub fn iter(&self) -> impl Iterator<Item = WeightEntry> + '_ {
+        self.weights
+            .iter()
+            .map(|(&feature, &weight)| WeightEntry { feature, weight })
+    }
+
+    /// The top `k` entries by |weight|, sorted descending by |weight|.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<WeightEntry> {
+        let mut all: Vec<WeightEntry> = self.iter().collect();
+        all.sort_by(|a, b| {
+            b.weight
+                .abs()
+                .partial_cmp(&a.weight.abs())
+                .expect("NaN weight")
+                .then(a.feature.cmp(&b.feature))
+        });
+        all.truncate(k);
+        all
+    }
+
+    /// Keeps only the `k` largest-|weight| entries (Simple Truncation's
+    /// post-update step), removing and discarding the rest.
+    pub fn truncate_to(&mut self, k: usize) {
+        while self.heap.len() > k {
+            let (f, _) = self.heap.pop_min().expect("len > k >= 0");
+            self.weights.remove(&f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_evicts_smallest() {
+        let mut t = TopKWeights::new(3);
+        assert_eq!(t.offer(1, 1.0), Offer::Inserted);
+        assert_eq!(t.offer(2, -5.0), Offer::Inserted);
+        assert_eq!(t.offer(3, 2.0), Offer::Inserted);
+        // |0.5| < min |1.0| → rejected.
+        assert_eq!(t.offer(4, 0.5), Offer::Rejected);
+        // |3| > 1 → evicts feature 1.
+        match t.offer(5, 3.0) {
+            Offer::Evicted(e) => {
+                assert_eq!(e.feature, 1);
+                assert_eq!(e.weight, 1.0);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(!t.contains(1));
+        assert!(t.contains(5));
+    }
+
+    #[test]
+    fn negative_weights_ordered_by_magnitude() {
+        let mut t = TopKWeights::new(2);
+        t.offer(1, -10.0);
+        t.offer(2, 1.0);
+        t.offer(3, -2.0); // evicts 2 (|1| smallest)
+        let feats: Vec<u32> = t.top_k(2).iter().map(|e| e.feature).collect();
+        assert_eq!(feats, vec![1, 3]);
+    }
+
+    #[test]
+    fn update_existing_rebalances() {
+        let mut t = TopKWeights::new(2);
+        t.offer(1, 5.0);
+        t.offer(2, 4.0);
+        assert_eq!(t.min_entry().unwrap().feature, 2);
+        assert_eq!(t.offer(2, 9.0), Offer::Updated);
+        assert_eq!(t.min_entry().unwrap().feature, 1);
+        assert_eq!(t.get(2), Some(9.0));
+    }
+
+    #[test]
+    fn top_k_sorted_descending() {
+        let mut t = TopKWeights::new(10);
+        for (f, w) in [(1, 0.5), (2, -3.0), (3, 2.0), (4, -0.1)] {
+            t.offer(f, w);
+        }
+        let top = t.top_k(3);
+        let feats: Vec<u32> = top.iter().map(|e| e.feature).collect();
+        assert_eq!(feats, vec![2, 3, 1]);
+        assert_eq!(top[0].weight, -3.0);
+    }
+
+    #[test]
+    fn truncate_to_keeps_largest() {
+        let mut t = TopKWeights::new(10);
+        for f in 0..10u32 {
+            t.offer(f, f64::from(f));
+        }
+        t.truncate_to(3);
+        assert_eq!(t.len(), 3);
+        let feats: Vec<u32> = t.top_k(3).iter().map(|e| e.feature).collect();
+        assert_eq!(feats, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn remove_returns_weight() {
+        let mut t = TopKWeights::new(4);
+        t.offer(1, 2.5);
+        assert_eq!(t.remove(1), Some(2.5));
+        assert_eq!(t.remove(1), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_panics() {
+        let _ = TopKWeights::new(0);
+    }
+}

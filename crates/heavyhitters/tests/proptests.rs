@@ -1,0 +1,90 @@
+//! Property-based tests for the heavy-hitter substrates.
+
+use proptest::prelude::*;
+use wmsketch_hh::{IndexedHeap, MisraGries, SpaceSaving, TopKWeights};
+
+proptest! {
+    /// The indexed heap behaves identically to a sort: inserting arbitrary
+    /// pairs and popping everything yields priorities in ascending order,
+    /// with the position map intact throughout.
+    #[test]
+    fn heap_pops_sorted(pairs in prop::collection::vec((0u32..50, -1e6f64..1e6), 1..100)) {
+        let mut h = IndexedHeap::new();
+        let mut model = std::collections::HashMap::new();
+        for &(k, p) in &pairs {
+            h.insert(k, p);
+            model.insert(k, p);
+        }
+        h.assert_invariants();
+        let mut popped = Vec::new();
+        while let Some((k, p)) = h.pop_min() {
+            prop_assert_eq!(model.remove(&k), Some(p));
+            popped.push(p);
+        }
+        prop_assert!(model.is_empty());
+        prop_assert!(popped.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// TopKWeights tracks exactly the same set as a brute-force "keep the
+    /// K largest |w|" reference when all offered features are distinct.
+    #[test]
+    fn topk_matches_bruteforce_on_distinct_features(
+        weights in prop::collection::vec(-1e3f64..1e3, 1..60),
+        k in 1usize..10,
+    ) {
+        let mut t = TopKWeights::new(k);
+        for (f, &w) in weights.iter().enumerate() {
+            t.offer(f as u32, w);
+        }
+        let mut expect: Vec<(usize, f64)> = weights.iter().copied().enumerate().collect();
+        expect.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+        expect.truncate(k);
+        let got: std::collections::HashSet<u32> = t.iter().map(|e| e.feature).collect();
+        // Sets can differ on ties; compare the magnitude of the smallest
+        // kept entry instead, which is tie-insensitive.
+        let min_kept_got = t.iter().map(|e| e.weight.abs()).fold(f64::INFINITY, f64::min);
+        let min_kept_expect = expect.iter().map(|(_, w)| w.abs()).fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(got.len(), expect.len());
+        prop_assert!((min_kept_got - min_kept_expect).abs() < 1e-12);
+    }
+
+    /// Space-Saving invariants on arbitrary streams: counter ≥ truth for
+    /// monitored items, guaranteed ≤ truth, overestimate ≤ total/capacity.
+    #[test]
+    fn spacesaving_invariants(stream in prop::collection::vec(0u64..40, 1..500), cap in 2usize..20) {
+        let mut ss = SpaceSaving::new(cap);
+        let mut truth = std::collections::HashMap::new();
+        for &item in &stream {
+            *truth.entry(item).or_insert(0.0) += 1.0;
+            ss.update(item, 1.0);
+        }
+        prop_assert!((ss.total() - stream.len() as f64).abs() < 1e-9);
+        let bound = ss.total() / cap as f64;
+        for e in ss.iter() {
+            let t = truth.get(&e.item).copied().unwrap_or(0.0);
+            prop_assert!(e.count >= t - 1e-9);
+            prop_assert!(e.count - t <= bound + 1e-9);
+            prop_assert!(ss.guaranteed(e.item) <= t + 1e-9);
+        }
+        prop_assert!(ss.len() <= cap);
+    }
+
+    /// Misra–Gries never overestimates and undercounts by at most
+    /// N/(capacity+1).
+    #[test]
+    fn misragries_invariants(stream in prop::collection::vec(0u64..30, 1..400), cap in 1usize..16) {
+        let mut mg = MisraGries::new(cap);
+        let mut truth = std::collections::HashMap::new();
+        for &item in &stream {
+            *truth.entry(item).or_insert(0u64) += 1;
+            mg.update(item);
+        }
+        let bound = stream.len() as f64 / (cap as f64 + 1.0);
+        for (&item, &t) in &truth {
+            let est = mg.estimate(item);
+            prop_assert!(est <= t);
+            prop_assert!(t as f64 - est as f64 <= bound + 1e-9);
+        }
+        prop_assert!(mg.len() <= cap);
+    }
+}

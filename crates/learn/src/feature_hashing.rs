@@ -1,0 +1,224 @@
+//! Feature hashing ("the hashing trick", Shi et al. 2009 / Weinberger
+//! et al. 2009) — the "Hash" baseline.
+//!
+//! Features are hashed into a fixed table of `k` weights with a random ±1
+//! sign; colliding features permanently share a weight. Classification
+//! works well, but recovery is poor: distinct features hashing to the same
+//! cell cannot be disambiguated (one table, no median), which is the
+//! paper's motivation for the WM-Sketch. Equivalently, this is a depth-1
+//! WM-Sketch without an active set.
+
+use crate::loss::{Loss, LossKind};
+use crate::scale::ScaleState;
+use crate::schedule::LearningRate;
+use crate::traits::{debug_check_label, Label, OnlineLearner, WeightEstimator};
+use crate::vector::SparseVector;
+use wmsketch_hashing::{HashFamilyKind, RowHasher};
+
+/// Configuration for [`FeatureHashingClassifier`].
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureHashingConfig {
+    /// Table size `k` (number of hashed weights). Under the paper's cost
+    /// model a budget of `B` bytes allows `k = B/4`.
+    pub table_size: u32,
+    /// `ℓ2` regularization strength λ.
+    pub lambda: f64,
+    /// Learning-rate schedule.
+    pub learning_rate: LearningRate,
+    /// Loss function.
+    pub loss: LossKind,
+    /// RNG seed for the hash function.
+    pub seed: u64,
+}
+
+impl FeatureHashingConfig {
+    /// Default configuration with the given table size.
+    #[must_use]
+    pub fn new(table_size: u32) -> Self {
+        Self {
+            table_size,
+            lambda: 1e-6,
+            learning_rate: LearningRate::default(),
+            loss: LossKind::Logistic,
+            seed: 0,
+        }
+    }
+
+    /// Table size that fits a byte budget under the paper's cost model
+    /// (4 B per weight, no identifiers stored).
+    #[must_use]
+    pub fn with_budget_bytes(budget: usize) -> Self {
+        Self::new((budget / 4).max(1) as u32)
+    }
+
+    /// Sets λ.
+    #[must_use]
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the learning-rate schedule.
+    #[must_use]
+    pub fn learning_rate(mut self, lr: LearningRate) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Sets the loss.
+    #[must_use]
+    pub fn loss(mut self, loss: LossKind) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the hash seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Linear classifier over hashed features (see module docs).
+pub struct FeatureHashingClassifier {
+    cfg: FeatureHashingConfig,
+    hasher: RowHasher,
+    /// Pre-scale hashed weights.
+    table: Vec<f64>,
+    scale: ScaleState,
+    t: u64,
+}
+
+impl std::fmt::Debug for FeatureHashingClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeatureHashingClassifier")
+            .field("table_size", &self.cfg.table_size)
+            .field("t", &self.t)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FeatureHashingClassifier {
+    /// Creates a zero-initialized hashed classifier.
+    #[must_use]
+    pub fn new(cfg: FeatureHashingConfig) -> Self {
+        let hasher = RowHasher::new(HashFamilyKind::Tabulation, cfg.table_size, cfg.seed);
+        Self { cfg, hasher, table: vec![0.0; cfg.table_size as usize], scale: ScaleState::new(), t: 0 }
+    }
+
+    /// The configuration this classifier was built with.
+    #[must_use]
+    pub fn config(&self) -> &FeatureHashingConfig {
+        &self.cfg
+    }
+
+    /// Memory cost in bytes under the paper's model (4 B per table cell).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.table.len() * 4
+    }
+
+    fn fold_scale(&mut self) {
+        let a = self.scale.fold();
+        for v in &mut self.table {
+            *v *= a;
+        }
+    }
+}
+
+impl OnlineLearner for FeatureHashingClassifier {
+    fn margin(&self, x: &SparseVector) -> f64 {
+        let raw: f64 = x
+            .iter()
+            .map(|(i, v)| {
+                let bs = self.hasher.bucket_sign(u64::from(i));
+                bs.sign * self.table[bs.bucket as usize] * v
+            })
+            .sum();
+        self.scale.load(raw)
+    }
+
+    fn update(&mut self, x: &SparseVector, y: Label) {
+        debug_check_label(y);
+        self.t += 1;
+        let eta = self.cfg.learning_rate.at(self.t);
+        let margin = self.margin(x);
+        let g = self.cfg.loss.deriv(f64::from(y) * margin) * f64::from(y);
+        if self.scale.decay(eta, self.cfg.lambda) {
+            self.fold_scale();
+        }
+        if g != 0.0 {
+            for (i, xi) in x.iter() {
+                let bs = self.hasher.bucket_sign(u64::from(i));
+                self.table[bs.bucket as usize] += self.scale.store(-eta * g * xi * bs.sign);
+            }
+        }
+    }
+
+    fn examples_seen(&self) -> u64 {
+        self.t
+    }
+}
+
+impl WeightEstimator for FeatureHashingClassifier {
+    /// The hashed cell's (sign-corrected) weight — shared verbatim by every
+    /// colliding feature, hence the poor recovery the paper reports.
+    fn estimate(&self, feature: u32) -> f64 {
+        let bs = self.hasher.bucket_sign(u64::from(feature));
+        self.scale.load(bs.sign * self.table[bs.bucket as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_separable_problem_with_large_table() {
+        let mut clf = FeatureHashingClassifier::new(
+            FeatureHashingConfig::new(1024).lambda(1e-4).seed(1),
+        );
+        for t in 0..500 {
+            if t % 2 == 0 {
+                clf.update(&SparseVector::one_hot(10, 1.0), 1);
+            } else {
+                clf.update(&SparseVector::one_hot(20, 1.0), -1);
+            }
+        }
+        assert!(clf.estimate(10) > 0.1);
+        assert!(clf.estimate(20) < -0.1);
+        assert_eq!(clf.predict(&SparseVector::one_hot(10, 1.0)), 1);
+        assert_eq!(clf.predict(&SparseVector::one_hot(20, 1.0)), -1);
+    }
+
+    #[test]
+    fn colliding_features_share_weights() {
+        // Table of 1: everything collides into one cell.
+        let mut clf = FeatureHashingClassifier::new(FeatureHashingConfig::new(1).seed(2));
+        clf.update(&SparseVector::one_hot(5, 1.0), 1);
+        let e5 = clf.estimate(5);
+        let e6 = clf.estimate(6);
+        assert!(e5.abs() > 0.0);
+        assert_eq!(e5.abs(), e6.abs(), "colliding estimates must share magnitude");
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let clf = FeatureHashingClassifier::new(FeatureHashingConfig::with_budget_bytes(8192));
+        assert_eq!(clf.memory_bytes(), 8192);
+        assert_eq!(clf.config().table_size, 2048);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut c = FeatureHashingClassifier::new(FeatureHashingConfig::new(64).seed(7));
+            for t in 0..100u32 {
+                c.update(&SparseVector::one_hot(t % 10, 1.0), if t % 3 == 0 { 1 } else { -1 });
+            }
+            (0..10u32).map(|i| c.estimate(i)).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,45 @@
+//! Online learning kernel: the machinery of paper §3.2 and §4.
+//!
+//! Everything the sketched classifiers share lives here:
+//!
+//! * [`SparseVector`] — sparse feature vectors `x_t ∈ R^d`.
+//! * [`loss`] — convex loss functions `ℓ(y·wᵀx)` with derivatives
+//!   (logistic, smoothed hinge, squared), defining the linear model per
+//!   Eq. 1 of the paper.
+//! * [`schedule`] — learning-rate schedules `η_t` for online gradient
+//!   descent.
+//! * [`scale`] — the global weight-decay scale trick (paper §5.1,
+//!   "Efficient Regularization") shared by every learner.
+//! * [`logreg`] — the memory-*unconstrained* logistic regression baseline
+//!   ("LR" in the figures) that defines the reference weights `w*`.
+//! * [`feature_hashing`] — the hashing-trick baseline ("Hash").
+//! * [`metrics`] — the paper's evaluation metrics: top-K relative ℓ2
+//!   recovery error (§7.2), online classification error rate (§7.3),
+//!   Pearson correlation (Fig. 9), and recall-above-threshold (Fig. 10).
+//!
+//! The traits [`OnlineLearner`], [`WeightEstimator`] and [`TopKRecovery`]
+//! are the public interface every budgeted method in `wmsketch-core`
+//! implements, making the experiment harnesses method-agnostic.
+
+#![warn(missing_docs)]
+
+pub mod elastic;
+pub mod feature_hashing;
+pub mod logreg;
+pub mod loss;
+pub mod metrics;
+pub mod schedule;
+pub mod scale;
+pub mod traits;
+pub mod vector;
+
+pub use elastic::{ElasticNetConfig, ElasticNetLogisticRegression};
+pub use feature_hashing::{FeatureHashingClassifier, FeatureHashingConfig};
+pub use logreg::{LogisticRegression, LogisticRegressionConfig};
+pub use loss::{Logistic, Loss, LossKind, SmoothedHinge, Squared};
+pub use metrics::{pearson, recall_at_threshold, rel_err_top_k, OnlineErrorRate};
+pub use schedule::LearningRate;
+pub use scale::ScaleState;
+pub use traits::{debug_check_label, Label, OnlineLearner, TopKRecovery, WeightEstimator};
+pub use vector::SparseVector;
+pub use wmsketch_hh::WeightEntry;

@@ -1,0 +1,282 @@
+//! Memory-unconstrained linear classifier — the "LR" reference baseline.
+//!
+//! Stores a dense weight vector over the full feature space plus (as in the
+//! paper's runtime experiments, §7.4) an optional size-K min-heap tracking
+//! the heaviest weights. Training is online gradient descent on
+//! `ℓ(y·wᵀx) + (λ/2)‖w‖₂²` with the global-scale decay trick, so updates
+//! cost `O(nnz(x))`.
+//!
+//! This model defines the reference weights `w*` against which every
+//! budgeted method's recovery error is measured.
+
+use crate::loss::{Loss, LossKind};
+use crate::scale::ScaleState;
+use crate::schedule::LearningRate;
+use crate::traits::{debug_check_label, Label, OnlineLearner, TopKRecovery, WeightEstimator};
+use crate::vector::SparseVector;
+use wmsketch_hh::{TopKWeights, WeightEntry};
+
+/// Configuration for [`LogisticRegression`].
+#[derive(Debug, Clone, Copy)]
+pub struct LogisticRegressionConfig {
+    /// Feature-space dimension `d`.
+    pub dim: u32,
+    /// `ℓ2` regularization strength λ.
+    pub lambda: f64,
+    /// Learning-rate schedule (paper default: `0.1/√t`).
+    pub learning_rate: LearningRate,
+    /// Loss function (paper default: logistic).
+    pub loss: LossKind,
+    /// If nonzero, maintain a top-K heap of this capacity alongside the
+    /// dense weights (K = 128 in the paper's runtime experiments).
+    pub track_top_k: usize,
+}
+
+impl LogisticRegressionConfig {
+    /// Paper-default configuration over a `dim`-dimensional space.
+    #[must_use]
+    pub fn new(dim: u32) -> Self {
+        Self {
+            dim,
+            lambda: 1e-6,
+            learning_rate: LearningRate::default(),
+            loss: LossKind::Logistic,
+            track_top_k: 128,
+        }
+    }
+
+    /// Sets λ.
+    #[must_use]
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the learning-rate schedule.
+    #[must_use]
+    pub fn learning_rate(mut self, lr: LearningRate) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Sets the loss.
+    #[must_use]
+    pub fn loss(mut self, loss: LossKind) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the tracked-heap capacity (0 disables tracking).
+    #[must_use]
+    pub fn track_top_k(mut self, k: usize) -> Self {
+        self.track_top_k = k;
+        self
+    }
+}
+
+/// Dense online linear classifier (see module docs).
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    cfg: LogisticRegressionConfig,
+    /// Pre-scale weights; logical `w_i = α·v_i`.
+    v: Vec<f64>,
+    scale: ScaleState,
+    heap: Option<TopKWeights>,
+    t: u64,
+}
+
+impl LogisticRegression {
+    /// Creates a zero-initialized model.
+    #[must_use]
+    pub fn new(cfg: LogisticRegressionConfig) -> Self {
+        let heap = (cfg.track_top_k > 0).then(|| TopKWeights::new(cfg.track_top_k));
+        Self { cfg, v: vec![0.0; cfg.dim as usize], scale: ScaleState::new(), heap, t: 0 }
+    }
+
+    /// The configuration this model was built with.
+    #[must_use]
+    pub fn config(&self) -> &LogisticRegressionConfig {
+        &self.cfg
+    }
+
+    /// The logical weight of `feature` (0 for out-of-range features).
+    #[must_use]
+    pub fn weight(&self, feature: u32) -> f64 {
+        self.v
+            .get(feature as usize)
+            .map_or(0.0, |&v| self.scale.load(v))
+    }
+
+    /// The full logical weight vector (materialized; `O(d)`).
+    #[must_use]
+    pub fn weights(&self) -> Vec<f64> {
+        self.v.iter().map(|&v| self.scale.load(v)).collect()
+    }
+
+    /// The exact top-`k` features by |weight|, computed from the dense
+    /// vector (`O(d)`; independent of the tracked heap).
+    #[must_use]
+    pub fn exact_top_k(&self, k: usize) -> Vec<WeightEntry> {
+        let mut entries: Vec<WeightEntry> = self
+            .v
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(i, &v)| WeightEntry { feature: i as u32, weight: self.scale.load(v) })
+            .collect();
+        entries.sort_by(|a, b| {
+            b.weight
+                .abs()
+                .partial_cmp(&a.weight.abs())
+                .expect("NaN weight")
+                .then(a.feature.cmp(&b.feature))
+        });
+        entries.truncate(k);
+        entries
+    }
+
+    fn fold_scale(&mut self) {
+        let a = self.scale.fold();
+        for v in &mut self.v {
+            *v *= a;
+        }
+    }
+}
+
+impl OnlineLearner for LogisticRegression {
+    fn margin(&self, x: &SparseVector) -> f64 {
+        self.scale.load(x.dot_dense(&self.v))
+    }
+
+    fn update(&mut self, x: &SparseVector, y: Label) {
+        debug_check_label(y);
+        self.t += 1;
+        let eta = self.cfg.learning_rate.at(self.t);
+        let margin = self.margin(x);
+        let g = self.cfg.loss.deriv(f64::from(y) * margin) * f64::from(y);
+        if self.scale.decay(eta, self.cfg.lambda) {
+            self.fold_scale();
+        }
+        if g != 0.0 {
+            for (i, xi) in x.iter() {
+                let idx = i as usize;
+                debug_assert!(idx < self.v.len(), "feature {i} out of range");
+                let delta = self.scale.store(-eta * g * xi);
+                self.v[idx] += delta;
+                if let Some(heap) = &mut self.heap {
+                    heap.offer(i, self.v[idx]);
+                }
+            }
+        }
+    }
+
+    fn examples_seen(&self) -> u64 {
+        self.t
+    }
+}
+
+impl WeightEstimator for LogisticRegression {
+    fn estimate(&self, feature: u32) -> f64 {
+        self.weight(feature)
+    }
+}
+
+impl TopKRecovery for LogisticRegression {
+    fn recover_top_k(&self, k: usize) -> Vec<WeightEntry> {
+        match &self.heap {
+            Some(heap) => heap
+                .top_k(k)
+                .into_iter()
+                .map(|e| WeightEntry { feature: e.feature, weight: self.scale.load(e.weight) })
+                .collect(),
+            None => self.exact_top_k(k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos_neg_stream(n: usize) -> Vec<(SparseVector, Label)> {
+        (0..n)
+            .map(|t| {
+                if t % 2 == 0 {
+                    (SparseVector::from_pairs(&[(0, 1.0), (2, 0.5)]), 1)
+                } else {
+                    (SparseVector::from_pairs(&[(1, 1.0), (3, 0.5)]), -1)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_separable_problem() {
+        let mut lr = LogisticRegression::new(LogisticRegressionConfig::new(8).lambda(1e-4));
+        for (x, y) in pos_neg_stream(500) {
+            lr.update(&x, y);
+        }
+        assert!(lr.weight(0) > 0.1);
+        assert!(lr.weight(1) < -0.1);
+        assert_eq!(lr.predict(&SparseVector::one_hot(0, 1.0)), 1);
+        assert_eq!(lr.predict(&SparseVector::one_hot(1, 1.0)), -1);
+        assert_eq!(lr.examples_seen(), 500);
+    }
+
+    #[test]
+    fn tracked_heap_matches_exact_top_k() {
+        let mut lr = LogisticRegression::new(
+            LogisticRegressionConfig::new(8).lambda(1e-4).track_top_k(4),
+        );
+        for (x, y) in pos_neg_stream(300) {
+            lr.update(&x, y);
+        }
+        let tracked: Vec<u32> = lr.recover_top_k(4).iter().map(|e| e.feature).collect();
+        let exact: Vec<u32> = lr.exact_top_k(4).iter().map(|e| e.feature).collect();
+        assert_eq!(tracked, exact);
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let run = |lambda: f64| {
+            let mut lr = LogisticRegression::new(
+                LogisticRegressionConfig::new(4).lambda(lambda),
+            );
+            for (x, y) in pos_neg_stream(400) {
+                lr.update(&x, y);
+            }
+            lr.weights().iter().map(|w| w.abs()).sum::<f64>()
+        };
+        assert!(run(0.1) < run(1e-6));
+    }
+
+    #[test]
+    fn zero_gradient_examples_change_nothing_but_decay() {
+        // Smoothed hinge has zero derivative when the margin is large.
+        let mut lr = LogisticRegression::new(
+            LogisticRegressionConfig::new(4)
+                .loss(LossKind::SmoothedHinge(1.0))
+                .lambda(0.0)
+                .learning_rate(LearningRate::Constant(2.0)),
+        );
+        // One aggressive step drives the weight to 2, past the hinge region.
+        lr.update(&SparseVector::one_hot(0, 1.0), 1);
+        let w_before = lr.weight(0);
+        assert!(w_before > 1.0, "margin should exceed hinge region, got {w_before}");
+        lr.update(&SparseVector::one_hot(0, 1.0), 1);
+        assert_eq!(lr.weight(0), w_before);
+    }
+
+    #[test]
+    fn estimate_out_of_range_is_zero() {
+        let lr = LogisticRegression::new(LogisticRegressionConfig::new(4));
+        assert_eq!(lr.estimate(100), 0.0);
+    }
+
+    #[test]
+    fn margin_of_empty_vector_is_zero() {
+        let lr = LogisticRegression::new(LogisticRegressionConfig::new(4));
+        assert_eq!(lr.margin(&SparseVector::new()), 0.0);
+        assert_eq!(lr.predict(&SparseVector::new()), 1);
+    }
+}

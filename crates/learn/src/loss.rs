@@ -1,0 +1,261 @@
+//! Convex loss functions `ℓ(τ)` evaluated at the margin `τ = y·wᵀx`.
+//!
+//! The paper's Eq. 1 defines the per-example loss
+//! `L_t(w) = ℓ(y_t wᵀx_t) + (λ/2)‖w‖₂²`; the choice of `ℓ` selects the
+//! linear model. Theorems 1–2 require `ℓ` to be β-strongly smooth; both the
+//! logistic loss and the smoothed hinge have β = 1 (resp. 1/γ for the
+//! γ-smoothed hinge), which the paper notes makes its bounds directly
+//! applicable.
+
+/// A differentiable convex loss of the classification margin.
+pub trait Loss {
+    /// The loss value `ℓ(τ)`.
+    fn value(&self, margin: f64) -> f64;
+
+    /// The derivative `ℓ'(τ)`.
+    fn deriv(&self, margin: f64) -> f64;
+
+    /// Smoothness constant β such that `ℓ` is β-strongly smooth, used by
+    /// the theory-driven parameter helpers.
+    fn smoothness(&self) -> f64;
+}
+
+/// Logistic loss `ℓ(τ) = log(1 + e^{−τ})` — logistic regression, the model
+/// used throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Logistic;
+
+impl Loss for Logistic {
+    #[inline]
+    fn value(&self, margin: f64) -> f64 {
+        // Stable log(1+e^{-τ}): for large negative τ, ≈ -τ.
+        if margin > 0.0 {
+            (-margin).exp().ln_1p()
+        } else {
+            -margin + margin.exp().ln_1p()
+        }
+    }
+
+    #[inline]
+    fn deriv(&self, margin: f64) -> f64 {
+        // ℓ'(τ) = −σ(−τ) = −1/(1+e^τ), computed stably.
+        if margin > 0.0 {
+            let e = (-margin).exp();
+            -e / (1.0 + e)
+        } else {
+            -1.0 / (1.0 + margin.exp())
+        }
+    }
+
+    fn smoothness(&self) -> f64 {
+        // |ℓ''| = σ(τ)σ(−τ) ≤ 1/4, but the paper uses β = 1 for simplicity.
+        1.0
+    }
+}
+
+/// γ-smoothed hinge loss: quadratic in the band `[1−γ, 1]`, linear below,
+/// zero above — a close relative of the linear SVM (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoothedHinge {
+    /// Smoothing band width γ ∈ (0, 1].
+    pub gamma: f64,
+}
+
+impl Default for SmoothedHinge {
+    fn default() -> Self {
+        Self { gamma: 1.0 }
+    }
+}
+
+impl Loss for SmoothedHinge {
+    #[inline]
+    fn value(&self, margin: f64) -> f64 {
+        let g = self.gamma;
+        if margin >= 1.0 {
+            0.0
+        } else if margin <= 1.0 - g {
+            1.0 - margin - g / 2.0
+        } else {
+            (1.0 - margin) * (1.0 - margin) / (2.0 * g)
+        }
+    }
+
+    #[inline]
+    fn deriv(&self, margin: f64) -> f64 {
+        let g = self.gamma;
+        if margin >= 1.0 {
+            0.0
+        } else if margin <= 1.0 - g {
+            -1.0
+        } else {
+            (margin - 1.0) / g
+        }
+    }
+
+    fn smoothness(&self) -> f64 {
+        1.0 / self.gamma
+    }
+}
+
+/// Squared loss `ℓ(τ) = (1 − τ)²/2` — least-squares classification; also
+/// the loss whose minimizer reduces weight estimation to frequency
+/// estimation in the paper's Definition 3 discussion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Squared;
+
+impl Loss for Squared {
+    #[inline]
+    fn value(&self, margin: f64) -> f64 {
+        (1.0 - margin) * (1.0 - margin) / 2.0
+    }
+
+    #[inline]
+    fn deriv(&self, margin: f64) -> f64 {
+        margin - 1.0
+    }
+
+    fn smoothness(&self) -> f64 {
+        1.0
+    }
+}
+
+/// A runtime-selectable loss, so experiment configs can be plain data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum LossKind {
+    /// Logistic regression (the paper's default).
+    #[default]
+    Logistic,
+    /// γ-smoothed hinge.
+    SmoothedHinge(f64),
+    /// Squared loss.
+    Squared,
+}
+
+
+impl Loss for LossKind {
+    #[inline]
+    fn value(&self, margin: f64) -> f64 {
+        match *self {
+            LossKind::Logistic => Logistic.value(margin),
+            LossKind::SmoothedHinge(g) => SmoothedHinge { gamma: g }.value(margin),
+            LossKind::Squared => Squared.value(margin),
+        }
+    }
+
+    #[inline]
+    fn deriv(&self, margin: f64) -> f64 {
+        match *self {
+            LossKind::Logistic => Logistic.deriv(margin),
+            LossKind::SmoothedHinge(g) => SmoothedHinge { gamma: g }.deriv(margin),
+            LossKind::Squared => Squared.deriv(margin),
+        }
+    }
+
+    fn smoothness(&self) -> f64 {
+        match *self {
+            LossKind::Logistic => Logistic.smoothness(),
+            LossKind::SmoothedHinge(g) => SmoothedHinge { gamma: g }.smoothness(),
+            LossKind::Squared => Squared.smoothness(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_deriv<L: Loss>(loss: &L, t: f64) -> f64 {
+        let h = 1e-6;
+        (loss.value(t + h) - loss.value(t - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn logistic_values() {
+        let l = Logistic;
+        assert!((l.value(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!(l.value(100.0) < 1e-12);
+        assert!((l.value(-100.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logistic_deriv_matches_numeric() {
+        let l = Logistic;
+        for t in [-5.0, -1.0, -0.1, 0.0, 0.1, 1.0, 5.0] {
+            assert!(
+                (l.deriv(t) - numeric_deriv(&l, t)).abs() < 1e-6,
+                "t = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn logistic_deriv_bounded_in_minus_one_zero() {
+        let l = Logistic;
+        for t in [-700.0, -10.0, 0.0, 10.0, 700.0] {
+            let d = l.deriv(t);
+            assert!((-1.0..=0.0).contains(&d), "deriv({t}) = {d}");
+            assert!(d.is_finite());
+        }
+    }
+
+    #[test]
+    fn smoothed_hinge_regions_and_continuity() {
+        let l = SmoothedHinge { gamma: 0.5 };
+        assert_eq!(l.value(2.0), 0.0);
+        assert_eq!(l.deriv(2.0), 0.0);
+        assert_eq!(l.deriv(-1.0), -1.0);
+        // Continuity at the region boundaries.
+        for b in [1.0, 0.5] {
+            let eps = 1e-9;
+            assert!((l.value(b - eps) - l.value(b + eps)).abs() < 1e-6);
+            assert!((l.deriv(b - eps) - l.deriv(b + eps)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn smoothed_hinge_deriv_matches_numeric() {
+        let l = SmoothedHinge { gamma: 0.7 };
+        for t in [-2.0, 0.0, 0.4, 0.9, 1.5] {
+            assert!((l.deriv(t) - numeric_deriv(&l, t)).abs() < 1e-5, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn squared_deriv_matches_numeric() {
+        let l = Squared;
+        for t in [-3.0, 0.0, 1.0, 2.5] {
+            assert!((l.deriv(t) - numeric_deriv(&l, t)).abs() < 1e-6);
+        }
+        assert_eq!(l.value(1.0), 0.0);
+    }
+
+    #[test]
+    fn losses_are_convex_on_samples() {
+        // ℓ(midpoint) ≤ average of endpoints for sample pairs.
+        let losses: Vec<Box<dyn Loss>> = vec![
+            Box::new(Logistic),
+            Box::new(SmoothedHinge { gamma: 0.5 }),
+            Box::new(Squared),
+        ];
+        for l in &losses {
+            for (a, b) in [(-3.0, 2.0), (0.0, 1.0), (-1.0, -0.5), (1.0, 4.0)] {
+                let mid = l.value((a + b) / 2.0);
+                let avg = (l.value(a) + l.value(b)) / 2.0;
+                assert!(mid <= avg + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn loss_kind_dispatch_matches_concrete() {
+        for t in [-2.0, 0.0, 3.0] {
+            assert_eq!(LossKind::Logistic.value(t), Logistic.value(t));
+            assert_eq!(
+                LossKind::SmoothedHinge(0.5).deriv(t),
+                SmoothedHinge { gamma: 0.5 }.deriv(t)
+            );
+            assert_eq!(LossKind::Squared.value(t), Squared.value(t));
+        }
+    }
+}

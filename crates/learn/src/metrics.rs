@@ -1,0 +1,262 @@
+//! The paper's evaluation metrics.
+
+use crate::traits::WeightEstimator;
+use wmsketch_hh::WeightEntry;
+
+/// Online (progressive-validation) classification error rate, §7.3: for
+/// each example, record whether the prediction made *before* seeing the
+/// label was correct.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineErrorRate {
+    mistakes: u64,
+    total: u64,
+}
+
+impl OnlineErrorRate {
+    /// A fresh tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction/label pair.
+    pub fn record(&mut self, predicted: i8, actual: i8) {
+        self.total += 1;
+        if predicted != actual {
+            self.mistakes += 1;
+        }
+    }
+
+    /// Cumulative mistakes ÷ examples (0 if no examples yet).
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.mistakes as f64 / self.total as f64
+        }
+    }
+
+    /// Number of recorded examples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of mistakes.
+    #[must_use]
+    pub fn mistakes(&self) -> u64 {
+        self.mistakes
+    }
+}
+
+/// The top-`k` entries of a dense weight vector by |weight|, descending —
+/// the ground-truth `wK*` of the RelErr metric.
+#[must_use]
+pub fn top_k_of_dense(w: &[f64], k: usize) -> Vec<WeightEntry> {
+    let mut entries: Vec<WeightEntry> = w
+        .iter()
+        .enumerate()
+        .map(|(i, &weight)| WeightEntry { feature: i as u32, weight })
+        .collect();
+    entries.sort_by(|a, b| {
+        b.weight
+            .abs()
+            .partial_cmp(&a.weight.abs())
+            .expect("NaN weight")
+            .then(a.feature.cmp(&b.feature))
+    });
+    entries.truncate(k);
+    entries
+}
+
+/// The paper's relative ℓ2 recovery error (§7.2):
+///
+/// `RelErr(wK, w*) = ‖wK − w*‖₂ / ‖wK* − w*‖₂`
+///
+/// where `wK` is the K-sparse vector holding a method's estimated top-K
+/// weights (at its claimed positions), `w*` the reference dense weights,
+/// and `wK*` the true top-K of `w*`. Bounded below by 1; equals 1 when the
+/// method returns exactly the true top-K with exact values.
+///
+/// If the reference is itself K-sparse (denominator 0 — the true top-K is
+/// a perfect reconstruction), returns 1.0 for an exact match and `+∞`
+/// otherwise.
+#[must_use]
+pub fn rel_err_top_k(estimated: &[WeightEntry], w_star: &[f64], k: usize) -> f64 {
+    let truth = top_k_of_dense(w_star, k);
+    let denom = sparse_vs_dense_l2(&truth, w_star);
+    let numer = sparse_vs_dense_l2(&estimated[..estimated.len().min(k)], w_star);
+    if denom == 0.0 {
+        return if numer == 0.0 { 1.0 } else { f64::INFINITY };
+    }
+    numer / denom
+}
+
+/// ‖sparse − dense‖₂ where `sparse` holds the K kept coordinates and every
+/// other coordinate of the difference equals the dense vector.
+fn sparse_vs_dense_l2(kept: &[WeightEntry], dense: &[f64]) -> f64 {
+    // Σ_i dense_i² − Σ_kept dense_i² + Σ_kept (kept_i − dense_i)².
+    let total: f64 = dense.iter().map(|v| v * v).sum();
+    let mut acc = total;
+    for e in kept {
+        let d = dense.get(e.feature as usize).copied().unwrap_or(0.0);
+        acc -= d * d;
+        acc += (e.weight - d) * (e.weight - d);
+    }
+    acc.max(0.0).sqrt()
+}
+
+/// Pearson correlation coefficient between two equal-length samples
+/// (Fig. 9 compares recovered weights against exact relative risks).
+///
+/// Returns 0 for degenerate inputs (length < 2 or zero variance).
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// Recall of a retrieved set against a reference set (Fig. 10): the
+/// fraction of `relevant` items present in `retrieved`.
+///
+/// Returns 1.0 when `relevant` is empty (vacuous truth).
+#[must_use]
+pub fn recall_at_threshold(retrieved: &[u64], relevant: &[u64]) -> f64 {
+    if relevant.is_empty() {
+        return 1.0;
+    }
+    let set: std::collections::HashSet<&u64> = retrieved.iter().collect();
+    let hit = relevant.iter().filter(|r| set.contains(r)).count();
+    hit as f64 / relevant.len() as f64
+}
+
+/// The top-`k` features by |estimate| over an explicit candidate domain —
+/// how recovery is evaluated for methods without native top-K retrieval
+/// (feature hashing scans the domain; paper §7.2).
+#[must_use]
+pub fn top_k_by_estimate<E: WeightEstimator + ?Sized>(
+    est: &E,
+    domain: std::ops::Range<u32>,
+    k: usize,
+) -> Vec<WeightEntry> {
+    let mut heap = wmsketch_hh::TopKWeights::new(k.max(1));
+    for feature in domain {
+        heap.offer(feature, est.estimate(feature));
+    }
+    heap.top_k(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_rate_counts() {
+        let mut e = OnlineErrorRate::new();
+        assert_eq!(e.rate(), 0.0);
+        e.record(1, 1);
+        e.record(1, -1);
+        e.record(-1, -1);
+        e.record(-1, 1);
+        assert_eq!(e.rate(), 0.5);
+        assert_eq!(e.count(), 4);
+        assert_eq!(e.mistakes(), 2);
+    }
+
+    #[test]
+    fn rel_err_is_one_for_perfect_recovery() {
+        let w = [5.0, -4.0, 3.0, 0.1, 0.0];
+        let perfect = top_k_of_dense(&w, 3);
+        let r = rel_err_top_k(&perfect, &w, 3);
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_err_increases_for_wrong_features() {
+        let w = [5.0, -4.0, 3.0, 0.1, 0.0];
+        let wrong = vec![
+            WeightEntry { feature: 3, weight: 0.1 },
+            WeightEntry { feature: 4, weight: 0.0 },
+        ];
+        let r = rel_err_top_k(&wrong, &w, 2);
+        assert!(r > 1.0);
+    }
+
+    #[test]
+    fn rel_err_penalizes_value_errors() {
+        let w = [5.0, -4.0, 3.0];
+        let noisy = vec![
+            WeightEntry { feature: 0, weight: 4.0 },
+            WeightEntry { feature: 1, weight: -4.5 },
+        ];
+        let exact = top_k_of_dense(&w, 2);
+        assert!(rel_err_top_k(&noisy, &w, 2) > rel_err_top_k(&exact, &w, 2));
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_inputs() {
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn recall_basic() {
+        assert_eq!(recall_at_threshold(&[1, 2, 3], &[2, 3, 4, 5]), 0.5);
+        assert_eq!(recall_at_threshold(&[], &[1]), 0.0);
+        assert_eq!(recall_at_threshold(&[1], &[]), 1.0);
+    }
+
+    #[test]
+    fn top_k_of_dense_orders_by_magnitude() {
+        let w = [0.5, -3.0, 2.0];
+        let top = top_k_of_dense(&w, 2);
+        assert_eq!(top[0].feature, 1);
+        assert_eq!(top[1].feature, 2);
+    }
+
+    #[test]
+    fn top_k_by_estimate_scans_domain() {
+        struct E;
+        impl WeightEstimator for E {
+            fn estimate(&self, f: u32) -> f64 {
+                if f == 7 {
+                    10.0
+                } else {
+                    f64::from(f) * 0.01
+                }
+            }
+        }
+        let top = top_k_by_estimate(&E, 0..100, 2);
+        assert_eq!(top[0].feature, 7);
+        assert_eq!(top[1].feature, 99);
+    }
+}

@@ -1,0 +1,153 @@
+//! The global weight-decay scale trick (paper §5.1, "Efficient
+//! Regularization").
+//!
+//! A naïve `ℓ2` decay multiplies every stored weight by `(1 − η_t λ)` each
+//! step — `O(k)` per update. Instead every learner stores *pre-scale*
+//! weights `v` and a single global factor `α` with logical weights
+//! `w = α·v`; decay is `α ← (1 − η_t λ)·α`, and writes of a logical delta
+//! `δ` become `v += δ/α`. When `α` underflows a threshold the stored
+//! weights are folded back (`v ← α·v`, `α ← 1`) to keep `δ/α` numerically
+//! sane — that fold is the only `O(k)` operation and it is exponentially
+//! rare.
+
+/// Tracks the global scale factor α and decides when to renormalize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleState {
+    alpha: f64,
+    /// Fold threshold; 1e-9 keeps `1/α ≤ 1e9`, far from `f64` trouble.
+    threshold: f64,
+}
+
+impl Default for ScaleState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScaleState {
+    /// A fresh scale of 1.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { alpha: 1.0, threshold: 1e-9 }
+    }
+
+    /// The current scale α.
+    #[inline]
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Applies one step of weight decay: `α ← (1 − η λ)·α`.
+    ///
+    /// Returns `true` if the caller must now fold the scale into its stored
+    /// weights via [`ScaleState::fold`] (i.e. multiply them all by
+    /// [`ScaleState::alpha`] and treat the scale as reset to 1).
+    ///
+    /// # Panics
+    /// Panics (debug only) if `η λ ≥ 1`, which would flip weight signs.
+    #[inline]
+    #[must_use]
+    pub fn decay(&mut self, eta: f64, lambda: f64) -> bool {
+        let f = 1.0 - eta * lambda;
+        debug_assert!(f > 0.0, "eta*lambda must be < 1 (got eta={eta}, lambda={lambda})");
+        self.alpha *= f;
+        self.alpha < self.threshold
+    }
+
+    /// Resets the scale to 1 after the caller has folded α into its stored
+    /// weights. Returns the α that was folded.
+    #[inline]
+    pub fn fold(&mut self) -> f64 {
+        std::mem::replace(&mut self.alpha, 1.0)
+    }
+
+    /// Converts a logical weight delta into a stored (pre-scale) delta.
+    #[inline]
+    #[must_use]
+    pub fn store(&self, logical_delta: f64) -> f64 {
+        logical_delta / self.alpha
+    }
+
+    /// Converts a stored (pre-scale) weight into a logical weight.
+    #[inline]
+    #[must_use]
+    pub fn load(&self, stored: f64) -> f64 {
+        stored * self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decay_accumulates_multiplicatively() {
+        let mut s = ScaleState::new();
+        assert!(!s.decay(0.1, 0.5)); // α = 0.95
+        assert!(!s.decay(0.1, 0.5)); // α = 0.9025
+        assert!((s.alpha() - 0.9025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mut s = ScaleState::new();
+        let _ = s.decay(0.5, 0.5); // α = 0.75
+        let stored = s.store(3.0);
+        assert!((s.load(stored) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_learner_equals_naive_decay() {
+        // Simulate 1000 steps of decay + sparse writes against a naive
+        // implementation that scales the whole array each step.
+        let mut naive = [0.0f64; 4];
+        let mut stored = [0.0f64; 4];
+        let mut scale = ScaleState::new();
+        for t in 1..=1000u64 {
+            let eta = 0.1 / (t as f64).sqrt();
+            let lambda = 0.01;
+            for w in &mut naive {
+                *w *= 1.0 - eta * lambda;
+            }
+            if scale.decay(eta, lambda) {
+                let a = scale.fold();
+                for v in &mut stored {
+                    *v *= a;
+                }
+            }
+            let idx = (t % 4) as usize;
+            let delta = 0.05 * (t as f64).sin();
+            naive[idx] += delta;
+            stored[idx] += scale.store(delta);
+        }
+        for i in 0..4 {
+            assert!(
+                (naive[i] - scale.load(stored[i])).abs() < 1e-9,
+                "index {i}: naive {} vs scaled {}",
+                naive[i],
+                scale.load(stored[i])
+            );
+        }
+    }
+
+    #[test]
+    fn fold_triggers_on_underflow_and_preserves_logical_weights() {
+        let mut s = ScaleState::new();
+        let mut stored = 1.0e8; // logical = 1e8 * α
+        let mut folds = 0;
+        for _ in 0..3000 {
+            let logical_before = s.load(stored);
+            if s.decay(0.9, 0.9) {
+                let a = s.fold();
+                stored *= a;
+                folds += 1;
+            }
+            let logical_after = s.load(stored);
+            let expected = logical_before * (1.0 - 0.81);
+            assert!((logical_after - expected).abs() <= 1e-9 * expected.abs().max(1.0));
+        }
+        assert!(folds >= 1, "underflow fold never triggered");
+        assert!(s.alpha() >= 1e-9);
+    }
+}

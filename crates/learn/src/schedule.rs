@@ -1,0 +1,102 @@
+//! Learning-rate schedules `η_t` for online gradient descent.
+//!
+//! The paper's experiments use an initial rate `η₀ = 0.1` with a
+//! `1/√t` decay; constant and `1/t` schedules are provided for ablations
+//! (`1/(λt)` is the classic rate for λ-strongly-convex objectives).
+
+/// A learning-rate schedule evaluated at step `t` (1-based).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LearningRate {
+    /// `η_t = η₀`.
+    Constant(f64),
+    /// `η_t = η₀ / √t` — the paper's default.
+    InvSqrt(f64),
+    /// `η_t = η₀ / t`.
+    InvT(f64),
+}
+
+impl Default for LearningRate {
+    /// The paper's experimental setting: `η₀ = 0.1` with `1/√t` decay.
+    fn default() -> Self {
+        Self::InvSqrt(0.1)
+    }
+}
+
+impl LearningRate {
+    /// The rate at step `t` (the first update is `t = 1`).
+    ///
+    /// # Panics
+    /// Panics (debug only) if `t == 0`.
+    #[inline]
+    #[must_use]
+    pub fn at(&self, t: u64) -> f64 {
+        debug_assert!(t >= 1, "learning-rate steps are 1-based");
+        match *self {
+            LearningRate::Constant(e0) => e0,
+            LearningRate::InvSqrt(e0) => e0 / (t as f64).sqrt(),
+            LearningRate::InvT(e0) => e0 / t as f64,
+        }
+    }
+
+    /// The initial rate η₀.
+    #[must_use]
+    pub fn eta0(&self) -> f64 {
+        match *self {
+            LearningRate::Constant(e0)
+            | LearningRate::InvSqrt(e0)
+            | LearningRate::InvT(e0) => e0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LearningRate::Constant(0.5);
+        assert_eq!(s.at(1), 0.5);
+        assert_eq!(s.at(1000), 0.5);
+    }
+
+    #[test]
+    fn inv_sqrt_decays() {
+        let s = LearningRate::InvSqrt(0.1);
+        assert_eq!(s.at(1), 0.1);
+        assert!((s.at(4) - 0.05).abs() < 1e-12);
+        assert!((s.at(100) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inv_t_decays_faster() {
+        let s = LearningRate::InvT(1.0);
+        assert_eq!(s.at(1), 1.0);
+        assert_eq!(s.at(10), 0.1);
+        assert!(s.at(100) < LearningRate::InvSqrt(1.0).at(100));
+    }
+
+    #[test]
+    fn default_matches_paper() {
+        let s = LearningRate::default();
+        assert_eq!(s.eta0(), 0.1);
+        assert!(matches!(s, LearningRate::InvSqrt(_)));
+    }
+
+    #[test]
+    fn rates_are_monotone_nonincreasing() {
+        for s in [
+            LearningRate::Constant(0.3),
+            LearningRate::InvSqrt(0.3),
+            LearningRate::InvT(0.3),
+        ] {
+            let mut prev = f64::INFINITY;
+            for t in 1..100 {
+                let e = s.at(t);
+                assert!(e <= prev + 1e-15);
+                assert!(e > 0.0);
+                prev = e;
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The interfaces shared by every budgeted classifier in the workspace.
+
+use crate::vector::SparseVector;
+use wmsketch_hh::WeightEntry;
+
+/// A binary class label, `+1` or `-1` (the paper's `y_t ∈ {−1, +1}`).
+pub type Label = i8;
+
+/// Validates a label in debug builds (`+1` / `-1` only).
+#[inline]
+pub fn debug_check_label(y: Label) {
+    debug_assert!(y == 1 || y == -1, "labels must be +1 or -1, got {y}");
+}
+
+/// An online binary linear classifier trained by streaming updates.
+pub trait OnlineLearner {
+    /// The model's margin `wᵀx` (positive ⇒ predict `+1`).
+    fn margin(&self, x: &SparseVector) -> f64;
+
+    /// Observes one labelled example and updates the model.
+    fn update(&mut self, x: &SparseVector, y: Label);
+
+    /// Predicted label: `sign(wᵀx)`, with ties going to `+1` (matching the
+    /// paper's `ŷ = sign(wᵀx)` convention for non-negative margins).
+    fn predict(&self, x: &SparseVector) -> Label {
+        if self.margin(x) >= 0.0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Number of updates applied so far.
+    fn examples_seen(&self) -> u64;
+}
+
+/// Point estimation of individual model weights — the paper's
+/// `(ε, p)`-approximate weight estimation interface (Definition 3).
+pub trait WeightEstimator {
+    /// An estimate `ŵ_i` of the optimal classifier's weight for `feature`.
+    fn estimate(&self, feature: u32) -> f64;
+}
+
+/// Native retrieval of the most heavily-weighted features. Methods that
+/// track identifiers (WM/AWM, truncation, frequent-features) implement
+/// this; feature hashing does not (its table is anonymous), which is
+/// exactly the interpretability gap the paper's WM-Sketch closes.
+pub trait TopKRecovery {
+    /// The top `k` features by estimated |weight|, sorted descending.
+    fn recover_top_k(&self, k: usize) -> Vec<WeightEntry>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Stub(f64);
+    impl OnlineLearner for Stub {
+        fn margin(&self, _x: &SparseVector) -> f64 {
+            self.0
+        }
+        fn update(&mut self, _x: &SparseVector, _y: Label) {}
+        fn examples_seen(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn predict_sign_convention() {
+        let x = SparseVector::new();
+        assert_eq!(Stub(0.5).predict(&x), 1);
+        assert_eq!(Stub(0.0).predict(&x), 1); // ties → +1
+        assert_eq!(Stub(-0.5).predict(&x), -1);
+    }
+}

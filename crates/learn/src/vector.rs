@@ -1,0 +1,231 @@
+//! Sparse feature vectors.
+
+/// A sparse vector over features `0..d` with `f64` values.
+///
+/// Indices are stored sorted and deduplicated; construction enforces this
+/// so dot products and merges can assume it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVector {
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseVector {
+    /// The empty vector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a vector from `(index, value)` pairs. Pairs are sorted;
+    /// duplicate indices are summed; zero values are kept (callers may use
+    /// explicit zeros to mark observed-but-zero features).
+    #[must_use]
+    pub fn from_pairs(pairs: &[(u32, f64)]) -> Self {
+        let mut sorted: Vec<(u32, f64)> = pairs.to_vec();
+        sorted.sort_by_key(|&(i, _)| i);
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
+        for (i, v) in sorted {
+            if indices.last() == Some(&i) {
+                *values.last_mut().expect("parallel arrays") += v;
+            } else {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        Self { indices, values }
+    }
+
+    /// A 1-sparse vector (used heavily by the §8 applications, which emit
+    /// one attribute per example).
+    #[must_use]
+    pub fn one_hot(index: u32, value: f64) -> Self {
+        Self { indices: vec![index], values: vec![value] }
+    }
+
+    /// Builds from pre-sorted, deduplicated parallel arrays.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or indices are not strictly increasing.
+    #[must_use]
+    pub fn from_sorted(indices: Vec<u32>, values: Vec<f64>) -> Self {
+        assert_eq!(indices.len(), values.len(), "parallel array length mismatch");
+        assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "indices must be strictly increasing"
+        );
+        Self { indices, values }
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the vector has no stored entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Stored indices (sorted ascending).
+    #[must_use]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Stored values, parallel to [`Self::indices`].
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates over `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The value at `index` (0 if absent). `O(log nnz)`.
+    #[must_use]
+    pub fn get(&self, index: u32) -> f64 {
+        match self.indices.binary_search(&index) {
+            Ok(slot) => self.values[slot],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The ℓ1 norm `Σ|x_i|` (the paper's `γ = max_t ‖x_t‖₁` controls the
+    /// recovery bound of Theorem 1).
+    #[must_use]
+    pub fn l1_norm(&self) -> f64 {
+        self.values.iter().map(|v| v.abs()).sum()
+    }
+
+    /// The ℓ2 norm.
+    #[must_use]
+    pub fn l2_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Scales all values in place by `c`.
+    pub fn scale(&mut self, c: f64) {
+        for v in &mut self.values {
+            *v *= c;
+        }
+    }
+
+    /// Normalizes to unit ℓ2 norm (no-op on the zero vector). The paper's
+    /// experiments assume `‖x_t‖₂ ≤ 1` (Theorem 2).
+    pub fn l2_normalize(&mut self) {
+        let n = self.l2_norm();
+        if n > 0.0 {
+            self.scale(1.0 / n);
+        }
+    }
+
+    /// Dot product with a dense weight slice. Indices beyond the slice
+    /// contribute zero.
+    #[must_use]
+    pub fn dot_dense(&self, w: &[f64]) -> f64 {
+        self.iter()
+            .map(|(i, v)| w.get(i as usize).copied().unwrap_or(0.0) * v)
+            .sum()
+    }
+
+    /// Dot product with another sparse vector (merge join).
+    #[must_use]
+    pub fn dot_sparse(&self, other: &SparseVector) -> f64 {
+        let (mut a, mut b) = (0usize, 0usize);
+        let mut acc = 0.0;
+        while a < self.nnz() && b < other.nnz() {
+            match self.indices[a].cmp(&other.indices[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.values[a] * other.values[b];
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_merges_duplicates() {
+        let v = SparseVector::from_pairs(&[(5, 1.0), (2, 2.0), (5, 3.0)]);
+        assert_eq!(v.indices(), &[2, 5]);
+        assert_eq!(v.values(), &[2.0, 4.0]);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn get_binary_search() {
+        let v = SparseVector::from_pairs(&[(1, 1.0), (100, -2.0), (1000, 3.0)]);
+        assert_eq!(v.get(1), 1.0);
+        assert_eq!(v.get(100), -2.0);
+        assert_eq!(v.get(50), 0.0);
+        assert_eq!(v.get(1001), 0.0);
+    }
+
+    #[test]
+    fn norms() {
+        let v = SparseVector::from_pairs(&[(0, 3.0), (1, -4.0)]);
+        assert_eq!(v.l1_norm(), 7.0);
+        assert_eq!(v.l2_norm(), 5.0);
+    }
+
+    #[test]
+    fn l2_normalize_zero_vector_is_noop() {
+        let mut v = SparseVector::new();
+        v.l2_normalize();
+        assert!(v.is_empty());
+        let mut v = SparseVector::from_pairs(&[(0, 0.0)]);
+        v.l2_normalize();
+        assert_eq!(v.get(0), 0.0);
+    }
+
+    #[test]
+    fn l2_normalize_makes_unit() {
+        let mut v = SparseVector::from_pairs(&[(0, 3.0), (7, 4.0)]);
+        v.l2_normalize();
+        assert!((v.l2_norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_dense_ignores_out_of_range() {
+        let v = SparseVector::from_pairs(&[(0, 2.0), (10, 5.0)]);
+        let w = [1.0, 1.0, 1.0];
+        assert_eq!(v.dot_dense(&w), 2.0);
+    }
+
+    #[test]
+    fn dot_sparse_merge_join() {
+        let a = SparseVector::from_pairs(&[(1, 2.0), (3, 1.0), (5, -1.0)]);
+        let b = SparseVector::from_pairs(&[(3, 4.0), (5, 2.0), (9, 7.0)]);
+        assert_eq!(a.dot_sparse(&b), 4.0 - 2.0);
+        assert_eq!(b.dot_sparse(&a), 2.0);
+        assert_eq!(a.dot_sparse(&SparseVector::new()), 0.0);
+    }
+
+    #[test]
+    fn one_hot() {
+        let v = SparseVector::one_hot(42, 1.0);
+        assert_eq!(v.nnz(), 1);
+        assert_eq!(v.get(42), 1.0);
+        assert_eq!(v.l1_norm(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_sorted_rejects_unsorted() {
+        let _ = SparseVector::from_sorted(vec![2, 1], vec![1.0, 1.0]);
+    }
+}

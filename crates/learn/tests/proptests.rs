@@ -1,0 +1,136 @@
+//! Property-based tests for the online-learning kernel.
+
+use proptest::prelude::*;
+use wmsketch_learn::{
+    Logistic, Loss, LossKind, OnlineLearner, ScaleState, SmoothedHinge, SparseVector, Squared,
+};
+
+fn pairs_strategy() -> impl Strategy<Value = Vec<(u32, f64)>> {
+    prop::collection::vec((0u32..1000, -10.0f64..10.0), 0..40)
+}
+
+proptest! {
+    /// from_pairs produces sorted, deduplicated indices whose values sum
+    /// the duplicates.
+    #[test]
+    fn sparse_vector_construction_invariants(pairs in pairs_strategy()) {
+        let v = SparseVector::from_pairs(&pairs);
+        prop_assert!(v.indices().windows(2).all(|w| w[0] < w[1]));
+        for (i, val) in v.iter() {
+            let expect: f64 = pairs.iter().filter(|&&(j, _)| j == i).map(|&(_, x)| x).sum();
+            prop_assert!((val - expect).abs() < 1e-9);
+        }
+    }
+
+    /// Dot products are symmetric and bilinear in scaling.
+    #[test]
+    fn dot_product_properties(a in pairs_strategy(), b in pairs_strategy(), c in -5.0f64..5.0) {
+        let va = SparseVector::from_pairs(&a);
+        let vb = SparseVector::from_pairs(&b);
+        let ab = va.dot_sparse(&vb);
+        let ba = vb.dot_sparse(&va);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        let mut va_scaled = va.clone();
+        va_scaled.scale(c);
+        prop_assert!((va_scaled.dot_sparse(&vb) - c * ab).abs() < 1e-6 * (1.0 + ab.abs()));
+    }
+
+    /// Cauchy–Schwarz: |⟨a,b⟩| ≤ ‖a‖₂·‖b‖₂ and ‖a‖₂ ≤ ‖a‖₁.
+    #[test]
+    fn norm_inequalities(a in pairs_strategy(), b in pairs_strategy()) {
+        let va = SparseVector::from_pairs(&a);
+        let vb = SparseVector::from_pairs(&b);
+        prop_assert!(va.dot_sparse(&vb).abs() <= va.l2_norm() * vb.l2_norm() + 1e-9);
+        prop_assert!(va.l2_norm() <= va.l1_norm() + 1e-12);
+    }
+
+    /// Every loss is non-negative, and its derivative is non-positive for
+    /// any margin below its zero-loss region (losses penalize small
+    /// margins).
+    #[test]
+    fn loss_sign_properties(t in -50.0f64..50.0, gamma in 0.1f64..1.0) {
+        for loss in [
+            LossKind::Logistic,
+            LossKind::SmoothedHinge(gamma),
+            LossKind::Squared,
+        ] {
+            prop_assert!(loss.value(t) >= 0.0, "{loss:?} value({t})");
+        }
+        // Margin-decreasing losses: logistic and hinge derivatives ≤ 0.
+        prop_assert!(Logistic.deriv(t) <= 0.0);
+        let hinge = SmoothedHinge { gamma };
+        prop_assert!(hinge.deriv(t) <= 0.0);
+        // Squared loss derivative is (t − 1): negative below margin 1.
+        if t < 1.0 {
+            prop_assert!(Squared.deriv(t) < 0.0);
+        }
+    }
+
+    /// Derivatives numerically match values for random margins.
+    #[test]
+    fn derivatives_match_numeric(t in -20.0f64..20.0) {
+        let h = 1e-6;
+        for loss in [LossKind::Logistic, LossKind::SmoothedHinge(0.5), LossKind::Squared] {
+            let numeric = (loss.value(t + h) - loss.value(t - h)) / (2.0 * h);
+            prop_assert!(
+                (loss.deriv(t) - numeric).abs() < 1e-4,
+                "{loss:?} at {t}: {} vs {numeric}",
+                loss.deriv(t)
+            );
+        }
+    }
+
+    /// The scale trick: any sequence of decays and sparse writes gives the
+    /// same logical weights as the naive O(k)-per-step implementation.
+    #[test]
+    fn scale_state_equals_naive(
+        steps in prop::collection::vec((0usize..4, -1.0f64..1.0, 1e-4f64..0.5), 1..200)
+    ) {
+        let mut naive = [0.0f64; 4];
+        let mut stored = [0.0f64; 4];
+        let mut scale = ScaleState::new();
+        for &(idx, delta, eta_lambda) in &steps {
+            for w in &mut naive {
+                *w *= 1.0 - eta_lambda;
+            }
+            if scale.decay(eta_lambda, 1.0) {
+                let a = scale.fold();
+                for v in &mut stored {
+                    *v *= a;
+                }
+            }
+            naive[idx] += delta;
+            stored[idx] += scale.store(delta);
+        }
+        for i in 0..4 {
+            let logical = scale.load(stored[i]);
+            prop_assert!(
+                (naive[i] - logical).abs() < 1e-9 * (1.0 + naive[i].abs()),
+                "slot {i}: naive {} vs scaled {}", naive[i], logical
+            );
+        }
+    }
+
+    /// The dense LR baseline's margin is exactly the dot product of its
+    /// weights with the input, for arbitrary update sequences.
+    #[test]
+    fn logreg_margin_consistency(
+        stream in prop::collection::vec(
+            (prop::collection::vec((0u32..16, 0.1f64..2.0), 1..4),
+             prop::sample::select(vec![1i8, -1])),
+            1..60,
+        )
+    ) {
+        use wmsketch_learn::{LogisticRegression, LogisticRegressionConfig};
+        let mut lr = LogisticRegression::new(
+            LogisticRegressionConfig::new(16).lambda(1e-3).track_top_k(0),
+        );
+        for (pairs, y) in &stream {
+            lr.update(&SparseVector::from_pairs(pairs), *y);
+        }
+        let w = lr.weights();
+        let probe = SparseVector::from_pairs(&[(0, 1.0), (7, -2.0), (15, 0.5)]);
+        let expect = probe.dot_dense(&w);
+        prop_assert!((lr.margin(&probe) - expect).abs() < 1e-9);
+    }
+}

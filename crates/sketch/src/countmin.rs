@@ -1,0 +1,245 @@
+//! The Count-Min sketch of Cormode & Muthukrishnan (2005).
+//!
+//! Non-negative counters; each key hashes to one cell per row (no signs) and
+//! the estimate is the *minimum* over rows, giving a one-sided guarantee:
+//! `v_i ≤ v̂_i ≤ v_i + ε‖v‖₁` with width `Θ(1/ε)` and depth `Θ(log(d/δ))`.
+//!
+//! Used by the frequent-features baseline classifier and, in pairs, by the
+//! relative-deltoid baseline of Figure 10 (as in Cormode–Muthukrishnan's
+//! "What's new" paper).
+
+use wmsketch_hashing::{HashFamilyKind, RowHashers};
+
+/// Update policy for the Count-Min sketch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CountMinUpdate {
+    /// Classic: add the delta to every row's cell.
+    #[default]
+    Classic,
+    /// Conservative update (Estan–Varghese): only raise cells to the new
+    /// lower bound, reducing over-estimation for skewed streams. An
+    /// extension over the paper's baseline, used in ablations.
+    Conservative,
+}
+
+/// A Count-Min sketch over 64-bit keys with `f64` counters.
+pub struct CountMinSketch {
+    hashers: RowHashers,
+    table: Vec<f64>,
+    width: usize,
+    depth: usize,
+    policy: CountMinUpdate,
+    total: f64,
+}
+
+impl std::fmt::Debug for CountMinSketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CountMinSketch")
+            .field("depth", &self.depth)
+            .field("width", &self.width)
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CountMinSketch {
+    /// Creates a `depth × width` Count-Min sketch with the classic update
+    /// policy and tabulation hashing.
+    ///
+    /// # Panics
+    /// Panics if `depth == 0` or `width == 0`.
+    #[must_use]
+    pub fn new(depth: u32, width: u32, seed: u64) -> Self {
+        Self::with_policy(CountMinUpdate::Classic, depth, width, seed)
+    }
+
+    /// Creates a Count-Min sketch with an explicit update policy.
+    ///
+    /// # Panics
+    /// Panics if `depth == 0` or `width == 0`.
+    #[must_use]
+    pub fn with_policy(policy: CountMinUpdate, depth: u32, width: u32, seed: u64) -> Self {
+        let hashers = RowHashers::new(HashFamilyKind::Tabulation, depth, width, seed);
+        Self {
+            hashers,
+            table: vec![0.0; depth as usize * width as usize],
+            width: width as usize,
+            depth: depth as usize,
+            policy,
+            total: 0.0,
+        }
+    }
+
+    /// Sketch depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Row width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total cells.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Sum of all inserted deltas (the stream length `‖v‖₁` for unit
+    /// increments).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Adds a non-negative `delta` to `key`'s count.
+    ///
+    /// # Panics
+    /// Panics (debug only) if `delta` is negative — Count-Min's minimum
+    /// estimator is only valid for non-negative updates.
+    #[inline]
+    pub fn update(&mut self, key: u64, delta: f64) {
+        debug_assert!(delta >= 0.0, "Count-Min requires non-negative updates");
+        self.total += delta;
+        match self.policy {
+            CountMinUpdate::Classic => {
+                for j in 0..self.depth {
+                    let b = self.hashers.row(j).bucket(key) as usize;
+                    self.table[j * self.width + b] += delta;
+                }
+            }
+            CountMinUpdate::Conservative => {
+                // Raise each cell only to (current estimate + delta).
+                let target = self.estimate(key) + delta;
+                for j in 0..self.depth {
+                    let b = self.hashers.row(j).bucket(key) as usize;
+                    let cell = &mut self.table[j * self.width + b];
+                    if *cell < target {
+                        *cell = target;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Point estimate (minimum over rows); always ≥ the true count.
+    #[inline]
+    #[must_use]
+    pub fn estimate(&self, key: u64) -> f64 {
+        let mut min = f64::INFINITY;
+        for j in 0..self.depth {
+            let b = self.hashers.row(j).bucket(key) as usize;
+            let v = self.table[j * self.width + b];
+            if v < min {
+                min = v;
+            }
+        }
+        min
+    }
+
+    /// Resets the sketch.
+    pub fn clear(&mut self) {
+        self.table.fill(0.0);
+        self.total = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_single_key() {
+        let mut cm = CountMinSketch::new(4, 32, 1);
+        cm.update(9, 3.0);
+        cm.update(9, 4.0);
+        assert_eq!(cm.estimate(9), 7.0);
+        assert_eq!(cm.total(), 7.0);
+    }
+
+    #[test]
+    fn estimates_never_underestimate() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut truth = vec![0.0f64; 500];
+        let mut cm = CountMinSketch::new(4, 64, 2);
+        for _ in 0..10_000 {
+            let k = rng.random_range(0..500u64);
+            truth[k as usize] += 1.0;
+            cm.update(k, 1.0);
+        }
+        for k in 0..500u64 {
+            assert!(cm.estimate(k) >= truth[k as usize] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn l1_error_guarantee_holds_mostly() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 2000u64;
+        let width = 512u32;
+        let mut truth = vec![0.0f64; n as usize];
+        let mut cm = CountMinSketch::new(4, width, 7);
+        for _ in 0..50_000 {
+            let k = rng.random_range(0..n);
+            truth[k as usize] += 1.0;
+            cm.update(k, 1.0);
+        }
+        // ε = e / width; error ≤ ε‖v‖₁ with prob 1 − e^-depth per key.
+        let eps = std::f64::consts::E / f64::from(width);
+        let bound = eps * cm.total();
+        let failures = (0..n)
+            .filter(|&k| cm.estimate(k) - truth[k as usize] > bound)
+            .count();
+        assert!(failures <= 40, "failures {failures} bound {bound:.1}");
+    }
+
+    #[test]
+    fn conservative_update_never_underestimates_and_dominates_classic() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 300u64;
+        let mut truth = vec![0.0f64; n as usize];
+        let mut classic = CountMinSketch::new(3, 32, 9);
+        let mut cons = CountMinSketch::with_policy(CountMinUpdate::Conservative, 3, 32, 9);
+        for _ in 0..20_000 {
+            let k = rng.random_range(0..n);
+            truth[k as usize] += 1.0;
+            classic.update(k, 1.0);
+            cons.update(k, 1.0);
+        }
+        let mut total_classic_err = 0.0;
+        let mut total_cons_err = 0.0;
+        for k in 0..n {
+            let t = truth[k as usize];
+            assert!(cons.estimate(k) >= t - 1e-9, "conservative underestimated");
+            total_classic_err += classic.estimate(k) - t;
+            total_cons_err += cons.estimate(k) - t;
+        }
+        assert!(
+            total_cons_err <= total_classic_err + 1e-9,
+            "conservative {total_cons_err} vs classic {total_classic_err}"
+        );
+    }
+
+    #[test]
+    fn clear_resets_total() {
+        let mut cm = CountMinSketch::new(2, 8, 1);
+        cm.update(1, 5.0);
+        cm.clear();
+        assert_eq!(cm.total(), 0.0);
+        assert_eq!(cm.estimate(1), 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-negative")]
+    fn negative_update_panics_in_debug() {
+        let mut cm = CountMinSketch::new(2, 8, 1);
+        cm.update(1, -1.0);
+    }
+}

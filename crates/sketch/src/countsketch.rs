@@ -1,0 +1,239 @@
+//! The Count-Sketch of Charikar, Chen & Farach-Colton (2002).
+//!
+//! A depth-`s`, width-`w` array of cells. Each key `i` hashes to one cell
+//! per row with a random sign; increments are sign-flipped into the cells
+//! and the point estimate is the median over rows of the sign-corrected
+//! cells. Lemma 1 of the paper: with width `Θ(1/ε²)` and depth
+//! `Θ(log(d/δ))`, `|x̂_i − x_i| ≤ ε‖x‖₂` with probability `1 − δ`.
+
+use wmsketch_hashing::{HashFamilyKind, RowHashers};
+
+use crate::median::median_inplace;
+
+/// A Count-Sketch over 64-bit keys with `f64` cell values.
+///
+/// Values are `f64` rather than integers because the same structure carries
+/// classifier gradients in the WM-Sketch; for pure counting workloads pass
+/// integral deltas.
+pub struct CountSketch {
+    hashers: RowHashers,
+    /// Row-major `depth × width` cell array.
+    table: Vec<f64>,
+    width: usize,
+    depth: usize,
+}
+
+impl std::fmt::Debug for CountSketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CountSketch")
+            .field("depth", &self.depth)
+            .field("width", &self.width)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CountSketch {
+    /// Creates a `depth × width` Count-Sketch with tabulation hashing,
+    /// deterministically seeded.
+    ///
+    /// # Panics
+    /// Panics if `depth == 0` or `width == 0`.
+    #[must_use]
+    pub fn new(depth: u32, width: u32, seed: u64) -> Self {
+        Self::with_family(HashFamilyKind::Tabulation, depth, width, seed)
+    }
+
+    /// Creates a Count-Sketch backed by the given hash family.
+    ///
+    /// # Panics
+    /// Panics if `depth == 0` or `width == 0`.
+    #[must_use]
+    pub fn with_family(kind: HashFamilyKind, depth: u32, width: u32, seed: u64) -> Self {
+        let hashers = RowHashers::new(kind, depth, width, seed);
+        Self {
+            hashers,
+            table: vec![0.0; depth as usize * width as usize],
+            width: width as usize,
+            depth: depth as usize,
+        }
+    }
+
+    /// Sketch depth (number of rows).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Row width (buckets per row).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total number of cells (`depth × width`), i.e. the paper's size `k`.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Adds `delta` to the sketched value of `key`.
+    #[inline]
+    pub fn update(&mut self, key: u64, delta: f64) {
+        for (j, bs) in self.hashers.bucket_signs(key) {
+            self.table[j * self.width + bs.bucket as usize] += bs.sign * delta;
+        }
+    }
+
+    /// Point estimate of the sketched value of `key` (median over rows of
+    /// the sign-corrected cells).
+    #[must_use]
+    pub fn estimate(&self, key: u64) -> f64 {
+        let mut buf = [0.0f64; 64];
+        let mut spill;
+        let vals: &mut [f64] = if self.depth <= 64 {
+            for (j, bs) in self.hashers.bucket_signs(key) {
+                buf[j] = bs.sign * self.table[j * self.width + bs.bucket as usize];
+            }
+            &mut buf[..self.depth]
+        } else {
+            spill = vec![0.0; self.depth];
+            for (j, bs) in self.hashers.bucket_signs(key) {
+                spill[j] = bs.sign * self.table[j * self.width + bs.bucket as usize];
+            }
+            &mut spill
+        };
+        median_inplace(vals)
+    }
+
+    /// The ℓ2 norm of the cell array, an upper bound on `‖x‖₂` per row
+    /// useful for error diagnostics.
+    #[must_use]
+    pub fn cell_l2_norm(&self) -> f64 {
+        self.table.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Resets every cell to zero.
+    pub fn clear(&mut self) {
+        self.table.fill(0.0);
+    }
+
+    /// Read-only view of the raw cell array (row-major), used by tests and
+    /// by the WM-Sketch which manages the same layout itself.
+    #[must_use]
+    pub fn cells(&self) -> &[f64] {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_single_key() {
+        let mut cs = CountSketch::new(3, 16, 1);
+        cs.update(42, 5.0);
+        cs.update(42, 2.5);
+        assert_eq!(cs.estimate(42), 7.5);
+    }
+
+    #[test]
+    fn zero_for_unseen_keys_in_empty_sketch() {
+        let cs = CountSketch::new(3, 16, 1);
+        for k in 0..100 {
+            assert_eq!(cs.estimate(k), 0.0);
+        }
+    }
+
+    #[test]
+    fn linearity_negative_updates_cancel() {
+        let mut cs = CountSketch::new(5, 32, 2);
+        for k in 0..200u64 {
+            cs.update(k, 3.0);
+        }
+        for k in 0..200u64 {
+            cs.update(k, -3.0);
+        }
+        assert_eq!(cs.cell_l2_norm(), 0.0);
+        assert_eq!(cs.estimate(17), 0.0);
+    }
+
+    #[test]
+    fn heavy_item_recovered_among_noise() {
+        let mut cs = CountSketch::new(5, 256, 3);
+        cs.update(999, 1000.0);
+        for k in 0..500u64 {
+            cs.update(k, 1.0);
+        }
+        let est = cs.estimate(999);
+        // ‖tail‖₂ = sqrt(500) ≈ 22.4; estimate should be within a few ε of it.
+        assert!((est - 1000.0).abs() < 30.0, "estimate {est}");
+    }
+
+    #[test]
+    fn depth_one_is_a_single_hash_table() {
+        let mut cs = CountSketch::new(1, 8, 4);
+        cs.update(1, 10.0);
+        let e = cs.estimate(1);
+        assert_eq!(e, 10.0);
+        assert_eq!(cs.size(), 8);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cs = CountSketch::new(2, 8, 5);
+        cs.update(7, 1.0);
+        cs.clear();
+        assert_eq!(cs.estimate(7), 0.0);
+        assert!(cs.cells().iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = CountSketch::new(3, 64, 9);
+        let mut b = CountSketch::new(3, 64, 9);
+        for k in 0..1000u64 {
+            a.update(k % 37, 1.0);
+            b.update(k % 37, 1.0);
+        }
+        for k in 0..37u64 {
+            assert_eq!(a.estimate(k), b.estimate(k));
+        }
+    }
+
+    #[test]
+    fn large_depth_spill_path() {
+        let mut cs = CountSketch::new(80, 128, 6);
+        cs.update(5, 9.0);
+        assert_eq!(cs.estimate(5), 9.0);
+    }
+
+    /// Empirical check of the Charikar et al. guarantee (paper Lemma 1):
+    /// with width Θ(1/ε²), error ≤ ε‖x‖₂ for most keys.
+    #[test]
+    fn recovery_error_bounded_by_l2_norm() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        let n_keys = 2000u64;
+        let mut truth = vec![0.0f64; n_keys as usize];
+        let mut cs = CountSketch::new(5, 512, 11);
+        for _ in 0..20_000 {
+            let k = rng.random_range(0..n_keys);
+            let d = rng.random_range(-3.0..3.0);
+            truth[k as usize] += d;
+            cs.update(k, d);
+        }
+        let l2 = truth.iter().map(|v| v * v).sum::<f64>().sqrt();
+        // ε ≈ sqrt(6/width) ≈ 0.108 per row; with depth-5 medians, failures
+        // should be essentially absent at 3ε.
+        let eps = (6.0 / 512.0f64).sqrt();
+        let failures = (0..n_keys)
+            .filter(|&k| (cs.estimate(k) - truth[k as usize]).abs() > 3.0 * eps * l2)
+            .count();
+        assert!(
+            failures <= n_keys as usize / 100,
+            "failures: {failures} of {n_keys} (εl2 = {:.3})",
+            eps * l2
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Median selection for Count-Sketch estimators.
+
+/// Returns the median of `values`, reordering the slice in place.
+///
+/// For an even number of elements this returns the *lower* median, matching
+/// the convention of the reference WM-Sketch implementation (a single
+/// order-statistic rather than an average keeps the estimator equal to one
+/// of the actual per-row estimates).
+///
+/// Returns `0.0` for an empty slice.
+#[must_use]
+pub fn median_inplace(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mid = (values.len() - 1) / 2;
+    let (_, m, _) = values
+        .select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("NaN in median input"));
+    *m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(median_inplace(&mut []), 0.0);
+    }
+
+    #[test]
+    fn singleton() {
+        assert_eq!(median_inplace(&mut [3.5]), 3.5);
+    }
+
+    #[test]
+    fn odd_length() {
+        assert_eq!(median_inplace(&mut [5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median_inplace(&mut [9.0, -2.0, 7.0, 4.0, 0.0]), 4.0);
+    }
+
+    #[test]
+    fn even_length_takes_lower_median() {
+        assert_eq!(median_inplace(&mut [4.0, 1.0, 3.0, 2.0]), 2.0);
+        assert_eq!(median_inplace(&mut [10.0, 20.0]), 10.0);
+    }
+
+    #[test]
+    fn robust_to_one_outlier_in_three() {
+        assert_eq!(median_inplace(&mut [2.0, 1e12, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn duplicates() {
+        assert_eq!(median_inplace(&mut [7.0, 7.0, 7.0, 7.0]), 7.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the sketch substrates.
+
+use proptest::prelude::*;
+use wmsketch_sketch::{median_inplace, CountMinSketch, CountSketch};
+
+proptest! {
+    /// The Count-Sketch is a linear map: sketching a stream and its
+    /// element-wise negation must cancel exactly.
+    #[test]
+    fn countsketch_linearity(updates in prop::collection::vec((0u64..128, -10.0f64..10.0), 1..200)) {
+        let mut cs = CountSketch::new(3, 32, 42);
+        for &(k, d) in &updates {
+            cs.update(k, d);
+        }
+        for &(k, d) in &updates {
+            cs.update(k, -d);
+        }
+        prop_assert!(cs.cells().iter().all(|&c| c.abs() < 1e-9));
+    }
+
+    /// Sketch estimates agree with exact counts when keys are so few that
+    /// the single row has no collisions (keys < width/ several, depth high).
+    #[test]
+    fn countsketch_matches_truth_without_heavy_tail(
+        updates in prop::collection::vec((0u64..8, -5.0f64..5.0), 1..100)
+    ) {
+        // Depth 7 and width 1024 make per-row collisions vanishingly rare
+        // over only 8 distinct keys; the median then recovers exactly.
+        let mut cs = CountSketch::new(7, 1024, 3);
+        let mut truth = [0.0f64; 8];
+        for &(k, d) in &updates {
+            truth[k as usize] += d;
+            cs.update(k, d);
+        }
+        for k in 0..8u64 {
+            let err = (cs.estimate(k) - truth[k as usize]).abs();
+            prop_assert!(err < 1e-9, "key {} err {}", k, err);
+        }
+    }
+
+    /// Count-Min never underestimates, for any non-negative update stream.
+    #[test]
+    fn countmin_one_sided(updates in prop::collection::vec((0u64..64, 0.0f64..5.0), 1..200)) {
+        let mut cm = CountMinSketch::new(3, 16, 7);
+        let mut truth = [0.0f64; 64];
+        for &(k, d) in &updates {
+            truth[k as usize] += d;
+            cm.update(k, d);
+        }
+        for k in 0..64u64 {
+            prop_assert!(cm.estimate(k) >= truth[k as usize] - 1e-9);
+        }
+    }
+
+    /// Count-Min total equals the sum of deltas.
+    #[test]
+    fn countmin_total_is_stream_mass(updates in prop::collection::vec((0u64..64, 0.0f64..5.0), 0..100)) {
+        let mut cm = CountMinSketch::new(2, 16, 1);
+        let mut sum = 0.0;
+        for &(k, d) in &updates {
+            sum += d;
+            cm.update(k, d);
+        }
+        prop_assert!((cm.total() - sum).abs() < 1e-9);
+    }
+
+    /// median_inplace returns an element of the input and at least half the
+    /// elements are ≤ it and at least half are ≥ it (lower-median semantics).
+    #[test]
+    fn median_is_order_statistic(mut xs in prop::collection::vec(-100.0f64..100.0, 1..40)) {
+        let original = xs.clone();
+        let m = median_inplace(&mut xs);
+        prop_assert!(original.contains(&m));
+        let le = original.iter().filter(|&&v| v <= m).count();
+        let ge = original.iter().filter(|&&v| v >= m).count();
+        prop_assert!(le >= original.len().div_ceil(2));
+        prop_assert!(ge >= original.len() / 2);
+    }
+}

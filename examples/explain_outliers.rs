@@ -1,0 +1,62 @@
+//! Streaming explanation (paper §8.1): which attributes are indicative of
+//! outlier records? Train a budgeted classifier with outliers labelled
+//! `+1`; its heaviest weights are the explanation, and they track the
+//! exact relative risk far better than frequency-based retrieval.
+//!
+//! ```sh
+//! cargo run --release --example explain_outliers
+//! ```
+
+use wmsketch::apps::ExactRiskTable;
+use wmsketch::core::{AwmSketch, AwmSketchConfig, OnlineLearner, TopKRecovery};
+use wmsketch::datagen::{DisbursementConfig, DisbursementGen};
+use wmsketch::learn::{pearson, LearningRate};
+
+fn main() {
+    let mut gen = DisbursementGen::new(DisbursementConfig { seed: 5, ..Default::default() });
+    // Constant learning rate: weights must reach their log-odds
+    // asymptotes for the weight-vs-risk comparison (see fig9's note).
+    let mut clf = AwmSketch::new(
+        AwmSketchConfig::with_budget_bytes(32 * 1024)
+            .lambda(1e-6)
+            .learning_rate(LearningRate::Constant(0.1))
+            .seed(1),
+    );
+    let mut risks = ExactRiskTable::new(); // ground truth for scoring only
+
+    for _ in 0..200_000 {
+        let row = gen.next_row();
+        risks.observe_row(&row.features, row.label == 1);
+        for (x, y) in row.one_sparse_examples() {
+            clf.update(&x, y);
+        }
+    }
+
+    println!("most outlier-indicative attributes (positive weights):");
+    println!("{:>10}  {:>8}  {:>13}  {:>8}", "feature", "weight", "relative risk", "support");
+    let mut shown = 0;
+    let mut ws = Vec::new();
+    let mut lrs = Vec::new();
+    for e in clf.recover_top_k(2048) {
+        let Some(r) = risks.relative_risk(e.feature) else { continue };
+        if r.is_finite() && risks.support(e.feature) >= 20 {
+            ws.push(e.weight);
+            lrs.push(r.ln());
+            if e.weight > 0.0 && shown < 10 {
+                println!(
+                    "{:>10}  {:>+8.3}  {:>13.2}  {:>8}",
+                    e.feature,
+                    e.weight,
+                    r,
+                    risks.support(e.feature)
+                );
+                shown += 1;
+            }
+        }
+    }
+    println!(
+        "\nPearson(weight, log relative-risk) over top-2048: {:.3}",
+        pearson(&ws, &lrs)
+    );
+    println!("(paper Fig. 9 reports 0.91 for the 32 KB AWM-Sketch)");
+}

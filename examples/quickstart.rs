@@ -1,0 +1,55 @@
+//! Quickstart: learn a compressed classifier over a stream and recover the
+//! most heavily-weighted features.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use wmsketch::core::{AwmSketch, AwmSketchConfig, OnlineLearner, TopKRecovery, WeightEstimator};
+use wmsketch::learn::SparseVector;
+
+fn main() {
+    // An 8 KB AWM-Sketch over a million-dimensional feature space: under
+    // the paper's cost model that is a 512-entry active set plus a
+    // 1024-cell depth-1 sketch.
+    let mut clf = AwmSketch::new(
+        AwmSketchConfig::with_budget_bytes(8 * 1024)
+            .lambda(1e-6)
+            .seed(42),
+    );
+    println!(
+        "AWM-Sketch: |S|={}, width={}, depth={} — {} bytes",
+        clf.config().heap_capacity,
+        clf.config().width,
+        clf.config().depth,
+        clf.memory_bytes()
+    );
+
+    // Stream: feature 7 marks the positive class, feature 13 the negative;
+    // features 1000+ are high-dimensional noise.
+    for t in 0..20_000u32 {
+        let noise = 1000 + (t * 2654435761 % 500_000);
+        let (x, y) = if t % 2 == 0 {
+            (SparseVector::from_pairs(&[(7, 1.0), (noise, 0.5)]), 1)
+        } else {
+            (SparseVector::from_pairs(&[(13, 1.0), (noise, 0.5)]), -1)
+        };
+        clf.update(&x, y);
+    }
+
+    // Classify.
+    let x = SparseVector::from_pairs(&[(7, 1.0)]);
+    println!("margin for feature 7 alone: {:+.3}", clf.margin(&x));
+    println!("prediction: {:+}", clf.predict(&x));
+
+    // Recover the heaviest weights — the interpretability the plain
+    // hashing trick cannot offer.
+    println!("\ntop-5 features by |weight|:");
+    for e in clf.recover_top_k(5) {
+        println!("  feature {:>7}  weight {:+.4}", e.feature, e.weight);
+    }
+
+    // Point estimates for arbitrary features.
+    println!("\npoint estimates: w[7]={:+.4} w[13]={:+.4} w[99]={:+.4}",
+        clf.estimate(7), clf.estimate(13), clf.estimate(99));
+}

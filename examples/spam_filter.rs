@@ -1,0 +1,94 @@
+//! A streaming "spam filter": the paper's introductory motivation — an
+//! n-gram text classifier whose feature space grows without bound, held to
+//! a fixed memory budget, with the most spam-indicative tokens readable at
+//! any time.
+//!
+//! Token strings are hashed to 32-bit feature ids with MurmurHash3 (as the
+//! paper does for its text workloads), so the model never stores a
+//! vocabulary.
+//!
+//! ```sh
+//! cargo run --release --example spam_filter
+//! ```
+
+use wmsketch::core::{AwmSketch, AwmSketchConfig, OnlineLearner, TopKRecovery};
+use wmsketch::hashing::murmur3_32;
+use wmsketch::learn::SparseVector;
+use std::collections::HashMap;
+
+const SPAMMY: &[&str] = &["winner", "free", "claim", "prize", "urgent", "viagra", "lottery"];
+const HAMMY: &[&str] = &["meeting", "report", "thanks", "schedule", "attached", "review"];
+const NEUTRAL: &[&str] = &[
+    "the", "a", "to", "of", "and", "in", "you", "for", "is", "on", "it", "we", "this", "that",
+    "please", "today", "will", "with", "your", "from",
+];
+
+fn token_id(tok: &str) -> u32 {
+    murmur3_32(tok.as_bytes(), 0xFEED)
+}
+
+fn featurize(tokens: &[&str]) -> SparseVector {
+    let pairs: Vec<(u32, f64)> = tokens.iter().map(|t| (token_id(t), 1.0)).collect();
+    let mut x = SparseVector::from_pairs(&pairs);
+    x.l2_normalize();
+    x
+}
+
+fn main() {
+    let mut clf = AwmSketch::new(
+        AwmSketchConfig::with_budget_bytes(4 * 1024)
+            .lambda(1e-5)
+            .seed(7),
+    );
+    // Reverse map kept OUTSIDE the budget purely to print readable tokens.
+    let mut names: HashMap<u32, &str> = HashMap::new();
+    for &t in SPAMMY.iter().chain(HAMMY).chain(NEUTRAL) {
+        names.insert(token_id(t), t);
+    }
+
+    // Simulated message stream: spam mixes spammy + neutral tokens, ham
+    // mixes hammy + neutral.
+    let mut correct = 0u32;
+    let n = 20_000u32;
+    for i in 0..n {
+        let spam = i % 2 == 0;
+        let salient = if spam { SPAMMY } else { HAMMY };
+        let tokens = [
+            salient[(i as usize / 2) % salient.len()],
+            NEUTRAL[i as usize % NEUTRAL.len()],
+            NEUTRAL[(i as usize * 7 + 3) % NEUTRAL.len()],
+        ];
+        let x = featurize(&tokens);
+        let y = if spam { 1 } else { -1 };
+        if clf.predict(&x) == y {
+            correct += 1;
+        }
+        clf.update(&x, y);
+    }
+    println!(
+        "online accuracy over {n} messages: {:.1}% (budget {} bytes)",
+        100.0 * f64::from(correct) / f64::from(n),
+        clf.memory_bytes()
+    );
+
+    println!("\nmost spam-indicative tokens (positive weights):");
+    let mut top = clf.recover_top_k(64);
+    top.retain(|e| e.weight > 0.0);
+    for e in top.iter().take(5) {
+        println!(
+            "  {:+.4}  {}",
+            e.weight,
+            names.get(&e.feature).copied().unwrap_or("<unseen-token>")
+        );
+    }
+    println!("\nmost ham-indicative tokens (negative weights):");
+    let mut bottom = clf.recover_top_k(64);
+    bottom.retain(|e| e.weight < 0.0);
+    for e in bottom.iter().take(5) {
+        println!(
+            "  {:+.4}  {}",
+            e.weight,
+            names.get(&e.feature).copied().unwrap_or("<unseen-token>")
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Streaming PMI estimation (paper §8.3): surface the most-correlated
+//! token pairs of a corpus in a fixed memory budget, no bigram table.
+//!
+//! ```sh
+//! cargo run --release --example streaming_pmi
+//! ```
+
+use wmsketch::apps::{ExactPmi, PmiEstimator, PmiEstimatorConfig};
+use wmsketch::datagen::{CorpusConfig, CorpusGen};
+
+fn main() {
+    let mut corpus = CorpusGen::new(CorpusConfig {
+        vocab: 1 << 15,
+        n_collocations: 32,
+        collocation_rate: 0.015,
+        seed: 11,
+        ..Default::default()
+    });
+
+    let mut est = PmiEstimator::new(PmiEstimatorConfig {
+        width: 1 << 15,
+        heap: 512,
+        window: 6,
+        seed: 1,
+        ..Default::default()
+    });
+    // Exact counter retained only to score the sketch and resolve pair ids
+    // back to tokens — a real deployment would skip it.
+    let mut exact = ExactPmi::new(6);
+
+    let n_tokens = 600_000;
+    for _ in 0..n_tokens {
+        let t = corpus.next_token();
+        est.observe_token(t);
+        exact.observe_token(t);
+    }
+    println!(
+        "consumed {n_tokens} tokens / {} positive pairs; {} distinct bigrams exist;",
+        est.pairs_seen(),
+        exact.distinct_bigrams()
+    );
+    println!("sketch state: {} bytes\n", est.memory_bytes());
+
+    println!("top correlated pairs (classifier weight → PMI estimate vs exact):");
+    println!("{:>14}  {:>9} {:>9}  planted?", "pair", "est PMI", "exact");
+    for e in est.top_pair_ids(10) {
+        let Some((u, v)) = exact.resolve(e.feature) else { continue };
+        println!(
+            "{:>14}  {:>9.2} {:>9.2}  {}",
+            format!("({u},{v})"),
+            est.estimate_pmi(u, v),
+            exact.pmi(u, v).unwrap_or(f64::NAN),
+            if corpus.is_collocation(u, v) { "yes" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Integration tests for the §8 applications, exercising the full
+//! generator → learner → evaluation pipelines.
+
+use wmsketch::apps::{
+    DeltoidDetector, ExactPmi, ExactRatioTable, ExactRiskTable, PairedCountMin, PmiEstimator,
+    PmiEstimatorConfig,
+};
+use wmsketch::core::{AwmSketch, AwmSketchConfig, OnlineLearner, TopKRecovery};
+use wmsketch::datagen::{
+    CorpusConfig, CorpusGen, DisbursementConfig, DisbursementGen, PacketTraceConfig,
+    PacketTraceGen,
+};
+use wmsketch::learn::{pearson, recall_at_threshold};
+
+/// §8.1: AWM weights correlate positively with exact relative risk.
+#[test]
+fn explanation_weights_correlate_with_risk() {
+    let mut gen = DisbursementGen::new(DisbursementConfig {
+        n_columns: 4,
+        values_per_column: 1 << 10,
+        seed: 1,
+        ..Default::default()
+    });
+    // Constant rate so weights reach their log-odds asymptotes on a
+    // short stream (see the fig9 experiment's note).
+    let mut clf = AwmSketch::new(
+        AwmSketchConfig::new(512, 2048)
+            .lambda(1e-6)
+            .learning_rate(wmsketch::learn::LearningRate::Constant(0.1))
+            .seed(2),
+    );
+    let mut risks = ExactRiskTable::new();
+    for _ in 0..60_000 {
+        let row = gen.next_row();
+        risks.observe_row(&row.features, row.label == 1);
+        for (x, y) in row.one_sparse_examples() {
+            clf.update(&x, y);
+        }
+    }
+    let mut ws = Vec::new();
+    let mut lrs = Vec::new();
+    for e in clf.recover_top_k(512) {
+        if let Some(r) = risks.relative_risk(e.feature) {
+            if r.is_finite() && r > 0.0 && risks.support(e.feature) >= 30 {
+                ws.push(e.weight);
+                lrs.push(r.ln());
+            }
+        }
+    }
+    assert!(ws.len() > 50, "need enough scored features, got {}", ws.len());
+    let r = pearson(&ws, &lrs);
+    assert!(r > 0.6, "Pearson(weight, log risk) = {r:.3}");
+}
+
+/// §8.2: the AWM detector beats an equal-memory paired Count-Min on
+/// deltoid recall.
+#[test]
+fn deltoid_awm_beats_paired_cm_at_equal_memory() {
+    let budget = 16 * 1024;
+    let mut gen = PacketTraceGen::new(PacketTraceConfig {
+        n_addrs: 1 << 15,
+        n_deltoids: 64,
+        ratio: 64.0,
+        stride: 11,
+        seed: 4,
+        ..Default::default()
+    });
+    let mut det = DeltoidDetector::new(AwmSketch::new(
+        AwmSketchConfig::with_budget_bytes(budget).lambda(1e-6).seed(5),
+    ));
+    let mut cm = PairedCountMin::with_budget_bytes(budget, 6);
+    let mut exact = ExactRatioTable::new();
+    for _ in 0..200_000 {
+        let e = gen.next_event();
+        det.observe(e);
+        cm.observe(e);
+        exact.observe(e);
+    }
+    let relevant: Vec<u64> = exact.items_above(2.5, 20).into_iter().map(u64::from).collect();
+    assert!(!relevant.is_empty());
+    let awm_top: Vec<u64> = det.top_outbound(512).into_iter().map(u64::from).collect();
+    let cm_top: Vec<u64> = cm
+        .top_k_by_ratio(exact.items(), 512)
+        .into_iter()
+        .map(u64::from)
+        .collect();
+    let awm_recall = recall_at_threshold(&awm_top, &relevant);
+    let cm_recall = recall_at_threshold(&cm_top, &relevant);
+    assert!(
+        awm_recall >= cm_recall,
+        "AWM {awm_recall:.2} vs CM {cm_recall:.2} over {} relevant",
+        relevant.len()
+    );
+    assert!(awm_recall > 0.5, "AWM recall too low: {awm_recall:.2}");
+}
+
+/// §8.3: estimated PMI of planted collocations tracks exact PMI with
+/// positive correlation, and planted pairs rank above frequent pairs.
+#[test]
+fn pmi_estimates_track_exact_values() {
+    let mut gen = CorpusGen::new(CorpusConfig {
+        vocab: 1 << 12,
+        n_collocations: 16,
+        collocation_rate: 0.02,
+        collocation_base: 128,
+        seed: 7,
+        ..Default::default()
+    });
+    let mut est = PmiEstimator::new(PmiEstimatorConfig {
+        width: 1 << 14,
+        heap: 512,
+        window: 4,
+        seed: 8,
+        ..Default::default()
+    });
+    let mut exact = ExactPmi::new(4);
+    for _ in 0..150_000 {
+        let t = gen.next_token();
+        est.observe_token(t);
+        exact.observe_token(t);
+    }
+    let mut est_vals = Vec::new();
+    let mut true_vals = Vec::new();
+    for &(u, v) in gen.collocations() {
+        if let Some(p) = exact.pmi(u, v) {
+            est_vals.push(est.estimate_pmi(u, v));
+            true_vals.push(p);
+        }
+    }
+    assert!(est_vals.len() >= 8);
+    // All planted collocations should be estimated clearly positive, and
+    // higher than the most frequent pair's estimate.
+    let freq_pair_est = est.estimate_pmi(0, 1);
+    let positive = est_vals.iter().filter(|&&e| e > freq_pair_est).count();
+    assert!(
+        positive as f64 >= 0.8 * est_vals.len() as f64,
+        "only {positive}/{} planted pairs beat the frequent pair",
+        est_vals.len()
+    );
+}
