@@ -129,9 +129,12 @@ impl PairedCountMin {
     /// The `k` items with the largest estimated ratios among `candidates`.
     #[must_use]
     pub fn top_k_by_ratio(&self, candidates: impl Iterator<Item = u32>, k: usize) -> Vec<u32> {
-        let mut scored: Vec<(u32, f64)> =
-            candidates.map(|a| (a, self.ratio_estimate(a))).collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN ratio").then(a.0.cmp(&b.0)));
+        let mut scored: Vec<(u32, f64)> = candidates.map(|a| (a, self.ratio_estimate(a))).collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("NaN ratio")
+                .then(a.0.cmp(&b.0))
+        });
         scored.truncate(k);
         scored.into_iter().map(|(a, _)| a).collect()
     }
@@ -162,7 +165,8 @@ impl<L: OnlineLearner + TopKRecovery> DeltoidDetector<L> {
             StreamSide::Outbound => 1,
             StreamSide::Inbound => -1,
         };
-        self.learner.update(&SparseVector::one_hot(event.addr, 1.0), y);
+        self.learner
+            .update(&SparseVector::one_hot(event.addr, 1.0), y);
     }
 
     /// Events seen.
@@ -266,7 +270,10 @@ mod tests {
         let relevant = t.items_above(2.0f64.ln(), 20);
         let retrieved = det.top_outbound(64);
         let retrieved_set: std::collections::HashSet<u32> = retrieved.into_iter().collect();
-        let hits = relevant.iter().filter(|a| retrieved_set.contains(a)).count();
+        let hits = relevant
+            .iter()
+            .filter(|a| retrieved_set.contains(a))
+            .count();
         let recall = hits as f64 / relevant.len().max(1) as f64;
         assert!(
             recall > 0.5,
@@ -278,8 +285,14 @@ mod tests {
     #[test]
     fn detector_counts_events() {
         let mut det = DeltoidDetector::new(AwmSketch::new(AwmSketchConfig::new(4, 32)));
-        det.observe(PacketEvent { addr: 1, side: StreamSide::Outbound });
-        det.observe(PacketEvent { addr: 2, side: StreamSide::Inbound });
+        det.observe(PacketEvent {
+            addr: 1,
+            side: StreamSide::Outbound,
+        });
+        det.observe(PacketEvent {
+            addr: 2,
+            side: StreamSide::Inbound,
+        });
         assert_eq!(det.events_seen(), 2);
     }
 

@@ -16,8 +16,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use wmsketch_core::{AwmSketch, AwmSketchConfig, OnlineLearner, TopKRecovery, WeightEntry,
-    WeightEstimator};
+use wmsketch_core::{
+    AwmSketch, AwmSketchConfig, OnlineLearner, TopKRecovery, WeightEntry, WeightEstimator,
+};
 use wmsketch_datagen::Reservoir;
 use wmsketch_hashing::{murmur3_32, FastHashMap};
 use wmsketch_learn::{LearningRate, SparseVector};
@@ -204,7 +205,10 @@ impl ExactPmi {
     /// Creates a counter with the given sliding-window size.
     #[must_use]
     pub fn new(window_size: usize) -> Self {
-        Self { window_size, ..Self::default() }
+        Self {
+            window_size,
+            ..Self::default()
+        }
     }
 
     /// Consumes one token.
@@ -329,7 +333,10 @@ mod tests {
         let est_pmi = est.estimate_pmi(u, v);
         let true_pmi = exact.pmi(u, v).expect("planted pair must occur");
         assert!(true_pmi > 2.0, "true PMI {true_pmi:.2}");
-        assert!(est_pmi > 1.0, "estimated PMI {est_pmi:.2} (true {true_pmi:.2})");
+        assert!(
+            est_pmi > 1.0,
+            "estimated PMI {est_pmi:.2} (true {true_pmi:.2})"
+        );
         // A frequent pair should score clearly lower (the gap narrows at
         // this stream length because the 1/√t rate slows convergence).
         let est_freq = est.estimate_pmi(0, 1);

@@ -6,10 +6,9 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use wmsketch_core::{
-    AwmSketch, AwmSketchConfig, FeatureHashingClassifier, FeatureHashingConfig,
-    LogisticRegression, LogisticRegressionConfig, OnlineLearner, ProbabilisticTruncation,
-    SimpleTruncation, SpaceSavingClassifier, SpaceSavingClassifierConfig, TruncationConfig,
-    WmSketch, WmSketchConfig,
+    AwmSketch, AwmSketchConfig, FeatureHashingClassifier, FeatureHashingConfig, LogisticRegression,
+    LogisticRegressionConfig, OnlineLearner, ProbabilisticTruncation, SimpleTruncation,
+    SpaceSavingClassifier, SpaceSavingClassifierConfig, TruncationConfig, WmSketch, WmSketchConfig,
 };
 use wmsketch_datagen::SyntheticClassification;
 use wmsketch_learn::{Label, SparseVector};
@@ -57,7 +56,10 @@ fn bench_updates(c: &mut Criterion) {
         "AWM",
         AwmSketch::new(AwmSketchConfig::with_budget_bytes(BUDGET))
     );
-    bench_method!("WM", WmSketch::new(WmSketchConfig::with_budget_bytes(BUDGET)));
+    bench_method!(
+        "WM",
+        WmSketch::new(WmSketchConfig::with_budget_bytes(BUDGET))
+    );
     bench_method!(
         "Trun",
         SimpleTruncation::new(TruncationConfig::simple_with_budget_bytes(BUDGET))

@@ -1,0 +1,203 @@
+//! Update-throughput tracking bin.
+//!
+//! Measures WM-/AWM-Sketch update throughput at the paper's 8 KB Figure-7
+//! configuration on an RCV1-like stream, for both the retained naive
+//! three-pass path (`update_naive`) and the fused single-hash pipeline
+//! (`update` / `update_batch`), and writes the results as JSON so the perf
+//! trajectory can be tracked PR over PR.
+//!
+//! Usage: `update_throughput_json [OUTPUT_PATH]`
+//! (default output: `BENCH_update_throughput.json` in the working
+//! directory; see `crates/bench/README.md` for the schema).
+
+use std::time::Instant;
+use wmsketch_core::{AwmSketch, AwmSketchConfig, OnlineLearner, WmSketch, WmSketchConfig};
+use wmsketch_datagen::SyntheticClassification;
+use wmsketch_learn::{Label, SparseVector};
+
+const BUDGET: usize = 8 * 1024;
+const STREAM_SEED: u64 = 7;
+const STREAM_LEN: usize = 8192;
+/// Wall-clock budget per measured variant, seconds.
+const MEASURE_SECS: f64 = 1.0;
+
+struct Measurement {
+    name: &'static str,
+    ns_per_update: f64,
+    updates_per_sec: f64,
+    updates_timed: u64,
+}
+
+/// Times whole passes over the stream, rebuilding the learner each pass so
+/// sketch state does not accumulate across passes.
+fn measure<L>(
+    name: &'static str,
+    data: &[(SparseVector, Label)],
+    make: impl Fn() -> L,
+    mut pass: impl FnMut(&mut L, &[(SparseVector, Label)]),
+) -> Measurement {
+    // Warm-up pass (page in the stream, train the branch predictors).
+    let mut learner = make();
+    pass(&mut learner, data);
+    let mut timed = 0u64;
+    let mut elapsed = 0.0f64;
+    while elapsed < MEASURE_SECS {
+        let mut learner = make();
+        let start = Instant::now();
+        pass(&mut learner, data);
+        elapsed += start.elapsed().as_secs_f64();
+        timed += data.len() as u64;
+    }
+    let ns_per_update = elapsed * 1e9 / timed as f64;
+    Measurement {
+        name,
+        ns_per_update,
+        updates_per_sec: 1e9 / ns_per_update,
+        updates_timed: timed,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_update_throughput.json".to_string());
+    // Fail on an unwritable output path *before* spending seconds measuring.
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() && !parent.is_dir() {
+            eprintln!(
+                "error: output directory {} does not exist",
+                parent.display()
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let mut generator = SyntheticClassification::rcv1_like(STREAM_SEED);
+    let data: Vec<(SparseVector, Label)> = generator.take(STREAM_LEN);
+    let nnz_total: usize = data.iter().map(|(x, _)| x.nnz()).sum();
+
+    let wm_cfg = WmSketchConfig::with_budget_bytes(BUDGET);
+    let awm_cfg = AwmSketchConfig::with_budget_bytes(BUDGET);
+    eprintln!(
+        "8 KB Figure-7 config: WM {}x{} heap {}, AWM |S|={} width {}, stream {} examples (avg nnz {:.1})",
+        wm_cfg.width,
+        wm_cfg.depth,
+        wm_cfg.heap_capacity,
+        awm_cfg.heap_capacity,
+        awm_cfg.width,
+        data.len(),
+        nnz_total as f64 / data.len() as f64,
+    );
+
+    let results = vec![
+        measure(
+            "WM_naive",
+            &data,
+            || WmSketch::new(wm_cfg),
+            |m, d| {
+                for (x, y) in d {
+                    m.update_naive(x, *y);
+                }
+            },
+        ),
+        measure(
+            "WM_fused",
+            &data,
+            || WmSketch::new(wm_cfg),
+            |m, d| {
+                for (x, y) in d {
+                    m.update(x, *y);
+                }
+            },
+        ),
+        measure(
+            "WM_fused_batch",
+            &data,
+            || WmSketch::new(wm_cfg),
+            |m, d| {
+                m.update_batch(d);
+            },
+        ),
+        measure(
+            "AWM_naive",
+            &data,
+            || AwmSketch::new(awm_cfg),
+            |m, d| {
+                for (x, y) in d {
+                    m.update_naive(x, *y);
+                }
+            },
+        ),
+        measure(
+            "AWM_fused",
+            &data,
+            || AwmSketch::new(awm_cfg),
+            |m, d| {
+                for (x, y) in d {
+                    m.update(x, *y);
+                }
+            },
+        ),
+        measure(
+            "AWM_fused_batch",
+            &data,
+            || AwmSketch::new(awm_cfg),
+            |m, d| {
+                m.update_batch(d);
+            },
+        ),
+    ];
+
+    let get = |name: &str| {
+        results
+            .iter()
+            .find(|m| m.name == name)
+            .expect("measured variant")
+            .ns_per_update
+    };
+    let wm_speedup = get("WM_naive") / get("WM_fused");
+    let awm_speedup = get("AWM_naive") / get("AWM_fused");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"wmsketch-update-throughput/v1\",\n");
+    json.push_str("  \"config\": {\n");
+    json.push_str(&format!("    \"budget_bytes\": {BUDGET},\n"));
+    json.push_str(&format!(
+        "    \"wm\": {{\"width\": {}, \"depth\": {}, \"heap_capacity\": {}}},\n",
+        wm_cfg.width, wm_cfg.depth, wm_cfg.heap_capacity
+    ));
+    json.push_str(&format!(
+        "    \"awm\": {{\"width\": {}, \"depth\": {}, \"heap_capacity\": {}}},\n",
+        awm_cfg.width, awm_cfg.depth, awm_cfg.heap_capacity
+    ));
+    json.push_str(&format!(
+        "    \"stream\": {{\"generator\": \"rcv1_like\", \"seed\": {STREAM_SEED}, \"examples\": {}, \"avg_nnz\": {:.2}}}\n",
+        data.len(),
+        nnz_total as f64 / data.len() as f64
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"results\": [\n");
+    for (idx, m) in results.iter().enumerate() {
+        let comma = if idx + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_update\": {:.1}, \"updates_per_sec\": {:.0}, \"updates_timed\": {}}}{comma}\n",
+            m.name, m.ns_per_update, m.updates_per_sec, m.updates_timed
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup\": {{\"wm_fused_over_naive\": {wm_speedup:.2}, \"awm_fused_over_naive\": {awm_speedup:.2}}}\n"
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    for m in &results {
+        eprintln!(
+            "{:<16} {:>9.1} ns/update  {:>11.0} updates/s",
+            m.name, m.ns_per_update, m.updates_per_sec
+        );
+    }
+    eprintln!("WM fused over naive: {wm_speedup:.2}x; AWM: {awm_speedup:.2}x");
+    eprintln!("wrote {out_path}");
+}

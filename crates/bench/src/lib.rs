@@ -1,6 +1,6 @@
-//! Criterion micro-benchmarks for the WM-Sketch reproduction.
+//! Micro-benchmarks for the WM-Sketch reproduction.
 //!
-//! The bench targets live in `benches/`:
+//! The criterion-style bench targets live in `benches/`:
 //!
 //! * `update_throughput` — per-update cost of every budgeted method on an
 //!   RCV1-like stream at the Table 2 configurations; together with the
@@ -9,6 +9,12 @@
 //! * `sketch_ops` — Count-Sketch / Count-Min update and query costs.
 //! * `hashing` — tabulation vs polynomial vs MurmurHash3 evaluation cost.
 //! * `structures` — indexed-heap and Space-Saving operation costs.
+//!
+//! The `update_throughput_json` bin (`src/bin/`) measures the fused
+//! single-hash update pipeline against the retained naive multi-pass path
+//! at the 8 KB Figure-7 configuration and records the results in
+//! `BENCH_update_throughput.json` for PR-over-PR perf tracking; the JSON
+//! schema is documented in this crate's `README.md`.
 //!
 //! This crate intentionally has no library code beyond this doc.
 

@@ -22,13 +22,13 @@
 //! uses a **depth-1** sketch (§7.3) and beats feature hashing despite
 //! spending half its budget on identifiers.
 
-use wmsketch_hashing::{HashFamilyKind, RowHashers};
+use wmsketch_hashing::{CoordPlan, HashFamilyKind, RowHashers};
 use wmsketch_hh::{Offer, TopKWeights};
 use wmsketch_learn::{
     debug_check_label, Label, LearningRate, Loss, LossKind, OnlineLearner, ScaleState,
     SparseVector, TopKRecovery, WeightEntry, WeightEstimator,
 };
-use wmsketch_sketch::median_inplace;
+use wmsketch_sketch::{median_inplace, signed_median_estimate};
 
 /// Configuration for [`AwmSketch`].
 #[derive(Debug, Clone, Copy)]
@@ -79,7 +79,12 @@ impl AwmSketchConfig {
         let heap = (units / 4).next_power_of_two().max(1);
         let heap = if heap * 4 > units { heap / 2 } else { heap }.max(1);
         let width = (units.saturating_sub(2 * heap)).next_power_of_two();
-        let width = if width + 2 * heap > units { width / 2 } else { width }.max(1);
+        let width = if width + 2 * heap > units {
+            width / 2
+        } else {
+            width
+        }
+        .max(1);
         Self::new(heap, width as u32)
     }
 
@@ -128,7 +133,10 @@ impl AwmSketchConfig {
     /// Memory cost in bytes under the paper's §7.1 model.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
-        crate::budget::awm_bytes(self.heap_capacity, self.width as usize * self.depth as usize)
+        crate::budget::awm_bytes(
+            self.heap_capacity,
+            self.width as usize * self.depth as usize,
+        )
     }
 }
 
@@ -143,8 +151,18 @@ pub struct AwmSketch {
     scale: ScaleState,
     inv_sqrt_s: f64,
     sqrt_s: f64,
+    /// Cached coordinates of the current example's *sketched* features
+    /// (those outside the active set); buffers reused across updates.
+    plan: CoordPlan,
+    /// Per-feature plan slot for the current example, parallel to the
+    /// input's entries; [`NOT_PLANNED`] marks active-set features.
+    slots: Vec<usize>,
     t: u64,
 }
+
+/// Slot marker for features that were in the active set at margin time and
+/// therefore were not hashed into the plan.
+const NOT_PLANNED: usize = usize::MAX;
 
 impl std::fmt::Debug for AwmSketch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -174,6 +192,8 @@ impl AwmSketch {
             scale: ScaleState::new(),
             inv_sqrt_s: 1.0 / s.sqrt(),
             sqrt_s: s.sqrt(),
+            plan: CoordPlan::new(),
+            slots: Vec::new(),
             t: 0,
         }
     }
@@ -204,24 +224,7 @@ impl AwmSketch {
 
     /// Count-Sketch median estimate of `feature` (pre-scale).
     fn query_stored(&self, feature: u32) -> f64 {
-        let key = u64::from(feature);
-        let width = self.cfg.width as usize;
-        let depth = self.cfg.depth as usize;
-        let mut buf = [0.0f64; 64];
-        let mut spill;
-        let vals: &mut [f64] = if depth <= 64 {
-            for (j, bs) in self.hashers.bucket_signs(key) {
-                buf[j] = self.sqrt_s * bs.sign * self.z[j * width + bs.bucket as usize];
-            }
-            &mut buf[..depth]
-        } else {
-            spill = vec![0.0; depth];
-            for (j, bs) in self.hashers.bucket_signs(key) {
-                spill[j] = self.sqrt_s * bs.sign * self.z[j * width + bs.bucket as usize];
-            }
-            &mut spill
-        };
-        median_inplace(vals)
+        signed_median_estimate(&self.hashers, &self.z, u64::from(feature), self.sqrt_s)
     }
 
     /// Adds `delta` (pre-scale) to `feature`'s sketch cells.
@@ -244,28 +247,13 @@ impl AwmSketch {
             self.active.update_existing(e.feature, e.weight * a);
         }
     }
-}
 
-impl OnlineLearner for AwmSketch {
-    fn margin(&self, x: &SparseVector) -> f64 {
-        // τ = Σ_{i∈S} S[i]·x_i + zᵀRx_{∉S}, all times the global scale.
-        let width = self.cfg.width as usize;
-        let mut acc = 0.0;
-        for (i, xi) in x.iter() {
-            if let Some(w) = self.active.get(i) {
-                acc += w * xi;
-            } else {
-                let mut proj = 0.0;
-                for (j, bs) in self.hashers.bucket_signs(u64::from(i)) {
-                    proj += bs.sign * self.z[j * width + bs.bucket as usize];
-                }
-                acc += xi * proj * self.inv_sqrt_s;
-            }
-        }
-        self.scale.load(acc)
-    }
-
-    fn update(&mut self, x: &SparseVector, y: Label) {
+    /// The seed implementation's multi-pass update, retained as the
+    /// reference path: each sketched feature is hashed once for the margin,
+    /// once for the candidate-weight query, and (on rejection or eviction)
+    /// once more for the sketch write. [`OnlineLearner::update`] is the
+    /// fused single-hash pipeline; golden tests assert bit-identical state.
+    pub fn update_naive(&mut self, x: &SparseVector, y: Label) {
         debug_check_label(y);
         self.t += 1;
         let eta = self.cfg.learning_rate.at(self.t);
@@ -304,6 +292,116 @@ impl OnlineLearner for AwmSketch {
             }
         }
     }
+}
+
+impl OnlineLearner for AwmSketch {
+    fn margin(&self, x: &SparseVector) -> f64 {
+        // τ = Σ_{i∈S} S[i]·x_i + zᵀRx_{∉S}, all times the global scale.
+        let width = self.cfg.width as usize;
+        let mut acc = 0.0;
+        for (i, xi) in x.iter() {
+            if let Some(w) = self.active.get(i) {
+                acc += w * xi;
+            } else {
+                let mut proj = 0.0;
+                for (j, bs) in self.hashers.bucket_signs(u64::from(i)) {
+                    proj += bs.sign * self.z[j * width + bs.bucket as usize];
+                }
+                acc += xi * proj * self.inv_sqrt_s;
+            }
+        }
+        self.scale.load(acc)
+    }
+
+    /// The fused single-hash update pipeline.
+    ///
+    /// During the margin pass, every feature *outside* the active set is
+    /// hashed once into the coordinate plan; the update pass then replays
+    /// those cached coordinates for the candidate-weight query and any
+    /// sketch write. Features the margin pass found in the active set are
+    /// never hashed at all (as in the reference path); the rare features
+    /// whose membership changes mid-update — an eviction displacing a
+    /// margin-time-active feature — are planned lazily at their turn.
+    /// Arithmetic order matches [`AwmSketch::update_naive`] operation for
+    /// operation, so the resulting state is bit-identical.
+    fn update(&mut self, x: &SparseVector, y: Label) {
+        debug_check_label(y);
+        self.t += 1;
+        let eta = self.cfg.learning_rate.at(self.t);
+        // Margin + single hashing pass over the sketched features.
+        self.hashers.begin_plan(&mut self.plan);
+        self.slots.clear();
+        let mut acc = 0.0;
+        for (i, xi) in x.iter() {
+            if let Some(w) = self.active.get(i) {
+                self.slots.push(NOT_PLANNED);
+                acc += w * xi;
+            } else {
+                let slot = self.hashers.plan_push(&mut self.plan, u64::from(i));
+                self.slots.push(slot);
+                let proj = self.plan.slot_projection(slot, &self.z);
+                acc += xi * proj * self.inv_sqrt_s;
+            }
+        }
+        let tau = self.scale.load(acc);
+        let g = self.cfg.loss.deriv(f64::from(y) * tau) * f64::from(y);
+        if self.scale.decay(eta, self.cfg.lambda) {
+            self.fold_scale();
+        }
+        if g == 0.0 {
+            return;
+        }
+        let inv_sqrt_s = self.inv_sqrt_s;
+        let sqrt_s = self.sqrt_s;
+        let scale = self.scale;
+        // Split borrows: the plan replays coordinates against `z` while the
+        // active set is mutated alongside.
+        let Self {
+            z,
+            plan,
+            active,
+            hashers,
+            slots,
+            ..
+        } = self;
+        for (idx, (i, xi)) in x.iter().enumerate() {
+            let stored_step = scale.store(-eta * g * xi);
+            if let Some(w) = active.get(i) {
+                // Heap update: exact gradient step on the stored weight.
+                active.update_existing(i, w + stored_step);
+            } else {
+                // An earlier eviction this update may have displaced a
+                // feature that was active at margin time; plan it now.
+                let slot = match slots[idx] {
+                    NOT_PLANNED => hashers.plan_push(plan, u64::from(i)),
+                    slot => slot,
+                };
+                // Candidate weight w̃ = Query(i) − η·y·x_i·ℓ'(yτ), pre-scale,
+                // with the query replayed from cached coordinates.
+                let w_tilde = median_inplace(plan.slot_values(slot, z, sqrt_s)) + stored_step;
+                match active.offer(i, w_tilde) {
+                    Offer::Evicted(evicted) => {
+                        // Spill the evicted feature back: write the residual
+                        // so the sketch's estimate equals its exact weight.
+                        // The evicted feature is arbitrary, so it needs its
+                        // own (single) hashing pass.
+                        let ev_slot = hashers.plan_push(plan, u64::from(evicted.feature));
+                        let residual =
+                            evicted.weight - median_inplace(plan.slot_values(ev_slot, z, sqrt_s));
+                        plan.slot_scatter(ev_slot, z, residual * inv_sqrt_s);
+                    }
+                    Offer::Inserted => {
+                        // Admitted into spare capacity; nothing to spill.
+                    }
+                    Offer::Rejected => {
+                        // Stay in the sketch: plain WM-Sketch gradient step.
+                        plan.slot_scatter(slot, z, stored_step * inv_sqrt_s);
+                    }
+                    Offer::Updated => unreachable!("feature checked absent from active set"),
+                }
+            }
+        }
+    }
 
     fn examples_seen(&self) -> u64 {
         self.t
@@ -325,7 +423,10 @@ impl TopKRecovery for AwmSketch {
         self.active
             .top_k(k)
             .into_iter()
-            .map(|e| WeightEntry { feature: e.feature, weight: self.scale.load(e.weight) })
+            .map(|e| WeightEntry {
+                feature: e.feature,
+                weight: self.scale.load(e.weight),
+            })
             .collect()
     }
 }
@@ -386,7 +487,9 @@ mod tests {
         use wmsketch_learn::{LogisticRegression, LogisticRegressionConfig};
         let mut awm = AwmSketch::new(AwmSketchConfig::new(32, 64).lambda(1e-4).seed(4));
         let mut lr = LogisticRegression::new(
-            LogisticRegressionConfig::new(16).lambda(1e-4).track_top_k(0),
+            LogisticRegressionConfig::new(16)
+                .lambda(1e-4)
+                .track_top_k(0),
         );
         for t in 0..800 {
             let f = (t % 8) as u32;
@@ -452,7 +555,11 @@ mod tests {
     fn budget_constructor_fits_and_uses_half_for_heap() {
         for budget in [2048usize, 4096, 8192, 16384, 32768] {
             let cfg = AwmSketchConfig::with_budget_bytes(budget);
-            assert!(cfg.memory_bytes() <= budget, "budget {budget}: {} bytes", cfg.memory_bytes());
+            assert!(
+                cfg.memory_bytes() <= budget,
+                "budget {budget}: {} bytes",
+                cfg.memory_bytes()
+            );
             assert_eq!(cfg.depth, 1);
             // Paper Table 2: 8 KB → |S| = 512, width 1024.
             if budget == 8192 {

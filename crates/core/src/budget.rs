@@ -83,7 +83,10 @@ impl BudgetedConfig {
     /// Cost in bytes under the §7.1 model.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
-        wm_bytes(self.heap_capacity, self.width as usize * self.depth as usize)
+        wm_bytes(
+            self.heap_capacity,
+            self.width as usize * self.depth as usize,
+        )
     }
 
     /// Instantiates a [`WmSketchConfig`] with this shape.
@@ -116,7 +119,11 @@ pub fn enumerate_wm_configs(budget_bytes: usize) -> Vec<BudgetedConfig> {
         while (width as usize) <= cell_units {
             let depth = (cell_units / width as usize).min(64) as u32;
             if depth >= 1 {
-                out.push(BudgetedConfig { heap_capacity: heap, width, depth });
+                out.push(BudgetedConfig {
+                    heap_capacity: heap,
+                    width,
+                    depth,
+                });
             }
             width *= 2;
         }
@@ -143,7 +150,11 @@ pub fn enumerate_awm_configs(budget_bytes: usize) -> Vec<BudgetedConfig> {
             }
             // Largest power-of-two width that fits.
             let width = (per_row + 1).next_power_of_two() / 2;
-            out.push(BudgetedConfig { heap_capacity: heap, width: width as u32, depth });
+            out.push(BudgetedConfig {
+                heap_capacity: heap,
+                width: width as u32,
+                depth,
+            });
         }
         heap *= 2;
     }
@@ -173,17 +184,29 @@ mod tests {
     #[test]
     fn table2_wm_8kb_row_fits() {
         // Table 2, 8 KB, WM: |S|=128, width 128, depth 14.
-        let c = BudgetedConfig { heap_capacity: 128, width: 128, depth: 14 };
+        let c = BudgetedConfig {
+            heap_capacity: 128,
+            width: 128,
+            depth: 14,
+        };
         assert!(c.memory_bytes() <= 8192);
         // Depth 15 would not fit alongside the heap.
-        let c2 = BudgetedConfig { heap_capacity: 128, width: 128, depth: 15 };
+        let c2 = BudgetedConfig {
+            heap_capacity: 128,
+            width: 128,
+            depth: 15,
+        };
         assert!(c2.memory_bytes() > 8192);
     }
 
     #[test]
     fn table2_awm_8kb_row_fits_exactly() {
         // Table 2, 8 KB, AWM: |S|=512, width 1024, depth 1.
-        let c = BudgetedConfig { heap_capacity: 512, width: 1024, depth: 1 };
+        let c = BudgetedConfig {
+            heap_capacity: 512,
+            width: 1024,
+            depth: 1,
+        };
         assert_eq!(c.memory_bytes(), 8192);
     }
 
@@ -206,7 +229,11 @@ mod tests {
 
     #[test]
     fn budgeted_config_instantiates_both_sketches() {
-        let c = BudgetedConfig { heap_capacity: 64, width: 256, depth: 2 };
+        let c = BudgetedConfig {
+            heap_capacity: 64,
+            width: 256,
+            depth: 2,
+        };
         let wm = c.wm();
         assert_eq!(wm.width, 256);
         assert_eq!(wm.depth, 2);

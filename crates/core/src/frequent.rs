@@ -177,7 +177,10 @@ impl TopKRecovery for SpaceSavingClassifier {
         let mut entries: Vec<WeightEntry> = self
             .weights
             .iter()
-            .map(|(&feature, &w)| WeightEntry { feature, weight: self.scale.load(w) })
+            .map(|(&feature, &w)| WeightEntry {
+                feature,
+                weight: self.scale.load(w),
+            })
             .collect();
         entries.sort_by(|a, b| {
             b.weight
@@ -371,7 +374,10 @@ impl TopKRecovery for CountMinClassifier {
         let mut entries: Vec<WeightEntry> = self
             .weights
             .iter()
-            .map(|(&feature, &w)| WeightEntry { feature, weight: self.scale.load(w) })
+            .map(|(&feature, &w)| WeightEntry {
+                feature,
+                weight: self.scale.load(w),
+            })
             .collect();
         entries.sort_by(|a, b| {
             b.weight
@@ -446,9 +452,8 @@ mod tests {
 
     #[test]
     fn cm_learns_frequent_discriminative_features() {
-        let mut cm = CountMinClassifier::new(
-            CountMinClassifierConfig::new(16, 256, 4).lambda(1e-5),
-        );
+        let mut cm =
+            CountMinClassifier::new(CountMinClassifierConfig::new(16, 256, 4).lambda(1e-5));
         for (x, y) in frequent_discriminative(3000) {
             cm.update(&x, y);
         }

@@ -35,8 +35,10 @@ pub use budget::{
     feature_hashing_table_size, ptrun_capacity, spacesaving_capacity, trun_capacity, wm_bytes,
     BudgetedConfig, BYTES_PER_UNIT,
 };
-pub use frequent::{CountMinClassifier, CountMinClassifierConfig, SpaceSavingClassifier,
-    SpaceSavingClassifierConfig};
+pub use frequent::{
+    CountMinClassifier, CountMinClassifierConfig, SpaceSavingClassifier,
+    SpaceSavingClassifierConfig,
+};
 pub use multiclass::{MulticlassAwmSketch, MulticlassConfig};
 pub use theory::GuaranteeParams;
 pub use truncation::{ProbabilisticTruncation, SimpleTruncation, TruncationConfig};

@@ -184,7 +184,11 @@ mod tests {
                 .iter()
                 .max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap())
                 .expect("nonempty top-k");
-            assert_eq!(best_positive.feature, 10 + c as u32, "class {c} top = {top:?}");
+            assert_eq!(
+                best_positive.feature,
+                10 + c as u32,
+                "class {c} top = {top:?}"
+            );
             assert!(best_positive.weight > 0.0);
         }
     }

@@ -47,7 +47,16 @@ impl GuaranteeParams {
     /// (`β = γ = 1`, the paper's "simpler expressions" setting).
     #[must_use]
     pub fn normalized_logistic(epsilon: f64, delta: f64, dim: u64, lambda: f64) -> Self {
-        Self { epsilon, delta, dim, beta: 1.0, gamma: 1.0, lambda, c1: 1.0, c2: 1.0 }
+        Self {
+            epsilon,
+            delta,
+            dim,
+            beta: 1.0,
+            gamma: 1.0,
+            lambda,
+            c1: 1.0,
+            c2: 1.0,
+        }
     }
 
     fn log_d_delta(&self) -> f64 {
@@ -62,8 +71,8 @@ impl GuaranteeParams {
     pub fn sketch_size(&self) -> u64 {
         self.validate();
         let l = self.log_d_delta();
-        let cond = (self.beta * self.beta * self.gamma.powi(4) / (self.lambda * self.lambda))
-            .max(1.0);
+        let cond =
+            (self.beta * self.beta * self.gamma.powi(4) / (self.lambda * self.lambda)).max(1.0);
         (self.c1 / self.epsilon.powi(4) * l.powi(3) * cond).ceil() as u64
     }
 
@@ -110,7 +119,10 @@ impl GuaranteeParams {
     }
 
     fn validate(&self) {
-        assert!(self.epsilon > 0.0 && self.epsilon <= 1.0, "epsilon in (0,1]");
+        assert!(
+            self.epsilon > 0.0 && self.epsilon <= 1.0,
+            "epsilon in (0,1]"
+        );
         assert!(self.delta > 0.0 && self.delta < 1.0, "delta in (0,1)");
         assert!(self.lambda > 0.0, "lambda must be positive");
         assert!(self.beta > 0.0 && self.gamma > 0.0, "beta/gamma positive");
@@ -127,16 +139,28 @@ mod tests {
 
     #[test]
     fn size_scales_as_eps_to_minus_4() {
-        let p1 = GuaranteeParams { epsilon: 0.5, ..base() };
-        let p2 = GuaranteeParams { epsilon: 0.25, ..base() };
+        let p1 = GuaranteeParams {
+            epsilon: 0.5,
+            ..base()
+        };
+        let p2 = GuaranteeParams {
+            epsilon: 0.25,
+            ..base()
+        };
         let ratio = p2.sketch_size() as f64 / p1.sketch_size() as f64;
         assert!((ratio - 16.0).abs() < 0.5, "ratio {ratio}");
     }
 
     #[test]
     fn depth_scales_as_eps_to_minus_2() {
-        let p1 = GuaranteeParams { epsilon: 0.5, ..base() };
-        let p2 = GuaranteeParams { epsilon: 0.25, ..base() };
+        let p1 = GuaranteeParams {
+            epsilon: 0.5,
+            ..base()
+        };
+        let p2 = GuaranteeParams {
+            epsilon: 0.25,
+            ..base()
+        };
         let ratio = p2.sketch_depth() as f64 / p1.sketch_depth() as f64;
         assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
     }
@@ -146,8 +170,14 @@ mod tests {
         // Doubling d many times must grow k only polylogarithmically:
         // going from 2^20 to 2^40 multiplies log(d/δ) by < 2, so k grows
         // by < 8 (cubed) — *sub-linear* in d by an enormous margin.
-        let p_small = GuaranteeParams { dim: 1 << 20, ..base() };
-        let p_large = GuaranteeParams { dim: 1 << 40, ..base() };
+        let p_small = GuaranteeParams {
+            dim: 1 << 20,
+            ..base()
+        };
+        let p_large = GuaranteeParams {
+            dim: 1 << 40,
+            ..base()
+        };
         let growth = p_large.sketch_size() as f64 / p_small.sketch_size() as f64;
         assert!(growth < 8.0, "growth {growth}");
         assert!(growth > 1.0);
@@ -155,8 +185,14 @@ mod tests {
 
     #[test]
     fn weak_regularization_inflates_requirements() {
-        let strong = GuaranteeParams { lambda: 1.0, ..base() };
-        let weak = GuaranteeParams { lambda: 0.01, ..base() };
+        let strong = GuaranteeParams {
+            lambda: 1.0,
+            ..base()
+        };
+        let weak = GuaranteeParams {
+            lambda: 0.01,
+            ..base()
+        };
         // k scales with 1/λ² (for λ < βγ²), s with 1/λ.
         assert!(weak.sketch_size() > 5000 * strong.sketch_size() / 1000);
         assert!(weak.sketch_depth() > strong.sketch_depth());
@@ -171,8 +207,14 @@ mod tests {
 
     #[test]
     fn online_length_scales_with_inverse_lambda_squared() {
-        let p1 = GuaranteeParams { lambda: 1.0, ..base() };
-        let p2 = GuaranteeParams { lambda: 0.5, ..base() };
+        let p1 = GuaranteeParams {
+            lambda: 1.0,
+            ..base()
+        };
+        let p2 = GuaranteeParams {
+            lambda: 0.5,
+            ..base()
+        };
         let t1 = p1.online_min_stream_length(1.0, 4.0, 1.0, 4.0);
         let t2 = p2.online_min_stream_length(1.0, 4.0, 1.0, 4.0);
         assert!(t2 > t1);
@@ -181,14 +223,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "epsilon in (0,1]")]
     fn rejects_bad_epsilon() {
-        let p = GuaranteeParams { epsilon: 0.0, ..base() };
+        let p = GuaranteeParams {
+            epsilon: 0.0,
+            ..base()
+        };
         let _ = p.sketch_size();
     }
 
     #[test]
     #[should_panic(expected = "lambda must be positive")]
     fn rejects_bad_lambda() {
-        let p = GuaranteeParams { lambda: 0.0, ..base() };
+        let p = GuaranteeParams {
+            lambda: 0.0,
+            ..base()
+        };
         let _ = p.sketch_depth();
     }
 }

@@ -112,7 +112,12 @@ impl SimpleTruncation {
     /// Panics if `capacity == 0`.
     #[must_use]
     pub fn new(cfg: TruncationConfig) -> Self {
-        Self { cfg, weights: TopKWeights::new(cfg.capacity), scale: ScaleState::new(), t: 0 }
+        Self {
+            cfg,
+            weights: TopKWeights::new(cfg.capacity),
+            scale: ScaleState::new(),
+            t: 0,
+        }
     }
 
     /// The configuration this model was built with.
@@ -173,7 +178,9 @@ impl OnlineLearner for SimpleTruncation {
 
 impl WeightEstimator for SimpleTruncation {
     fn estimate(&self, feature: u32) -> f64 {
-        self.weights.get(feature).map_or(0.0, |w| self.scale.load(w))
+        self.weights
+            .get(feature)
+            .map_or(0.0, |w| self.scale.load(w))
     }
 }
 
@@ -182,7 +189,10 @@ impl TopKRecovery for SimpleTruncation {
         self.weights
             .top_k(k)
             .into_iter()
-            .map(|e| WeightEntry { feature: e.feature, weight: self.scale.load(e.weight) })
+            .map(|e| WeightEntry {
+                feature: e.feature,
+                weight: self.scale.load(e.weight),
+            })
             .collect()
     }
 }
@@ -302,7 +312,11 @@ impl OnlineLearner for ProbabilisticTruncation {
                 None => {
                     let new = step;
                     let r = self.uniform();
-                    let key = if new == 0.0 { 0.0 } else { r.powf(1.0 / new.abs()) };
+                    let key = if new == 0.0 {
+                        0.0
+                    } else {
+                        r.powf(1.0 / new.abs())
+                    };
                     self.weights.insert(i, new);
                     self.keys.insert(i, key);
                 }
@@ -333,7 +347,10 @@ impl TopKRecovery for ProbabilisticTruncation {
         let mut entries: Vec<WeightEntry> = self
             .weights
             .iter()
-            .map(|(&feature, &w)| WeightEntry { feature, weight: self.scale.load(w) })
+            .map(|(&feature, &w)| WeightEntry {
+                feature,
+                weight: self.scale.load(w),
+            })
             .collect();
         entries.sort_by(|a, b| {
             b.weight
@@ -439,7 +456,8 @@ mod tests {
         let trun = SimpleTruncation::new(TruncationConfig::simple_with_budget_bytes(1024));
         assert_eq!(trun.config().capacity, 128);
         assert_eq!(trun.memory_bytes(), 1024);
-        let pt = ProbabilisticTruncation::new(TruncationConfig::probabilistic_with_budget_bytes(1200));
+        let pt =
+            ProbabilisticTruncation::new(TruncationConfig::probabilistic_with_budget_bytes(1200));
         assert_eq!(pt.config().capacity, 100);
         assert_eq!(pt.memory_bytes(), 1200);
     }

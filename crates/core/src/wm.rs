@@ -20,12 +20,12 @@
 //! heaviest estimated weights for `O(1)`-time retrieval, as in the
 //! reference implementation.
 
-use wmsketch_hashing::{HashFamilyKind, RowHashers};
+use wmsketch_hashing::{CoordPlan, HashFamilyKind, RowHashers};
 use wmsketch_learn::{
     debug_check_label, Label, LearningRate, Loss, LossKind, OnlineLearner, ScaleState,
     SparseVector, TopKRecovery, WeightEntry, WeightEstimator,
 };
-use wmsketch_sketch::median_inplace;
+use wmsketch_sketch::{median_inplace, signed_median_estimate};
 
 /// Configuration for [`WmSketch`].
 #[derive(Debug, Clone, Copy)]
@@ -127,7 +127,10 @@ impl WmSketchConfig {
     /// Memory cost in bytes under the paper's §7.1 model.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
-        crate::budget::wm_bytes(self.heap_capacity, self.width as usize * self.depth as usize)
+        crate::budget::wm_bytes(
+            self.heap_capacity,
+            self.width as usize * self.depth as usize,
+        )
     }
 }
 
@@ -143,6 +146,9 @@ pub struct WmSketch {
     /// `√s`, the query-side rescaling.
     sqrt_s: f64,
     heap: Option<wmsketch_hh::TopKWeights>,
+    /// Cached per-example coordinates for the single-hash update pipeline;
+    /// buffers are reused across updates.
+    plan: CoordPlan,
     t: u64,
 }
 
@@ -173,6 +179,7 @@ impl WmSketch {
             inv_sqrt_s: 1.0 / s.sqrt(),
             sqrt_s: s.sqrt(),
             heap: (cfg.heap_capacity > 0).then(|| wmsketch_hh::TopKWeights::new(cfg.heap_capacity)),
+            plan: CoordPlan::new(),
             t: 0,
         }
     }
@@ -192,24 +199,7 @@ impl WmSketch {
     /// The estimated weight of `feature` via Count-Sketch median recovery
     /// (pre-scale; multiply by α for the logical value).
     fn query_stored(&self, feature: u32) -> f64 {
-        let key = u64::from(feature);
-        let width = self.cfg.width as usize;
-        let depth = self.cfg.depth as usize;
-        let mut buf = [0.0f64; 64];
-        let mut spill;
-        let vals: &mut [f64] = if depth <= 64 {
-            for (j, bs) in self.hashers.bucket_signs(key) {
-                buf[j] = self.sqrt_s * bs.sign * self.z[j * width + bs.bucket as usize];
-            }
-            &mut buf[..depth]
-        } else {
-            spill = vec![0.0; depth];
-            for (j, bs) in self.hashers.bucket_signs(key) {
-                spill[j] = self.sqrt_s * bs.sign * self.z[j * width + bs.bucket as usize];
-            }
-            &mut spill
-        };
-        median_inplace(vals)
+        signed_median_estimate(&self.hashers, &self.z, u64::from(feature), self.sqrt_s)
     }
 
     fn fold_scale(&mut self) {
@@ -232,18 +222,19 @@ impl WmSketch {
         }
         acc * self.inv_sqrt_s
     }
-}
 
-impl OnlineLearner for WmSketch {
-    fn margin(&self, x: &SparseVector) -> f64 {
-        self.scale.load(self.raw_margin(x))
-    }
-
-    fn update(&mut self, x: &SparseVector, y: Label) {
+    /// The seed implementation's three-pass update, retained as the
+    /// reference path: it hashes every active feature once in the margin,
+    /// again in the gradient scatter, and a third time per feature for
+    /// passive heap maintenance. [`WmSketch::update`] is the fused
+    /// single-hash pipeline; golden tests assert the two produce
+    /// bit-identical sketches, and the `update_throughput` benchmark
+    /// measures the speedup.
+    pub fn update_naive(&mut self, x: &SparseVector, y: Label) {
         debug_check_label(y);
         self.t += 1;
         let eta = self.cfg.learning_rate.at(self.t);
-        let tau = self.margin(x);
+        let tau = self.scale.load(self.raw_margin(x));
         let g = self.cfg.loss.deriv(f64::from(y) * tau) * f64::from(y);
         if self.scale.decay(eta, self.cfg.lambda) {
             self.fold_scale();
@@ -263,6 +254,58 @@ impl OnlineLearner for WmSketch {
                     if let Some(heap) = &mut self.heap {
                         heap.offer(i, est);
                     }
+                }
+            }
+        }
+    }
+}
+
+impl OnlineLearner for WmSketch {
+    fn margin(&self, x: &SparseVector) -> f64 {
+        self.scale.load(self.raw_margin(x))
+    }
+
+    /// The fused single-hash update pipeline.
+    ///
+    /// Hashes every active feature exactly once per row
+    /// ([`RowHashers::fill_plan`]) and replays the cached coordinates for
+    /// all three traversals the seed path paid separate hashing for: the
+    /// margin dot-product, the gradient scatter, and the post-scatter
+    /// median re-estimation feeding the passive top-K heap. Arithmetic
+    /// order matches [`WmSketch::update_naive`] operation for operation, so
+    /// the resulting sketch state is bit-identical.
+    fn update(&mut self, x: &SparseVector, y: Label) {
+        debug_check_label(y);
+        self.t += 1;
+        let eta = self.cfg.learning_rate.at(self.t);
+        // Single hashing pass over the example.
+        self.hashers.fill_plan(&mut self.plan, x.indices());
+        // Pass 1 over cached coords: margin.
+        let mut acc = 0.0;
+        for (slot, xi) in x.values().iter().enumerate() {
+            acc += xi * self.plan.slot_projection(slot, &self.z);
+        }
+        let tau = self.scale.load(acc * self.inv_sqrt_s);
+        let g = self.cfg.loss.deriv(f64::from(y) * tau) * f64::from(y);
+        if self.scale.decay(eta, self.cfg.lambda) {
+            self.fold_scale();
+        }
+        if g != 0.0 {
+            let inv_sqrt_s = self.inv_sqrt_s;
+            let sqrt_s = self.sqrt_s;
+            let scale = self.scale;
+            let Self { z, plan, heap, .. } = self;
+            for (slot, (i, xi)) in x.iter().enumerate() {
+                let delta = scale.store(-eta * g * xi * inv_sqrt_s);
+                if let Some(heap) = heap {
+                    // Passes 2+3 fused: gradient scatter and passive heap
+                    // maintenance in one walk over the cached cells — the
+                    // post-scatter median comes from the values just
+                    // written, not a fresh hash-and-recover per feature.
+                    let est = median_inplace(plan.slot_scatter_and_values(slot, z, delta, sqrt_s));
+                    heap.offer(i, est);
+                } else {
+                    plan.slot_scatter(slot, z, delta);
                 }
             }
         }
@@ -289,7 +332,10 @@ impl TopKRecovery for WmSketch {
         };
         let mut entries: Vec<WeightEntry> = heap
             .iter()
-            .map(|e| WeightEntry { feature: e.feature, weight: self.estimate(e.feature) })
+            .map(|e| WeightEntry {
+                feature: e.feature,
+                weight: self.estimate(e.feature),
+            })
             .collect();
         entries.sort_by(|a, b| {
             b.weight
@@ -348,11 +394,11 @@ mod tests {
         // exactly: the Count-Sketch projection restricted to the active
         // features is then an isometry (a signed permutation).
         use wmsketch_learn::{LogisticRegression, LogisticRegressionConfig};
-        let mut wm = WmSketch::new(
-            WmSketchConfig::new(4096, 1).lambda(1e-4).seed(11),
-        );
+        let mut wm = WmSketch::new(WmSketchConfig::new(4096, 1).lambda(1e-4).seed(11));
         let mut lr = LogisticRegression::new(
-            LogisticRegressionConfig::new(16).lambda(1e-4).track_top_k(0),
+            LogisticRegressionConfig::new(16)
+                .lambda(1e-4)
+                .track_top_k(0),
         );
         let stream: Vec<(SparseVector, Label)> = (0..500)
             .map(|t| {
@@ -363,8 +409,9 @@ mod tests {
             .collect();
         // Verify no collisions among the 16 active features for this seed.
         let hasher = RowHashers::new(HashFamilyKind::Tabulation, 1, 4096, 11);
-        let buckets: std::collections::HashSet<u32> =
-            (0..16u64).map(|i| hasher.row(0).bucket_sign(i).bucket).collect();
+        let buckets: std::collections::HashSet<u32> = (0..16u64)
+            .map(|i| hasher.bucket_sign(0, i).bucket)
+            .collect();
         assert_eq!(buckets.len(), 16, "collision in test setup; change seed");
         for (x, y) in &stream {
             wm.update(x, *y);

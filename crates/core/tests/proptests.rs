@@ -29,7 +29,7 @@ proptest! {
         let hashers = wmsketch_hashing::RowHashers::new(
             wmsketch_hashing::HashFamilyKind::Tabulation, 1, width, seed);
         let buckets: std::collections::HashSet<u32> =
-            (0..16u64).map(|k| hashers.row(0).bucket_sign(k).bucket).collect();
+            (0..16u64).map(|k| hashers.bucket_sign(0, k).bucket).collect();
         prop_assume!(buckets.len() == 16);
 
         let mut wm = WmSketch::new(

@@ -83,7 +83,10 @@ impl SyntheticClassification {
     /// dimension.
     #[must_use]
     pub fn new(cfg: ClassificationConfig) -> Self {
-        assert!(cfg.dim > 0 && cfg.nnz > 0, "dimension and nnz must be nonzero");
+        assert!(
+            cfg.dim > 0 && cfg.nnz > 0,
+            "dimension and nnz must be nonzero"
+        );
         let base = match cfg.placement {
             SignalPlacement::Head => 0,
             SignalPlacement::MidTail(off) => off,
@@ -203,12 +206,8 @@ impl SyntheticClassification {
         let mut x = SparseVector::from_pairs(&self.scratch);
         // Planted margin on raw (unnormalized) counts, centred so classes
         // come out balanced.
-        let margin: f64 = self
-            .truth
-            .iter()
-            .map(|&(f, w)| w * x.get(f))
-            .sum::<f64>()
-            - self.margin_bias;
+        let margin: f64 =
+            self.truth.iter().map(|&(f, w)| w * x.get(f)).sum::<f64>() - self.margin_bias;
         let p = 1.0 / (1.0 + (-margin).exp());
         let y: Label = if self.rng.random::<f64>() < p { 1 } else { -1 };
         x.l2_normalize();
@@ -266,7 +265,8 @@ mod tests {
         // be labelled +1 more often than examples without it (margins are
         // centred, so we compare conditionals rather than absolutes).
         let mut g = small(2);
-        let (mut pos_with, mut tot_with, mut pos_without, mut tot_without) = (0u32, 0u32, 0u32, 0u32);
+        let (mut pos_with, mut tot_with, mut pos_without, mut tot_without) =
+            (0u32, 0u32, 0u32, 0u32);
         for _ in 0..8000 {
             let (x, y) = g.next_example();
             if x.get(0) > 0.0 {

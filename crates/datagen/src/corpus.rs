@@ -160,10 +160,7 @@ mod tests {
         let tokens = g.take(200_000);
         // Count adjacent occurrences of the first planted pair.
         let (u, v) = g.collocations()[0];
-        let adjacent = tokens
-            .windows(2)
-            .filter(|w| w[0] == u && w[1] == v)
-            .count();
+        let adjacent = tokens.windows(2).filter(|w| w[0] == u && w[1] == v).count();
         // Rate 0.02 over 8 pairs → pair 0 fires ≈ 0.0025 of emissions; as
         // each firing consumes 2 tokens, expect ≳ 150 in 200k tokens.
         assert!(adjacent > 100, "adjacent firings: {adjacent}");

@@ -96,7 +96,10 @@ impl DisbursementGen {
     /// (0, 1)).
     #[must_use]
     pub fn new(cfg: DisbursementConfig) -> Self {
-        assert!(cfg.n_columns > 0 && cfg.values_per_column > 0, "empty schema");
+        assert!(
+            cfg.n_columns > 0 && cfg.values_per_column > 0,
+            "empty schema"
+        );
         assert!(
             cfg.base_outlier_rate > 0.0 && cfg.base_outlier_rate < 1.0,
             "base outlier rate must be in (0,1)"
@@ -213,7 +216,8 @@ mod tests {
             .find(|&f| g.planted_logit(f) > 1.0)
             .expect("some popular value should be risky at 5%");
         let rows = g.take(100_000);
-        let (mut out_with, mut tot_with, mut out_without, mut tot_without) = (0u32, 0u32, 0u32, 0u32);
+        let (mut out_with, mut tot_with, mut out_without, mut tot_without) =
+            (0u32, 0u32, 0u32, 0u32);
         for r in &rows {
             let has = r.features.contains(&risky);
             let out = r.label == 1;

@@ -87,7 +87,9 @@ impl PacketTraceGen {
             (cfg.n_deltoids as u64) * u64::from(cfg.stride) < u64::from(cfg.n_addrs),
             "deltoid set exceeds address population"
         );
-        let deltoids: Vec<u32> = (1..=cfg.n_deltoids as u32).map(|j| j * cfg.stride).collect();
+        let deltoids: Vec<u32> = (1..=cfg.n_deltoids as u32)
+            .map(|j| j * cfg.stride)
+            .collect();
         Self {
             zipf: Zipf::new(u64::from(cfg.n_addrs), cfg.zipf_s),
             rng: StdRng::seed_from_u64(cfg.seed),

@@ -23,7 +23,11 @@ impl<T> Reservoir<T> {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "reservoir capacity must be nonzero");
-        Self { items: Vec::with_capacity(capacity), capacity, seen: 0 }
+        Self {
+            items: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+        }
     }
 
     /// Number of stream elements observed so far.

@@ -39,7 +39,13 @@ impl Zipf {
         let h_integral_x1 = Self::h_integral(1.5, s) - 1.0;
         let h_integral_n = Self::h_integral(n as f64 + 0.5, s);
         let cut = 2.0 - Self::h_integral_inverse(Self::h_integral(2.5, s) - Self::h(2.0, s), s);
-        Self { n, s, h_integral_x1, h_integral_n, cut }
+        Self {
+            n,
+            s,
+            h_integral_x1,
+            h_integral_n,
+            cut,
+        }
     }
 
     /// Number of ranks.
@@ -105,8 +111,8 @@ impl Zipf {
         loop {
             // u uniform in (h_integral_n, h_integral_x1]; note
             // h_integral_x1 ≥ h_integral of anything left of 1.5 minus h(1).
-            let u = self.h_integral_n
-                + rng.random::<f64>() * (self.h_integral_x1 - self.h_integral_n);
+            let u =
+                self.h_integral_n + rng.random::<f64>() * (self.h_integral_x1 - self.h_integral_n);
             let x = Self::h_integral_inverse(u, self.s);
             let k64 = x.round().clamp(1.0, self.n as f64);
             let k = k64 as u64;

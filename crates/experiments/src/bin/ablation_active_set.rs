@@ -72,9 +72,8 @@ fn main() {
                     rel_err_top_k(&m.recover_top_k(k), &w_star, k)
                 }
                 Variant::Awm => {
-                    let mut m = AwmSketch::new(
-                        AwmSketchConfig::new(512, 1024).lambda(lambda).seed(seed),
-                    );
+                    let mut m =
+                        AwmSketch::new(AwmSketchConfig::new(512, 1024).lambda(lambda).seed(seed));
                     for _ in 0..n {
                         let (x, y) = gen.next_example();
                         err.record(m.predict(&x), y);
@@ -91,11 +90,8 @@ fn main() {
                         err.record(m.predict(&x), y);
                         m.update(&x, y);
                     }
-                    let est = wmsketch_learn::metrics::top_k_by_estimate(
-                        &m,
-                        0..Dataset::Rcv1.dim(),
-                        k,
-                    );
+                    let est =
+                        wmsketch_learn::metrics::top_k_by_estimate(&m, 0..Dataset::Rcv1.dim(), k);
                     rel_err_top_k(&est, &w_star, k)
                 }
             };

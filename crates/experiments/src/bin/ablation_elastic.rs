@@ -19,7 +19,12 @@ fn main() {
     let n = scaled(60_000);
     let k = 128usize;
     println!("== Ablation: recovery vs reference sparsity (2KB AWM, RCV1-like, n={n}) ==\n");
-    let mut t = Table::new(&["lambda1", "ref zero weights", "ref |w|_1", "linf_err/|w*|_1"]);
+    let mut t = Table::new(&[
+        "lambda1",
+        "ref zero weights",
+        "ref |w|_1",
+        "linf_err/|w*|_1",
+    ]);
     for lambda1 in [0.0, 1e-5, 1e-4, 1e-3] {
         // Reference: elastic-net dense model.
         let mut en = ElasticNetLogisticRegression::new(
@@ -36,7 +41,9 @@ fn main() {
 
         // Budgeted model: 2KB AWM with plain ℓ2.
         let mut awm = AwmSketch::new(
-            AwmSketchConfig::with_budget_bytes(2 * 1024).lambda(1e-6).seed(1),
+            AwmSketchConfig::with_budget_bytes(2 * 1024)
+                .lambda(1e-6)
+                .seed(1),
         );
         let mut gen = Dataset::Rcv1.generator(0);
         for _ in 0..n {

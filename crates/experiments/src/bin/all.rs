@@ -5,8 +5,21 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "table3", "fig11", "ablation_depth", "ablation_active_set", "ablation_hashing",
+        "table1",
+        "table2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "table3",
+        "fig11",
+        "ablation_depth",
+        "ablation_active_set",
+        "ablation_hashing",
         "ablation_elastic",
     ];
     let exe = std::env::current_exe().expect("own path");

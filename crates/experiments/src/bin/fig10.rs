@@ -21,22 +21,31 @@ const BUDGET: usize = 32 * 1024;
 fn main() {
     let n = scaled(400_000);
     println!("== Fig 10: deltoid recall at 32KB, top-{TOP} retrieved ({n} packets) ==\n");
-    let cfg = PacketTraceConfig { seed: 0, ..Default::default() };
+    let cfg = PacketTraceConfig {
+        seed: 0,
+        ..Default::default()
+    };
     let n_addrs = cfg.n_addrs;
     let mut gen = PacketTraceGen::new(cfg);
 
     let mut exact = ExactRatioTable::new();
     let mut lr = DeltoidDetector::new(LogisticRegression::new(
-        LogisticRegressionConfig::new(n_addrs).lambda(1e-6).track_top_k(0),
+        LogisticRegressionConfig::new(n_addrs)
+            .lambda(1e-6)
+            .track_top_k(0),
     ));
     let mut trun = DeltoidDetector::new(SimpleTruncation::new(
         TruncationConfig::simple_with_budget_bytes(BUDGET).lambda(1e-6),
     ));
     let mut ptrun = DeltoidDetector::new(ProbabilisticTruncation::new(
-        TruncationConfig::probabilistic_with_budget_bytes(BUDGET).lambda(1e-6).seed(1),
+        TruncationConfig::probabilistic_with_budget_bytes(BUDGET)
+            .lambda(1e-6)
+            .seed(1),
     ));
     let mut awm = DeltoidDetector::new(AwmSketch::new(
-        AwmSketchConfig::with_budget_bytes(BUDGET).lambda(1e-6).seed(1),
+        AwmSketchConfig::with_budget_bytes(BUDGET)
+            .lambda(1e-6)
+            .seed(1),
     ));
     let mut cm = PairedCountMin::with_budget_bytes(BUDGET, 2);
     let mut cm8 = PairedCountMin::with_budget_bytes(8 * BUDGET, 3);

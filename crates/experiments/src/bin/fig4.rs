@@ -2,8 +2,7 @@
 //! RCV1-like dataset as the memory budget grows (2/4/8/16/32 KB, λ=1e-6).
 
 use wmsketch_experiments::{
-    median, scaled, train_and_score, train_reference, Dataset, MethodConfig, Table,
-    FIGURE_METHODS,
+    median, scaled, train_and_score, train_reference, Dataset, MethodConfig, Table, FIGURE_METHODS,
 };
 
 fn main() {

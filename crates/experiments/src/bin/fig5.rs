@@ -22,7 +22,10 @@ fn main() {
     // shorter than RCV1/URL, so the grid is shifted one decade up from
     // the paper's {1e-3..1e-6} to cover the same effective range.
     let lambdas = [1e-2, 1e-3, 1e-4, 1e-5];
-    for (dataset, n) in [(Dataset::Rcv1, scaled(100_000)), (Dataset::Url, scaled(50_000))] {
+    for (dataset, n) in [
+        (Dataset::Rcv1, scaled(100_000)),
+        (Dataset::Url, scaled(50_000)),
+    ] {
         println!(
             "== Fig 5 [{}]: AWM RelErr of top-{k} vs λ (2KB, n={n}) ==\n",
             dataset.name()
@@ -38,7 +41,10 @@ fn main() {
                     train_and_score(&cfg, dataset, n, 0, &w_star, k).rel_err
                 })
                 .collect();
-            t.row(vec![format!("{lambda:.0e}"), format!("{:.4}", median(&mut errs))]);
+            t.row(vec![
+                format!("{lambda:.0e}"),
+                format!("{:.4}", median(&mut errs)),
+            ]);
         }
         t.print();
         println!();

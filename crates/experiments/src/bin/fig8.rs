@@ -16,9 +16,9 @@ use wmsketch_core::{
     TopKRecovery,
 };
 use wmsketch_datagen::{DisbursementConfig, DisbursementGen};
-use wmsketch_learn::LearningRate;
 use wmsketch_experiments::{scaled, Table};
 use wmsketch_hh::SpaceSaving;
+use wmsketch_learn::LearningRate;
 
 // The paper retrieves 2048 of 514K features (0.4%). Our stand-in has a
 // denser feature space (DESIGN.md §1.3), so we retrieve 256 to keep the
@@ -52,7 +52,10 @@ fn histogram(features: &[u32], risks: &ExactRiskTable) -> Vec<f64> {
 fn main() {
     let rows = scaled(400_000);
     println!("== Fig 8: relative-risk distribution of top-{TOP} features ({rows} rows) ==\n");
-    let mut gen = DisbursementGen::new(DisbursementConfig { seed: 0, ..Default::default() });
+    let mut gen = DisbursementGen::new(DisbursementConfig {
+        seed: 0,
+        ..Default::default()
+    });
     let dim = gen.dim();
 
     let mut risks = ExactRiskTable::new();

@@ -35,7 +35,10 @@ fn correlation(entries: &[WeightEntry], risks: &ExactRiskTable) -> (f64, usize) 
 fn main() {
     let rows = scaled(400_000);
     println!("== Fig 9: weight vs relative-risk correlation ({rows} rows, top {TOP}) ==\n");
-    let mut gen = DisbursementGen::new(DisbursementConfig { seed: 0, ..Default::default() });
+    let mut gen = DisbursementGen::new(DisbursementConfig {
+        seed: 0,
+        ..Default::default()
+    });
     let dim = gen.dim();
 
     let mut risks = ExactRiskTable::new();
@@ -68,8 +71,12 @@ fn main() {
 
     let (r_lr, n_lr) = correlation(&lr.exact_top_k(TOP), &risks);
     let (r_awm, n_awm) = correlation(&awm.recover_top_k(TOP), &risks);
-    println!("LR (exact, unconstrained): Pearson(weight, log risk) = {r_lr:.3} over {n_lr} features");
-    println!("AWM-Sketch (32KB):         Pearson(weight, log risk) = {r_awm:.3} over {n_awm} features");
+    println!(
+        "LR (exact, unconstrained): Pearson(weight, log risk) = {r_lr:.3} over {n_lr} features"
+    );
+    println!(
+        "AWM-Sketch (32KB):         Pearson(weight, log risk) = {r_awm:.3} over {n_awm} features"
+    );
     println!("\npaper: 0.95 (LR) and 0.91 (AWM) — both strongly positive, AWM slightly");
     println!("noisier than the exact model.");
 }

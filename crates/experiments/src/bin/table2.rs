@@ -7,9 +7,7 @@
 //! the active set and a depth-1 sketch.
 
 use wmsketch_core::budget::{enumerate_awm_configs, enumerate_wm_configs};
-use wmsketch_experiments::{
-    median, scaled, train_reference, Dataset, Table,
-};
+use wmsketch_experiments::{median, scaled, train_reference, Dataset, Table};
 use wmsketch_learn::{rel_err_top_k, OnlineLearner};
 
 fn main() {
@@ -20,8 +18,15 @@ fn main() {
     let (w_star, _, _) = train_reference(Dataset::Rcv1, lambda, n, 0);
 
     let mut t = Table::new(&[
-        "Budget", "WM |S|", "WM width", "WM depth", "WM RelErr", "AWM |S|", "AWM width",
-        "AWM depth", "AWM RelErr",
+        "Budget",
+        "WM |S|",
+        "WM width",
+        "WM depth",
+        "WM RelErr",
+        "AWM |S|",
+        "AWM width",
+        "AWM depth",
+        "AWM RelErr",
     ]);
     for budget in [2048usize, 4096, 8192, 16384, 32768] {
         let wm_best = sweep(&enumerate_wm_configs(budget), false, n, lambda, &w_star, k);
@@ -63,7 +68,7 @@ fn sweep(
         let mut errs: Vec<f64> = (0..2u64)
             .map(|seed| {
                 let mut gen = Dataset::Rcv1.generator(0);
-                
+
                 if awm {
                     let mut cfg = c.awm();
                     cfg.lambda = lambda;

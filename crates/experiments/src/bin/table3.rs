@@ -56,7 +56,11 @@ fn main() {
             format!("({u},{v})"),
             format!("{true_pmi:.3}"),
             format!("{est_pmi:.3}"),
-            if gen.is_collocation(u, v) { "*".into() } else { String::new() },
+            if gen.is_collocation(u, v) {
+                "*".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     t.print();

@@ -87,12 +87,7 @@ pub struct RunResult {
 /// Trains the memory-unconstrained LR reference on `n` examples and
 /// returns `(dense weights, online error rate, seconds)`.
 #[must_use]
-pub fn train_reference(
-    dataset: Dataset,
-    lambda: f64,
-    n: usize,
-    seed: u64,
-) -> (Vec<f64>, f64, f64) {
+pub fn train_reference(dataset: Dataset, lambda: f64, n: usize, seed: u64) -> (Vec<f64>, f64, f64) {
     let mut gen = dataset.generator(seed);
     let mut lr = LogisticRegression::new(
         LogisticRegressionConfig::new(dataset.dim())

@@ -2,10 +2,9 @@
 
 use wmsketch_core::{
     AwmSketch, AwmSketchConfig, CountMinClassifier, CountMinClassifierConfig,
-    FeatureHashingClassifier, FeatureHashingConfig, Label, OnlineLearner,
-    ProbabilisticTruncation, SimpleTruncation, SpaceSavingClassifier,
-    SpaceSavingClassifierConfig, TopKRecovery, TruncationConfig, WeightEntry, WeightEstimator,
-    WmSketch, WmSketchConfig,
+    FeatureHashingClassifier, FeatureHashingConfig, Label, OnlineLearner, ProbabilisticTruncation,
+    SimpleTruncation, SpaceSavingClassifier, SpaceSavingClassifierConfig, TopKRecovery,
+    TruncationConfig, WeightEntry, WeightEstimator, WmSketch, WmSketchConfig,
 };
 use wmsketch_learn::metrics::top_k_by_estimate;
 use wmsketch_learn::SparseVector;
@@ -84,7 +83,12 @@ impl MethodConfig {
     /// Creates a request.
     #[must_use]
     pub fn new(method: Method, budget_bytes: usize, lambda: f64, seed: u64) -> Self {
-        Self { method, budget_bytes, lambda, seed }
+        Self {
+            method,
+            budget_bytes,
+            lambda,
+            seed,
+        }
     }
 }
 
@@ -309,7 +313,10 @@ mod tests {
         for method in ALL_BUDGETED_METHODS {
             let mut l = AnyLearner::build(&MethodConfig::new(method, 4096, 1e-6, 2));
             for t in 0..200u32 {
-                l.update(&SparseVector::one_hot(t % 5, 1.0), if t % 2 == 0 { 1 } else { -1 });
+                l.update(
+                    &SparseVector::one_hot(t % 5, 1.0),
+                    if t % 2 == 0 { 1 } else { -1 },
+                );
             }
             let top = l.top_k_estimates(3, 64);
             assert!(!top.is_empty(), "{} returned empty top-k", l.name());

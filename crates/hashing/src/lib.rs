@@ -29,5 +29,5 @@ pub use fastmap::{FastBuildHasher, FastHashMap, FastHashSet};
 pub use mix::{fast_range, splitmix64, SplitMix64};
 pub use murmur3::murmur3_32;
 pub use poly::PolyHash;
-pub use row_hasher::{BucketSign, HashFamilyKind, RowHasher, RowHashers};
+pub use row_hasher::{BucketSign, CoordPlan, HashFamilyKind, RowHasher, RowHashers};
 pub use tabulation::TabulationHash;

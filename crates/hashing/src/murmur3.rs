@@ -58,7 +58,10 @@ mod tests {
         assert_eq!(murmur3_32(b"test", 0x9747_B28C), 0x704B_81DC);
         assert_eq!(murmur3_32(b"Hello, world!", 0), 0xC036_3E43);
         assert_eq!(murmur3_32(b"Hello, world!", 0x9747_B28C), 0x2488_4CBA);
-        assert_eq!(murmur3_32(b"The quick brown fox jumps over the lazy dog", 0), 0x2E4F_F723);
+        assert_eq!(
+            murmur3_32(b"The quick brown fox jumps over the lazy dog", 0),
+            0x2E4F_F723
+        );
     }
 
     #[test]
@@ -69,7 +72,11 @@ mod tests {
         for len in 0..=data.len() {
             outputs.insert(murmur3_32(&data[..len], 42));
         }
-        assert_eq!(outputs.len(), data.len() + 1, "prefixes must hash distinctly");
+        assert_eq!(
+            outputs.len(),
+            data.len() + 1,
+            "prefixes must hash distinctly"
+        );
     }
 
     #[test]

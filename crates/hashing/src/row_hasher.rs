@@ -2,17 +2,26 @@
 //!
 //! A sketch of depth `s` and width `w` keeps, for each row `j ∈ [s]`, a pair
 //! `(h_j, σ_j)` with `h_j(i) ∈ [w]` and `σ_j(i) ∈ {-1, +1}`. We derive both
-//! from a single 64-bit hash per row: the top bits select the bucket (via
-//! multiply-shift range reduction) and bit 0 selects the sign, which costs
-//! one table-hash evaluation per row per feature.
+//! from a single 64-bit hash per row: bit 63 selects the sign and the low 63
+//! bits (shifted up so the multiply-shift range reduction sees uniform top
+//! bits) select the bucket, which costs one table-hash evaluation per row
+//! per feature.
+//!
+//! [`RowHashers`] stores the rows *monomorphized by family* — a
+//! `Vec<TabulationHash>` or a `Vec<PolyHash>`, never a vector of enums — so
+//! the batch entry points ([`RowHashers::fill_plan`],
+//! [`RowHashers::for_each_coord`]) dispatch on the family once per call and
+//! run the row loop on concrete types. The single-hash update pipeline in
+//! `wmsketch-core` builds a [`CoordPlan`] per example and replays it for the
+//! margin, the gradient scatter, and heap re-estimation, paying the hash
+//! cost exactly once per `(feature, row)` pair.
 
 use crate::mix::{fast_range, SplitMix64};
 use crate::poly::PolyHash;
 use crate::tabulation::TabulationHash;
 
 /// Which hash family backs a sketch's rows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum HashFamilyKind {
     /// 3-wise independent simple tabulation (the paper's implementation
     /// choice, Appendix B). Fast; the default.
@@ -23,6 +32,9 @@ pub enum HashFamilyKind {
     Polynomial(usize),
 }
 
+/// Spreads `PolyHash`'s 61-bit field element over 64 bits so the
+/// multiply-shift reduction sees uniform top bits.
+const POLY_SPREAD: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// A bucket index together with a ±1 sign.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,6 +43,16 @@ pub struct BucketSign {
     pub bucket: u32,
     /// Sign flip: `+1.0` or `-1.0`.
     pub sign: f64,
+}
+
+/// Splits a raw 64-bit hash into the paper's `(h_j, σ_j)` pair. Bit 63 is
+/// the sign; the low 63 bits choose the bucket. Using disjoint bits keeps
+/// `h` and `σ` independent of each other.
+#[inline]
+fn split_bucket_sign(h: u64, width: u64) -> BucketSign {
+    let sign = if h >> 63 == 0 { 1.0 } else { -1.0 };
+    let bucket = fast_range(h << 1, width) as u32;
+    BucketSign { bucket, sign }
 }
 
 enum RowFn {
@@ -43,9 +65,7 @@ impl RowFn {
     fn raw(&self, key: u64) -> u64 {
         match self {
             RowFn::Tab(t) => t.hash(key),
-            // Spread the 61-bit field element over 64 bits so the
-            // multiply-shift reduction sees uniform top bits.
-            RowFn::Poly(p) => p.hash(key).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            RowFn::Poly(p) => p.hash(key).wrapping_mul(POLY_SPREAD),
         }
     }
 }
@@ -58,7 +78,9 @@ pub struct RowHasher {
 
 impl std::fmt::Debug for RowHasher {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RowHasher").field("width", &self.width).finish()
+        f.debug_struct("RowHasher")
+            .field("width", &self.width)
+            .finish()
     }
 }
 
@@ -87,27 +109,58 @@ impl RowHasher {
     #[inline]
     #[must_use]
     pub fn bucket_sign(&self, key: u64) -> BucketSign {
-        let h = self.f.raw(key);
-        // Bit 63 is the sign; the low 63 bits (shifted up so the range
-        // reduction sees uniform top bits) choose the bucket. Using disjoint
-        // bits keeps h and σ independent of each other.
-        let sign = if h >> 63 == 0 { 1.0 } else { -1.0 };
-        let bucket = fast_range(h << 1, u64::from(self.width)) as u32;
-        BucketSign { bucket, sign }
+        split_bucket_sign(self.f.raw(key), u64::from(self.width))
     }
 
     /// Returns only the bucket (for unsigned sketches such as Count-Min).
+    ///
+    /// Uses the same disjoint-bit range reduction as
+    /// [`RowHasher::bucket_sign`]: the sign bit (bit 63) never feeds the
+    /// bucket choice, so `bucket(k) == bucket_sign(k).bucket` always holds.
     #[inline]
     #[must_use]
     pub fn bucket(&self, key: u64) -> u32 {
-        fast_range(self.f.raw(key), u64::from(self.width)) as u32
+        fast_range(self.f.raw(key) << 1, u64::from(self.width)) as u32
+    }
+}
+
+/// Monomorphized row storage: one vector of concrete hash functions per
+/// family, so batch loops never dispatch per row.
+enum Rows {
+    Tab(Vec<TabulationHash>),
+    Poly(Vec<PolyHash>),
+}
+
+impl Rows {
+    fn len(&self) -> usize {
+        match self {
+            Rows::Tab(v) => v.len(),
+            Rows::Poly(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    fn raw(&self, j: usize, key: u64) -> u64 {
+        match self {
+            Rows::Tab(v) => v[j].hash(key),
+            Rows::Poly(v) => v[j].hash(key).wrapping_mul(POLY_SPREAD),
+        }
     }
 }
 
 /// The full set of row hashers for a depth-`s` sketch.
-#[derive(Debug)]
 pub struct RowHashers {
-    rows: Vec<RowHasher>,
+    rows: Rows,
+    width: u32,
+}
+
+impl std::fmt::Debug for RowHashers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RowHashers")
+            .field("depth", &self.depth())
+            .field("width", &self.width)
+            .finish()
+    }
 }
 
 impl RowHashers {
@@ -115,15 +168,30 @@ impl RowHashers {
     /// deterministically seeded from `seed`.
     ///
     /// # Panics
-    /// Panics if `depth == 0` or `width == 0`.
+    /// Panics if `depth == 0` or `width == 0`, or if `depth × width`
+    /// overflows the `u32` cell-offset space used by [`CoordPlan`].
     #[must_use]
     pub fn new(kind: HashFamilyKind, depth: u32, width: u32, seed: u64) -> Self {
         assert!(depth > 0, "sketch depth must be nonzero");
+        assert!(width > 0, "sketch row width must be nonzero");
+        assert!(
+            u64::from(depth) * u64::from(width) <= u64::from(u32::MAX),
+            "sketch cell count {depth}×{width} exceeds the u32 offset space"
+        );
         let mut seeds = SplitMix64::new(seed);
-        let rows = (0..depth)
-            .map(|_| RowHasher::new(kind, width, seeds.next_u64()))
-            .collect();
-        Self { rows }
+        let rows = match kind {
+            HashFamilyKind::Tabulation => Rows::Tab(
+                (0..depth)
+                    .map(|_| TabulationHash::new(seeds.next_u64()))
+                    .collect(),
+            ),
+            HashFamilyKind::Polynomial(k) => Rows::Poly(
+                (0..depth)
+                    .map(|_| PolyHash::new(k, seeds.next_u64()))
+                    .collect(),
+            ),
+        };
+        Self { rows, width }
     }
 
     /// Number of rows (sketch depth).
@@ -135,26 +203,302 @@ impl RowHashers {
     /// Row width.
     #[must_use]
     pub fn width(&self) -> u32 {
-        self.rows[0].width()
+        self.width
     }
 
-    /// The hasher for row `j`.
+    /// The bucket and sign row `j` assigns to `key`.
+    ///
+    /// # Panics
+    /// Panics if `j >= depth`.
     #[inline]
     #[must_use]
-    pub fn row(&self, j: usize) -> &RowHasher {
-        &self.rows[j]
+    pub fn bucket_sign(&self, j: usize, key: u64) -> BucketSign {
+        split_bucket_sign(self.rows.raw(j, key), u64::from(self.width))
+    }
+
+    /// The bucket row `j` assigns to `key` (unsigned sketches). Matches
+    /// [`RowHashers::bucket_sign`]'s bucket: the sign bit is excluded from
+    /// the reduction.
+    #[inline]
+    #[must_use]
+    pub fn bucket(&self, j: usize, key: u64) -> u32 {
+        fast_range(self.rows.raw(j, key) << 1, u64::from(self.width)) as u32
     }
 
     /// Iterates over `(row_index, BucketSign)` for a feature key.
+    ///
+    /// This is the *reference* path: it dispatches on the hash family per
+    /// row. The batch entry points below hoist that dispatch out of the
+    /// loop; the fused sketch updates use those.
     #[inline]
-    pub fn bucket_signs<'a>(
-        &'a self,
-        key: u64,
-    ) -> impl Iterator<Item = (usize, BucketSign)> + 'a {
-        self.rows
-            .iter()
-            .enumerate()
-            .map(move |(j, r)| (j, r.bucket_sign(key)))
+    pub fn bucket_signs(&self, key: u64) -> impl Iterator<Item = (usize, BucketSign)> + '_ {
+        (0..self.rows.len()).map(move |j| (j, self.bucket_sign(j, key)))
+    }
+
+    /// Calls `f(flat_offset, sign)` for every row's cell of `key`, where
+    /// `flat_offset = row × width + bucket` indexes a row-major cell array.
+    /// Dispatches on the hash family once per call.
+    #[inline]
+    pub fn for_each_coord<F: FnMut(usize, f64)>(&self, key: u64, mut f: F) {
+        let width = self.width as usize;
+        let w = u64::from(self.width);
+        match &self.rows {
+            Rows::Tab(rows) => {
+                for (j, t) in rows.iter().enumerate() {
+                    let bs = split_bucket_sign(t.hash(key), w);
+                    f(j * width + bs.bucket as usize, bs.sign);
+                }
+            }
+            Rows::Poly(rows) => {
+                for (j, p) in rows.iter().enumerate() {
+                    let bs = split_bucket_sign(p.hash(key).wrapping_mul(POLY_SPREAD), w);
+                    f(j * width + bs.bucket as usize, bs.sign);
+                }
+            }
+        }
+    }
+
+    /// Calls `f(flat_offset)` for every row's cell of `key` (unsigned
+    /// sketches). Buckets match [`RowHashers::bucket`].
+    #[inline]
+    pub fn for_each_bucket<F: FnMut(usize)>(&self, key: u64, mut f: F) {
+        let width = self.width as usize;
+        let w = u64::from(self.width);
+        match &self.rows {
+            Rows::Tab(rows) => {
+                for (j, t) in rows.iter().enumerate() {
+                    f(j * width + fast_range(t.hash(key) << 1, w) as usize);
+                }
+            }
+            Rows::Poly(rows) => {
+                for (j, p) in rows.iter().enumerate() {
+                    let h = p.hash(key).wrapping_mul(POLY_SPREAD);
+                    f(j * width + fast_range(h << 1, w) as usize);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds `plan` to cover `keys`, hashing each key exactly once per
+    /// row. The family dispatch happens once per call, not per key.
+    pub fn fill_plan(&self, plan: &mut CoordPlan, keys: &[u32]) {
+        plan.reset(self.rows.len(), keys.len());
+        let width = self.width as usize;
+        let w = u64::from(self.width);
+        match &self.rows {
+            Rows::Tab(rows) => {
+                for &key in keys {
+                    push_key_coords(rows, width, w, u64::from(key), plan, |t, k| t.hash(k));
+                }
+            }
+            Rows::Poly(rows) => {
+                for &key in keys {
+                    push_key_coords(rows, width, w, u64::from(key), plan, |p, k| {
+                        p.hash(k).wrapping_mul(POLY_SPREAD)
+                    });
+                }
+            }
+        }
+    }
+
+    /// Starts an empty plan for incremental [`RowHashers::plan_push`] use
+    /// (the AWM-Sketch plans only the features outside its active set).
+    pub fn begin_plan(&self, plan: &mut CoordPlan) {
+        plan.reset(self.rows.len(), 0);
+    }
+
+    /// Appends one key's coordinates to `plan`, returning its slot index.
+    pub fn plan_push(&self, plan: &mut CoordPlan, key: u64) -> usize {
+        let width = self.width as usize;
+        let w = u64::from(self.width);
+        match &self.rows {
+            Rows::Tab(rows) => push_key_coords(rows, width, w, key, plan, |t, k| t.hash(k)),
+            Rows::Poly(rows) => push_key_coords(rows, width, w, key, plan, |p, k| {
+                p.hash(k).wrapping_mul(POLY_SPREAD)
+            }),
+        }
+    }
+}
+
+#[inline]
+fn push_key_coords<H>(
+    rows: &[H],
+    width: usize,
+    w: u64,
+    key: u64,
+    plan: &mut CoordPlan,
+    raw: impl Fn(&H, u64) -> u64,
+) -> usize {
+    let slot = plan.nnz;
+    plan.nnz += 1;
+    for (j, h) in rows.iter().enumerate() {
+        let bs = split_bucket_sign(raw(h, key), w);
+        plan.offsets.push((j * width + bs.bucket as usize) as u32);
+        plan.signs.push(bs.sign);
+    }
+    slot
+}
+
+/// Cached per-example sketch coordinates — the heart of the single-hash
+/// update pipeline.
+///
+/// For each planned key ("slot") the plan stores, per sketch row, the flat
+/// cell offset `row × width + bucket` and the ±1 sign, laid out
+/// slot-major so one slot's coordinates are a contiguous run. A sketch
+/// update builds the plan once per example ([`RowHashers::fill_plan`]) and
+/// then replays it for the margin dot-product, the gradient scatter, and
+/// the post-scatter median re-estimation, instead of re-hashing the
+/// example's features for each pass.
+///
+/// The plan also owns the median scratch buffer, so estimate recovery
+/// during updates never allocates — including at depths past the stack
+/// buffer limit of the cold-path [`wmsketch-sketch`] helper.
+///
+/// All buffers are retained across [`CoordPlan::reset`] calls; steady-state
+/// updates do no allocation at all.
+#[derive(Default)]
+pub struct CoordPlan {
+    /// `nnz × depth` flat cell offsets, slot-major.
+    offsets: Vec<u32>,
+    /// `nnz × depth` signs, parallel to `offsets`.
+    signs: Vec<f64>,
+    /// Rows per slot.
+    depth: usize,
+    /// Number of planned keys.
+    nnz: usize,
+    /// Depth-sized scratch for median recovery.
+    scratch: Vec<f64>,
+}
+
+impl std::fmt::Debug for CoordPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoordPlan")
+            .field("depth", &self.depth)
+            .field("nnz", &self.nnz)
+            .finish()
+    }
+}
+
+impl CoordPlan {
+    /// An empty plan; buffers grow on first use and are then reused.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the plan and reserves room for `nnz` keys of `depth` rows.
+    fn reset(&mut self, depth: usize, nnz: usize) {
+        self.depth = depth;
+        self.nnz = 0;
+        self.offsets.clear();
+        self.signs.clear();
+        let cap = depth * nnz;
+        self.offsets.reserve(cap);
+        self.signs.reserve(cap);
+    }
+
+    /// Number of planned keys.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Rows per key.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The flat offsets and signs of slot `slot`, each of length `depth`.
+    ///
+    /// # Panics
+    /// Panics if `slot >= nnz`.
+    #[inline]
+    #[must_use]
+    pub fn coords(&self, slot: usize) -> (&[u32], &[f64]) {
+        let lo = slot * self.depth;
+        let hi = lo + self.depth;
+        (&self.offsets[lo..hi], &self.signs[lo..hi])
+    }
+
+    /// The sign-corrected dot of slot `slot` against a cell array:
+    /// `Σ_j signs[j] · cells[offsets[j]]`, accumulated in row order —
+    /// bit-identical to the naive per-row traversal.
+    #[inline]
+    #[must_use]
+    pub fn slot_projection(&self, slot: usize, cells: &[f64]) -> f64 {
+        let (offsets, signs) = self.coords(slot);
+        let mut proj = 0.0;
+        for (&o, &s) in offsets.iter().zip(signs) {
+            proj += s * cells[o as usize];
+        }
+        proj
+    }
+
+    /// Adds `signs[j] · delta` to each of slot `slot`'s cells.
+    #[inline]
+    pub fn slot_scatter(&self, slot: usize, cells: &mut [f64], delta: f64) {
+        let (offsets, signs) = self.coords(slot);
+        for (&o, &s) in offsets.iter().zip(signs) {
+            cells[o as usize] += s * delta;
+        }
+    }
+
+    /// Fills the plan-owned scratch with slot `slot`'s sign-corrected
+    /// scaled cell values — `scale · signs[j] · cells[offsets[j]]` for each
+    /// row `j` — and returns it mutably, ready for in-place median
+    /// selection. No allocation at any depth once the scratch has grown.
+    ///
+    /// The median itself lives in `wmsketch-sketch` (`median_inplace`);
+    /// keeping it there avoids duplicating the estimator's tie/ordering
+    /// conventions across crates.
+    #[inline]
+    pub fn slot_values(&mut self, slot: usize, cells: &[f64], scale: f64) -> &mut [f64] {
+        let lo = slot * self.depth;
+        let hi = lo + self.depth;
+        self.scratch.clear();
+        self.scratch.extend(
+            self.offsets[lo..hi]
+                .iter()
+                .zip(&self.signs[lo..hi])
+                .map(|(&o, &s)| scale * s * cells[o as usize]),
+        );
+        &mut self.scratch
+    }
+
+    /// Fused scatter + re-estimation gather: adds `signs[j] · delta` to
+    /// each of slot `slot`'s cells and, in the same pass, fills the
+    /// plan-owned scratch with the *post-update* sign-corrected scaled
+    /// values (`scale · signs[j] · cells[offsets[j]]`), returning the
+    /// scratch for in-place median selection.
+    ///
+    /// A slot's offsets land in distinct sketch rows and therefore distinct
+    /// cells, so reading each cell immediately after its own write is
+    /// bit-identical to a separate [`CoordPlan::slot_scatter`] followed by
+    /// [`CoordPlan::slot_values`].
+    #[inline]
+    pub fn slot_scatter_and_values(
+        &mut self,
+        slot: usize,
+        cells: &mut [f64],
+        delta: f64,
+        scale: f64,
+    ) -> &mut [f64] {
+        let lo = slot * self.depth;
+        let hi = lo + self.depth;
+        self.scratch.clear();
+        self.scratch
+            .extend(
+                self.offsets[lo..hi]
+                    .iter()
+                    .zip(&self.signs[lo..hi])
+                    .map(|(&o, &s)| {
+                        let cell = &mut cells[o as usize];
+                        *cell += s * delta;
+                        scale * s * *cell
+                    }),
+            );
+        &mut self.scratch
     }
 }
 
@@ -199,11 +543,30 @@ mod tests {
     }
 
     #[test]
+    fn bucket_matches_bucket_sign_bucket() {
+        // Regression test: `bucket` once fed the sign bit into the range
+        // reduction, so unsigned and signed users of the same row disagreed
+        // on bucket assignment.
+        for kind in [HashFamilyKind::Tabulation, HashFamilyKind::Polynomial(4)] {
+            let h = RowHasher::new(kind, 53, 21);
+            for key in 0..20_000u64 {
+                assert_eq!(h.bucket(key), h.bucket_sign(key).bucket, "key {key}");
+            }
+            let hs = RowHashers::new(kind, 3, 53, 21);
+            for key in 0..2_000u64 {
+                for j in 0..3 {
+                    assert_eq!(hs.bucket(j, key), hs.bucket_sign(j, key).bucket);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn rows_are_mutually_independent_looking() {
         let hs = RowHashers::new(HashFamilyKind::Tabulation, 4, 256, 3);
         // Two distinct rows should disagree on buckets for most keys.
         let agree = (0..10_000u64)
-            .filter(|&k| hs.row(0).bucket_sign(k).bucket == hs.row(1).bucket_sign(k).bucket)
+            .filter(|&k| hs.bucket_sign(0, k).bucket == hs.bucket_sign(1, k).bucket)
             .count();
         // Chance agreement is 1/256 ≈ 39 of 10k.
         assert!(agree < 200, "rows agree on {agree} of 10000 keys");
@@ -215,9 +578,133 @@ mod tests {
         let b = RowHashers::new(HashFamilyKind::Tabulation, 3, 128, 99);
         for k in 0..100u64 {
             for j in 0..3 {
-                assert_eq!(a.row(j).bucket_sign(k), b.row(j).bucket_sign(k));
+                assert_eq!(a.bucket_sign(j, k), b.bucket_sign(j, k));
             }
         }
+    }
+
+    #[test]
+    fn rowhashers_match_single_row_hashers() {
+        // RowHashers must agree with RowHasher built from the same derived
+        // seeds — i.e. the typed-storage refactor preserved the seeding.
+        for kind in [HashFamilyKind::Tabulation, HashFamilyKind::Polynomial(3)] {
+            let hs = RowHashers::new(kind, 4, 64, 123);
+            let mut seeds = SplitMix64::new(123);
+            for j in 0..4usize {
+                let single = RowHasher::new(kind, 64, seeds.next_u64());
+                for k in 0..500u64 {
+                    assert_eq!(hs.bucket_sign(j, k), single.bucket_sign(k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_coord_matches_bucket_signs() {
+        for kind in [HashFamilyKind::Tabulation, HashFamilyKind::Polynomial(4)] {
+            let hs = RowHashers::new(kind, 5, 48, 9);
+            for key in 0..1000u64 {
+                let mut coords = Vec::new();
+                hs.for_each_coord(key, |offset, sign| coords.push((offset, sign)));
+                let expect: Vec<(usize, f64)> = hs
+                    .bucket_signs(key)
+                    .map(|(j, bs)| (j * 48 + bs.bucket as usize, bs.sign))
+                    .collect();
+                assert_eq!(coords, expect);
+                let mut buckets = Vec::new();
+                hs.for_each_bucket(key, |offset| buckets.push(offset));
+                let expect: Vec<usize> = expect.iter().map(|&(offset, _)| offset).collect();
+                assert_eq!(buckets, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_matches_reference_traversal() {
+        for kind in [HashFamilyKind::Tabulation, HashFamilyKind::Polynomial(4)] {
+            for depth in [1u32, 3, 7] {
+                let hs = RowHashers::new(kind, depth, 96, 4);
+                let keys: Vec<u32> = vec![0, 5, 17, 96, 1000, u32::MAX];
+                let mut plan = CoordPlan::new();
+                hs.fill_plan(&mut plan, &keys);
+                assert_eq!(plan.nnz(), keys.len());
+                assert_eq!(plan.depth(), depth as usize);
+                for (slot, &key) in keys.iter().enumerate() {
+                    let (offsets, signs) = plan.coords(slot);
+                    for (j, bs) in hs.bucket_signs(u64::from(key)) {
+                        assert_eq!(
+                            offsets[j] as usize,
+                            j * 96 + bs.bucket as usize,
+                            "kind {kind:?} depth {depth} key {key} row {j}"
+                        );
+                        assert_eq!(signs[j], bs.sign);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_plan_matches_batch_plan() {
+        let hs = RowHashers::new(HashFamilyKind::Tabulation, 4, 64, 77);
+        let keys: Vec<u32> = vec![3, 9, 81, 6561];
+        let mut batch = CoordPlan::new();
+        hs.fill_plan(&mut batch, &keys);
+        let mut inc = CoordPlan::new();
+        hs.begin_plan(&mut inc);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(hs.plan_push(&mut inc, u64::from(k)), i);
+        }
+        assert_eq!(inc.nnz(), batch.nnz());
+        for slot in 0..keys.len() {
+            assert_eq!(inc.coords(slot), batch.coords(slot));
+        }
+    }
+
+    #[test]
+    fn slot_helpers_project_scatter_and_fill_scratch() {
+        let hs = RowHashers::new(HashFamilyKind::Tabulation, 5, 32, 8);
+        let mut plan = CoordPlan::new();
+        hs.fill_plan(&mut plan, &[7]);
+        let mut cells = vec![0.0f64; 5 * 32];
+        plan.slot_scatter(0, &mut cells, 2.5);
+        // Projection undoes the signs: 5 rows × 2.5.
+        assert_eq!(plan.slot_projection(0, &cells), 12.5);
+        // Sign-corrected scaled values are all 2 × 2.5.
+        assert_eq!(plan.slot_values(0, &cells, 2.0), &[5.0; 5]);
+    }
+
+    #[test]
+    fn fused_scatter_and_values_matches_separate_calls() {
+        let hs = RowHashers::new(HashFamilyKind::Tabulation, 7, 64, 5);
+        let mut plan_a = CoordPlan::new();
+        let mut plan_b = CoordPlan::new();
+        hs.fill_plan(&mut plan_a, &[11, 22, 33]);
+        hs.fill_plan(&mut plan_b, &[11, 22, 33]);
+        let mut cells_a: Vec<f64> = (0..7 * 64).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut cells_b = cells_a.clone();
+        for slot in 0..3 {
+            let delta = 0.25 * (slot as f64 + 1.0);
+            let fused: Vec<f64> = plan_a
+                .slot_scatter_and_values(slot, &mut cells_a, delta, 2.5)
+                .to_vec();
+            plan_b.slot_scatter(slot, &mut cells_b, delta);
+            let separate = plan_b.slot_values(slot, &cells_b, 2.5).to_vec();
+            assert_eq!(fused, separate);
+        }
+        assert_eq!(cells_a, cells_b);
+    }
+
+    #[test]
+    fn plan_is_reusable_without_leaking_previous_contents() {
+        let hs = RowHashers::new(HashFamilyKind::Tabulation, 2, 64, 1);
+        let mut plan = CoordPlan::new();
+        hs.fill_plan(&mut plan, &[1, 2, 3, 4, 5]);
+        hs.fill_plan(&mut plan, &[9]);
+        assert_eq!(plan.nnz(), 1);
+        let (offsets, signs) = plan.coords(0);
+        assert_eq!(offsets.len(), 2);
+        assert_eq!(signs.len(), 2);
     }
 
     #[test]

@@ -26,7 +26,10 @@ impl<K: Copy + Eq + Hash> IndexedHeap<K> {
     /// Creates an empty heap.
     #[must_use]
     pub fn new() -> Self {
-        Self { slots: Vec::new(), pos: FastHashMap::default() }
+        Self {
+            slots: Vec::new(),
+            pos: FastHashMap::default(),
+        }
     }
 
     /// Creates an empty heap with pre-allocated capacity.
@@ -34,7 +37,10 @@ impl<K: Copy + Eq + Hash> IndexedHeap<K> {
     pub fn with_capacity(cap: usize) -> Self {
         let mut pos = FastHashMap::default();
         pos.reserve(cap);
-        Self { slots: Vec::with_capacity(cap), pos }
+        Self {
+            slots: Vec::with_capacity(cap),
+            pos,
+        }
     }
 
     /// Number of entries.

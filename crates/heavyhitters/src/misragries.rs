@@ -24,7 +24,11 @@ impl MisraGries {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "Misra-Gries capacity must be nonzero");
-        Self { counters: FastHashMap::default(), capacity, total: 0 }
+        Self {
+            counters: FastHashMap::default(),
+            capacity,
+            total: 0,
+        }
     }
 
     /// Number of monitored items.
@@ -131,7 +135,10 @@ mod tests {
         let bound = mg.total() as f64 / (k as f64 + 1.0);
         for (&item, &t) in &truth {
             let under = t as f64 - mg.estimate(item) as f64;
-            assert!(under <= bound + 1e-9, "item {item}: under {under} > bound {bound}");
+            assert!(
+                under <= bound + 1e-9,
+                "item {item}: under {under} > bound {bound}"
+            );
         }
     }
 

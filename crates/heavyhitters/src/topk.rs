@@ -130,7 +130,10 @@ impl TopKWeights {
             self.heap.pop_min();
             self.heap.insert(feature, weight.abs());
             self.weights.insert(feature, weight);
-            Offer::Evicted(WeightEntry { feature: min_feature, weight: evicted_weight })
+            Offer::Evicted(WeightEntry {
+                feature: min_feature,
+                weight: evicted_weight,
+            })
         } else {
             Offer::Rejected
         }

@@ -153,7 +153,10 @@ impl ElasticNetLogisticRegression {
     #[must_use]
     pub fn exact_top_k(&self, k: usize) -> Vec<WeightEntry> {
         let mut entries: Vec<WeightEntry> = (0..self.cfg.dim)
-            .map(|f| WeightEntry { feature: f, weight: self.weight(f) })
+            .map(|f| WeightEntry {
+                feature: f,
+                weight: self.weight(f),
+            })
             .filter(|e| e.weight != 0.0)
             .collect();
         entries.sort_by(|a, b| {
@@ -270,16 +273,16 @@ mod tests {
     #[test]
     fn zero_l1_matches_plain_logistic_regression() {
         use crate::logreg::{LogisticRegression, LogisticRegressionConfig};
-        let mut en = ElasticNetLogisticRegression::new(
-            ElasticNetConfig::new(16).lambda1(0.0).lambda2(1e-4),
-        );
+        let mut en =
+            ElasticNetLogisticRegression::new(ElasticNetConfig::new(16).lambda1(0.0).lambda2(1e-4));
         let mut lr = LogisticRegression::new(
-            LogisticRegressionConfig::new(16).lambda(1e-4).track_top_k(0),
+            LogisticRegressionConfig::new(16)
+                .lambda(1e-4)
+                .track_top_k(0),
         );
         for (x, y) in noisy_stream(500).iter().map(|(x, y)| (x.clone(), *y)) {
             // Restrict to features < 16.
-            let pairs: Vec<(u32, f64)> =
-                x.iter().filter(|&(i, _)| i < 16).collect();
+            let pairs: Vec<(u32, f64)> = x.iter().filter(|&(i, _)| i < 16).collect();
             let xx = SparseVector::from_pairs(&pairs);
             en.update(&xx, y);
             lr.update(&xx, y);
@@ -316,7 +319,9 @@ mod tests {
         // weight() (non-mutating) must agree with the settled value after
         // the feature is next touched.
         let mut en = ElasticNetLogisticRegression::new(
-            ElasticNetConfig::new(8).lambda1(1e-3).lambda2(0.0)
+            ElasticNetConfig::new(8)
+                .lambda1(1e-3)
+                .lambda2(0.0)
                 .learning_rate(LearningRate::Constant(0.1)),
         );
         en.update(&SparseVector::one_hot(3, 1.0), 1);

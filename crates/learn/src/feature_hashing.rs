@@ -104,7 +104,13 @@ impl FeatureHashingClassifier {
     #[must_use]
     pub fn new(cfg: FeatureHashingConfig) -> Self {
         let hasher = RowHasher::new(HashFamilyKind::Tabulation, cfg.table_size, cfg.seed);
-        Self { cfg, hasher, table: vec![0.0; cfg.table_size as usize], scale: ScaleState::new(), t: 0 }
+        Self {
+            cfg,
+            hasher,
+            table: vec![0.0; cfg.table_size as usize],
+            scale: ScaleState::new(),
+            t: 0,
+        }
     }
 
     /// The configuration this classifier was built with.
@@ -176,9 +182,8 @@ mod tests {
 
     #[test]
     fn learns_separable_problem_with_large_table() {
-        let mut clf = FeatureHashingClassifier::new(
-            FeatureHashingConfig::new(1024).lambda(1e-4).seed(1),
-        );
+        let mut clf =
+            FeatureHashingClassifier::new(FeatureHashingConfig::new(1024).lambda(1e-4).seed(1));
         for t in 0..500 {
             if t % 2 == 0 {
                 clf.update(&SparseVector::one_hot(10, 1.0), 1);
@@ -200,7 +205,11 @@ mod tests {
         let e5 = clf.estimate(5);
         let e6 = clf.estimate(6);
         assert!(e5.abs() > 0.0);
-        assert_eq!(e5.abs(), e6.abs(), "colliding estimates must share magnitude");
+        assert_eq!(
+            e5.abs(),
+            e6.abs(),
+            "colliding estimates must share magnitude"
+        );
     }
 
     #[test]
@@ -215,7 +224,10 @@ mod tests {
         let mk = || {
             let mut c = FeatureHashingClassifier::new(FeatureHashingConfig::new(64).seed(7));
             for t in 0..100u32 {
-                c.update(&SparseVector::one_hot(t % 10, 1.0), if t % 3 == 0 { 1 } else { -1 });
+                c.update(
+                    &SparseVector::one_hot(t % 10, 1.0),
+                    if t % 3 == 0 { 1 } else { -1 },
+                );
             }
             (0..10u32).map(|i| c.estimate(i)).collect::<Vec<_>>()
         };

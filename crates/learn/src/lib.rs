@@ -28,8 +28,8 @@ pub mod feature_hashing;
 pub mod logreg;
 pub mod loss;
 pub mod metrics;
-pub mod schedule;
 pub mod scale;
+pub mod schedule;
 pub mod traits;
 pub mod vector;
 
@@ -38,8 +38,8 @@ pub use feature_hashing::{FeatureHashingClassifier, FeatureHashingConfig};
 pub use logreg::{LogisticRegression, LogisticRegressionConfig};
 pub use loss::{Logistic, Loss, LossKind, SmoothedHinge, Squared};
 pub use metrics::{pearson, recall_at_threshold, rel_err_top_k, OnlineErrorRate};
-pub use schedule::LearningRate;
 pub use scale::ScaleState;
+pub use schedule::LearningRate;
 pub use traits::{debug_check_label, Label, OnlineLearner, TopKRecovery, WeightEstimator};
 pub use vector::SparseVector;
 pub use wmsketch_hh::WeightEntry;

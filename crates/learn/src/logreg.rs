@@ -90,7 +90,13 @@ impl LogisticRegression {
     #[must_use]
     pub fn new(cfg: LogisticRegressionConfig) -> Self {
         let heap = (cfg.track_top_k > 0).then(|| TopKWeights::new(cfg.track_top_k));
-        Self { cfg, v: vec![0.0; cfg.dim as usize], scale: ScaleState::new(), heap, t: 0 }
+        Self {
+            cfg,
+            v: vec![0.0; cfg.dim as usize],
+            scale: ScaleState::new(),
+            heap,
+            t: 0,
+        }
     }
 
     /// The configuration this model was built with.
@@ -122,7 +128,10 @@ impl LogisticRegression {
             .iter()
             .enumerate()
             .filter(|(_, &v)| v != 0.0)
-            .map(|(i, &v)| WeightEntry { feature: i as u32, weight: self.scale.load(v) })
+            .map(|(i, &v)| WeightEntry {
+                feature: i as u32,
+                weight: self.scale.load(v),
+            })
             .collect();
         entries.sort_by(|a, b| {
             b.weight
@@ -187,7 +196,10 @@ impl TopKRecovery for LogisticRegression {
             Some(heap) => heap
                 .top_k(k)
                 .into_iter()
-                .map(|e| WeightEntry { feature: e.feature, weight: self.scale.load(e.weight) })
+                .map(|e| WeightEntry {
+                    feature: e.feature,
+                    weight: self.scale.load(e.weight),
+                })
                 .collect(),
             None => self.exact_top_k(k),
         }
@@ -225,9 +237,8 @@ mod tests {
 
     #[test]
     fn tracked_heap_matches_exact_top_k() {
-        let mut lr = LogisticRegression::new(
-            LogisticRegressionConfig::new(8).lambda(1e-4).track_top_k(4),
-        );
+        let mut lr =
+            LogisticRegression::new(LogisticRegressionConfig::new(8).lambda(1e-4).track_top_k(4));
         for (x, y) in pos_neg_stream(300) {
             lr.update(&x, y);
         }
@@ -239,9 +250,7 @@ mod tests {
     #[test]
     fn regularization_shrinks_weights() {
         let run = |lambda: f64| {
-            let mut lr = LogisticRegression::new(
-                LogisticRegressionConfig::new(4).lambda(lambda),
-            );
+            let mut lr = LogisticRegression::new(LogisticRegressionConfig::new(4).lambda(lambda));
             for (x, y) in pos_neg_stream(400) {
                 lr.update(&x, y);
             }
@@ -262,7 +271,10 @@ mod tests {
         // One aggressive step drives the weight to 2, past the hinge region.
         lr.update(&SparseVector::one_hot(0, 1.0), 1);
         let w_before = lr.weight(0);
-        assert!(w_before > 1.0, "margin should exceed hinge region, got {w_before}");
+        assert!(
+            w_before > 1.0,
+            "margin should exceed hinge region, got {w_before}"
+        );
         lr.update(&SparseVector::one_hot(0, 1.0), 1);
         assert_eq!(lr.weight(0), w_before);
     }

@@ -120,8 +120,7 @@ impl Loss for Squared {
 }
 
 /// A runtime-selectable loss, so experiment configs can be plain data.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LossKind {
     /// Logistic regression (the paper's default).
     #[default]
@@ -131,7 +130,6 @@ pub enum LossKind {
     /// Squared loss.
     Squared,
 }
-
 
 impl Loss for LossKind {
     #[inline]
@@ -182,10 +180,7 @@ mod tests {
     fn logistic_deriv_matches_numeric() {
         let l = Logistic;
         for t in [-5.0, -1.0, -0.1, 0.0, 0.1, 1.0, 5.0] {
-            assert!(
-                (l.deriv(t) - numeric_deriv(&l, t)).abs() < 1e-6,
-                "t = {t}"
-            );
+            assert!((l.deriv(t) - numeric_deriv(&l, t)).abs() < 1e-6, "t = {t}");
         }
     }
 

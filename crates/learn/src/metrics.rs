@@ -57,7 +57,10 @@ pub fn top_k_of_dense(w: &[f64], k: usize) -> Vec<WeightEntry> {
     let mut entries: Vec<WeightEntry> = w
         .iter()
         .enumerate()
-        .map(|(i, &weight)| WeightEntry { feature: i as u32, weight })
+        .map(|(i, &weight)| WeightEntry {
+            feature: i as u32,
+            weight,
+        })
         .collect();
     entries.sort_by(|a, b| {
         b.weight
@@ -194,8 +197,14 @@ mod tests {
     fn rel_err_increases_for_wrong_features() {
         let w = [5.0, -4.0, 3.0, 0.1, 0.0];
         let wrong = vec![
-            WeightEntry { feature: 3, weight: 0.1 },
-            WeightEntry { feature: 4, weight: 0.0 },
+            WeightEntry {
+                feature: 3,
+                weight: 0.1,
+            },
+            WeightEntry {
+                feature: 4,
+                weight: 0.0,
+            },
         ];
         let r = rel_err_top_k(&wrong, &w, 2);
         assert!(r > 1.0);
@@ -205,8 +214,14 @@ mod tests {
     fn rel_err_penalizes_value_errors() {
         let w = [5.0, -4.0, 3.0];
         let noisy = vec![
-            WeightEntry { feature: 0, weight: 4.0 },
-            WeightEntry { feature: 1, weight: -4.5 },
+            WeightEntry {
+                feature: 0,
+                weight: 4.0,
+            },
+            WeightEntry {
+                feature: 1,
+                weight: -4.5,
+            },
         ];
         let exact = top_k_of_dense(&w, 2);
         assert!(rel_err_top_k(&noisy, &w, 2) > rel_err_top_k(&exact, &w, 2));

@@ -28,7 +28,10 @@ impl ScaleState {
     /// A fresh scale of 1.
     #[must_use]
     pub fn new() -> Self {
-        Self { alpha: 1.0, threshold: 1e-9 }
+        Self {
+            alpha: 1.0,
+            threshold: 1e-9,
+        }
     }
 
     /// The current scale α.
@@ -50,7 +53,10 @@ impl ScaleState {
     #[must_use]
     pub fn decay(&mut self, eta: f64, lambda: f64) -> bool {
         let f = 1.0 - eta * lambda;
-        debug_assert!(f > 0.0, "eta*lambda must be < 1 (got eta={eta}, lambda={lambda})");
+        debug_assert!(
+            f > 0.0,
+            "eta*lambda must be < 1 (got eta={eta}, lambda={lambda})"
+        );
         self.alpha *= f;
         self.alpha < self.threshold
     }

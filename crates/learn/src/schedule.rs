@@ -42,9 +42,7 @@ impl LearningRate {
     #[must_use]
     pub fn eta0(&self) -> f64 {
         match *self {
-            LearningRate::Constant(e0)
-            | LearningRate::InvSqrt(e0)
-            | LearningRate::InvT(e0) => e0,
+            LearningRate::Constant(e0) | LearningRate::InvSqrt(e0) | LearningRate::InvT(e0) => e0,
         }
     }
 }

@@ -20,6 +20,20 @@ pub trait OnlineLearner {
     /// Observes one labelled example and updates the model.
     fn update(&mut self, x: &SparseVector, y: Label);
 
+    /// Observes a batch of labelled examples in order.
+    ///
+    /// Semantically identical to calling [`OnlineLearner::update`] once per
+    /// example. The sketched learners need no override for batch
+    /// amortization: their coordinate-plan and median-scratch buffers are
+    /// instance-owned, so this loop reuses them across the whole slice
+    /// (allocation-free in steady state). Implementors whose per-example
+    /// setup is *not* instance-owned may override this.
+    fn update_batch(&mut self, batch: &[(SparseVector, Label)]) {
+        for (x, y) in batch {
+            self.update(x, *y);
+        }
+    }
+
     /// Predicted label: `sign(wᵀx)`, with ties going to `+1` (matching the
     /// paper's `ŷ = sign(wᵀx)` convention for non-negative margins).
     fn predict(&self, x: &SparseVector) -> Label {

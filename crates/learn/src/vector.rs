@@ -41,7 +41,10 @@ impl SparseVector {
     /// one attribute per example).
     #[must_use]
     pub fn one_hot(index: u32, value: f64) -> Self {
-        Self { indices: vec![index], values: vec![value] }
+        Self {
+            indices: vec![index],
+            values: vec![value],
+        }
     }
 
     /// Builds from pre-sorted, deduplicated parallel arrays.
@@ -50,7 +53,11 @@ impl SparseVector {
     /// Panics if lengths differ or indices are not strictly increasing.
     #[must_use]
     pub fn from_sorted(indices: Vec<u32>, values: Vec<f64>) -> Self {
-        assert_eq!(indices.len(), values.len(), "parallel array length mismatch");
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "parallel array length mismatch"
+        );
         assert!(
             indices.windows(2).all(|w| w[0] < w[1]),
             "indices must be strictly increasing"
@@ -84,7 +91,10 @@ impl SparseVector {
 
     /// Iterates over `(index, value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// The value at `index` (0 if absent). `O(log nnz)`.

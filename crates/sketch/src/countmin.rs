@@ -106,21 +106,19 @@ impl CountMinSketch {
         self.total += delta;
         match self.policy {
             CountMinUpdate::Classic => {
-                for j in 0..self.depth {
-                    let b = self.hashers.row(j).bucket(key) as usize;
-                    self.table[j * self.width + b] += delta;
-                }
+                let Self { hashers, table, .. } = self;
+                hashers.for_each_bucket(key, |offset| table[offset] += delta);
             }
             CountMinUpdate::Conservative => {
                 // Raise each cell only to (current estimate + delta).
                 let target = self.estimate(key) + delta;
-                for j in 0..self.depth {
-                    let b = self.hashers.row(j).bucket(key) as usize;
-                    let cell = &mut self.table[j * self.width + b];
+                let Self { hashers, table, .. } = self;
+                hashers.for_each_bucket(key, |offset| {
+                    let cell = &mut table[offset];
                     if *cell < target {
                         *cell = target;
                     }
-                }
+                });
             }
         }
     }
@@ -130,13 +128,12 @@ impl CountMinSketch {
     #[must_use]
     pub fn estimate(&self, key: u64) -> f64 {
         let mut min = f64::INFINITY;
-        for j in 0..self.depth {
-            let b = self.hashers.row(j).bucket(key) as usize;
-            let v = self.table[j * self.width + b];
+        self.hashers.for_each_bucket(key, |offset| {
+            let v = self.table[offset];
             if v < min {
                 min = v;
             }
-        }
+        });
         min
     }
 

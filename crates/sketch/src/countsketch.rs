@@ -8,7 +8,7 @@
 
 use wmsketch_hashing::{HashFamilyKind, RowHashers};
 
-use crate::median::median_inplace;
+use crate::median::signed_median_estimate;
 
 /// A Count-Sketch over 64-bit keys with `f64` cell values.
 ///
@@ -77,32 +77,20 @@ impl CountSketch {
     }
 
     /// Adds `delta` to the sketched value of `key`.
+    ///
+    /// Hashes `key` once per row through the monomorphized coordinate
+    /// walk — no per-row hash-family dispatch.
     #[inline]
     pub fn update(&mut self, key: u64, delta: f64) {
-        for (j, bs) in self.hashers.bucket_signs(key) {
-            self.table[j * self.width + bs.bucket as usize] += bs.sign * delta;
-        }
+        let Self { hashers, table, .. } = self;
+        hashers.for_each_coord(key, |offset, sign| table[offset] += sign * delta);
     }
 
     /// Point estimate of the sketched value of `key` (median over rows of
     /// the sign-corrected cells).
     #[must_use]
     pub fn estimate(&self, key: u64) -> f64 {
-        let mut buf = [0.0f64; 64];
-        let mut spill;
-        let vals: &mut [f64] = if self.depth <= 64 {
-            for (j, bs) in self.hashers.bucket_signs(key) {
-                buf[j] = bs.sign * self.table[j * self.width + bs.bucket as usize];
-            }
-            &mut buf[..self.depth]
-        } else {
-            spill = vec![0.0; self.depth];
-            for (j, bs) in self.hashers.bucket_signs(key) {
-                spill[j] = bs.sign * self.table[j * self.width + bs.bucket as usize];
-            }
-            &mut spill
-        };
-        median_inplace(vals)
+        signed_median_estimate(&self.hashers, &self.table, key, 1.0)
     }
 
     /// The ℓ2 norm of the cell array, an upper bound on `‖x‖₂` per row

@@ -18,4 +18,4 @@ pub mod median;
 
 pub use countmin::{CountMinSketch, CountMinUpdate};
 pub use countsketch::CountSketch;
-pub use median::median_inplace;
+pub use median::{median_inplace, signed_median_estimate};

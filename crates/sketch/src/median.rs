@@ -1,5 +1,7 @@
 //! Median selection for Count-Sketch estimators.
 
+use wmsketch_hashing::RowHashers;
+
 /// Returns the median of `values`, reordering the slice in place.
 ///
 /// For an even number of elements this returns the *lower* median, matching
@@ -14,14 +16,70 @@ pub fn median_inplace(values: &mut [f64]) -> f64 {
         return 0.0;
     }
     let mid = (values.len() - 1) / 2;
-    let (_, m, _) = values
-        .select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let (_, m, _) =
+        values.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("NaN in median input"));
     *m
+}
+
+/// Row values are recovered into a stack buffer up to this depth; deeper
+/// sketches spill to a heap allocation. (The fused update pipeline avoids
+/// even that via `CoordPlan`'s plan-owned scratch.)
+const STACK_DEPTH: usize = 64;
+
+/// The Count-Sketch point estimate of `key` over a row-major cell array:
+/// `median_j(scale · σ_j(key) · cells[j·width + h_j(key)])`.
+///
+/// This is the one shared implementation of the estimator's recovery step,
+/// used by `CountSketch::estimate` (`scale = 1`) and the WM-/AWM-Sketch
+/// `query_stored` paths (`scale = √s`, undoing the `R = A/√s` projection
+/// scaling).
+#[must_use]
+pub fn signed_median_estimate(hashers: &RowHashers, cells: &[f64], key: u64, scale: f64) -> f64 {
+    let depth = hashers.depth() as usize;
+    let mut spill;
+    let mut buf = [0.0f64; STACK_DEPTH];
+    let vals: &mut [f64] = if depth <= STACK_DEPTH {
+        &mut buf[..depth]
+    } else {
+        spill = vec![0.0; depth];
+        &mut spill
+    };
+    let mut j = 0;
+    hashers.for_each_coord(key, |offset, sign| {
+        vals[j] = scale * sign * cells[offset];
+        j += 1;
+    });
+    median_inplace(vals)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wmsketch_hashing::HashFamilyKind;
+
+    #[test]
+    fn signed_median_estimate_matches_manual_recovery() {
+        for kind in [HashFamilyKind::Tabulation, HashFamilyKind::Polynomial(4)] {
+            // Depth 80 exercises the spill path too.
+            for depth in [1u32, 5, 80] {
+                let hashers = RowHashers::new(kind, depth, 32, 9);
+                let cells: Vec<f64> = (0..depth as usize * 32).map(|i| (i as f64).sin()).collect();
+                for key in 0..200u64 {
+                    for scale in [1.0, (f64::from(depth)).sqrt()] {
+                        let expect = {
+                            let mut vals: Vec<f64> = hashers
+                                .bucket_signs(key)
+                                .map(|(j, bs)| scale * bs.sign * cells[j * 32 + bs.bucket as usize])
+                                .collect();
+                            median_inplace(&mut vals)
+                        };
+                        let got = signed_median_estimate(&hashers, &cells, key, scale);
+                        assert_eq!(got, expect, "kind {kind:?} depth {depth} key {key}");
+                    }
+                }
+            }
+        }
+    }
 
     #[test]
     fn empty_is_zero() {

@@ -13,7 +13,10 @@ use wmsketch::datagen::{DisbursementConfig, DisbursementGen};
 use wmsketch::learn::{pearson, LearningRate};
 
 fn main() {
-    let mut gen = DisbursementGen::new(DisbursementConfig { seed: 5, ..Default::default() });
+    let mut gen = DisbursementGen::new(DisbursementConfig {
+        seed: 5,
+        ..Default::default()
+    });
     // Constant learning rate: weights must reach their log-odds
     // asymptotes for the weight-vs-risk comparison (see fig9's note).
     let mut clf = AwmSketch::new(
@@ -33,12 +36,17 @@ fn main() {
     }
 
     println!("most outlier-indicative attributes (positive weights):");
-    println!("{:>10}  {:>8}  {:>13}  {:>8}", "feature", "weight", "relative risk", "support");
+    println!(
+        "{:>10}  {:>8}  {:>13}  {:>8}",
+        "feature", "weight", "relative risk", "support"
+    );
     let mut shown = 0;
     let mut ws = Vec::new();
     let mut lrs = Vec::new();
     for e in clf.recover_top_k(2048) {
-        let Some(r) = risks.relative_risk(e.feature) else { continue };
+        let Some(r) = risks.relative_risk(e.feature) else {
+            continue;
+        };
         if r.is_finite() && risks.support(e.feature) >= 20 {
             ws.push(e.weight);
             lrs.push(r.ln());

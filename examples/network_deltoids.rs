@@ -21,7 +21,9 @@ fn main() {
     });
 
     let mut detector = DeltoidDetector::new(AwmSketch::new(
-        AwmSketchConfig::with_budget_bytes(32 * 1024).lambda(1e-6).seed(1),
+        AwmSketchConfig::with_budget_bytes(32 * 1024)
+            .lambda(1e-6)
+            .seed(1),
     ));
     let mut cm = PairedCountMin::with_budget_bytes(32 * 1024, 2);
     let mut exact = ExactRatioTable::new(); // ground truth for scoring only
@@ -33,22 +35,43 @@ fn main() {
         exact.observe(e);
     }
 
-    let relevant: Vec<u64> = exact.items_above(3.0, 20).into_iter().map(u64::from).collect();
-    println!("{} addresses have log-ratio ≥ 3 (≈ 20x outbound skew)\n", relevant.len());
+    let relevant: Vec<u64> = exact
+        .items_above(3.0, 20)
+        .into_iter()
+        .map(u64::from)
+        .collect();
+    println!(
+        "{} addresses have log-ratio ≥ 3 (≈ 20x outbound skew)\n",
+        relevant.len()
+    );
 
-    let awm_top: Vec<u64> = detector.top_outbound(256).into_iter().map(u64::from).collect();
+    let awm_top: Vec<u64> = detector
+        .top_outbound(256)
+        .into_iter()
+        .map(u64::from)
+        .collect();
     let cm_top: Vec<u64> = cm
         .top_k_by_ratio(exact.items(), 256)
         .into_iter()
         .map(u64::from)
         .collect();
-    println!("recall@256, AWM classifier : {:.2}", recall_at_threshold(&awm_top, &relevant));
-    println!("recall@256, paired CM      : {:.2}", recall_at_threshold(&cm_top, &relevant));
+    println!(
+        "recall@256, AWM classifier : {:.2}",
+        recall_at_threshold(&awm_top, &relevant)
+    );
+    println!(
+        "recall@256, paired CM      : {:.2}",
+        recall_at_threshold(&cm_top, &relevant)
+    );
 
     println!("\ntop flagged addresses (AWM, with exact counts out/in):");
     for &addr in awm_top.iter().take(8) {
         let (o, i) = exact.counts(addr as u32);
-        let mark = if gen.is_deltoid(addr as u32) { " <- planted deltoid" } else { "" };
+        let mark = if gen.is_deltoid(addr as u32) {
+            " <- planted deltoid"
+        } else {
+            ""
+        };
         println!("  addr {addr:>6}: {o:>6} out / {i:>4} in{mark}");
     }
 }

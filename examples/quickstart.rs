@@ -50,6 +50,10 @@ fn main() {
     }
 
     // Point estimates for arbitrary features.
-    println!("\npoint estimates: w[7]={:+.4} w[13]={:+.4} w[99]={:+.4}",
-        clf.estimate(7), clf.estimate(13), clf.estimate(99));
+    println!(
+        "\npoint estimates: w[7]={:+.4} w[13]={:+.4} w[99]={:+.4}",
+        clf.estimate(7),
+        clf.estimate(13),
+        clf.estimate(99)
+    );
 }

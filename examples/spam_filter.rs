@@ -11,13 +11,17 @@
 //! cargo run --release --example spam_filter
 //! ```
 
+use std::collections::HashMap;
 use wmsketch::core::{AwmSketch, AwmSketchConfig, OnlineLearner, TopKRecovery};
 use wmsketch::hashing::murmur3_32;
 use wmsketch::learn::SparseVector;
-use std::collections::HashMap;
 
-const SPAMMY: &[&str] = &["winner", "free", "claim", "prize", "urgent", "viagra", "lottery"];
-const HAMMY: &[&str] = &["meeting", "report", "thanks", "schedule", "attached", "review"];
+const SPAMMY: &[&str] = &[
+    "winner", "free", "claim", "prize", "urgent", "viagra", "lottery",
+];
+const HAMMY: &[&str] = &[
+    "meeting", "report", "thanks", "schedule", "attached", "review",
+];
 const NEUTRAL: &[&str] = &[
     "the", "a", "to", "of", "and", "in", "you", "for", "is", "on", "it", "we", "this", "that",
     "please", "today", "will", "with", "your", "from",

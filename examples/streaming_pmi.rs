@@ -44,13 +44,19 @@ fn main() {
     println!("top correlated pairs (classifier weight → PMI estimate vs exact):");
     println!("{:>14}  {:>9} {:>9}  planted?", "pair", "est PMI", "exact");
     for e in est.top_pair_ids(10) {
-        let Some((u, v)) = exact.resolve(e.feature) else { continue };
+        let Some((u, v)) = exact.resolve(e.feature) else {
+            continue;
+        };
         println!(
             "{:>14}  {:>9.2} {:>9.2}  {}",
             format!("({u},{v})"),
             est.estimate_pmi(u, v),
             exact.pmi(u, v).unwrap_or(f64::NAN),
-            if corpus.is_collocation(u, v) { "yes" } else { "" }
+            if corpus.is_collocation(u, v) {
+                "yes"
+            } else {
+                ""
+            }
         );
     }
 }

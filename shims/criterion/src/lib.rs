@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crate registry access, so this shim
+//! provides the benchmarking API surface the `wmsketch-bench` targets use
+//! ([`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched_ref`], the [`criterion_group!`] /
+//! [`criterion_main!`] macros) with a simple calibrated-timing harness: each
+//! benchmark is warmed up, then timed for a fixed wall-clock budget, and the
+//! mean time per iteration is printed. No statistics, plots, or HTML
+//! reports — just honest numbers on stdout.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How long each benchmark is measured (after warm-up).
+const MEASURE: Duration = Duration::from_millis(120);
+/// Warm-up budget per benchmark.
+const WARMUP: Duration = Duration::from_millis(30);
+
+/// Batch-size hint for [`Bencher::iter_batched_ref`] (ignored: the shim
+/// always re-runs setup per batch).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Times `routine` in a loop.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm up and calibrate the per-iteration cost.
+        let mut n: u64 = 1;
+        let warm_start = Instant::now();
+        loop {
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            if warm_start.elapsed() >= WARMUP {
+                break;
+            }
+            n = n.saturating_mul(2);
+        }
+        // Measure.
+        let start = Instant::now();
+        let mut done = 0u64;
+        while start.elapsed() < MEASURE {
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            done += n;
+        }
+        self.iters_done = done;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` against mutable state rebuilt by `setup` per batch.
+    pub fn iter_batched_ref<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> R,
+    {
+        const BATCH: u64 = 4096;
+        // Warm up one batch.
+        {
+            let mut state = setup();
+            for _ in 0..BATCH.min(256) {
+                std::hint::black_box(routine(&mut state));
+            }
+        }
+        let mut measured = Duration::ZERO;
+        let mut done = 0u64;
+        while measured < MEASURE {
+            let mut state = setup();
+            let start = Instant::now();
+            for _ in 0..BATCH {
+                std::hint::black_box(routine(&mut state));
+            }
+            measured += start.elapsed();
+            done += BATCH;
+        }
+        self.iters_done = done;
+        self.elapsed = measured;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        let per_iter = if b.iters_done == 0 {
+            f64::NAN
+        } else {
+            b.elapsed.as_secs_f64() / b.iters_done as f64
+        };
+        let mut line = format!(
+            "{}/{}: {:.1} ns/iter ({} iters)",
+            self.name,
+            id,
+            per_iter * 1e9,
+            b.iters_done
+        );
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            let per_elem = per_iter / n as f64;
+            line.push_str(&format!(
+                ", {:.1} ns/elem, {:.2} Melem/s",
+                per_elem * 1e9,
+                1e-6 / per_elem
+            ));
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        f: F,
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,285 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of proptest's API this workspace's property tests
+//! use: the [`proptest!`] macro, [`Strategy`] implementations for numeric
+//! ranges / tuples / [`collection::vec`] / [`sample::select`], and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the case's seed so it can be reproduced, which is enough for the
+//! deterministic test suites here.
+
+#![warn(missing_docs)]
+
+use rand::prelude::*;
+use std::ops::Range;
+
+/// Number of cases each `proptest!` test runs.
+pub const CASES: u32 = 48;
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case asked to be skipped (`prop_assume!`).
+    Reject,
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    #[must_use]
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Result of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of random values for property tests.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of values from `element`, with a length
+    /// drawn uniformly from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                rng.random_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+
+    /// A strategy that picks uniformly from `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    /// See [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.random_range(0..self.options.len());
+            self.options[i].clone()
+        }
+    }
+}
+
+/// Runs `CASES` generated cases of one property, panicking on the first
+/// failure with the case index for reproduction. Used by [`proptest!`];
+/// not part of real proptest's public API.
+pub fn run_cases(test_name: &str, mut case: impl FnMut(&mut StdRng) -> TestCaseResult) {
+    // Derive a per-test base seed from the test name so distinct tests see
+    // distinct streams, deterministically across runs.
+    let mut base: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        base = (base ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut rejects = 0u32;
+    let mut ran = 0u32;
+    let mut i = 0u64;
+    while ran < CASES {
+        let mut rng = StdRng::seed_from_u64(base.wrapping_add(i));
+        match case(&mut rng) {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects < 4 * CASES,
+                    "{test_name}: too many rejected cases ({rejects})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{test_name}: case {i} (seed {}) failed: {msg}",
+                    base.wrapping_add(i)
+                );
+            }
+        }
+        i += 1;
+    }
+}
+
+/// The `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Strategy, TestCaseError, TestCaseResult};
+    pub use rand::prelude::StdRng;
+
+    /// The `prop::` module alias exposed by proptest's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+pub use rand::prelude::StdRng;
+
+/// Declares property tests: `fn name(pattern in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $pat = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Generated vectors respect the length range and element range.
+        #[test]
+        fn vec_strategy_respects_bounds(xs in prop::collection::vec(0u32..10, 1..20)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+        }
+
+        /// Tuple strategies generate each component from its own range.
+        #[test]
+        fn tuple_and_select(pair in (0u64..5, -1.0f64..1.0), s in prop::sample::select(vec![1i8, -1])) {
+            prop_assert!(pair.0 < 5);
+            prop_assert!((-1.0..1.0).contains(&pair.1));
+            prop_assert!(s == 1 || s == -1);
+        }
+
+        /// prop_assume rejects without failing.
+        #[test]
+        fn assume_skips(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    // The macro output above is a set of plain #[test] fns; nothing else
+    // to run here.
+}

@@ -7,8 +7,7 @@ use wmsketch::apps::{
 };
 use wmsketch::core::{AwmSketch, AwmSketchConfig, OnlineLearner, TopKRecovery};
 use wmsketch::datagen::{
-    CorpusConfig, CorpusGen, DisbursementConfig, DisbursementGen, PacketTraceConfig,
-    PacketTraceGen,
+    CorpusConfig, CorpusGen, DisbursementConfig, DisbursementGen, PacketTraceConfig, PacketTraceGen,
 };
 use wmsketch::learn::{pearson, recall_at_threshold};
 
@@ -41,13 +40,20 @@ fn explanation_weights_correlate_with_risk() {
     let mut lrs = Vec::new();
     for e in clf.recover_top_k(512) {
         if let Some(r) = risks.relative_risk(e.feature) {
-            if r.is_finite() && r > 0.0 && risks.support(e.feature) >= 30 {
+            // Require enough observations for a stable exact-risk estimate
+            // (the fig9 harness uses the same cutoff): rare features'
+            // relative risks are noise and dilute the correlation.
+            if r.is_finite() && r > 0.0 && risks.support(e.feature) >= 100 {
                 ws.push(e.weight);
                 lrs.push(r.ln());
             }
         }
     }
-    assert!(ws.len() > 50, "need enough scored features, got {}", ws.len());
+    assert!(
+        ws.len() > 50,
+        "need enough scored features, got {}",
+        ws.len()
+    );
     let r = pearson(&ws, &lrs);
     assert!(r > 0.6, "Pearson(weight, log risk) = {r:.3}");
 }
@@ -66,7 +72,9 @@ fn deltoid_awm_beats_paired_cm_at_equal_memory() {
         ..Default::default()
     });
     let mut det = DeltoidDetector::new(AwmSketch::new(
-        AwmSketchConfig::with_budget_bytes(budget).lambda(1e-6).seed(5),
+        AwmSketchConfig::with_budget_bytes(budget)
+            .lambda(1e-6)
+            .seed(5),
     ));
     let mut cm = PairedCountMin::with_budget_bytes(budget, 6);
     let mut exact = ExactRatioTable::new();
@@ -76,7 +84,11 @@ fn deltoid_awm_beats_paired_cm_at_equal_memory() {
         cm.observe(e);
         exact.observe(e);
     }
-    let relevant: Vec<u64> = exact.items_above(2.5, 20).into_iter().map(u64::from).collect();
+    let relevant: Vec<u64> = exact
+        .items_above(2.5, 20)
+        .into_iter()
+        .map(u64::from)
+        .collect();
     assert!(!relevant.is_empty());
     let awm_top: Vec<u64> = det.top_outbound(512).into_iter().map(u64::from).collect();
     let cm_top: Vec<u64> = cm

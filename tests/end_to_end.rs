@@ -32,7 +32,9 @@ fn awm_beats_simple_truncation_on_recovery() {
     let k = 32;
     let budget = 2 * 1024; // tight budget separates the methods
     let mut lr = LogisticRegression::new(
-        LogisticRegressionConfig::new(1 << 14).lambda(1e-6).track_top_k(0),
+        LogisticRegressionConfig::new(1 << 14)
+            .lambda(1e-6)
+            .track_top_k(0),
     );
     {
         let mut gen = small_stream(0);
@@ -47,11 +49,12 @@ fn awm_beats_simple_truncation_on_recovery() {
     let mut trun_errs = Vec::new();
     for seed in 0..3u64 {
         let mut awm = AwmSketch::new(
-            AwmSketchConfig::with_budget_bytes(budget).lambda(1e-6).seed(seed),
+            AwmSketchConfig::with_budget_bytes(budget)
+                .lambda(1e-6)
+                .seed(seed),
         );
-        let mut trun = SimpleTruncation::new(
-            TruncationConfig::simple_with_budget_bytes(budget).lambda(1e-6),
-        );
+        let mut trun =
+            SimpleTruncation::new(TruncationConfig::simple_with_budget_bytes(budget).lambda(1e-6));
         let mut gen = small_stream(0);
         for _ in 0..n {
             let (x, y) = gen.next_example();
@@ -67,7 +70,10 @@ fn awm_beats_simple_truncation_on_recovery() {
         awm_med <= trun_med + 0.02,
         "AWM {awm_med:.3} should beat Trun {trun_med:.3}"
     );
-    assert!(awm_med < 1.5, "AWM recovery should be near-optimal: {awm_med:.3}");
+    assert!(
+        awm_med < 1.5,
+        "AWM recovery should be near-optimal: {awm_med:.3}"
+    );
 }
 
 /// AWM classification accuracy must be within noise of feature hashing at
@@ -77,9 +83,15 @@ fn awm_classification_competitive_with_feature_hashing() {
     use wmsketch::learn::{FeatureHashingClassifier, FeatureHashingConfig};
     let n = 30_000;
     let budget = 4 * 1024;
-    let mut awm = AwmSketch::new(AwmSketchConfig::with_budget_bytes(budget).lambda(1e-6).seed(1));
+    let mut awm = AwmSketch::new(
+        AwmSketchConfig::with_budget_bytes(budget)
+            .lambda(1e-6)
+            .seed(1),
+    );
     let mut hash = FeatureHashingClassifier::new(
-        FeatureHashingConfig::with_budget_bytes(budget).lambda(1e-6).seed(1),
+        FeatureHashingConfig::with_budget_bytes(budget)
+            .lambda(1e-6)
+            .seed(1),
     );
     let mut awm_err = OnlineErrorRate::new();
     let mut hash_err = OnlineErrorRate::new();
@@ -105,7 +117,9 @@ fn awm_classification_competitive_with_feature_hashing() {
 fn heavy_weight_estimates_track_dense_model() {
     let n = 40_000;
     let mut lr = LogisticRegression::new(
-        LogisticRegressionConfig::new(1 << 14).lambda(1e-6).track_top_k(0),
+        LogisticRegressionConfig::new(1 << 14)
+            .lambda(1e-6)
+            .track_top_k(0),
     );
     let mut awm = AwmSketch::new(AwmSketchConfig::new(256, 2048).lambda(1e-6).seed(3));
     let mut gen = small_stream(2);
@@ -134,8 +148,11 @@ fn heavy_weight_estimates_track_dense_model() {
 #[test]
 fn full_pipeline_is_deterministic() {
     let run = || {
-        let mut awm =
-            AwmSketch::new(AwmSketchConfig::with_budget_bytes(4096).lambda(1e-5).seed(9));
+        let mut awm = AwmSketch::new(
+            AwmSketchConfig::with_budget_bytes(4096)
+                .lambda(1e-5)
+                .seed(9),
+        );
         let mut gen = small_stream(3);
         for _ in 0..5_000 {
             let (x, y) = gen.next_example();
