@@ -1,28 +1,40 @@
 //! Update-throughput tracking bin.
 //!
 //! Measures WM-/AWM-Sketch update throughput at the paper's 8 KB Figure-7
-//! configuration on an RCV1-like stream, for both the retained naive
-//! three-pass path (`update_naive`) and the fused single-hash pipeline
-//! (`update` / `update_batch`), and writes the results as JSON so the perf
-//! trajectory can be tracked PR over PR.
+//! configuration on an RCV1-like stream, for the retained naive three-pass
+//! path (`update_naive`), the fused single-hash pipeline (`update` /
+//! `update_batch`), and the sharded pipeline (`ShardedLearner` at 1, 2, 4,
+//! and 8 shards, merge included), and writes the results as JSON so the
+//! perf trajectory can be tracked PR over PR.
 //!
 //! Usage: `update_throughput_json [OUTPUT_PATH]`
 //! (default output: `BENCH_update_throughput.json` in the working
 //! directory; see `crates/bench/README.md` for the schema).
 
 use std::time::Instant;
-use wmsketch_core::{AwmSketch, AwmSketchConfig, OnlineLearner, WmSketch, WmSketchConfig};
+use wmsketch_core::{
+    sharded_awm, sharded_wm, AwmSketch, AwmSketchConfig, OnlineLearner, ShardedLearnerConfig,
+    WmSketch, WmSketchConfig,
+};
 use wmsketch_datagen::SyntheticClassification;
 use wmsketch_learn::{Label, SparseVector};
 
 const BUDGET: usize = 8 * 1024;
 const STREAM_SEED: u64 = 7;
 const STREAM_LEN: usize = 8192;
-/// Wall-clock budget per measured variant, seconds.
+/// Wall-clock budget per measured variant, seconds. Emitted in the JSON
+/// config block so the output is self-describing.
 const MEASURE_SECS: f64 = 1.0;
+/// Untimed passes before measurement (page in the stream, train the
+/// branch predictors). Emitted in the JSON config block.
+const WARMUP_PASSES: usize = 1;
+/// Shard counts for the sharded-pipeline speedup curve.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 struct Measurement {
-    name: &'static str,
+    name: String,
+    /// Worker count for sharded variants; 1 for the sequential paths.
+    shards: usize,
     ns_per_update: f64,
     updates_per_sec: f64,
     updates_timed: u64,
@@ -31,14 +43,16 @@ struct Measurement {
 /// Times whole passes over the stream, rebuilding the learner each pass so
 /// sketch state does not accumulate across passes.
 fn measure<L>(
-    name: &'static str,
+    name: &str,
+    shards: usize,
     data: &[(SparseVector, Label)],
     make: impl Fn() -> L,
     mut pass: impl FnMut(&mut L, &[(SparseVector, Label)]),
 ) -> Measurement {
-    // Warm-up pass (page in the stream, train the branch predictors).
-    let mut learner = make();
-    pass(&mut learner, data);
+    for _ in 0..WARMUP_PASSES {
+        let mut learner = make();
+        pass(&mut learner, data);
+    }
     let mut timed = 0u64;
     let mut elapsed = 0.0f64;
     while elapsed < MEASURE_SECS {
@@ -50,7 +64,8 @@ fn measure<L>(
     }
     let ns_per_update = elapsed * 1e9 / timed as f64;
     Measurement {
-        name,
+        name: name.to_string(),
+        shards,
         ns_per_update,
         updates_per_sec: 1e9 / ns_per_update,
         updates_timed: timed,
@@ -75,11 +90,12 @@ fn main() {
     let mut generator = SyntheticClassification::rcv1_like(STREAM_SEED);
     let data: Vec<(SparseVector, Label)> = generator.take(STREAM_LEN);
     let nnz_total: usize = data.iter().map(|(x, _)| x.nnz()).sum();
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
     let wm_cfg = WmSketchConfig::with_budget_bytes(BUDGET);
     let awm_cfg = AwmSketchConfig::with_budget_bytes(BUDGET);
     eprintln!(
-        "8 KB Figure-7 config: WM {}x{} heap {}, AWM |S|={} width {}, stream {} examples (avg nnz {:.1})",
+        "8 KB Figure-7 config: WM {}x{} heap {}, AWM |S|={} width {}, stream {} examples (avg nnz {:.1}), {host_cpus} host cpu(s)",
         wm_cfg.width,
         wm_cfg.depth,
         wm_cfg.heap_capacity,
@@ -89,9 +105,10 @@ fn main() {
         nnz_total as f64 / data.len() as f64,
     );
 
-    let results = vec![
+    let mut results = vec![
         measure(
             "WM_naive",
+            1,
             &data,
             || WmSketch::new(wm_cfg),
             |m, d| {
@@ -102,6 +119,7 @@ fn main() {
         ),
         measure(
             "WM_fused",
+            1,
             &data,
             || WmSketch::new(wm_cfg),
             |m, d| {
@@ -112,41 +130,70 @@ fn main() {
         ),
         measure(
             "WM_fused_batch",
+            1,
             &data,
             || WmSketch::new(wm_cfg),
             |m, d| {
                 m.update_batch(d);
             },
         ),
-        measure(
-            "AWM_naive",
+    ];
+    // Sharded pipeline: one update_batch over the whole stream plus the
+    // final merge into the queryable root — merge cost is inside the
+    // timed region.
+    for shards in SHARD_COUNTS {
+        results.push(measure(
+            &format!("WM_sharded_{shards}"),
+            shards,
             &data,
-            || AwmSketch::new(awm_cfg),
-            |m, d| {
-                for (x, y) in d {
-                    m.update_naive(x, *y);
-                }
-            },
-        ),
-        measure(
-            "AWM_fused",
-            &data,
-            || AwmSketch::new(awm_cfg),
-            |m, d| {
-                for (x, y) in d {
-                    m.update(x, *y);
-                }
-            },
-        ),
-        measure(
-            "AWM_fused_batch",
-            &data,
-            || AwmSketch::new(awm_cfg),
+            || sharded_wm(wm_cfg, ShardedLearnerConfig::new(shards)),
             |m, d| {
                 m.update_batch(d);
+                m.sync();
             },
-        ),
-    ];
+        ));
+    }
+    results.push(measure(
+        "AWM_naive",
+        1,
+        &data,
+        || AwmSketch::new(awm_cfg),
+        |m, d| {
+            for (x, y) in d {
+                m.update_naive(x, *y);
+            }
+        },
+    ));
+    results.push(measure(
+        "AWM_fused",
+        1,
+        &data,
+        || AwmSketch::new(awm_cfg),
+        |m, d| {
+            for (x, y) in d {
+                m.update(x, *y);
+            }
+        },
+    ));
+    results.push(measure(
+        "AWM_fused_batch",
+        1,
+        &data,
+        || AwmSketch::new(awm_cfg),
+        |m, d| {
+            m.update_batch(d);
+        },
+    ));
+    results.push(measure(
+        "AWM_sharded_4",
+        4,
+        &data,
+        || sharded_awm(awm_cfg, ShardedLearnerConfig::new(4)),
+        |m, d| {
+            m.update_batch(d);
+            m.sync();
+        },
+    ));
 
     let get = |name: &str| {
         results
@@ -157,10 +204,18 @@ fn main() {
     };
     let wm_speedup = get("WM_naive") / get("WM_fused");
     let awm_speedup = get("AWM_naive") / get("AWM_fused");
+    let awm_sharded_speedup = get("AWM_fused") / get("AWM_sharded_4");
+    // The sharded curve is normalized to the 1-shard fused baseline
+    // (`WM_fused`); `WM_sharded_1` is the same sequential pipeline through
+    // the bypass path and should sit within noise of 1.0x.
+    let wm_curve: Vec<(usize, f64)> = SHARD_COUNTS
+        .iter()
+        .map(|&s| (s, get("WM_fused") / get(&format!("WM_sharded_{s}"))))
+        .collect();
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"wmsketch-update-throughput/v1\",\n");
+    json.push_str("  \"schema\": \"wmsketch-update-throughput/v2\",\n");
     json.push_str("  \"config\": {\n");
     json.push_str(&format!("    \"budget_bytes\": {BUDGET},\n"));
     json.push_str(&format!(
@@ -172,23 +227,43 @@ fn main() {
         awm_cfg.width, awm_cfg.depth, awm_cfg.heap_capacity
     ));
     json.push_str(&format!(
-        "    \"stream\": {{\"generator\": \"rcv1_like\", \"seed\": {STREAM_SEED}, \"examples\": {}, \"avg_nnz\": {:.2}}}\n",
+        "    \"stream\": {{\"generator\": \"rcv1_like\", \"seed\": {STREAM_SEED}, \"examples\": {}, \"avg_nnz\": {:.2}}},\n",
         data.len(),
         nnz_total as f64 / data.len() as f64
+    ));
+    json.push_str(&format!(
+        "    \"measurement\": {{\"warmup_passes\": {WARMUP_PASSES}, \"measure_secs\": {MEASURE_SECS:.1}, \"host_cpus\": {host_cpus}}},\n"
+    ));
+    json.push_str(&format!(
+        "    \"shard_counts\": [{}]\n",
+        SHARD_COUNTS.map(|s| s.to_string()).join(", ")
     ));
     json.push_str("  },\n");
     json.push_str("  \"results\": [\n");
     for (idx, m) in results.iter().enumerate() {
         let comma = if idx + 1 < results.len() { "," } else { "" };
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"ns_per_update\": {:.1}, \"updates_per_sec\": {:.0}, \"updates_timed\": {}}}{comma}\n",
-            m.name, m.ns_per_update, m.updates_per_sec, m.updates_timed
+            "    {{\"name\": \"{}\", \"shards\": {}, \"ns_per_update\": {:.1}, \"updates_per_sec\": {:.0}, \"updates_timed\": {}}}{comma}\n",
+            m.name, m.shards, m.ns_per_update, m.updates_per_sec, m.updates_timed
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"speedup\": {\n");
     json.push_str(&format!(
-        "  \"speedup\": {{\"wm_fused_over_naive\": {wm_speedup:.2}, \"awm_fused_over_naive\": {awm_speedup:.2}}}\n"
+        "    \"wm_fused_over_naive\": {wm_speedup:.2},\n    \"awm_fused_over_naive\": {awm_speedup:.2},\n"
     ));
+    json.push_str(&format!(
+        "    \"wm_sharded_over_fused\": {{{}}},\n",
+        wm_curve
+            .iter()
+            .map(|(s, x)| format!("\"{s}\": {x:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!(
+        "    \"awm_sharded4_over_fused\": {awm_sharded_speedup:.2}\n"
+    ));
+    json.push_str("  }\n");
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
@@ -199,5 +274,9 @@ fn main() {
         );
     }
     eprintln!("WM fused over naive: {wm_speedup:.2}x; AWM: {awm_speedup:.2}x");
+    for (s, x) in &wm_curve {
+        eprintln!("WM sharded x{s} over fused: {x:.2}x");
+    }
+    eprintln!("AWM sharded x4 over fused: {awm_sharded_speedup:.2}x");
     eprintln!("wrote {out_path}");
 }

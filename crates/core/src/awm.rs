@@ -25,8 +25,8 @@
 use wmsketch_hashing::{CoordPlan, HashFamilyKind, RowHashers};
 use wmsketch_hh::{Offer, TopKWeights};
 use wmsketch_learn::{
-    debug_check_label, Label, LearningRate, Loss, LossKind, OnlineLearner, ScaleState,
-    SparseVector, TopKRecovery, WeightEntry, WeightEstimator,
+    debug_check_label, Label, LearningRate, Loss, LossKind, MergeableLearner, OnlineLearner,
+    ScaleState, SparseVector, TopKRecovery, WeightEntry, WeightEstimator,
 };
 use wmsketch_sketch::{median_inplace, signed_median_estimate};
 
@@ -141,6 +141,10 @@ impl AwmSketchConfig {
 }
 
 /// The Active-Set Weight-Median Sketch (see module docs).
+///
+/// Cloning copies the full model (hash functions included), so a clone is
+/// merge-compatible with its source.
+#[derive(Clone)]
 pub struct AwmSketch {
     cfg: AwmSketchConfig,
     hashers: RowHashers,
@@ -248,6 +252,26 @@ impl AwmSketch {
         }
     }
 
+    /// Replaces the active set with the heaviest sketch estimates among
+    /// `candidates` (pre-scale, deterministic for any candidate order).
+    ///
+    /// Callers must have spilled every current active weight into the
+    /// sketch first (or included it in `candidates` *after* a spill) —
+    /// exact weights not represented in the sketch when this runs would
+    /// be lost. `merge_from` and `rebuild_top_k` uphold that invariant.
+    fn repromote(&mut self, mut candidates: Vec<u32>) {
+        candidates.sort_unstable();
+        candidates.dedup();
+        let ranked: Vec<WeightEntry> = candidates
+            .iter()
+            .map(|&f| WeightEntry {
+                feature: f,
+                weight: self.query_stored(f),
+            })
+            .collect();
+        self.active = TopKWeights::from_heaviest(self.cfg.heap_capacity, ranked);
+    }
+
     /// The seed implementation's multi-pass update, retained as the
     /// reference path: each sketched feature is hashed once for the margin,
     /// once for the candidate-weight query, and (on rejection or eviction)
@@ -291,6 +315,89 @@ impl AwmSketch {
                 }
             }
         }
+    }
+}
+
+impl MergeableLearner for AwmSketch {
+    /// Merge compatibility requires the same sketch shape, hash family,
+    /// seed, and active-set capacity.
+    fn merge_compatible(&self, other: &Self) -> bool {
+        self.cfg.width == other.cfg.width
+            && self.cfg.depth == other.cfg.depth
+            && self.cfg.hash_family == other.cfg.hash_family
+            && self.cfg.seed == other.cfg.seed
+            && self.cfg.heap_capacity == other.cfg.heap_capacity
+    }
+
+    /// Adds `other`'s model into `self` with *evict-all, merge, re-promote*
+    /// semantics.
+    ///
+    /// The AWM-Sketch splits its model between the sketch and the exact
+    /// active set, so the merge first normalizes both learners to
+    /// pure-sketch form exactly the way a natural eviction would — each
+    /// active feature spills the residual `S[i] − Query(i)` so the sketch
+    /// estimate becomes its exact weight — then merges the sketches by
+    /// linearity, and finally re-promotes the heaviest merged estimates
+    /// among the union of both active sets (mirroring a normal promotion,
+    /// the promoted feature's sketch mass stays in place and is shadowed
+    /// by the heap entry).
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.merge_compatible(other),
+            "merging incompatible AWM-Sketches ({}x{} |S|={} seed {} vs {}x{} |S|={} seed {})",
+            self.cfg.width,
+            self.cfg.depth,
+            self.cfg.heap_capacity,
+            self.cfg.seed,
+            other.cfg.width,
+            other.cfg.depth,
+            other.cfg.heap_capacity,
+            other.cfg.seed
+        );
+        self.fold_scale();
+        // Evict-all: spill self's active set into its own sketch (residual
+        // makes each sketched estimate exact), in deterministic order.
+        let mut candidates: Vec<u32> = self.active.iter().map(|e| e.feature).collect();
+        candidates.sort_unstable();
+        for &f in &candidates {
+            let w = self.active.get(f).expect("feature from active iter");
+            let residual = w - self.query_stored(f);
+            self.sketch_add(f, residual);
+        }
+        // Merge other's logical cells (exact by Count-Sketch linearity).
+        for (cell, &o) in self.z.iter_mut().zip(&other.z) {
+            *cell += other.scale.load(o);
+        }
+        // Spill other's active set with residuals computed against
+        // *other's own* sketch — the same write an eviction in `other`
+        // would have produced, now landed in the merged cells.
+        let mut other_active: Vec<u32> = other.active.iter().map(|e| e.feature).collect();
+        other_active.sort_unstable();
+        for &f in &other_active {
+            let w = other.active.get(f).expect("feature from active iter");
+            let residual = other.scale.load(w - other.query_stored(f));
+            self.sketch_add(f, residual);
+        }
+        // Re-promote the heaviest merged estimates among the union.
+        candidates.extend(other_active);
+        self.repromote(candidates);
+        self.t += other.t;
+    }
+
+    /// Rebuilds the active set around `candidates` without losing exact
+    /// state: every current active weight is first spilled into the sketch
+    /// as an eviction residual, then the heaviest estimates among the old
+    /// active features and `candidates` are re-promoted.
+    fn rebuild_top_k(&mut self, candidates: &[u32]) {
+        let mut union: Vec<u32> = self.active.iter().map(|e| e.feature).collect();
+        union.sort_unstable();
+        for &f in &union {
+            let w = self.active.get(f).expect("feature from active iter");
+            let residual = w - self.query_stored(f);
+            self.sketch_add(f, residual);
+        }
+        union.extend_from_slice(candidates);
+        self.repromote(union);
     }
 }
 
@@ -549,6 +656,125 @@ mod tests {
             (0..30u32).map(|f| awm.estimate(f)).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn merge_of_split_stream_recovers_planted_features() {
+        let cfg = AwmSketchConfig::new(16, 256).lambda(1e-5).seed(1);
+        let mut a = AwmSketch::new(cfg);
+        let mut b = AwmSketch::new(cfg);
+        for (i, (x, y)) in planted_stream(4000).enumerate() {
+            if i % 2 == 0 {
+                a.update(&x, y);
+            } else {
+                b.update(&x, y);
+            }
+        }
+        a.merge_from(&b);
+        assert_eq!(a.examples_seen(), 4000);
+        assert!(a.in_active_set(3), "feature 3 not re-promoted");
+        assert!(a.in_active_set(9), "feature 9 not re-promoted");
+        assert!(a.estimate(3) > 0.2, "w(3) = {}", a.estimate(3));
+        assert!(a.estimate(9) < -0.2, "w(9) = {}", a.estimate(9));
+        assert!(a.active_set_len() <= 16);
+    }
+
+    #[test]
+    fn merge_preserves_disjoint_exact_weights() {
+        // Two learners train on disjoint features with lossless
+        // representations (every feature fits in its active set); the
+        // merged model must carry each feature's weight through the
+        // evict-all/re-promote cycle to within sketch-spill accuracy
+        // (exact here: no other features collide in a wide sketch).
+        let cfg = AwmSketchConfig::new(8, 2048).lambda(0.0).seed(4);
+        let mut a = AwmSketch::new(cfg);
+        let mut b = AwmSketch::new(cfg);
+        for _ in 0..50 {
+            a.update(&SparseVector::one_hot(1, 1.0), 1);
+            b.update(&SparseVector::one_hot(2, 1.0), -1);
+        }
+        let (w1, w2) = (a.estimate(1), b.estimate(2));
+        a.merge_from(&b);
+        assert!(
+            (a.estimate(1) - w1).abs() < 1e-12,
+            "w1 {} vs {w1}",
+            a.estimate(1)
+        );
+        assert!(
+            (a.estimate(2) - w2).abs() < 1e-12,
+            "w2 {} vs {w2}",
+            a.estimate(2)
+        );
+        assert!(a.in_active_set(1) && a.in_active_set(2));
+    }
+
+    #[test]
+    fn merge_shared_feature_sums_contributions() {
+        // Both learners push feature 5 the same way on disjoint stream
+        // halves; the merged weight is the sum of the two contributions.
+        let cfg = AwmSketchConfig::new(4, 1024).lambda(0.0).seed(2);
+        let mut a = AwmSketch::new(cfg);
+        let mut b = AwmSketch::new(cfg);
+        for _ in 0..30 {
+            a.update(&SparseVector::one_hot(5, 1.0), 1);
+            b.update(&SparseVector::one_hot(5, 1.0), 1);
+        }
+        let expected = a.estimate(5) + b.estimate(5);
+        a.merge_from(&b);
+        assert!(
+            (a.estimate(5) - expected).abs() < 1e-9,
+            "merged {} vs sum {expected}",
+            a.estimate(5)
+        );
+    }
+
+    #[test]
+    fn rebuild_top_k_spills_exact_weights_before_repromoting() {
+        // Capacity-2 active set holds two exact heavy weights; rebuilding
+        // around a disjoint, untrained candidate set must not lose them —
+        // they spill into the (collision-free) sketch, out-rank the
+        // zero-mass candidates as estimates, and return to the active set
+        // with their values intact.
+        let mut awm = AwmSketch::new(AwmSketchConfig::new(2, 2048).lambda(0.0).seed(9));
+        for _ in 0..40 {
+            awm.update(&SparseVector::one_hot(1, 1.0), 1);
+        }
+        for _ in 0..20 {
+            awm.update(&SparseVector::one_hot(2, 1.0), -1);
+        }
+        let (w1, w2) = (awm.estimate(1), awm.estimate(2));
+        assert!(w1 > 0.0 && w2 < 0.0);
+        awm.rebuild_top_k(&[50, 60]);
+        assert!(awm.in_active_set(1) && awm.in_active_set(2));
+        assert!((awm.estimate(1) - w1).abs() < 1e-9);
+        assert!((awm.estimate(2) - w2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_determinism() {
+        let cfg = AwmSketchConfig::new(8, 128).lambda(1e-5).seed(6);
+        let run = || {
+            let mut a = AwmSketch::new(cfg);
+            let mut b = AwmSketch::new(cfg);
+            for (i, (x, y)) in planted_stream(1200).enumerate() {
+                if i % 3 == 0 {
+                    a.update(&x, y);
+                } else {
+                    b.update(&x, y);
+                }
+            }
+            a.merge_from(&b);
+            (0..600u32).map(|f| a.estimate(f)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merge_rejects_capacity_mismatch() {
+        let mut a = AwmSketch::new(AwmSketchConfig::new(8, 64).seed(1));
+        let b = AwmSketch::new(AwmSketchConfig::new(4, 64).seed(1));
+        a.merge_from(&b);
     }
 
     #[test]

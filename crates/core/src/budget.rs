@@ -228,6 +228,82 @@ mod tests {
     }
 
     #[test]
+    fn baseline_capacities_at_all_paper_budgets() {
+        // The paper's three headline budgets (Table 2 / Figures 3–7).
+        // 2 KB: 512 units.
+        assert_eq!(trun_capacity(2048), 256);
+        assert_eq!(ptrun_capacity(2048), 170);
+        assert_eq!(spacesaving_capacity(2048), 170);
+        assert_eq!(feature_hashing_table_size(2048), 512);
+        // 4 KB: 1024 units.
+        assert_eq!(trun_capacity(4096), 512);
+        assert_eq!(ptrun_capacity(4096), 341);
+        assert_eq!(spacesaving_capacity(4096), 341);
+        assert_eq!(feature_hashing_table_size(4096), 1024);
+        // 8 KB checked in capacities_match_paper_cost_model.
+    }
+
+    #[test]
+    fn wm_budget_constructor_shapes_at_2_4_8_kb() {
+        // WM keeps |S| = 128 and width 128 and spends the rest on depth:
+        // heap costs 1024 B, each depth level 512 B.
+        for (budget, depth) in [(2048usize, 2u32), (4096, 6), (8192, 14)] {
+            let cfg = crate::wm::WmSketchConfig::with_budget_bytes(budget);
+            assert_eq!(cfg.heap_capacity, 128, "budget {budget}");
+            assert_eq!(cfg.width, 128, "budget {budget}");
+            assert_eq!(cfg.depth, depth, "budget {budget}");
+            assert!(cfg.memory_bytes() <= budget);
+            // The next depth level would blow the budget.
+            assert!(
+                wm_bytes(128, 128 * (depth as usize + 1)) > budget,
+                "budget {budget} leaves a whole depth level unused"
+            );
+        }
+    }
+
+    #[test]
+    fn awm_budget_constructor_shapes_at_2_4_8_kb() {
+        // AWM splits the budget half active set, half depth-1 sketch
+        // (§7.3): |S| = B/16, width = B/8.
+        for (budget, heap, width) in [
+            (2048usize, 128, 256u32),
+            (4096, 256, 512),
+            (8192, 512, 1024),
+        ] {
+            let cfg = crate::awm::AwmSketchConfig::with_budget_bytes(budget);
+            assert_eq!(cfg.heap_capacity, heap, "budget {budget}");
+            assert_eq!(cfg.width, width, "budget {budget}");
+            assert_eq!(cfg.depth, 1, "budget {budget}");
+            // The split is exact: the whole budget is spent.
+            assert_eq!(cfg.memory_bytes(), budget);
+        }
+    }
+
+    #[test]
+    fn cm_classifier_cost_model() {
+        // K-entry heap at 2 units each plus the CM cell array.
+        assert_eq!(cm_classifier_bytes(128, 1792), 128 * 8 + 1792 * 4);
+        assert_eq!(cm_classifier_bytes(0, 0), 0);
+        // Same structure as the WM cost: heap entries are (id, weight).
+        assert_eq!(cm_classifier_bytes(64, 512), wm_bytes(64, 512));
+    }
+
+    #[test]
+    fn enumerated_configs_are_distinct_shapes() {
+        for budget in [2048usize, 4096, 8192] {
+            let cfgs = enumerate_wm_configs(budget);
+            let mut keys: Vec<(usize, u32, u32)> = cfgs
+                .iter()
+                .map(|c| (c.heap_capacity, c.width, c.depth))
+                .collect();
+            keys.sort_unstable();
+            let n = keys.len();
+            keys.dedup();
+            assert_eq!(keys.len(), n, "duplicate shapes at {budget}");
+        }
+    }
+
+    #[test]
     fn budgeted_config_instantiates_both_sketches() {
         let c = BudgetedConfig {
             heap_capacity: 64,

@@ -18,6 +18,11 @@
 //! All learners implement [`OnlineLearner`] + [`WeightEstimator`], and all
 //! except feature hashing implement [`TopKRecovery`]; the experiment
 //! harnesses are written against those traits.
+//!
+//! Beyond the paper's method matrix, [`ShardedLearner`] (module
+//! [`sharded`]) scales any [`MergeableLearner`] across a worker pool with
+//! exact linearity-backed merges — see the module docs for the
+//! deferred-heap-maintenance design.
 
 #![warn(missing_docs)]
 
@@ -25,6 +30,7 @@ pub mod awm;
 pub mod budget;
 pub mod frequent;
 pub mod multiclass;
+pub mod sharded;
 pub mod theory;
 pub mod truncation;
 pub mod wm;
@@ -40,6 +46,7 @@ pub use frequent::{
     SpaceSavingClassifierConfig,
 };
 pub use multiclass::{MulticlassAwmSketch, MulticlassConfig};
+pub use sharded::{sharded_awm, sharded_wm, ShardedLearner, ShardedLearnerConfig};
 pub use theory::GuaranteeParams;
 pub use truncation::{ProbabilisticTruncation, SimpleTruncation, TruncationConfig};
 pub use wm::{WmSketch, WmSketchConfig};
@@ -48,6 +55,6 @@ pub use wm::{WmSketch, WmSketchConfig};
 // matrix.
 pub use wmsketch_learn::{
     FeatureHashingClassifier, FeatureHashingConfig, Label, LogisticRegression,
-    LogisticRegressionConfig, OnlineLearner, SparseVector, TopKRecovery, WeightEntry,
-    WeightEstimator,
+    LogisticRegressionConfig, MergeableLearner, OnlineLearner, SparseVector, TopKRecovery,
+    WeightEntry, WeightEstimator,
 };

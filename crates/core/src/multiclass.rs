@@ -194,6 +194,143 @@ mod tests {
     }
 
     #[test]
+    fn single_update_round_trip_moves_prediction() {
+        // Round-trip: a fresh model is indifferent; one one-vs-rest update
+        // for class 1 must raise class 1's margin above the others and
+        // flip the prediction for that input.
+        let mut mc = MulticlassAwmSketch::new(cfg());
+        let x = SparseVector::one_hot(42, 1.0);
+        let before = mc.margins(&x);
+        assert!(
+            before.iter().all(|&m| m == 0.0),
+            "untrained margins {before:?}"
+        );
+        mc.update(&x, 1);
+        let after = mc.margins(&x);
+        assert_eq!(after.len(), 3);
+        assert!(
+            after[1] > after[0] && after[1] > after[2],
+            "margins {after:?}"
+        );
+        assert_eq!(mc.predict(&x), 1);
+        // The one-vs-rest update pushed every *other* class negative.
+        assert!(after[0] < 0.0 && after[2] < 0.0, "margins {after:?}");
+    }
+
+    #[test]
+    fn predict_is_argmax_of_margins() {
+        let mut mc = MulticlassAwmSketch::new(cfg());
+        for (x, c) in class_stream(1500) {
+            mc.update(&x, c);
+        }
+        for t in 0..50usize {
+            let x = SparseVector::from_pairs(&[(10 + (t % 3) as u32, 1.0), (200, 0.3)]);
+            let margins = mc.margins(&x);
+            let argmax = margins
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(c, _)| c)
+                .unwrap();
+            assert_eq!(mc.predict(&x), argmax);
+        }
+    }
+
+    #[test]
+    fn estimate_round_trips_through_per_class_recovery() {
+        let mut mc = MulticlassAwmSketch::new(cfg());
+        for (x, c) in class_stream(2000) {
+            mc.update(&x, c);
+        }
+        for c in 0..3usize {
+            for e in mc.recover_top_k(c, 8) {
+                let est = mc.estimate(c, e.feature);
+                assert!(
+                    (est - e.weight).abs() < 1e-12,
+                    "class {c} feature {}: recovered {} vs estimate {est}",
+                    e.feature,
+                    e.weight
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nce_zero_noise_touches_only_the_true_class() {
+        let mut mc = MulticlassAwmSketch::new(cfg());
+        for _ in 0..100 {
+            mc.update_nce(&SparseVector::one_hot(7, 1.0), 0, 0);
+        }
+        assert!(mc.estimate(0, 7) > 0.0);
+        assert_eq!(mc.estimate(1, 7), 0.0);
+        assert_eq!(mc.estimate(2, 7), 0.0);
+    }
+
+    #[test]
+    fn per_class_sketches_use_distinct_seeds() {
+        // Distinct per-class seeds keep collision noise independent across
+        // the M models: feed classes 0 and 1 *identical* positive streams
+        // into a tiny depth-1 sketch (past the active set, so estimates
+        // come from hashed cells) and probe untrained features. With
+        // shared seeds the two sketches would be byte-identical and every
+        // phantom estimate would replicate exactly; with offset seeds the
+        // collision patterns must differ on some probe.
+        let mut mc = MulticlassAwmSketch::new(MulticlassConfig {
+            classes: 2,
+            per_class: AwmSketchConfig::new(4, 16).lambda(1e-5).seed(7),
+        });
+        for t in 0..600usize {
+            let x = SparseVector::one_hot((t % 24) as u32, 1.0);
+            mc.update_nce(&x, 0, 0);
+            mc.update_nce(&x, 1, 0);
+        }
+        let diverging = (100..150u32)
+            .filter(|&f| mc.estimate(0, f).to_bits() != mc.estimate(1, f).to_bits())
+            .count();
+        assert!(
+            diverging > 0,
+            "identical training produced identical collision noise in every probe: \
+             per-class sketches appear to share a seed"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed_including_nce_sampling() {
+        let run = || {
+            let mut mc = MulticlassAwmSketch::new(MulticlassConfig {
+                classes: 6,
+                per_class: AwmSketchConfig::new(8, 64).lambda(1e-5).seed(21),
+            });
+            for t in 0..1000usize {
+                let c = t % 6;
+                let x =
+                    SparseVector::from_pairs(&[(10 + c as u32, 1.0), (90 + (t % 7) as u32, 0.5)]);
+                mc.update_nce(&x, c, 2);
+            }
+            (0..6usize)
+                .flat_map(|c| (0..30u32).map(move |f| (c, f)))
+                .map(|(c, f)| mc.estimate(c, f).to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn budgeted_multiclass_fits_m_times_budget_at_paper_sizes() {
+        for budget in [2048usize, 4096, 8192] {
+            let mc = MulticlassAwmSketch::new(MulticlassConfig {
+                classes: 5,
+                per_class: AwmSketchConfig::with_budget_bytes(budget),
+            });
+            assert!(
+                mc.memory_bytes() <= 5 * budget,
+                "budget {budget}: {} bytes",
+                mc.memory_bytes()
+            );
+        }
+    }
+
+    #[test]
     fn memory_scales_with_classes() {
         let mc = MulticlassAwmSketch::new(cfg());
         let single = AwmSketch::new(cfg().per_class).memory_bytes();

@@ -22,8 +22,8 @@
 
 use wmsketch_hashing::{CoordPlan, HashFamilyKind, RowHashers};
 use wmsketch_learn::{
-    debug_check_label, Label, LearningRate, Loss, LossKind, OnlineLearner, ScaleState,
-    SparseVector, TopKRecovery, WeightEntry, WeightEstimator,
+    debug_check_label, Label, LearningRate, Loss, LossKind, MergeableLearner, OnlineLearner,
+    ScaleState, SparseVector, TopKRecovery, WeightEntry, WeightEstimator,
 };
 use wmsketch_sketch::{median_inplace, signed_median_estimate};
 
@@ -135,6 +135,10 @@ impl WmSketchConfig {
 }
 
 /// The Weight-Median Sketch (see module docs).
+///
+/// Cloning copies the full model (hash functions included), so a clone is
+/// merge-compatible with its source — the basis of sharded training.
+#[derive(Clone)]
 pub struct WmSketch {
     cfg: WmSketchConfig,
     hashers: RowHashers,
@@ -257,6 +261,79 @@ impl WmSketch {
                 }
             }
         }
+    }
+}
+
+impl MergeableLearner for WmSketch {
+    /// Merge compatibility requires the same sketch shape, hash family,
+    /// and seed (so both models live in the same projected space). Heap
+    /// capacity and hyperparameters may differ — e.g. a sharded root with
+    /// a query heap merging heap-free workers.
+    fn merge_compatible(&self, other: &Self) -> bool {
+        self.cfg.width == other.cfg.width
+            && self.cfg.depth == other.cfg.depth
+            && self.cfg.hash_family == other.cfg.hash_family
+            && self.cfg.seed == other.cfg.seed
+    }
+
+    /// Adds `other`'s model into `self` by Count-Sketch linearity.
+    ///
+    /// Both learners store pre-scale cells `z_v` with logical cells
+    /// `z = α·z_v`; the merge folds `self`'s scale and adds `other`'s
+    /// *logical* cells, so the merged sketch is exactly the sketch of the
+    /// two concatenated (post-decay) gradient streams. The passive top-K
+    /// heap is then rebuilt from the union of both heaps' features,
+    /// re-estimated against the merged cells — stale per-shard estimates
+    /// are never merged directly.
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.merge_compatible(other),
+            "merging incompatible WM-Sketches ({}x{} seed {} vs {}x{} seed {})",
+            self.cfg.width,
+            self.cfg.depth,
+            self.cfg.seed,
+            other.cfg.width,
+            other.cfg.depth,
+            other.cfg.seed
+        );
+        self.fold_scale();
+        for (cell, &o) in self.z.iter_mut().zip(&other.z) {
+            *cell += other.scale.load(o);
+        }
+        self.t += other.t;
+        if self.heap.is_some() {
+            let mut feats: Vec<u32> = self
+                .heap
+                .iter()
+                .flat_map(wmsketch_hh::TopKWeights::iter)
+                .map(|e| e.feature)
+                .collect();
+            if let Some(other_heap) = &other.heap {
+                feats.extend(other_heap.iter().map(|e| e.feature));
+            }
+            feats.sort_unstable();
+            feats.dedup();
+            self.rebuild_top_k(&feats);
+        }
+    }
+
+    /// Rebuilds the passive heap with the heaviest of `candidates`,
+    /// re-estimated from the current cells. A no-op when the heap is
+    /// disabled. Candidate order does not matter: entries are ranked by
+    /// `(|estimate| desc, feature asc)` before insertion, so the result is
+    /// deterministic.
+    fn rebuild_top_k(&mut self, candidates: &[u32]) {
+        let Some(heap) = &mut self.heap else {
+            return;
+        };
+        let ranked: Vec<WeightEntry> = candidates
+            .iter()
+            .map(|&f| WeightEntry {
+                feature: f,
+                weight: signed_median_estimate(&self.hashers, &self.z, u64::from(f), self.sqrt_s),
+            })
+            .collect();
+        *heap = wmsketch_hh::TopKWeights::from_heaviest(heap.capacity(), ranked);
     }
 }
 
@@ -456,6 +533,129 @@ mod tests {
             (0..20u32).map(|f| wm.estimate(f)).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn merge_of_split_stream_recovers_planted_features() {
+        // Each half-stream carries the same planted signal; the merged
+        // model (the sum of the two) must recover it with correct signs.
+        let cfg = WmSketchConfig::new(256, 4).lambda(1e-5).seed(3);
+        let mut a = WmSketch::new(cfg);
+        let mut b = WmSketch::new(cfg);
+        for (i, (x, y)) in planted_stream(4000).enumerate() {
+            if i % 2 == 0 {
+                a.update(&x, y);
+            } else {
+                b.update(&x, y);
+            }
+        }
+        a.merge_from(&b);
+        assert_eq!(a.examples_seen(), 4000);
+        assert!(a.estimate(3) > 0.2, "w(3) = {}", a.estimate(3));
+        assert!(a.estimate(9) < -0.2, "w(9) = {}", a.estimate(9));
+        let top: Vec<u32> = a.recover_top_k(2).iter().map(|e| e.feature).collect();
+        assert!(top.contains(&3) && top.contains(&9), "top = {top:?}");
+    }
+
+    #[test]
+    fn depth_one_merge_estimates_are_exactly_additive() {
+        // At depth 1 the estimate reads a single cell, so per-feature
+        // estimates of the merged sketch equal the sum of the two models'
+        // estimates bit for bit (sign ±1 distributes exactly over +).
+        let cfg = WmSketchConfig::new(512, 1).lambda(1e-4).seed(7);
+        let mut a = WmSketch::new(cfg);
+        let mut b = WmSketch::new(cfg);
+        for (i, (x, y)) in planted_stream(1500).enumerate() {
+            if i < 700 {
+                a.update(&x, y);
+            } else {
+                b.update(&x, y);
+            }
+        }
+        let expected: Vec<f64> = (0..600u32).map(|f| a.estimate(f) + b.estimate(f)).collect();
+        a.merge_from(&b);
+        for f in 0..600u32 {
+            assert!(
+                a.estimate(f).to_bits() == expected[f as usize].to_bits(),
+                "feature {f}: merged {} vs sum {}",
+                a.estimate(f),
+                expected[f as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn merge_into_untrained_clone_preserves_estimates() {
+        // Depth 4: √s = 2 is a power of two, so the query-side rescaling
+        // commutes with rounding and the bit-equality assertions below are
+        // exact rather than ULP-fragile.
+        let cfg = WmSketchConfig::new(128, 4).seed(5);
+        let mut trained = WmSketch::new(cfg);
+        for (x, y) in planted_stream(1000) {
+            trained.update(&x, y);
+        }
+        let mut empty = WmSketch::new(cfg);
+        empty.merge_from(&trained);
+        assert_eq!(empty.examples_seen(), trained.examples_seen());
+        for f in 0..600u32 {
+            assert!(
+                empty.estimate(f).to_bits() == trained.estimate(f).to_bits(),
+                "feature {f}"
+            );
+        }
+        let (a, b) = (empty.recover_top_k(16), trained.recover_top_k(16));
+        let fa: Vec<u32> = a.iter().map(|e| e.feature).collect();
+        let fb: Vec<u32> = b.iter().map(|e| e.feature).collect();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn merge_accepts_heap_free_worker_into_heaped_root() {
+        let cfg = WmSketchConfig::new(128, 4).seed(9);
+        let mut worker = WmSketch::new(cfg.heap_capacity(0));
+        for (x, y) in planted_stream(2000) {
+            worker.update(&x, y);
+        }
+        let mut root = WmSketch::new(cfg);
+        root.merge_from(&worker);
+        // Worker had no heap, so the root's heap starts empty until
+        // candidates are supplied.
+        assert!(root.recover_top_k(4).is_empty());
+        let cands: Vec<u32> = (0..600).collect();
+        root.rebuild_top_k(&cands);
+        let top: Vec<u32> = root.recover_top_k(2).iter().map(|e| e.feature).collect();
+        assert!(top.contains(&3) && top.contains(&9), "top = {top:?}");
+        assert!(root.estimate(3).to_bits() == worker.estimate(3).to_bits());
+    }
+
+    #[test]
+    fn rebuild_top_k_is_candidate_order_insensitive() {
+        let cfg = WmSketchConfig::new(128, 4).heap_capacity(8).seed(2);
+        let mut wm = WmSketch::new(cfg);
+        for (x, y) in planted_stream(1500) {
+            wm.update(&x, y);
+        }
+        let mut fwd = wm.clone();
+        let mut rev = wm.clone();
+        let cands: Vec<u32> = (0..600).collect();
+        let rcands: Vec<u32> = (0..600).rev().collect();
+        fwd.rebuild_top_k(&cands);
+        rev.rebuild_top_k(&rcands);
+        let a: Vec<WeightEntry> = fwd.recover_top_k(8);
+        let b: Vec<WeightEntry> = rev.recover_top_k(8);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.feature, y.feature);
+            assert!(x.weight.to_bits() == y.weight.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merge_rejects_mismatched_seed() {
+        let mut a = WmSketch::new(WmSketchConfig::new(64, 2).seed(1));
+        let b = WmSketch::new(WmSketchConfig::new(64, 2).seed(2));
+        a.merge_from(&b);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use proptest::prelude::*;
 use wmsketch_core::{
-    AwmSketch, AwmSketchConfig, LogisticRegression, LogisticRegressionConfig, OnlineLearner,
-    SimpleTruncation, TopKRecovery, TruncationConfig, WeightEstimator, WmSketch, WmSketchConfig,
+    sharded_wm, AwmSketch, AwmSketchConfig, LogisticRegression, LogisticRegressionConfig,
+    OnlineLearner, ShardedLearnerConfig, SimpleTruncation, TopKRecovery, TruncationConfig,
+    WeightEstimator, WmSketch, WmSketchConfig,
 };
 use wmsketch_learn::{LearningRate, SparseVector};
 
@@ -106,6 +107,50 @@ proptest! {
         prop_assert!(top.len() <= cap);
         for e in &top {
             prop_assert!((trun.estimate(e.feature) - e.weight).abs() < 1e-12);
+        }
+    }
+
+    /// A 1-shard ShardedLearner is bit-identical to the sequential fused
+    /// WM-Sketch on any stream — the bypass path adds nothing.
+    #[test]
+    fn one_shard_equals_sequential_wm(stream in stream_strategy(), seed in 0u64..16) {
+        let cfg = WmSketchConfig::new(64, 3).lambda(1e-4).seed(seed);
+        let mut sequential = WmSketch::new(cfg);
+        let mut sharded = sharded_wm(cfg, ShardedLearnerConfig::new(1));
+        for (pairs, y) in &stream {
+            let x = SparseVector::from_pairs(pairs);
+            sequential.update(&x, *y);
+            sharded.update(&x, *y);
+        }
+        for f in 0..16u32 {
+            prop_assert!(
+                sharded.estimate(f).to_bits() == sequential.estimate(f).to_bits(),
+                "f{}: sharded {} vs sequential {}", f, sharded.estimate(f), sequential.estimate(f)
+            );
+        }
+    }
+
+    /// The merged model of a two-way split equals training both halves and
+    /// summing, for depth-1 sketches where the estimate is a single cell
+    /// (exact additivity, see `wm::tests::depth_one_merge_estimates_are_exactly_additive`).
+    #[test]
+    fn wm_merge_split_additivity_depth_one(stream in stream_strategy(), split_pct in 0usize..101) {
+        use wmsketch_learn::MergeableLearner;
+        let split = stream.len() * split_pct / 100;
+        let cfg = WmSketchConfig::new(1 << 12, 1).lambda(1e-4).seed(5);
+        let mut a = WmSketch::new(cfg);
+        let mut b = WmSketch::new(cfg);
+        for (i, (pairs, y)) in stream.iter().enumerate() {
+            let x = SparseVector::from_pairs(pairs);
+            if i < split { a.update(&x, *y); } else { b.update(&x, *y); }
+        }
+        let expected: Vec<f64> = (0..16u32).map(|f| a.estimate(f) + b.estimate(f)).collect();
+        a.merge_from(&b);
+        for f in 0..16u32 {
+            prop_assert!(
+                a.estimate(f).to_bits() == expected[f as usize].to_bits(),
+                "f{}: merged {} vs sum {}", f, a.estimate(f), expected[f as usize]
+            );
         }
     }
 

@@ -1,10 +1,11 @@
 //! The method matrix of the paper's figures, behind one uniform API.
 
 use wmsketch_core::{
-    AwmSketch, AwmSketchConfig, CountMinClassifier, CountMinClassifierConfig,
+    sharded_wm, AwmSketch, AwmSketchConfig, CountMinClassifier, CountMinClassifierConfig,
     FeatureHashingClassifier, FeatureHashingConfig, Label, OnlineLearner, ProbabilisticTruncation,
-    SimpleTruncation, SpaceSavingClassifier, SpaceSavingClassifierConfig, TopKRecovery,
-    TruncationConfig, WeightEntry, WeightEstimator, WmSketch, WmSketchConfig,
+    ShardedLearner, ShardedLearnerConfig, SimpleTruncation, SpaceSavingClassifier,
+    SpaceSavingClassifierConfig, TopKRecovery, TruncationConfig, WeightEntry, WeightEstimator,
+    WmSketch, WmSketchConfig,
 };
 use wmsketch_learn::metrics::top_k_by_estimate;
 use wmsketch_learn::SparseVector;
@@ -26,7 +27,23 @@ pub enum Method {
     Wm,
     /// Active-Set Weight-Median Sketch (Algorithm 2).
     Awm,
+    /// WM-Sketch behind the sharded update pipeline
+    /// ([`wmsketch_core::ShardedLearner`], [`WM_SHARDS`] workers, deferred
+    /// heap maintenance). Not part of the paper's method matrix — an
+    /// extension measuring the scale-out path — so it is excluded from
+    /// [`FIGURE_METHODS`] / [`ALL_BUDGETED_METHODS`]; `fig7` adds it as an
+    /// extra runtime row.
+    WmSharded,
 }
+
+/// Worker count for [`Method::WmSharded`].
+pub const WM_SHARDS: usize = 4;
+
+/// Merge cadence for [`Method::WmSharded`] under per-example harness
+/// streams: the queryable root lags the workers by at most this many
+/// examples (the usual asynchrony of a sharded/parameter-mixing deployment;
+/// recovery scoring always happens after a final merge).
+pub const WM_SHARDED_SYNC_EVERY: u64 = 1024;
 
 /// The methods shown in the paper's main figures (CM-FF omitted there as
 /// dominated by SS, matching Fig. 3's caption).
@@ -62,6 +79,7 @@ impl Method {
             Method::Hash => "Hash",
             Method::Wm => "WM",
             Method::Awm => "AWM",
+            Method::WmSharded => "WMx4",
         }
     }
 }
@@ -111,6 +129,9 @@ pub enum AnyLearner {
     Wm(WmSketch),
     /// AWM-Sketch.
     Awm(AwmSketch),
+    /// Sharded WM-Sketch (scale-out extension). Boxed: the worker vector
+    /// and templates make it much larger than the other variants.
+    WmSharded(Box<ShardedLearner<WmSketch>>),
 }
 
 impl AnyLearner {
@@ -154,6 +175,24 @@ impl AnyLearner {
                 c.seed = cfg.seed;
                 AnyLearner::Awm(AwmSketch::new(c))
             }
+            Method::WmSharded => {
+                let mut c = WmSketchConfig::with_budget_bytes(b);
+                c.lambda = cfg.lambda;
+                c.seed = cfg.seed;
+                AnyLearner::WmSharded(Box::new(sharded_wm(
+                    c,
+                    ShardedLearnerConfig::new(WM_SHARDS).sync_every(WM_SHARDED_SYNC_EVERY),
+                )))
+            }
+        }
+    }
+
+    /// Flushes deferred state before scoring: the sharded learner merges
+    /// its workers into the queryable root; every other method is already
+    /// consistent and this is a no-op.
+    pub fn finalize(&mut self) {
+        if let AnyLearner::WmSharded(m) = self {
+            m.sync();
         }
     }
 
@@ -180,10 +219,15 @@ impl AnyLearner {
             AnyLearner::Hash(_) => "Hash",
             AnyLearner::Wm(_) => "WM",
             AnyLearner::Awm(_) => "AWM",
+            AnyLearner::WmSharded(_) => "WMx4",
         }
     }
 
-    /// Memory cost in bytes under the §7.1 model.
+    /// Memory cost in bytes under the §7.1 model. For the sharded learner
+    /// this totals the root, every worker replica, *and* the per-shard
+    /// candidate trackers at their high-water bound (the trackers dominate
+    /// — scale-out buys throughput with replicated memory, and the
+    /// accounting says so).
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
         match self {
@@ -194,6 +238,13 @@ impl AnyLearner {
             AnyLearner::Hash(m) => m.memory_bytes(),
             AnyLearner::Wm(m) => m.memory_bytes(),
             AnyLearner::Awm(m) => m.memory_bytes(),
+            AnyLearner::WmSharded(m) => {
+                m.root().memory_bytes()
+                    + m.shard_learners()
+                        .map(wmsketch_core::WmSketch::memory_bytes)
+                        .sum::<usize>()
+                    + m.tracker_memory_bound_bytes()
+            }
         }
     }
 
@@ -210,6 +261,7 @@ impl AnyLearner {
             AnyLearner::Hash(m) => top_k_by_estimate(m, 0..dim, k),
             AnyLearner::Wm(m) => m.recover_top_k(k),
             AnyLearner::Awm(m) => m.recover_top_k(k),
+            AnyLearner::WmSharded(m) => m.recover_top_k(k),
         }
     }
 }
@@ -224,6 +276,7 @@ impl OnlineLearner for AnyLearner {
             AnyLearner::Hash(m) => m.margin(x),
             AnyLearner::Wm(m) => m.margin(x),
             AnyLearner::Awm(m) => m.margin(x),
+            AnyLearner::WmSharded(m) => m.margin(x),
         }
     }
 
@@ -236,6 +289,7 @@ impl OnlineLearner for AnyLearner {
             AnyLearner::Hash(m) => m.update(x, y),
             AnyLearner::Wm(m) => m.update(x, y),
             AnyLearner::Awm(m) => m.update(x, y),
+            AnyLearner::WmSharded(m) => m.update(x, y),
         }
     }
 
@@ -248,6 +302,7 @@ impl OnlineLearner for AnyLearner {
             AnyLearner::Hash(m) => m.examples_seen(),
             AnyLearner::Wm(m) => m.examples_seen(),
             AnyLearner::Awm(m) => m.examples_seen(),
+            AnyLearner::WmSharded(m) => m.examples_seen(),
         }
     }
 }
@@ -262,6 +317,7 @@ impl WeightEstimator for AnyLearner {
             AnyLearner::Hash(m) => m.estimate(feature),
             AnyLearner::Wm(m) => m.estimate(feature),
             AnyLearner::Awm(m) => m.estimate(feature),
+            AnyLearner::WmSharded(m) => m.estimate(feature),
         }
     }
 }
@@ -305,6 +361,68 @@ mod tests {
                 l.estimate(7)
             );
             assert_eq!(l.examples_seen(), 400);
+        }
+    }
+
+    #[test]
+    fn sharded_wm_method_learns_and_recovers_after_finalize() {
+        let mut l = AnyLearner::build(&MethodConfig::new(Method::WmSharded, 8192, 1e-6, 1));
+        assert_eq!(l.name(), "WMx4");
+        for t in 0..400 {
+            let (x, y) = if t % 2 == 0 {
+                (SparseVector::one_hot(3, 1.0), 1)
+            } else {
+                (SparseVector::one_hot(7, 1.0), -1)
+            };
+            l.update(&x, y);
+        }
+        assert_eq!(l.examples_seen(), 400);
+        l.finalize();
+        assert!(
+            l.estimate(3) > 0.0 && l.estimate(7) < 0.0,
+            "w3={} w7={}",
+            l.estimate(3),
+            l.estimate(7)
+        );
+        let top: Vec<u32> = l.top_k_estimates(2, 64).iter().map(|e| e.feature).collect();
+        assert!(top.contains(&3) && top.contains(&7), "top = {top:?}");
+    }
+
+    #[test]
+    fn sharded_wm_memory_accounts_for_replicas_and_trackers() {
+        let l = AnyLearner::build(&MethodConfig::new(Method::WmSharded, 8192, 1e-6, 1));
+        let root_only = AnyLearner::build(&MethodConfig::new(Method::Wm, 8192, 1e-6, 1));
+        // Root plus WM_SHARDS heap-free replicas (cells only) plus the
+        // candidate trackers at their high-water bound — the trackers
+        // dominate, and hiding them would make WMx4 look budget-comparable
+        // to the sequential methods when it is not.
+        let wm_cfg = WmSketchConfig::with_budget_bytes(8192);
+        let worker_bytes =
+            wmsketch_core::wm_bytes(0, wm_cfg.width as usize * wm_cfg.depth as usize);
+        let reference = wmsketch_core::sharded_wm(
+            wm_cfg,
+            ShardedLearnerConfig::new(WM_SHARDS).sync_every(WM_SHARDED_SYNC_EVERY),
+        );
+        let tracker_bytes = reference.tracker_memory_bound_bytes();
+        assert!(tracker_bytes > 0);
+        assert_eq!(
+            l.memory_bytes(),
+            root_only.memory_bytes() + WM_SHARDS * worker_bytes + tracker_bytes
+        );
+        assert!(
+            tracker_bytes > WM_SHARDS * worker_bytes,
+            "trackers ({tracker_bytes} B) are expected to dominate the sketch replicas"
+        );
+    }
+
+    #[test]
+    fn finalize_is_a_noop_for_sequential_methods() {
+        for method in ALL_BUDGETED_METHODS {
+            let mut l = AnyLearner::build(&MethodConfig::new(method, 4096, 1e-6, 2));
+            l.update(&SparseVector::one_hot(1, 1.0), 1);
+            let before = l.estimate(1);
+            l.finalize();
+            assert!(before.to_bits() == l.estimate(1).to_bits(), "{}", l.name());
         }
     }
 

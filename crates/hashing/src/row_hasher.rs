@@ -126,6 +126,7 @@ impl RowHasher {
 
 /// Monomorphized row storage: one vector of concrete hash functions per
 /// family, so batch loops never dispatch per row.
+#[derive(Clone)]
 enum Rows {
     Tab(Vec<TabulationHash>),
     Poly(Vec<PolyHash>),
@@ -149,6 +150,11 @@ impl Rows {
 }
 
 /// The full set of row hashers for a depth-`s` sketch.
+///
+/// Cloning copies the row hash functions byte for byte, so a clone assigns
+/// every key the same cells and signs — the property sharded learners rely
+/// on to keep per-shard sketches merge-compatible.
+#[derive(Clone)]
 pub struct RowHashers {
     rows: Rows,
     width: u32,
@@ -356,7 +362,7 @@ fn push_key_coords<H>(
 ///
 /// All buffers are retained across [`CoordPlan::reset`] calls; steady-state
 /// updates do no allocation at all.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct CoordPlan {
     /// `nnz × depth` flat cell offsets, slot-major.
     offsets: Vec<u32>,

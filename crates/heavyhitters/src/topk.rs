@@ -59,6 +59,30 @@ impl TopKWeights {
         }
     }
 
+    /// Builds a tracker holding the `capacity` heaviest of `entries`,
+    /// ranked by `(|weight| desc, feature asc)` — the shared rebuild step
+    /// of merge-time heap/active-set reconstruction. Deterministic for any
+    /// input order.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or an entry weight is NaN.
+    #[must_use]
+    pub fn from_heaviest(capacity: usize, mut entries: Vec<WeightEntry>) -> Self {
+        entries.sort_by(|a, b| {
+            b.weight
+                .abs()
+                .partial_cmp(&a.weight.abs())
+                .expect("NaN weight")
+                .then(a.feature.cmp(&b.feature))
+        });
+        entries.truncate(capacity);
+        let mut tracker = Self::new(capacity);
+        for e in entries {
+            tracker.offer(e.feature, e.weight);
+        }
+        tracker
+    }
+
     /// Maximum number of tracked features.
     #[must_use]
     pub fn capacity(&self) -> usize {
@@ -244,6 +268,37 @@ mod tests {
         assert_eq!(t.len(), 3);
         let feats: Vec<u32> = t.top_k(3).iter().map(|e| e.feature).collect();
         assert_eq!(feats, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn from_heaviest_keeps_largest_and_is_order_insensitive() {
+        let entries = vec![
+            WeightEntry {
+                feature: 5,
+                weight: -0.5,
+            },
+            WeightEntry {
+                feature: 1,
+                weight: 3.0,
+            },
+            WeightEntry {
+                feature: 9,
+                weight: -2.0,
+            },
+            WeightEntry {
+                feature: 2,
+                weight: 0.1,
+            },
+        ];
+        let mut reversed = entries.clone();
+        reversed.reverse();
+        let a = TopKWeights::from_heaviest(2, entries);
+        let b = TopKWeights::from_heaviest(2, reversed);
+        for t in [&a, &b] {
+            assert_eq!(t.len(), 2);
+            assert!(t.contains(1) && t.contains(9));
+            assert_eq!(t.get(9), Some(-2.0));
+        }
     }
 
     #[test]

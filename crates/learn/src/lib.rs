@@ -40,6 +40,8 @@ pub use loss::{Logistic, Loss, LossKind, SmoothedHinge, Squared};
 pub use metrics::{pearson, recall_at_threshold, rel_err_top_k, OnlineErrorRate};
 pub use scale::ScaleState;
 pub use schedule::LearningRate;
-pub use traits::{debug_check_label, Label, OnlineLearner, TopKRecovery, WeightEstimator};
+pub use traits::{
+    debug_check_label, Label, MergeableLearner, OnlineLearner, TopKRecovery, WeightEstimator,
+};
 pub use vector::SparseVector;
 pub use wmsketch_hh::WeightEntry;

@@ -55,6 +55,45 @@ pub trait WeightEstimator {
     fn estimate(&self, feature: u32) -> f64;
 }
 
+/// A learner whose model state can be combined with another instance's —
+/// the interface behind sharded/parallel training.
+///
+/// The sketched learners implement this by Count-Sketch linearity: the
+/// sketch of the sum of two gradient streams is the cell-wise sum of the
+/// two sketches (the turnstile/linear-sketching equivalence of Kallaugher
+/// & Price), so merging sketch state is exact. Auxiliary query-side state
+/// (top-K heaps, active sets) is rebuilt from merged estimates rather than
+/// merged directly.
+pub trait MergeableLearner: OnlineLearner {
+    /// Whether `other` was constructed with a merge-compatible
+    /// configuration (same sketch shape, hash family, and seed).
+    fn merge_compatible(&self, other: &Self) -> bool;
+
+    /// Adds `other`'s model state into `self`.
+    ///
+    /// After the merge, `self` represents the *sum* of the two models (the
+    /// natural composition for linear sketches of gradient streams) and
+    /// `examples_seen` totals both streams.
+    ///
+    /// # Panics
+    /// Implementations panic if the learners are not
+    /// [`MergeableLearner::merge_compatible`].
+    fn merge_from(&mut self, other: &Self);
+
+    /// Rebuilds query-side top-K state by re-estimating `candidates` from
+    /// the current model and retaining the heaviest.
+    ///
+    /// Sharded training uses this after a merge: workers track candidate
+    /// features cheaply (no per-update median recovery) and the merged
+    /// root re-estimates them here. The default is a no-op, for learners
+    /// whose recovery state is integral to the model (e.g. the AWM-Sketch
+    /// active set, which [`MergeableLearner::merge_from`] already
+    /// rebuilds).
+    fn rebuild_top_k(&mut self, candidates: &[u32]) {
+        let _ = candidates;
+    }
+}
+
 /// Native retrieval of the most heavily-weighted features. Methods that
 /// track identifiers (WM/AWM, truncation, frequent-features) implement
 /// this; feature hashing does not (its table is anonymous), which is

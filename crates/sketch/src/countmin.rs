@@ -23,6 +23,7 @@ pub enum CountMinUpdate {
 }
 
 /// A Count-Min sketch over 64-bit keys with `f64` counters.
+#[derive(Clone)]
 pub struct CountMinSketch {
     hashers: RowHashers,
     table: Vec<f64>,
@@ -30,6 +31,7 @@ pub struct CountMinSketch {
     depth: usize,
     policy: CountMinUpdate,
     total: f64,
+    seed: u64,
 }
 
 impl std::fmt::Debug for CountMinSketch {
@@ -67,7 +69,60 @@ impl CountMinSketch {
             depth: depth as usize,
             policy,
             total: 0.0,
+            seed,
         }
+    }
+
+    /// Whether `other` shares this sketch's shape, seed, and update policy,
+    /// making cell-wise merges meaningful.
+    #[must_use]
+    pub fn merge_compatible(&self, other: &Self) -> bool {
+        self.depth == other.depth
+            && self.width == other.width
+            && self.seed == other.seed
+            && self.policy == other.policy
+    }
+
+    /// Adds `other`'s counters (and stream total) into `self`.
+    ///
+    /// Under the [`CountMinUpdate::Classic`] policy the sketch is a linear
+    /// map, so the merge is *exact*: estimates equal those of one sketch
+    /// that saw both streams, bit-identically when the deltas sum exactly
+    /// (e.g. integral counts). Under [`CountMinUpdate::Conservative`] the
+    /// merged cells still dominate each key's true combined count (each
+    /// addend does per stream), so the one-sided guarantee
+    /// `v̂_i ≥ v_i` survives, but the merged estimate may exceed what a
+    /// single conservative sketch of the combined stream would report.
+    ///
+    /// # Panics
+    /// Panics if the sketches are not [`CountMinSketch::merge_compatible`].
+    pub fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.merge_compatible(other),
+            "merging incompatible Count-Min sketches ({}x{} seed {} {:?} vs {}x{} seed {} {:?})",
+            self.depth,
+            self.width,
+            self.seed,
+            self.policy,
+            other.depth,
+            other.width,
+            other.seed,
+            other.policy
+        );
+        for (cell, &o) in self.table.iter_mut().zip(&other.table) {
+            *cell += o;
+        }
+        self.total += other.total;
+    }
+
+    /// Consuming variant of [`CountMinSketch::merge_from`].
+    ///
+    /// # Panics
+    /// Panics if the sketches are not [`CountMinSketch::merge_compatible`].
+    #[must_use]
+    pub fn merge(mut self, other: &Self) -> Self {
+        self.merge_from(other);
+        self
     }
 
     /// Sketch depth.
@@ -221,6 +276,57 @@ mod tests {
             total_cons_err <= total_classic_err + 1e-9,
             "conservative {total_cons_err} vs classic {total_classic_err}"
         );
+    }
+
+    #[test]
+    fn merge_equals_unsplit_for_classic_policy() {
+        let mut whole = CountMinSketch::new(4, 32, 6);
+        let mut left = CountMinSketch::new(4, 32, 6);
+        let mut right = CountMinSketch::new(4, 32, 6);
+        for k in 0..200u64 {
+            let d = f64::from((k % 5) as u32);
+            whole.update(k, d);
+            if k % 2 == 0 {
+                left.update(k, d);
+            } else {
+                right.update(k, d);
+            }
+        }
+        left.merge_from(&right);
+        assert_eq!(left.total(), whole.total());
+        for k in 0..200u64 {
+            assert_eq!(left.estimate(k), whole.estimate(k));
+        }
+    }
+
+    #[test]
+    fn merged_conservative_sketches_never_underestimate() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut truth = vec![0.0f64; 100];
+        let mut a = CountMinSketch::with_policy(CountMinUpdate::Conservative, 3, 16, 4);
+        let mut b = CountMinSketch::with_policy(CountMinUpdate::Conservative, 3, 16, 4);
+        for t in 0..5000 {
+            let k = rng.random_range(0..100u64);
+            truth[k as usize] += 1.0;
+            if t % 2 == 0 {
+                a.update(k, 1.0);
+            } else {
+                b.update(k, 1.0);
+            }
+        }
+        let merged = a.merge(&b);
+        for k in 0..100u64 {
+            assert!(merged.estimate(k) >= truth[k as usize] - 1e-9, "key {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merge_rejects_policy_mismatch() {
+        let mut a = CountMinSketch::new(2, 8, 1);
+        let b = CountMinSketch::with_policy(CountMinUpdate::Conservative, 2, 8, 1);
+        a.merge_from(&b);
     }
 
     #[test]

@@ -15,12 +15,17 @@ use crate::median::signed_median_estimate;
 /// Values are `f64` rather than integers because the same structure carries
 /// classifier gradients in the WM-Sketch; for pure counting workloads pass
 /// integral deltas.
+#[derive(Clone)]
 pub struct CountSketch {
     hashers: RowHashers,
     /// Row-major `depth × width` cell array.
     table: Vec<f64>,
     width: usize,
     depth: usize,
+    /// Hash family and seed, kept so [`CountSketch::merge_from`] can verify
+    /// two sketches share the same projection.
+    kind: HashFamilyKind,
+    seed: u64,
 }
 
 impl std::fmt::Debug for CountSketch {
@@ -55,7 +60,59 @@ impl CountSketch {
             table: vec![0.0; depth as usize * width as usize],
             width: width as usize,
             depth: depth as usize,
+            kind,
+            seed,
         }
+    }
+
+    /// Whether `other` uses the same shape, hash family, and seed — i.e.
+    /// the two sketches apply the identical linear projection, making
+    /// cell-wise merges meaningful.
+    #[must_use]
+    pub fn merge_compatible(&self, other: &Self) -> bool {
+        self.depth == other.depth
+            && self.width == other.width
+            && self.kind == other.kind
+            && self.seed == other.seed
+    }
+
+    /// Adds `other`'s cells into `self`.
+    ///
+    /// The Count-Sketch is a linear map `x ↦ Ax`, so the merged sketch is
+    /// *exactly* the sketch of the combined update stream: estimates after
+    /// the merge equal those of a single sketch that saw both streams
+    /// (Kallaugher–Price turnstile/linear-sketch equivalence). The merge is
+    /// cell-wise addition; when all deltas are exactly representable sums
+    /// (e.g. integral counts), it is bit-identical to the unsplit sketch
+    /// regardless of how the stream was partitioned.
+    ///
+    /// # Panics
+    /// Panics if the sketches are not [`CountSketch::merge_compatible`].
+    pub fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.merge_compatible(other),
+            "merging incompatible Count-Sketches ({}x{} seed {} vs {}x{} seed {})",
+            self.depth,
+            self.width,
+            self.seed,
+            other.depth,
+            other.width,
+            other.seed
+        );
+        for (cell, &o) in self.table.iter_mut().zip(&other.table) {
+            *cell += o;
+        }
+    }
+
+    /// Consuming variant of [`CountSketch::merge_from`], for fold-style
+    /// reduction chains.
+    ///
+    /// # Panics
+    /// Panics if the sketches are not [`CountSketch::merge_compatible`].
+    #[must_use]
+    pub fn merge(mut self, other: &Self) -> Self {
+        self.merge_from(other);
+        self
     }
 
     /// Sketch depth (number of rows).
@@ -194,6 +251,71 @@ mod tests {
         let mut cs = CountSketch::new(80, 128, 6);
         cs.update(5, 9.0);
         assert_eq!(cs.estimate(5), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_unsplit_sketch() {
+        let mut whole = CountSketch::new(4, 64, 13);
+        let mut left = CountSketch::new(4, 64, 13);
+        let mut right = CountSketch::new(4, 64, 13);
+        for k in 0..300u64 {
+            let d = f64::from((k % 7) as u32) - 3.0;
+            whole.update(k, d);
+            if k % 3 == 0 {
+                left.update(k, d);
+            } else {
+                right.update(k, d);
+            }
+        }
+        left.merge_from(&right);
+        assert_eq!(left.cells(), whole.cells());
+        for k in 0..300u64 {
+            assert_eq!(left.estimate(k), whole.estimate(k));
+        }
+    }
+
+    #[test]
+    fn merge_consuming_chain() {
+        let mut a = CountSketch::new(2, 16, 1);
+        let mut b = CountSketch::new(2, 16, 1);
+        a.update(3, 1.0);
+        b.update(3, 2.0);
+        let merged = a.merge(&b);
+        assert_eq!(merged.estimate(3), 3.0);
+    }
+
+    #[test]
+    fn merge_compatibility_checks_shape_family_and_seed() {
+        let base = CountSketch::new(3, 32, 9);
+        assert!(base.merge_compatible(&CountSketch::new(3, 32, 9)));
+        assert!(!base.merge_compatible(&CountSketch::new(4, 32, 9)));
+        assert!(!base.merge_compatible(&CountSketch::new(3, 64, 9)));
+        assert!(!base.merge_compatible(&CountSketch::new(3, 32, 8)));
+        assert!(!base.merge_compatible(&CountSketch::with_family(
+            HashFamilyKind::Polynomial(4),
+            3,
+            32,
+            9
+        )));
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merge_rejects_mismatched_seed() {
+        let mut a = CountSketch::new(3, 32, 1);
+        let b = CountSketch::new(3, 32, 2);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn clone_is_merge_compatible_and_independent() {
+        let mut a = CountSketch::new(3, 32, 5);
+        a.update(1, 2.0);
+        let mut b = a.clone();
+        assert!(a.merge_compatible(&b));
+        b.update(1, 3.0);
+        assert_eq!(a.estimate(1), 2.0);
+        assert_eq!(b.estimate(1), 5.0);
     }
 
     /// Empirical check of the Charikar et al. guarantee (paper Lemma 1):

@@ -1,9 +1,108 @@
 //! Property-based tests for the sketch substrates.
 
 use proptest::prelude::*;
+use wmsketch_hashing::HashFamilyKind;
 use wmsketch_sketch::{median_inplace, CountMinSketch, CountSketch};
 
+/// Strategy: an update stream with *integral* deltas, so every partial sum
+/// is exactly representable and merge results can be compared bit for bit
+/// (f64 addition of small integers is associative; arbitrary reals are
+/// not).
+fn integral_updates() -> impl Strategy<Value = Vec<(u64, i32)>> {
+    prop::collection::vec((0u64..96, -16i32..17), 1..250)
+}
+
+/// Depths exercised by the merge tests: the depth-1 fast case, a mid
+/// depth, and one past the 64-row stack-buffer spill of the median
+/// recovery path.
+const MERGE_DEPTHS: [u32; 3] = [1, 6, 80];
+
 proptest! {
+    /// Count-Sketch merge linearity: for any update stream split at an
+    /// arbitrary point into two sketches, `a.merge(b)` must be
+    /// bit-identical — cells *and* estimates — to the sketch of the
+    /// unsplit stream, across both hash families and depths > 64.
+    #[test]
+    fn countsketch_merge_is_bit_identical_to_unsplit(
+        updates in integral_updates(),
+        split_pct in 0usize..101,
+    ) {
+        let split = updates.len() * split_pct / 100;
+        for kind in [HashFamilyKind::Tabulation, HashFamilyKind::Polynomial(4)] {
+            for depth in MERGE_DEPTHS {
+                let mut whole = CountSketch::with_family(kind, depth, 32, 11);
+                let mut a = CountSketch::with_family(kind, depth, 32, 11);
+                let mut b = CountSketch::with_family(kind, depth, 32, 11);
+                for (i, &(k, d)) in updates.iter().enumerate() {
+                    whole.update(k, f64::from(d));
+                    if i < split {
+                        a.update(k, f64::from(d));
+                    } else {
+                        b.update(k, f64::from(d));
+                    }
+                }
+                let merged = a.merge(&b);
+                prop_assert_eq!(merged.cells(), whole.cells());
+                for k in 0..96u64 {
+                    let (m, w) = (merged.estimate(k), whole.estimate(k));
+                    prop_assert!(
+                        m.to_bits() == w.to_bits(),
+                        "{:?} depth {}: key {} merged {} vs whole {}", kind, depth, k, m, w
+                    );
+                }
+            }
+        }
+    }
+
+    /// Count-Min (classic policy) merge linearity: split-and-merge is
+    /// bit-identical to the unsplit sketch, including the stream total.
+    #[test]
+    fn countmin_merge_is_bit_identical_to_unsplit(
+        updates in prop::collection::vec((0u64..96, 0i32..24), 1..250),
+        split_pct in 0usize..101,
+    ) {
+        let split = updates.len() * split_pct / 100;
+        for depth in MERGE_DEPTHS {
+            let mut whole = CountMinSketch::new(depth, 32, 19);
+            let mut a = CountMinSketch::new(depth, 32, 19);
+            let mut b = CountMinSketch::new(depth, 32, 19);
+            for (i, &(k, d)) in updates.iter().enumerate() {
+                whole.update(k, f64::from(d));
+                if i < split {
+                    a.update(k, f64::from(d));
+                } else {
+                    b.update(k, f64::from(d));
+                }
+            }
+            a.merge_from(&b);
+            prop_assert!(a.total().to_bits() == whole.total().to_bits());
+            for k in 0..96u64 {
+                let (m, w) = (a.estimate(k), whole.estimate(k));
+                prop_assert!(
+                    m.to_bits() == w.to_bits(),
+                    "depth {}: key {} merged {} vs whole {}", depth, k, m, w
+                );
+            }
+        }
+    }
+
+    /// Merging is order-insensitive: a.merge(b) and b.merge(a) agree on
+    /// every estimate (cell-wise addition of exactly-representable sums).
+    #[test]
+    fn countsketch_merge_commutes(updates in integral_updates()) {
+        let mut a = CountSketch::new(5, 32, 23);
+        let mut b = CountSketch::new(5, 32, 23);
+        for (i, &(k, d)) in updates.iter().enumerate() {
+            if i % 2 == 0 {
+                a.update(k, f64::from(d));
+            } else {
+                b.update(k, f64::from(d));
+            }
+        }
+        let ab = a.clone().merge(&b);
+        let ba = b.merge(&a);
+        prop_assert_eq!(ab.cells(), ba.cells());
+    }
     /// The Count-Sketch is a linear map: sketching a stream and its
     /// element-wise negation must cancel exactly.
     #[test]
