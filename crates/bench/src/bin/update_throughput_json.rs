@@ -3,9 +3,12 @@
 //! Measures WM-/AWM-Sketch update throughput at the paper's 8 KB Figure-7
 //! configuration on an RCV1-like stream, for the retained naive three-pass
 //! path (`update_naive`), the fused single-hash pipeline (`update` /
-//! `update_batch`), and the sharded pipeline (`ShardedLearner` at 1, 2, 4,
-//! and 8 shards, merge included), and writes the results as JSON so the
-//! perf trajectory can be tracked PR over PR.
+//! `update_batch`), the sharded pipeline (`ShardedLearner` at 1, 2, 4,
+//! and 8 shards, merge included), and the end-to-end serve ingest path
+//! (`serve_ingest`: a loopback `wmsketch-serve` node fed UPDATE frames,
+//! so framing + syscalls + decode are all inside the timed region), and
+//! writes the results as JSON so the perf trajectory can be tracked PR
+//! over PR.
 //!
 //! Usage: `update_throughput_json [OUTPUT_PATH]`
 //! (default output: `BENCH_update_throughput.json` in the working
@@ -30,6 +33,11 @@ const MEASURE_SECS: f64 = 1.0;
 const WARMUP_PASSES: usize = 1;
 /// Shard counts for the sharded-pipeline speedup curve.
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Examples per UPDATE frame on the serve ingest path.
+const SERVE_FRAME_EXAMPLES: usize = 1024;
+/// Worker count of the loopback serve node (1 = the sequential fused
+/// pipeline behind the wire, isolating transport overhead).
+const SERVE_SHARDS: usize = 1;
 
 struct Measurement {
     name: String,
@@ -66,6 +74,48 @@ fn measure<L>(
     Measurement {
         name: name.to_string(),
         shards,
+        ns_per_update,
+        updates_per_sec: 1e9 / ns_per_update,
+        updates_timed: timed,
+    }
+}
+
+/// End-to-end loopback ingest through `wmsketch-serve`: one node on an
+/// ephemeral port, UPDATE frames of [`SERVE_FRAME_EXAMPLES`] examples,
+/// model RESET between passes (mirroring `measure`'s rebuild-per-pass),
+/// with framing, syscalls, and payload decode all inside the timed
+/// region.
+fn measure_serve_ingest(wm_cfg: WmSketchConfig, data: &[(SparseVector, Label)]) -> Measurement {
+    use wmsketch_serve::{ServeClient, ServeConfig, WmServer};
+    let server = WmServer::bind("127.0.0.1:0", ServeConfig::new(wm_cfg, SERVE_SHARDS))
+        .expect("bind loopback server")
+        .spawn();
+    let mut client = ServeClient::connect(server.addr()).expect("connect loopback server");
+    let pass = |client: &mut ServeClient| {
+        client.reset().expect("reset serve node");
+        for chunk in data.chunks(SERVE_FRAME_EXAMPLES) {
+            client.update_batch(chunk).expect("serve ingest");
+        }
+    };
+    for _ in 0..WARMUP_PASSES {
+        pass(&mut client);
+    }
+    let mut timed = 0u64;
+    let mut elapsed = 0.0f64;
+    while elapsed < MEASURE_SECS {
+        client.reset().expect("reset serve node");
+        let start = Instant::now();
+        for chunk in data.chunks(SERVE_FRAME_EXAMPLES) {
+            client.update_batch(chunk).expect("serve ingest");
+        }
+        elapsed += start.elapsed().as_secs_f64();
+        timed += data.len() as u64;
+    }
+    server.shutdown();
+    let ns_per_update = elapsed * 1e9 / timed as f64;
+    Measurement {
+        name: "serve_ingest".to_string(),
+        shards: SERVE_SHARDS,
         ns_per_update,
         updates_per_sec: 1e9 / ns_per_update,
         updates_timed: timed,
@@ -194,6 +244,7 @@ fn main() {
             m.sync();
         },
     ));
+    results.push(measure_serve_ingest(wm_cfg, &data));
 
     let get = |name: &str| {
         results
@@ -205,6 +256,9 @@ fn main() {
     let wm_speedup = get("WM_naive") / get("WM_fused");
     let awm_speedup = get("AWM_naive") / get("AWM_fused");
     let awm_sharded_speedup = get("AWM_fused") / get("AWM_sharded_4");
+    // Transport overhead of the serve path, as a fraction of the same
+    // pipeline called in-process (< 1.0 means the wire costs something).
+    let serve_over_fused = get("WM_fused") / get("serve_ingest");
     // The sharded curve is normalized to the 1-shard fused baseline
     // (`WM_fused`); `WM_sharded_1` is the same sequential pipeline through
     // the bypass path and should sit within noise of 1.0x.
@@ -215,7 +269,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"wmsketch-update-throughput/v2\",\n");
+    json.push_str("  \"schema\": \"wmsketch-update-throughput/v3\",\n");
     json.push_str("  \"config\": {\n");
     json.push_str(&format!("    \"budget_bytes\": {BUDGET},\n"));
     json.push_str(&format!(
@@ -235,15 +289,21 @@ fn main() {
         "    \"measurement\": {{\"warmup_passes\": {WARMUP_PASSES}, \"measure_secs\": {MEASURE_SECS:.1}, \"host_cpus\": {host_cpus}}},\n"
     ));
     json.push_str(&format!(
-        "    \"shard_counts\": [{}]\n",
+        "    \"shard_counts\": [{}],\n",
         SHARD_COUNTS.map(|s| s.to_string()).join(", ")
+    ));
+    json.push_str(&format!(
+        "    \"serve\": {{\"shards\": {SERVE_SHARDS}, \"frame_examples\": {SERVE_FRAME_EXAMPLES}, \"transport\": \"tcp-loopback\"}}\n"
     ));
     json.push_str("  },\n");
     json.push_str("  \"results\": [\n");
     for (idx, m) in results.iter().enumerate() {
         let comma = if idx + 1 < results.len() { "," } else { "" };
+        // v3: every row carries host_cpus so cross-host result files can
+        // be compared label-by-label (thread-pool and loopback numbers
+        // are meaningless without the core count they ran on).
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"shards\": {}, \"ns_per_update\": {:.1}, \"updates_per_sec\": {:.0}, \"updates_timed\": {}}}{comma}\n",
+            "    {{\"name\": \"{}\", \"shards\": {}, \"host_cpus\": {host_cpus}, \"ns_per_update\": {:.1}, \"updates_per_sec\": {:.0}, \"updates_timed\": {}}}{comma}\n",
             m.name, m.shards, m.ns_per_update, m.updates_per_sec, m.updates_timed
         ));
     }
@@ -261,7 +321,10 @@ fn main() {
             .join(", ")
     ));
     json.push_str(&format!(
-        "    \"awm_sharded4_over_fused\": {awm_sharded_speedup:.2}\n"
+        "    \"awm_sharded4_over_fused\": {awm_sharded_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"serve_ingest_over_fused\": {serve_over_fused:.2}\n"
     ));
     json.push_str("  }\n");
     json.push_str("}\n");
@@ -278,5 +341,6 @@ fn main() {
         eprintln!("WM sharded x{s} over fused: {x:.2}x");
     }
     eprintln!("AWM sharded x4 over fused: {awm_sharded_speedup:.2}x");
+    eprintln!("serve ingest over fused (loopback, {host_cpus} cpu): {serve_over_fused:.2}x");
     eprintln!("wrote {out_path}");
 }

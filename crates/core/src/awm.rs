@@ -22,8 +22,11 @@
 //! uses a **depth-1** sketch (§7.3) and beats feature hashing despite
 //! spending half its budget on identifiers.
 
+use wmsketch_hashing::codec::{self, CodecError, Reader, SnapshotCodec, Writer, KIND_AWM};
 use wmsketch_hashing::{CoordPlan, HashFamilyKind, RowHashers};
 use wmsketch_hh::{Offer, TopKWeights};
+
+use crate::wm::{SECTION_CELLS, SECTION_STATE, SECTION_TOPK};
 use wmsketch_learn::{
     debug_check_label, Label, LearningRate, Loss, LossKind, MergeableLearner, OnlineLearner,
     ScaleState, SparseVector, TopKRecovery, WeightEntry, WeightEstimator,
@@ -401,6 +404,84 @@ impl MergeableLearner for AwmSketch {
     }
 }
 
+/// Snapshot layout (after the `WMS1` envelope, kind [`KIND_AWM`]):
+///
+/// ```text
+/// section 0x01 CONFIG: width (u32) | depth (u32) | heap_capacity (u64)
+///                    | lambda (f64) | learning_rate | loss
+///                    | hash_family | seed (u64)
+/// section 0x02 CELLS:  count (u64) | count × f64 pre-scale cells z_v
+/// section 0x03 STATE:  t (u64) | alpha (f64) | fold threshold (f64)
+/// section 0x04 TOPK:   capacity (u64) | count (u64)
+///                    | count × (feature u32, exact pre-scale weight f64)
+/// ```
+///
+/// Unlike the WM-Sketch's passive heap, the active set holds *exact*
+/// model weights, so the TOPK section here is integral model state; its
+/// capacity must equal the config's `heap_capacity`.
+impl SnapshotCodec for AwmSketch {
+    const KIND: u8 = KIND_AWM;
+
+    fn encode_body(&self, w: &mut Writer) {
+        // The CONFIG layout is shared with the WM-Sketch byte for byte.
+        crate::wm::put_wm_config(
+            w,
+            &crate::wm::WmSketchConfig {
+                width: self.cfg.width,
+                depth: self.cfg.depth,
+                heap_capacity: self.cfg.heap_capacity,
+                lambda: self.cfg.lambda,
+                learning_rate: self.cfg.learning_rate,
+                loss: self.cfg.loss,
+                hash_family: self.cfg.hash_family,
+                seed: self.cfg.seed,
+            },
+        );
+        codec::put_f64_section(w, SECTION_CELLS, &self.z);
+        let mark = w.begin_section(SECTION_STATE);
+        w.put_u64(self.t);
+        self.scale.encode_into(w);
+        w.end_section(mark);
+        let mark = w.begin_section(SECTION_TOPK);
+        self.active.encode_into(w);
+        w.end_section(mark);
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let shared = crate::wm::take_wm_config(r)?;
+        if shared.heap_capacity == 0 {
+            return Err(CodecError::Invalid("active-set capacity must be nonzero"));
+        }
+        let cfg = AwmSketchConfig {
+            width: shared.width,
+            depth: shared.depth,
+            heap_capacity: shared.heap_capacity,
+            lambda: shared.lambda,
+            learning_rate: shared.learning_rate,
+            loss: shared.loss,
+            hash_family: shared.hash_family,
+            seed: shared.seed,
+        };
+        let expected = (cfg.depth as usize)
+            .checked_mul(cfg.width as usize)
+            .ok_or(CodecError::Invalid("depth*width overflows"))?;
+        let z = codec::take_f64_section(r, SECTION_CELLS, expected)?;
+        let mut s = r.expect_section(SECTION_STATE)?;
+        let t = s.take_u64()?;
+        let scale = wmsketch_learn::ScaleState::decode_from(&mut s)?;
+        s.finish()?;
+        let mut a = r.expect_section(SECTION_TOPK)?;
+        let active = TopKWeights::decode_from(&mut a, cfg.heap_capacity)?;
+        a.finish()?;
+        let mut awm = Self::new(cfg);
+        awm.z = z;
+        awm.scale = scale;
+        awm.t = t;
+        awm.active = active;
+        Ok(awm)
+    }
+}
+
 impl OnlineLearner for AwmSketch {
     fn margin(&self, x: &SparseVector) -> f64 {
         // τ = Σ_{i∈S} S[i]·x_i + zᵀRx_{∉S}, all times the global scale.
@@ -775,6 +856,85 @@ mod tests {
         let mut a = AwmSketch::new(AwmSketchConfig::new(8, 64).seed(1));
         let b = AwmSketch::new(AwmSketchConfig::new(4, 64).seed(1));
         a.merge_from(&b);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_full_state() {
+        let cfg = AwmSketchConfig::new(16, 256).lambda(1e-5).seed(8);
+        let mut awm = AwmSketch::new(cfg);
+        for (x, y) in planted_stream(2000) {
+            awm.update(&x, y);
+        }
+        let bytes = awm.to_snapshot_bytes();
+        let mut back = AwmSketch::from_snapshot_bytes(&bytes).unwrap();
+        assert!(back.merge_compatible(&awm));
+        assert_eq!(back.examples_seen(), awm.examples_seen());
+        assert_eq!(back.active_set_len(), awm.active_set_len());
+        assert_eq!(back.to_snapshot_bytes(), bytes);
+        for f in 0..700u32 {
+            assert!(
+                back.estimate(f).to_bits() == awm.estimate(f).to_bits(),
+                "{f}"
+            );
+            assert_eq!(back.in_active_set(f), awm.in_active_set(f), "{f}");
+        }
+        // Continue training both: the decoded model evolves identically
+        // (margins, estimates, and active-set membership).
+        for (x, y) in planted_stream(800) {
+            back.update(&x, y);
+            awm.update(&x, y);
+        }
+        for f in 0..700u32 {
+            assert!(
+                back.estimate(f).to_bits() == awm.estimate(f).to_bits(),
+                "{f}"
+            );
+            assert_eq!(back.in_active_set(f), awm.in_active_set(f), "{f}");
+        }
+    }
+
+    #[test]
+    fn snapshot_merges_like_the_original() {
+        let cfg = AwmSketchConfig::new(8, 256).lambda(1e-5).seed(3);
+        let mut a1 = AwmSketch::new(cfg);
+        let mut a2 = AwmSketch::new(cfg);
+        let mut b = AwmSketch::new(cfg);
+        for (i, (x, y)) in planted_stream(1600).enumerate() {
+            if i % 2 == 0 {
+                a1.update(&x, y);
+                a2.update(&x, y);
+            } else {
+                b.update(&x, y);
+            }
+        }
+        let shipped = AwmSketch::from_snapshot_bytes(&b.to_snapshot_bytes()).unwrap();
+        a1.merge_from(&b);
+        a2.merge_from(&shipped);
+        for f in 0..700u32 {
+            assert!(a1.estimate(f).to_bits() == a2.estimate(f).to_bits(), "{f}");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_truncation_without_panicking() {
+        let mut awm = AwmSketch::new(AwmSketchConfig::new(4, 32).seed(1));
+        for (x, y) in planted_stream(100) {
+            awm.update(&x, y);
+        }
+        let bytes = awm.to_snapshot_bytes();
+        for n in 0..bytes.len() {
+            assert!(
+                AwmSketch::from_snapshot_bytes(&bytes[..n]).is_err(),
+                "prefix {n} decoded"
+            );
+        }
+        // A WM snapshot is not an AWM snapshot: kinds are checked.
+        use crate::wm::{WmSketch, WmSketchConfig};
+        let wm = WmSketch::new(WmSketchConfig::new(32, 4).seed(1));
+        assert!(matches!(
+            AwmSketch::from_snapshot_bytes(&wm.to_snapshot_bytes()),
+            Err(CodecError::WrongKind { .. })
+        ));
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub use wm::{WmSketch, WmSketchConfig};
 
 // Re-exports so downstream users need only this crate for the full method
 // matrix.
+pub use wmsketch_hashing::codec::{CodecError, SnapshotCodec};
 pub use wmsketch_learn::{
     FeatureHashingClassifier, FeatureHashingConfig, Label, LogisticRegression,
     LogisticRegressionConfig, MergeableLearner, OnlineLearner, SparseVector, TopKRecovery,

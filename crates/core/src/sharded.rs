@@ -328,12 +328,48 @@ impl<L: MergeableLearner + Clone> ShardedLearner<L> {
         self.shards.is_empty() || self.since_sync == 0
     }
 
+    /// The shard the `index`-th routed example belongs to, for the
+    /// configured shard count. Public so external partitioners — e.g. a
+    /// client splitting one stream across several ingest services — can
+    /// reproduce the exact routing a single sharded learner would apply,
+    /// making distributed ingest bit-identical to local sharded training
+    /// after the snapshots are merged.
+    #[must_use]
+    pub fn shard_of(&self, arrival_index: u64) -> usize {
+        fast_range(
+            splitmix64(arrival_index ^ self.cfg.partition_seed),
+            self.cfg.shards as u64,
+        ) as usize
+    }
+
     /// The shard the `index`-th routed example belongs to.
     fn route(&self, index: u64) -> usize {
-        fast_range(
-            splitmix64(index ^ self.cfg.partition_seed),
-            self.shards.len() as u64,
-        ) as usize
+        debug_assert_eq!(self.shards.len(), self.cfg.shards);
+        self.shard_of(index)
+    }
+
+    /// Folds a peer model — typically a decoded snapshot shipped from
+    /// another node — into this learner (exact by sketch linearity).
+    ///
+    /// The peer joins the *sync base*: it is merged into the queryable
+    /// root immediately and into the template so that every future
+    /// [`ShardedLearner::sync`] (which rebuilds the root from the template
+    /// plus the live workers) retains it. Peer examples are not added to
+    /// [`OnlineLearner::examples_seen`], which counts locally routed
+    /// examples only; the root's own clock does advance by the peer's.
+    ///
+    /// # Panics
+    /// Panics if `peer` is not merge-compatible with this learner's
+    /// models.
+    pub fn absorb(&mut self, peer: &L) {
+        assert!(
+            self.template.merge_compatible(peer),
+            "absorbing a merge-incompatible peer model"
+        );
+        if !self.shards.is_empty() {
+            self.template.merge_from(peer);
+        }
+        self.root.merge_from(peer);
     }
 
     /// Rebuilds the root from the workers: clone the pristine template,
@@ -740,6 +776,64 @@ mod tests {
         for &c in &counts {
             assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
         }
+    }
+
+    #[test]
+    fn absorb_survives_later_syncs() {
+        // A peer model absorbed between syncs must not be washed away by
+        // the next template-clone-and-merge rebuild.
+        let cfg = WmSketchConfig::new(128, 4).lambda(1e-5).seed(3);
+        let mut peer = WmSketch::new(cfg);
+        for (x, y) in planted_stream(2000) {
+            peer.update(&x, y);
+        }
+        let mut sharded = sharded_wm(cfg, ShardedLearnerConfig::new(2).sync_every(0));
+        sharded.absorb(&peer);
+        assert!(sharded.estimate(3).to_bits() == peer.estimate(3).to_bits());
+        sharded.update_batch(&planted_stream(500));
+        sharded.sync();
+        // Root = peer + both workers; the peer's signal is still there.
+        assert!(sharded.estimate(3) > peer.estimate(3) * 0.9);
+        assert_eq!(sharded.root().examples_seen(), 2500);
+        let top: Vec<u32> = sharded.recover_top_k(2).iter().map(|e| e.feature).collect();
+        assert!(top.contains(&3) && top.contains(&9), "top = {top:?}");
+    }
+
+    #[test]
+    fn absorb_in_bypass_mode_merges_into_live_root() {
+        // λ = 0 keeps the scale at 1, so merging into the empty root is
+        // exact cell addition and the bit-equality below is well-defined.
+        let cfg = WmSketchConfig::new(128, 2).lambda(0.0).seed(7);
+        let mut peer = WmSketch::new(cfg);
+        for (x, y) in planted_stream(600) {
+            peer.update(&x, y);
+        }
+        let mut sharded = sharded_wm(cfg, ShardedLearnerConfig::new(1));
+        sharded.absorb(&peer);
+        assert!(sharded.estimate(3).to_bits() == peer.estimate(3).to_bits());
+        assert!(sharded.is_synced());
+    }
+
+    #[test]
+    fn shard_of_matches_internal_routing() {
+        let sharded = sharded_wm(
+            WmSketchConfig::new(64, 2),
+            ShardedLearnerConfig::new(4).sync_every(0),
+        );
+        for i in 0..5000u64 {
+            assert_eq!(sharded.shard_of(i), sharded.route(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "merge-incompatible")]
+    fn absorb_rejects_incompatible_peer() {
+        let mut sharded = sharded_wm(
+            WmSketchConfig::new(64, 2).seed(1),
+            ShardedLearnerConfig::new(2),
+        );
+        let peer = WmSketch::new(WmSketchConfig::new(64, 2).seed(9));
+        sharded.absorb(&peer);
     }
 
     #[test]

@@ -20,12 +20,22 @@
 //! heaviest estimated weights for `O(1)`-time retrieval, as in the
 //! reference implementation.
 
+use wmsketch_hashing::codec::{self, CodecError, Reader, SnapshotCodec, Writer, KIND_WM};
 use wmsketch_hashing::{CoordPlan, HashFamilyKind, RowHashers};
 use wmsketch_learn::{
     debug_check_label, Label, LearningRate, Loss, LossKind, MergeableLearner, OnlineLearner,
     ScaleState, SparseVector, TopKRecovery, WeightEntry, WeightEstimator,
 };
 use wmsketch_sketch::{median_inplace, signed_median_estimate};
+
+/// Section tag: learner configuration (shape, hyperparameters, hashing).
+pub(crate) const SECTION_CONFIG: u8 = 0x01;
+/// Section tag: row-major `f64` sketch cells.
+pub(crate) const SECTION_CELLS: u8 = 0x02;
+/// Section tag: mutable training state (update clock, scale).
+pub(crate) const SECTION_STATE: u8 = 0x03;
+/// Section tag: top-K heap / active-set contents.
+pub(crate) const SECTION_TOPK: u8 = 0x04;
 
 /// Configuration for [`WmSketch`].
 #[derive(Debug, Clone, Copy)]
@@ -302,38 +312,168 @@ impl MergeableLearner for WmSketch {
         }
         self.t += other.t;
         if self.heap.is_some() {
-            let mut feats: Vec<u32> = self
+            // rebuild_top_k unions with self's current heap features, so
+            // only other's need passing explicitly.
+            let feats: Vec<u32> = other
                 .heap
                 .iter()
                 .flat_map(wmsketch_hh::TopKWeights::iter)
                 .map(|e| e.feature)
                 .collect();
-            if let Some(other_heap) = &other.heap {
-                feats.extend(other_heap.iter().map(|e| e.feature));
-            }
-            feats.sort_unstable();
-            feats.dedup();
             self.rebuild_top_k(&feats);
         }
     }
 
-    /// Rebuilds the passive heap with the heaviest of `candidates`,
-    /// re-estimated from the current cells. A no-op when the heap is
-    /// disabled. Candidate order does not matter: entries are ranked by
+    /// Rebuilds the passive heap with the heaviest of `candidates` *and*
+    /// the features currently tracked — the heap is passive (stale
+    /// estimates, no exact state), so the union is re-estimated from the
+    /// current cells and only the ranking survives. Keeping the current
+    /// features in the candidate pool means a rebuild can only improve
+    /// the heap: features carried in by a merge (e.g. a shipped snapshot
+    /// absorbed between syncs) are never silently dropped by a later
+    /// tracker-driven rebuild. A no-op when the heap is disabled.
+    /// Candidate order does not matter: entries are ranked by
     /// `(|estimate| desc, feature asc)` before insertion, so the result is
     /// deterministic.
     fn rebuild_top_k(&mut self, candidates: &[u32]) {
-        let Some(heap) = &mut self.heap else {
+        if self.heap.is_none() {
             return;
-        };
-        let ranked: Vec<WeightEntry> = candidates
+        }
+        let mut union: Vec<u32> = self
+            .heap
+            .iter()
+            .flat_map(wmsketch_hh::TopKWeights::iter)
+            .map(|e| e.feature)
+            .collect();
+        union.extend_from_slice(candidates);
+        union.sort_unstable();
+        union.dedup();
+        let ranked: Vec<WeightEntry> = union
             .iter()
             .map(|&f| WeightEntry {
                 feature: f,
                 weight: signed_median_estimate(&self.hashers, &self.z, u64::from(f), self.sqrt_s),
             })
             .collect();
+        let heap = self.heap.as_mut().expect("checked above");
         *heap = wmsketch_hh::TopKWeights::from_heaviest(heap.capacity(), ranked);
+    }
+}
+
+/// Encodes a [`WmSketchConfig`] into the shared CONFIG section layout:
+/// `width (u32) | depth (u32) | heap_capacity (u64) | lambda (f64)
+/// | learning_rate | loss | hash_family | seed (u64)`.
+pub(crate) fn put_wm_config(w: &mut Writer, cfg: &WmSketchConfig) {
+    let mark = w.begin_section(SECTION_CONFIG);
+    w.put_u32(cfg.width);
+    w.put_u32(cfg.depth);
+    w.put_u64(cfg.heap_capacity as u64);
+    w.put_f64(cfg.lambda);
+    cfg.learning_rate.encode_into(w);
+    cfg.loss.encode_into(w);
+    codec::put_hash_family(w, cfg.hash_family);
+    w.put_u64(cfg.seed);
+    w.end_section(mark);
+}
+
+/// Decodes a CONFIG section written by [`put_wm_config`], validating the
+/// shape invariants the constructors would otherwise panic on.
+pub(crate) fn take_wm_config(r: &mut Reader<'_>) -> Result<WmSketchConfig, CodecError> {
+    let mut s = r.expect_section(SECTION_CONFIG)?;
+    let width = s.take_u32()?;
+    let depth = s.take_u32()?;
+    let heap_capacity = usize::try_from(s.take_u64()?)
+        .map_err(|_| CodecError::Invalid("heap capacity overflows usize"))?;
+    let lambda = s.take_f64()?;
+    let learning_rate = LearningRate::decode_from(&mut s)?;
+    let loss = LossKind::decode_from(&mut s)?;
+    let hash_family = codec::take_hash_family(&mut s)?;
+    let seed = s.take_u64()?;
+    s.finish()?;
+    if width == 0 || depth == 0 {
+        return Err(CodecError::Invalid("sketch width/depth must be nonzero"));
+    }
+    if !lambda.is_finite() {
+        return Err(CodecError::Invalid("lambda must be finite"));
+    }
+    Ok(WmSketchConfig {
+        width,
+        depth,
+        heap_capacity,
+        lambda,
+        learning_rate,
+        loss,
+        hash_family,
+        seed,
+    })
+}
+
+/// Snapshot layout (after the `WMS1` envelope, kind
+/// [`KIND_WM`]):
+///
+/// ```text
+/// section 0x01 CONFIG: width (u32) | depth (u32) | heap_capacity (u64)
+///                    | lambda (f64) | learning_rate | loss
+///                    | hash_family | seed (u64)
+/// section 0x02 CELLS:  count (u64) | count × f64 pre-scale cells z_v
+/// section 0x03 STATE:  t (u64) | alpha (f64) | fold threshold (f64)
+/// section 0x04 TOPK:   present (u8) | [capacity (u64) | count (u64)
+///                    | count × (feature u32, weight f64)]
+/// ```
+///
+/// Everything that determines future behavior is captured — cells, the
+/// global scale, the update clock, the heap contents, and the hash-family
+/// kind + seed that pin the projection — so a decoded sketch is
+/// [`MergeableLearner::merge_compatible`] with its origin and continues
+/// training identically.
+impl SnapshotCodec for WmSketch {
+    const KIND: u8 = KIND_WM;
+
+    fn encode_body(&self, w: &mut Writer) {
+        put_wm_config(w, &self.cfg);
+        codec::put_f64_section(w, SECTION_CELLS, &self.z);
+        let mark = w.begin_section(SECTION_STATE);
+        w.put_u64(self.t);
+        self.scale.encode_into(w);
+        w.end_section(mark);
+        let mark = w.begin_section(SECTION_TOPK);
+        match &self.heap {
+            Some(heap) => {
+                w.put_u8(1);
+                heap.encode_into(w);
+            }
+            None => w.put_u8(0),
+        }
+        w.end_section(mark);
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let cfg = take_wm_config(r)?;
+        let expected = (cfg.depth as usize)
+            .checked_mul(cfg.width as usize)
+            .ok_or(CodecError::Invalid("depth*width overflows"))?;
+        let z = codec::take_f64_section(r, SECTION_CELLS, expected)?;
+        let mut s = r.expect_section(SECTION_STATE)?;
+        let t = s.take_u64()?;
+        let scale = ScaleState::decode_from(&mut s)?;
+        s.finish()?;
+        let mut h = r.expect_section(SECTION_TOPK)?;
+        let heap = match h.take_u8()? {
+            0 if cfg.heap_capacity == 0 => None,
+            0 => return Err(CodecError::Invalid("missing heap for heap_capacity > 0")),
+            1 => Some(wmsketch_hh::TopKWeights::decode_from(
+                &mut h,
+                cfg.heap_capacity,
+            )?),
+            _ => return Err(CodecError::Invalid("bad top-K presence flag")),
+        };
+        h.finish()?;
+        let mut wm = Self::new(cfg);
+        wm.z = z;
+        wm.scale = scale;
+        wm.t = t;
+        wm.heap = heap;
+        Ok(wm)
     }
 }
 
@@ -656,6 +796,119 @@ mod tests {
         let mut a = WmSketch::new(WmSketchConfig::new(64, 2).seed(1));
         let b = WmSketch::new(WmSketchConfig::new(64, 2).seed(2));
         a.merge_from(&b);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_full_state() {
+        let cfg = WmSketchConfig::new(128, 5)
+            .lambda(1e-5)
+            .seed(21)
+            .hash_family(HashFamilyKind::Polynomial(4));
+        let mut wm = WmSketch::new(cfg);
+        for (x, y) in planted_stream(1500) {
+            wm.update(&x, y);
+        }
+        let bytes = wm.to_snapshot_bytes();
+        let mut back = WmSketch::from_snapshot_bytes(&bytes).unwrap();
+        assert!(back.merge_compatible(&wm) && wm.merge_compatible(&back));
+        assert_eq!(back.examples_seen(), wm.examples_seen());
+        assert_eq!(back.to_snapshot_bytes(), bytes);
+        for f in 0..600u32 {
+            assert!(
+                back.estimate(f).to_bits() == wm.estimate(f).to_bits(),
+                "{f}"
+            );
+        }
+        let (a, b) = (back.recover_top_k(16), wm.recover_top_k(16));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.feature, y.feature);
+            assert!(x.weight.to_bits() == y.weight.to_bits());
+        }
+        // The decoded model keeps evolving identically: same margins and
+        // estimates after further training (the heap is passive, so cells
+        // and clock fully determine the estimates).
+        for (x, y) in planted_stream(500) {
+            back.update(&x, y);
+            wm.update(&x, y);
+        }
+        for f in 0..600u32 {
+            assert!(
+                back.estimate(f).to_bits() == wm.estimate(f).to_bits(),
+                "{f}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_heap_free() {
+        let mut wm = WmSketch::new(WmSketchConfig::new(64, 3).heap_capacity(0).seed(2));
+        for (x, y) in planted_stream(300) {
+            wm.update(&x, y);
+        }
+        let back = WmSketch::from_snapshot_bytes(&wm.to_snapshot_bytes()).unwrap();
+        assert!(back.recover_top_k(4).is_empty());
+        assert!(back.estimate(3).to_bits() == wm.estimate(3).to_bits());
+    }
+
+    #[test]
+    fn snapshot_merges_like_the_original() {
+        // A decoded snapshot must be a drop-in peer for merging: shipping
+        // b's snapshot and merging equals merging b directly.
+        let cfg = WmSketchConfig::new(128, 4).seed(5);
+        let mut a1 = WmSketch::new(cfg);
+        let mut a2 = WmSketch::new(cfg);
+        let mut b = WmSketch::new(cfg);
+        for (i, (x, y)) in planted_stream(1200).enumerate() {
+            if i % 2 == 0 {
+                a1.update(&x, y);
+                a2.update(&x, y);
+            } else {
+                b.update(&x, y);
+            }
+        }
+        let shipped = WmSketch::from_snapshot_bytes(&b.to_snapshot_bytes()).unwrap();
+        a1.merge_from(&b);
+        a2.merge_from(&shipped);
+        for f in 0..600u32 {
+            assert!(a1.estimate(f).to_bits() == a2.estimate(f).to_bits(), "{f}");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_capacity_mismatch_and_truncation() {
+        let mut wm = WmSketch::new(WmSketchConfig::new(32, 2).seed(1));
+        for (x, y) in planted_stream(50) {
+            wm.update(&x, y);
+        }
+        let bytes = wm.to_snapshot_bytes();
+        // Every strict prefix must fail with a typed error, not a panic.
+        for n in 0..bytes.len() {
+            assert!(
+                WmSketch::from_snapshot_bytes(&bytes[..n]).is_err(),
+                "prefix {n} decoded"
+            );
+        }
+        // Appending junk is TrailingBytes.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(
+            WmSketch::from_snapshot_bytes(&long),
+            Err(CodecError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn rebuild_top_k_unions_current_heap_features() {
+        // Features already tracked survive a rebuild whose candidate list
+        // does not mention them (they out-rank the candidates).
+        let mut wm = WmSketch::new(WmSketchConfig::new(256, 4).lambda(1e-5).seed(3));
+        for (x, y) in planted_stream(3000) {
+            wm.update(&x, y);
+        }
+        wm.rebuild_top_k(&[700, 701]); // untrained features, estimate ≈ 0
+        let top: Vec<u32> = wm.recover_top_k(2).iter().map(|e| e.feature).collect();
+        assert!(top.contains(&3) && top.contains(&9), "top = {top:?}");
     }
 
     #[test]

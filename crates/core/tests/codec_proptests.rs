@@ -1,0 +1,219 @@
+//! Property tests for the WM-/AWM-Sketch snapshot codec: full-state
+//! round-trip bit-identity (estimates, heap/active-set contents, scale
+//! factor, seeds ⇒ merge compatibility) across hash families and depths
+//! past the 64-row median spill, plus panic-free rejection of damaged
+//! buffers.
+
+use proptest::prelude::*;
+use wmsketch_core::{
+    AwmSketch, AwmSketchConfig, CodecError, MergeableLearner, OnlineLearner, SnapshotCodec,
+    TopKRecovery, WeightEstimator, WmSketch, WmSketchConfig,
+};
+use wmsketch_hashing::HashFamilyKind;
+use wmsketch_learn::{Label, SparseVector};
+
+/// Random labelled streams over a moderate feature domain, with varied
+/// values so no two weights collide exactly.
+fn stream() -> impl Strategy<Value = Vec<(u32, u32, bool)>> {
+    prop::collection::vec(
+        (0u32..64, 1u32..8, prop::sample::select(vec![true, false])),
+        1..300,
+    )
+}
+
+fn to_examples(raw: &[(u32, u32, bool)]) -> Vec<(SparseVector, Label)> {
+    raw.iter()
+        .enumerate()
+        .map(|(t, &(f, v, pos))| {
+            let x = SparseVector::from_pairs(&[
+                (f, f64::from(v) / 4.0),
+                (64 + (t as u32 * 13 % 200), 0.25),
+            ]);
+            (x, if pos { 1 } else { -1 })
+        })
+        .collect()
+}
+
+/// Depth-1, a mid depth, and one past the 64-row median stack spill.
+const DEPTHS: [u32; 3] = [1, 6, 80];
+
+proptest! {
+    /// WM-Sketch snapshots capture the complete model: estimates, top-K
+    /// heap contents, the scale factor, the update clock, and the
+    /// projection (seed + family), bit for bit, and re-encode to the
+    /// identical bytes.
+    #[test]
+    fn wm_snapshot_round_trip(raw in stream(), seed in 0u64..500) {
+        let examples = to_examples(&raw);
+        for kind in [HashFamilyKind::Tabulation, HashFamilyKind::Polynomial(4)] {
+            for depth in DEPTHS {
+                let cfg = WmSketchConfig::new(64, depth)
+                    .heap_capacity(16)
+                    .lambda(1e-5)
+                    .hash_family(kind)
+                    .seed(seed);
+                let mut wm = WmSketch::new(cfg);
+                for (x, y) in &examples {
+                    wm.update(x, *y);
+                }
+                let bytes = wm.to_snapshot_bytes();
+                let back = WmSketch::from_snapshot_bytes(&bytes).expect("round trip");
+                prop_assert!(back.merge_compatible(&wm) && wm.merge_compatible(&back));
+                prop_assert_eq!(back.examples_seen(), wm.examples_seen());
+                prop_assert_eq!(back.to_snapshot_bytes(), bytes);
+                for f in 0..300u32 {
+                    prop_assert!(
+                        back.estimate(f).to_bits() == wm.estimate(f).to_bits(),
+                        "kind {:?} depth {} feature {}", kind, depth, f
+                    );
+                }
+                let (a, b) = (back.recover_top_k(16), wm.recover_top_k(16));
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    prop_assert_eq!(x.feature, y.feature);
+                    prop_assert!(x.weight.to_bits() == y.weight.to_bits());
+                }
+            }
+        }
+    }
+
+    /// AWM-Sketch snapshots capture the split model exactly: sketch
+    /// cells, the exact active-set weights, membership, scale, and clock.
+    /// The decoded model keeps training identically.
+    #[test]
+    fn awm_snapshot_round_trip(raw in stream(), seed in 0u64..500) {
+        let examples = to_examples(&raw);
+        for kind in [HashFamilyKind::Tabulation, HashFamilyKind::Polynomial(4)] {
+            for depth in DEPTHS {
+                let cfg = AwmSketchConfig::new(8, 64)
+                    .depth(depth)
+                    .lambda(1e-5)
+                    .hash_family(kind)
+                    .seed(seed);
+                let mut awm = AwmSketch::new(cfg);
+                for (x, y) in &examples {
+                    awm.update(x, *y);
+                }
+                let bytes = awm.to_snapshot_bytes();
+                let mut back = AwmSketch::from_snapshot_bytes(&bytes).expect("round trip");
+                prop_assert!(back.merge_compatible(&awm));
+                prop_assert_eq!(back.examples_seen(), awm.examples_seen());
+                prop_assert_eq!(back.active_set_len(), awm.active_set_len());
+                prop_assert_eq!(back.to_snapshot_bytes(), bytes);
+                for f in 0..300u32 {
+                    prop_assert!(back.estimate(f).to_bits() == awm.estimate(f).to_bits());
+                    prop_assert_eq!(back.in_active_set(f), awm.in_active_set(f));
+                }
+                // Continued training stays in lockstep.
+                let mut fwd = awm.clone();
+                for (x, y) in examples.iter().take(40) {
+                    back.update(x, *y);
+                    fwd.update(x, *y);
+                }
+                for f in 0..300u32 {
+                    prop_assert!(back.estimate(f).to_bits() == fwd.estimate(f).to_bits());
+                }
+            }
+        }
+    }
+
+    /// The scale factor itself survives: after heavy decay (many folds),
+    /// a decoded model still matches bit for bit.
+    #[test]
+    fn wm_snapshot_survives_scale_folds(raw in stream()) {
+        let examples = to_examples(&raw);
+        let cfg = WmSketchConfig::new(32, 2)
+            .lambda(0.9)
+            .learning_rate(wmsketch_learn::LearningRate::Constant(0.9))
+            .seed(3);
+        let mut wm = WmSketch::new(cfg);
+        for _ in 0..30 {
+            for (x, y) in &examples {
+                wm.update(x, *y);
+            }
+        }
+        let back = WmSketch::from_snapshot_bytes(&wm.to_snapshot_bytes()).expect("round trip");
+        for f in 0..300u32 {
+            prop_assert!(back.estimate(f).to_bits() == wm.estimate(f).to_bits());
+            prop_assert!(back.estimate(f).is_finite());
+        }
+    }
+
+    /// Damaged learner snapshots — truncations and single-byte structural
+    /// corruption — reject with typed errors and never panic.
+    #[test]
+    fn wm_truncation_and_corruption_reject_cleanly(
+        raw in stream(),
+        pos in 0usize..4096,
+        delta in 1u8..255,
+    ) {
+        let examples = to_examples(&raw);
+        let mut wm = WmSketch::new(WmSketchConfig::new(16, 3).heap_capacity(4).seed(9));
+        for (x, y) in &examples {
+            wm.update(x, *y);
+        }
+        let bytes = wm.to_snapshot_bytes();
+        // A sweep of prefixes (every 7th, plus the tail region).
+        for n in (0..bytes.len()).step_by(7).chain(bytes.len() - 9..bytes.len()) {
+            prop_assert!(WmSketch::from_snapshot_bytes(&bytes[..n]).is_err(), "prefix {}", n);
+        }
+        // Single-byte corruption: typed error or benign value change.
+        let mut corrupt = bytes.clone();
+        let pos = pos % corrupt.len();
+        corrupt[pos] = corrupt[pos].wrapping_add(delta);
+        let _ = WmSketch::from_snapshot_bytes(&corrupt);
+    }
+}
+
+#[test]
+fn wrong_kind_and_foreign_magic_are_typed() {
+    let wm = WmSketch::new(WmSketchConfig::new(32, 2).seed(1));
+    let awm = AwmSketch::new(AwmSketchConfig::new(4, 32).seed(1));
+
+    assert!(matches!(
+        AwmSketch::from_snapshot_bytes(&wm.to_snapshot_bytes()),
+        Err(CodecError::WrongKind { .. })
+    ));
+    assert!(matches!(
+        WmSketch::from_snapshot_bytes(&awm.to_snapshot_bytes()),
+        Err(CodecError::WrongKind { .. })
+    ));
+
+    let mut foreign = wm.to_snapshot_bytes();
+    foreign[0..4].copy_from_slice(b"SQLi");
+    assert!(matches!(
+        WmSketch::from_snapshot_bytes(&foreign),
+        Err(CodecError::BadMagic { .. })
+    ));
+}
+
+/// The decoded seed really drives the projection: decoding a snapshot and
+/// re-encoding after identical further training matches a never-encoded
+/// twin exactly.
+#[test]
+fn decoded_model_is_a_faithful_twin() {
+    let cfg = WmSketchConfig::new(128, 4).lambda(1e-5).seed(77);
+    let mut original = WmSketch::new(cfg);
+    let stream: Vec<(SparseVector, Label)> = (0..1000)
+        .map(|t| {
+            let f = (t % 50) as u32;
+            (
+                SparseVector::from_pairs(&[(f, 1.0), (50 + (t * 7 % 100) as u32, 0.5)]),
+                if t % 2 == 0 { 1 } else { -1 },
+            )
+        })
+        .collect();
+    for (x, y) in &stream {
+        original.update(x, *y);
+    }
+    let mut twin = WmSketch::from_snapshot_bytes(&original.to_snapshot_bytes()).unwrap();
+    for (x, y) in &stream {
+        original.update(x, *y);
+        twin.update(x, *y);
+    }
+    assert_eq!(
+        twin.to_snapshot_bytes(),
+        original.to_snapshot_bytes(),
+        "post-decode training diverged from the never-encoded twin"
+    );
+}

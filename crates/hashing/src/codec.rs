@@ -1,0 +1,613 @@
+//! Byte-level foundation of the `WMS1` snapshot codec.
+//!
+//! Sketch snapshots must survive process boundaries — checkpointed to
+//! disk, shipped between ingest nodes, and summed on an aggregator (exact
+//! by Count-Sketch linearity) — so the format is a hand-rolled,
+//! self-describing, versioned little-endian binary layout with no external
+//! serialization dependencies:
+//!
+//! ```text
+//! snapshot := magic  (4 bytes, b"WMS1" — the trailing digit is the
+//!                     format version)
+//!            | kind   (u8, which structure the payload encodes)
+//!            | flags  (u8, reserved, must be 0)
+//!            | body   (a sequence of tagged sections)
+//! section  := tag (u8) | len (u32 LE, bytes of payload) | payload
+//! ```
+//!
+//! All integers are little-endian; `f64` values are stored as the raw
+//! little-endian bytes of [`f64::to_bits`], so round-trips are
+//! bit-identical (including negative zero and NaN payloads). Each
+//! structure's body layout is documented on its `SnapshotCodec`
+//! implementation; the byte-by-byte reference for the whole family lives
+//! in the `wmsketch-serve` crate docs.
+//!
+//! This module lives in `wmsketch-hashing` because every crate in the
+//! workspace already depends on it and because the one piece of state
+//! every snapshot must carry for merge compatibility — the hash-family
+//! kind and seed that pin the random projection — is owned by this crate.
+//! The concrete `SnapshotCodec` implementations live next to the private
+//! fields they serialize: `CountSketch`/`CountMinSketch` in
+//! `wmsketch-sketch`, `WmSketch`/`AwmSketch` in `wmsketch-core`, and the
+//! sub-record codecs (`ScaleState`, `LearningRate`, `LossKind`,
+//! `TopKWeights`) in `wmsketch-learn` / `wmsketch-hh`.
+
+use crate::row_hasher::HashFamilyKind;
+
+/// Magic prefix of every snapshot; the trailing ASCII digit is the format
+/// version.
+pub const MAGIC: [u8; 4] = *b"WMS1";
+
+/// Payload-kind byte for a `CountSketch` snapshot.
+pub const KIND_COUNT_SKETCH: u8 = 0x01;
+/// Payload-kind byte for a `CountMinSketch` snapshot.
+pub const KIND_COUNT_MIN: u8 = 0x02;
+/// Payload-kind byte for a `WmSketch` snapshot.
+pub const KIND_WM: u8 = 0x03;
+/// Payload-kind byte for an `AwmSketch` snapshot.
+pub const KIND_AWM: u8 = 0x04;
+
+/// A typed decoding failure. Decoders never panic on untrusted bytes —
+/// truncated, corrupted, and foreign buffers all map to a variant here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before a read completed.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes that remained.
+        have: usize,
+    },
+    /// The leading magic bytes belong to some other format entirely.
+    BadMagic {
+        /// The four bytes found where [`MAGIC`] was expected.
+        got: [u8; 4],
+    },
+    /// A `WMS`-family snapshot of a format version this build cannot read.
+    UnsupportedVersion(u8),
+    /// The payload-kind byte did not match the structure being decoded.
+    WrongKind {
+        /// Kind expected by the caller.
+        expected: u8,
+        /// Kind found in the envelope.
+        got: u8,
+    },
+    /// A section tag did not match the layout.
+    BadSection {
+        /// Tag the layout requires next.
+        expected: u8,
+        /// Tag found.
+        got: u8,
+    },
+    /// A field held a value the structure's invariants reject.
+    Invalid(&'static str),
+    /// Decoding consumed the layout but bytes remained.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { needed, have } => {
+                write!(f, "truncated snapshot: needed {needed} bytes, have {have}")
+            }
+            CodecError::BadMagic { got } => write!(f, "not a WMS snapshot (magic {got:02x?})"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported WMS format version byte {v:#04x}")
+            }
+            CodecError::WrongKind { expected, got } => {
+                write!(
+                    f,
+                    "wrong snapshot kind: expected {expected:#04x}, got {got:#04x}"
+                )
+            }
+            CodecError::BadSection { expected, got } => {
+                write!(
+                    f,
+                    "bad section tag: expected {expected:#04x}, got {got:#04x}"
+                )
+            }
+            CodecError::Invalid(what) => write!(f, "invalid snapshot field: {what}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after snapshot body"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// An append-only little-endian byte writer with section framing.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a raw byte slice.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i8` (two's complement byte).
+    pub fn put_i8(&mut self, v: i8) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends an `f64` as the little-endian bytes of its bit pattern
+    /// (bit-exact round trip, including −0.0 and NaN payloads).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes the snapshot envelope: magic, payload kind, reserved flags.
+    pub fn put_envelope(&mut self, kind: u8) {
+        self.put_bytes(&MAGIC);
+        self.put_u8(kind);
+        self.put_u8(0); // reserved flags
+    }
+
+    /// Opens a tagged section, returning a mark for
+    /// [`Writer::end_section`]. The length field is back-patched when the
+    /// section closes.
+    #[must_use]
+    pub fn begin_section(&mut self, tag: u8) -> usize {
+        self.put_u8(tag);
+        self.put_u32(0);
+        self.buf.len()
+    }
+
+    /// Closes the section opened at `mark`, patching its length field.
+    ///
+    /// # Panics
+    /// Panics if the section payload exceeds `u32::MAX` bytes or `mark`
+    /// does not come from [`Writer::begin_section`].
+    pub fn end_section(&mut self, mark: usize) {
+        let len = self.buf.len() - mark;
+        let len32 = u32::try_from(len).expect("section exceeds u32::MAX bytes");
+        self.buf[mark - 4..mark].copy_from_slice(&len32.to_le_bytes());
+    }
+}
+
+/// A bounds-checked little-endian cursor over an encoded snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Takes one byte.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] if the buffer is exhausted.
+    pub fn take_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take_bytes(1)?[0])
+    }
+
+    /// Takes a little-endian `u32`.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] if fewer than 4 bytes remain.
+    pub fn take_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take_bytes(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    /// Takes a little-endian `u64`.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] if fewer than 8 bytes remain.
+    pub fn take_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take_bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Takes an `i8`.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] if the buffer is exhausted.
+    pub fn take_i8(&mut self) -> Result<i8, CodecError> {
+        Ok(self.take_u8()? as i8)
+    }
+
+    /// Takes an `f64` stored as its raw bit pattern.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] if fewer than 8 bytes remain.
+    pub fn take_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads and validates the snapshot envelope, returning an error if
+    /// the magic, version, kind, or flags do not match.
+    ///
+    /// # Errors
+    /// [`CodecError::BadMagic`] for foreign buffers,
+    /// [`CodecError::UnsupportedVersion`] for `WMS` snapshots of another
+    /// version, [`CodecError::WrongKind`] on a kind mismatch.
+    pub fn expect_envelope(&mut self, kind: u8) -> Result<(), CodecError> {
+        let magic: [u8; 4] = self.take_bytes(4)?.try_into().expect("4-byte slice");
+        if magic != MAGIC {
+            if magic[..3] == MAGIC[..3] {
+                return Err(CodecError::UnsupportedVersion(magic[3]));
+            }
+            return Err(CodecError::BadMagic { got: magic });
+        }
+        let got = self.take_u8()?;
+        if got != kind {
+            return Err(CodecError::WrongKind {
+                expected: kind,
+                got,
+            });
+        }
+        if self.take_u8()? != 0 {
+            return Err(CodecError::Invalid("reserved envelope flags must be 0"));
+        }
+        Ok(())
+    }
+
+    /// Reads a section header, checks its tag, and returns a sub-reader
+    /// restricted to the section payload (the parent cursor advances past
+    /// the whole section).
+    ///
+    /// # Errors
+    /// [`CodecError::BadSection`] on a tag mismatch,
+    /// [`CodecError::Truncated`] if the declared length overruns the
+    /// buffer.
+    pub fn expect_section(&mut self, tag: u8) -> Result<Reader<'a>, CodecError> {
+        let got = self.take_u8()?;
+        if got != tag {
+            return Err(CodecError::BadSection { expected: tag, got });
+        }
+        let len = self.take_u32()? as usize;
+        Ok(Reader::new(self.take_bytes(len)?))
+    }
+
+    /// Asserts the reader is fully consumed.
+    ///
+    /// # Errors
+    /// [`CodecError::TrailingBytes`] if bytes remain.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            return Err(CodecError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+/// Encodes an `f64` array as a tagged section:
+/// `tag | len (u32) | count (u64) | count × f64` (raw bit patterns).
+/// Shared by every cell-carrying snapshot (Count-Sketch, Count-Min,
+/// WM-/AWM-Sketch).
+pub fn put_f64_section(w: &mut Writer, tag: u8, values: &[f64]) {
+    let mark = w.begin_section(tag);
+    w.put_u64(values.len() as u64);
+    for &v in values {
+        w.put_f64(v);
+    }
+    w.end_section(mark);
+}
+
+/// Decodes an array written by [`put_f64_section`], validating the stored
+/// count against `expected` and bounding the allocation by the section's
+/// actual length (so a corrupted count cannot demand an absurd
+/// reservation).
+///
+/// # Errors
+/// Any [`CodecError`] on a tag mismatch, count mismatch, or truncation.
+pub fn take_f64_section(
+    r: &mut Reader<'_>,
+    tag: u8,
+    expected: usize,
+) -> Result<Vec<f64>, CodecError> {
+    let mut s = r.expect_section(tag)?;
+    let n = s.take_u64()?;
+    if n != expected as u64 {
+        return Err(CodecError::Invalid("array count does not match header"));
+    }
+    if s.remaining() < expected.saturating_mul(8) {
+        return Err(CodecError::Truncated {
+            needed: expected.saturating_mul(8),
+            have: s.remaining(),
+        });
+    }
+    let mut values = Vec::with_capacity(expected);
+    for _ in 0..expected {
+        values.push(s.take_f64()?);
+    }
+    s.finish()?;
+    Ok(values)
+}
+
+/// Hash-family kind tag: tabulation.
+const FAMILY_TABULATION: u8 = 0;
+/// Hash-family kind tag: k-wise polynomial.
+const FAMILY_POLYNOMIAL: u8 = 1;
+
+/// Largest polynomial independence level a snapshot may declare.
+/// `PolyHash::new(k)` allocates and computes `O(k)` state per sketch row,
+/// so an unbounded decoded `k` would let a crafted snapshot demand an
+/// absurd allocation; real configurations use `k = Θ(log d)` (single
+/// digits to low tens).
+pub const MAX_POLY_INDEPENDENCE: usize = 512;
+
+/// Encodes a [`HashFamilyKind`] (one tag byte, plus the independence level
+/// for the polynomial family).
+pub fn put_hash_family(w: &mut Writer, kind: HashFamilyKind) {
+    match kind {
+        HashFamilyKind::Tabulation => w.put_u8(FAMILY_TABULATION),
+        HashFamilyKind::Polynomial(k) => {
+            w.put_u8(FAMILY_POLYNOMIAL);
+            w.put_u32(u32::try_from(k).expect("independence level fits u32"));
+        }
+    }
+}
+
+/// Decodes a [`HashFamilyKind`] written by [`put_hash_family`].
+///
+/// # Errors
+/// [`CodecError::Invalid`] on an unknown family tag or a polynomial
+/// independence level outside `1..=`[`MAX_POLY_INDEPENDENCE`];
+/// [`CodecError::Truncated`] on short input.
+pub fn take_hash_family(r: &mut Reader<'_>) -> Result<HashFamilyKind, CodecError> {
+    match r.take_u8()? {
+        FAMILY_TABULATION => Ok(HashFamilyKind::Tabulation),
+        FAMILY_POLYNOMIAL => {
+            let k = r.take_u32()? as usize;
+            if k == 0 {
+                return Err(CodecError::Invalid("polynomial independence level is 0"));
+            }
+            if k > MAX_POLY_INDEPENDENCE {
+                return Err(CodecError::Invalid(
+                    "polynomial independence level is implausibly large",
+                ));
+            }
+            Ok(HashFamilyKind::Polynomial(k))
+        }
+        _ => Err(CodecError::Invalid("unknown hash-family tag")),
+    }
+}
+
+/// A structure that round-trips through a standalone `WMS1` snapshot.
+///
+/// Implementations serialize *every* field that determines future
+/// behavior — cells, seeds, hash-family kind, scale state, heap contents —
+/// so a decoded instance is merge-compatible with its origin and evolves
+/// identically under further updates.
+pub trait SnapshotCodec: Sized {
+    /// The envelope payload-kind byte identifying this structure.
+    const KIND: u8;
+
+    /// Appends the body sections (everything after the envelope).
+    fn encode_body(&self, w: &mut Writer);
+
+    /// Decodes the body sections written by
+    /// [`SnapshotCodec::encode_body`].
+    ///
+    /// # Errors
+    /// Any [`CodecError`] on truncated, corrupted, or invalid input.
+    fn decode_body(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Encodes a complete snapshot: envelope plus body.
+    #[must_use]
+    fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_envelope(Self::KIND);
+        self.encode_body(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a complete snapshot, rejecting trailing bytes.
+    ///
+    /// # Errors
+    /// Any [`CodecError`]; never panics on untrusted input.
+    fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        r.expect_envelope(Self::KIND)?;
+        let out = Self::decode_body(&mut r)?;
+        r.finish()?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_i8(-3);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert_eq!(r.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.take_i8().unwrap(), -3);
+        assert_eq!(r.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.take_f64().unwrap().is_nan());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_typed_not_a_panic() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(
+            r.take_u32(),
+            Err(CodecError::Truncated { needed: 4, have: 2 })
+        );
+    }
+
+    #[test]
+    fn sections_nest_and_patch_lengths() {
+        let mut w = Writer::new();
+        let m = w.begin_section(0x10);
+        w.put_u32(42);
+        w.end_section(m);
+        w.put_u8(0xFF); // trailing data outside the section
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let mut s = r.expect_section(0x10).unwrap();
+        assert_eq!(s.take_u32().unwrap(), 42);
+        s.finish().unwrap();
+        assert_eq!(r.take_u8().unwrap(), 0xFF);
+    }
+
+    #[test]
+    fn envelope_rejections_are_typed() {
+        let mut w = Writer::new();
+        w.put_envelope(KIND_WM);
+        let good = w.into_bytes();
+
+        let mut r = Reader::new(&good);
+        r.expect_envelope(KIND_WM).unwrap();
+
+        let mut foreign = good.clone();
+        foreign[0] = b'P';
+        assert!(matches!(
+            Reader::new(&foreign).expect_envelope(KIND_WM),
+            Err(CodecError::BadMagic { .. })
+        ));
+
+        let mut vnext = good.clone();
+        vnext[3] = b'2';
+        assert_eq!(
+            Reader::new(&vnext).expect_envelope(KIND_WM),
+            Err(CodecError::UnsupportedVersion(b'2'))
+        );
+
+        assert_eq!(
+            Reader::new(&good).expect_envelope(KIND_AWM),
+            Err(CodecError::WrongKind {
+                expected: KIND_AWM,
+                got: KIND_WM
+            })
+        );
+    }
+
+    #[test]
+    fn hash_family_round_trip() {
+        for kind in [
+            HashFamilyKind::Tabulation,
+            HashFamilyKind::Polynomial(4),
+            HashFamilyKind::Polynomial(11),
+        ] {
+            let mut w = Writer::new();
+            put_hash_family(&mut w, kind);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(take_hash_family(&mut r).unwrap(), kind);
+            r.finish().unwrap();
+        }
+        let mut r = Reader::new(&[9]);
+        assert!(matches!(
+            take_hash_family(&mut r),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn hash_family_rejects_implausible_independence_levels() {
+        // A crafted snapshot must not be able to demand O(k) work and
+        // allocation per row through an absurd polynomial k.
+        let mut w = Writer::new();
+        w.put_u8(1); // polynomial tag
+        w.put_u32(u32::MAX - 1);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            take_hash_family(&mut Reader::new(&bytes)),
+            Err(CodecError::Invalid(_))
+        ));
+        let mut w = Writer::new();
+        put_hash_family(&mut w, HashFamilyKind::Polynomial(MAX_POLY_INDEPENDENCE));
+        let bytes = w.into_bytes();
+        assert!(take_hash_family(&mut Reader::new(&bytes)).is_ok());
+    }
+
+    #[test]
+    fn section_length_overrun_is_truncation() {
+        let mut w = Writer::new();
+        let m = w.begin_section(0x01);
+        w.put_u64(1);
+        w.end_section(m);
+        let mut bytes = w.into_bytes();
+        // Corrupt the declared length upward: the section now overruns.
+        bytes[1] = 0xFF;
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.expect_section(0x01),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+}

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod fastmap;
 pub mod mix;
 pub mod murmur3;
@@ -25,6 +26,7 @@ pub mod poly;
 pub mod row_hasher;
 pub mod tabulation;
 
+pub use codec::{CodecError, Reader, SnapshotCodec, Writer};
 pub use fastmap::{FastBuildHasher, FastHashMap, FastHashSet};
 pub use mix::{fast_range, splitmix64, SplitMix64};
 pub use murmur3::murmur3_32;

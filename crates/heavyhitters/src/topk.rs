@@ -199,6 +199,67 @@ impl TopKWeights {
             self.weights.remove(&f);
         }
     }
+
+    /// Appends this tracker to a snapshot:
+    /// `capacity (u64) | count (u64) | count × (feature u32, weight f64)`,
+    /// entries in ascending feature order so the bytes are canonical (the
+    /// internal map's iteration order never leaks into the encoding).
+    pub fn encode_into(&self, w: &mut wmsketch_hashing::codec::Writer) {
+        w.put_u64(self.capacity as u64);
+        w.put_u64(self.len() as u64);
+        let mut entries: Vec<WeightEntry> = self.iter().collect();
+        entries.sort_by_key(|e| e.feature);
+        for e in entries {
+            w.put_u32(e.feature);
+            w.put_f64(e.weight);
+        }
+    }
+
+    /// Decodes a tracker written by [`TopKWeights::encode_into`]. Entries
+    /// are re-offered in the stored (feature-ascending) order, so decoding
+    /// is deterministic regardless of the encoder's insertion history.
+    ///
+    /// The stored capacity must equal `expected_capacity` (decoding
+    /// validates model state against its config *before* allocating, so a
+    /// corrupted capacity field cannot demand an absurd reservation).
+    ///
+    /// # Errors
+    /// [`wmsketch_hashing::codec::CodecError`] on truncation, a capacity
+    /// mismatch, a zero capacity, more entries than capacity, a duplicate
+    /// feature, or a NaN weight.
+    pub fn decode_from(
+        r: &mut wmsketch_hashing::codec::Reader<'_>,
+        expected_capacity: usize,
+    ) -> Result<Self, wmsketch_hashing::codec::CodecError> {
+        use wmsketch_hashing::codec::CodecError;
+        let capacity = r.take_u64()?;
+        let count = r.take_u64()?;
+        if capacity == 0 {
+            return Err(CodecError::Invalid("top-K capacity is 0"));
+        }
+        if capacity != expected_capacity as u64 {
+            return Err(CodecError::Invalid(
+                "top-K capacity does not match the expected configuration",
+            ));
+        }
+        if count > capacity {
+            return Err(CodecError::Invalid("top-K entry count exceeds capacity"));
+        }
+        let capacity = expected_capacity;
+        let mut tracker = Self::new(capacity);
+        for _ in 0..count {
+            let feature = r.take_u32()?;
+            let weight = r.take_f64()?;
+            if weight.is_nan() {
+                return Err(CodecError::Invalid("NaN top-K weight"));
+            }
+            if tracker.contains(feature) {
+                return Err(CodecError::Invalid("duplicate top-K feature"));
+            }
+            tracker.offer(feature, weight);
+        }
+        Ok(tracker)
+    }
 }
 
 #[cfg(test)]
@@ -314,5 +375,55 @@ mod tests {
     #[should_panic(expected = "capacity must be nonzero")]
     fn zero_capacity_panics() {
         let _ = TopKWeights::new(0);
+    }
+
+    #[test]
+    fn codec_round_trip_is_canonical() {
+        let mut t = TopKWeights::new(8);
+        for (f, w) in [(9, -3.5), (1, 0.25), (400, 2.0), (7, -0.0)] {
+            t.offer(f, w);
+        }
+        let mut w = wmsketch_hashing::codec::Writer::new();
+        t.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = wmsketch_hashing::codec::Reader::new(&bytes);
+        let back = TopKWeights::decode_from(&mut r, 8).unwrap();
+        r.finish().unwrap();
+        assert!(matches!(
+            TopKWeights::decode_from(&mut wmsketch_hashing::codec::Reader::new(&bytes), 9),
+            Err(wmsketch_hashing::codec::CodecError::Invalid(_))
+        ));
+        assert_eq!(back.capacity(), 8);
+        assert_eq!(back.len(), 4);
+        assert_eq!(back.get(7), Some(-0.0));
+        assert_eq!(back.get(9), Some(-3.5));
+        // Re-encoding yields identical bytes even though the decoded
+        // tracker was built by a different insertion history.
+        let mut w2 = wmsketch_hashing::codec::Writer::new();
+        back.encode_into(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn codec_rejects_overfull_and_duplicates() {
+        use wmsketch_hashing::codec::{CodecError, Reader, Writer};
+        let mut w = Writer::new();
+        w.put_u64(1); // capacity
+        w.put_u64(2); // count > capacity
+        assert!(matches!(
+            TopKWeights::decode_from(&mut Reader::new(&w.into_bytes()), 1),
+            Err(CodecError::Invalid(_))
+        ));
+        let mut w = Writer::new();
+        w.put_u64(4);
+        w.put_u64(2);
+        for _ in 0..2 {
+            w.put_u32(5);
+            w.put_f64(1.0);
+        }
+        assert!(matches!(
+            TopKWeights::decode_from(&mut Reader::new(&w.into_bytes()), 4),
+            Err(CodecError::Invalid(_))
+        ));
     }
 }

@@ -131,6 +131,39 @@ pub enum LossKind {
     Squared,
 }
 
+impl LossKind {
+    /// Appends this loss to a snapshot: `tag (u8)` with tags 0 = logistic,
+    /// 1 = smoothed hinge (followed by `γ (f64)`), 2 = squared.
+    pub fn encode_into(&self, w: &mut wmsketch_hashing::codec::Writer) {
+        match *self {
+            LossKind::Logistic => w.put_u8(0),
+            LossKind::SmoothedHinge(g) => {
+                w.put_u8(1);
+                w.put_f64(g);
+            }
+            LossKind::Squared => w.put_u8(2),
+        }
+    }
+
+    /// Decodes a loss written by [`LossKind::encode_into`].
+    ///
+    /// # Errors
+    /// [`wmsketch_hashing::codec::CodecError`] on truncation or an unknown
+    /// loss tag.
+    pub fn decode_from(
+        r: &mut wmsketch_hashing::codec::Reader<'_>,
+    ) -> Result<Self, wmsketch_hashing::codec::CodecError> {
+        match r.take_u8()? {
+            0 => Ok(LossKind::Logistic),
+            1 => Ok(LossKind::SmoothedHinge(r.take_f64()?)),
+            2 => Ok(LossKind::Squared),
+            _ => Err(wmsketch_hashing::codec::CodecError::Invalid(
+                "unknown loss tag",
+            )),
+        }
+    }
+}
+
 impl Loss for LossKind {
     #[inline]
     fn value(&self, margin: f64) -> f64 {

@@ -81,6 +81,31 @@ impl ScaleState {
     pub fn load(&self, stored: f64) -> f64 {
         stored * self.alpha
     }
+
+    /// Appends this scale to a snapshot: `alpha (f64) | threshold (f64)`,
+    /// both as raw bit patterns so the round trip is bit-identical.
+    pub fn encode_into(&self, w: &mut wmsketch_hashing::codec::Writer) {
+        w.put_f64(self.alpha);
+        w.put_f64(self.threshold);
+    }
+
+    /// Decodes a scale written by [`ScaleState::encode_into`].
+    ///
+    /// # Errors
+    /// [`wmsketch_hashing::codec::CodecError`] on truncation or a
+    /// non-positive / non-finite stored value.
+    pub fn decode_from(
+        r: &mut wmsketch_hashing::codec::Reader<'_>,
+    ) -> Result<Self, wmsketch_hashing::codec::CodecError> {
+        let alpha = r.take_f64()?;
+        let threshold = r.take_f64()?;
+        if !(alpha.is_finite() && alpha > 0.0 && threshold.is_finite() && threshold > 0.0) {
+            return Err(wmsketch_hashing::codec::CodecError::Invalid(
+                "scale alpha/threshold must be positive and finite",
+            ));
+        }
+        Ok(Self { alpha, threshold })
+    }
 }
 
 #[cfg(test)]

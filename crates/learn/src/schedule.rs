@@ -45,6 +45,38 @@ impl LearningRate {
             LearningRate::Constant(e0) | LearningRate::InvSqrt(e0) | LearningRate::InvT(e0) => e0,
         }
     }
+
+    /// Appends this schedule to a snapshot: `tag (u8) | eta0 (f64)` with
+    /// tags 0 = constant, 1 = `1/√t`, 2 = `1/t`.
+    pub fn encode_into(&self, w: &mut wmsketch_hashing::codec::Writer) {
+        let tag: u8 = match self {
+            LearningRate::Constant(_) => 0,
+            LearningRate::InvSqrt(_) => 1,
+            LearningRate::InvT(_) => 2,
+        };
+        w.put_u8(tag);
+        w.put_f64(self.eta0());
+    }
+
+    /// Decodes a schedule written by [`LearningRate::encode_into`].
+    ///
+    /// # Errors
+    /// [`wmsketch_hashing::codec::CodecError`] on truncation or an unknown
+    /// schedule tag.
+    pub fn decode_from(
+        r: &mut wmsketch_hashing::codec::Reader<'_>,
+    ) -> Result<Self, wmsketch_hashing::codec::CodecError> {
+        let tag = r.take_u8()?;
+        let eta0 = r.take_f64()?;
+        match tag {
+            0 => Ok(LearningRate::Constant(eta0)),
+            1 => Ok(LearningRate::InvSqrt(eta0)),
+            2 => Ok(LearningRate::InvT(eta0)),
+            _ => Err(wmsketch_hashing::codec::CodecError::Invalid(
+                "unknown learning-rate schedule tag",
+            )),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,188 @@
+//! A small blocking client for the serve protocol, used by the tests,
+//! the benchmark harness, and `examples/serve_quickstart.rs`.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use wmsketch_core::WeightEntry;
+use wmsketch_hashing::codec::{Reader, Writer};
+use wmsketch_learn::{Label, SparseVector};
+
+use crate::error::ServeError;
+use crate::protocol::{
+    put_examples, put_features, read_frame, request, write_frame, OP_CHECKPOINT, OP_ESTIMATE,
+    OP_MERGE, OP_PREDICT, OP_RESET, OP_RESTORE, OP_SHUTDOWN, OP_SNAPSHOT, OP_STATS, OP_TOPK,
+    OP_UPDATE, STATUS_OK,
+};
+use crate::server::ServeStats;
+
+/// One connection to a serving node.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a node.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// One request/response round trip; unwraps the status byte.
+    fn call(&mut self, body: &[u8]) -> Result<Vec<u8>, ServeError> {
+        write_frame(&mut self.stream, body)?;
+        let Some(resp) = read_frame(&mut self.stream)? else {
+            return Err(ServeError::Protocol("connection closed mid-request"));
+        };
+        let mut r = Reader::new(&resp);
+        let status = r
+            .take_u8()
+            .map_err(|_| ServeError::Protocol("empty response"))?;
+        let payload = resp[1..].to_vec();
+        if status == STATUS_OK {
+            Ok(payload)
+        } else {
+            Err(ServeError::Remote(
+                String::from_utf8_lossy(&payload).into_owned(),
+            ))
+        }
+    }
+
+    /// Ingests a batch of labelled examples; returns the node's routed
+    /// example count after the batch.
+    ///
+    /// # Errors
+    /// Any [`ServeError`].
+    pub fn update_batch(&mut self, batch: &[(SparseVector, Label)]) -> Result<u64, ServeError> {
+        let mut w = Writer::new();
+        put_examples(&mut w, batch);
+        let resp = self.call(&request(OP_UPDATE, w))?;
+        Ok(Reader::new(&resp).take_u64()?)
+    }
+
+    /// Predicts one example; returns `(margin, label)`.
+    ///
+    /// # Errors
+    /// Any [`ServeError`].
+    pub fn predict(&mut self, x: &SparseVector) -> Result<(f64, Label), ServeError> {
+        let mut w = Writer::new();
+        put_features(&mut w, x);
+        let resp = self.call(&request(OP_PREDICT, w))?;
+        let mut r = Reader::new(&resp);
+        let margin = r.take_f64()?;
+        let label = r.take_i8()?;
+        Ok((margin, label))
+    }
+
+    /// Point estimate of one feature's weight.
+    ///
+    /// # Errors
+    /// Any [`ServeError`].
+    pub fn estimate(&mut self, feature: u32) -> Result<f64, ServeError> {
+        let mut w = Writer::new();
+        w.put_u32(feature);
+        let resp = self.call(&request(OP_ESTIMATE, w))?;
+        Ok(Reader::new(&resp).take_f64()?)
+    }
+
+    /// The node's top-`k` features by |weight|.
+    ///
+    /// # Errors
+    /// Any [`ServeError`].
+    pub fn top_k(&mut self, k: u32) -> Result<Vec<WeightEntry>, ServeError> {
+        let mut w = Writer::new();
+        w.put_u32(k);
+        let resp = self.call(&request(OP_TOPK, w))?;
+        let mut r = Reader::new(&resp);
+        let count = r.take_u32()?;
+        let mut out = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let feature = r.take_u32()?;
+            let weight = r.take_f64()?;
+            out.push(WeightEntry { feature, weight });
+        }
+        Ok(out)
+    }
+
+    /// A `WMS1` snapshot of the node's synced model.
+    ///
+    /// # Errors
+    /// Any [`ServeError`].
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, ServeError> {
+        self.call(&request(OP_SNAPSHOT, Writer::new()))
+    }
+
+    /// Ships a snapshot to the node, which folds it into its model;
+    /// returns the node's root example clock after the merge.
+    ///
+    /// # Errors
+    /// Any [`ServeError`].
+    pub fn merge_snapshot(&mut self, snapshot: &[u8]) -> Result<u64, ServeError> {
+        let mut w = Writer::new();
+        w.put_bytes(snapshot);
+        let resp = self.call(&request(OP_MERGE, w))?;
+        Ok(Reader::new(&resp).take_u64()?)
+    }
+
+    /// Writes a checkpoint file on the server; returns its size in bytes.
+    ///
+    /// # Errors
+    /// Any [`ServeError`].
+    pub fn checkpoint(&mut self, path: &str) -> Result<u64, ServeError> {
+        let resp = self.call(&request(OP_CHECKPOINT, path_payload(path)))?;
+        Ok(Reader::new(&resp).take_u64()?)
+    }
+
+    /// Replaces the node's model with a server-side checkpoint file;
+    /// returns the restored root example clock.
+    ///
+    /// # Errors
+    /// Any [`ServeError`].
+    pub fn restore(&mut self, path: &str) -> Result<u64, ServeError> {
+        let resp = self.call(&request(OP_RESTORE, path_payload(path)))?;
+        Ok(Reader::new(&resp).take_u64()?)
+    }
+
+    /// The node's counters and sync status.
+    ///
+    /// # Errors
+    /// Any [`ServeError`].
+    pub fn stats(&mut self) -> Result<ServeStats, ServeError> {
+        let resp = self.call(&request(OP_STATS, Writer::new()))?;
+        let mut r = Reader::new(&resp);
+        Ok(ServeStats {
+            routed: r.take_u64()?,
+            root_examples: r.take_u64()?,
+            shards: r.take_u32()?,
+            synced: r.take_u8()? != 0,
+        })
+    }
+
+    /// Discards the node's model state.
+    ///
+    /// # Errors
+    /// Any [`ServeError`].
+    pub fn reset(&mut self) -> Result<(), ServeError> {
+        self.call(&request(OP_RESET, Writer::new()))?;
+        Ok(())
+    }
+
+    /// Asks the node to stop accepting connections and drain.
+    ///
+    /// # Errors
+    /// Any [`ServeError`].
+    pub fn shutdown_server(&mut self) -> Result<(), ServeError> {
+        self.call(&request(OP_SHUTDOWN, Writer::new()))?;
+        Ok(())
+    }
+}
+
+fn path_payload(path: &str) -> Writer {
+    let mut w = Writer::new();
+    w.put_u32(path.len() as u32);
+    w.put_bytes(path.as_bytes());
+    w
+}

@@ -1,0 +1,50 @@
+//! Error type shared by the client and server halves of the service.
+
+use wmsketch_hashing::codec::CodecError;
+
+/// Anything that can go wrong speaking the wire protocol.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket or file operation failed.
+    Io(std::io::Error),
+    /// A snapshot or payload failed to decode.
+    Codec(CodecError),
+    /// The peer reported an error (the server's `ERR` status); the string
+    /// is the peer's message.
+    Remote(String),
+    /// The peer violated the framing or payload layout.
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Codec(e) => write!(f, "codec error: {e}"),
+            ServeError::Remote(msg) => write!(f, "remote error: {msg}"),
+            ServeError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<CodecError> for ServeError {
+    fn from(e: CodecError) -> Self {
+        ServeError::Codec(e)
+    }
+}

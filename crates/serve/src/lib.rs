@@ -1,0 +1,134 @@
+//! # wmsketch-serve — snapshot codec + streaming ingest/query service
+//!
+//! The paper's headline use case is memory-budgeted classification
+//! *inside* network devices and stream processors, which means sketches
+//! must survive process boundaries: checkpointed, shipped between nodes,
+//! and aggregated. Because the WM-Sketch is a **linear** sketch, a
+//! snapshot shipped from one node and cell-wise added on another is
+//! *exactly* the sketch of the combined gradient streams (the
+//! turnstile/linear-sketch equivalence of Kallaugher & Price) — so a
+//! fleet of ingest nodes can train independently and an aggregator can
+//! recover the same model a single node would have produced under the
+//! same routing. This crate externalizes that: a versioned binary
+//! snapshot format plus a TCP service speaking it.
+//!
+//! * [`WmServer`] / [`ServerHandle`] — a [`std::net::TcpListener`] accept
+//!   loop, one worker thread per connection, all feeding a shared
+//!   [`wmsketch_core::ShardedLearner`] pool; graceful drain on shutdown.
+//! * [`ServeClient`] — a small blocking client used by the tests, the
+//!   benchmark harness, and `examples/serve_quickstart.rs`.
+//! * The snapshot codec itself lives with the types it serializes
+//!   (`SnapshotCodec` impls in `wmsketch-sketch` and `wmsketch-core`,
+//!   byte primitives in `wmsketch_hashing::codec`); this crate is its
+//!   transport and its on-disk checkpoint format.
+//!
+//! ## Snapshot layout (`WMS1`), byte by byte
+//!
+//! All integers are little-endian. `f64` fields are the 8 raw bytes of
+//! [`f64::to_bits`], making round trips bit-identical (including `-0.0`
+//! and NaN payloads).
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic: 57 4D 53 31 ("WMS1"; byte 3 is the format version)
+//! 4       1     payload kind: 01 CountSketch, 02 CountMinSketch,
+//!               03 WmSketch, 04 AwmSketch
+//! 5       1     flags (reserved, must be 00)
+//! 6       ...   body: a sequence of sections, each
+//!                 tag (1 byte) | len (u32, payload bytes) | payload
+//! ```
+//!
+//! `WmSketch` (kind `03`) body sections, in order:
+//!
+//! ```text
+//! tag 01 CONFIG   width (u32) | depth (u32) | heap_capacity (u64)
+//!               | lambda (f64)
+//!               | learning-rate tag (u8: 00 constant, 01 1/sqrt(t),
+//!                 02 1/t) | eta0 (f64)
+//!               | loss tag (u8: 00 logistic, 01 smoothed hinge
+//!                 (followed by gamma f64), 02 squared)
+//!               | hash-family tag (u8: 00 tabulation, 01 polynomial
+//!                 (followed by independence k, u32))
+//!               | seed (u64)
+//! tag 02 CELLS    count (u64, = depth x width) | count x f64
+//!                 (row-major pre-scale cells z_v)
+//! tag 03 STATE    t (u64, update clock) | alpha (f64, global scale)
+//!               | fold threshold (f64)
+//! tag 04 TOPK     present (u8: 00 no heap, 01 heap follows)
+//!               | [capacity (u64) | count (u64)
+//!               |  count x (feature u32 | weight f64),
+//!                  feature-ascending]
+//! ```
+//!
+//! `AwmSketch` (kind `04`) uses the same CONFIG/CELLS/STATE sections; its
+//! TOPK section has no presence flag (the active set is integral model
+//! state) and its weights are *exact* pre-scale model weights rather than
+//! stale estimates. `CountSketch` (kind `01`) and `CountMinSketch`
+//! (kind `02`) bodies are documented on their `SnapshotCodec` impls in
+//! `wmsketch-sketch`.
+//!
+//! The CONFIG section carries the hash-family kind **and seed**, so a
+//! decoded sketch reconstructs the identical projection and is
+//! merge-compatible with its origin — the property the MERGE op depends
+//! on.
+//!
+//! ## Wire protocol, byte by byte
+//!
+//! Both directions speak length-prefixed frames over TCP:
+//!
+//! ```text
+//! frame    := len (u32, body bytes, <= 64 MiB) | body
+//! request  := opcode (u8) | payload
+//! response := status (u8: 00 OK, 01 ERR) | payload
+//!             (ERR payload is a UTF-8 message)
+//! ```
+//!
+//! Shared payload encodings:
+//!
+//! ```text
+//! features := nnz (u32) | nnz x (index u32 | value f64)
+//! example  := label (i8, +1/-1) | features
+//! batch    := count (u32) | count x example
+//! path     := len (u32) | UTF-8 bytes
+//! ```
+//!
+//! Opcodes and their payloads:
+//!
+//! | op | name | request payload | OK response payload |
+//! |----|------|-----------------|---------------------|
+//! | `01` | UPDATE | batch | routed examples (u64) |
+//! | `02` | PREDICT | features | margin (f64) \| label (i8) |
+//! | `03` | TOPK | k (u32) | count (u32) \| count × (feature u32 \| weight f64) |
+//! | `04` | SNAPSHOT | — | snapshot bytes |
+//! | `05` | MERGE | snapshot bytes | root example clock (u64) |
+//! | `06` | CHECKPOINT | path | bytes written (u64) |
+//! | `07` | RESTORE | path | root example clock (u64) |
+//! | `08` | ESTIMATE | feature (u32) | weight (f64) |
+//! | `09` | STATS | — | routed (u64) \| root clock (u64) \| shards (u32) \| synced (u8) |
+//! | `0A` | RESET | — | — |
+//! | `0B` | SHUTDOWN | — | — (server drains afterwards) |
+//!
+//! Query ops (PREDICT/ESTIMATE/TOPK/SNAPSHOT/CHECKPOINT) sync the shard
+//! pool first, so responses always reflect every ingested example. MERGE
+//! folds the peer model into the node's *sync base*, so it survives later
+//! syncs and composes with live ingest.
+//!
+//! ## Trust model
+//!
+//! This is an internal aggregation protocol for nodes that already trust
+//! each other, not a public endpoint: CHECKPOINT/RESTORE paths are used
+//! verbatim on the server's filesystem and there is no authentication.
+//! Decoders, however, never panic on malformed bytes — corrupt frames
+//! and snapshots produce typed errors (`ERR` responses), so a bad peer
+//! cannot crash a node.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+
+pub use client::ServeClient;
+pub use error::ServeError;
+pub use server::{ServeConfig, ServeStats, ServerHandle, WmServer};

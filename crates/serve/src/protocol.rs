@@ -1,0 +1,212 @@
+//! Frame layer and payload codecs of the wire protocol.
+//!
+//! See the crate docs for the byte-by-byte reference. Everything here is
+//! symmetric: the client encodes what the server decodes and vice versa,
+//! using the same [`Writer`]/[`Reader`] primitives as the snapshot codec.
+
+use std::io::{Read, Write as IoWrite};
+
+use wmsketch_learn::{Label, SparseVector};
+
+use wmsketch_hashing::codec::{CodecError, Reader, Writer};
+
+use crate::error::ServeError;
+
+/// Hard upper bound on a frame body, protecting both sides from corrupted
+/// or hostile length prefixes (64 MiB comfortably holds the largest
+/// realistic snapshot: a 2^23-cell sketch).
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// Request opcode: batch ingest of labelled examples.
+pub const OP_UPDATE: u8 = 0x01;
+/// Request opcode: predict the label of one unlabelled example.
+pub const OP_PREDICT: u8 = 0x02;
+/// Request opcode: recover the top-K weighted features.
+pub const OP_TOPK: u8 = 0x03;
+/// Request opcode: return a `WMS1` snapshot of the synced model.
+pub const OP_SNAPSHOT: u8 = 0x04;
+/// Request opcode: fold a peer snapshot into this node (exact by sketch
+/// linearity).
+pub const OP_MERGE: u8 = 0x05;
+/// Request opcode: write a snapshot to a server-side file.
+pub const OP_CHECKPOINT: u8 = 0x06;
+/// Request opcode: replace the model with a server-side checkpoint file.
+pub const OP_RESTORE: u8 = 0x07;
+/// Request opcode: point estimate of one feature's weight.
+pub const OP_ESTIMATE: u8 = 0x08;
+/// Request opcode: counters and sync status.
+pub const OP_STATS: u8 = 0x09;
+/// Request opcode: discard all model state and start fresh.
+pub const OP_RESET: u8 = 0x0A;
+/// Request opcode: stop accepting connections and drain the server.
+pub const OP_SHUTDOWN: u8 = 0x0B;
+
+/// Response status: success; the payload is op-specific.
+pub const STATUS_OK: u8 = 0x00;
+/// Response status: failure; the payload is a UTF-8 message.
+pub const STATUS_ERR: u8 = 0x01;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+/// Propagates socket errors; rejects bodies over [`MAX_FRAME_LEN`].
+pub fn write_frame(w: &mut impl IoWrite, body: &[u8]) -> Result<(), ServeError> {
+    let len = u32::try_from(body.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN);
+    let Some(len) = len else {
+        return Err(ServeError::Protocol("frame body exceeds MAX_FRAME_LEN"));
+    };
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary.
+///
+/// # Errors
+/// Propagates socket errors; rejects length prefixes over
+/// [`MAX_FRAME_LEN`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ServeError> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(ServeError::Protocol("frame length exceeds MAX_FRAME_LEN"));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Encodes one feature vector: `nnz (u32) | nnz × (index u32, value f64)`.
+pub fn put_features(w: &mut Writer, x: &SparseVector) {
+    w.put_u32(x.nnz() as u32);
+    for (i, v) in x.iter() {
+        w.put_u32(i);
+        w.put_f64(v);
+    }
+}
+
+/// Decodes a feature vector written by [`put_features`]. Input pairs are
+/// re-canonicalized (sorted, duplicates summed), so hostile encodings
+/// cannot violate `SparseVector`'s invariants.
+///
+/// # Errors
+/// [`CodecError`] on truncation.
+pub fn take_features(r: &mut Reader<'_>) -> Result<SparseVector, CodecError> {
+    let nnz = r.take_u32()? as usize;
+    // nnz is bounded by the frame the reader wraps (≤ MAX_FRAME_LEN), and
+    // each entry needs 12 bytes, so the reservation below is safe.
+    if r.remaining() < nnz.saturating_mul(12) {
+        return Err(CodecError::Truncated {
+            needed: nnz.saturating_mul(12),
+            have: r.remaining(),
+        });
+    }
+    let mut pairs = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        let i = r.take_u32()?;
+        let v = r.take_f64()?;
+        pairs.push((i, v));
+    }
+    Ok(SparseVector::from_pairs(&pairs))
+}
+
+/// Encodes a labelled example batch:
+/// `count (u32) | count × (label i8 | features)`.
+pub fn put_examples(w: &mut Writer, batch: &[(SparseVector, Label)]) {
+    w.put_u32(batch.len() as u32);
+    for (x, y) in batch {
+        w.put_i8(*y);
+        put_features(w, x);
+    }
+}
+
+/// Decodes a batch written by [`put_examples`], validating every label is
+/// `±1`.
+///
+/// # Errors
+/// [`CodecError`] on truncation or an out-of-domain label.
+pub fn take_examples(r: &mut Reader<'_>) -> Result<Vec<(SparseVector, Label)>, CodecError> {
+    let count = r.take_u32()? as usize;
+    let mut batch = Vec::with_capacity(count.min(r.remaining()));
+    for _ in 0..count {
+        let y = r.take_i8()?;
+        if y != 1 && y != -1 {
+            return Err(CodecError::Invalid("label must be +1 or -1"));
+        }
+        let x = take_features(r)?;
+        batch.push((x, y));
+    }
+    Ok(batch)
+}
+
+/// Builds a request body: opcode byte followed by an op-specific payload.
+#[must_use]
+pub fn request(op: u8, payload: Writer) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(op);
+    w.put_bytes(&payload.into_bytes());
+    w.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip_over_a_pipe_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn examples_round_trip() {
+        let batch = vec![
+            (SparseVector::from_pairs(&[(3, 1.0), (9, -0.5)]), 1),
+            (SparseVector::new(), -1),
+        ];
+        let mut w = Writer::new();
+        put_examples(&mut w, &batch);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = take_examples(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn bad_label_rejected() {
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_i8(0);
+        w.put_u32(0);
+        assert!(matches!(
+            take_examples(&mut Reader::new(&w.into_bytes())),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,442 @@
+//! The ingest/query server: a [`std::net::TcpListener`] accept loop with
+//! one worker thread per connection, all feeding a shared
+//! [`ShardedLearner`] shard pool behind a mutex (the pool itself fans
+//! each batch out across scoped worker threads).
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use wmsketch_core::{
+    sharded_wm, MergeableLearner, OnlineLearner, ShardedLearner, ShardedLearnerConfig,
+    SnapshotCodec, TopKRecovery, WeightEstimator, WmSketch, WmSketchConfig,
+};
+use wmsketch_hashing::codec::{Reader, Writer};
+
+use crate::error::ServeError;
+use crate::protocol::{
+    self, take_examples, take_features, write_frame, OP_CHECKPOINT, OP_ESTIMATE, OP_MERGE,
+    OP_PREDICT, OP_RESET, OP_RESTORE, OP_SHUTDOWN, OP_SNAPSHOT, OP_STATS, OP_TOPK, OP_UPDATE,
+    STATUS_ERR, STATUS_OK,
+};
+
+/// How long a connection thread blocks on the socket before re-checking
+/// the shutdown flag; bounds drain latency without busy-waiting.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Configuration of one serving node.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Model configuration shared by the root and every worker replica.
+    pub wm: WmSketchConfig,
+    /// Shard-pool configuration (worker count, sync cadence, partition
+    /// seed).
+    pub sharding: ShardedLearnerConfig,
+    /// When `true` (the default), worker replicas carry their own top-K
+    /// heaps and candidate tracking is disabled. Merges then rebuild the
+    /// root's heap from the *union of merged heaps*, which makes
+    /// snapshot/merge composition across nodes bit-identical to local
+    /// sharded training with the same routing. Set `false` for the
+    /// deferred-heap-maintenance pipeline (heap-free workers plus ℓ1
+    /// touch-mass trackers) when single-node ingest throughput matters
+    /// more than cross-node heap parity.
+    pub worker_heaps: bool,
+}
+
+impl ServeConfig {
+    /// A node hosting `shards` worker replicas of `wm`, with heap-carrying
+    /// workers (see [`ServeConfig::worker_heaps`]).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn new(wm: WmSketchConfig, shards: usize) -> Self {
+        Self {
+            wm,
+            sharding: ShardedLearnerConfig::new(shards).candidates_per_shard(0),
+            worker_heaps: true,
+        }
+    }
+
+    /// Switches to the deferred-heap-maintenance worker pipeline with the
+    /// given per-shard candidate-tracker capacity.
+    #[must_use]
+    pub fn deferred_heap(mut self, candidates_per_shard: usize) -> Self {
+        self.worker_heaps = false;
+        self.sharding = self.sharding.candidates_per_shard(candidates_per_shard);
+        self
+    }
+
+    /// Builds a fresh learner for this configuration (also the RESTORE /
+    /// RESET path, which is why the config is kept alongside the model).
+    #[must_use]
+    pub fn build_learner(&self) -> ShardedLearner<WmSketch> {
+        if self.worker_heaps {
+            ShardedLearner::new(
+                self.sharding,
+                WmSketch::new(self.wm),
+                WmSketch::new(self.wm),
+            )
+        } else {
+            sharded_wm(self.wm, self.sharding)
+        }
+    }
+}
+
+/// Counters reported by the STATS op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Examples routed into the shard pool on this node (excludes
+    /// absorbed peer snapshots).
+    pub routed: u64,
+    /// The root model's own example clock (includes absorbed peers).
+    pub root_examples: u64,
+    /// Configured worker count.
+    pub shards: u32,
+    /// Whether the root reflects every routed example.
+    pub synced: bool,
+}
+
+/// State shared between the accept loop and every connection thread.
+struct ServerState {
+    learner: Mutex<ShardedLearner<WmSketch>>,
+    cfg: ServeConfig,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+}
+
+/// A bound, not-yet-running server. [`WmServer::spawn`] starts the accept
+/// loop.
+pub struct WmServer {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl WmServer {
+    /// Binds a listener (use port 0 for an ephemeral port) and builds the
+    /// learner from `cfg`.
+    ///
+    /// # Errors
+    /// Propagates socket errors from binding.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            state: Arc::new(ServerState {
+                learner: Mutex::new(cfg.build_learner()),
+                cfg,
+                addr,
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (the resolved port when bound to port 0).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts the accept loop on a background thread and returns a handle
+    /// that can address and stop the server.
+    #[must_use]
+    pub fn spawn(self) -> ServerHandle {
+        let state = Arc::clone(&self.state);
+        let listener = self.listener;
+        let accept = std::thread::spawn(move || accept_loop(&listener, &state));
+        ServerHandle {
+            state: self.state,
+            accept: Some(accept),
+        }
+    }
+}
+
+/// Handle to a running server; dropping it shuts the server down.
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Address clients should connect to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Signals shutdown, wakes the accept loop, and joins it (which in
+    /// turn drains every connection thread).
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Wake the (blocking) accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.state.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Accepts connections until the shutdown flag is set, then joins every
+/// connection thread so in-flight requests finish before the server
+/// exits (graceful drain).
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Reap finished connection threads so a long-lived server
+                // doesn't accumulate a handle per connection ever served.
+                workers.retain(|w| !w.is_finished());
+                let state = Arc::clone(state);
+                workers.push(std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &state);
+                }));
+            }
+            Err(_) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Reads frames off one connection until EOF or shutdown, dispatching
+/// each request and writing one response frame per request.
+fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) -> Result<(), ServeError> {
+    // A finite read timeout lets idle connections observe the shutdown
+    // flag; mid-frame timeouts keep reading. NODELAY matters here: the
+    // protocol is strict request/response, and Nagle + delayed ACKs add
+    // ~40ms to every round trip otherwise.
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true)?;
+    loop {
+        let body = match read_frame_interruptible(&mut stream, state) {
+            Ok(Some(body)) => body,
+            Ok(None) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let response = match handle_request(&body, state) {
+            Ok(payload) => {
+                let mut w = Writer::new();
+                w.put_u8(STATUS_OK);
+                w.put_bytes(&payload);
+                w.into_bytes()
+            }
+            Err(e) => {
+                let mut w = Writer::new();
+                w.put_u8(STATUS_ERR);
+                w.put_bytes(e.to_string().as_bytes());
+                w.into_bytes()
+            }
+        };
+        write_frame(&mut stream, &response)?;
+        if !body.is_empty() && body[0] == OP_SHUTDOWN {
+            return Ok(());
+        }
+    }
+}
+
+/// [`protocol::read_frame`], but tolerant of read timeouts: an idle
+/// timeout re-checks the shutdown flag, a mid-frame timeout resumes
+/// reading.
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    state: &Arc<ServerState>,
+) -> Result<Option<Vec<u8>>, ServeError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match stream.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(ServeError::Protocol("EOF inside a frame header"));
+            }
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                // Checked mid-frame too: a connection stalled inside a
+                // frame must not hold the drain hostage at shutdown.
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > protocol::MAX_FRAME_LEN {
+        return Err(ServeError::Protocol("frame length exceeds MAX_FRAME_LEN"));
+    }
+    let mut body = vec![0u8; len as usize];
+    let mut filled = 0usize;
+    while filled < body.len() {
+        match stream.read(&mut body[filled..]) {
+            Ok(0) => return Err(ServeError::Protocol("EOF inside a frame body")),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Some(body))
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Decodes and executes one request, returning the OK payload.
+fn handle_request(body: &[u8], state: &Arc<ServerState>) -> Result<Vec<u8>, ServeError> {
+    let mut r = Reader::new(body);
+    let op = r
+        .take_u8()
+        .map_err(|_| ServeError::Protocol("empty request body"))?;
+    let mut out = Writer::new();
+    match op {
+        OP_UPDATE => {
+            let batch = take_examples(&mut r)?;
+            r.finish()?;
+            let mut learner = state.learner.lock().expect("learner mutex");
+            learner.update_batch(&batch);
+            out.put_u64(learner.examples_seen());
+        }
+        OP_PREDICT => {
+            let x = take_features(&mut r)?;
+            r.finish()?;
+            let mut learner = state.learner.lock().expect("learner mutex");
+            learner.sync();
+            out.put_f64(learner.margin(&x));
+            out.put_i8(learner.predict(&x));
+        }
+        OP_ESTIMATE => {
+            let feature = r.take_u32()?;
+            r.finish()?;
+            let mut learner = state.learner.lock().expect("learner mutex");
+            learner.sync();
+            out.put_f64(learner.estimate(feature));
+        }
+        OP_TOPK => {
+            let k = r.take_u32()?;
+            r.finish()?;
+            let mut learner = state.learner.lock().expect("learner mutex");
+            learner.sync();
+            let top = learner.recover_top_k(k as usize);
+            out.put_u32(top.len() as u32);
+            for e in top {
+                out.put_u32(e.feature);
+                out.put_f64(e.weight);
+            }
+        }
+        OP_SNAPSHOT => {
+            r.finish()?;
+            let mut learner = state.learner.lock().expect("learner mutex");
+            learner.sync();
+            out.put_bytes(&learner.root().to_snapshot_bytes());
+        }
+        OP_MERGE => {
+            let peer = WmSketch::from_snapshot_bytes(r.take_bytes(r.remaining())?)?;
+            let mut learner = state.learner.lock().expect("learner mutex");
+            if !learner.root().merge_compatible(&peer) {
+                return Err(ServeError::Protocol(
+                    "peer snapshot is not merge-compatible with this node",
+                ));
+            }
+            learner.absorb(&peer);
+            out.put_u64(learner.root().examples_seen());
+        }
+        OP_CHECKPOINT => {
+            let path = take_path(&mut r)?;
+            // Hold the lock only to sync and encode; the disk write (to a
+            // possibly slow filesystem) must not stall ingest on other
+            // connections.
+            let bytes = {
+                let mut learner = state.learner.lock().expect("learner mutex");
+                learner.sync();
+                learner.root().to_snapshot_bytes()
+            };
+            std::fs::write(&path, &bytes)?;
+            out.put_u64(bytes.len() as u64);
+        }
+        OP_RESTORE => {
+            let path = take_path(&mut r)?;
+            let bytes = std::fs::read(&path)?;
+            let model = WmSketch::from_snapshot_bytes(&bytes)?;
+            let mut learner = state.learner.lock().expect("learner mutex");
+            let mut fresh = state.cfg.build_learner();
+            if !fresh.root().merge_compatible(&model) {
+                return Err(ServeError::Protocol(
+                    "checkpoint is not merge-compatible with this node's config",
+                ));
+            }
+            fresh.absorb(&model);
+            *learner = fresh;
+            out.put_u64(learner.root().examples_seen());
+        }
+        OP_STATS => {
+            r.finish()?;
+            let learner = state.learner.lock().expect("learner mutex");
+            out.put_u64(learner.examples_seen());
+            out.put_u64(learner.root().examples_seen());
+            out.put_u32(learner.num_shards() as u32);
+            out.put_u8(u8::from(learner.is_synced()));
+        }
+        OP_RESET => {
+            r.finish()?;
+            let mut learner = state.learner.lock().expect("learner mutex");
+            *learner = state.cfg.build_learner();
+        }
+        OP_SHUTDOWN => {
+            r.finish()?;
+            state.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop so the drain starts immediately.
+            let _ = TcpStream::connect(state.addr);
+        }
+        _ => return Err(ServeError::Protocol("unknown opcode")),
+    }
+    Ok(out.into_bytes())
+}
+
+/// Decodes a `path_len (u32) | UTF-8 path` payload (CHECKPOINT/RESTORE).
+///
+/// The path is used verbatim on the server's filesystem: the service
+/// trusts its clients (it is an internal aggregation protocol, not a
+/// public endpoint).
+fn take_path(r: &mut Reader<'_>) -> Result<std::path::PathBuf, ServeError> {
+    let len = r.take_u32()? as usize;
+    let bytes = r.take_bytes(len)?;
+    r.finish()?;
+    let s = std::str::from_utf8(bytes).map_err(|_| ServeError::Protocol("path is not UTF-8"))?;
+    Ok(std::path::PathBuf::from(s))
+}

@@ -1,0 +1,278 @@
+//! End-to-end tests of the ingest/query service: protocol round trips,
+//! snapshot shipping, checkpoint/restore, error behavior, and the
+//! distributed-vs-local parity guarantee.
+
+use wmsketch_core::{OnlineLearner, SnapshotCodec, WmSketch, WmSketchConfig};
+use wmsketch_learn::{Label, SparseVector};
+use wmsketch_serve::{ServeClient, ServeConfig, ServeError, ServerHandle, WmServer};
+
+fn planted_stream(n: usize) -> Vec<(SparseVector, Label)> {
+    (0..n)
+        .map(|t| {
+            let noise = 100 + (t * 17 % 400) as u32;
+            if t % 2 == 0 {
+                (SparseVector::from_pairs(&[(3, 1.0), (noise, 0.5)]), 1)
+            } else {
+                (SparseVector::from_pairs(&[(9, 1.0), (noise, 0.5)]), -1)
+            }
+        })
+        .collect()
+}
+
+fn start(cfg: ServeConfig) -> ServerHandle {
+    WmServer::bind("127.0.0.1:0", cfg)
+        .expect("bind ephemeral port")
+        .spawn()
+}
+
+fn temp_path(tag: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("wmsketch_serve_{tag}_{}", std::process::id()));
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn ingest_then_query_round_trip() {
+    let cfg = ServeConfig::new(WmSketchConfig::new(256, 4).lambda(1e-5).seed(3), 2);
+    let server = start(cfg);
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    let data = planted_stream(4000);
+    let mut routed = 0;
+    for chunk in data.chunks(512) {
+        routed = client.update_batch(chunk).unwrap();
+    }
+    assert_eq!(routed, 4000);
+
+    let w3 = client.estimate(3).unwrap();
+    let w9 = client.estimate(9).unwrap();
+    assert!(w3 > 0.2, "w3 = {w3}");
+    assert!(w9 < -0.2, "w9 = {w9}");
+
+    let (margin, label) = client.predict(&SparseVector::one_hot(3, 1.0)).unwrap();
+    assert!(margin > 0.0);
+    assert_eq!(label, 1);
+
+    let top: Vec<u32> = client.top_k(2).unwrap().iter().map(|e| e.feature).collect();
+    assert!(top.contains(&3) && top.contains(&9), "top = {top:?}");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.routed, 4000);
+    assert_eq!(stats.shards, 2);
+    assert!(stats.synced, "queries sync the pool");
+
+    server.shutdown();
+}
+
+/// The acceptance-criteria parity test: two ingest nodes, each fed the
+/// exact substream a local 2-shard learner would route to its worker,
+/// ship snapshots into an aggregator; the aggregator's estimates,
+/// predictions, and top-K must be bit-identical to one node that ingested
+/// the whole stream through its own 2-shard pool.
+#[test]
+fn two_node_snapshot_merge_matches_single_node_bit_for_bit() {
+    let wm = WmSketchConfig::new(256, 4).lambda(1e-5).seed(11);
+    let single_cfg = ServeConfig::new(wm, 2);
+    let node_cfg = ServeConfig::new(wm, 1);
+
+    let single = start(single_cfg);
+    let node_a = start(node_cfg);
+    let node_b = start(node_cfg);
+    let aggregator = start(node_cfg);
+
+    let data = planted_stream(6000);
+
+    // The router is deterministic: replicate the single node's partition
+    // with a local learner built from the same config.
+    let reference = single_cfg.build_learner();
+    let mut sub_a = Vec::new();
+    let mut sub_b = Vec::new();
+    for (i, ex) in data.iter().enumerate() {
+        if reference.shard_of(i as u64) == 0 {
+            sub_a.push(ex.clone());
+        } else {
+            sub_b.push(ex.clone());
+        }
+    }
+
+    // Whole stream into the single node (uneven chunks on purpose);
+    // substreams into the ingest nodes.
+    let mut single_client = ServeClient::connect(single.addr()).unwrap();
+    for chunk in data.chunks(997) {
+        single_client.update_batch(chunk).unwrap();
+    }
+    let mut a_client = ServeClient::connect(node_a.addr()).unwrap();
+    for chunk in sub_a.chunks(512) {
+        a_client.update_batch(chunk).unwrap();
+    }
+    let mut b_client = ServeClient::connect(node_b.addr()).unwrap();
+    b_client.update_batch(&sub_b).unwrap();
+
+    // Ship both snapshots into the aggregator, in shard order.
+    let snap_a = a_client.snapshot().unwrap();
+    let snap_b = b_client.snapshot().unwrap();
+    let mut agg_client = ServeClient::connect(aggregator.addr()).unwrap();
+    agg_client.merge_snapshot(&snap_a).unwrap();
+    let root_clock = agg_client.merge_snapshot(&snap_b).unwrap();
+    assert_eq!(root_clock, 6000);
+
+    // Bit-identical estimates across the whole touched feature range.
+    for f in 0..600u32 {
+        let lhs = agg_client.estimate(f).unwrap();
+        let rhs = single_client.estimate(f).unwrap();
+        assert!(
+            lhs.to_bits() == rhs.to_bits(),
+            "feature {f}: aggregated {lhs} vs single-node {rhs}"
+        );
+    }
+
+    // Bit-identical margins and equal predictions on probe vectors.
+    for probe in [
+        SparseVector::one_hot(3, 1.0),
+        SparseVector::one_hot(9, 1.0),
+        SparseVector::from_pairs(&[(3, 0.7), (9, 0.7), (123, 0.1)]),
+    ] {
+        let (m1, p1) = agg_client.predict(&probe).unwrap();
+        let (m2, p2) = single_client.predict(&probe).unwrap();
+        assert!(m1.to_bits() == m2.to_bits(), "margin {m1} vs {m2}");
+        assert_eq!(p1, p2);
+    }
+
+    // Bit-identical top-K (features and weights).
+    let t1 = agg_client.top_k(16).unwrap();
+    let t2 = single_client.top_k(16).unwrap();
+    assert_eq!(t1.len(), t2.len());
+    for (a, b) in t1.iter().zip(&t2) {
+        assert_eq!(a.feature, b.feature);
+        assert!(a.weight.to_bits() == b.weight.to_bits());
+    }
+
+    // And the shipped model really carries the planted signal.
+    assert!(agg_client.estimate(3).unwrap() > 0.2);
+    assert!(agg_client.estimate(9).unwrap() < -0.2);
+
+    for s in [single, node_a, node_b, aggregator] {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn checkpoint_restore_round_trip() {
+    let cfg = ServeConfig::new(WmSketchConfig::new(128, 3).seed(5), 2);
+    let server = start(cfg);
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    client.update_batch(&planted_stream(1500)).unwrap();
+
+    let path = temp_path("ckpt");
+    let bytes_written = client.checkpoint(&path).unwrap();
+    assert!(bytes_written > 0);
+    let before: Vec<u64> = (0..50u32)
+        .map(|f| client.estimate(f).unwrap().to_bits())
+        .collect();
+
+    // Wipe the node, confirm it's empty, then restore.
+    client.reset().unwrap();
+    assert_eq!(client.estimate(3).unwrap(), 0.0);
+    let clock = client.restore(&path).unwrap();
+    assert_eq!(clock, 1500);
+    let after: Vec<u64> = (0..50u32)
+        .map(|f| client.estimate(f).unwrap().to_bits())
+        .collect();
+    assert_eq!(before, after, "restore must be bit-identical");
+
+    // The on-disk artifact is a plain WMS1 snapshot, loadable offline.
+    let offline = WmSketch::from_snapshot_bytes(&std::fs::read(&path).unwrap()).unwrap();
+    assert_eq!(offline.examples_seen(), 1500);
+    std::fs::remove_file(&path).ok();
+    server.shutdown();
+}
+
+#[test]
+fn merge_rejects_incompatible_and_corrupt_snapshots_without_dying() {
+    let server = start(ServeConfig::new(WmSketchConfig::new(128, 2).seed(1), 1));
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    client.update_batch(&planted_stream(200)).unwrap();
+
+    // Different seed → different projection → typed remote error.
+    let alien = WmSketch::new(WmSketchConfig::new(128, 2).seed(99));
+    let err = client
+        .merge_snapshot(&alien.to_snapshot_bytes())
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Remote(_)), "{err}");
+
+    // Corrupt bytes → typed remote error, not a crash.
+    let mut good = client.snapshot().unwrap();
+    good[0] = b'X';
+    assert!(matches!(
+        client.merge_snapshot(&good).unwrap_err(),
+        ServeError::Remote(_)
+    ));
+    let truncated = client.snapshot().unwrap();
+    assert!(matches!(
+        client
+            .merge_snapshot(&truncated[..truncated.len() / 2])
+            .unwrap_err(),
+        ServeError::Remote(_)
+    ));
+
+    // The connection and the model both survived.
+    assert_eq!(client.stats().unwrap().routed, 200);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_connections_all_ingest() {
+    let server = start(ServeConfig::new(WmSketchConfig::new(128, 2).seed(7), 2));
+    let addr = server.addr();
+    let data = planted_stream(1200);
+    let handles: Vec<_> = data
+        .chunks(300)
+        .map(|chunk| {
+            let chunk = chunk.to_vec();
+            std::thread::spawn(move || {
+                let mut c = ServeClient::connect(addr).unwrap();
+                c.update_batch(&chunk).unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut client = ServeClient::connect(addr).unwrap();
+    assert_eq!(client.stats().unwrap().routed, 1200);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_despite_a_connection_stalled_mid_frame() {
+    use std::io::Write;
+    let server = start(ServeConfig::new(WmSketchConfig::new(64, 2).seed(3), 1));
+    // A client that sends half a frame and goes silent, keeping the
+    // socket open: the drain must not wait on it forever.
+    let mut stalled = std::net::TcpStream::connect(server.addr()).unwrap();
+    stalled.write_all(&100u32.to_le_bytes()).unwrap();
+    stalled.write_all(&[0u8; 10]).unwrap();
+    stalled.flush().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    // Returns promptly instead of hanging on the stalled reader.
+    server.shutdown();
+    drop(stalled);
+}
+
+#[test]
+fn client_initiated_shutdown_drains_the_server() {
+    let server = start(ServeConfig::new(WmSketchConfig::new(64, 2).seed(2), 1));
+    let addr = server.addr();
+    let mut client = ServeClient::connect(addr).unwrap();
+    client.update_batch(&planted_stream(50)).unwrap();
+    client.shutdown_server().unwrap();
+    // The handle's join returns because the accept loop drained.
+    server.shutdown();
+    // New connections are refused (or reset) once the listener is gone.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let refused = match ServeClient::connect(addr) {
+        Err(_) => true,
+        Ok(mut c) => c.stats().is_err(),
+    };
+    assert!(refused, "server still serving after shutdown");
+}

@@ -8,7 +8,10 @@
 //! relative-deltoid baseline of Figure 10 (as in Cormode–Muthukrishnan's
 //! "What's new" paper).
 
+use wmsketch_hashing::codec::{CodecError, Reader, SnapshotCodec, Writer, KIND_COUNT_MIN};
 use wmsketch_hashing::{HashFamilyKind, RowHashers};
+
+use crate::countsketch::{put_cells, take_cells, SECTION_HEADER};
 
 /// Update policy for the Count-Min sketch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -199,6 +202,60 @@ impl CountMinSketch {
     }
 }
 
+/// Snapshot layout (after the `WMS1` envelope, kind [`KIND_COUNT_MIN`]):
+///
+/// ```text
+/// section 0x01 HEADER: policy (u8: 0 classic, 1 conservative)
+///                    | depth (u32) | width (u32) | seed (u64)
+///                    | total (f64)
+/// section 0x02 CELLS:  count (u64) | count × f64 (raw bit patterns)
+/// ```
+///
+/// Count-Min rows are always tabulation-hashed (see
+/// [`CountMinSketch::with_policy`]), so the header stores only the seed.
+impl SnapshotCodec for CountMinSketch {
+    const KIND: u8 = KIND_COUNT_MIN;
+
+    fn encode_body(&self, w: &mut Writer) {
+        let mark = w.begin_section(SECTION_HEADER);
+        w.put_u8(match self.policy {
+            CountMinUpdate::Classic => 0,
+            CountMinUpdate::Conservative => 1,
+        });
+        w.put_u32(self.depth as u32);
+        w.put_u32(self.width as u32);
+        w.put_u64(self.seed);
+        w.put_f64(self.total);
+        w.end_section(mark);
+        put_cells(w, &self.table);
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let mut h = r.expect_section(SECTION_HEADER)?;
+        let policy = match h.take_u8()? {
+            0 => CountMinUpdate::Classic,
+            1 => CountMinUpdate::Conservative,
+            _ => return Err(CodecError::Invalid("unknown Count-Min update policy")),
+        };
+        let depth = h.take_u32()?;
+        let width = h.take_u32()?;
+        let seed = h.take_u64()?;
+        let total = h.take_f64()?;
+        h.finish()?;
+        if depth == 0 || width == 0 {
+            return Err(CodecError::Invalid("sketch depth/width must be nonzero"));
+        }
+        let expected = (depth as usize)
+            .checked_mul(width as usize)
+            .ok_or(CodecError::Invalid("depth*width overflows"))?;
+        let table = take_cells(r, expected)?;
+        let mut cm = Self::with_policy(policy, depth, width, seed);
+        cm.table = table;
+        cm.total = total;
+        Ok(cm)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,6 +384,36 @@ mod tests {
         let mut a = CountMinSketch::new(2, 8, 1);
         let b = CountMinSketch::with_policy(CountMinUpdate::Conservative, 2, 8, 1);
         a.merge_from(&b);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        for policy in [CountMinUpdate::Classic, CountMinUpdate::Conservative] {
+            let mut cm = CountMinSketch::with_policy(policy, 4, 32, 23);
+            for k in 0..300u64 {
+                cm.update(k, f64::from((k % 6) as u32));
+            }
+            let bytes = cm.to_snapshot_bytes();
+            let back = CountMinSketch::from_snapshot_bytes(&bytes).unwrap();
+            assert!(back.merge_compatible(&cm));
+            assert_eq!(back.total().to_bits(), cm.total().to_bits());
+            assert_eq!(back.to_snapshot_bytes(), bytes);
+            for k in 0..300u64 {
+                assert!(back.estimate(k).to_bits() == cm.estimate(k).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_unknown_policy() {
+        let cm = CountMinSketch::new(2, 8, 1);
+        let mut bytes = cm.to_snapshot_bytes();
+        // Policy byte sits right after envelope (6) + section tag/len (5).
+        bytes[11] = 9;
+        assert!(matches!(
+            CountMinSketch::from_snapshot_bytes(&bytes),
+            Err(CodecError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -6,9 +6,26 @@
 //! cells. Lemma 1 of the paper: with width `Θ(1/ε²)` and depth
 //! `Θ(log(d/δ))`, `|x̂_i − x_i| ≤ ε‖x‖₂` with probability `1 − δ`.
 
+use wmsketch_hashing::codec::{self, CodecError, Reader, SnapshotCodec, Writer, KIND_COUNT_SKETCH};
 use wmsketch_hashing::{HashFamilyKind, RowHashers};
 
 use crate::median::signed_median_estimate;
+
+/// Section tag for a sketch-shape header (shared by both substrates).
+pub(crate) const SECTION_HEADER: u8 = 0x01;
+/// Section tag for a row-major `f64` cell array.
+pub(crate) const SECTION_CELLS: u8 = 0x02;
+
+/// Encodes a cell array under [`SECTION_CELLS`].
+pub(crate) fn put_cells(w: &mut Writer, cells: &[f64]) {
+    codec::put_f64_section(w, SECTION_CELLS, cells);
+}
+
+/// Decodes a cell array written by [`put_cells`], validating the count
+/// against the expected `depth × width`.
+pub(crate) fn take_cells(r: &mut Reader<'_>, expected: usize) -> Result<Vec<f64>, CodecError> {
+    codec::take_f64_section(r, SECTION_CELLS, expected)
+}
 
 /// A Count-Sketch over 64-bit keys with `f64` cell values.
 ///
@@ -170,6 +187,50 @@ impl CountSketch {
     }
 }
 
+/// Snapshot layout (after the `WMS1` envelope, kind
+/// [`KIND_COUNT_SKETCH`]):
+///
+/// ```text
+/// section 0x01 HEADER: hash_family | depth (u32) | width (u32) | seed (u64)
+/// section 0x02 CELLS:  count (u64) | count × f64 (raw bit patterns)
+/// ```
+///
+/// The header carries the hash-family kind and seed, so a decoded sketch
+/// reconstructs the identical projection and is
+/// [`CountSketch::merge_compatible`] with its origin.
+impl SnapshotCodec for CountSketch {
+    const KIND: u8 = KIND_COUNT_SKETCH;
+
+    fn encode_body(&self, w: &mut Writer) {
+        let mark = w.begin_section(SECTION_HEADER);
+        codec::put_hash_family(w, self.kind);
+        w.put_u32(self.depth as u32);
+        w.put_u32(self.width as u32);
+        w.put_u64(self.seed);
+        w.end_section(mark);
+        put_cells(w, &self.table);
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let mut h = r.expect_section(SECTION_HEADER)?;
+        let kind = codec::take_hash_family(&mut h)?;
+        let depth = h.take_u32()?;
+        let width = h.take_u32()?;
+        let seed = h.take_u64()?;
+        h.finish()?;
+        if depth == 0 || width == 0 {
+            return Err(CodecError::Invalid("sketch depth/width must be nonzero"));
+        }
+        let expected = (depth as usize)
+            .checked_mul(width as usize)
+            .ok_or(CodecError::Invalid("depth*width overflows"))?;
+        let table = take_cells(r, expected)?;
+        let mut cs = Self::with_family(kind, depth, width, seed);
+        cs.table = table;
+        Ok(cs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,6 +377,37 @@ mod tests {
         b.update(1, 3.0);
         assert_eq!(a.estimate(1), 2.0);
         assert_eq!(b.estimate(1), 5.0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        for kind in [HashFamilyKind::Tabulation, HashFamilyKind::Polynomial(4)] {
+            let mut cs = CountSketch::with_family(kind, 5, 64, 17);
+            for k in 0..400u64 {
+                cs.update(k, f64::from((k % 9) as u32) - 4.0);
+            }
+            let bytes = cs.to_snapshot_bytes();
+            let back = CountSketch::from_snapshot_bytes(&bytes).unwrap();
+            assert!(back.merge_compatible(&cs));
+            assert_eq!(back.cells(), cs.cells());
+            assert_eq!(back.to_snapshot_bytes(), bytes);
+            for k in 0..400u64 {
+                assert!(back.estimate(k).to_bits() == cs.estimate(k).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_zero_shape() {
+        let cs = CountSketch::new(2, 8, 1);
+        let mut bytes = cs.to_snapshot_bytes();
+        // Header layout: envelope (6) + tag/len (5) + family (1) = 12;
+        // depth u32 starts at offset 12.
+        bytes[12..16].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            CountSketch::from_snapshot_bytes(&bytes),
+            Err(CodecError::Invalid(_))
+        ));
     }
 
     /// Empirical check of the Charikar et al. guarantee (paper Lemma 1):

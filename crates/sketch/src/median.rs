@@ -1,6 +1,123 @@
 //! Median selection for Count-Sketch estimators.
+//!
+//! Two implementations share the lower-median convention:
+//!
+//! * **Sorting-network selection** for depths ≤ [`NETWORK_MAX_DEPTH`]:
+//!   Batcher's odd-even merge network, monomorphized per length so the
+//!   compare-exchange schedule is fully unrolled and data-independent
+//!   (each compare-exchange compiles to a pair of conditional moves — no
+//!   branches on cell values, so no branch mispredictions on the heap
+//!   maintenance hot path).
+//! * **Introselect** (`select_nth_unstable_by`) above that, where the
+//!   `O(n)` expected cost wins over a full `O(n log² n)` network.
+//!
+//! [`median_inplace`] dispatches between them by length; golden tests pin
+//! the two paths to identical results across odd and even depths.
 
 use wmsketch_hashing::RowHashers;
+
+/// Largest slice length routed through the sorting network; deeper inputs
+/// fall back to introselect. 16 covers every per-row median the paper's
+/// configurations take on the update path (Table 2 depths are ≤ 14).
+pub const NETWORK_MAX_DEPTH: usize = 16;
+
+/// One compare-exchange: orders `v[i] ≤ v[j]` without a data-dependent
+/// branch (the two conditional selects compile to `cmov`/`minsd`-style
+/// code).
+///
+/// Uses a single `<` comparison rather than `f64::min`/`max` so the
+/// element *multiset* is preserved exactly — `min`/`max` may collapse
+/// `-0.0`/`+0.0` pairs, and sign-flipped zero cells are common in sparse
+/// sketches. NaNs compare false and are left in place (the estimator's
+/// cells are never NaN; `median_select_inplace` enforces that by panic).
+#[inline(always)]
+fn cswap(v: &mut [f64], i: usize, j: usize) {
+    let (a, b) = (v[i], v[j]);
+    let swap = b < a;
+    v[i] = if swap { b } else { a };
+    v[j] = if swap { a } else { b };
+}
+
+/// Batcher's odd-even merge sorting network for a fixed length `N`,
+/// correct for arbitrary (not just power-of-two) `N`. The loop bounds
+/// depend only on `N`, so with `N` a const generic the whole schedule
+/// unrolls at compile time.
+#[inline]
+fn oddeven_network<const N: usize>(v: &mut [f64]) {
+    debug_assert_eq!(v.len(), N);
+    let mut p = 1;
+    while p < N {
+        let mut k = p;
+        loop {
+            let mut j = k % p;
+            while j + k < N {
+                let mut i = 0;
+                while i < k && i + j + k < N {
+                    if (i + j) / (2 * p) == (i + j + k) / (2 * p) {
+                        cswap(v, i + j, i + j + k);
+                    }
+                    i += 1;
+                }
+                j += 2 * k;
+            }
+            if k == 1 {
+                break;
+            }
+            k /= 2;
+        }
+        p *= 2;
+    }
+}
+
+/// Sorts `values` (of length ≤ [`NETWORK_MAX_DEPTH`]) with the
+/// monomorphized network for its exact length and returns the lower
+/// median.
+///
+/// # Panics
+/// Panics if `values` is empty or longer than [`NETWORK_MAX_DEPTH`].
+#[must_use]
+pub fn median_network_inplace(values: &mut [f64]) -> f64 {
+    match values.len() {
+        1 => {}
+        2 => oddeven_network::<2>(values),
+        3 => oddeven_network::<3>(values),
+        4 => oddeven_network::<4>(values),
+        5 => oddeven_network::<5>(values),
+        6 => oddeven_network::<6>(values),
+        7 => oddeven_network::<7>(values),
+        8 => oddeven_network::<8>(values),
+        9 => oddeven_network::<9>(values),
+        10 => oddeven_network::<10>(values),
+        11 => oddeven_network::<11>(values),
+        12 => oddeven_network::<12>(values),
+        13 => oddeven_network::<13>(values),
+        14 => oddeven_network::<14>(values),
+        15 => oddeven_network::<15>(values),
+        16 => oddeven_network::<16>(values),
+        n => panic!("sorting-network median supports 1..={NETWORK_MAX_DEPTH} values, got {n}"),
+    }
+    values[(values.len() - 1) / 2]
+}
+
+/// Returns the lower median of `values` by introselect, reordering the
+/// slice in place. This is the fallback path for depths >
+/// [`NETWORK_MAX_DEPTH`] and the golden reference the network path is
+/// tested against.
+///
+/// Returns `0.0` for an empty slice.
+///
+/// # Panics
+/// Panics if `values` contains NaN.
+#[must_use]
+pub fn median_select_inplace(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mid = (values.len() - 1) / 2;
+    let (_, m, _) =
+        values.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("NaN in median input"));
+    *m
+}
 
 /// Returns the median of `values`, reordering the slice in place.
 ///
@@ -9,16 +126,18 @@ use wmsketch_hashing::RowHashers;
 /// order-statistic rather than an average keeps the estimator equal to one
 /// of the actual per-row estimates).
 ///
+/// Lengths ≤ [`NETWORK_MAX_DEPTH`] run through a branchless sorting
+/// network; longer inputs use introselect. Both return identical values.
+///
 /// Returns `0.0` for an empty slice.
 #[must_use]
+#[inline]
 pub fn median_inplace(values: &mut [f64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
+    match values.len() {
+        0 => 0.0,
+        n if n <= NETWORK_MAX_DEPTH => median_network_inplace(values),
+        _ => median_select_inplace(values),
     }
-    let mid = (values.len() - 1) / 2;
-    let (_, m, _) =
-        values.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("NaN in median input"));
-    *m
 }
 
 /// Row values are recovered into a stack buffer up to this depth; deeper
@@ -111,5 +230,88 @@ mod tests {
     #[test]
     fn duplicates() {
         assert_eq!(median_inplace(&mut [7.0, 7.0, 7.0, 7.0]), 7.0);
+    }
+
+    /// The 0–1 principle: a comparison network that sorts every boolean
+    /// sequence sorts every sequence. Exhaustively verifying all `2^n`
+    /// boolean inputs for every network length proves each monomorphized
+    /// network correct, not just spot-checked.
+    #[test]
+    fn network_sorts_all_boolean_inputs_zero_one_principle() {
+        for n in 1..=NETWORK_MAX_DEPTH {
+            for mask in 0u32..(1 << n) {
+                let mut v: Vec<f64> = (0..n)
+                    .map(|i| if mask >> i & 1 == 1 { 1.0 } else { 0.0 })
+                    .collect();
+                let _ = median_network_inplace(&mut v);
+                let ones = mask.count_ones() as usize;
+                let sorted: Vec<f64> = (0..n)
+                    .map(|i| if i < n - ones { 0.0 } else { 1.0 })
+                    .collect();
+                assert_eq!(v, sorted, "n={n} mask={mask:b}");
+            }
+        }
+    }
+
+    /// Golden equality of the two median paths across odd and even
+    /// lengths, adversarial value mixes (ties, signed zeros, infinities),
+    /// and a deterministic pseudo-random sweep.
+    #[test]
+    fn network_matches_select_across_depths() {
+        use wmsketch_hashing::splitmix64;
+        for n in 1..=NETWORK_MAX_DEPTH {
+            for case in 0..200u64 {
+                let mut vals: Vec<f64> = (0..n)
+                    .map(|i| {
+                        let h = splitmix64(case * 131 + i as u64);
+                        match h % 8 {
+                            0 => 0.0,
+                            1 => -0.0,
+                            2 => f64::INFINITY,
+                            3 => f64::NEG_INFINITY,
+                            4 | 5 => f64::from((h % 5) as u32) - 2.0, // ties
+                            _ => (h as f64 / u64::MAX as f64) * 2.0 - 1.0,
+                        }
+                    })
+                    .collect();
+                let mut by_select = vals.clone();
+                let a = median_network_inplace(&mut vals);
+                let b = median_select_inplace(&mut by_select);
+                assert!(
+                    a.to_bits() == b.to_bits() || (a == 0.0 && b == 0.0),
+                    "n={n} case={case}: network {a} vs select {b}"
+                );
+                assert_eq!(a.partial_cmp(&b), Some(std::cmp::Ordering::Equal));
+            }
+        }
+    }
+
+    #[test]
+    fn network_preserves_signed_zero_multiset() {
+        let mut v = [0.0, -0.0, -0.0, 0.0, -0.0];
+        let _ = median_network_inplace(&mut v);
+        let negs = v.iter().filter(|x| x.is_sign_negative()).count();
+        assert_eq!(negs, 3, "signed-zero multiset changed: {v:?}");
+    }
+
+    #[test]
+    fn dispatch_is_seamless_across_the_network_boundary() {
+        use wmsketch_hashing::splitmix64;
+        for n in [
+            NETWORK_MAX_DEPTH - 1,
+            NETWORK_MAX_DEPTH,
+            NETWORK_MAX_DEPTH + 1,
+            63,
+            64,
+            65,
+        ] {
+            let mut vals: Vec<f64> = (0..n)
+                .map(|i| (splitmix64(i as u64 + 9) as f64 / u64::MAX as f64) - 0.5)
+                .collect();
+            let mut reference = vals.clone();
+            let got = median_inplace(&mut vals);
+            let want = median_select_inplace(&mut reference);
+            assert_eq!(got.to_bits(), want.to_bits(), "n={n}");
+        }
     }
 }

@@ -1,0 +1,147 @@
+//! Property tests for the `WMS1` substrate codecs: round-trip
+//! bit-identity across hash families and depths past the 64-row median
+//! spill, and typed (panic-free) rejection of damaged buffers.
+
+use proptest::prelude::*;
+use wmsketch_hashing::HashFamilyKind;
+use wmsketch_sketch::{CodecError, CountMinSketch, CountMinUpdate, CountSketch, SnapshotCodec};
+
+/// Update streams with integral deltas (so estimates are exactly
+/// representable) over a small key domain.
+fn updates() -> impl Strategy<Value = Vec<(u64, i32)>> {
+    prop::collection::vec((0u64..96, -16i32..17), 1..200)
+}
+
+/// The depth-1 fast path, a mid depth, and one past the 64-row stack
+/// spill of the median recovery.
+const DEPTHS: [u32; 3] = [1, 6, 80];
+
+proptest! {
+    /// Count-Sketch snapshots round-trip bit-identically: cells, seeds,
+    /// hash family (⇒ merge compatibility), estimates, and the encoded
+    /// bytes themselves.
+    #[test]
+    fn countsketch_snapshot_round_trip(updates in updates(), seed in 0u64..1000) {
+        for kind in [HashFamilyKind::Tabulation, HashFamilyKind::Polynomial(4)] {
+            for depth in DEPTHS {
+                let mut cs = CountSketch::with_family(kind, depth, 32, seed);
+                for &(k, d) in &updates {
+                    cs.update(k, f64::from(d));
+                }
+                let bytes = cs.to_snapshot_bytes();
+                let back = CountSketch::from_snapshot_bytes(&bytes).expect("round trip");
+                prop_assert!(back.merge_compatible(&cs));
+                prop_assert_eq!(back.cells(), cs.cells());
+                prop_assert_eq!(back.to_snapshot_bytes(), bytes);
+                for k in 0..96u64 {
+                    prop_assert!(back.estimate(k).to_bits() == cs.estimate(k).to_bits());
+                }
+            }
+        }
+    }
+
+    /// Count-Min snapshots round-trip bit-identically under both update
+    /// policies, including the stream total.
+    #[test]
+    fn countmin_snapshot_round_trip(updates in updates(), seed in 0u64..1000) {
+        for policy in [CountMinUpdate::Classic, CountMinUpdate::Conservative] {
+            for depth in DEPTHS {
+                let mut cm = CountMinSketch::with_policy(policy, depth, 32, seed);
+                for &(k, d) in &updates {
+                    cm.update(k, f64::from(d.unsigned_abs()));
+                }
+                let bytes = cm.to_snapshot_bytes();
+                let back = CountMinSketch::from_snapshot_bytes(&bytes).expect("round trip");
+                prop_assert!(back.merge_compatible(&cm));
+                prop_assert!(back.total().to_bits() == cm.total().to_bits());
+                prop_assert_eq!(back.to_snapshot_bytes(), bytes);
+                for k in 0..96u64 {
+                    prop_assert!(back.estimate(k).to_bits() == cm.estimate(k).to_bits());
+                }
+            }
+        }
+    }
+
+    /// A decoded snapshot is a drop-in merge peer: merging the decoded
+    /// copy equals merging the original, bit for bit.
+    #[test]
+    fn decoded_snapshot_merges_identically(updates in updates(), split_pct in 0usize..101) {
+        let split = updates.len() * split_pct / 100;
+        let mut a1 = CountSketch::new(5, 64, 7);
+        let mut a2 = CountSketch::new(5, 64, 7);
+        let mut b = CountSketch::new(5, 64, 7);
+        for (i, &(k, d)) in updates.iter().enumerate() {
+            if i < split {
+                a1.update(k, f64::from(d));
+                a2.update(k, f64::from(d));
+            } else {
+                b.update(k, f64::from(d));
+            }
+        }
+        let shipped = CountSketch::from_snapshot_bytes(&b.to_snapshot_bytes()).expect("decode");
+        a1.merge_from(&b);
+        a2.merge_from(&shipped);
+        prop_assert_eq!(a1.cells(), a2.cells());
+    }
+
+    /// Every strict prefix of a valid snapshot fails with a typed error —
+    /// no panics, regardless of where the cut lands.
+    #[test]
+    fn truncated_snapshots_reject_cleanly(updates in updates()) {
+        let mut cs = CountSketch::new(3, 16, 5);
+        for &(k, d) in &updates {
+            cs.update(k, f64::from(d));
+        }
+        let bytes = cs.to_snapshot_bytes();
+        for n in 0..bytes.len() {
+            prop_assert!(CountSketch::from_snapshot_bytes(&bytes[..n]).is_err(), "prefix {}", n);
+        }
+    }
+
+    /// Single-byte corruption anywhere in the buffer either fails with a
+    /// typed error or decodes — it never panics. (Corrupting cell *values*
+    /// legitimately decodes; structural bytes must error.)
+    #[test]
+    fn corrupted_snapshots_never_panic(pos in 0usize..200, delta in 1u8..255) {
+        let mut cs = CountSketch::new(3, 16, 5);
+        cs.update(9, 2.0);
+        let mut bytes = cs.to_snapshot_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] = bytes[pos].wrapping_add(delta);
+        let _ = CountSketch::from_snapshot_bytes(&bytes);
+    }
+}
+
+#[test]
+fn foreign_magic_rejected_with_typed_error() {
+    let cs = CountSketch::new(2, 8, 1);
+    let mut bytes = cs.to_snapshot_bytes();
+
+    // A buffer from some other format family entirely.
+    bytes[0..4].copy_from_slice(b"\x89PNG");
+    assert!(matches!(
+        CountSketch::from_snapshot_bytes(&bytes),
+        Err(CodecError::BadMagic { .. })
+    ));
+
+    // A future WMS version: distinguishable from garbage.
+    let mut vnext = cs.to_snapshot_bytes();
+    vnext[3] = b'9';
+    assert!(matches!(
+        CountSketch::from_snapshot_bytes(&vnext),
+        Err(CodecError::UnsupportedVersion(b'9'))
+    ));
+
+    // A Count-Min snapshot is not a Count-Sketch snapshot.
+    let cm = CountMinSketch::new(2, 8, 1);
+    assert!(matches!(
+        CountSketch::from_snapshot_bytes(&cm.to_snapshot_bytes()),
+        Err(CodecError::WrongKind { .. })
+    ));
+
+    // The empty buffer is a truncation, not a panic.
+    assert!(matches!(
+        CountSketch::from_snapshot_bytes(&[]),
+        Err(CodecError::Truncated { .. })
+    ));
+}

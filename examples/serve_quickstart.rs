@@ -1,0 +1,140 @@
+//! Distributed ingest with exact aggregation: two ingest nodes ship
+//! `WMS1` snapshots into an aggregator whose model is **bit-identical**
+//! to a single node that saw the whole stream.
+//!
+//! ```sh
+//! cargo run --release --example serve_quickstart
+//! ```
+//!
+//! The WM-Sketch is a linear sketch, so the sketch of two merged gradient
+//! streams equals the sum of the two sketches — shipping and summing
+//! snapshots is exact, not approximate. The one requirement is that the
+//! distributed partition matches the routing a single sharded node would
+//! have applied, which `ShardedLearner::shard_of` exposes.
+//!
+//! Exits non-zero if any parity assertion fails, so CI can run this as
+//! the serve round-trip check.
+
+use wmsketch::core::WmSketchConfig;
+use wmsketch::learn::SparseVector;
+use wmsketch::serve::{ServeClient, ServeConfig, WmServer};
+
+fn main() {
+    let wm = WmSketchConfig::new(256, 4).lambda(1e-5).seed(42);
+
+    // One "reference" node with a 2-shard pool, and a distributed layout:
+    // two single-shard ingest nodes plus an aggregator. All on ephemeral
+    // loopback ports.
+    let single = WmServer::bind("127.0.0.1:0", ServeConfig::new(wm, 2))
+        .expect("bind single node")
+        .spawn();
+    let node_cfg = ServeConfig::new(wm, 1);
+    let node_a = WmServer::bind("127.0.0.1:0", node_cfg)
+        .expect("bind node A")
+        .spawn();
+    let node_b = WmServer::bind("127.0.0.1:0", node_cfg)
+        .expect("bind node B")
+        .spawn();
+    let aggregator = WmServer::bind("127.0.0.1:0", node_cfg)
+        .expect("bind aggregator")
+        .spawn();
+    println!("single node  @ {}", single.addr());
+    println!("ingest A     @ {}", node_a.addr());
+    println!("ingest B     @ {}", node_b.addr());
+    println!("aggregator   @ {}", aggregator.addr());
+
+    // A labelled stream: feature 7 marks +1, feature 13 marks −1, the
+    // rest is high-dimensional noise.
+    let stream: Vec<(SparseVector, i8)> = (0..10_000u32)
+        .map(|t| {
+            let noise = 1000 + (t.wrapping_mul(2_654_435_761) % 500_000);
+            if t % 2 == 0 {
+                (SparseVector::from_pairs(&[(7, 1.0), (noise, 0.5)]), 1)
+            } else {
+                (SparseVector::from_pairs(&[(13, 1.0), (noise, 0.5)]), -1)
+            }
+        })
+        .collect();
+
+    // Partition the stream exactly as the single node's 2-shard router
+    // will, and feed each half to its ingest node.
+    let router = ServeConfig::new(wm, 2).build_learner();
+    let (mut sub_a, mut sub_b) = (Vec::new(), Vec::new());
+    for (i, ex) in stream.iter().enumerate() {
+        if router.shard_of(i as u64) == 0 {
+            sub_a.push(ex.clone());
+        } else {
+            sub_b.push(ex.clone());
+        }
+    }
+
+    let mut single_client = ServeClient::connect(single.addr()).expect("connect single");
+    for chunk in stream.chunks(1024) {
+        single_client.update_batch(chunk).expect("ingest single");
+    }
+    let mut a = ServeClient::connect(node_a.addr()).expect("connect A");
+    a.update_batch(&sub_a).expect("ingest A");
+    let mut b = ServeClient::connect(node_b.addr()).expect("connect B");
+    b.update_batch(&sub_b).expect("ingest B");
+    println!(
+        "ingested {} examples: {} via node A, {} via node B",
+        stream.len(),
+        sub_a.len(),
+        sub_b.len()
+    );
+
+    // Ship both snapshots into the aggregator (shard order).
+    let snap_a = a.snapshot().expect("snapshot A");
+    let snap_b = b.snapshot().expect("snapshot B");
+    let mut agg = ServeClient::connect(aggregator.addr()).expect("connect aggregator");
+    agg.merge_snapshot(&snap_a).expect("merge A");
+    let clock = agg.merge_snapshot(&snap_b).expect("merge B");
+    println!(
+        "shipped {} + {} snapshot bytes; aggregator clock = {clock}",
+        snap_a.len(),
+        snap_b.len()
+    );
+    assert_eq!(clock, stream.len() as u64);
+
+    // Parity: the aggregated model must match the single-node model bit
+    // for bit — estimates, margins, predictions, and top-K.
+    for f in (0..32u32).chain([7, 13, 1000, 250_000].iter().copied()) {
+        let lhs = agg.estimate(f).expect("agg estimate");
+        let rhs = single_client.estimate(f).expect("single estimate");
+        assert!(
+            lhs.to_bits() == rhs.to_bits(),
+            "estimate parity broke at feature {f}: {lhs} vs {rhs}"
+        );
+    }
+    for probe in [
+        SparseVector::one_hot(7, 1.0),
+        SparseVector::one_hot(13, 1.0),
+        SparseVector::from_pairs(&[(7, 0.4), (13, 0.8)]),
+    ] {
+        let (m1, p1) = agg.predict(&probe).expect("agg predict");
+        let (m2, p2) = single_client.predict(&probe).expect("single predict");
+        assert!(m1.to_bits() == m2.to_bits(), "margin parity: {m1} vs {m2}");
+        assert_eq!(p1, p2);
+    }
+    let t1 = agg.top_k(8).expect("agg top-k");
+    let t2 = single_client.top_k(8).expect("single top-k");
+    assert_eq!(t1.len(), t2.len());
+    for (x, y) in t1.iter().zip(&t2) {
+        assert_eq!(x.feature, y.feature, "top-K feature order diverged");
+        assert!(x.weight.to_bits() == y.weight.to_bits());
+    }
+    println!("parity: aggregated model ≡ single-node model, bit for bit ✓");
+
+    let (margin, label) = agg
+        .predict(&SparseVector::one_hot(7, 1.0))
+        .expect("predict");
+    println!("\naggregator prediction for feature 7 alone: {label:+} (margin {margin:+.3})");
+    println!("top-4 features by |weight| on the aggregator:");
+    for e in t1.iter().take(4) {
+        println!("  feature {:>7}  weight {:+.4}", e.feature, e.weight);
+    }
+
+    for s in [single, node_a, node_b, aggregator] {
+        s.shutdown();
+    }
+}

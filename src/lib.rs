@@ -19,6 +19,9 @@
 //!   frequent-feature baselines, and the paper's memory cost model.
 //! * [`datagen`] — seeded synthetic workload generators standing in for the
 //!   paper's datasets (see `DESIGN.md` for the substitution table).
+//! * [`serve`] — the `WMS1` snapshot codec's transport: a TCP
+//!   ingest/query service whose nodes checkpoint, ship, and merge sketches
+//!   (exact by linearity) across process boundaries.
 //! * [`apps`] — the paper's §8 applications: streaming explanation,
 //!   relative-deltoid detection, and streaming PMI estimation.
 //!
@@ -55,4 +58,5 @@ pub use wmsketch_datagen as datagen;
 pub use wmsketch_hashing as hashing;
 pub use wmsketch_hh as hh;
 pub use wmsketch_learn as learn;
+pub use wmsketch_serve as serve;
 pub use wmsketch_sketch as sketch;
