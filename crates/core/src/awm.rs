@@ -189,19 +189,35 @@ impl AwmSketch {
     /// Panics if `width == 0`, `depth == 0`, or `heap_capacity == 0`.
     #[must_use]
     pub fn new(cfg: AwmSketchConfig) -> Self {
+        let z = vec![0.0; cfg.depth as usize * cfg.width as usize];
+        let active = TopKWeights::new(cfg.heap_capacity);
+        Self::from_parts(cfg, z, ScaleState::new(), 0, active)
+    }
+
+    /// Assembles a sketch from already-built state — the single
+    /// construction site shared by [`AwmSketch::new`] and the snapshot
+    /// decoder (which would otherwise allocate a zeroed cell vector and
+    /// an active set only to overwrite both).
+    fn from_parts(
+        cfg: AwmSketchConfig,
+        z: Vec<f64>,
+        scale: ScaleState,
+        t: u64,
+        active: TopKWeights,
+    ) -> Self {
         let hashers = RowHashers::new(cfg.hash_family, cfg.depth, cfg.width, cfg.seed);
         let s = f64::from(cfg.depth);
         Self {
             cfg,
             hashers,
-            z: vec![0.0; cfg.depth as usize * cfg.width as usize],
-            active: TopKWeights::new(cfg.heap_capacity),
-            scale: ScaleState::new(),
+            z,
+            active,
+            scale,
             inv_sqrt_s: 1.0 / s.sqrt(),
             sqrt_s: s.sqrt(),
             plan: CoordPlan::new(),
             slots: Vec::new(),
-            t: 0,
+            t,
         }
     }
 
@@ -473,12 +489,7 @@ impl SnapshotCodec for AwmSketch {
         let mut a = r.expect_section(SECTION_TOPK)?;
         let active = TopKWeights::decode_from(&mut a, cfg.heap_capacity)?;
         a.finish()?;
-        let mut awm = Self::new(cfg);
-        awm.z = z;
-        awm.scale = scale;
-        awm.t = t;
-        awm.active = active;
-        Ok(awm)
+        Ok(Self::from_parts(cfg, z, scale, t, active))
     }
 }
 

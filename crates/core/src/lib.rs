@@ -49,7 +49,7 @@ pub use multiclass::{MulticlassAwmSketch, MulticlassConfig};
 pub use sharded::{sharded_awm, sharded_wm, ShardedLearner, ShardedLearnerConfig};
 pub use theory::GuaranteeParams;
 pub use truncation::{ProbabilisticTruncation, SimpleTruncation, TruncationConfig};
-pub use wm::{WmSketch, WmSketchConfig};
+pub use wm::{WmSketch, WmSketchConfig, MAX_HEAP_CAPACITY};
 
 // Re-exports so downstream users need only this crate for the full method
 // matrix.

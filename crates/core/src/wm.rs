@@ -183,18 +183,35 @@ impl WmSketch {
     /// Panics if `width == 0` or `depth == 0`.
     #[must_use]
     pub fn new(cfg: WmSketchConfig) -> Self {
+        let z = vec![0.0; cfg.depth as usize * cfg.width as usize];
+        let heap =
+            (cfg.heap_capacity > 0).then(|| wmsketch_hh::TopKWeights::new(cfg.heap_capacity));
+        Self::from_parts(cfg, z, ScaleState::new(), 0, heap)
+    }
+
+    /// Assembles a sketch from already-built state — the single
+    /// construction site shared by [`WmSketch::new`] and the snapshot
+    /// decoder (which would otherwise allocate a zeroed cell vector and a
+    /// heap only to overwrite both).
+    fn from_parts(
+        cfg: WmSketchConfig,
+        z: Vec<f64>,
+        scale: ScaleState,
+        t: u64,
+        heap: Option<wmsketch_hh::TopKWeights>,
+    ) -> Self {
         let hashers = RowHashers::new(cfg.hash_family, cfg.depth, cfg.width, cfg.seed);
         let s = f64::from(cfg.depth);
         Self {
             cfg,
             hashers,
-            z: vec![0.0; cfg.depth as usize * cfg.width as usize],
-            scale: ScaleState::new(),
+            z,
+            scale,
             inv_sqrt_s: 1.0 / s.sqrt(),
             sqrt_s: s.sqrt(),
-            heap: (cfg.heap_capacity > 0).then(|| wmsketch_hh::TopKWeights::new(cfg.heap_capacity)),
+            heap,
             plan: CoordPlan::new(),
-            t: 0,
+            t,
         }
     }
 
@@ -360,6 +377,15 @@ impl MergeableLearner for WmSketch {
     }
 }
 
+/// Largest heap capacity a snapshot may declare. Constructing a sketch
+/// from a decoded config allocates `O(heap_capacity)` heap/index slots up
+/// front (before any per-entry validation runs), so an unbounded decoded
+/// capacity would let a crafted snapshot — reachable remotely via the
+/// serve crate's MERGE and RESTORE ops — demand an absurd reservation or
+/// abort on capacity overflow. Real configurations use a few hundred to a
+/// few thousand slots (the paper's Table 2 tops out at 2048).
+pub const MAX_HEAP_CAPACITY: usize = 1 << 20;
+
 /// Encodes a [`WmSketchConfig`] into the shared CONFIG section layout:
 /// `width (u32) | depth (u32) | heap_capacity (u64) | lambda (f64)
 /// | learning_rate | loss | hash_family | seed (u64)`.
@@ -392,6 +418,9 @@ pub(crate) fn take_wm_config(r: &mut Reader<'_>) -> Result<WmSketchConfig, Codec
     s.finish()?;
     if width == 0 || depth == 0 {
         return Err(CodecError::Invalid("sketch width/depth must be nonzero"));
+    }
+    if heap_capacity > MAX_HEAP_CAPACITY {
+        return Err(CodecError::Invalid("heap capacity is implausibly large"));
     }
     if !lambda.is_finite() {
         return Err(CodecError::Invalid("lambda must be finite"));
@@ -468,12 +497,7 @@ impl SnapshotCodec for WmSketch {
             _ => return Err(CodecError::Invalid("bad top-K presence flag")),
         };
         h.finish()?;
-        let mut wm = Self::new(cfg);
-        wm.z = z;
-        wm.scale = scale;
-        wm.t = t;
-        wm.heap = heap;
-        Ok(wm)
+        Ok(Self::from_parts(cfg, z, scale, t, heap))
     }
 }
 

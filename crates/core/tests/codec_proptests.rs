@@ -165,6 +165,93 @@ proptest! {
     }
 }
 
+/// A crafted snapshot declaring an absurd heap capacity (e.g. 2^61, with a
+/// matching TOPK capacity) must be rejected by the CONFIG validation
+/// *before* any capacity-sized allocation — `Vec::with_capacity(2^61)`
+/// would abort the process, violating the codec's never-panic guarantee,
+/// and the buffer is remotely reachable via the serve crate's MERGE and
+/// RESTORE ops.
+#[test]
+fn absurd_heap_capacity_is_rejected_before_allocation() {
+    // CONFIG is the first body section: envelope (magic 4 + kind 1 +
+    // flags 1) | tag u8 | len u32 | width u32 | depth u32 | heap_capacity
+    // u64 — so the capacity field occupies bytes 19..27.
+    const HEAP_CAPACITY_RANGE: std::ops::Range<usize> = 19..27;
+    let wm = WmSketch::new(WmSketchConfig::new(32, 2).heap_capacity(8).seed(1));
+    let awm = AwmSketch::new(AwmSketchConfig::new(8, 32).seed(1));
+    let mut wm_bytes = wm.to_snapshot_bytes();
+    let mut awm_bytes = awm.to_snapshot_bytes();
+    assert_eq!(&wm_bytes[HEAP_CAPACITY_RANGE], 8u64.to_le_bytes());
+    assert_eq!(&awm_bytes[HEAP_CAPACITY_RANGE], 8u64.to_le_bytes());
+    for huge in [
+        wmsketch_core::MAX_HEAP_CAPACITY as u64 + 1,
+        1u64 << 61,
+        u64::MAX,
+    ] {
+        wm_bytes[HEAP_CAPACITY_RANGE].copy_from_slice(&huge.to_le_bytes());
+        awm_bytes[HEAP_CAPACITY_RANGE].copy_from_slice(&huge.to_le_bytes());
+        assert!(matches!(
+            WmSketch::from_snapshot_bytes(&wm_bytes),
+            Err(CodecError::Invalid(_))
+        ));
+        assert!(matches!(
+            AwmSketch::from_snapshot_bytes(&awm_bytes),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+}
+
+/// A crafted non-finite learning-rate `eta0` must reject at decode: it
+/// drives every subsequent gradient step, so a NaN here would poison all
+/// touched cells on the first post-restore update — the same
+/// panic-under-the-learner-mutex wedge as a NaN cell, one field over.
+#[test]
+fn non_finite_eta0_is_rejected_at_decode() {
+    // CONFIG payload: width (4) | depth (4) | heap_capacity (8) |
+    // lambda (8) | schedule tag (1) | eta0 (8) — so after the 6-byte
+    // envelope and 5-byte section header, eta0 occupies bytes 36..44.
+    const ETA0_RANGE: std::ops::Range<usize> = 36..44;
+    let wm = WmSketch::new(WmSketchConfig::new(32, 2).heap_capacity(8).seed(1));
+    let bytes = wm.to_snapshot_bytes();
+    assert_eq!(
+        &bytes[ETA0_RANGE],
+        wm.config().learning_rate.eta0().to_bits().to_le_bytes()
+    );
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let mut corrupt = bytes.clone();
+        corrupt[ETA0_RANGE].copy_from_slice(&bad.to_bits().to_le_bytes());
+        assert!(matches!(
+            WmSketch::from_snapshot_bytes(&corrupt),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+}
+
+/// Crafted non-finite cells must reject at decode: a NaN cell would
+/// otherwise decode cleanly and panic the estimator's median/heap code far
+/// from the trust boundary (on a serving node: under the learner mutex,
+/// via OP_MERGE/OP_RESTORE).
+#[test]
+fn non_finite_cells_are_rejected_at_decode() {
+    let mut wm = WmSketch::new(WmSketchConfig::new(32, 2).heap_capacity(8).seed(1));
+    wm.update(&SparseVector::from_pairs(&[(3, 1.0)]), 1);
+    let bytes = wm.to_snapshot_bytes();
+    // Envelope is 6 bytes; each section is tag (u8) | len (u32) | payload.
+    // CONFIG is first; CELLS follows with a count (u64) before the f64s.
+    let config_len = u32::from_le_bytes(bytes[7..11].try_into().unwrap()) as usize;
+    let cells_tag = 6 + 5 + config_len;
+    assert_eq!(bytes[cells_tag], 0x02, "CELLS tag where expected");
+    let first_cell = cells_tag + 5 + 8;
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let mut corrupt = bytes.clone();
+        corrupt[first_cell..first_cell + 8].copy_from_slice(&bad.to_bits().to_le_bytes());
+        assert!(matches!(
+            WmSketch::from_snapshot_bytes(&corrupt),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+}
+
 #[test]
 fn wrong_kind_and_foreign_magic_are_typed() {
     let wm = WmSketch::new(WmSketchConfig::new(32, 2).seed(1));

@@ -17,7 +17,10 @@
 //!
 //! All integers are little-endian; `f64` values are stored as the raw
 //! little-endian bytes of [`f64::to_bits`], so round-trips are
-//! bit-identical (including negative zero and NaN payloads). Each
+//! bit-identical (including negative zero; structure decoders additionally
+//! require cell and weight values to be finite, since legitimate sketch
+//! state always is and a crafted NaN would panic estimator code far from
+//! the trust boundary). Each
 //! structure's body layout is documented on its `SnapshotCodec`
 //! implementation; the byte-by-byte reference for the whole family lives
 //! in the `wmsketch-serve` crate docs.
@@ -359,8 +362,14 @@ pub fn put_f64_section(w: &mut Writer, tag: u8, values: &[f64]) {
 /// actual length (so a corrupted count cannot demand an absurd
 /// reservation).
 ///
+/// Every value must be finite: legitimately-trained sketch cells always
+/// are, and a crafted NaN cell would otherwise decode cleanly and then
+/// panic the estimator's median/heap code far from the trust boundary
+/// (on a serving node: under the learner lock, wedging the process).
+///
 /// # Errors
-/// Any [`CodecError`] on a tag mismatch, count mismatch, or truncation.
+/// Any [`CodecError`] on a tag mismatch, count mismatch, truncation, or a
+/// non-finite value.
 pub fn take_f64_section(
     r: &mut Reader<'_>,
     tag: u8,
@@ -379,7 +388,11 @@ pub fn take_f64_section(
     }
     let mut values = Vec::with_capacity(expected);
     for _ in 0..expected {
-        values.push(s.take_f64()?);
+        let v = s.take_f64()?;
+        if !v.is_finite() {
+            return Err(CodecError::Invalid("non-finite cell value"));
+        }
+        values.push(v);
     }
     s.finish()?;
     Ok(values)

@@ -226,7 +226,7 @@ impl TopKWeights {
     /// # Errors
     /// [`wmsketch_hashing::codec::CodecError`] on truncation, a capacity
     /// mismatch, a zero capacity, more entries than capacity, a duplicate
-    /// feature, or a NaN weight.
+    /// feature, or a non-finite weight.
     pub fn decode_from(
         r: &mut wmsketch_hashing::codec::Reader<'_>,
         expected_capacity: usize,
@@ -250,8 +250,8 @@ impl TopKWeights {
         for _ in 0..count {
             let feature = r.take_u32()?;
             let weight = r.take_f64()?;
-            if weight.is_nan() {
-                return Err(CodecError::Invalid("NaN top-K weight"));
+            if !weight.is_finite() {
+                return Err(CodecError::Invalid("non-finite top-K weight"));
             }
             if tracker.contains(feature) {
                 return Err(CodecError::Invalid("duplicate top-K feature"));

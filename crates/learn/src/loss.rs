@@ -145,17 +145,28 @@ impl LossKind {
         }
     }
 
-    /// Decodes a loss written by [`LossKind::encode_into`].
+    /// Decodes a loss written by [`LossKind::encode_into`]. A smoothed
+    /// hinge `gamma` must be finite and positive: it divides the gradient,
+    /// so a crafted zero/NaN/inf value would otherwise decode cleanly and
+    /// poison every cell the next update touches.
     ///
     /// # Errors
-    /// [`wmsketch_hashing::codec::CodecError`] on truncation or an unknown
-    /// loss tag.
+    /// [`wmsketch_hashing::codec::CodecError`] on truncation, an unknown
+    /// loss tag, or an out-of-domain `gamma`.
     pub fn decode_from(
         r: &mut wmsketch_hashing::codec::Reader<'_>,
     ) -> Result<Self, wmsketch_hashing::codec::CodecError> {
         match r.take_u8()? {
             0 => Ok(LossKind::Logistic),
-            1 => Ok(LossKind::SmoothedHinge(r.take_f64()?)),
+            1 => {
+                let gamma = r.take_f64()?;
+                if !gamma.is_finite() || gamma <= 0.0 {
+                    return Err(wmsketch_hashing::codec::CodecError::Invalid(
+                        "smoothed-hinge gamma must be finite and positive",
+                    ));
+                }
+                Ok(LossKind::SmoothedHinge(gamma))
+            }
             2 => Ok(LossKind::Squared),
             _ => Err(wmsketch_hashing::codec::CodecError::Invalid(
                 "unknown loss tag",
@@ -195,6 +206,20 @@ impl Loss for LossKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn decode_rejects_out_of_domain_gamma() {
+        use wmsketch_hashing::codec::{CodecError, Reader, Writer};
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let mut w = Writer::new();
+            w.put_u8(1);
+            w.put_f64(bad);
+            assert!(matches!(
+                LossKind::decode_from(&mut Reader::new(&w.into_bytes())),
+                Err(CodecError::Invalid(_))
+            ));
+        }
+    }
 
     fn numeric_deriv<L: Loss>(loss: &L, t: f64) -> f64 {
         let h = 1e-6;

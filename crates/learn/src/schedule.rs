@@ -59,15 +59,22 @@ impl LearningRate {
     }
 
     /// Decodes a schedule written by [`LearningRate::encode_into`].
+    /// `eta0` must be finite: a crafted NaN/inf step size would otherwise
+    /// decode cleanly and poison every cell the next update touches.
     ///
     /// # Errors
-    /// [`wmsketch_hashing::codec::CodecError`] on truncation or an unknown
-    /// schedule tag.
+    /// [`wmsketch_hashing::codec::CodecError`] on truncation, an unknown
+    /// schedule tag, or a non-finite `eta0`.
     pub fn decode_from(
         r: &mut wmsketch_hashing::codec::Reader<'_>,
     ) -> Result<Self, wmsketch_hashing::codec::CodecError> {
         let tag = r.take_u8()?;
         let eta0 = r.take_f64()?;
+        if !eta0.is_finite() {
+            return Err(wmsketch_hashing::codec::CodecError::Invalid(
+                "learning-rate eta0 must be finite",
+            ));
+        }
         match tag {
             0 => Ok(LearningRate::Constant(eta0)),
             1 => Ok(LearningRate::InvSqrt(eta0)),
@@ -82,6 +89,20 @@ impl LearningRate {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn decode_rejects_non_finite_eta0() {
+        use wmsketch_hashing::codec::{CodecError, Reader, Writer};
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut w = Writer::new();
+            w.put_u8(0);
+            w.put_f64(bad);
+            assert!(matches!(
+                LearningRate::decode_from(&mut Reader::new(&w.into_bytes())),
+                Err(CodecError::Invalid(_))
+            ));
+        }
+    }
 
     #[test]
     fn constant_is_constant() {

@@ -98,7 +98,10 @@ impl ServeClient {
         let resp = self.call(&request(OP_TOPK, w))?;
         let mut r = Reader::new(&resp);
         let count = r.take_u32()?;
-        let mut out = Vec::with_capacity(count as usize);
+        // Clamp the reservation to what the payload can actually hold
+        // (12 bytes per entry), so a corrupt or hostile count cannot
+        // demand an absurd allocation before the reads below reject it.
+        let mut out = Vec::with_capacity((count as usize).min(r.remaining() / 12));
         for _ in 0..count {
             let feature = r.take_u32()?;
             let weight = r.take_f64()?;

@@ -25,8 +25,10 @@
 //! ## Snapshot layout (`WMS1`), byte by byte
 //!
 //! All integers are little-endian. `f64` fields are the 8 raw bytes of
-//! [`f64::to_bits`], making round trips bit-identical (including `-0.0`
-//! and NaN payloads).
+//! [`f64::to_bits`], making round trips bit-identical (including `-0.0`;
+//! decoders reject non-finite cell and weight values — legitimate sketch
+//! state is always finite, and a crafted NaN would otherwise panic
+//! estimator code far from the trust boundary).
 //!
 //! ```text
 //! offset  size  field
@@ -72,6 +74,14 @@
 //! merge-compatible with its origin — the property the MERGE op depends
 //! on.
 //!
+//! Decoders bound every size field before allocating: `heap_capacity`
+//! must not exceed `wmsketch_core::MAX_HEAP_CAPACITY`, the polynomial
+//! independence level is capped by
+//! `wmsketch_hashing::codec::MAX_POLY_INDEPENDENCE`, and array
+//! reservations are clamped to what the remaining bytes can hold — a
+//! crafted snapshot yields a typed `CodecError`, never a panic or an
+//! absurd allocation.
+//!
 //! ## Wire protocol, byte by byte
 //!
 //! Both directions speak length-prefixed frames over TCP:
@@ -86,11 +96,15 @@
 //! Shared payload encodings:
 //!
 //! ```text
-//! features := nnz (u32) | nnz x (index u32 | value f64)
+//! features := nnz (u32) | nnz x (index u32 | value f64, finite)
 //! example  := label (i8, +1/-1) | features
 //! batch    := count (u32) | count x example
 //! path     := len (u32) | UTF-8 bytes
 //! ```
+//!
+//! Feature values must be finite and labels must be `+1`/`-1`; the server
+//! rejects anything else with a typed error before it can reach (and
+//! poison) the model.
 //!
 //! Opcodes and their payloads:
 //!

@@ -13,8 +13,12 @@ use wmsketch_hashing::codec::{CodecError, Reader, Writer};
 use crate::error::ServeError;
 
 /// Hard upper bound on a frame body, protecting both sides from corrupted
-/// or hostile length prefixes (64 MiB comfortably holds the largest
-/// realistic snapshot: a 2^23-cell sketch).
+/// or hostile length prefixes. 64 MiB comfortably holds the largest
+/// realistic snapshot — a 2^22-cell sketch (32 MiB of cells) plus top-K
+/// state; a 2^23-cell sketch's CELLS payload alone already fills the cap.
+/// Configurations that need bigger snapshots over SNAPSHOT/MERGE must
+/// raise this on every node in lockstep (CHECKPOINT/RESTORE go through
+/// the filesystem and are not subject to it).
 pub const MAX_FRAME_LEN: u32 = 64 << 20;
 
 /// Request opcode: batch ingest of labelled examples.
@@ -96,10 +100,15 @@ pub fn put_features(w: &mut Writer, x: &SparseVector) {
 
 /// Decodes a feature vector written by [`put_features`]. Input pairs are
 /// re-canonicalized (sorted, duplicates summed), so hostile encodings
-/// cannot violate `SparseVector`'s invariants.
+/// cannot violate `SparseVector`'s invariants. The *canonical* values
+/// must be finite — checked after duplicate summing, since two finite
+/// entries on one index can overflow to infinity: a NaN or infinite
+/// value would poison sketch cells and later panic the estimator's
+/// median/heap code while the server holds the learner lock, so it is
+/// rejected here, at the trust boundary.
 ///
 /// # Errors
-/// [`CodecError`] on truncation.
+/// [`CodecError`] on truncation or a non-finite canonical value.
 pub fn take_features(r: &mut Reader<'_>) -> Result<SparseVector, CodecError> {
     let nnz = r.take_u32()? as usize;
     // nnz is bounded by the frame the reader wraps (≤ MAX_FRAME_LEN), and
@@ -116,7 +125,11 @@ pub fn take_features(r: &mut Reader<'_>) -> Result<SparseVector, CodecError> {
         let v = r.take_f64()?;
         pairs.push((i, v));
     }
-    Ok(SparseVector::from_pairs(&pairs))
+    let x = SparseVector::from_pairs(&pairs);
+    if x.values().iter().any(|v| !v.is_finite()) {
+        return Err(CodecError::Invalid("feature value must be finite"));
+    }
+    Ok(x)
 }
 
 /// Encodes a labelled example batch:
@@ -136,7 +149,11 @@ pub fn put_examples(w: &mut Writer, batch: &[(SparseVector, Label)]) {
 /// [`CodecError`] on truncation or an out-of-domain label.
 pub fn take_examples(r: &mut Reader<'_>) -> Result<Vec<(SparseVector, Label)>, CodecError> {
     let count = r.take_u32()? as usize;
-    let mut batch = Vec::with_capacity(count.min(r.remaining()));
+    // Clamp the reservation to what the payload can actually hold — an
+    // example is at least 5 bytes on the wire (label i8 + nnz u32), so a
+    // hostile count in a large frame cannot demand a reservation orders
+    // of magnitude past the frame size.
+    let mut batch = Vec::with_capacity(count.min(r.remaining() / 5));
     for _ in 0..count {
         let y = r.take_i8()?;
         if y != 1 && y != -1 {
@@ -196,6 +213,50 @@ mod tests {
         let back = take_examples(&mut r).unwrap();
         r.finish().unwrap();
         assert_eq!(back, batch);
+    }
+
+    /// Non-finite feature values are rejected at the decode boundary: a
+    /// NaN value would otherwise poison sketch cells and panic the
+    /// estimator's median/heap code while the server holds the learner
+    /// lock, wedging every later request on the poisoned mutex.
+    #[test]
+    fn non_finite_feature_value_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut w = Writer::new();
+            w.put_u32(2);
+            w.put_u32(3);
+            w.put_f64(1.0);
+            w.put_u32(7);
+            w.put_f64(bad);
+            assert!(matches!(
+                take_features(&mut Reader::new(&w.into_bytes())),
+                Err(CodecError::Invalid(_))
+            ));
+            // And through the batch decoder the UPDATE op uses.
+            let mut w = Writer::new();
+            w.put_u32(1);
+            w.put_i8(1);
+            w.put_u32(1);
+            w.put_u32(0);
+            w.put_f64(bad);
+            assert!(matches!(
+                take_examples(&mut Reader::new(&w.into_bytes())),
+                Err(CodecError::Invalid(_))
+            ));
+        }
+        // Duplicate indices are summed during canonicalization, so two
+        // individually-finite entries can overflow; the finite check runs
+        // on the canonical values and must catch that too.
+        let mut w = Writer::new();
+        w.put_u32(2);
+        w.put_u32(7);
+        w.put_f64(1e308);
+        w.put_u32(7);
+        w.put_f64(1e308);
+        assert!(matches!(
+            take_features(&mut Reader::new(&w.into_bytes())),
+            Err(CodecError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -17,9 +17,9 @@ use wmsketch_hashing::codec::{Reader, Writer};
 
 use crate::error::ServeError;
 use crate::protocol::{
-    self, take_examples, take_features, write_frame, OP_CHECKPOINT, OP_ESTIMATE, OP_MERGE,
-    OP_PREDICT, OP_RESET, OP_RESTORE, OP_SHUTDOWN, OP_SNAPSHOT, OP_STATS, OP_TOPK, OP_UPDATE,
-    STATUS_ERR, STATUS_OK,
+    self, take_examples, take_features, write_frame, MAX_FRAME_LEN, OP_CHECKPOINT, OP_ESTIMATE,
+    OP_MERGE, OP_PREDICT, OP_RESET, OP_RESTORE, OP_SHUTDOWN, OP_SNAPSHOT, OP_STATS, OP_TOPK,
+    OP_UPDATE, STATUS_ERR, STATUS_OK,
 };
 
 /// How long a connection thread blocks on the socket before re-checking
@@ -178,11 +178,26 @@ impl ServerHandle {
     fn shutdown_inner(&mut self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
         // Wake the (blocking) accept call with a throwaway connection.
-        let _ = TcpStream::connect(self.state.addr);
+        let _ = TcpStream::connect(wake_addr(self.state.addr));
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
     }
+}
+
+/// Address used to self-connect and wake the blocking accept loop.
+/// Connecting to an unspecified bind address (`0.0.0.0` / `::`) is
+/// non-portable (it fails outright on some platforms, leaving accept
+/// blocked and shutdown joining forever), so substitute the matching
+/// loopback.
+fn wake_addr(mut addr: SocketAddr) -> SocketAddr {
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    addr
 }
 
 impl Drop for ServerHandle {
@@ -217,6 +232,11 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
                 if state.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
+                // Persistent accept errors (e.g. fd exhaustion) fail
+                // instantly; back off briefly instead of spinning a core —
+                // which would starve the very connection threads whose
+                // exit frees the descriptors.
+                std::thread::sleep(Duration::from_millis(10));
             }
         }
     }
@@ -240,7 +260,12 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) -> Result<(
             Ok(None) => return Ok(()),
             Err(e) => return Err(e),
         };
-        let response = match handle_request(&body, state) {
+        let result = handle_request(&body, state);
+        // OP_SHUTDOWN closes this connection only when the request was
+        // actually honored — a malformed shutdown frame gets an ERR
+        // response on a connection that stays open, like any other error.
+        let shutdown = result.is_ok() && body.first() == Some(&OP_SHUTDOWN);
+        let mut response = match result {
             Ok(payload) => {
                 let mut w = Writer::new();
                 w.put_u8(STATUS_OK);
@@ -254,8 +279,17 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) -> Result<(
                 w.into_bytes()
             }
         };
+        if response.len() > MAX_FRAME_LEN as usize {
+            // E.g. a SNAPSHOT of a sketch too large for one frame: report
+            // the failure instead of silently dropping the connection
+            // when write_frame rejects the oversized body.
+            let mut w = Writer::new();
+            w.put_u8(STATUS_ERR);
+            w.put_bytes(b"response exceeds MAX_FRAME_LEN");
+            response = w.into_bytes();
+        }
         write_frame(&mut stream, &response)?;
-        if !body.is_empty() && body[0] == OP_SHUTDOWN {
+        if shutdown {
             return Ok(());
         }
     }
@@ -421,7 +455,7 @@ fn handle_request(body: &[u8], state: &Arc<ServerState>) -> Result<Vec<u8>, Serv
             r.finish()?;
             state.shutdown.store(true, Ordering::SeqCst);
             // Wake the accept loop so the drain starts immediately.
-            let _ = TcpStream::connect(state.addr);
+            let _ = TcpStream::connect(wake_addr(state.addr));
         }
         _ => return Err(ServeError::Protocol("unknown opcode")),
     }

@@ -71,7 +71,7 @@ fn oddeven_network<const N: usize>(v: &mut [f64]) {
 
 /// Sorts `values` (of length ≤ [`NETWORK_MAX_DEPTH`]) with the
 /// monomorphized network for its exact length and returns the lower
-/// median.
+/// median, canonicalized per [`median_inplace`].
 ///
 /// # Panics
 /// Panics if `values` is empty or longer than [`NETWORK_MAX_DEPTH`].
@@ -96,13 +96,15 @@ pub fn median_network_inplace(values: &mut [f64]) -> f64 {
         16 => oddeven_network::<16>(values),
         n => panic!("sorting-network median supports 1..={NETWORK_MAX_DEPTH} values, got {n}"),
     }
-    values[(values.len() - 1) / 2]
+    // + 0.0 canonicalizes -0.0 to +0.0 and is exact for every other value;
+    // see median_inplace.
+    values[(values.len() - 1) / 2] + 0.0
 }
 
 /// Returns the lower median of `values` by introselect, reordering the
-/// slice in place. This is the fallback path for depths >
-/// [`NETWORK_MAX_DEPTH`] and the golden reference the network path is
-/// tested against.
+/// slice in place, canonicalized per [`median_inplace`]. This is the
+/// fallback path for depths > [`NETWORK_MAX_DEPTH`] and the golden
+/// reference the network path is tested against.
 ///
 /// Returns `0.0` for an empty slice.
 ///
@@ -116,7 +118,7 @@ pub fn median_select_inplace(values: &mut [f64]) -> f64 {
     let mid = (values.len() - 1) / 2;
     let (_, m, _) =
         values.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("NaN in median input"));
-    *m
+    *m + 0.0
 }
 
 /// Returns the median of `values`, reordering the slice in place.
@@ -127,12 +129,23 @@ pub fn median_select_inplace(values: &mut [f64]) -> f64 {
 /// of the actual per-row estimates).
 ///
 /// Lengths ≤ [`NETWORK_MAX_DEPTH`] run through a branchless sorting
-/// network; longer inputs use introselect. Both return identical values.
+/// network; longer inputs use introselect. Both paths return bit-identical
+/// values: a zero median is canonicalized to `+0.0` (via `+ 0.0`, exact
+/// for every other value), because the two selection paths may otherwise
+/// land a `-0.0` vs a `+0.0` from a mixed-zero tie — numerically equal but
+/// with different bit patterns, which would leak through the snapshot
+/// codec's bit-identity guarantee.
 ///
 /// Returns `0.0` for an empty slice.
+///
+/// NaN input is unsupported (sketch cells are never NaN): debug builds
+/// assert, release behavior depends on length — the introselect path
+/// panics while the network path, whose compare-exchanges are branchless,
+/// returns an unspecified element.
 #[must_use]
 #[inline]
 pub fn median_inplace(values: &mut [f64]) -> f64 {
+    debug_assert!(values.iter().all(|v| !v.is_nan()), "NaN in median input");
     match values.len() {
         0 => 0.0,
         n if n <= NETWORK_MAX_DEPTH => median_network_inplace(values),
@@ -277,13 +290,31 @@ mod tests {
                 let mut by_select = vals.clone();
                 let a = median_network_inplace(&mut vals);
                 let b = median_select_inplace(&mut by_select);
-                assert!(
-                    a.to_bits() == b.to_bits() || (a == 0.0 && b == 0.0),
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
                     "n={n} case={case}: network {a} vs select {b}"
                 );
-                assert_eq!(a.partial_cmp(&b), Some(std::cmp::Ordering::Equal));
             }
         }
+    }
+
+    /// A zero median is always +0.0 on both paths, no matter which signed
+    /// zero the selection lands on — the canonicalization that makes the
+    /// two paths bit-identical.
+    #[test]
+    fn zero_median_is_canonical_positive_zero() {
+        assert_eq!(median_network_inplace(&mut [-0.0]).to_bits(), 0);
+        assert_eq!(median_select_inplace(&mut [-0.0]).to_bits(), 0);
+        assert_eq!(median_network_inplace(&mut [0.0, -0.0, -0.0]).to_bits(), 0);
+        assert_eq!(median_select_inplace(&mut [0.0, -0.0, -0.0]).to_bits(), 0);
+        let mut long: Vec<f64> = vec![-0.0; NETWORK_MAX_DEPTH + 5];
+        assert_eq!(median_inplace(&mut long).to_bits(), 0);
+        // Nonzero medians are untouched bit for bit.
+        assert_eq!(
+            median_network_inplace(&mut [-1.5, -1.5, -1.5]).to_bits(),
+            (-1.5f64).to_bits()
+        );
     }
 
     #[test]
