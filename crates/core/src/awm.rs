@@ -171,6 +171,19 @@ pub struct AwmSketch {
 /// therefore were not hashed into the plan.
 const NOT_PLANNED: usize = usize::MAX;
 
+/// Depth-1 fast path for a planned slot's sign-corrected scaled value:
+/// bit-identical to `median_inplace(plan.slot_values(slot, cells, scale))`
+/// when the plan has exactly one row — the "median" over one value is the
+/// value itself, and `+ 0.0` applies the same ±0.0 canonicalization the
+/// median paths do. Skips the scratch fill and the median dispatch
+/// entirely, which is most of the per-feature query cost at the paper's
+/// best AWM shape (width 1024, depth 1).
+#[inline]
+fn slot_value_depth1(plan: &CoordPlan, slot: usize, cells: &[f64], scale: f64) -> f64 {
+    let (offsets, signs) = plan.coords(slot);
+    scale * signs[0] * cells[offsets[0] as usize] + 0.0
+}
+
 impl std::fmt::Debug for AwmSketch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AwmSketch")
@@ -521,6 +534,9 @@ impl OnlineLearner for AwmSketch {
     /// never hashed at all (as in the reference path); the rare features
     /// whose membership changes mid-update — an eviction displacing a
     /// margin-time-active feature — are planned lazily at their turn.
+    /// The gather/scatter walks run through the runtime-dispatched kernels
+    /// in `wmsketch_hashing::simd`, and depth-1 sketches (the paper's best
+    /// AWM shape) skip the median machinery via [`slot_value_depth1`].
     /// Arithmetic order matches [`AwmSketch::update_naive`] operation for
     /// operation, so the resulting state is bit-identical.
     fn update(&mut self, x: &SparseVector, y: Label) {
@@ -563,6 +579,7 @@ impl OnlineLearner for AwmSketch {
             slots,
             ..
         } = self;
+        let depth_one = plan.depth() == 1;
         for (idx, (i, xi)) in x.iter().enumerate() {
             let stored_step = scale.store(-eta * g * xi);
             if let Some(w) = active.get(i) {
@@ -576,8 +593,14 @@ impl OnlineLearner for AwmSketch {
                     slot => slot,
                 };
                 // Candidate weight w̃ = Query(i) − η·y·x_i·ℓ'(yτ), pre-scale,
-                // with the query replayed from cached coordinates.
-                let w_tilde = median_inplace(plan.slot_values(slot, z, sqrt_s)) + stored_step;
+                // with the query replayed from cached coordinates (depth 1
+                // reads the one cell directly, skipping the median).
+                let queried = if depth_one {
+                    slot_value_depth1(plan, slot, z, sqrt_s)
+                } else {
+                    median_inplace(plan.slot_values(slot, z, sqrt_s))
+                };
+                let w_tilde = queried + stored_step;
                 match active.offer(i, w_tilde) {
                     Offer::Evicted(evicted) => {
                         // Spill the evicted feature back: write the residual
@@ -585,8 +608,12 @@ impl OnlineLearner for AwmSketch {
                         // The evicted feature is arbitrary, so it needs its
                         // own (single) hashing pass.
                         let ev_slot = hashers.plan_push(plan, u64::from(evicted.feature));
-                        let residual =
-                            evicted.weight - median_inplace(plan.slot_values(ev_slot, z, sqrt_s));
+                        let ev_query = if depth_one {
+                            slot_value_depth1(plan, ev_slot, z, sqrt_s)
+                        } else {
+                            median_inplace(plan.slot_values(ev_slot, z, sqrt_s))
+                        };
+                        let residual = evicted.weight - ev_query;
                         plan.slot_scatter(ev_slot, z, residual * inv_sqrt_s);
                     }
                     Offer::Inserted => {

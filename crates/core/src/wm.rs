@@ -512,9 +512,13 @@ impl OnlineLearner for WmSketch {
     /// ([`RowHashers::fill_plan`]) and replays the cached coordinates for
     /// all three traversals the seed path paid separate hashing for: the
     /// margin dot-product, the gradient scatter, and the post-scatter
-    /// median re-estimation feeding the passive top-K heap. Arithmetic
-    /// order matches [`WmSketch::update_naive`] operation for operation, so
-    /// the resulting sketch state is bit-identical.
+    /// median re-estimation feeding the passive top-K heap. The
+    /// gather/scatter walks run through the runtime-dispatched kernels in
+    /// `wmsketch_hashing::simd`, and depth-1 sketches take a fast path
+    /// that skips the median machinery (a 1-row "median" is the
+    /// sign-corrected cell). Arithmetic order matches
+    /// [`WmSketch::update_naive`] operation for operation, so the
+    /// resulting sketch state is bit-identical.
     fn update(&mut self, x: &SparseVector, y: Label) {
         debug_check_label(y);
         self.t += 1;
@@ -536,6 +540,7 @@ impl OnlineLearner for WmSketch {
             let sqrt_s = self.sqrt_s;
             let scale = self.scale;
             let Self { z, plan, heap, .. } = self;
+            let depth_one = plan.depth() == 1;
             for (slot, (i, xi)) in x.iter().enumerate() {
                 let delta = scale.store(-eta * g * xi * inv_sqrt_s);
                 if let Some(heap) = heap {
@@ -543,7 +548,17 @@ impl OnlineLearner for WmSketch {
                     // maintenance in one walk over the cached cells — the
                     // post-scatter median comes from the values just
                     // written, not a fresh hash-and-recover per feature.
-                    let est = median_inplace(plan.slot_scatter_and_values(slot, z, delta, sqrt_s));
+                    let est = if depth_one {
+                        // Depth-1 fast path: one cell, no median buffer.
+                        // `+ 0.0` canonicalizes -0.0 exactly as
+                        // median_inplace would.
+                        let (offsets, signs) = plan.coords(slot);
+                        let cell = &mut z[offsets[0] as usize];
+                        *cell += signs[0] * delta;
+                        sqrt_s * signs[0] * *cell + 0.0
+                    } else {
+                        median_inplace(plan.slot_scatter_and_values(slot, z, delta, sqrt_s))
+                    };
                     heap.offer(i, est);
                 } else {
                     plan.slot_scatter(slot, z, delta);

@@ -1,0 +1,950 @@
+//! Vectorized scatter/gather kernels over [`CoordPlan`]-style coordinate
+//! arrays, with runtime CPU-feature dispatch.
+//!
+//! [`CoordPlan`](crate::CoordPlan)'s SoA layout — per-slot runs of `u32`
+//! flat cell offsets and `±1.0` signs — was chosen in PR 1 so the update
+//! hot loops could be treated as dense linear-algebra kernels. This module
+//! is that kernel layer:
+//!
+//! * [`gather_dot`] — the margin gather `Σ_j signs[j] · cells[offsets[j]]`;
+//! * [`gather_scaled`] — the median-buffer fill
+//!   `out[j] = (scale · signs[j]) · cells[offsets[j]]`;
+//! * [`scatter_add`] — the gradient scatter
+//!   `cells[offsets[j]] += signs[j] · delta`;
+//! * [`scatter_add_values`] — the fused scatter + post-scatter
+//!   re-estimation gather of the WM update pipeline.
+//!
+//! Count-Min's estimate fold (`min_j cells[offsets[j]]`) deliberately
+//! stays *outside* this layer: an order-sensitive `<` fold cannot use
+//! lane-parallel `minpd` without changing which of two equal (`±0.0`)
+//! cells wins, so its fastest correct form is the interleaved
+//! hash-and-fold walk it already had.
+//!
+//! # Bit-identity contract
+//!
+//! Every kernel produces results **bit-identical** to its scalar reference
+//! loop, on every backend. This is what lets the runtime dispatch hide
+//! behind the sketches' golden `fused ≡ naive` guarantees:
+//!
+//! * per-element arithmetic uses exactly the scalar expression shapes
+//!   (`s · c`, `(scale · s) · c`, `c + s · delta` — one multiply, one add,
+//!   never an FMA contraction);
+//! * reductions that are order-sensitive ([`gather_dot`]) vectorize only
+//!   the loads and multiplies and run the fold itself in scalar element
+//!   order;
+//! * the scatters preserve scalar read-modify-write order under offset
+//!   collisions: each 4-lane group is checked for pairwise-distinct
+//!   offsets, and a colliding group falls back to the scalar tail loop
+//!   for that group (groups are processed in element order, so
+//!   cross-group dependencies resolve exactly as in the scalar loop).
+//!
+//! # Dispatch policy
+//!
+//! [`active_backend`] (coordinate kernels) and [`active_hash_backend`]
+//! (the batch tabulation hash in `RowHashers::fill_plan`) resolve, in
+//! priority order:
+//!
+//! 1. a process-local override installed by [`force_backend`] (used by
+//!    differential tests and the throughput bench to pin a backend);
+//! 2. the `WMSKETCH_FORCE_SCALAR` environment variable (any value other
+//!    than `0`/empty forces [`Backend::Scalar`]; read once per process) —
+//!    the escape hatch for soak-testing the fallback on AVX2 hosts — and
+//!    its counterpart `WMSKETCH_FORCE_AVX2`, which skips calibration and
+//!    pins AVX2 where supported;
+//! 3. runtime CPU detection **plus a one-shot profitability
+//!    calibration**: on hosts that report AVX2, each kernel class times a
+//!    short deterministic micro-trial of its scalar and AVX2
+//!    implementations (best-of-N, scalar as the incumbent — AVX2 must win
+//!    by a clear margin) and caches the winner for the process lifetime.
+//!
+//! The calibration step exists because "has AVX2" does not imply "AVX2
+//! gathers are fast": on several server microarchitectures (including
+//! some cloud Xeons this repo builds on) gather-style access is
+//! microcoded and *loses* to scalar loads at sketch depths, while other
+//! parts run it at full throughput. Feature detection alone would pick a
+//! measured regression; calibrating guarantees the dispatched path is
+//! never slower than the scalar fallback (up to trial noise), whatever
+//! the host. Correctness never depends on the choice — every backend is
+//! bit-identical — so a mis-calibration under extreme timer noise costs
+//! only a few percent of throughput, never a result.
+//!
+//! A [`Backend::Avx2`] override on a host without AVX2 silently resolves
+//! to scalar — the override can widen test coverage, never break safety.
+//! Kernels additionally route tiny inputs (fewer than one vector group)
+//! to the scalar path, so callers never pay vector setup they cannot
+//! amortize. The AVX2 bodies load cells with bounds-checked scalar loads
+//! packed into vectors, so only the arithmetic is intrinsic and
+//! out-of-bounds offsets panic exactly like the scalar loops.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which kernel implementation [`active_backend`] resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Auto-vectorization-friendly scalar loops; correct everywhere.
+    Scalar,
+    /// `core::arch::x86_64` AVX2 gathers (`vgatherdpd`/`vpgatherqq`);
+    /// only ever selected when the host reports AVX2 at runtime.
+    Avx2,
+}
+
+impl Backend {
+    /// Stable lowercase name, for logs and bench metadata.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Whether the host CPU supports the AVX2 kernel set.
+#[must_use]
+pub fn avx2_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Process-local override: 0 = none, 1 = scalar, 2 = avx2.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// What the environment variables ask for, read once per process.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EnvPolicy {
+    /// No relevant variable set: calibrate.
+    Auto,
+    /// `WMSKETCH_FORCE_SCALAR`: scalar everywhere.
+    ForceScalar,
+    /// `WMSKETCH_FORCE_AVX2`: AVX2 where supported, skipping calibration.
+    ForceAvx2,
+}
+
+fn env_policy() -> EnvPolicy {
+    static POLICY: OnceLock<EnvPolicy> = OnceLock::new();
+    let set = |name: &str| {
+        std::env::var(name)
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    };
+    *POLICY.get_or_init(|| {
+        if set("WMSKETCH_FORCE_SCALAR") {
+            EnvPolicy::ForceScalar
+        } else if set("WMSKETCH_FORCE_AVX2") {
+            EnvPolicy::ForceAvx2
+        } else {
+            EnvPolicy::Auto
+        }
+    })
+}
+
+/// Times `work` over `trials` runs and returns the fastest run — the
+/// minimum is robust to preemption on shared hosts, which only ever adds
+/// time.
+#[cfg(target_arch = "x86_64")]
+fn best_of(trials: usize, mut work: impl FnMut()) -> std::time::Duration {
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..trials {
+        let start = std::time::Instant::now();
+        work();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Margin the AVX2 trial must beat scalar by before it is adopted:
+/// `avx2 × NUM < scalar × DEN`, i.e. at least ~5% faster. Scalar is the
+/// incumbent — ties and noise go to the portable path.
+#[cfg(target_arch = "x86_64")]
+const CALIBRATION_MARGIN: (u32, u32) = (21, 20);
+
+/// One-shot profitability trial for the coordinate kernels: a
+/// deterministic depth-14 workload (the paper's 8 KB WM shape) of margin
+/// gathers and fused scatter+value fills, timed on both implementations.
+#[cfg(target_arch = "x86_64")]
+fn calibrate_coord_kernels() -> Backend {
+    use crate::mix::splitmix64;
+    const DEPTH: usize = 14;
+    const SLOTS: usize = 64;
+    const REPS: usize = 48;
+    let cells_init: Vec<f64> = (0..2048)
+        .map(|i| (splitmix64(i) as f64 / u64::MAX as f64) - 0.5)
+        .collect();
+    let offsets: Vec<u32> = (0..SLOTS * DEPTH)
+        .map(|i| (splitmix64(i as u64 ^ 0xC0DE) % 2048) as u32)
+        .collect();
+    let signs: Vec<f64> = (0..SLOTS * DEPTH)
+        .map(|i| {
+            if splitmix64(i as u64 ^ 0x51) & 1 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+        .collect();
+    let mut cells = cells_init.clone();
+    let mut out = [0.0f64; DEPTH];
+    let mut run_scalar = || {
+        let mut sink = 0.0;
+        for _ in 0..REPS {
+            for slot in 0..SLOTS {
+                let run = slot * DEPTH..(slot + 1) * DEPTH;
+                sink += gather_dot_scalar(&cells, &offsets[run.clone()], &signs[run.clone()]);
+                scatter_add_values_scalar(
+                    &mut cells,
+                    &offsets[run.clone()],
+                    &signs[run],
+                    1e-12,
+                    2.0,
+                    &mut out,
+                );
+            }
+        }
+        std::hint::black_box(sink);
+    };
+    let scalar = best_of(3, &mut run_scalar);
+    let mut cells = cells_init;
+    let mut run_avx2 = || {
+        let mut sink = 0.0;
+        for _ in 0..REPS {
+            for slot in 0..SLOTS {
+                let run = slot * DEPTH..(slot + 1) * DEPTH;
+                // SAFETY: the caller (`default_backend`) only calibrates
+                // when the runtime AVX2 check passed.
+                unsafe {
+                    sink += avx2::gather_dot(&cells, &offsets[run.clone()], &signs[run.clone()]);
+                    avx2::scatter_add_values(
+                        &mut cells,
+                        &offsets[run.clone()],
+                        &signs[run],
+                        1e-12,
+                        2.0,
+                        &mut out,
+                    );
+                }
+            }
+        }
+        std::hint::black_box(sink);
+    };
+    let vectored = best_of(3, &mut run_avx2);
+    let (num, den) = CALIBRATION_MARGIN;
+    if vectored * num < scalar * den {
+        Backend::Avx2
+    } else {
+        Backend::Scalar
+    }
+}
+
+/// One-shot profitability trial for the batched tabulation hash: the
+/// 4-wide `vpgatherqq` mixer against four scalar hashes.
+#[cfg(target_arch = "x86_64")]
+fn calibrate_hash_kernels() -> Backend {
+    use crate::tabulation::TabulationHash;
+    const KEYS: u64 = 256;
+    const REPS: usize = 24;
+    let t = TabulationHash::new(0x7AB);
+    let mut run_scalar = || {
+        let mut sink = 0u64;
+        for _ in 0..REPS {
+            for k in (0..KEYS).step_by(4) {
+                let h = t.hash_x4_scalar([k, k + 1, k + 2, k + 3]);
+                sink ^= h[0] ^ h[1] ^ h[2] ^ h[3];
+            }
+        }
+        std::hint::black_box(sink);
+    };
+    let scalar = best_of(3, &mut run_scalar);
+    let mut run_avx2 = || {
+        let mut sink = 0u64;
+        for _ in 0..REPS {
+            for k in (0..KEYS).step_by(4) {
+                // SAFETY: the caller (`default_backend`) only calibrates
+                // when the runtime AVX2 check passed.
+                let h = unsafe { t.hash_x4_avx2([k, k + 1, k + 2, k + 3]) };
+                sink ^= h[0] ^ h[1] ^ h[2] ^ h[3];
+            }
+        }
+        std::hint::black_box(sink);
+    };
+    let vectored = best_of(3, &mut run_avx2);
+    let (num, den) = CALIBRATION_MARGIN;
+    if vectored * num < scalar * den {
+        Backend::Avx2
+    } else {
+        Backend::Scalar
+    }
+}
+
+/// The default backend for a kernel class, resolved once per process from
+/// the environment, CPU detection, and (in auto mode) the class's
+/// profitability calibration. The winner is mirrored into `cache` so the
+/// steady-state read in [`resolve`] is one relaxed atomic load — the same
+/// cost an installed override pays — keeping the default path free of
+/// per-call `OnceLock` synchronization.
+#[cold]
+fn default_backend_slow(cache: &AtomicU8, class: KernelClass) -> Backend {
+    static CALIBRATION: OnceLock<[Backend; 2]> = OnceLock::new();
+    let chosen = CALIBRATION.get_or_init(|| {
+        let per_class = |class: KernelClass| match env_policy() {
+            EnvPolicy::ForceScalar => Backend::Scalar,
+            EnvPolicy::ForceAvx2 if avx2_supported() => Backend::Avx2,
+            EnvPolicy::ForceAvx2 => Backend::Scalar,
+            EnvPolicy::Auto if avx2_supported() => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    match class {
+                        KernelClass::Coord => calibrate_coord_kernels(),
+                        KernelClass::HashFill => calibrate_hash_kernels(),
+                    }
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    let _ = class;
+                    Backend::Scalar
+                }
+            }
+            EnvPolicy::Auto => Backend::Scalar,
+        };
+        [
+            per_class(KernelClass::Coord),
+            per_class(KernelClass::HashFill),
+        ]
+    })[class as usize];
+    cache.store(
+        match chosen {
+            Backend::Scalar => 1,
+            Backend::Avx2 => 2,
+        },
+        Ordering::Relaxed,
+    );
+    chosen
+}
+
+/// The independently calibrated kernel classes.
+#[derive(Clone, Copy)]
+enum KernelClass {
+    /// f64 gathers/scatters over coordinate arrays.
+    Coord = 0,
+    /// The batched tabulation hash mixing in `fill_plan`.
+    HashFill = 1,
+}
+
+/// Per-class calibrated-default caches: 0 = unresolved, 1 = scalar,
+/// 2 = avx2.
+static COORD_CACHE: AtomicU8 = AtomicU8::new(0);
+static HASH_CACHE: AtomicU8 = AtomicU8::new(0);
+
+fn resolve(class: KernelClass) -> Backend {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => Backend::Scalar,
+        2 if avx2_supported() => Backend::Avx2,
+        2 => Backend::Scalar,
+        _ => {
+            let cache = match class {
+                KernelClass::Coord => &COORD_CACHE,
+                KernelClass::HashFill => &HASH_CACHE,
+            };
+            match cache.load(Ordering::Relaxed) {
+                1 => Backend::Scalar,
+                2 => Backend::Avx2,
+                _ => default_backend_slow(cache, class),
+            }
+        }
+    }
+}
+
+/// The backend the coordinate (gather/scatter) kernels in this module
+/// currently dispatch to. See the module docs for the resolution order.
+#[must_use]
+pub fn active_backend() -> Backend {
+    resolve(KernelClass::Coord)
+}
+
+/// The backend `RowHashers::fill_plan`'s batched tabulation hashing
+/// currently dispatches to — calibrated separately from the coordinate
+/// kernels because the instruction mixes (integer table gathers vs f64
+/// packed loads) can win or lose independently.
+#[must_use]
+pub fn active_hash_backend() -> Backend {
+    resolve(KernelClass::HashFill)
+}
+
+/// Restores the previous backend override when dropped; returned by
+/// [`force_backend`].
+#[must_use = "dropping the guard immediately restores the previous backend"]
+pub struct BackendGuard {
+    previous: u8,
+}
+
+impl Drop for BackendGuard {
+    fn drop(&mut self) {
+        OVERRIDE.store(self.previous, Ordering::Relaxed);
+    }
+}
+
+/// Pins the kernel backend process-wide until the returned guard drops
+/// (`None` restores the environment/CPU-detected default).
+///
+/// Intended for differential tests and benchmarks. The override is global
+/// mutable state, but because every backend is bit-identical by contract,
+/// concurrent readers only ever observe a change of *implementation*,
+/// never of results.
+pub fn force_backend(backend: Option<Backend>) -> BackendGuard {
+    let value = match backend {
+        None => 0,
+        Some(Backend::Scalar) => 1,
+        Some(Backend::Avx2) => 2,
+    };
+    BackendGuard {
+        previous: OVERRIDE.swap(value, Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// gather_dot
+// ---------------------------------------------------------------------------
+
+/// The sign-corrected gather dot `Σ_j signs[j] · cells[offsets[j]]`,
+/// accumulated in element order — bit-identical to the naive per-row
+/// margin traversal.
+///
+/// # Panics
+/// Panics if `offsets` and `signs` differ in length or an offset is out
+/// of bounds for `cells`.
+#[inline]
+#[must_use]
+pub fn gather_dot(cells: &[f64], offsets: &[u32], signs: &[f64]) -> f64 {
+    assert_eq!(offsets.len(), signs.len(), "offset/sign length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if offsets.len() >= 4 && active_backend() == Backend::Avx2 {
+        // SAFETY: Backend::Avx2 is only resolved on hosts that report AVX2
+        // at runtime (the dispatch invariant); cell indexing inside is
+        // bounds-checked like the scalar loop's.
+        return unsafe { avx2::gather_dot(cells, offsets, signs) };
+    }
+    gather_dot_scalar(cells, offsets, signs)
+}
+
+/// Scalar reference implementation of [`gather_dot`]; always available,
+/// used directly by differential tests.
+#[inline]
+#[must_use]
+pub fn gather_dot_scalar(cells: &[f64], offsets: &[u32], signs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (&o, &s) in offsets.iter().zip(signs) {
+        acc += s * cells[o as usize];
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// gather_scaled
+// ---------------------------------------------------------------------------
+
+/// The median-buffer fill `out[j] = (scale · signs[j]) · cells[offsets[j]]`.
+///
+/// Every element is independent, so this vectorizes freely; the per-lane
+/// expression matches the scalar `scale * s * c` (left-associated) bit for
+/// bit.
+///
+/// # Panics
+/// Panics if the three slice lengths differ or an offset is out of bounds
+/// for `cells`.
+#[inline]
+pub fn gather_scaled(cells: &[f64], offsets: &[u32], signs: &[f64], scale: f64, out: &mut [f64]) {
+    assert_eq!(offsets.len(), signs.len(), "offset/sign length mismatch");
+    assert_eq!(offsets.len(), out.len(), "offset/output length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if offsets.len() >= 4 && active_backend() == Backend::Avx2 {
+        // SAFETY: AVX2 presence is guaranteed by the dispatch invariant
+        // (Backend::Avx2 implies a positive runtime feature check); cell
+        // indexing inside is bounds-checked like the scalar loop's.
+        unsafe { avx2::gather_scaled(cells, offsets, signs, scale, out) };
+        return;
+    }
+    gather_scaled_scalar(cells, offsets, signs, scale, out);
+}
+
+/// Scalar reference implementation of [`gather_scaled`].
+#[inline]
+pub fn gather_scaled_scalar(
+    cells: &[f64],
+    offsets: &[u32],
+    signs: &[f64],
+    scale: f64,
+    out: &mut [f64],
+) {
+    for ((&o, &s), v) in offsets.iter().zip(signs).zip(out.iter_mut()) {
+        *v = scale * s * cells[o as usize];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scatter_add
+// ---------------------------------------------------------------------------
+
+/// The gradient scatter `cells[offsets[j]] += signs[j] · delta`, in
+/// element order.
+///
+/// Offsets may collide (e.g. a whole example's coordinates where two
+/// features share a cell): each 4-lane group is checked for pairwise
+/// distinct offsets and colliding groups run scalar, so repeated
+/// read-modify-writes of one cell accumulate exactly as in the scalar
+/// loop.
+///
+/// # Panics
+/// Panics if `offsets` and `signs` differ in length or an offset is out
+/// of bounds for `cells`.
+#[inline]
+pub fn scatter_add(cells: &mut [f64], offsets: &[u32], signs: &[f64], delta: f64) {
+    assert_eq!(offsets.len(), signs.len(), "offset/sign length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if offsets.len() >= 4 && active_backend() == Backend::Avx2 {
+        // SAFETY: AVX2 presence is guaranteed by the dispatch invariant;
+        // cell indexing inside is bounds-checked, and the AVX2 body
+        // preserves scalar ordering via its per-group conflict check.
+        unsafe { avx2::scatter_add(cells, offsets, signs, delta) };
+        return;
+    }
+    scatter_add_scalar(cells, offsets, signs, delta);
+}
+
+/// Scalar reference implementation of [`scatter_add`].
+#[inline]
+pub fn scatter_add_scalar(cells: &mut [f64], offsets: &[u32], signs: &[f64], delta: f64) {
+    for (&o, &s) in offsets.iter().zip(signs) {
+        cells[o as usize] += s * delta;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scatter_add_values
+// ---------------------------------------------------------------------------
+
+/// The fused scatter + post-scatter re-estimation gather:
+/// `cells[offsets[j]] += signs[j] · delta` and, from the *updated* cell,
+/// `out[j] = (scale · signs[j]) · cells[offsets[j]]` — in element order,
+/// with the same per-group collision handling as [`scatter_add`].
+///
+/// # Panics
+/// Panics if the three slice lengths differ or an offset is out of bounds
+/// for `cells`.
+#[inline]
+pub fn scatter_add_values(
+    cells: &mut [f64],
+    offsets: &[u32],
+    signs: &[f64],
+    delta: f64,
+    scale: f64,
+    out: &mut [f64],
+) {
+    assert_eq!(offsets.len(), signs.len(), "offset/sign length mismatch");
+    assert_eq!(offsets.len(), out.len(), "offset/output length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if offsets.len() >= 4 && active_backend() == Backend::Avx2 {
+        // SAFETY: AVX2 presence is guaranteed by the dispatch invariant;
+        // cell indexing inside is bounds-checked, and the AVX2 body
+        // preserves scalar ordering via its per-group conflict check.
+        unsafe { avx2::scatter_add_values(cells, offsets, signs, delta, scale, out) };
+        return;
+    }
+    scatter_add_values_scalar(cells, offsets, signs, delta, scale, out);
+}
+
+/// Scalar reference implementation of [`scatter_add_values`].
+#[inline]
+pub fn scatter_add_values_scalar(
+    cells: &mut [f64],
+    offsets: &[u32],
+    signs: &[f64],
+    delta: f64,
+    scale: f64,
+    out: &mut [f64],
+) {
+    for ((&o, &s), v) in offsets.iter().zip(signs).zip(out.iter_mut()) {
+        let cell = &mut cells[o as usize];
+        *cell += s * delta;
+        *v = scale * s * *cell;
+    }
+}
+
+/// The AVX2 kernel bodies. Every function is `unsafe` with the same
+/// contract: the caller has verified AVX2 support (via the dispatch
+/// invariant that [`Backend::Avx2`] is only resolved after a positive
+/// runtime feature check) and that every offset indexes within `cells`.
+///
+/// Cell "gathers" are four bounds-checked scalar loads packed into a
+/// vector rather than `vgatherdpd`: hardware gathers are microcoded on
+/// many server parts (including the build containers' Xeons) and lose to
+/// plain loads at sketch depths, while the packing form keeps the
+/// multiply/add arithmetic vectorized either way.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_set_pd,
+        _mm256_storeu_pd,
+    };
+
+    /// Loads one 4-lane group: the four cells addressed by
+    /// `offsets[i..i + 4]` (bounds-checked scalar loads, packed) and the
+    /// four signs starting at element `i`.
+    ///
+    /// # Safety
+    /// AVX2 must be available; `offsets[i..i + 4]` and `signs[i..i + 4]`
+    /// must be in bounds (cell indexing is checked and panics like the
+    /// scalar loops).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn load_group(
+        cells: &[f64],
+        offsets: &[u32],
+        signs: &[f64],
+        i: usize,
+    ) -> (std::arch::x86_64::__m256d, std::arch::x86_64::__m256d) {
+        let vals = _mm256_set_pd(
+            cells[offsets[i + 3] as usize],
+            cells[offsets[i + 2] as usize],
+            cells[offsets[i + 1] as usize],
+            cells[offsets[i] as usize],
+        );
+        // SAFETY (callee contract): signs[i..i+4] is in bounds; loadu has
+        // no alignment requirement.
+        let sg = _mm256_loadu_pd(signs.as_ptr().add(i));
+        (vals, sg)
+    }
+
+    /// # Safety
+    /// AVX2 available; `offsets.len() == signs.len()`; every offset
+    /// indexes within `cells`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gather_dot(cells: &[f64], offsets: &[u32], signs: &[f64]) -> f64 {
+        let n = offsets.len();
+        let mut acc = 0.0;
+        let mut prod = [0.0f64; 4];
+        for i in (0..n - n % 4).step_by(4) {
+            let (vals, sg) = load_group(cells, offsets, signs, i);
+            _mm256_storeu_pd(prod.as_mut_ptr(), _mm256_mul_pd(sg, vals));
+            // The products are the scalar loop's `s * c` terms; summing
+            // them in lane order keeps the reduction bit-identical to the
+            // sequential accumulation.
+            acc += prod[0];
+            acc += prod[1];
+            acc += prod[2];
+            acc += prod[3];
+        }
+        for j in n - n % 4..n {
+            acc += signs[j] * cells[offsets[j] as usize];
+        }
+        acc
+    }
+
+    /// # Safety
+    /// AVX2 available; the three slices are the same length; every offset
+    /// indexes within `cells`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gather_scaled(
+        cells: &[f64],
+        offsets: &[u32],
+        signs: &[f64],
+        scale: f64,
+        out: &mut [f64],
+    ) {
+        let n = offsets.len();
+        let scale_v = _mm256_set1_pd(scale);
+        for i in (0..n - n % 4).step_by(4) {
+            let (vals, sg) = load_group(cells, offsets, signs, i);
+            // (scale * s) * c, matching the scalar expression's
+            // left-association.
+            let scaled_sign = _mm256_mul_pd(scale_v, sg);
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_mul_pd(scaled_sign, vals));
+        }
+        for j in n - n % 4..n {
+            out[j] = scale * signs[j] * cells[offsets[j] as usize];
+        }
+    }
+
+    /// Whether the four offsets starting at `i` are pairwise distinct —
+    /// the condition under which a vector read-all-then-write-all group
+    /// is indistinguishable from the scalar element-order loop.
+    #[inline]
+    fn group_distinct(offsets: &[u32], i: usize) -> bool {
+        let [a, b, c, d] = [offsets[i], offsets[i + 1], offsets[i + 2], offsets[i + 3]];
+        a != b && a != c && a != d && b != c && b != d && c != d
+    }
+
+    /// # Safety
+    /// AVX2 available; `offsets.len() == signs.len()`; every offset
+    /// indexes within `cells`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scatter_add(
+        cells: &mut [f64],
+        offsets: &[u32],
+        signs: &[f64],
+        delta: f64,
+    ) {
+        let n = offsets.len();
+        let delta_v = _mm256_set1_pd(delta);
+        let mut updated = [0.0f64; 4];
+        for i in (0..n - n % 4).step_by(4) {
+            if group_distinct(offsets, i) {
+                let (vals, sg) = load_group(cells, offsets, signs, i);
+                // c + (s * delta): one multiply then one add per lane,
+                // exactly the scalar `c += s * delta`.
+                let next = _mm256_add_pd(vals, _mm256_mul_pd(sg, delta_v));
+                _mm256_storeu_pd(updated.as_mut_ptr(), next);
+                for lane in 0..4 {
+                    cells[offsets[i + lane] as usize] = updated[lane];
+                }
+            } else {
+                // Colliding lanes must see each other's writes; spill the
+                // whole group to the scalar read-modify-write order.
+                for j in i..i + 4 {
+                    cells[offsets[j] as usize] += signs[j] * delta;
+                }
+            }
+        }
+        for j in n - n % 4..n {
+            cells[offsets[j] as usize] += signs[j] * delta;
+        }
+    }
+
+    /// # Safety
+    /// AVX2 available; the three slices are the same length; every offset
+    /// indexes within `cells`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scatter_add_values(
+        cells: &mut [f64],
+        offsets: &[u32],
+        signs: &[f64],
+        delta: f64,
+        scale: f64,
+        out: &mut [f64],
+    ) {
+        let n = offsets.len();
+        let delta_v = _mm256_set1_pd(delta);
+        let scale_v = _mm256_set1_pd(scale);
+        let mut updated = [0.0f64; 4];
+        for i in (0..n - n % 4).step_by(4) {
+            if group_distinct(offsets, i) {
+                let (vals, sg) = load_group(cells, offsets, signs, i);
+                let next = _mm256_add_pd(vals, _mm256_mul_pd(sg, delta_v));
+                _mm256_storeu_pd(updated.as_mut_ptr(), next);
+                for lane in 0..4 {
+                    cells[offsets[i + lane] as usize] = updated[lane];
+                }
+                let scaled_sign = _mm256_mul_pd(scale_v, sg);
+                _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_mul_pd(scaled_sign, next));
+            } else {
+                for j in i..i + 4 {
+                    let cell = &mut cells[offsets[j] as usize];
+                    *cell += signs[j] * delta;
+                    out[j] = scale * signs[j] * *cell;
+                }
+            }
+        }
+        for j in n - n % 4..n {
+            let cell = &mut cells[offsets[j] as usize];
+            *cell += signs[j] * delta;
+            out[j] = scale * signs[j] * *cell;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::splitmix64;
+
+    fn cells(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (splitmix64(i as u64) as f64 / u64::MAX as f64) * 4.0 - 2.0)
+            .collect()
+    }
+
+    fn coords(n: usize, cell_count: usize, salt: u64) -> (Vec<u32>, Vec<f64>) {
+        let offsets: Vec<u32> = (0..n)
+            .map(|i| (splitmix64(salt ^ i as u64) % cell_count as u64) as u32)
+            .collect();
+        let signs: Vec<f64> = (0..n)
+            .map(|i| {
+                if splitmix64(salt.wrapping_add(i as u64 * 7)) & 1 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect();
+        (offsets, signs)
+    }
+
+    /// Serializes tests that install backend overrides: the override is
+    /// process-global, so concurrent tests would otherwise observe each
+    /// other's pins (results stay bit-identical either way, but the
+    /// dispatch assertions below would flake).
+    static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn override_lock() -> std::sync::MutexGuard<'static, ()> {
+        OVERRIDE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Runs `f` once per backend that is available on this host (scalar
+    /// always; AVX2 when detected), pinning the dispatch for the call.
+    fn for_each_backend(mut f: impl FnMut(Backend)) {
+        let _lock = override_lock();
+        for backend in [Backend::Scalar, Backend::Avx2] {
+            if backend == Backend::Avx2 && !avx2_supported() {
+                continue;
+            }
+            let _guard = force_backend(Some(backend));
+            assert_eq!(active_backend(), backend);
+            f(backend);
+        }
+    }
+
+    #[test]
+    fn backends_match_scalar_reference_on_all_kernels() {
+        let table = cells(257);
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 13, 14, 64, 80, 200] {
+            let (offsets, signs) = coords(n, table.len(), n as u64 * 31 + 1);
+            for_each_backend(|backend| {
+                let ctx = format!("{} n={n}", backend.name());
+                // gather_dot
+                let want = gather_dot_scalar(&table, &offsets, &signs);
+                let got = gather_dot(&table, &offsets, &signs);
+                assert_eq!(got.to_bits(), want.to_bits(), "{ctx} gather_dot");
+                // gather_scaled
+                let mut want_out = vec![0.0; n];
+                let mut got_out = vec![0.0; n];
+                gather_scaled_scalar(&table, &offsets, &signs, 3.7, &mut want_out);
+                gather_scaled(&table, &offsets, &signs, 3.7, &mut got_out);
+                assert!(
+                    want_out
+                        .iter()
+                        .zip(&got_out)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{ctx} gather_scaled"
+                );
+                // scatter_add (collisions included by construction: offsets
+                // repeat once n exceeds the cell count used below).
+                let mut want_cells = table.clone();
+                let mut got_cells = table.clone();
+                scatter_add_scalar(&mut want_cells, &offsets, &signs, 0.625);
+                scatter_add(&mut got_cells, &offsets, &signs, 0.625);
+                assert!(
+                    want_cells
+                        .iter()
+                        .zip(&got_cells)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{ctx} scatter_add"
+                );
+                // scatter_add_values
+                let mut want_cells = table.clone();
+                let mut got_cells = table.clone();
+                scatter_add_values_scalar(
+                    &mut want_cells,
+                    &offsets,
+                    &signs,
+                    0.625,
+                    2.5,
+                    &mut want_out,
+                );
+                scatter_add_values(&mut got_cells, &offsets, &signs, 0.625, 2.5, &mut got_out);
+                assert!(
+                    want_cells
+                        .iter()
+                        .zip(&got_cells)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{ctx} scatter_add_values cells"
+                );
+                assert!(
+                    want_out
+                        .iter()
+                        .zip(&got_out)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{ctx} scatter_add_values out"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn scatter_handles_dense_collisions_in_one_group() {
+        // All four lanes of a group land on one cell: the vector path must
+        // spill to scalar so the four increments accumulate.
+        let offsets = [5u32, 5, 5, 5, 2, 5, 5, 2];
+        let signs = [1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, -1.0];
+        for_each_backend(|backend| {
+            let mut want = vec![0.0f64; 8];
+            let mut got = vec![0.0f64; 8];
+            scatter_add_scalar(&mut want, &offsets, &signs, 1.5);
+            scatter_add(&mut got, &offsets, &signs, 1.5);
+            assert_eq!(want, got, "{}", backend.name());
+            let mut want_vals = vec![0.0f64; 8];
+            let mut got_vals = vec![0.0f64; 8];
+            let mut want_cells = vec![1.0f64; 8];
+            let mut got_cells = vec![1.0f64; 8];
+            scatter_add_values_scalar(&mut want_cells, &offsets, &signs, 1.5, 2.0, &mut want_vals);
+            scatter_add_values(&mut got_cells, &offsets, &signs, 1.5, 2.0, &mut got_vals);
+            assert_eq!(want_cells, got_cells, "{}", backend.name());
+            assert_eq!(want_vals, got_vals, "{}", backend.name());
+        });
+    }
+
+    #[test]
+    fn out_of_bounds_offset_panics_on_every_backend() {
+        for_each_backend(|backend| {
+            let result = std::panic::catch_unwind(|| {
+                let table = vec![0.0f64; 8];
+                gather_dot(&table, &[1, 2, 3, 9], &[1.0, 1.0, 1.0, 1.0])
+            });
+            assert!(result.is_err(), "{}: no panic", backend.name());
+        });
+    }
+
+    #[test]
+    fn force_backend_guard_restores_previous_state() {
+        let _lock = override_lock();
+        let unforced = active_backend();
+        {
+            let _g = force_backend(Some(Backend::Scalar));
+            assert_eq!(active_backend(), Backend::Scalar);
+            {
+                let _inner = force_backend(None);
+                assert_eq!(active_backend(), unforced);
+            }
+            assert_eq!(active_backend(), Backend::Scalar);
+        }
+        assert_eq!(active_backend(), unforced);
+    }
+
+    #[test]
+    fn avx2_override_without_support_resolves_to_scalar() {
+        let _lock = override_lock();
+        let _g = force_backend(Some(Backend::Avx2));
+        if avx2_supported() {
+            assert_eq!(active_backend(), Backend::Avx2);
+        } else {
+            assert_eq!(active_backend(), Backend::Scalar);
+        }
+    }
+
+    #[test]
+    fn kernel_class_backends_resolve_consistently() {
+        // Whatever calibration picked, both class resolvers must return a
+        // backend that is actually executable on this host.
+        for b in [active_backend(), active_hash_backend()] {
+            if b == Backend::Avx2 {
+                assert!(avx2_supported());
+            }
+        }
+    }
+}

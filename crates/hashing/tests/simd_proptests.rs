@@ -1,0 +1,224 @@
+//! Property tests pinning the SIMD kernels to their scalar references.
+//!
+//! Every kernel in `wmsketch_hashing::simd` promises **bit-identical**
+//! results across backends; these tests pin the dispatch to the AVX2
+//! backend where the host supports it — the profitability-calibrated
+//! default may legitimately choose scalar, which would make a
+//! default-vs-scalar comparison vacuous, and a [`force_backend`] pin
+//! outranks even `WMSKETCH_FORCE_SCALAR`, so the AVX2 bodies keep
+//! differential coverage on every CI leg — and drive it against the
+//! always-available scalar reference implementations over randomized
+//! shapes, including:
+//!
+//! * gathers at lengths around the 4-lane group boundary and past the
+//!   64-row stack-buffer depth;
+//! * scatters with **forced offset collisions** — tiny cell pools plus an
+//!   explicit duplicated-lane injection, exercising the per-group
+//!   conflict check's scalar spill;
+//! * `fill_plan` against `fill_plan_scalar` across both hash families,
+//!   depths > 64, and key counts that are not multiples of the group
+//!   width.
+
+use proptest::prelude::*;
+use wmsketch_hashing::simd::{
+    self, force_backend, gather_dot, gather_dot_scalar, gather_scaled, gather_scaled_scalar,
+    scatter_add, scatter_add_scalar, scatter_add_values, scatter_add_values_scalar, Backend,
+    BackendGuard,
+};
+use wmsketch_hashing::{splitmix64, CoordPlan, HashFamilyKind, RowHashers};
+
+/// Serializes the tests in this file: the backend override is
+/// process-global, so a concurrently running test dropping its own pin
+/// would silently un-pin this one mid-run — results stay bit-identical
+/// either way, but the AVX2-vs-scalar comparison would quietly degrade to
+/// scalar-vs-scalar on hosts whose calibrated default is scalar.
+static PIN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn pin_avx2() -> (std::sync::MutexGuard<'static, ()>, BackendGuard) {
+    let lock = PIN_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    (lock, force_backend(Some(Backend::Avx2)))
+}
+
+/// Deterministic pseudo-random cells in `[-2, 2]`.
+fn cells(n: usize, salt: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| (splitmix64(salt ^ (i as u64)) as f64 / u64::MAX as f64) * 4.0 - 2.0)
+        .collect()
+}
+
+fn signs_from(bits: &[bool]) -> Vec<f64> {
+    bits.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect()
+}
+
+proptest! {
+    /// Dispatched gathers equal the scalar reference bit for bit.
+    #[test]
+    fn gathers_match_scalar(
+        (n, cell_count, salt) in (0usize..200, 1usize..300, 0u64..1_000_000),
+        sign_bits in prop::collection::vec(prop::sample::select(vec![true, false]), 200..201),
+        scale in -4.0f64..4.0,
+    ) {
+        let _pin = pin_avx2();
+        let table = cells(cell_count, salt);
+        let offsets: Vec<u32> = (0..n)
+            .map(|i| (splitmix64(salt.wrapping_add(i as u64 * 13)) % cell_count as u64) as u32)
+            .collect();
+        let signs = signs_from(&sign_bits[..n]);
+
+        let want = gather_dot_scalar(&table, &offsets, &signs);
+        let got = gather_dot(&table, &offsets, &signs);
+        prop_assert_eq!(got.to_bits(), want.to_bits());
+
+        let mut want_out = vec![0.0; n];
+        let mut got_out = vec![0.0; n];
+        gather_scaled_scalar(&table, &offsets, &signs, scale, &mut want_out);
+        gather_scaled(&table, &offsets, &signs, scale, &mut got_out);
+        for (a, b) in want_out.iter().zip(&got_out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Dispatched scatters equal the scalar reference bit for bit under
+    /// forced offset collisions: a cell pool far smaller than the offset
+    /// count guarantees repeats, and one 4-lane group is overwritten with
+    /// a fully duplicated offset so the conflict spill always triggers.
+    #[test]
+    fn scatters_match_scalar_under_forced_collisions(
+        (n, pool, salt) in (4usize..160, 1usize..12, 0u64..1_000_000),
+        sign_bits in prop::collection::vec(prop::sample::select(vec![true, false]), 160..161),
+        (delta, scale) in (-3.0f64..3.0, -2.0f64..2.0),
+        dup_group in 0usize..40,
+    ) {
+        let _pin = pin_avx2();
+        let mut offsets: Vec<u32> = (0..n)
+            .map(|i| (splitmix64(salt.wrapping_add(i as u64 * 29)) % pool as u64) as u32)
+            .collect();
+        // Force one whole vector group onto a single cell.
+        let g = (dup_group % (n / 4)) * 4;
+        let target = offsets[g];
+        offsets[g..g + 4].fill(target);
+        let signs = signs_from(&sign_bits[..n]);
+        let base = cells(pool, salt ^ 0xC0FFEE);
+
+        let mut want_cells = base.clone();
+        let mut got_cells = base.clone();
+        scatter_add_scalar(&mut want_cells, &offsets, &signs, delta);
+        scatter_add(&mut got_cells, &offsets, &signs, delta);
+        for (a, b) in want_cells.iter().zip(&got_cells) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let mut want_cells = base.clone();
+        let mut got_cells = base.clone();
+        let mut want_out = vec![0.0; n];
+        let mut got_out = vec![0.0; n];
+        scatter_add_values_scalar(&mut want_cells, &offsets, &signs, delta, scale, &mut want_out);
+        scatter_add_values(&mut got_cells, &offsets, &signs, delta, scale, &mut got_out);
+        for (a, b) in want_cells.iter().zip(&got_cells) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in want_out.iter().zip(&got_out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The dispatched `fill_plan` (AVX2 tabulation batch path where
+    /// available) produces plans bit-identical to `fill_plan_scalar`
+    /// across families, depths past the stack-buffer limit, widths, and
+    /// key counts straddling the 4-key group boundary.
+    #[test]
+    fn fill_plan_matches_scalar_reference(
+        kind in prop::sample::select(vec![
+            HashFamilyKind::Tabulation,
+            HashFamilyKind::Polynomial(4),
+        ]),
+        depth in prop::sample::select(vec![1u32, 2, 3, 5, 14, 16, 64, 80, 96]),
+        width in prop::sample::select(vec![1u32, 7, 128, 1024]),
+        seed in 0u64..1_000,
+        n_keys in 0usize..40,
+        key_salt in 0u64..1_000_000,
+    ) {
+        let _pin = pin_avx2();
+        let hashers = RowHashers::new(kind, depth, width, seed);
+        let keys: Vec<u32> = (0..n_keys)
+            .map(|i| (splitmix64(key_salt ^ (i as u64 * 7)) % (1 << 20)) as u32)
+            .collect();
+        let mut dispatched = CoordPlan::new();
+        let mut scalar = CoordPlan::new();
+        // Fill both plans twice with different key sets first, proving
+        // reuse does not leak previous contents on either path.
+        hashers.fill_plan(&mut dispatched, &[1, 2, 3, 4, 5, 6, 7]);
+        hashers.fill_plan_scalar(&mut scalar, &[9]);
+        hashers.fill_plan(&mut dispatched, &keys);
+        hashers.fill_plan_scalar(&mut scalar, &keys);
+        prop_assert_eq!(dispatched.nnz(), scalar.nnz());
+        prop_assert_eq!(dispatched.depth(), scalar.depth());
+        for slot in 0..keys.len() {
+            let (od, sd) = dispatched.coords(slot);
+            let (os, ss) = scalar.coords(slot);
+            prop_assert_eq!(od, os);
+            for (a, b) in sd.iter().zip(ss) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// End-to-end slot helpers (projection, scatter, value fill, fused
+    /// scatter+values) agree bit for bit between a scalar-forced run and
+    /// the host-default backend, over plans built from real hashing.
+    #[test]
+    fn slot_helpers_backend_equivalence(
+        kind in prop::sample::select(vec![
+            HashFamilyKind::Tabulation,
+            HashFamilyKind::Polynomial(3),
+        ]),
+        depth in prop::sample::select(vec![1u32, 4, 14, 80]),
+        seed in 0u64..500,
+        n_keys in 1usize..12,
+        delta in -2.0f64..2.0,
+    ) {
+        let _lock = PIN_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let width = 64u32;
+        let hashers = RowHashers::new(kind, depth, width, seed);
+        let keys: Vec<u32> = (0..n_keys as u32).map(|i| i * 31 + seed as u32 % 97).collect();
+        let cell_count = (depth * width) as usize;
+        let base = cells(cell_count, seed ^ 0xFEED);
+        let scale = f64::from(depth).sqrt();
+
+        let run = |backend: Option<simd::Backend>| {
+            let _guard = simd::force_backend(backend);
+            let mut plan = CoordPlan::new();
+            hashers.fill_plan(&mut plan, &keys);
+            let mut z = base.clone();
+            let mut projections = Vec::new();
+            let mut values = Vec::new();
+            for slot in 0..keys.len() {
+                projections.push(plan.slot_projection(slot, &z));
+                plan.slot_scatter(slot, &mut z, delta * (slot as f64 + 1.0));
+                values.extend_from_slice(plan.slot_values(slot, &z, scale));
+                values.extend_from_slice(plan.slot_scatter_and_values(
+                    slot,
+                    &mut z,
+                    delta,
+                    scale,
+                ));
+            }
+            (z, projections, values)
+        };
+        let (z_s, proj_s, vals_s) = run(Some(simd::Backend::Scalar));
+        let (z_d, proj_d, vals_d) = run(Some(simd::Backend::Avx2));
+        for (a, b) in z_s.iter().zip(&z_d) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in proj_s.iter().zip(&proj_d) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in vals_s.iter().zip(&vals_d) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -37,6 +37,28 @@ impl SparseVector {
         Self { indices, values }
     }
 
+    /// Refills this vector from `(index, value)` pairs, reusing the
+    /// existing allocations. Semantically identical to replacing `self`
+    /// with [`SparseVector::from_pairs`] — same sort order, same
+    /// duplicate-summing in first-appearance order — but steady-state
+    /// callers that decode many vectors (e.g. the serve crate's ingest
+    /// path) pay no allocator traffic: already-sorted input (the common
+    /// case on the wire, where vectors are encoded from canonical form)
+    /// is copied straight into the retained buffers, and only unsorted
+    /// input falls back to the allocating canonicalization.
+    pub fn assign_from_pairs(&mut self, pairs: &[(u32, f64)]) {
+        self.indices.clear();
+        self.values.clear();
+        if pairs.windows(2).all(|w| w[0].0 < w[1].0) {
+            self.indices.extend(pairs.iter().map(|&(i, _)| i));
+            self.values.extend(pairs.iter().map(|&(_, v)| v));
+        } else {
+            let canonical = Self::from_pairs(pairs);
+            self.indices.extend_from_slice(&canonical.indices);
+            self.values.extend_from_slice(&canonical.values);
+        }
+    }
+
     /// A 1-sparse vector (used heavily by the §8 applications, which emit
     /// one attribute per example).
     #[must_use]
@@ -174,6 +196,23 @@ mod tests {
         assert_eq!(v.indices(), &[2, 5]);
         assert_eq!(v.values(), &[2.0, 4.0]);
         assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn assign_from_pairs_matches_from_pairs() {
+        let cases: &[&[(u32, f64)]] = &[
+            &[],
+            &[(3, 1.0)],
+            &[(1, 1.0), (5, 2.0), (9, -0.5)],  // sorted fast path
+            &[(5, 1.0), (2, 2.0), (5, 3.0)],   // unsorted + duplicate
+            &[(7, 1.5), (7, -0.25), (0, 0.0)], // duplicate summing order
+            &[(2, 1.0), (2, 2.0)],             // sorted but duplicated
+        ];
+        let mut reused = SparseVector::from_pairs(&[(999, 9.0), (1000, 9.0)]);
+        for &pairs in cases {
+            reused.assign_from_pairs(pairs);
+            assert_eq!(reused, SparseVector::from_pairs(pairs), "{pairs:?}");
+        }
     }
 
     #[test]

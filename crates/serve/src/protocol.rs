@@ -110,6 +110,25 @@ pub fn put_features(w: &mut Writer, x: &SparseVector) {
 /// # Errors
 /// [`CodecError`] on truncation or a non-finite canonical value.
 pub fn take_features(r: &mut Reader<'_>) -> Result<SparseVector, CodecError> {
+    let mut x = SparseVector::new();
+    let mut pairs = Vec::new();
+    take_features_into(r, &mut x, &mut pairs)?;
+    Ok(x)
+}
+
+/// Scratch-reusing form of [`take_features`]: decodes into `out`,
+/// staging the wire pairs in `pairs`. Both buffers keep their
+/// allocations across calls, so steady-state decode of same-shaped
+/// frames does no allocation. Validation is identical to
+/// [`take_features`].
+///
+/// # Errors
+/// [`CodecError`] on truncation or a non-finite canonical value.
+pub fn take_features_into(
+    r: &mut Reader<'_>,
+    out: &mut SparseVector,
+    pairs: &mut Vec<(u32, f64)>,
+) -> Result<(), CodecError> {
     let nnz = r.take_u32()? as usize;
     // nnz is bounded by the frame the reader wraps (≤ MAX_FRAME_LEN), and
     // each entry needs 12 bytes, so the reservation below is safe.
@@ -119,17 +138,18 @@ pub fn take_features(r: &mut Reader<'_>) -> Result<SparseVector, CodecError> {
             have: r.remaining(),
         });
     }
-    let mut pairs = Vec::with_capacity(nnz);
+    pairs.clear();
+    pairs.reserve(nnz);
     for _ in 0..nnz {
         let i = r.take_u32()?;
         let v = r.take_f64()?;
         pairs.push((i, v));
     }
-    let x = SparseVector::from_pairs(&pairs);
-    if x.values().iter().any(|v| !v.is_finite()) {
+    out.assign_from_pairs(pairs);
+    if out.values().iter().any(|v| !v.is_finite()) {
         return Err(CodecError::Invalid("feature value must be finite"));
     }
-    Ok(x)
+    Ok(())
 }
 
 /// Encodes a labelled example batch:
@@ -148,21 +168,88 @@ pub fn put_examples(w: &mut Writer, batch: &[(SparseVector, Label)]) {
 /// # Errors
 /// [`CodecError`] on truncation or an out-of-domain label.
 pub fn take_examples(r: &mut Reader<'_>) -> Result<Vec<(SparseVector, Label)>, CodecError> {
+    let mut scratch = ExamplesScratch::new();
+    take_examples_into(r, &mut scratch)?;
+    Ok(scratch.into_examples())
+}
+
+/// Reusable decode buffers for UPDATE frames.
+///
+/// The server keeps one of these per connection: each decoded example
+/// reuses a previously-allocated `SparseVector` (and a shared pair
+/// staging buffer), so a long-lived ingest connection stops paying
+/// allocator traffic per batch once its buffers have grown to the
+/// steady-state frame shape.
+#[derive(Debug, Default)]
+pub struct ExamplesScratch {
+    /// Grown-but-reusable example slots; only the first `len` are live.
+    examples: Vec<(SparseVector, Label)>,
+    /// Live example count of the most recent decode.
+    len: usize,
+    /// Staging buffer for one vector's wire pairs.
+    pairs: Vec<(u32, f64)>,
+}
+
+impl ExamplesScratch {
+    /// Empty scratch; buffers grow on first use and are then retained.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The examples decoded by the most recent
+    /// [`take_examples_into`] call.
+    #[must_use]
+    pub fn examples(&self) -> &[(SparseVector, Label)] {
+        &self.examples[..self.len]
+    }
+
+    /// Consumes the scratch, returning the decoded examples as an owned
+    /// batch (spare slots beyond the live count are dropped).
+    #[must_use]
+    pub fn into_examples(mut self) -> Vec<(SparseVector, Label)> {
+        self.examples.truncate(self.len);
+        self.examples
+    }
+}
+
+/// Scratch-reusing form of [`take_examples`]: decodes a batch written by
+/// [`put_examples`] into `scratch`, validating every label is `±1`. On
+/// success the batch is available as [`ExamplesScratch::examples`];
+/// validation and canonicalization are identical to [`take_examples`].
+///
+/// # Errors
+/// [`CodecError`] on truncation or an out-of-domain label (the scratch
+/// contents are unspecified after an error).
+pub fn take_examples_into(
+    r: &mut Reader<'_>,
+    scratch: &mut ExamplesScratch,
+) -> Result<(), CodecError> {
     let count = r.take_u32()? as usize;
+    scratch.len = 0;
     // Clamp the reservation to what the payload can actually hold — an
     // example is at least 5 bytes on the wire (label i8 + nnz u32), so a
     // hostile count in a large frame cannot demand a reservation orders
     // of magnitude past the frame size.
-    let mut batch = Vec::with_capacity(count.min(r.remaining() / 5));
-    for _ in 0..count {
+    scratch.examples.reserve(
+        count
+            .min(r.remaining() / 5)
+            .saturating_sub(scratch.examples.len()),
+    );
+    for slot in 0..count {
         let y = r.take_i8()?;
         if y != 1 && y != -1 {
             return Err(CodecError::Invalid("label must be +1 or -1"));
         }
-        let x = take_features(r)?;
-        batch.push((x, y));
+        if slot == scratch.examples.len() {
+            scratch.examples.push((SparseVector::new(), y));
+        }
+        let (x, label) = &mut scratch.examples[slot];
+        *label = y;
+        take_features_into(r, x, &mut scratch.pairs)?;
+        scratch.len = slot + 1;
     }
-    Ok(batch)
+    Ok(())
 }
 
 /// Builds a request body: opcode byte followed by an op-specific payload.
@@ -213,6 +300,56 @@ mod tests {
         let back = take_examples(&mut r).unwrap();
         r.finish().unwrap();
         assert_eq!(back, batch);
+    }
+
+    /// The scratch decoder is a drop-in for [`take_examples`]: identical
+    /// batches across reuse, including shrinking frames (stale slots from
+    /// a larger previous frame must not leak into the live window) and
+    /// non-canonical encodings (unsorted / duplicated indices).
+    #[test]
+    fn scratch_decode_matches_allocating_decode_across_reuse() {
+        let frames: Vec<Vec<(SparseVector, Label)>> = vec![
+            vec![
+                (SparseVector::from_pairs(&[(3, 1.0), (9, -0.5)]), 1),
+                (SparseVector::from_pairs(&[(1, 2.0)]), -1),
+                (SparseVector::new(), 1),
+            ],
+            vec![(SparseVector::from_pairs(&[(7, 4.0)]), -1)],
+            vec![],
+            vec![
+                (SparseVector::from_pairs(&[(0, 1.0)]), 1),
+                (
+                    SparseVector::from_pairs(&[(2, 1.0), (4, 1.0), (6, 1.0)]),
+                    -1,
+                ),
+            ],
+        ];
+        let mut scratch = ExamplesScratch::new();
+        for batch in &frames {
+            let mut w = Writer::new();
+            put_examples(&mut w, batch);
+            let bytes = w.into_bytes();
+            take_examples_into(&mut Reader::new(&bytes), &mut scratch).unwrap();
+            assert_eq!(scratch.examples(), &batch[..]);
+            let fresh = take_examples(&mut Reader::new(&bytes)).unwrap();
+            assert_eq!(scratch.examples(), &fresh[..]);
+        }
+        // A non-canonical wire encoding (unsorted + duplicate index) is
+        // canonicalized identically by both decoders.
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_i8(1);
+        w.put_u32(3);
+        for (i, v) in [(9u32, 1.0f64), (2, 2.0), (9, 0.5)] {
+            w.put_u32(i);
+            w.put_f64(v);
+        }
+        let bytes = w.into_bytes();
+        take_examples_into(&mut Reader::new(&bytes), &mut scratch).unwrap();
+        let fresh = take_examples(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(scratch.examples(), &fresh[..]);
+        assert_eq!(scratch.examples()[0].0.indices(), &[2, 9]);
+        assert_eq!(scratch.examples()[0].0.values(), &[2.0, 1.5]);
     }
 
     /// Non-finite feature values are rejected at the decode boundary: a

@@ -17,9 +17,9 @@ use wmsketch_hashing::codec::{Reader, Writer};
 
 use crate::error::ServeError;
 use crate::protocol::{
-    self, take_examples, take_features, write_frame, MAX_FRAME_LEN, OP_CHECKPOINT, OP_ESTIMATE,
-    OP_MERGE, OP_PREDICT, OP_RESET, OP_RESTORE, OP_SHUTDOWN, OP_SNAPSHOT, OP_STATS, OP_TOPK,
-    OP_UPDATE, STATUS_ERR, STATUS_OK,
+    self, take_examples_into, take_features, write_frame, ExamplesScratch, MAX_FRAME_LEN,
+    OP_CHECKPOINT, OP_ESTIMATE, OP_MERGE, OP_PREDICT, OP_RESET, OP_RESTORE, OP_SHUTDOWN,
+    OP_SNAPSHOT, OP_STATS, OP_TOPK, OP_UPDATE, STATUS_ERR, STATUS_OK,
 };
 
 /// How long a connection thread blocks on the socket before re-checking
@@ -254,13 +254,17 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) -> Result<(
     // ~40ms to every round trip otherwise.
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     stream.set_nodelay(true)?;
+    // Per-connection decode scratch: UPDATE frames reuse the same example
+    // buffers for the connection's lifetime instead of allocating fresh
+    // feature vectors per batch.
+    let mut scratch = ExamplesScratch::new();
     loop {
         let body = match read_frame_interruptible(&mut stream, state) {
             Ok(Some(body)) => body,
             Ok(None) => return Ok(()),
             Err(e) => return Err(e),
         };
-        let result = handle_request(&body, state);
+        let result = handle_request(&body, state, &mut scratch);
         // OP_SHUTDOWN closes this connection only when the request was
         // actually honored — a malformed shutdown frame gets an ERR
         // response on a connection that stays open, like any other error.
@@ -352,7 +356,12 @@ fn is_timeout(e: &std::io::Error) -> bool {
 }
 
 /// Decodes and executes one request, returning the OK payload.
-fn handle_request(body: &[u8], state: &Arc<ServerState>) -> Result<Vec<u8>, ServeError> {
+/// `scratch` is the calling connection's reusable UPDATE decode buffer.
+fn handle_request(
+    body: &[u8],
+    state: &Arc<ServerState>,
+    scratch: &mut ExamplesScratch,
+) -> Result<Vec<u8>, ServeError> {
     let mut r = Reader::new(body);
     let op = r
         .take_u8()
@@ -360,10 +369,10 @@ fn handle_request(body: &[u8], state: &Arc<ServerState>) -> Result<Vec<u8>, Serv
     let mut out = Writer::new();
     match op {
         OP_UPDATE => {
-            let batch = take_examples(&mut r)?;
+            take_examples_into(&mut r, scratch)?;
             r.finish()?;
             let mut learner = state.learner.lock().expect("learner mutex");
-            learner.update_batch(&batch);
+            learner.update_batch(scratch.examples());
             out.put_u64(learner.examples_seen());
         }
         OP_PREDICT => {
