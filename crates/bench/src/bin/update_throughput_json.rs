@@ -7,11 +7,14 @@
 //! the same fused `update` with the host-default SIMD backend — the
 //! naive/fused rows are pinned to the scalar backend so the pair isolates
 //! the kernel speedup), the sharded pipeline (`ShardedLearner` at 1, 2,
-//! 4, and 8 shards, merge included), and the end-to-end serve ingest path
-//! (`serve_ingest`: a loopback `wmsketch-serve` node fed UPDATE frames,
-//! so framing + syscalls + decode are all inside the timed region), and
-//! writes the results as JSON so the perf trajectory can be tracked PR
-//! over PR.
+//! 4, and 8 shards, merge included), and the end-to-end serve ingest
+//! paths (`serve_ingest`: a loopback `wmsketch-serve` node's default WM
+//! model fed UPDATE frames, so framing + syscalls + decode are all
+//! inside the timed region; `AWM_serve_ingest`: the same loopback wire
+//! but through the node's **model registry** — an AWM model created via
+//! OP_CREATE and addressed with model-id frames — so the registry
+//! indirection cost is measured, not assumed), and writes the results as
+//! JSON so the perf trajectory can be tracked PR over PR.
 //!
 //! Usage: `update_throughput_json [OUTPUT_PATH]`
 //! (default output: `BENCH_update_throughput.json` in the working
@@ -156,12 +159,29 @@ fn measure<L>(
 /// model RESET between passes (mirroring `measure`'s rebuild-per-pass),
 /// with framing, syscalls, and payload decode all inside the timed
 /// region.
-fn measure_serve_ingest(wm_cfg: WmSketchConfig, data: &[(SparseVector, Label)]) -> Measurement {
+///
+/// With `registry_template = None` the frames target the node's default
+/// WM model over the legacy-compatible path; with a template snapshot
+/// the bench registers a model via OP_CREATE and drives ingest through
+/// the registry (v5's `AWM_serve_ingest` row), so the cost of the
+/// model-id indirection and registry dispatch is measured, not assumed.
+fn measure_serve_ingest(
+    name: &str,
+    wm_cfg: WmSketchConfig,
+    registry_template: Option<&[u8]>,
+    data: &[(SparseVector, Label)],
+) -> Measurement {
     use wmsketch_serve::{ServeClient, ServeConfig, WmServer};
     let server = WmServer::bind("127.0.0.1:0", ServeConfig::new(wm_cfg, SERVE_SHARDS))
         .expect("bind loopback server")
         .spawn();
     let mut client = ServeClient::connect(server.addr()).expect("connect loopback server");
+    if let Some(template) = registry_template {
+        let id = client
+            .create_model("bench", template, SERVE_SHARDS as u32)
+            .expect("create registry model");
+        client.set_model(id).expect("address registry model");
+    }
     let pass = |client: &mut ServeClient| {
         client.reset().expect("reset serve node");
         for chunk in data.chunks(SERVE_FRAME_EXAMPLES) {
@@ -189,7 +209,7 @@ fn measure_serve_ingest(wm_cfg: WmSketchConfig, data: &[(SparseVector, Label)]) 
     // Fastest pass, like `measure` — one estimator for every row.
     let ns_per_update = best * 1e9 / data.len() as f64;
     Measurement {
-        name: "serve_ingest".to_string(),
+        name: name.to_string(),
         shards: SERVE_SHARDS,
         ns_per_update,
         updates_per_sec: 1e9 / ns_per_update,
@@ -347,7 +367,21 @@ fn main() {
             m.sync();
         },
     ));
-    results.push(measure_serve_ingest(wm_cfg, &data));
+    results.push(measure_serve_ingest("serve_ingest", wm_cfg, None, &data));
+    // v5: the same loopback ingest through the model registry — an AWM
+    // model created via OP_CREATE and addressed with v2 (model-id)
+    // frames — so the registry indirection cost shows up as a measured
+    // row next to the default-model path.
+    {
+        use wmsketch_core::SnapshotCodec;
+        let template = AwmSketch::new(awm_cfg).to_snapshot_bytes();
+        results.push(measure_serve_ingest(
+            "AWM_serve_ingest",
+            wm_cfg,
+            Some(&template),
+            &data,
+        ));
+    }
 
     let get = |name: &str| {
         results
@@ -366,6 +400,9 @@ fn main() {
     // Transport overhead of the serve path, as a fraction of the same
     // pipeline called in-process (< 1.0 means the wire costs something).
     let serve_over_fused = get("WM_fused") / get("serve_ingest");
+    // Registry-path overhead for an AWM model (wire + model-id dispatch
+    // vs the in-process fused AWM pipeline).
+    let awm_serve_over_fused = get("AWM_fused") / get("AWM_serve_ingest");
     // The sharded curve is normalized to the 1-shard fused baseline
     // (`WM_fused`); `WM_sharded_1` is the same sequential pipeline through
     // the bypass path and should sit within noise of 1.0x.
@@ -376,7 +413,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"wmsketch-update-throughput/v4\",\n");
+    json.push_str("  \"schema\": \"wmsketch-update-throughput/v5\",\n");
     json.push_str("  \"config\": {\n");
     json.push_str(&format!("    \"budget_bytes\": {BUDGET},\n"));
     // v4: record the host's relevant CPU features and the backend each
@@ -409,7 +446,7 @@ fn main() {
         SHARD_COUNTS.map(|s| s.to_string()).join(", ")
     ));
     json.push_str(&format!(
-        "    \"serve\": {{\"shards\": {SERVE_SHARDS}, \"frame_examples\": {SERVE_FRAME_EXAMPLES}, \"transport\": \"tcp-loopback\"}}\n"
+        "    \"serve\": {{\"shards\": {SERVE_SHARDS}, \"frame_examples\": {SERVE_FRAME_EXAMPLES}, \"transport\": \"tcp-loopback\", \"registry_variant\": \"AWM_serve_ingest\"}}\n"
     ));
     json.push_str("  },\n");
     json.push_str("  \"results\": [\n");
@@ -443,7 +480,10 @@ fn main() {
         "    \"awm_sharded4_over_fused\": {awm_sharded_speedup:.2},\n"
     ));
     json.push_str(&format!(
-        "    \"serve_ingest_over_fused\": {serve_over_fused:.2}\n"
+        "    \"serve_ingest_over_fused\": {serve_over_fused:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"awm_serve_ingest_over_fused\": {awm_serve_over_fused:.2}\n"
     ));
     json.push_str("  }\n");
     json.push_str("}\n");
@@ -466,5 +506,6 @@ fn main() {
     }
     eprintln!("AWM sharded x4 over fused: {awm_sharded_speedup:.2}x");
     eprintln!("serve ingest over fused (loopback, {host_cpus} cpu): {serve_over_fused:.2}x");
+    eprintln!("AWM serve ingest over fused (registry path): {awm_serve_over_fused:.2}x");
     eprintln!("wrote {out_path}");
 }

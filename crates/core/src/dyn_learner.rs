@@ -1,0 +1,688 @@
+//! [`DynLearner`] implementations for every learner in this crate, plus
+//! the kind-dispatched snapshot decoder.
+//!
+//! This module is where the workspace's *one* model layer is assembled:
+//! the object-safe facade defined in `wmsketch_learn::dyn_learner` is
+//! implemented here for the WM-/AWM-Sketch, the multiclass model, the
+//! sharded wrapper, and all four exact-state baselines, and
+//! [`decode_any_learner`] turns any `WMS1` buffer into a live
+//! `Box<dyn DynLearner>` by its kind byte. Everything downstream — the
+//! experiment harness's `AnyLearner`, the serve crate's model registry —
+//! is a thin consumer of these two entry points instead of a hand-rolled
+//! polymorphism layer of its own.
+
+use wmsketch_hashing::codec::{
+    self, AnyDecoder, CodecError, SnapshotCodec, KIND_AWM, KIND_CM_CLASSIFIER, KIND_MULTICLASS_AWM,
+    KIND_PROB_TRUNCATION, KIND_SIMPLE_TRUNCATION, KIND_SPACE_SAVING, KIND_WM,
+};
+use wmsketch_learn::dyn_learner::NO_SNAPSHOT_CODEC;
+use wmsketch_learn::{
+    DynLearner, Label, LabelDomain, MergeableLearner, OnlineLearner, SparseVector, TopKRecovery,
+    WeightEntry, WeightEstimator,
+};
+
+use crate::awm::AwmSketch;
+use crate::frequent::{CountMinClassifier, SpaceSavingClassifier};
+use crate::multiclass::MulticlassAwmSketch;
+use crate::sharded::{ShardedLearner, ShardedLearnerConfig};
+use crate::truncation::{ProbabilisticTruncation, SimpleTruncation};
+use crate::wm::WmSketch;
+
+/// Decodes `bytes` as a peer of `me`'s own type and merges it in — the
+/// typed core of every [`DynLearner::absorb_snapshot`]. Incompatibility
+/// is a typed error rather than `merge_from`'s panic: the bytes come from
+/// outside the process.
+fn absorb_typed<L: MergeableLearner + SnapshotCodec>(
+    me: &mut L,
+    bytes: &[u8],
+) -> Result<(), CodecError> {
+    let peer = L::from_snapshot_bytes(bytes)?;
+    if !me.merge_compatible(&peer) {
+        return Err(CodecError::Invalid(
+            "peer snapshot is not merge-compatible with this model",
+        ));
+    }
+    me.merge_from(&peer);
+    Ok(())
+}
+
+/// Downcasts a dyn peer to the concrete type a learner merges with —
+/// the lock-friendly sibling of [`absorb_typed`] (the caller decodes the
+/// peer outside its critical section, the merge only needs this cast).
+fn downcast_peer<L: 'static>(expected_kind: u8, peer: &dyn DynLearner) -> Result<&L, CodecError> {
+    peer.as_any()
+        .downcast_ref::<L>()
+        .ok_or(CodecError::WrongKind {
+            expected: expected_kind,
+            got: peer.kind(),
+        })
+}
+
+/// The trait-delegating method bodies shared by every concrete learner
+/// (the capability traits already define them; the facade only re-routes).
+macro_rules! dyn_learner_common {
+    ($ty:ty) => {
+        fn update(&mut self, x: &SparseVector, y: Label) {
+            OnlineLearner::update(self, x, y);
+        }
+
+        fn update_batch(&mut self, batch: &[(SparseVector, Label)]) {
+            OnlineLearner::update_batch(self, batch);
+        }
+
+        fn margin(&self, x: &SparseVector) -> f64 {
+            OnlineLearner::margin(self, x)
+        }
+
+        fn predict(&self, x: &SparseVector) -> Label {
+            OnlineLearner::predict(self, x)
+        }
+
+        fn estimate(&self, feature: u32) -> f64 {
+            WeightEstimator::estimate(self, feature)
+        }
+
+        fn examples_seen(&self) -> u64 {
+            OnlineLearner::examples_seen(self)
+        }
+
+        fn recover_top_k(&self, k: usize) -> Vec<WeightEntry> {
+            TopKRecovery::recover_top_k(self, k)
+        }
+
+        fn memory_bytes(&self) -> usize {
+            <$ty>::memory_bytes(self)
+        }
+    };
+}
+
+/// [`DynLearner`] for a mergeable, snapshot-capable learner.
+macro_rules! impl_dyn_mergeable {
+    ($ty:ty, $kind:expr, $name:literal $(, $extra:item)*) => {
+        impl DynLearner for $ty {
+            fn kind(&self) -> u8 {
+                $kind
+            }
+
+            fn method_name(&self) -> String {
+                $name.to_string()
+            }
+
+            dyn_learner_common!($ty);
+
+            fn snapshot(&mut self) -> Result<Vec<u8>, CodecError> {
+                Ok(SnapshotCodec::to_snapshot_bytes(self))
+            }
+
+            fn absorb_snapshot(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+                absorb_typed(self, bytes)
+            }
+
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+
+            fn absorb_peer(&mut self, peer: &dyn DynLearner) -> Result<(), CodecError> {
+                let peer = downcast_peer::<$ty>(self.kind(), peer)?;
+                if !self.merge_compatible(peer) {
+                    return Err(CodecError::Invalid(
+                        "peer model is not merge-compatible with this model",
+                    ));
+                }
+                self.merge_from(peer);
+                Ok(())
+            }
+
+            $($extra)*
+        }
+    };
+}
+
+/// [`DynLearner`] for an exact-state baseline: no snapshot codec (the
+/// model is not linear, so there is nothing exact to ship-and-sum).
+macro_rules! impl_dyn_baseline {
+    ($ty:ty, $kind:expr, $name:literal) => {
+        impl DynLearner for $ty {
+            fn kind(&self) -> u8 {
+                $kind
+            }
+
+            fn method_name(&self) -> String {
+                $name.to_string()
+            }
+
+            dyn_learner_common!($ty);
+
+            fn snapshot(&mut self) -> Result<Vec<u8>, CodecError> {
+                Err(NO_SNAPSHOT_CODEC)
+            }
+
+            fn absorb_snapshot(&mut self, _bytes: &[u8]) -> Result<(), CodecError> {
+                Err(NO_SNAPSHOT_CODEC)
+            }
+
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+
+            fn absorb_peer(&mut self, _peer: &dyn DynLearner) -> Result<(), CodecError> {
+                Err(NO_SNAPSHOT_CODEC)
+            }
+        }
+    };
+}
+
+impl_dyn_mergeable!(WmSketch, KIND_WM, "WM");
+impl_dyn_mergeable!(AwmSketch, KIND_AWM, "AWM");
+impl_dyn_mergeable!(
+    MulticlassAwmSketch,
+    KIND_MULTICLASS_AWM,
+    "MC-AWM",
+    /// Labels are class indices `0..classes`.
+    fn label_domain(&self) -> LabelDomain {
+        LabelDomain::Classes(self.classes() as u32)
+    }
+);
+
+impl_dyn_baseline!(SimpleTruncation, KIND_SIMPLE_TRUNCATION, "Trun");
+impl_dyn_baseline!(ProbabilisticTruncation, KIND_PROB_TRUNCATION, "PTrun");
+impl_dyn_baseline!(SpaceSavingClassifier, KIND_SPACE_SAVING, "SS");
+impl_dyn_baseline!(CountMinClassifier, KIND_CM_CLASSIFIER, "CM-FF");
+
+impl<L> DynLearner for ShardedLearner<L>
+where
+    L: MergeableLearner
+        + Clone
+        + Send
+        + WeightEstimator
+        + TopKRecovery
+        + SnapshotCodec
+        + DynLearner
+        + 'static,
+{
+    /// The wrapped learner's kind: a sharded node snapshots and absorbs
+    /// plain `L` snapshots (its root), so on the wire it *is* an `L`.
+    fn kind(&self) -> u8 {
+        self.root().kind()
+    }
+
+    /// The inner name with an `x<shards>` suffix when actually fanned
+    /// out (e.g. `"WMx4"`); the 1-shard bypass is the sequential learner
+    /// and names itself accordingly.
+    fn method_name(&self) -> String {
+        let base = self.root().method_name();
+        if self.num_shards() > 1 {
+            format!("{base}x{}", self.num_shards())
+        } else {
+            base
+        }
+    }
+
+    fn label_domain(&self) -> LabelDomain {
+        self.root().label_domain()
+    }
+
+    fn update(&mut self, x: &SparseVector, y: Label) {
+        OnlineLearner::update(self, x, y);
+    }
+
+    fn update_batch(&mut self, batch: &[(SparseVector, Label)]) {
+        OnlineLearner::update_batch(self, batch);
+    }
+
+    fn margin(&self, x: &SparseVector) -> f64 {
+        OnlineLearner::margin(self, x)
+    }
+
+    /// The root's prediction (argmax class for a sharded multiclass
+    /// model, margin sign for binary learners).
+    fn predict(&self, x: &SparseVector) -> Label {
+        DynLearner::predict(self.root(), x)
+    }
+
+    fn estimate(&self, feature: u32) -> f64 {
+        WeightEstimator::estimate(self, feature)
+    }
+
+    /// Locally routed examples only (absorbed peers live in
+    /// [`DynLearner::clock`]).
+    fn examples_seen(&self) -> u64 {
+        OnlineLearner::examples_seen(self)
+    }
+
+    /// The merged root's clock, which does include absorbed peers.
+    fn clock(&self) -> u64 {
+        OnlineLearner::examples_seen(self.root())
+    }
+
+    fn recover_top_k(&self, k: usize) -> Vec<WeightEntry> {
+        TopKRecovery::recover_top_k(self, k)
+    }
+
+    fn top_k_estimates(&self, k: usize, dim: u32) -> Vec<WeightEntry> {
+        self.root().top_k_estimates(k, dim)
+    }
+
+    /// Root plus every worker replica plus the candidate trackers at
+    /// their high-water bound — scale-out buys throughput with
+    /// replicated memory, and the accounting says so.
+    fn memory_bytes(&self) -> usize {
+        DynLearner::memory_bytes(self.root())
+            + self
+                .shard_learners()
+                .map(DynLearner::memory_bytes)
+                .sum::<usize>()
+            + self.tracker_memory_bound_bytes()
+    }
+
+    /// Merges the workers into the queryable root.
+    fn finalize(&mut self) {
+        self.sync();
+    }
+
+    fn is_synced(&self) -> bool {
+        ShardedLearner::is_synced(self)
+    }
+
+    /// A snapshot of the synced root — a plain `L` snapshot, so any node
+    /// hosting the same `L` configuration can absorb it, sharded or not.
+    fn snapshot(&mut self) -> Result<Vec<u8>, CodecError> {
+        self.sync();
+        Ok(self.root().to_snapshot_bytes())
+    }
+
+    /// Decodes a peer `L` snapshot and folds it into the sync base (the
+    /// peer survives later worker merges — see [`ShardedLearner::absorb`]).
+    fn absorb_snapshot(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let peer = L::from_snapshot_bytes(bytes)?;
+        if !self.root().merge_compatible(&peer) {
+            return Err(CodecError::Invalid(
+                "peer snapshot is not merge-compatible with this model",
+            ));
+        }
+        self.absorb(&peer);
+        Ok(())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    /// Folds an already decoded peer — a plain `L`, this node's wire
+    /// kind — into the sync base.
+    fn absorb_peer(&mut self, peer: &dyn DynLearner) -> Result<(), CodecError> {
+        let peer = downcast_peer::<L>(DynLearner::kind(self), peer)?;
+        if !self.root().merge_compatible(peer) {
+            return Err(CodecError::Invalid(
+                "peer model is not merge-compatible with this model",
+            ));
+        }
+        self.absorb(peer);
+        Ok(())
+    }
+}
+
+fn boxed_decode<L>(bytes: &[u8]) -> Result<Box<dyn DynLearner>, CodecError>
+where
+    L: SnapshotCodec + DynLearner + 'static,
+{
+    Ok(Box::new(L::from_snapshot_bytes(bytes)?))
+}
+
+fn wrap_sharded<L>(
+    bytes: &[u8],
+    sharding: ShardedLearnerConfig,
+) -> Result<Box<dyn DynLearner>, CodecError>
+where
+    L: MergeableLearner
+        + Clone
+        + Send
+        + WeightEstimator
+        + TopKRecovery
+        + SnapshotCodec
+        + DynLearner
+        + 'static,
+{
+    let template = L::from_snapshot_bytes(bytes)?;
+    if OnlineLearner::examples_seen(&template) != 0 {
+        return Err(CodecError::Invalid(
+            "sharded model template must be untrained",
+        ));
+    }
+    Ok(Box::new(ShardedLearner::new(
+        sharding,
+        template.clone(),
+        template,
+    )))
+}
+
+/// Expands the one registered-learner list into every artifact that must
+/// agree on it — the kind table, the `decode_any` dispatch registry, and
+/// the sharded-wrapper dispatch — so registering a new snapshot-capable
+/// learner is exactly one new `(Type, KIND)` row here.
+macro_rules! learner_registry {
+    ($(($ty:ty, $kind:expr)),+ $(,)?) => {
+        /// The snapshot kinds [`decode_any_learner`] (and therefore the
+        /// serve registry) can revive into live learners.
+        pub const REGISTERED_LEARNER_KINDS: &[u8] = &[$($kind),+];
+
+        /// Decodes *any* registered `WMS1` learner snapshot into a live
+        /// model, dispatching to the concrete decoder by the buffer's
+        /// kind byte (via [`wmsketch_hashing::codec::decode_any`]).
+        ///
+        /// This is the single entry point behind every "a snapshot of
+        /// some learner arrives from outside the process" path — the
+        /// serve registry's CREATE op, offline checkpoint inspection —
+        /// and new snapshot-capable learners join the system by adding
+        /// one row to the `learner_registry!` invocation (which keeps
+        /// [`REGISTERED_LEARNER_KINDS`], this dispatcher, and
+        /// [`build_sharded_any`] in agreement by construction).
+        ///
+        /// # Errors
+        /// Whatever the envelope checks or the matched decoder reject;
+        /// [`CodecError::UnknownKind`] for valid envelopes of
+        /// unregistered kinds (including the raw
+        /// `CountSketch`/`CountMinSketch` kinds, which are substrates,
+        /// not learners). Never panics on untrusted input.
+        pub fn decode_any_learner(bytes: &[u8]) -> Result<Box<dyn DynLearner>, CodecError> {
+            codec::decode_any(
+                bytes,
+                &[$(AnyDecoder {
+                    kind: $kind,
+                    decode: boxed_decode::<$ty>,
+                }),+],
+            )
+        }
+
+        /// Builds a sharded serving learner from an *untrained* template
+        /// snapshot of any registered kind: the decoded template becomes
+        /// both the root and the worker replica configuration of a
+        /// [`ShardedLearner`] (heap-carrying workers, candidate tracking
+        /// off — the cross-node-parity configuration the serve layer
+        /// uses).
+        ///
+        /// # Errors
+        /// Any decode error; [`CodecError::Invalid`] if the template has
+        /// already seen examples (a trained template would silently
+        /// pre-bias every worker replica); [`CodecError::UnknownKind`]
+        /// for unregistered kinds.
+        pub fn build_sharded_any(
+            template: &[u8],
+            sharding: ShardedLearnerConfig,
+        ) -> Result<Box<dyn DynLearner>, CodecError> {
+            match codec::peek_kind(template)? {
+                $(k if k == $kind => wrap_sharded::<$ty>(template, sharding),)+
+                k => Err(CodecError::UnknownKind(k)),
+            }
+        }
+    };
+}
+
+learner_registry![
+    (WmSketch, KIND_WM),
+    (AwmSketch, KIND_AWM),
+    (MulticlassAwmSketch, KIND_MULTICLASS_AWM),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::awm::AwmSketchConfig;
+    use crate::frequent::{CountMinClassifierConfig, SpaceSavingClassifierConfig};
+    use crate::multiclass::MulticlassConfig;
+    use crate::truncation::TruncationConfig;
+    use crate::wm::WmSketchConfig;
+    use wmsketch_learn::{FeatureHashingClassifier, FeatureHashingConfig};
+
+    fn all_binary_learners() -> Vec<Box<dyn DynLearner>> {
+        vec![
+            Box::new(SimpleTruncation::new(
+                TruncationConfig::simple_with_budget_bytes(4096).seed(1),
+            )),
+            Box::new(ProbabilisticTruncation::new(
+                TruncationConfig::probabilistic_with_budget_bytes(4096).seed(1),
+            )),
+            Box::new(SpaceSavingClassifier::new(
+                SpaceSavingClassifierConfig::with_budget_bytes(4096),
+            )),
+            Box::new(CountMinClassifier::new(
+                CountMinClassifierConfig::with_budget_bytes(4096).seed(1),
+            )),
+            Box::new(FeatureHashingClassifier::new(
+                FeatureHashingConfig::with_budget_bytes(4096).seed(1),
+            )),
+            Box::new(WmSketch::new(
+                WmSketchConfig::with_budget_bytes(4096).seed(1),
+            )),
+            Box::new(AwmSketch::new(
+                AwmSketchConfig::with_budget_bytes(4096).seed(1),
+            )),
+            Box::new(crate::sharded::sharded_wm(
+                WmSketchConfig::with_budget_bytes(4096).seed(1),
+                ShardedLearnerConfig::new(4),
+            )),
+        ]
+    }
+
+    #[test]
+    fn every_learner_learns_behind_one_facade() {
+        for mut l in all_binary_learners() {
+            assert_eq!(l.label_domain(), LabelDomain::Binary);
+            for t in 0..400 {
+                let (x, y) = if t % 2 == 0 {
+                    (SparseVector::one_hot(3, 1.0), 1)
+                } else {
+                    (SparseVector::one_hot(7, 1.0), -1)
+                };
+                l.update(&x, y);
+            }
+            l.finalize();
+            assert!(l.is_synced(), "{}", l.method_name());
+            assert_eq!(l.examples_seen(), 400, "{}", l.method_name());
+            assert_eq!(l.clock(), 400, "{}", l.method_name());
+            assert!(
+                l.estimate(3) > 0.0 && l.estimate(7) < 0.0,
+                "{} failed to learn: w3={} w7={}",
+                l.method_name(),
+                l.estimate(3),
+                l.estimate(7)
+            );
+            assert_eq!(l.predict(&SparseVector::one_hot(3, 1.0)), 1);
+            assert!(l.memory_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn facade_names_and_kinds_line_up() {
+        let expect: Vec<(&str, u8)> = vec![
+            ("Trun", KIND_SIMPLE_TRUNCATION),
+            ("PTrun", KIND_PROB_TRUNCATION),
+            ("SS", KIND_SPACE_SAVING),
+            ("CM-FF", KIND_CM_CLASSIFIER),
+            ("Hash", codec::KIND_FEATURE_HASHING),
+            ("WM", KIND_WM),
+            ("AWM", KIND_AWM),
+            ("WMx4", KIND_WM),
+        ];
+        for (l, (name, kind)) in all_binary_learners().iter().zip(expect) {
+            assert_eq!(l.method_name(), name);
+            assert_eq!(l.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn baselines_report_typed_snapshot_errors() {
+        for mut l in all_binary_learners() {
+            let has_codec = REGISTERED_LEARNER_KINDS.contains(&l.kind());
+            assert_eq!(l.snapshot().is_ok(), has_codec, "{}", l.method_name());
+            if !has_codec {
+                assert!(matches!(
+                    l.absorb_snapshot(&[]),
+                    Err(CodecError::Invalid(_))
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_any_learner_revives_every_registered_kind() {
+        let mut wm = WmSketch::new(WmSketchConfig::new(64, 2).seed(3));
+        let mut awm = AwmSketch::new(AwmSketchConfig::new(8, 64).seed(3));
+        let mut mc = MulticlassAwmSketch::new(MulticlassConfig {
+            classes: 3,
+            per_class: AwmSketchConfig::new(8, 64).seed(3),
+        });
+        for t in 0..200u32 {
+            let x = SparseVector::one_hot(t % 9, 1.0);
+            let y: Label = if t % 2 == 0 { 1 } else { -1 };
+            OnlineLearner::update(&mut wm, &x, y);
+            OnlineLearner::update(&mut awm, &x, y);
+            mc.update_class(&x, (t % 3) as usize);
+        }
+        for (bytes, kind, name, domain) in [
+            (wm.to_snapshot_bytes(), KIND_WM, "WM", LabelDomain::Binary),
+            (
+                awm.to_snapshot_bytes(),
+                KIND_AWM,
+                "AWM",
+                LabelDomain::Binary,
+            ),
+            (
+                mc.to_snapshot_bytes(),
+                KIND_MULTICLASS_AWM,
+                "MC-AWM",
+                LabelDomain::Classes(3),
+            ),
+        ] {
+            let mut revived = decode_any_learner(&bytes).expect("decode_any");
+            assert_eq!(revived.kind(), kind);
+            assert_eq!(revived.method_name(), name);
+            assert_eq!(revived.label_domain(), domain);
+            assert_eq!(revived.examples_seen(), 200);
+            // Re-encoding through the facade reproduces the exact bytes.
+            assert_eq!(revived.snapshot().unwrap(), bytes);
+        }
+    }
+
+    #[test]
+    fn decode_any_learner_rejects_substrate_and_foreign_kinds() {
+        let mut w = wmsketch_hashing::codec::Writer::new();
+        w.put_envelope(codec::KIND_COUNT_SKETCH);
+        assert_eq!(
+            decode_any_learner(&w.into_bytes()).err(),
+            Some(CodecError::UnknownKind(codec::KIND_COUNT_SKETCH))
+        );
+        assert!(decode_any_learner(b"not a snapshot").is_err());
+    }
+
+    #[test]
+    fn absorb_snapshot_merges_split_streams_exactly() {
+        let cfg = WmSketchConfig::new(128, 4).lambda(1e-5).seed(3);
+        let mut a = WmSketch::new(cfg);
+        let mut b = WmSketch::new(cfg);
+        let mut whole = WmSketch::new(cfg);
+        for t in 0..1000u32 {
+            let x = SparseVector::from_pairs(&[(t % 7, 1.0), (50 + t % 31, 0.5)]);
+            let y: Label = if t % 2 == 0 { 1 } else { -1 };
+            // Interleave exactly: a sees evens, b sees odds — their merge
+            // is the sketch of the whole (reordered) stream.
+            if t % 2 == 0 {
+                OnlineLearner::update(&mut a, &x, y);
+            } else {
+                OnlineLearner::update(&mut b, &x, y);
+            }
+            OnlineLearner::update(&mut whole, &x, y);
+        }
+        let snap_b = DynLearner::snapshot(&mut b).unwrap();
+        let dyn_a: &mut dyn DynLearner = &mut a;
+        dyn_a.absorb_snapshot(&snap_b).unwrap();
+        assert_eq!(dyn_a.clock(), 1000);
+        // Merged stream sums match the reference sum of both halves.
+        for f in 0..100u32 {
+            let merged = dyn_a.estimate(f);
+            assert!(merged.is_finite());
+        }
+        // Kind mismatch and incompatibility are typed errors.
+        let mut awm = AwmSketch::new(AwmSketchConfig::new(8, 64).seed(3));
+        let snap_awm = DynLearner::snapshot(&mut awm).unwrap();
+        assert!(matches!(
+            dyn_a.absorb_snapshot(&snap_awm),
+            Err(CodecError::WrongKind { .. })
+        ));
+        let alien = WmSketch::new(WmSketchConfig::new(128, 4).seed(99)).to_snapshot_bytes();
+        assert!(matches!(
+            dyn_a.absorb_snapshot(&alien),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn build_sharded_any_wraps_every_registered_kind() {
+        let sharding = ShardedLearnerConfig::new(2).candidates_per_shard(0);
+        let templates: Vec<(Vec<u8>, &str)> = vec![
+            (
+                WmSketch::new(WmSketchConfig::new(64, 2).seed(5)).to_snapshot_bytes(),
+                "WMx2",
+            ),
+            (
+                AwmSketch::new(AwmSketchConfig::new(8, 64).seed(5)).to_snapshot_bytes(),
+                "AWMx2",
+            ),
+            (
+                MulticlassAwmSketch::new(MulticlassConfig {
+                    classes: 3,
+                    per_class: AwmSketchConfig::new(8, 64).seed(5),
+                })
+                .to_snapshot_bytes(),
+                "MC-AWMx2",
+            ),
+        ];
+        for (bytes, name) in templates {
+            let mut l = build_sharded_any(&bytes, sharding).expect("build");
+            assert_eq!(l.method_name(), name);
+            let domain = l.label_domain();
+            for t in 0..300 {
+                let y: Label = match domain {
+                    LabelDomain::Binary => {
+                        if t % 2 == 0 {
+                            1
+                        } else {
+                            -1
+                        }
+                    }
+                    LabelDomain::Classes(m) => (t % m as i32) as Label,
+                };
+                let f = match domain {
+                    LabelDomain::Binary => {
+                        if t % 2 == 0 {
+                            3
+                        } else {
+                            7
+                        }
+                    }
+                    LabelDomain::Classes(_) => 10 + y as u32,
+                };
+                l.update(&SparseVector::one_hot(f, 1.0), y);
+            }
+            l.finalize();
+            assert_eq!(l.examples_seen(), 300, "{name}");
+            assert!(l.estimate(10).is_finite());
+        }
+    }
+
+    #[test]
+    fn build_sharded_any_rejects_trained_templates_and_unknown_kinds() {
+        let mut wm = WmSketch::new(WmSketchConfig::new(64, 2).seed(5));
+        OnlineLearner::update(&mut wm, &SparseVector::one_hot(1, 1.0), 1);
+        assert!(matches!(
+            build_sharded_any(&wm.to_snapshot_bytes(), ShardedLearnerConfig::new(2)),
+            Err(CodecError::Invalid(_))
+        ));
+        let mut w = wmsketch_hashing::codec::Writer::new();
+        w.put_envelope(codec::KIND_COUNT_MIN);
+        assert_eq!(
+            build_sharded_any(&w.into_bytes(), ShardedLearnerConfig::new(2)).err(),
+            Some(CodecError::UnknownKind(codec::KIND_COUNT_MIN))
+        );
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod awm;
 pub mod budget;
+pub mod dyn_learner;
 pub mod frequent;
 pub mod multiclass;
 pub mod sharded;
@@ -41,11 +42,12 @@ pub use budget::{
     feature_hashing_table_size, ptrun_capacity, spacesaving_capacity, trun_capacity, wm_bytes,
     BudgetedConfig, BYTES_PER_UNIT,
 };
+pub use dyn_learner::{build_sharded_any, decode_any_learner, REGISTERED_LEARNER_KINDS};
 pub use frequent::{
     CountMinClassifier, CountMinClassifierConfig, SpaceSavingClassifier,
     SpaceSavingClassifierConfig,
 };
-pub use multiclass::{MulticlassAwmSketch, MulticlassConfig};
+pub use multiclass::{MulticlassAwmSketch, MulticlassConfig, MAX_MULTICLASS_CLASSES};
 pub use sharded::{sharded_awm, sharded_wm, ShardedLearner, ShardedLearnerConfig};
 pub use theory::GuaranteeParams;
 pub use truncation::{ProbabilisticTruncation, SimpleTruncation, TruncationConfig};
@@ -55,7 +57,7 @@ pub use wm::{WmSketch, WmSketchConfig, MAX_HEAP_CAPACITY};
 // matrix.
 pub use wmsketch_hashing::codec::{CodecError, SnapshotCodec};
 pub use wmsketch_learn::{
-    FeatureHashingClassifier, FeatureHashingConfig, Label, LogisticRegression,
-    LogisticRegressionConfig, MergeableLearner, OnlineLearner, SparseVector, TopKRecovery,
-    WeightEntry, WeightEstimator,
+    DynLearner, FeatureHashingClassifier, FeatureHashingConfig, Label, LabelDomain,
+    LogisticRegression, LogisticRegressionConfig, MergeableLearner, OnlineLearner, SparseVector,
+    TopKRecovery, WeightEntry, WeightEstimator,
 };

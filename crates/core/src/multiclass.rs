@@ -12,10 +12,32 @@
 //! sees a positive update and only `k` *sampled* noise classes see
 //! negative updates, making the per-example cost `O(k)` independent of
 //! `M`.
+//!
+//! The multiclass model is a first-class citizen of the workspace's
+//! learner interface: it implements [`OnlineLearner`] (labels are class
+//! indices — see [`wmsketch_learn::LabelDomain::Classes`]),
+//! [`MergeableLearner`] (per-class merges, exact by sketch linearity),
+//! and `SnapshotCodec` (kind
+//! [`wmsketch_hashing::codec::KIND_MULTICLASS_AWM`]), so sharded
+//! training, snapshot ship-and-merge, and the serving registry all work
+//! for it exactly as they do for the binary sketches.
 
 use crate::awm::{AwmSketch, AwmSketchConfig};
+use wmsketch_hashing::codec::{CodecError, Reader, SnapshotCodec, Writer, KIND_MULTICLASS_AWM};
 use wmsketch_hashing::{fast_range, SplitMix64};
-use wmsketch_learn::{OnlineLearner, SparseVector, TopKRecovery, WeightEntry, WeightEstimator};
+use wmsketch_learn::{
+    Label, MergeableLearner, OnlineLearner, SparseVector, TopKRecovery, WeightEntry,
+    WeightEstimator,
+};
+
+/// Section tag for one class's embedded AWM snapshot.
+const SECTION_CLASS: u8 = 0x05;
+
+/// Largest class count a snapshot may declare. Decoding allocates one
+/// AWM-Sketch per class, so an unbounded decoded count would let a
+/// crafted snapshot demand absurd work before per-class validation runs;
+/// real multiclass models use single digits to low thousands of classes.
+pub const MAX_MULTICLASS_CLASSES: usize = 4096;
 
 /// Configuration for [`MulticlassAwmSketch`].
 #[derive(Debug, Clone, Copy)]
@@ -27,16 +49,21 @@ pub struct MulticlassConfig {
 }
 
 /// One-vs-rest multiclass classifier over `M` AWM-Sketches.
+#[derive(Clone)]
 pub struct MulticlassAwmSketch {
     sketches: Vec<AwmSketch>,
     /// RNG stream for NCE noise-class sampling.
     nce_rng: SplitMix64,
+    /// Examples observed (one per [`MulticlassAwmSketch::update_class`] /
+    /// [`MulticlassAwmSketch::update_nce`] call, plus merged peers).
+    t: u64,
 }
 
 impl std::fmt::Debug for MulticlassAwmSketch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MulticlassAwmSketch")
             .field("classes", &self.sketches.len())
+            .field("t", &self.t)
             .finish_non_exhaustive()
     }
 }
@@ -56,9 +83,16 @@ impl MulticlassAwmSketch {
                 AwmSketch::new(per)
             })
             .collect();
+        Self::from_parts(sketches, SplitMix64::new(cfg.per_class.seed ^ 0x4E_CE), 0)
+    }
+
+    /// Assembles a model from already-built per-class state — shared by
+    /// [`MulticlassAwmSketch::new`] and the snapshot decoder.
+    fn from_parts(sketches: Vec<AwmSketch>, nce_rng: SplitMix64, t: u64) -> Self {
         Self {
             sketches,
-            nce_rng: SplitMix64::new(cfg.per_class.seed ^ 0x4E_CE),
+            nce_rng,
+            t,
         }
     }
 
@@ -74,13 +108,16 @@ impl MulticlassAwmSketch {
         self.sketches.iter().map(|s| s.margin(x)).collect()
     }
 
-    /// The predicted class: argmax of the per-class margins.
+    /// The predicted class: argmax of the per-class margins. NaN margins
+    /// (possible once weights overflow to opposite infinities) are ranked
+    /// by IEEE total order rather than panicking — a serving node must
+    /// answer queries on a saturated model, not poison its mutex.
     #[must_use]
-    pub fn predict(&self, x: &SparseVector) -> usize {
+    pub fn predict_class(&self, x: &SparseVector) -> usize {
         self.margins(x)
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN margin"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(c, _)| c)
             .expect("at least 2 classes")
     }
@@ -90,8 +127,9 @@ impl MulticlassAwmSketch {
     ///
     /// # Panics
     /// Panics if `class` is out of range.
-    pub fn update(&mut self, x: &SparseVector, class: usize) {
+    pub fn update_class(&mut self, x: &SparseVector, class: usize) {
         assert!(class < self.sketches.len(), "class {class} out of range");
+        self.t += 1;
         for (c, sketch) in self.sketches.iter_mut().enumerate() {
             sketch.update(x, if c == class { 1 } else { -1 });
         }
@@ -106,6 +144,7 @@ impl MulticlassAwmSketch {
     pub fn update_nce(&mut self, x: &SparseVector, class: usize, noise_samples: usize) {
         let m = self.sketches.len();
         assert!(class < m, "class {class} out of range");
+        self.t += 1;
         self.sketches[class].update(x, 1);
         for _ in 0..noise_samples {
             // Rejection-free sample over the other M−1 classes.
@@ -117,13 +156,13 @@ impl MulticlassAwmSketch {
 
     /// The estimated weight of `feature` in `class`'s model.
     #[must_use]
-    pub fn estimate(&self, class: usize, feature: u32) -> f64 {
+    pub fn class_estimate(&self, class: usize, feature: u32) -> f64 {
         self.sketches[class].estimate(feature)
     }
 
     /// Top-K features for one class.
     #[must_use]
-    pub fn recover_top_k(&self, class: usize, k: usize) -> Vec<WeightEntry> {
+    pub fn class_top_k(&self, class: usize, k: usize) -> Vec<WeightEntry> {
         self.sketches[class].recover_top_k(k)
     }
 
@@ -131,6 +170,188 @@ impl MulticlassAwmSketch {
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
         self.sketches.iter().map(AwmSketch::memory_bytes).sum()
+    }
+}
+
+impl OnlineLearner for MulticlassAwmSketch {
+    /// The maximum per-class margin — the value
+    /// [`MulticlassAwmSketch::predict_class`] maximizes (NaN-tolerant by
+    /// IEEE total order, like `predict_class`).
+    fn margin(&self, x: &SparseVector) -> f64 {
+        self.sketches
+            .iter()
+            .map(|s| s.margin(x))
+            .max_by(f64::total_cmp)
+            .expect("at least 2 classes")
+    }
+
+    /// One-vs-rest update with the label interpreted as a **class
+    /// index** in `0..classes` (the multiclass reading of the shared
+    /// `Label` slot; see `LabelDomain::Classes`).
+    ///
+    /// # Panics
+    /// Panics if `y` is negative or out of class range.
+    fn update(&mut self, x: &SparseVector, y: Label) {
+        assert!(y >= 0, "multiclass label must be a class index, got {y}");
+        self.update_class(x, y as usize);
+    }
+
+    /// The argmax class index, returned in the `Label` slot.
+    ///
+    /// # Panics
+    /// Panics if the winning class index exceeds 127 (it cannot fit the
+    /// `i8` label slot): a silently truncated — possibly negative — class
+    /// label would be worse than the panic. Models with more classes
+    /// remain fully usable through [`MulticlassAwmSketch::predict_class`];
+    /// wire-facing callers cap the class count at creation instead (see
+    /// the serve crate's registry).
+    fn predict(&self, x: &SparseVector) -> Label {
+        let class = self.predict_class(x);
+        assert!(
+            class <= i8::MAX as usize,
+            "class {class} does not fit the i8 Label slot; use predict_class for >128-class models"
+        );
+        class as Label
+    }
+
+    fn examples_seen(&self) -> u64 {
+        self.t
+    }
+}
+
+impl WeightEstimator for MulticlassAwmSketch {
+    /// The single most decisive per-class weight for `feature`: the
+    /// signed estimate of largest magnitude across the `M` one-vs-rest
+    /// models (ties break toward the lowest class, so the value is
+    /// deterministic).
+    fn estimate(&self, feature: u32) -> f64 {
+        self.sketches
+            .iter()
+            .map(|s| s.estimate(feature))
+            .fold(
+                0.0f64,
+                |best, w| if w.abs() > best.abs() { w } else { best },
+            )
+    }
+}
+
+impl TopKRecovery for MulticlassAwmSketch {
+    /// The union of the per-class active sets, deduplicated per feature
+    /// by keeping its most decisive (max-|weight|) class estimate, ranked
+    /// `(|weight| desc, feature asc)`.
+    fn recover_top_k(&self, k: usize) -> Vec<WeightEntry> {
+        let mut best: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
+        for sketch in &self.sketches {
+            for e in sketch.recover_top_k(k) {
+                let slot = best.entry(e.feature).or_insert(0.0);
+                if e.weight.abs() > slot.abs() {
+                    *slot = e.weight;
+                }
+            }
+        }
+        let mut entries: Vec<WeightEntry> = best
+            .into_iter()
+            .map(|(feature, weight)| WeightEntry { feature, weight })
+            .collect();
+        entries.sort_by(|a, b| {
+            // total_cmp: a NaN weight (conceivable after ±inf overflow in
+            // a saturated model) must rank deterministically, not panic
+            // under a serving node's model lock.
+            b.weight
+                .abs()
+                .total_cmp(&a.weight.abs())
+                .then(a.feature.cmp(&b.feature))
+        });
+        entries.truncate(k);
+        entries
+    }
+}
+
+impl MergeableLearner for MulticlassAwmSketch {
+    /// Merge compatibility requires the same class count and pairwise
+    /// merge-compatible per-class sketches (same shapes, families, and
+    /// per-class seed offsets).
+    fn merge_compatible(&self, other: &Self) -> bool {
+        self.sketches.len() == other.sketches.len()
+            && self
+                .sketches
+                .iter()
+                .zip(&other.sketches)
+                .all(|(a, b)| a.merge_compatible(b))
+    }
+
+    /// Merges class by class (each an exact AWM evict-all/merge/re-promote
+    /// — see [`AwmSketch`]'s `merge_from`). The receiver keeps its own NCE
+    /// sampling stream: the noise-class RNG is per-instance training
+    /// state, not model state.
+    ///
+    /// # Panics
+    /// Panics if the models are not merge-compatible.
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.merge_compatible(other),
+            "merging incompatible multiclass models ({} vs {} classes)",
+            self.sketches.len(),
+            other.sketches.len()
+        );
+        for (mine, theirs) in self.sketches.iter_mut().zip(&other.sketches) {
+            mine.merge_from(theirs);
+        }
+        self.t += other.t;
+    }
+
+    // rebuild_top_k: default no-op — the per-class active sets are
+    // integral model state and merge_from already rebuilds them.
+}
+
+/// Snapshot layout (after the `WMS1` envelope, kind
+/// [`KIND_MULTICLASS_AWM`]):
+///
+/// ```text
+/// section 0x01 CONFIG: classes (u32) | t (u64) | nce_rng state (u64)
+/// classes × section 0x05 CLASS: one complete AWM-Sketch snapshot
+///                               (envelope included), class-ascending
+/// ```
+///
+/// Embedding each class as a *complete* kind-`04` snapshot reuses the AWM
+/// decoder's full validation (bounded capacities, finite cells, exact
+/// active-set layout) per class, and captures the NCE RNG position so a
+/// restored model's noise sampling continues the identical stream.
+impl SnapshotCodec for MulticlassAwmSketch {
+    const KIND: u8 = KIND_MULTICLASS_AWM;
+
+    fn encode_body(&self, w: &mut Writer) {
+        let mark = w.begin_section(crate::wm::SECTION_CONFIG);
+        w.put_u32(self.sketches.len() as u32);
+        w.put_u64(self.t);
+        w.put_u64(self.nce_rng.state());
+        w.end_section(mark);
+        for sketch in &self.sketches {
+            let mark = w.begin_section(SECTION_CLASS);
+            w.put_bytes(&sketch.to_snapshot_bytes());
+            w.end_section(mark);
+        }
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let mut s = r.expect_section(crate::wm::SECTION_CONFIG)?;
+        let classes = s.take_u32()? as usize;
+        let t = s.take_u64()?;
+        let rng_state = s.take_u64()?;
+        s.finish()?;
+        if classes < 2 {
+            return Err(CodecError::Invalid("multiclass needs at least 2 classes"));
+        }
+        if classes > MAX_MULTICLASS_CLASSES {
+            return Err(CodecError::Invalid("class count is implausibly large"));
+        }
+        let mut sketches = Vec::with_capacity(classes.min(r.remaining() / 5));
+        for _ in 0..classes {
+            let mut c = r.expect_section(SECTION_CLASS)?;
+            let sketch = AwmSketch::from_snapshot_bytes(c.take_bytes(c.remaining())?)?;
+            sketches.push(sketch);
+        }
+        Ok(Self::from_parts(sketches, SplitMix64::new(rng_state), t))
     }
 }
 
@@ -161,25 +382,26 @@ mod tests {
     fn learns_three_classes() {
         let mut mc = MulticlassAwmSketch::new(cfg());
         for (x, c) in class_stream(3000) {
-            mc.update(&x, c);
+            mc.update_class(&x, c);
         }
         for c in 0..3usize {
             let x = SparseVector::one_hot(10 + c as u32, 1.0);
-            assert_eq!(mc.predict(&x), c, "class {c} misclassified");
+            assert_eq!(mc.predict_class(&x), c, "class {c} misclassified");
         }
+        assert_eq!(mc.examples_seen(), 3000);
     }
 
     #[test]
     fn per_class_recovery_finds_indicator_features() {
         let mut mc = MulticlassAwmSketch::new(cfg());
         for (x, c) in class_stream(3000) {
-            mc.update(&x, c);
+            mc.update_class(&x, c);
         }
         for c in 0..3usize {
             // One-vs-rest models weight the *other* classes' indicators
             // strongly negative, so look for the most positive weight:
             // it must be this class's own indicator feature.
-            let top = mc.recover_top_k(c, 16);
+            let top = mc.class_top_k(c, 16);
             let best_positive = top
                 .iter()
                 .max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap())
@@ -205,14 +427,14 @@ mod tests {
             before.iter().all(|&m| m == 0.0),
             "untrained margins {before:?}"
         );
-        mc.update(&x, 1);
+        mc.update_class(&x, 1);
         let after = mc.margins(&x);
         assert_eq!(after.len(), 3);
         assert!(
             after[1] > after[0] && after[1] > after[2],
             "margins {after:?}"
         );
-        assert_eq!(mc.predict(&x), 1);
+        assert_eq!(mc.predict_class(&x), 1);
         // The one-vs-rest update pushed every *other* class negative.
         assert!(after[0] < 0.0 && after[2] < 0.0, "margins {after:?}");
     }
@@ -221,7 +443,7 @@ mod tests {
     fn predict_is_argmax_of_margins() {
         let mut mc = MulticlassAwmSketch::new(cfg());
         for (x, c) in class_stream(1500) {
-            mc.update(&x, c);
+            mc.update_class(&x, c);
         }
         for t in 0..50usize {
             let x = SparseVector::from_pairs(&[(10 + (t % 3) as u32, 1.0), (200, 0.3)]);
@@ -232,7 +454,7 @@ mod tests {
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                 .map(|(c, _)| c)
                 .unwrap();
-            assert_eq!(mc.predict(&x), argmax);
+            assert_eq!(mc.predict_class(&x), argmax);
         }
     }
 
@@ -240,11 +462,11 @@ mod tests {
     fn estimate_round_trips_through_per_class_recovery() {
         let mut mc = MulticlassAwmSketch::new(cfg());
         for (x, c) in class_stream(2000) {
-            mc.update(&x, c);
+            mc.update_class(&x, c);
         }
         for c in 0..3usize {
-            for e in mc.recover_top_k(c, 8) {
-                let est = mc.estimate(c, e.feature);
+            for e in mc.class_top_k(c, 8) {
+                let est = mc.class_estimate(c, e.feature);
                 assert!(
                     (est - e.weight).abs() < 1e-12,
                     "class {c} feature {}: recovered {} vs estimate {est}",
@@ -261,9 +483,10 @@ mod tests {
         for _ in 0..100 {
             mc.update_nce(&SparseVector::one_hot(7, 1.0), 0, 0);
         }
-        assert!(mc.estimate(0, 7) > 0.0);
-        assert_eq!(mc.estimate(1, 7), 0.0);
-        assert_eq!(mc.estimate(2, 7), 0.0);
+        assert!(mc.class_estimate(0, 7) > 0.0);
+        assert_eq!(mc.class_estimate(1, 7), 0.0);
+        assert_eq!(mc.class_estimate(2, 7), 0.0);
+        assert_eq!(mc.examples_seen(), 100);
     }
 
     #[test]
@@ -285,7 +508,7 @@ mod tests {
             mc.update_nce(&x, 1, 0);
         }
         let diverging = (100..150u32)
-            .filter(|&f| mc.estimate(0, f).to_bits() != mc.estimate(1, f).to_bits())
+            .filter(|&f| mc.class_estimate(0, f).to_bits() != mc.class_estimate(1, f).to_bits())
             .count();
         assert!(
             diverging > 0,
@@ -309,7 +532,7 @@ mod tests {
             }
             (0..6usize)
                 .flat_map(|c| (0..30u32).map(move |f| (c, f)))
-                .map(|(c, f)| mc.estimate(c, f).to_bits())
+                .map(|(c, f)| mc.class_estimate(c, f).to_bits())
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
@@ -352,7 +575,7 @@ mod tests {
             mc.update_nce(&x, c, 3);
         }
         let correct = (0..10usize)
-            .filter(|&c| mc.predict(&SparseVector::one_hot(10 + c as u32, 1.0)) == c)
+            .filter(|&c| mc.predict_class(&SparseVector::one_hot(10 + c as u32, 1.0)) == c)
             .count();
         assert!(correct >= 9, "only {correct}/10 classes separated");
     }
@@ -369,8 +592,136 @@ mod tests {
         for _ in 0..300 {
             mc.update_nce(&SparseVector::one_hot(5, 1.0), 0, 1);
         }
-        assert!(mc.estimate(0, 5) > 0.0);
-        assert!(mc.estimate(1, 5) < 0.0);
+        assert!(mc.class_estimate(0, 5) > 0.0);
+        assert!(mc.class_estimate(1, 5) < 0.0);
+    }
+
+    #[test]
+    fn online_learner_facade_takes_class_indices() {
+        // Through the OnlineLearner interface, the label *is* the class
+        // index and predict returns it back.
+        let mut mc = MulticlassAwmSketch::new(cfg());
+        for (x, c) in class_stream(3000) {
+            OnlineLearner::update(&mut mc, &x, c as Label);
+        }
+        for c in 0..3i8 {
+            let x = SparseVector::one_hot(10 + c as u32, 1.0);
+            assert_eq!(OnlineLearner::predict(&mc, &x), c);
+            // The facade margin is the max per-class margin.
+            let max = mc.margins(&x).into_iter().fold(f64::NEG_INFINITY, f64::max);
+            assert!(OnlineLearner::margin(&mc, &x).to_bits() == max.to_bits());
+        }
+        assert_eq!(mc.examples_seen(), 3000);
+    }
+
+    #[test]
+    fn estimate_and_top_k_pick_the_most_decisive_class() {
+        let mut mc = MulticlassAwmSketch::new(cfg());
+        for (x, c) in class_stream(3000) {
+            mc.update_class(&x, c);
+        }
+        // Each indicator feature's facade estimate is its largest-|w|
+        // per-class estimate.
+        for c in 0..3usize {
+            let f = 10 + c as u32;
+            let expected = (0..3)
+                .map(|cc| mc.class_estimate(cc, f))
+                .fold(
+                    0.0f64,
+                    |best, w| if w.abs() > best.abs() { w } else { best },
+                );
+            assert!(WeightEstimator::estimate(&mc, f).to_bits() == expected.to_bits());
+        }
+        // The unioned top-K surfaces all three indicators.
+        let top: Vec<u32> = mc.recover_top_k(6).iter().map(|e| e.feature).collect();
+        for c in 0..3u32 {
+            assert!(top.contains(&(10 + c)), "top = {top:?}");
+        }
+    }
+
+    #[test]
+    fn split_stream_merge_recovers_all_classes() {
+        let mut a = MulticlassAwmSketch::new(cfg());
+        let mut b = MulticlassAwmSketch::new(cfg());
+        for (i, (x, c)) in class_stream(4000).enumerate() {
+            if i % 2 == 0 {
+                a.update_class(&x, c);
+            } else {
+                b.update_class(&x, c);
+            }
+        }
+        assert!(a.merge_compatible(&b));
+        a.merge_from(&b);
+        assert_eq!(a.examples_seen(), 4000);
+        for c in 0..3usize {
+            let x = SparseVector::one_hot(10 + c as u32, 1.0);
+            assert_eq!(a.predict_class(&x), c, "class {c} lost in merge");
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical_and_keeps_training_in_lockstep() {
+        let mut mc = MulticlassAwmSketch::new(cfg());
+        for (x, c) in class_stream(1500) {
+            mc.update_nce(&x, c, 1);
+        }
+        let bytes = mc.to_snapshot_bytes();
+        let mut back = MulticlassAwmSketch::from_snapshot_bytes(&bytes).unwrap();
+        assert!(back.merge_compatible(&mc));
+        assert_eq!(back.classes(), 3);
+        assert_eq!(back.examples_seen(), mc.examples_seen());
+        assert_eq!(back.to_snapshot_bytes(), bytes);
+        for c in 0..3usize {
+            for f in 0..250u32 {
+                assert!(
+                    back.class_estimate(c, f).to_bits() == mc.class_estimate(c, f).to_bits(),
+                    "class {c} feature {f}"
+                );
+            }
+        }
+        // Further *NCE* training stays in lockstep: the snapshot carries
+        // the noise-sampling RNG position, not just the sketches.
+        for (x, c) in class_stream(500) {
+            back.update_nce(&x, c, 2);
+            mc.update_nce(&x, c, 2);
+        }
+        for c in 0..3usize {
+            for f in 0..250u32 {
+                assert!(
+                    back.class_estimate(c, f).to_bits() == mc.class_estimate(c, f).to_bits(),
+                    "post-resume divergence at class {c} feature {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_truncation_and_bad_class_counts() {
+        let mut mc = MulticlassAwmSketch::new(cfg());
+        for (x, c) in class_stream(200) {
+            mc.update_class(&x, c);
+        }
+        let bytes = mc.to_snapshot_bytes();
+        for n in 0..bytes.len() {
+            assert!(
+                MulticlassAwmSketch::from_snapshot_bytes(&bytes[..n]).is_err(),
+                "prefix {n} decoded"
+            );
+        }
+        // Classes = 1 in the CONFIG section (offset: envelope 6 bytes +
+        // section tag/len 5 bytes) must be rejected.
+        let mut one_class = bytes.clone();
+        one_class[11..15].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            MulticlassAwmSketch::from_snapshot_bytes(&one_class),
+            Err(CodecError::Invalid(_))
+        ));
+        let mut absurd = bytes;
+        absurd[11..15].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            MulticlassAwmSketch::from_snapshot_bytes(&absurd),
+            Err(CodecError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -386,6 +737,6 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_class() {
         let mut mc = MulticlassAwmSketch::new(cfg());
-        mc.update(&SparseVector::one_hot(1, 1.0), 5);
+        mc.update_class(&SparseVector::one_hot(1, 1.0), 5);
     }
 }

@@ -49,6 +49,18 @@ use wmsketch_learn::{
 use crate::awm::{AwmSketch, AwmSketchConfig};
 use crate::wm::{WmSketch, WmSketchConfig};
 
+/// The shard an arrival index maps to under `partition_seed` with
+/// `shards` workers — the single routing formula behind
+/// [`ShardedLearner::shard_of`] *and* the batch router's staging loop
+/// (which cannot call `shard_of` mid split-borrow). Keeping one copy is
+/// load-bearing: the public `shard_of` contract lets external
+/// partitioners reproduce internal routing bit for bit, so the two paths
+/// must never diverge.
+#[inline]
+fn shard_for(arrival_index: u64, partition_seed: u64, shards: u64) -> usize {
+    fast_range(splitmix64(arrival_index ^ partition_seed), shards) as usize
+}
+
 /// Configuration for [`ShardedLearner`].
 #[derive(Debug, Clone, Copy)]
 pub struct ShardedLearnerConfig {
@@ -231,6 +243,12 @@ pub struct ShardedLearner<L> {
     routed: u64,
     /// Examples routed since the last merge.
     since_sync: u64,
+    /// Per-shard staging for batch routing: `route_scratch[s]` holds the
+    /// chunk indices assigned to shard `s`. Instance-owned so steady-state
+    /// batch routing is allocation-free — decoded examples flow from the
+    /// caller's buffers straight through [`ShardedLearner::shard_of`] into
+    /// the workers without a per-batch staged-vector allocation.
+    route_scratch: Vec<Vec<usize>>,
 }
 
 impl<L: std::fmt::Debug> std::fmt::Debug for ShardedLearner<L> {
@@ -278,6 +296,7 @@ impl<L: MergeableLearner + Clone> ShardedLearner<L> {
                 })
                 .collect()
         };
+        let route_scratch = vec![Vec::new(); shards.len()];
         Self {
             cfg,
             root: root_template.clone(),
@@ -285,6 +304,7 @@ impl<L: MergeableLearner + Clone> ShardedLearner<L> {
             shards,
             routed: 0,
             since_sync: 0,
+            route_scratch,
         }
     }
 
@@ -336,10 +356,11 @@ impl<L: MergeableLearner + Clone> ShardedLearner<L> {
     /// after the snapshots are merged.
     #[must_use]
     pub fn shard_of(&self, arrival_index: u64) -> usize {
-        fast_range(
-            splitmix64(arrival_index ^ self.cfg.partition_seed),
+        shard_for(
+            arrival_index,
+            self.cfg.partition_seed,
             self.cfg.shards as u64,
-        ) as usize
+        )
     }
 
     /// The shard the `index`-th routed example belongs to.
@@ -411,16 +432,33 @@ impl<L: MergeableLearner + Clone + Send> ShardedLearner<L> {
     /// Partitions one chunk by arrival index and runs every busy worker
     /// on its own scoped thread (inline when only one worker has work).
     /// Does not touch the routing counters; the caller advances them.
+    ///
+    /// Staging lives in the instance-owned `route_scratch` buffers, so
+    /// steady-state routing allocates nothing: a server connection's
+    /// decoded examples go from its scratch buffers straight into the
+    /// workers (see `tests/alloc_free.rs`).
     fn run_chunk(&mut self, chunk: &[(SparseVector, Label)]) {
-        let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-        for idx in 0..chunk.len() {
-            let shard = self.route(self.routed + idx as u64);
-            assignments[shard].push(idx);
+        debug_assert_eq!(self.route_scratch.len(), self.shards.len());
+        let (seed, n) = (self.cfg.partition_seed, self.cfg.shards as u64);
+        let base = self.routed;
+        for idxs in &mut self.route_scratch {
+            idxs.clear();
         }
-        let busy = assignments.iter().filter(|a| !a.is_empty()).count();
+        for idx in 0..chunk.len() {
+            // `shard_for`, not `self.shard_of`: the split borrow (scratch
+            // is &mut self) needs the hash inputs copied out first.
+            let shard = shard_for(base + idx as u64, seed, n);
+            self.route_scratch[shard].push(idx);
+        }
+        let Self {
+            shards,
+            route_scratch,
+            ..
+        } = self;
+        let busy = route_scratch.iter().filter(|a| !a.is_empty()).count();
         if busy <= 1 {
             // One worker has all the work: skip thread spawns.
-            for (shard, idxs) in self.shards.iter_mut().zip(&assignments) {
+            for (shard, idxs) in shards.iter_mut().zip(route_scratch.iter()) {
                 for &i in idxs {
                     let (x, y) = &chunk[i];
                     shard.apply(x, *y);
@@ -428,7 +466,7 @@ impl<L: MergeableLearner + Clone + Send> ShardedLearner<L> {
             }
         } else {
             std::thread::scope(|scope| {
-                for (shard, idxs) in self.shards.iter_mut().zip(&assignments) {
+                for (shard, idxs) in shards.iter_mut().zip(route_scratch.iter()) {
                     if idxs.is_empty() {
                         continue;
                     }

@@ -2,12 +2,11 @@
 
 use wmsketch_core::{
     sharded_wm, AwmSketch, AwmSketchConfig, CountMinClassifier, CountMinClassifierConfig,
-    FeatureHashingClassifier, FeatureHashingConfig, Label, OnlineLearner, ProbabilisticTruncation,
-    ShardedLearner, ShardedLearnerConfig, SimpleTruncation, SpaceSavingClassifier,
-    SpaceSavingClassifierConfig, TopKRecovery, TruncationConfig, WeightEntry, WeightEstimator,
-    WmSketch, WmSketchConfig,
+    DynLearner, FeatureHashingClassifier, FeatureHashingConfig, Label, OnlineLearner,
+    ProbabilisticTruncation, ShardedLearnerConfig, SimpleTruncation, SpaceSavingClassifier,
+    SpaceSavingClassifierConfig, TruncationConfig, WeightEntry, WeightEstimator, WmSketch,
+    WmSketchConfig,
 };
-use wmsketch_learn::metrics::top_k_by_estimate;
 use wmsketch_learn::SparseVector;
 
 /// One of the paper's budgeted methods.
@@ -111,54 +110,42 @@ impl MethodConfig {
 }
 
 /// A uniform wrapper over the whole method matrix, so harness code is a
-/// single loop. (An enum rather than `Box<dyn …>` because the recovery
-/// path differs: feature hashing has no native top-K and must scan the
-/// feature domain.)
-pub enum AnyLearner {
-    /// Simple Truncation.
-    Trun(SimpleTruncation),
-    /// Probabilistic Truncation.
-    PTrun(ProbabilisticTruncation),
-    /// Space-Saving Frequent.
-    Ss(SpaceSavingClassifier),
-    /// Count-Min Frequent Features.
-    CmFf(CountMinClassifier),
-    /// Feature hashing.
-    Hash(FeatureHashingClassifier),
-    /// WM-Sketch.
-    Wm(WmSketch),
-    /// AWM-Sketch.
-    Awm(AwmSketch),
-    /// Sharded WM-Sketch (scale-out extension). Boxed: the worker vector
-    /// and templates make it much larger than the other variants.
-    WmSharded(Box<ShardedLearner<WmSketch>>),
-}
+/// single loop.
+///
+/// A thin newtype over the workspace's one model layer,
+/// `Box<dyn DynLearner>`: construction picks the concrete method, and
+/// every per-method behavior difference — native top-K versus feature
+/// hashing's domain scan, the sharded learner's deferred sync and
+/// replica-inclusive memory accounting — lives on the concrete types'
+/// `DynLearner` impls in `wmsketch-core`, not in per-method match ladders
+/// here.
+pub struct AnyLearner(Box<dyn DynLearner>);
 
 impl AnyLearner {
     /// Instantiates a method within its byte budget.
     #[must_use]
     pub fn build(cfg: &MethodConfig) -> Self {
         let b = cfg.budget_bytes;
-        match cfg.method {
-            Method::Trun => AnyLearner::Trun(SimpleTruncation::new(
+        let learner: Box<dyn DynLearner> = match cfg.method {
+            Method::Trun => Box::new(SimpleTruncation::new(
                 TruncationConfig::simple_with_budget_bytes(b)
                     .lambda(cfg.lambda)
                     .seed(cfg.seed),
             )),
-            Method::PTrun => AnyLearner::PTrun(ProbabilisticTruncation::new(
+            Method::PTrun => Box::new(ProbabilisticTruncation::new(
                 TruncationConfig::probabilistic_with_budget_bytes(b)
                     .lambda(cfg.lambda)
                     .seed(cfg.seed),
             )),
-            Method::Ss => AnyLearner::Ss(SpaceSavingClassifier::new(
+            Method::Ss => Box::new(SpaceSavingClassifier::new(
                 SpaceSavingClassifierConfig::with_budget_bytes(b).lambda(cfg.lambda),
             )),
-            Method::CmFf => AnyLearner::CmFf(CountMinClassifier::new(
+            Method::CmFf => Box::new(CountMinClassifier::new(
                 CountMinClassifierConfig::with_budget_bytes(b)
                     .lambda(cfg.lambda)
                     .seed(cfg.seed),
             )),
-            Method::Hash => AnyLearner::Hash(FeatureHashingClassifier::new(
+            Method::Hash => Box::new(FeatureHashingClassifier::new(
                 FeatureHashingConfig::with_budget_bytes(b)
                     .lambda(cfg.lambda)
                     .seed(cfg.seed),
@@ -167,60 +154,50 @@ impl AnyLearner {
                 let mut c = WmSketchConfig::with_budget_bytes(b);
                 c.lambda = cfg.lambda;
                 c.seed = cfg.seed;
-                AnyLearner::Wm(WmSketch::new(c))
+                Box::new(WmSketch::new(c))
             }
             Method::Awm => {
                 let mut c = AwmSketchConfig::with_budget_bytes(b);
                 c.lambda = cfg.lambda;
                 c.seed = cfg.seed;
-                AnyLearner::Awm(AwmSketch::new(c))
+                Box::new(AwmSketch::new(c))
             }
             Method::WmSharded => {
                 let mut c = WmSketchConfig::with_budget_bytes(b);
                 c.lambda = cfg.lambda;
                 c.seed = cfg.seed;
-                AnyLearner::WmSharded(Box::new(sharded_wm(
+                Box::new(sharded_wm(
                     c,
                     ShardedLearnerConfig::new(WM_SHARDS).sync_every(WM_SHARDED_SYNC_EVERY),
-                )))
+                ))
             }
-        }
+        };
+        AnyLearner(learner)
     }
 
     /// Flushes deferred state before scoring: the sharded learner merges
     /// its workers into the queryable root; every other method is already
     /// consistent and this is a no-op.
     pub fn finalize(&mut self) {
-        if let AnyLearner::WmSharded(m) = self {
-            m.sync();
-        }
+        self.0.finalize();
     }
 
     /// Instantiates a WM/AWM shape directly (Table 2 sweeps).
     #[must_use]
     pub fn from_wm_config(c: WmSketchConfig) -> Self {
-        AnyLearner::Wm(WmSketch::new(c))
+        AnyLearner(Box::new(WmSketch::new(c)))
     }
 
     /// Instantiates an AWM shape directly.
     #[must_use]
     pub fn from_awm_config(c: AwmSketchConfig) -> Self {
-        AnyLearner::Awm(AwmSketch::new(c))
+        AnyLearner(Box::new(AwmSketch::new(c)))
     }
 
     /// Method display name.
     #[must_use]
-    pub fn name(&self) -> &'static str {
-        match self {
-            AnyLearner::Trun(_) => "Trun",
-            AnyLearner::PTrun(_) => "PTrun",
-            AnyLearner::Ss(_) => "SS",
-            AnyLearner::CmFf(_) => "CM-FF",
-            AnyLearner::Hash(_) => "Hash",
-            AnyLearner::Wm(_) => "WM",
-            AnyLearner::Awm(_) => "AWM",
-            AnyLearner::WmSharded(_) => "WMx4",
-        }
+    pub fn name(&self) -> String {
+        self.0.method_name()
     }
 
     /// Memory cost in bytes under the §7.1 model. For the sharded learner
@@ -230,22 +207,7 @@ impl AnyLearner {
     /// accounting says so).
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
-        match self {
-            AnyLearner::Trun(m) => m.memory_bytes(),
-            AnyLearner::PTrun(m) => m.memory_bytes(),
-            AnyLearner::Ss(m) => m.memory_bytes(),
-            AnyLearner::CmFf(m) => m.memory_bytes(),
-            AnyLearner::Hash(m) => m.memory_bytes(),
-            AnyLearner::Wm(m) => m.memory_bytes(),
-            AnyLearner::Awm(m) => m.memory_bytes(),
-            AnyLearner::WmSharded(m) => {
-                m.root().memory_bytes()
-                    + m.shard_learners()
-                        .map(wmsketch_core::WmSketch::memory_bytes)
-                        .sum::<usize>()
-                    + m.tracker_memory_bound_bytes()
-            }
-        }
+        self.0.memory_bytes()
     }
 
     /// Estimated top-`k` weights. Methods with native recovery use their
@@ -253,72 +215,31 @@ impl AnyLearner {
     /// evaluation protocol of §7.2.
     #[must_use]
     pub fn top_k_estimates(&self, k: usize, dim: u32) -> Vec<WeightEntry> {
-        match self {
-            AnyLearner::Trun(m) => m.recover_top_k(k),
-            AnyLearner::PTrun(m) => m.recover_top_k(k),
-            AnyLearner::Ss(m) => m.recover_top_k(k),
-            AnyLearner::CmFf(m) => m.recover_top_k(k),
-            AnyLearner::Hash(m) => top_k_by_estimate(m, 0..dim, k),
-            AnyLearner::Wm(m) => m.recover_top_k(k),
-            AnyLearner::Awm(m) => m.recover_top_k(k),
-            AnyLearner::WmSharded(m) => m.recover_top_k(k),
-        }
+        self.0.top_k_estimates(k, dim)
     }
 }
 
 impl OnlineLearner for AnyLearner {
     fn margin(&self, x: &SparseVector) -> f64 {
-        match self {
-            AnyLearner::Trun(m) => m.margin(x),
-            AnyLearner::PTrun(m) => m.margin(x),
-            AnyLearner::Ss(m) => m.margin(x),
-            AnyLearner::CmFf(m) => m.margin(x),
-            AnyLearner::Hash(m) => m.margin(x),
-            AnyLearner::Wm(m) => m.margin(x),
-            AnyLearner::Awm(m) => m.margin(x),
-            AnyLearner::WmSharded(m) => m.margin(x),
-        }
+        self.0.margin(x)
     }
 
     fn update(&mut self, x: &SparseVector, y: Label) {
-        match self {
-            AnyLearner::Trun(m) => m.update(x, y),
-            AnyLearner::PTrun(m) => m.update(x, y),
-            AnyLearner::Ss(m) => m.update(x, y),
-            AnyLearner::CmFf(m) => m.update(x, y),
-            AnyLearner::Hash(m) => m.update(x, y),
-            AnyLearner::Wm(m) => m.update(x, y),
-            AnyLearner::Awm(m) => m.update(x, y),
-            AnyLearner::WmSharded(m) => m.update(x, y),
-        }
+        self.0.update(x, y);
+    }
+
+    fn update_batch(&mut self, batch: &[(SparseVector, Label)]) {
+        self.0.update_batch(batch);
     }
 
     fn examples_seen(&self) -> u64 {
-        match self {
-            AnyLearner::Trun(m) => m.examples_seen(),
-            AnyLearner::PTrun(m) => m.examples_seen(),
-            AnyLearner::Ss(m) => m.examples_seen(),
-            AnyLearner::CmFf(m) => m.examples_seen(),
-            AnyLearner::Hash(m) => m.examples_seen(),
-            AnyLearner::Wm(m) => m.examples_seen(),
-            AnyLearner::Awm(m) => m.examples_seen(),
-            AnyLearner::WmSharded(m) => m.examples_seen(),
-        }
+        self.0.examples_seen()
     }
 }
 
 impl WeightEstimator for AnyLearner {
     fn estimate(&self, feature: u32) -> f64 {
-        match self {
-            AnyLearner::Trun(m) => m.estimate(feature),
-            AnyLearner::PTrun(m) => m.estimate(feature),
-            AnyLearner::Ss(m) => m.estimate(feature),
-            AnyLearner::CmFf(m) => m.estimate(feature),
-            AnyLearner::Hash(m) => m.estimate(feature),
-            AnyLearner::Wm(m) => m.estimate(feature),
-            AnyLearner::Awm(m) => m.estimate(feature),
-            AnyLearner::WmSharded(m) => m.estimate(feature),
-        }
+        self.0.estimate(feature)
     }
 }
 
@@ -438,6 +359,16 @@ mod tests {
             }
             let top = l.top_k_estimates(3, 64);
             assert!(!top.is_empty(), "{} returned empty top-k", l.name());
+        }
+    }
+
+    #[test]
+    fn names_match_the_method_enum() {
+        // The facade's per-type names must agree with `Method::name`, the
+        // string the figure tables print.
+        for method in ALL_BUDGETED_METHODS.into_iter().chain([Method::WmSharded]) {
+            let l = AnyLearner::build(&MethodConfig::new(method, 8192, 1e-6, 1));
+            assert_eq!(l.name(), method.name());
         }
     }
 }

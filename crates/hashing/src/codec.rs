@@ -49,6 +49,26 @@ pub const KIND_COUNT_MIN: u8 = 0x02;
 pub const KIND_WM: u8 = 0x03;
 /// Payload-kind byte for an `AwmSketch` snapshot.
 pub const KIND_AWM: u8 = 0x04;
+/// Payload-kind byte for a `MulticlassAwmSketch` snapshot (one AWM-Sketch
+/// per class).
+pub const KIND_MULTICLASS_AWM: u8 = 0x05;
+
+// Kind tags 0x10.. identify learners that have *no* snapshot codec (their
+// state is exact and unmergeable — there is nothing linear to ship). They
+// exist so every learner behind the `DynLearner` facade can report a kind
+// aligned with this registry; `decode_any` never sees them on the wire.
+
+/// Kind tag for the Simple Truncation baseline (no snapshot codec).
+pub const KIND_SIMPLE_TRUNCATION: u8 = 0x10;
+/// Kind tag for the Probabilistic Truncation baseline (no snapshot codec).
+pub const KIND_PROB_TRUNCATION: u8 = 0x11;
+/// Kind tag for the Space-Saving Frequent baseline (no snapshot codec).
+pub const KIND_SPACE_SAVING: u8 = 0x12;
+/// Kind tag for the Count-Min Frequent-Features baseline (no snapshot
+/// codec).
+pub const KIND_CM_CLASSIFIER: u8 = 0x13;
+/// Kind tag for the feature-hashing baseline (no snapshot codec).
+pub const KIND_FEATURE_HASHING: u8 = 0x14;
 
 /// A typed decoding failure. Decoders never panic on untrusted bytes —
 /// truncated, corrupted, and foreign buffers all map to a variant here.
@@ -86,6 +106,9 @@ pub enum CodecError {
     Invalid(&'static str),
     /// Decoding consumed the layout but bytes remained.
     TrailingBytes(usize),
+    /// A well-formed envelope declared a kind no registered decoder
+    /// handles (see [`decode_any`]).
+    UnknownKind(u8),
 }
 
 impl std::fmt::Display for CodecError {
@@ -112,6 +135,9 @@ impl std::fmt::Display for CodecError {
             }
             CodecError::Invalid(what) => write!(f, "invalid snapshot field: {what}"),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after snapshot body"),
+            CodecError::UnknownKind(k) => {
+                write!(f, "no registered decoder for snapshot kind {k:#04x}")
+            }
         }
     }
 }
@@ -295,14 +321,7 @@ impl<'a> Reader<'a> {
     /// [`CodecError::UnsupportedVersion`] for `WMS` snapshots of another
     /// version, [`CodecError::WrongKind`] on a kind mismatch.
     pub fn expect_envelope(&mut self, kind: u8) -> Result<(), CodecError> {
-        let magic: [u8; 4] = self.take_bytes(4)?.try_into().expect("4-byte slice");
-        if magic != MAGIC {
-            if magic[..3] == MAGIC[..3] {
-                return Err(CodecError::UnsupportedVersion(magic[3]));
-            }
-            return Err(CodecError::BadMagic { got: magic });
-        }
-        let got = self.take_u8()?;
+        let got = take_magic_and_kind(self)?;
         if got != kind {
             return Err(CodecError::WrongKind {
                 expected: kind,
@@ -489,6 +508,71 @@ pub trait SnapshotCodec: Sized {
     }
 }
 
+/// Reads and validates the magic + format version, returning the kind
+/// byte — the shared front half of [`Reader::expect_envelope`] and
+/// [`peek_kind`]. One copy on purpose: these are hostile-input
+/// trust-boundary checks, and a version bump touched in one path but not
+/// the other would make kind-probed dispatch disagree with the typed
+/// decoders.
+fn take_magic_and_kind(r: &mut Reader<'_>) -> Result<u8, CodecError> {
+    let magic: [u8; 4] = r.take_bytes(4)?.try_into().expect("4-byte slice");
+    if magic != MAGIC {
+        if magic[..3] == MAGIC[..3] {
+            return Err(CodecError::UnsupportedVersion(magic[3]));
+        }
+        return Err(CodecError::BadMagic { got: magic });
+    }
+    r.take_u8()
+}
+
+/// Reads the envelope far enough to report which structure `bytes`
+/// encodes, without decoding the body: validates the magic and format
+/// version and returns the kind byte.
+///
+/// # Errors
+/// [`CodecError::Truncated`] on a buffer shorter than the envelope,
+/// [`CodecError::BadMagic`] on a foreign buffer,
+/// [`CodecError::UnsupportedVersion`] on a `WMS` snapshot of another
+/// version.
+pub fn peek_kind(bytes: &[u8]) -> Result<u8, CodecError> {
+    take_magic_and_kind(&mut Reader::new(bytes))
+}
+
+/// One entry of a [`decode_any`] registry: the kind byte a decoder
+/// handles, paired with the function that decodes a *complete* snapshot
+/// (envelope included) of that kind.
+///
+/// The concrete decoders live in the crates that own the structures
+/// (`wmsketch-sketch`, `wmsketch-core`), above this one in the dependency
+/// graph — so kind dispatch is generic infrastructure here, and each
+/// consumer supplies the registry of decoders it actually links.
+pub struct AnyDecoder<T> {
+    /// The envelope kind byte this decoder handles.
+    pub kind: u8,
+    /// Decodes a complete snapshot of that kind.
+    pub decode: fn(&[u8]) -> Result<T, CodecError>,
+}
+
+/// Dispatches a `WMS1` buffer to the registered decoder matching its kind
+/// byte.
+///
+/// This is the single entry point for callers that accept snapshots of
+/// *any* kind — a serving node's model registry, an offline checkpoint
+/// inspector — instead of hand-matching kind bytes at every call site.
+///
+/// # Errors
+/// Whatever [`peek_kind`] rejects; [`CodecError::UnknownKind`] when no
+/// registry entry matches; and any [`CodecError`] from the matched
+/// decoder. Never panics on untrusted input.
+pub fn decode_any<T>(bytes: &[u8], registry: &[AnyDecoder<T>]) -> Result<T, CodecError> {
+    let kind = peek_kind(bytes)?;
+    let entry = registry
+        .iter()
+        .find(|d| d.kind == kind)
+        .ok_or(CodecError::UnknownKind(kind))?;
+    (entry.decode)(bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,6 +690,61 @@ mod tests {
         put_hash_family(&mut w, HashFamilyKind::Polynomial(MAX_POLY_INDEPENDENCE));
         let bytes = w.into_bytes();
         assert!(take_hash_family(&mut Reader::new(&bytes)).is_ok());
+    }
+
+    #[test]
+    fn peek_kind_reads_envelope_without_body() {
+        let mut w = Writer::new();
+        w.put_envelope(KIND_AWM);
+        w.put_u8(0xAB); // arbitrary body byte peek must not touch
+        let bytes = w.into_bytes();
+        assert_eq!(peek_kind(&bytes), Ok(KIND_AWM));
+        assert!(matches!(
+            peek_kind(&bytes[..3]),
+            Err(CodecError::Truncated { .. })
+        ));
+        let mut foreign = bytes.clone();
+        foreign[0] = b'X';
+        assert!(matches!(
+            peek_kind(&foreign),
+            Err(CodecError::BadMagic { .. })
+        ));
+        let mut vnext = bytes;
+        vnext[3] = b'9';
+        assert_eq!(peek_kind(&vnext), Err(CodecError::UnsupportedVersion(b'9')));
+    }
+
+    #[test]
+    fn decode_any_dispatches_by_kind_and_rejects_unregistered() {
+        fn decode_tag(bytes: &[u8]) -> Result<u8, CodecError> {
+            let mut r = Reader::new(bytes);
+            r.expect_envelope(peek_kind(bytes)?)?;
+            let v = r.take_u8()?;
+            r.finish()?;
+            Ok(v)
+        }
+        let registry = [
+            AnyDecoder {
+                kind: KIND_WM,
+                decode: decode_tag,
+            },
+            AnyDecoder {
+                kind: KIND_AWM,
+                decode: decode_tag,
+            },
+        ];
+        for (kind, body) in [(KIND_WM, 7u8), (KIND_AWM, 9)] {
+            let mut w = Writer::new();
+            w.put_envelope(kind);
+            w.put_u8(body);
+            assert_eq!(decode_any(&w.into_bytes(), &registry), Ok(body));
+        }
+        let mut w = Writer::new();
+        w.put_envelope(KIND_COUNT_MIN);
+        assert_eq!(
+            decode_any(&w.into_bytes(), &registry),
+            Err(CodecError::UnknownKind(KIND_COUNT_MIN))
+        );
     }
 
     #[test]

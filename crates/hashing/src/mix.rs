@@ -30,6 +30,14 @@ impl SplitMix64 {
         Self { state: seed }
     }
 
+    /// The current stream position. Feeding it back to
+    /// [`SplitMix64::new`] resumes the stream exactly where it left off —
+    /// which is how snapshot codecs persist an RNG mid-stream.
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Returns the next 64-bit value in the stream.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -19,10 +19,14 @@
 //!
 //! The traits [`OnlineLearner`], [`WeightEstimator`] and [`TopKRecovery`]
 //! are the public interface every budgeted method in `wmsketch-core`
-//! implements, making the experiment harnesses method-agnostic.
+//! implements, making the experiment harnesses method-agnostic; the
+//! object-safe [`DynLearner`] facade ([`dyn_learner`]) folds them into a
+//! single `Box<dyn …>`-able model layer shared by the experiment harness
+//! and the serving registry.
 
 #![warn(missing_docs)]
 
+pub mod dyn_learner;
 pub mod elastic;
 pub mod feature_hashing;
 pub mod logreg;
@@ -33,6 +37,7 @@ pub mod schedule;
 pub mod traits;
 pub mod vector;
 
+pub use dyn_learner::{DynLearner, LabelDomain};
 pub use elastic::{ElasticNetConfig, ElasticNetLogisticRegression};
 pub use feature_hashing::{FeatureHashingClassifier, FeatureHashingConfig};
 pub use logreg::{LogisticRegression, LogisticRegressionConfig};

@@ -1,5 +1,13 @@
 //! A small blocking client for the serve protocol, used by the tests,
-//! the benchmark harness, and `examples/serve_quickstart.rs`.
+//! the benchmark harness, and the serve examples.
+//!
+//! A client addresses one model at a time ([`ServeClient::set_model`],
+//! default: the default model, id 0) and can create and enumerate models
+//! on the node ([`ServeClient::create_model`] /
+//! [`ServeClient::list_models`]). [`ServeClient::connect_legacy`] speaks
+//! the headerless version-1 framing — it exists so the
+//! backward-compatibility contract (legacy clients keep working against
+//! a registry server) stays executable in the test suite.
 
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -9,7 +17,8 @@ use wmsketch_learn::{Label, SparseVector};
 
 use crate::error::ServeError;
 use crate::protocol::{
-    put_examples, put_features, read_frame, request, write_frame, OP_CHECKPOINT, OP_ESTIMATE,
+    put_examples, put_features, read_frame, request, request_for_model, take_model_info,
+    write_frame, ModelInfo, DEFAULT_MODEL_ID, OP_CHECKPOINT, OP_CREATE, OP_ESTIMATE, OP_LIST,
     OP_MERGE, OP_PREDICT, OP_RESET, OP_RESTORE, OP_SHUTDOWN, OP_SNAPSHOT, OP_STATS, OP_TOPK,
     OP_UPDATE, STATUS_OK,
 };
@@ -18,17 +27,71 @@ use crate::server::ServeStats;
 /// One connection to a serving node.
 pub struct ServeClient {
     stream: TcpStream,
+    /// The model this client's requests address.
+    model: u32,
+    /// When true, requests use the headerless version-1 framing (default
+    /// model only).
+    legacy: bool,
 }
 
 impl ServeClient {
-    /// Connects to a node.
+    /// Connects to a node, addressing the default model with version-2
+    /// (model-id) framing.
     ///
     /// # Errors
     /// Propagates socket errors.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream })
+        Ok(Self {
+            stream,
+            model: DEFAULT_MODEL_ID,
+            legacy: false,
+        })
+    }
+
+    /// Connects speaking the legacy (version-1, headerless) framing a
+    /// pre-registry client would use. Such a session can only address the
+    /// default model; [`ServeClient::set_model`] returns an error.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn connect_legacy(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let mut c = Self::connect(addr)?;
+        c.legacy = true;
+        Ok(c)
+    }
+
+    /// The model id this client's requests address.
+    #[must_use]
+    pub fn model(&self) -> u32 {
+        self.model
+    }
+
+    /// Addresses subsequent requests to `model` (an id returned by
+    /// [`ServeClient::create_model`] or found via
+    /// [`ServeClient::list_models`]).
+    ///
+    /// # Errors
+    /// [`ServeError::Protocol`] on a legacy connection, whose framing
+    /// carries no model id.
+    pub fn set_model(&mut self, model: u32) -> Result<(), ServeError> {
+        if self.legacy && model != DEFAULT_MODEL_ID {
+            return Err(ServeError::Protocol(
+                "legacy framing cannot address models beyond the default",
+            ));
+        }
+        self.model = model;
+        Ok(())
+    }
+
+    /// Builds a request body in this client's framing.
+    fn body(&self, op: u8, payload: Writer) -> Vec<u8> {
+        if self.legacy {
+            request(op, payload)
+        } else {
+            request_for_model(self.model, op, payload)
+        }
     }
 
     /// One request/response round trip; unwraps the status byte.
@@ -51,26 +114,73 @@ impl ServeClient {
         }
     }
 
-    /// Ingests a batch of labelled examples; returns the node's routed
-    /// example count after the batch.
+    fn call_op(&mut self, op: u8, payload: Writer) -> Result<Vec<u8>, ServeError> {
+        let body = self.body(op, payload);
+        self.call(&body)
+    }
+
+    /// Registers a new model on the node and returns its id. `template`
+    /// is an untrained `WMS1` snapshot of any registered learner kind
+    /// (WM, AWM, multiclass AWM); the node hosts it behind `shards`
+    /// worker replicas. Does not switch this client to the new model.
+    ///
+    /// # Errors
+    /// Any [`ServeError`]; the node rejects trained templates, duplicate
+    /// names, and multiclass templates with more than 128 classes (class
+    /// labels ride the wire's `i8` slot).
+    pub fn create_model(
+        &mut self,
+        name: &str,
+        template: &[u8],
+        shards: u32,
+    ) -> Result<u32, ServeError> {
+        let mut w = Writer::new();
+        w.put_u32(name.len() as u32);
+        w.put_bytes(name.as_bytes());
+        w.put_u32(shards);
+        w.put_bytes(template);
+        let resp = self.call_op(OP_CREATE, w)?;
+        Ok(Reader::new(&resp).take_u32()?)
+    }
+
+    /// The node's model registry, one row per hosted model.
+    ///
+    /// # Errors
+    /// Any [`ServeError`].
+    pub fn list_models(&mut self) -> Result<Vec<ModelInfo>, ServeError> {
+        let resp = self.call_op(OP_LIST, Writer::new())?;
+        let mut r = Reader::new(&resp);
+        let count = r.take_u32()?;
+        let mut out = Vec::with_capacity((count as usize).min(r.remaining() / 29));
+        for _ in 0..count {
+            out.push(take_model_info(&mut r)?);
+        }
+        Ok(out)
+    }
+
+    /// Ingests a batch of labelled examples (class indices for a
+    /// multiclass model); returns the model's ingested example count
+    /// after the batch.
     ///
     /// # Errors
     /// Any [`ServeError`].
     pub fn update_batch(&mut self, batch: &[(SparseVector, Label)]) -> Result<u64, ServeError> {
         let mut w = Writer::new();
         put_examples(&mut w, batch);
-        let resp = self.call(&request(OP_UPDATE, w))?;
+        let resp = self.call_op(OP_UPDATE, w)?;
         Ok(Reader::new(&resp).take_u64()?)
     }
 
-    /// Predicts one example; returns `(margin, label)`.
+    /// Predicts one example; returns `(margin, label)` — for a
+    /// multiclass model the label is the argmax class index and the
+    /// margin is that class's margin.
     ///
     /// # Errors
     /// Any [`ServeError`].
     pub fn predict(&mut self, x: &SparseVector) -> Result<(f64, Label), ServeError> {
         let mut w = Writer::new();
         put_features(&mut w, x);
-        let resp = self.call(&request(OP_PREDICT, w))?;
+        let resp = self.call_op(OP_PREDICT, w)?;
         let mut r = Reader::new(&resp);
         let margin = r.take_f64()?;
         let label = r.take_i8()?;
@@ -84,18 +194,18 @@ impl ServeClient {
     pub fn estimate(&mut self, feature: u32) -> Result<f64, ServeError> {
         let mut w = Writer::new();
         w.put_u32(feature);
-        let resp = self.call(&request(OP_ESTIMATE, w))?;
+        let resp = self.call_op(OP_ESTIMATE, w)?;
         Ok(Reader::new(&resp).take_f64()?)
     }
 
-    /// The node's top-`k` features by |weight|.
+    /// The model's top-`k` features by |weight|.
     ///
     /// # Errors
     /// Any [`ServeError`].
     pub fn top_k(&mut self, k: u32) -> Result<Vec<WeightEntry>, ServeError> {
         let mut w = Writer::new();
         w.put_u32(k);
-        let resp = self.call(&request(OP_TOPK, w))?;
+        let resp = self.call_op(OP_TOPK, w)?;
         let mut r = Reader::new(&resp);
         let count = r.take_u32()?;
         // Clamp the reservation to what the payload can actually hold
@@ -110,23 +220,23 @@ impl ServeClient {
         Ok(out)
     }
 
-    /// A `WMS1` snapshot of the node's synced model.
+    /// A `WMS1` snapshot of the addressed model's synced state.
     ///
     /// # Errors
     /// Any [`ServeError`].
     pub fn snapshot(&mut self) -> Result<Vec<u8>, ServeError> {
-        self.call(&request(OP_SNAPSHOT, Writer::new()))
+        self.call_op(OP_SNAPSHOT, Writer::new())
     }
 
-    /// Ships a snapshot to the node, which folds it into its model;
-    /// returns the node's root example clock after the merge.
+    /// Ships a snapshot to the node, which folds it into the addressed
+    /// model; returns the model's clock after the merge.
     ///
     /// # Errors
     /// Any [`ServeError`].
     pub fn merge_snapshot(&mut self, snapshot: &[u8]) -> Result<u64, ServeError> {
         let mut w = Writer::new();
         w.put_bytes(snapshot);
-        let resp = self.call(&request(OP_MERGE, w))?;
+        let resp = self.call_op(OP_MERGE, w)?;
         Ok(Reader::new(&resp).take_u64()?)
     }
 
@@ -135,41 +245,52 @@ impl ServeClient {
     /// # Errors
     /// Any [`ServeError`].
     pub fn checkpoint(&mut self, path: &str) -> Result<u64, ServeError> {
-        let resp = self.call(&request(OP_CHECKPOINT, path_payload(path)))?;
+        let resp = self.call_op(OP_CHECKPOINT, path_payload(path))?;
         Ok(Reader::new(&resp).take_u64()?)
     }
 
-    /// Replaces the node's model with a server-side checkpoint file;
-    /// returns the restored root example clock.
+    /// Replaces the addressed model with a server-side checkpoint file;
+    /// returns the restored clock.
     ///
     /// # Errors
     /// Any [`ServeError`].
     pub fn restore(&mut self, path: &str) -> Result<u64, ServeError> {
-        let resp = self.call(&request(OP_RESTORE, path_payload(path)))?;
+        let resp = self.call_op(OP_RESTORE, path_payload(path))?;
         Ok(Reader::new(&resp).take_u64()?)
     }
 
-    /// The node's counters and sync status.
+    /// The addressed model's counters plus the whole registry's rows.
     ///
     /// # Errors
     /// Any [`ServeError`].
     pub fn stats(&mut self) -> Result<ServeStats, ServeError> {
-        let resp = self.call(&request(OP_STATS, Writer::new()))?;
+        let resp = self.call_op(OP_STATS, Writer::new())?;
         let mut r = Reader::new(&resp);
+        let routed = r.take_u64()?;
+        let root_examples = r.take_u64()?;
+        let shards = r.take_u32()?;
+        let synced = r.take_u8()? != 0;
+        let count = r.take_u32()?;
+        let mut models = Vec::with_capacity((count as usize).min(r.remaining() / 29));
+        for _ in 0..count {
+            models.push(take_model_info(&mut r)?);
+        }
         Ok(ServeStats {
-            routed: r.take_u64()?,
-            root_examples: r.take_u64()?,
-            shards: r.take_u32()?,
-            synced: r.take_u8()? != 0,
+            routed,
+            root_examples,
+            shards,
+            synced,
+            models,
         })
     }
 
-    /// Discards the node's model state.
+    /// Discards the addressed model's state (rebuilding it from its
+    /// creation spec).
     ///
     /// # Errors
     /// Any [`ServeError`].
     pub fn reset(&mut self) -> Result<(), ServeError> {
-        self.call(&request(OP_RESET, Writer::new()))?;
+        self.call_op(OP_RESET, Writer::new())?;
         Ok(())
     }
 
@@ -178,7 +299,7 @@ impl ServeClient {
     /// # Errors
     /// Any [`ServeError`].
     pub fn shutdown_server(&mut self) -> Result<(), ServeError> {
-        self.call(&request(OP_SHUTDOWN, Writer::new()))?;
+        self.call_op(OP_SHUTDOWN, Writer::new())?;
         Ok(())
     }
 }

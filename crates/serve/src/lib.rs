@@ -13,10 +13,15 @@
 //! snapshot format plus a TCP service speaking it.
 //!
 //! * [`WmServer`] / [`ServerHandle`] — a [`std::net::TcpListener`] accept
-//!   loop, one worker thread per connection, all feeding a shared
-//!   [`wmsketch_core::ShardedLearner`] pool; graceful drain on shutdown.
+//!   loop, one worker thread per connection, all feeding a **model
+//!   registry**: named [`wmsketch_core::DynLearner`] models (WM, AWM,
+//!   multiclass AWM — anything in
+//!   [`wmsketch_core::REGISTERED_LEARNER_KINDS`]), each optionally
+//!   behind its own [`wmsketch_core::ShardedLearner`] pool and its own
+//!   mutex; graceful drain on shutdown.
 //! * [`ServeClient`] — a small blocking client used by the tests, the
-//!   benchmark harness, and `examples/serve_quickstart.rs`.
+//!   benchmark harness, and the `serve_quickstart` / `serve_multimodel`
+//!   examples.
 //! * The snapshot codec itself lives with the types it serializes
 //!   (`SnapshotCodec` impls in `wmsketch-sketch` and `wmsketch-core`,
 //!   byte primitives in `wmsketch_hashing::codec`); this crate is its
@@ -34,7 +39,7 @@
 //! offset  size  field
 //! 0       4     magic: 57 4D 53 31 ("WMS1"; byte 3 is the format version)
 //! 4       1     payload kind: 01 CountSketch, 02 CountMinSketch,
-//!               03 WmSketch, 04 AwmSketch
+//!               03 WmSketch, 04 AwmSketch, 05 MulticlassAwmSketch
 //! 5       1     flags (reserved, must be 00)
 //! 6       ...   body: a sequence of sections, each
 //!                 tag (1 byte) | len (u32, payload bytes) | payload
@@ -65,7 +70,10 @@
 //! `AwmSketch` (kind `04`) uses the same CONFIG/CELLS/STATE sections; its
 //! TOPK section has no presence flag (the active set is integral model
 //! state) and its weights are *exact* pre-scale model weights rather than
-//! stale estimates. `CountSketch` (kind `01`) and `CountMinSketch`
+//! stale estimates. `MulticlassAwmSketch` (kind `05`) is a CONFIG section
+//! (`classes u32 | t u64 | nce rng state u64`) followed by `classes`
+//! CLASS sections (tag `05`), each embedding one complete kind-`04`
+//! snapshot. `CountSketch` (kind `01`) and `CountMinSketch`
 //! (kind `02`) bodies are documented on their `SnapshotCodec` impls in
 //! `wmsketch-sketch`.
 //!
@@ -88,44 +96,78 @@
 //!
 //! ```text
 //! frame    := len (u32, body bytes, <= 64 MiB) | body
-//! request  := opcode (u8) | payload
+//! request  := F2 | model id (u32) | opcode (u8) | payload   (version 2)
+//!           | opcode (u8) | payload                         (version 1,
+//!             legacy: addressed to the default model, id 0)
 //! response := status (u8: 00 OK, 01 ERR) | payload
 //!             (ERR payload is a UTF-8 message)
 //! ```
+//!
+//! The first body byte selects the framing: `F2` (a value outside the
+//! opcode range; future header revisions get `F3`, …) introduces the
+//! **model-id header**, anything else is a legacy version-1 body whose
+//! first byte is the opcode. Legacy sessions therefore keep round-tripping
+//! against a registry server unchanged — they simply always speak to the
+//! default model, which [`WmServer::bind`] builds from its [`ServeConfig`]
+//! (registry id 0, name `"default"`, kind `03` WM).
 //!
 //! Shared payload encodings:
 //!
 //! ```text
 //! features := nnz (u32) | nnz x (index u32 | value f64, finite)
-//! example  := label (i8, +1/-1) | features
+//! example  := label (i8) | features
 //! batch    := count (u32) | count x example
 //! path     := len (u32) | UTF-8 bytes
+//! model    := id (u32) | name_len (u32) | name (UTF-8)
+//!           | kind (u8) | shards (u32) | clock (u64)
+//!           | memory_bytes (u64)
 //! ```
 //!
-//! Feature values must be finite and labels must be `+1`/`-1`; the server
-//! rejects anything else with a typed error before it can reach (and
-//! poison) the model.
+//! Feature values must be finite, and labels must lie in the addressed
+//! model's **label domain** — `+1`/`-1` for binary models, a class index
+//! in `0..classes` for multiclass models (`i8` caps wire-served models at
+//! 128 classes; CREATE rejects larger templates). The server rejects
+//! anything else with a typed error before it can reach (and poison) the
+//! model.
 //!
-//! Opcodes and their payloads:
+//! Opcodes and their payloads (all model-scoped ops address the model id
+//! in the header):
 //!
 //! | op | name | request payload | OK response payload |
 //! |----|------|-----------------|---------------------|
-//! | `01` | UPDATE | batch | routed examples (u64) |
-//! | `02` | PREDICT | features | margin (f64) \| label (i8) |
+//! | `01` | UPDATE | batch | ingested examples (u64) |
+//! | `02` | PREDICT | features | margin (f64) \| label (i8: sign, or argmax class) |
 //! | `03` | TOPK | k (u32) | count (u32) \| count × (feature u32 \| weight f64) |
 //! | `04` | SNAPSHOT | — | snapshot bytes |
-//! | `05` | MERGE | snapshot bytes | root example clock (u64) |
+//! | `05` | MERGE | snapshot bytes | model clock (u64) |
 //! | `06` | CHECKPOINT | path | bytes written (u64) |
-//! | `07` | RESTORE | path | root example clock (u64) |
+//! | `07` | RESTORE | path | model clock (u64) |
 //! | `08` | ESTIMATE | feature (u32) | weight (f64) |
-//! | `09` | STATS | — | routed (u64) \| root clock (u64) \| shards (u32) \| synced (u8) |
+//! | `09` | STATS | — | routed (u64) \| clock (u64) \| shards (u32) \| synced (u8) \| count (u32) \| count × model |
 //! | `0A` | RESET | — | — |
-//! | `0B` | SHUTDOWN | — | — (server drains afterwards) |
+//! | `0B` | SHUTDOWN | — | — (server drains afterwards; registry-level) |
+//! | `0C` | CREATE | name_len (u32) \| name \| shards (u32) \| template snapshot | model id (u32) (registry-level) |
+//! | `0D` | LIST | — | count (u32) \| count × model (registry-level) |
 //!
-//! Query ops (PREDICT/ESTIMATE/TOPK/SNAPSHOT/CHECKPOINT) sync the shard
-//! pool first, so responses always reflect every ingested example. MERGE
-//! folds the peer model into the node's *sync base*, so it survives later
-//! syncs and composes with live ingest.
+//! CREATE registers a named model from an **untrained** template
+//! snapshot of any registered kind — the template carries the complete
+//! configuration (shape, hash family, seed, hyperparameters), so one op
+//! covers every learner kind; the node wraps it in a shard pool of
+//! `shards` workers. Kind dispatch goes through
+//! `wmsketch_hashing::codec::decode_any` (via
+//! [`wmsketch_core::build_sharded_any`]), so an AWM or multiclass node
+//! speaks exactly the protocol a WM node does. MERGE and RESTORE decode
+//! through the same kind-checked path: the payload's kind byte must match
+//! the addressed model, and a mismatch or merge-incompatible peer is a
+//! typed error.
+//!
+//! Query ops (PREDICT/ESTIMATE/TOPK/SNAPSHOT/CHECKPOINT) sync the
+//! addressed model's shard pool first, so responses always reflect every
+//! ingested example. MERGE folds the peer model into the model's *sync
+//! base*, so it survives later syncs and composes with live ingest. The
+//! STATS tail and LIST report the registry — per-model kind, shard
+//! count, update clock, and memory — so operators can see what a node is
+//! hosting.
 //!
 //! ## Trust model
 //!
@@ -145,4 +187,5 @@ pub mod server;
 
 pub use client::ServeClient;
 pub use error::ServeError;
+pub use protocol::ModelInfo;
 pub use server::{ServeConfig, ServeStats, ServerHandle, WmServer};

@@ -6,7 +6,7 @@
 
 use std::io::{Read, Write as IoWrite};
 
-use wmsketch_learn::{Label, SparseVector};
+use wmsketch_learn::{Label, LabelDomain, SparseVector};
 
 use wmsketch_hashing::codec::{CodecError, Reader, Writer};
 
@@ -44,11 +44,115 @@ pub const OP_STATS: u8 = 0x09;
 pub const OP_RESET: u8 = 0x0A;
 /// Request opcode: stop accepting connections and drain the server.
 pub const OP_SHUTDOWN: u8 = 0x0B;
+/// Request opcode: register a new model from an untrained template
+/// snapshot (registry-level; ignores the addressed model id).
+pub const OP_CREATE: u8 = 0x0C;
+/// Request opcode: list the model registry (registry-level).
+pub const OP_LIST: u8 = 0x0D;
 
 /// Response status: success; the payload is op-specific.
 pub const STATUS_OK: u8 = 0x00;
 /// Response status: failure; the payload is a UTF-8 message.
 pub const STATUS_ERR: u8 = 0x01;
+
+/// Leading marker byte of a version-2 request body, which carries a
+/// model-id header: `0xF2 | model id (u32) | opcode (u8) | payload`.
+///
+/// Chosen outside the opcode range (opcodes grow upward from `0x01`) so
+/// the first body byte alone distinguishes framings: a body starting
+/// with an opcode byte is a **legacy** (version-1) request and is routed
+/// to the default model, id 0 — existing clients keep working against a
+/// registry server unchanged. Future header revisions get `0xF3`, ….
+pub const FRAME_V2: u8 = 0xF2;
+
+/// The model id legacy (headerless) requests address.
+pub const DEFAULT_MODEL_ID: u32 = 0;
+
+/// A parsed request header: which model the request addresses and the
+/// opcode. Registry-level ops ([`OP_CREATE`], [`OP_LIST`],
+/// [`OP_SHUTDOWN`]) ignore the model id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestHead {
+    /// Addressed model (0 = the default model).
+    pub model: u32,
+    /// Request opcode.
+    pub op: u8,
+}
+
+/// Parses a request header, accepting both framings: a [`FRAME_V2`]
+/// marker introduces the model-id header, anything else is a legacy body
+/// whose first byte is the opcode (addressed to
+/// [`DEFAULT_MODEL_ID`]).
+///
+/// # Errors
+/// [`CodecError::Truncated`] on an empty body or a cut-off v2 header.
+pub fn take_request_head(r: &mut Reader<'_>) -> Result<RequestHead, CodecError> {
+    let first = r.take_u8()?;
+    if first == FRAME_V2 {
+        let model = r.take_u32()?;
+        let op = r.take_u8()?;
+        Ok(RequestHead { model, op })
+    } else {
+        Ok(RequestHead {
+            model: DEFAULT_MODEL_ID,
+            op: first,
+        })
+    }
+}
+
+/// One registry row, as reported by [`OP_LIST`] and [`OP_STATS`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Registry id (frames address models by this).
+    pub id: u32,
+    /// Registry name (unique per server).
+    pub name: String,
+    /// The model's `WMS1` kind byte (`0x03` WM, `0x04` AWM, `0x05`
+    /// multiclass AWM).
+    pub kind: u8,
+    /// Worker shards behind the model.
+    pub shards: u32,
+    /// The update clock of the model's *queryable* state (absorbed peers
+    /// included). STATS/LIST are read-only and never force a shard-pool
+    /// merge, so this lags live unsynced ingest by at most the model's
+    /// sync cadence; any query op brings it current.
+    pub clock: u64,
+    /// Memory cost in bytes under the paper's §7.1 model.
+    pub memory_bytes: u64,
+}
+
+/// Encodes one registry row:
+/// `id (u32) | name_len (u32) | name | kind (u8) | shards (u32)
+/// | clock (u64) | memory_bytes (u64)`.
+pub fn put_model_info(w: &mut Writer, info: &ModelInfo) {
+    w.put_u32(info.id);
+    w.put_u32(info.name.len() as u32);
+    w.put_bytes(info.name.as_bytes());
+    w.put_u8(info.kind);
+    w.put_u32(info.shards);
+    w.put_u64(info.clock);
+    w.put_u64(info.memory_bytes);
+}
+
+/// Decodes a row written by [`put_model_info`].
+///
+/// # Errors
+/// [`CodecError`] on truncation or a non-UTF-8 name.
+pub fn take_model_info(r: &mut Reader<'_>) -> Result<ModelInfo, CodecError> {
+    let id = r.take_u32()?;
+    let name_len = r.take_u32()? as usize;
+    let name = std::str::from_utf8(r.take_bytes(name_len)?)
+        .map_err(|_| CodecError::Invalid("model name is not UTF-8"))?
+        .to_string();
+    Ok(ModelInfo {
+        id,
+        name,
+        kind: r.take_u8()?,
+        shards: r.take_u32()?,
+        clock: r.take_u64()?,
+        memory_bytes: r.take_u64()?,
+    })
+}
 
 /// Writes one length-prefixed frame.
 ///
@@ -163,13 +267,14 @@ pub fn put_examples(w: &mut Writer, batch: &[(SparseVector, Label)]) {
 }
 
 /// Decodes a batch written by [`put_examples`], validating every label is
-/// `±1`.
+/// `±1` (the [`LabelDomain::Binary`] convenience form of
+/// [`take_examples_into`]).
 ///
 /// # Errors
 /// [`CodecError`] on truncation or an out-of-domain label.
 pub fn take_examples(r: &mut Reader<'_>) -> Result<Vec<(SparseVector, Label)>, CodecError> {
     let mut scratch = ExamplesScratch::new();
-    take_examples_into(r, &mut scratch)?;
+    take_examples_into(r, &mut scratch, LabelDomain::Binary)?;
     Ok(scratch.into_examples())
 }
 
@@ -214,9 +319,11 @@ impl ExamplesScratch {
 }
 
 /// Scratch-reusing form of [`take_examples`]: decodes a batch written by
-/// [`put_examples`] into `scratch`, validating every label is `±1`. On
-/// success the batch is available as [`ExamplesScratch::examples`];
-/// validation and canonicalization are identical to [`take_examples`].
+/// [`put_examples`] into `scratch`, validating every label against the
+/// addressed model's `domain` — `±1` for binary models, a class index in
+/// `0..classes` for multiclass ones. On success the batch is available as
+/// [`ExamplesScratch::examples`]; canonicalization is identical to
+/// [`take_examples`].
 ///
 /// # Errors
 /// [`CodecError`] on truncation or an out-of-domain label (the scratch
@@ -224,6 +331,7 @@ impl ExamplesScratch {
 pub fn take_examples_into(
     r: &mut Reader<'_>,
     scratch: &mut ExamplesScratch,
+    domain: LabelDomain,
 ) -> Result<(), CodecError> {
     let count = r.take_u32()? as usize;
     scratch.len = 0;
@@ -238,8 +346,13 @@ pub fn take_examples_into(
     );
     for slot in 0..count {
         let y = r.take_i8()?;
-        if y != 1 && y != -1 {
-            return Err(CodecError::Invalid("label must be +1 or -1"));
+        if !domain.contains(y) {
+            return Err(match domain {
+                LabelDomain::Binary => CodecError::Invalid("label must be +1 or -1"),
+                LabelDomain::Classes(_) => {
+                    CodecError::Invalid("label must be a class index in 0..classes")
+                }
+            });
         }
         if slot == scratch.examples.len() {
             scratch.examples.push((SparseVector::new(), y));
@@ -252,10 +365,24 @@ pub fn take_examples_into(
     Ok(())
 }
 
-/// Builds a request body: opcode byte followed by an op-specific payload.
+/// Builds a legacy (version-1, headerless) request body: opcode byte
+/// followed by an op-specific payload. Always addresses the default
+/// model.
 #[must_use]
 pub fn request(op: u8, payload: Writer) -> Vec<u8> {
     let mut w = Writer::new();
+    w.put_u8(op);
+    w.put_bytes(&payload.into_bytes());
+    w.into_bytes()
+}
+
+/// Builds a version-2 request body addressing `model`:
+/// [`FRAME_V2`] marker, model id, opcode, payload.
+#[must_use]
+pub fn request_for_model(model: u32, op: u8, payload: Writer) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(FRAME_V2);
+    w.put_u32(model);
     w.put_u8(op);
     w.put_bytes(&payload.into_bytes());
     w.into_bytes()
@@ -329,7 +456,8 @@ mod tests {
             let mut w = Writer::new();
             put_examples(&mut w, batch);
             let bytes = w.into_bytes();
-            take_examples_into(&mut Reader::new(&bytes), &mut scratch).unwrap();
+            take_examples_into(&mut Reader::new(&bytes), &mut scratch, LabelDomain::Binary)
+                .unwrap();
             assert_eq!(scratch.examples(), &batch[..]);
             let fresh = take_examples(&mut Reader::new(&bytes)).unwrap();
             assert_eq!(scratch.examples(), &fresh[..]);
@@ -345,7 +473,7 @@ mod tests {
             w.put_f64(v);
         }
         let bytes = w.into_bytes();
-        take_examples_into(&mut Reader::new(&bytes), &mut scratch).unwrap();
+        take_examples_into(&mut Reader::new(&bytes), &mut scratch, LabelDomain::Binary).unwrap();
         let fresh = take_examples(&mut Reader::new(&bytes)).unwrap();
         assert_eq!(scratch.examples(), &fresh[..]);
         assert_eq!(scratch.examples()[0].0.indices(), &[2, 9]);
@@ -406,5 +534,89 @@ mod tests {
             take_examples(&mut Reader::new(&w.into_bytes())),
             Err(CodecError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn class_domain_labels_validate_against_the_class_count() {
+        let encode = |y: i8| {
+            let mut w = Writer::new();
+            w.put_u32(1);
+            w.put_i8(y);
+            w.put_u32(0);
+            w.into_bytes()
+        };
+        let mut scratch = ExamplesScratch::new();
+        let domain = LabelDomain::Classes(3);
+        for ok in 0..3i8 {
+            take_examples_into(&mut Reader::new(&encode(ok)), &mut scratch, domain).unwrap();
+            assert_eq!(scratch.examples()[0].1, ok);
+        }
+        for bad in [-1i8, 3, 100] {
+            assert!(matches!(
+                take_examples_into(&mut Reader::new(&encode(bad)), &mut scratch, domain),
+                Err(CodecError::Invalid(_))
+            ));
+        }
+        // And +1/-1 only under the binary domain.
+        assert!(take_examples_into(
+            &mut Reader::new(&encode(2)),
+            &mut scratch,
+            LabelDomain::Binary
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn request_head_accepts_both_framings() {
+        // Legacy: first byte is the opcode, default model addressed.
+        let legacy = request(OP_STATS, Writer::new());
+        let head = take_request_head(&mut Reader::new(&legacy)).unwrap();
+        assert_eq!(
+            head,
+            RequestHead {
+                model: DEFAULT_MODEL_ID,
+                op: OP_STATS
+            }
+        );
+        // v2: marker, model id, opcode.
+        let mut payload = Writer::new();
+        payload.put_u32(9);
+        let v2 = request_for_model(7, OP_ESTIMATE, payload);
+        let mut r = Reader::new(&v2);
+        let head = take_request_head(&mut r).unwrap();
+        assert_eq!(
+            head,
+            RequestHead {
+                model: 7,
+                op: OP_ESTIMATE
+            }
+        );
+        assert_eq!(r.take_u32().unwrap(), 9);
+        r.finish().unwrap();
+        // A truncated v2 header is a typed error.
+        assert!(take_request_head(&mut Reader::new(&[FRAME_V2, 1, 2])).is_err());
+        assert!(take_request_head(&mut Reader::new(&[])).is_err());
+    }
+
+    #[test]
+    fn model_info_round_trip() {
+        let info = ModelInfo {
+            id: 3,
+            name: "mc-traffic".to_string(),
+            kind: 0x05,
+            shards: 4,
+            clock: 123_456,
+            memory_bytes: 98_304,
+        };
+        let mut w = Writer::new();
+        put_model_info(&mut w, &info);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(take_model_info(&mut r).unwrap(), info);
+        r.finish().unwrap();
+        // Truncated rows are typed errors.
+        for n in 0..bytes.len() {
+            assert!(take_model_info(&mut Reader::new(&bytes[..n])).is_err());
+        }
     }
 }

@@ -1,32 +1,51 @@
 //! The ingest/query server: a [`std::net::TcpListener`] accept loop with
-//! one worker thread per connection, all feeding a shared
-//! [`ShardedLearner`] shard pool behind a mutex (the pool itself fans
-//! each batch out across scoped worker threads).
+//! one worker thread per connection, all feeding a **model registry** —
+//! named [`wmsketch_learn::DynLearner`] models (WM, AWM, multiclass,
+//! each optionally behind a shard pool), every model behind its own
+//! mutex so traffic to different models never serializes.
 
+use std::collections::HashMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 use wmsketch_core::{
-    sharded_wm, MergeableLearner, OnlineLearner, ShardedLearner, ShardedLearnerConfig,
-    SnapshotCodec, TopKRecovery, WeightEstimator, WmSketch, WmSketchConfig,
+    build_sharded_any, sharded_wm, DynLearner, LabelDomain, ShardedLearner, ShardedLearnerConfig,
+    WmSketch, WmSketchConfig,
 };
-use wmsketch_hashing::codec::{Reader, Writer};
+use wmsketch_hashing::codec::{self, Reader, Writer, KIND_WM};
 
 use crate::error::ServeError;
 use crate::protocol::{
-    self, take_examples_into, take_features, write_frame, ExamplesScratch, MAX_FRAME_LEN,
-    OP_CHECKPOINT, OP_ESTIMATE, OP_MERGE, OP_PREDICT, OP_RESET, OP_RESTORE, OP_SHUTDOWN,
-    OP_SNAPSHOT, OP_STATS, OP_TOPK, OP_UPDATE, STATUS_ERR, STATUS_OK,
+    self, take_examples_into, take_features, take_request_head, write_frame, ExamplesScratch,
+    ModelInfo, MAX_FRAME_LEN, OP_CHECKPOINT, OP_CREATE, OP_ESTIMATE, OP_LIST, OP_MERGE, OP_PREDICT,
+    OP_RESET, OP_RESTORE, OP_SHUTDOWN, OP_SNAPSHOT, OP_STATS, OP_TOPK, OP_UPDATE, STATUS_ERR,
+    STATUS_OK,
 };
 
 /// How long a connection thread blocks on the socket before re-checking
 /// the shutdown flag; bounds drain latency without busy-waiting.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
-/// Configuration of one serving node.
+/// Longest model name CREATE accepts (bytes of UTF-8).
+const MAX_MODEL_NAME: usize = 128;
+
+/// Most models one node hosts. Each costs its learner's memory; the cap
+/// keeps a misbehaving client from allocating models in a loop.
+const MAX_MODELS: usize = 1024;
+
+/// Most worker shards CREATE accepts per model (each is a full replica).
+const MAX_MODEL_SHARDS: u32 = 256;
+
+/// Largest class count a wire-served multiclass model may have: labels
+/// ride the protocol's `i8` slot, so class indices must fit `0..=127`.
+const MAX_WIRE_CLASSES: u32 = 128;
+
+/// Configuration of one serving node — specifically of its **default
+/// model** (id 0, the model legacy headerless frames address). Further
+/// models of any registered kind are added at runtime via OP_CREATE.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
     /// Model configuration shared by the root and every worker replica.
@@ -46,8 +65,8 @@ pub struct ServeConfig {
 }
 
 impl ServeConfig {
-    /// A node hosting `shards` worker replicas of `wm`, with heap-carrying
-    /// workers (see [`ServeConfig::worker_heaps`]).
+    /// A node whose default model hosts `shards` worker replicas of `wm`,
+    /// with heap-carrying workers (see [`ServeConfig::worker_heaps`]).
     ///
     /// # Panics
     /// Panics if `shards == 0`.
@@ -86,23 +105,95 @@ impl ServeConfig {
 }
 
 /// Counters reported by the STATS op.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeStats {
-    /// Examples routed into the shard pool on this node (excludes
+    /// Examples ingested into the addressed model on this node (excludes
     /// absorbed peer snapshots).
     pub routed: u64,
-    /// The root model's own example clock (includes absorbed peers).
+    /// The addressed model's own clock (includes absorbed peers).
     pub root_examples: u64,
-    /// Configured worker count.
+    /// The addressed model's worker count.
     pub shards: u32,
-    /// Whether the root reflects every routed example.
+    /// Whether the addressed model's queryable state reflects every
+    /// ingested example.
     pub synced: bool,
+    /// The whole registry, one row per hosted model (kind, shards,
+    /// update clock, memory) — what this node is hosting, at a glance.
+    pub models: Vec<ModelInfo>,
+}
+
+/// How to rebuild a model from scratch — kept beside the live learner so
+/// RESET and RESTORE can re-derive a pristine instance.
+enum ModelSpec {
+    /// The default model: the node's [`ServeConfig`].
+    Default(ServeConfig),
+    /// A registered model: the untrained template snapshot it was created
+    /// from, plus its shard count.
+    Template { template: Vec<u8>, shards: u32 },
+}
+
+impl ModelSpec {
+    fn build(&self) -> Result<Box<dyn DynLearner>, ServeError> {
+        match self {
+            ModelSpec::Default(cfg) => Ok(Box::new(cfg.build_learner())),
+            ModelSpec::Template { template, shards } => Ok(build_sharded_any(
+                template,
+                ShardedLearnerConfig::new(*shards as usize).candidates_per_shard(0),
+            )?),
+        }
+    }
+}
+
+/// One hosted model: identity, label contract, rebuild recipe, and the
+/// live learner behind its own mutex.
+struct ModelEntry {
+    id: u32,
+    name: String,
+    kind: u8,
+    shards: u32,
+    label_domain: LabelDomain,
+    spec: ModelSpec,
+    learner: Mutex<Box<dyn DynLearner>>,
+}
+
+impl ModelEntry {
+    /// A registry row for LIST/STATS (locks the learner briefly).
+    fn info(&self) -> ModelInfo {
+        let learner = self.learner.lock().expect("learner mutex");
+        ModelInfo {
+            id: self.id,
+            name: self.name.clone(),
+            kind: self.kind,
+            shards: self.shards,
+            clock: learner.clock(),
+            memory_bytes: learner.memory_bytes() as u64,
+        }
+    }
+}
+
+/// The model registry: id → entry plus a name index. Entries are `Arc`s
+/// so request handling drops the registry lock before touching a model.
+struct Registry {
+    by_id: Vec<Arc<ModelEntry>>,
+    by_name: HashMap<String, u32>,
+    next_id: u32,
+}
+
+impl Registry {
+    fn get(&self, id: u32) -> Option<Arc<ModelEntry>> {
+        // Ids are dense vector indices (assigned sequentially, models
+        // never removed), so resolution is O(1); the filter keeps the
+        // lookup correct even if that invariant ever changes.
+        self.by_id
+            .get(id as usize)
+            .filter(|e| e.id == id)
+            .map(Arc::clone)
+    }
 }
 
 /// State shared between the accept loop and every connection thread.
 struct ServerState {
-    learner: Mutex<ShardedLearner<WmSketch>>,
-    cfg: ServeConfig,
+    registry: RwLock<Registry>,
     addr: SocketAddr,
     shutdown: AtomicBool,
 }
@@ -116,18 +207,32 @@ pub struct WmServer {
 
 impl WmServer {
     /// Binds a listener (use port 0 for an ephemeral port) and builds the
-    /// learner from `cfg`.
+    /// default model (registry id 0, name `"default"`) from `cfg`.
     ///
     /// # Errors
     /// Propagates socket errors from binding.
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let default = Arc::new(ModelEntry {
+            id: protocol::DEFAULT_MODEL_ID,
+            name: "default".to_string(),
+            kind: KIND_WM,
+            shards: cfg.sharding.shards as u32,
+            label_domain: LabelDomain::Binary,
+            learner: Mutex::new(Box::new(cfg.build_learner())),
+            spec: ModelSpec::Default(cfg),
+        });
+        let mut by_name = HashMap::new();
+        by_name.insert(default.name.clone(), default.id);
         Ok(Self {
             listener,
             state: Arc::new(ServerState {
-                learner: Mutex::new(cfg.build_learner()),
-                cfg,
+                registry: RwLock::new(Registry {
+                    by_id: vec![default],
+                    by_name,
+                    next_id: 1,
+                }),
                 addr,
                 shutdown: AtomicBool::new(false),
             }),
@@ -268,7 +373,7 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) -> Result<(
         // OP_SHUTDOWN closes this connection only when the request was
         // actually honored — a malformed shutdown frame gets an ERR
         // response on a connection that stays open, like any other error.
-        let shutdown = result.is_ok() && body.first() == Some(&OP_SHUTDOWN);
+        let shutdown = result.is_ok() && is_shutdown_request(&body);
         let mut response = match result {
             Ok(payload) => {
                 let mut w = Writer::new();
@@ -297,6 +402,15 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) -> Result<(
             return Ok(());
         }
     }
+}
+
+/// Whether a (successfully handled) request body was an OP_SHUTDOWN, in
+/// either framing.
+fn is_shutdown_request(body: &[u8]) -> bool {
+    matches!(
+        take_request_head(&mut Reader::new(body)),
+        Ok(head) if head.op == OP_SHUTDOWN
+    )
 }
 
 /// [`protocol::read_frame`], but tolerant of read timeouts: an idle
@@ -355,6 +469,103 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
+/// Looks up the addressed model, cloning its `Arc` out from under the
+/// registry lock so per-model work never holds it.
+fn resolve_model(state: &ServerState, id: u32) -> Result<Arc<ModelEntry>, ServeError> {
+    state
+        .registry
+        .read()
+        .expect("registry lock")
+        .get(id)
+        .ok_or(ServeError::Protocol("unknown model id"))
+}
+
+/// Registry rows for every hosted model, id-ascending.
+fn registry_rows(state: &ServerState) -> Vec<ModelInfo> {
+    let entries: Vec<Arc<ModelEntry>> = state
+        .registry
+        .read()
+        .expect("registry lock")
+        .by_id
+        .iter()
+        .map(Arc::clone)
+        .collect();
+    entries.iter().map(|e| e.info()).collect()
+}
+
+/// Handles OP_CREATE: registers a named model built from an untrained
+/// template snapshot of any registered kind.
+fn handle_create(r: &mut Reader<'_>, state: &ServerState) -> Result<u32, ServeError> {
+    let name_len = r.take_u32()? as usize;
+    if name_len == 0 || name_len > MAX_MODEL_NAME {
+        return Err(ServeError::Protocol("model name length out of range"));
+    }
+    let name = std::str::from_utf8(r.take_bytes(name_len)?)
+        .map_err(|_| ServeError::Protocol("model name is not UTF-8"))?
+        .to_string();
+    let shards = r.take_u32()?;
+    if shards == 0 || shards > MAX_MODEL_SHARDS {
+        return Err(ServeError::Protocol("shard count out of range"));
+    }
+    // Reject duplicate names and a full registry *before* paying for the
+    // template decode and shard-replica construction — a misbehaving
+    // client retrying CREATE must not cost a full model build per frame.
+    // (Re-checked under the write lock below: two racing CREATEs can both
+    // pass this probe.)
+    {
+        let registry = state.registry.read().expect("registry lock");
+        if registry.by_id.len() >= MAX_MODELS {
+            return Err(ServeError::Protocol("model registry is full"));
+        }
+        if registry.by_name.contains_key(&name) {
+            return Err(ServeError::Protocol("model name already registered"));
+        }
+    }
+    let template = r.take_bytes(r.remaining())?.to_vec();
+    // Validate the label domain on a *single* decoded template before
+    // cloning it into up to MAX_MODEL_SHARDS worker replicas — a
+    // rejected >128-class template must cost one decode, not a full
+    // shard-pool build.
+    {
+        let probe = wmsketch_core::decode_any_learner(&template)?;
+        if let LabelDomain::Classes(m) = probe.label_domain() {
+            if m > MAX_WIRE_CLASSES {
+                return Err(ServeError::Protocol(
+                    "class count exceeds the wire label encoding (i8 class indices)",
+                ));
+            }
+        }
+    }
+    // Build outside the registry lock: decoding a 64 MiB template must
+    // not block every other connection's model lookup.
+    let learner = build_sharded_any(
+        &template,
+        ShardedLearnerConfig::new(shards as usize).candidates_per_shard(0),
+    )?;
+    let label_domain = learner.label_domain();
+    let kind = learner.kind();
+    let mut registry = state.registry.write().expect("registry lock");
+    if registry.by_id.len() >= MAX_MODELS {
+        return Err(ServeError::Protocol("model registry is full"));
+    }
+    if registry.by_name.contains_key(&name) {
+        return Err(ServeError::Protocol("model name already registered"));
+    }
+    let id = registry.next_id;
+    registry.next_id += 1;
+    registry.by_name.insert(name.clone(), id);
+    registry.by_id.push(Arc::new(ModelEntry {
+        id,
+        name,
+        kind,
+        shards,
+        label_domain,
+        spec: ModelSpec::Template { template, shards },
+        learner: Mutex::new(learner),
+    }));
+    Ok(id)
+}
+
 /// Decodes and executes one request, returning the OK payload.
 /// `scratch` is the calling connection's reusable UPDATE decode buffer.
 fn handle_request(
@@ -363,38 +574,66 @@ fn handle_request(
     scratch: &mut ExamplesScratch,
 ) -> Result<Vec<u8>, ServeError> {
     let mut r = Reader::new(body);
-    let op = r
-        .take_u8()
-        .map_err(|_| ServeError::Protocol("empty request body"))?;
+    let head =
+        take_request_head(&mut r).map_err(|_| ServeError::Protocol("malformed request header"))?;
     let mut out = Writer::new();
-    match op {
-        OP_UPDATE => {
-            take_examples_into(&mut r, scratch)?;
+    // Registry-level ops first: they don't address a model.
+    match head.op {
+        OP_CREATE => {
+            let id = handle_create(&mut r, state)?;
+            out.put_u32(id);
+            return Ok(out.into_bytes());
+        }
+        OP_LIST => {
             r.finish()?;
-            let mut learner = state.learner.lock().expect("learner mutex");
+            let rows = registry_rows(state);
+            out.put_u32(rows.len() as u32);
+            for row in &rows {
+                protocol::put_model_info(&mut out, row);
+            }
+            return Ok(out.into_bytes());
+        }
+        OP_SHUTDOWN => {
+            r.finish()?;
+            state.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop so the drain starts immediately.
+            let _ = TcpStream::connect(wake_addr(state.addr));
+            return Ok(out.into_bytes());
+        }
+        _ => {}
+    }
+    let entry = resolve_model(state, head.model)?;
+    match head.op {
+        OP_UPDATE => {
+            // Labels are validated against the addressed model's domain
+            // (±1 for binary models, class indices for multiclass) before
+            // anything reaches the learner.
+            take_examples_into(&mut r, scratch, entry.label_domain)?;
+            r.finish()?;
+            let mut learner = entry.learner.lock().expect("learner mutex");
             learner.update_batch(scratch.examples());
             out.put_u64(learner.examples_seen());
         }
         OP_PREDICT => {
             let x = take_features(&mut r)?;
             r.finish()?;
-            let mut learner = state.learner.lock().expect("learner mutex");
-            learner.sync();
+            let mut learner = entry.learner.lock().expect("learner mutex");
+            learner.finalize();
             out.put_f64(learner.margin(&x));
             out.put_i8(learner.predict(&x));
         }
         OP_ESTIMATE => {
             let feature = r.take_u32()?;
             r.finish()?;
-            let mut learner = state.learner.lock().expect("learner mutex");
-            learner.sync();
+            let mut learner = entry.learner.lock().expect("learner mutex");
+            learner.finalize();
             out.put_f64(learner.estimate(feature));
         }
         OP_TOPK => {
             let k = r.take_u32()?;
             r.finish()?;
-            let mut learner = state.learner.lock().expect("learner mutex");
-            learner.sync();
+            let mut learner = entry.learner.lock().expect("learner mutex");
+            learner.finalize();
             let top = learner.recover_top_k(k as usize);
             out.put_u32(top.len() as u32);
             for e in top {
@@ -404,20 +643,27 @@ fn handle_request(
         }
         OP_SNAPSHOT => {
             r.finish()?;
-            let mut learner = state.learner.lock().expect("learner mutex");
-            learner.sync();
-            out.put_bytes(&learner.root().to_snapshot_bytes());
+            let mut learner = entry.learner.lock().expect("learner mutex");
+            out.put_bytes(&learner.snapshot()?);
         }
         OP_MERGE => {
-            let peer = WmSketch::from_snapshot_bytes(r.take_bytes(r.remaining())?)?;
-            let mut learner = state.learner.lock().expect("learner mutex");
-            if !learner.root().merge_compatible(&peer) {
+            let bytes = r.take_bytes(r.remaining())?;
+            // A cheap kind probe up front turns "wrong model addressed"
+            // into a precise error before the full decode runs.
+            let kind = codec::peek_kind(bytes)?;
+            if kind != entry.kind {
                 return Err(ServeError::Protocol(
-                    "peer snapshot is not merge-compatible with this node",
+                    "snapshot kind does not match the addressed model",
                 ));
             }
-            learner.absorb(&peer);
-            out.put_u64(learner.root().examples_seen());
+            // Decode (the expensive, validation-heavy step — up to a
+            // 64 MiB snapshot) *outside* the model lock; only the cheap
+            // linearity merge holds it, so a large MERGE cannot stall
+            // concurrent UPDATE/PREDICT traffic on the same model.
+            let peer = wmsketch_core::decode_any_learner(bytes)?;
+            let mut learner = entry.learner.lock().expect("learner mutex");
+            learner.absorb_peer(&*peer)?;
+            out.put_u64(learner.clock());
         }
         OP_CHECKPOINT => {
             let path = take_path(&mut r)?;
@@ -425,9 +671,8 @@ fn handle_request(
             // possibly slow filesystem) must not stall ingest on other
             // connections.
             let bytes = {
-                let mut learner = state.learner.lock().expect("learner mutex");
-                learner.sync();
-                learner.root().to_snapshot_bytes()
+                let mut learner = entry.learner.lock().expect("learner mutex");
+                learner.snapshot()?
             };
             std::fs::write(&path, &bytes)?;
             out.put_u64(bytes.len() as u64);
@@ -435,36 +680,32 @@ fn handle_request(
         OP_RESTORE => {
             let path = take_path(&mut r)?;
             let bytes = std::fs::read(&path)?;
-            let model = WmSketch::from_snapshot_bytes(&bytes)?;
-            let mut learner = state.learner.lock().expect("learner mutex");
-            let mut fresh = state.cfg.build_learner();
-            if !fresh.root().merge_compatible(&model) {
-                return Err(ServeError::Protocol(
-                    "checkpoint is not merge-compatible with this node's config",
-                ));
-            }
-            fresh.absorb(&model);
+            let mut fresh = entry.spec.build()?;
+            fresh.absorb_snapshot(&bytes)?;
+            let mut learner = entry.learner.lock().expect("learner mutex");
             *learner = fresh;
-            out.put_u64(learner.root().examples_seen());
+            out.put_u64(learner.clock());
         }
         OP_STATS => {
             r.finish()?;
-            let learner = state.learner.lock().expect("learner mutex");
-            out.put_u64(learner.examples_seen());
-            out.put_u64(learner.root().examples_seen());
-            out.put_u32(learner.num_shards() as u32);
-            out.put_u8(u8::from(learner.is_synced()));
+            {
+                let learner = entry.learner.lock().expect("learner mutex");
+                out.put_u64(learner.examples_seen());
+                out.put_u64(learner.clock());
+                out.put_u32(entry.shards);
+                out.put_u8(u8::from(learner.is_synced()));
+            }
+            let rows = registry_rows(state);
+            out.put_u32(rows.len() as u32);
+            for row in &rows {
+                protocol::put_model_info(&mut out, row);
+            }
         }
         OP_RESET => {
             r.finish()?;
-            let mut learner = state.learner.lock().expect("learner mutex");
-            *learner = state.cfg.build_learner();
-        }
-        OP_SHUTDOWN => {
-            r.finish()?;
-            state.shutdown.store(true, Ordering::SeqCst);
-            // Wake the accept loop so the drain starts immediately.
-            let _ = TcpStream::connect(wake_addr(state.addr));
+            let fresh = entry.spec.build()?;
+            let mut learner = entry.learner.lock().expect("learner mutex");
+            *learner = fresh;
         }
         _ => return Err(ServeError::Protocol("unknown opcode")),
     }

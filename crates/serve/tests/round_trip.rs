@@ -1,8 +1,13 @@
 //! End-to-end tests of the ingest/query service: protocol round trips,
-//! snapshot shipping, checkpoint/restore, error behavior, and the
-//! distributed-vs-local parity guarantee.
+//! snapshot shipping, checkpoint/restore, error behavior, the
+//! distributed-vs-local parity guarantee (for WM, AWM, and multiclass
+//! models through the registry), and legacy-framing compatibility.
 
-use wmsketch_core::{OnlineLearner, SnapshotCodec, WmSketch, WmSketchConfig};
+use wmsketch_core::{
+    AwmSketch, AwmSketchConfig, MulticlassAwmSketch, MulticlassConfig, OnlineLearner,
+    ShardedLearner, ShardedLearnerConfig, SnapshotCodec, WmSketch, WmSketchConfig,
+};
+use wmsketch_hashing::codec::{KIND_AWM, KIND_MULTICLASS_AWM, KIND_WM};
 use wmsketch_learn::{Label, SparseVector};
 use wmsketch_serve::{ServeClient, ServeConfig, ServeError, ServerHandle, WmServer};
 
@@ -152,6 +157,323 @@ fn two_node_snapshot_merge_matches_single_node_bit_for_bit() {
     assert!(agg_client.estimate(9).unwrap() < -0.2);
 
     for s in [single, node_a, node_b, aggregator] {
+        s.shutdown();
+    }
+}
+
+/// The backward-compatibility contract: a model-id-less (version-1)
+/// client session round-trips against the registry server, transparently
+/// addressing the default model — including interleaved with a v2 client
+/// on the same node.
+#[test]
+fn legacy_model_id_less_wm_session_round_trips() {
+    let server = start(ServeConfig::new(
+        WmSketchConfig::new(256, 4).lambda(1e-5).seed(3),
+        2,
+    ));
+    let mut legacy = ServeClient::connect_legacy(server.addr()).unwrap();
+    let mut v2 = ServeClient::connect(server.addr()).unwrap();
+
+    let data = planted_stream(3000);
+    let (head, tail) = data.split_at(1500);
+    assert_eq!(legacy.update_batch(head).unwrap(), 1500);
+    // A v2 client addressing model 0 shares the same model.
+    assert_eq!(v2.update_batch(tail).unwrap(), 3000);
+
+    // Queries through the legacy framing see everything.
+    assert!(legacy.estimate(3).unwrap() > 0.2);
+    assert!(legacy.estimate(9).unwrap() < -0.2);
+    let (margin, label) = legacy.predict(&SparseVector::one_hot(3, 1.0)).unwrap();
+    assert!(margin > 0.0);
+    assert_eq!(label, 1);
+    let top: Vec<u32> = legacy.top_k(2).unwrap().iter().map(|e| e.feature).collect();
+    assert!(top.contains(&3) && top.contains(&9), "top = {top:?}");
+
+    // Legacy and v2 sessions read bit-identical state.
+    for f in 0..50u32 {
+        assert!(legacy.estimate(f).unwrap().to_bits() == v2.estimate(f).unwrap().to_bits());
+    }
+
+    // Snapshot/merge still work through the legacy framing.
+    let snap = legacy.snapshot().unwrap();
+    assert!(WmSketch::from_snapshot_bytes(&snap).is_ok());
+    let stats = legacy.stats().unwrap();
+    assert_eq!(stats.routed, 3000);
+    assert_eq!(stats.shards, 2);
+    assert!(stats.synced);
+    // The registry tail is visible to the (new) parser even on a legacy
+    // connection; the default model is the whole registry here.
+    assert_eq!(stats.models.len(), 1);
+    assert_eq!(stats.models[0].name, "default");
+    assert_eq!(stats.models[0].kind, KIND_WM);
+
+    // A legacy session cannot address registry models.
+    assert!(legacy.set_model(7).is_err());
+    server.shutdown();
+}
+
+/// Registry lifecycle: CREATE/LIST/STATS report what the node hosts, and
+/// the error surface (duplicate names, trained templates, unknown model
+/// ids, label-domain and kind mismatches) is typed, not fatal.
+#[test]
+fn registry_create_list_stats_and_error_surface() {
+    let server = start(ServeConfig::new(WmSketchConfig::new(64, 2).seed(1), 1));
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    let awm_cfg = AwmSketchConfig::new(8, 64).lambda(1e-5).seed(5);
+    let awm_template = AwmSketch::new(awm_cfg).to_snapshot_bytes();
+    let mc_template = MulticlassAwmSketch::new(MulticlassConfig {
+        classes: 3,
+        per_class: awm_cfg,
+    })
+    .to_snapshot_bytes();
+
+    let awm_id = client.create_model("awm", &awm_template, 2).unwrap();
+    let mc_id = client.create_model("mc", &mc_template, 1).unwrap();
+    assert_ne!(awm_id, 0);
+    assert_ne!(mc_id, awm_id);
+
+    // Duplicate name, trained template, and silly shard counts → errors.
+    assert!(matches!(
+        client.create_model("awm", &awm_template, 1),
+        Err(ServeError::Remote(_))
+    ));
+    let mut trained = AwmSketch::new(awm_cfg);
+    trained.update(&SparseVector::one_hot(1, 1.0), 1);
+    assert!(matches!(
+        client.create_model("awm2", &trained.to_snapshot_bytes(), 1),
+        Err(ServeError::Remote(_))
+    ));
+    assert!(matches!(
+        client.create_model("awm3", &awm_template, 0),
+        Err(ServeError::Remote(_))
+    ));
+
+    // LIST reflects the registry, id-ascending.
+    let models = client.list_models().unwrap();
+    assert_eq!(models.len(), 3);
+    assert_eq!(
+        models.iter().map(|m| m.name.as_str()).collect::<Vec<_>>(),
+        ["default", "awm", "mc"]
+    );
+    assert_eq!(models[1].kind, KIND_AWM);
+    assert_eq!(models[1].shards, 2);
+    assert_eq!(models[2].kind, KIND_MULTICLASS_AWM);
+    assert!(models.iter().all(|m| m.memory_bytes > 0));
+
+    // Ingest into the AWM model with binary labels; class labels belong
+    // to the multiclass model only.
+    client.set_model(awm_id).unwrap();
+    client.update_batch(&planted_stream(500)).unwrap();
+    assert!(matches!(
+        client.update_batch(&[(SparseVector::one_hot(1, 1.0), 2)]),
+        Err(ServeError::Remote(_))
+    ));
+    client.set_model(mc_id).unwrap();
+    client
+        .update_batch(&[(SparseVector::one_hot(1, 1.0), 2)])
+        .unwrap();
+    assert!(matches!(
+        client.update_batch(&[(SparseVector::one_hot(1, 1.0), -1)]),
+        Err(ServeError::Remote(_))
+    ));
+    assert!(matches!(
+        client.update_batch(&[(SparseVector::one_hot(1, 1.0), 3)]),
+        Err(ServeError::Remote(_))
+    ));
+
+    // STATS addressed to the AWM model reports it, plus all rows. (A
+    // query eagerly syncs the pool first: registry rows report the
+    // queryable state's clock and never force a merge themselves.)
+    client.set_model(awm_id).unwrap();
+    let _ = client.estimate(3).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.routed, 500);
+    assert_eq!(stats.shards, 2);
+    assert_eq!(stats.models.len(), 3);
+    let row = stats.models.iter().find(|m| m.id == awm_id).unwrap();
+    assert_eq!(row.clock, 500);
+
+    // Kind mismatch on MERGE is a typed error; RESET rebuilds from spec.
+    let wm_snap = WmSketch::new(WmSketchConfig::new(64, 2).seed(1)).to_snapshot_bytes();
+    assert!(matches!(
+        client.merge_snapshot(&wm_snap),
+        Err(ServeError::Remote(_))
+    ));
+    client.reset().unwrap();
+    assert_eq!(client.stats().unwrap().routed, 0);
+
+    // Unknown model id → typed error, connection stays usable.
+    client.set_model(999).unwrap();
+    assert!(matches!(client.estimate(1), Err(ServeError::Remote(_))));
+    client.set_model(0).unwrap();
+    assert!(client.stats().is_ok());
+
+    // A multiclass template with too many classes for i8 wire labels is
+    // rejected at CREATE.
+    let wide = MulticlassAwmSketch::new(MulticlassConfig {
+        classes: 200,
+        per_class: AwmSketchConfig::new(2, 8).seed(1),
+    })
+    .to_snapshot_bytes();
+    assert!(matches!(
+        client.create_model("wide", &wide, 1),
+        Err(ServeError::Remote(_))
+    ));
+
+    server.shutdown();
+}
+
+/// The generic registry parity harness: the whole stream into a single
+/// node hosting a 2-shard model created from `template`; the stream
+/// partitioned by `shard_of` across two 1-shard nodes whose snapshots
+/// merge into an aggregator; then estimates, margins, predictions, and
+/// top-K must be bit-identical between aggregator and single node.
+/// One harness for every registered kind — the parity contract is the
+/// same, so the code proving it is too.
+fn registry_parity_matches_single_node<L>(
+    name: &str,
+    template: &[u8],
+    router: &ShardedLearner<L>,
+    data: &[(SparseVector, Label)],
+    probes: &[SparseVector],
+) -> (ServeClient, Vec<ServerHandle>)
+where
+    L: wmsketch_core::MergeableLearner + Clone + Send,
+{
+    // The host nodes' default WM model is irrelevant here; keep it tiny.
+    let host = ServeConfig::new(WmSketchConfig::new(16, 1).heap_capacity(1), 1);
+    let single = start(host);
+    let node_a = start(host);
+    let node_b = start(host);
+    let aggregator = start(host);
+
+    let with_model = |server: &ServerHandle, shards: u32| {
+        let mut c = ServeClient::connect(server.addr()).unwrap();
+        let id = c.create_model(name, template, shards).unwrap();
+        c.set_model(id).unwrap();
+        c
+    };
+    let mut single_client = with_model(&single, 2);
+    let mut a = with_model(&node_a, 1);
+    let mut b = with_model(&node_b, 1);
+    let mut agg = with_model(&aggregator, 1);
+
+    // Replicate the single node's 2-shard partition with the local router
+    // built from the same sharding configuration.
+    let mut sub: [Vec<(SparseVector, Label)>; 2] = [Vec::new(), Vec::new()];
+    for (i, ex) in data.iter().enumerate() {
+        sub[router.shard_of(i as u64)].push(ex.clone());
+    }
+    for chunk in data.chunks(997) {
+        single_client.update_batch(chunk).unwrap();
+    }
+    a.update_batch(&sub[0]).unwrap();
+    b.update_batch(&sub[1]).unwrap();
+
+    agg.merge_snapshot(&a.snapshot().unwrap()).unwrap();
+    let clock = agg.merge_snapshot(&b.snapshot().unwrap()).unwrap();
+    assert_eq!(clock, data.len() as u64);
+
+    for f in 0..600u32 {
+        let lhs = agg.estimate(f).unwrap();
+        let rhs = single_client.estimate(f).unwrap();
+        assert!(
+            lhs.to_bits() == rhs.to_bits(),
+            "feature {f}: aggregated {lhs} vs single-node {rhs}"
+        );
+    }
+    for probe in probes {
+        let (m1, p1) = agg.predict(probe).unwrap();
+        let (m2, p2) = single_client.predict(probe).unwrap();
+        assert!(m1.to_bits() == m2.to_bits(), "margin {m1} vs {m2}");
+        assert_eq!(p1, p2);
+    }
+    let t1 = agg.top_k(16).unwrap();
+    let t2 = single_client.top_k(16).unwrap();
+    assert_eq!(t1.len(), t2.len());
+    for (x, y) in t1.iter().zip(&t2) {
+        assert_eq!(x.feature, y.feature);
+        assert!(x.weight.to_bits() == y.weight.to_bits());
+    }
+    (agg, vec![single, node_a, node_b, aggregator])
+}
+
+/// AWM through the registry: the same bit-identical distributed-vs-local
+/// parity the WM default model guarantees.
+#[test]
+fn awm_registry_nodes_match_single_node_bit_for_bit() {
+    let awm = AwmSketchConfig::new(16, 256).lambda(1e-5).seed(11);
+    let template = AwmSketch::new(awm).to_snapshot_bytes();
+    let router = ShardedLearner::new(
+        ShardedLearnerConfig::new(2).candidates_per_shard(0),
+        AwmSketch::new(awm),
+        AwmSketch::new(awm),
+    );
+    let (mut agg, servers) = registry_parity_matches_single_node(
+        "awm",
+        &template,
+        &router,
+        &planted_stream(4000),
+        &[
+            SparseVector::one_hot(3, 1.0),
+            SparseVector::one_hot(9, 1.0),
+            SparseVector::from_pairs(&[(3, 0.7), (9, 0.7), (123, 0.1)]),
+        ],
+    );
+    // And the shipped model really carries the planted signal.
+    assert!(agg.estimate(3).unwrap() > 0.2);
+    assert!(agg.estimate(9).unwrap() < -0.2);
+    drop(agg);
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+/// Multiclass through the registry: class-labelled ingest, snapshot
+/// shipping, and merge compose exactly like the binary models.
+#[test]
+fn multiclass_registry_nodes_match_single_node_bit_for_bit() {
+    let mc_cfg = MulticlassConfig {
+        classes: 3,
+        per_class: AwmSketchConfig::new(8, 128).lambda(1e-5).seed(7),
+    };
+    let template = MulticlassAwmSketch::new(mc_cfg).to_snapshot_bytes();
+    let router = ShardedLearner::new(
+        ShardedLearnerConfig::new(2).candidates_per_shard(0),
+        MulticlassAwmSketch::new(mc_cfg),
+        MulticlassAwmSketch::new(mc_cfg),
+    );
+    // Class c is signalled by feature 10+c plus shared noise; labels on
+    // the wire are class indices.
+    let data: Vec<(SparseVector, Label)> = (0..4500)
+        .map(|t| {
+            let c = (t % 3) as u32;
+            let noise = 100 + (t * 11 % 200) as u32;
+            (
+                SparseVector::from_pairs(&[(10 + c, 1.0), (noise, 0.5)]),
+                c as Label,
+            )
+        })
+        .collect();
+    let (mut agg, servers) = registry_parity_matches_single_node(
+        "mc",
+        &template,
+        &router,
+        &data,
+        &[
+            SparseVector::one_hot(10, 1.0),
+            SparseVector::one_hot(11, 1.0),
+            SparseVector::one_hot(12, 1.0),
+        ],
+    );
+    // And the model really learned: the argmax class over the wire.
+    for c in 0..3u32 {
+        let (_, predicted) = agg.predict(&SparseVector::one_hot(10 + c, 1.0)).unwrap();
+        assert_eq!(predicted, c as Label, "class {c} misclassified");
+    }
+    drop(agg);
+    for s in servers {
         s.shutdown();
     }
 }
