@@ -8,13 +8,16 @@
 //! naive/fused rows are pinned to the scalar backend so the pair isolates
 //! the kernel speedup), the sharded pipeline (`ShardedLearner` at 1, 2,
 //! 4, and 8 shards, merge included), and the end-to-end serve ingest
-//! paths (`serve_ingest`: a loopback `wmsketch-serve` node's default WM
-//! model fed UPDATE frames, so framing + syscalls + decode are all
-//! inside the timed region; `AWM_serve_ingest`: the same loopback wire
-//! but through the node's **model registry** — an AWM model created via
-//! OP_CREATE and addressed with model-id frames — so the registry
-//! indirection cost is measured, not assumed), and writes the results as
-//! JSON so the perf trajectory can be tracked PR over PR.
+//! paths (`serve_ingest`: a loopback `wmsketch-serve` node — v6: its
+//! default WM model behind a 2-shard **deferred-heap** pool on the
+//! pipelined **event backend** — fed pipelined UPDATE frames, so
+//! framing, syscalls, and decode are all inside the timed region;
+//! `AWM_serve_ingest`: the same loopback wire but through the node's
+//! **model registry** — an AWM model created via OP_CREATE and addressed
+//! with model-id frames — so the registry indirection cost is measured,
+//! not assumed; `serve_saturation`: many pipelined connections, one
+//! node, aggregate throughput), and writes the results as JSON so the
+//! perf trajectory can be tracked PR over PR.
 //!
 //! Usage: `update_throughput_json [OUTPUT_PATH]`
 //! (default output: `BENCH_update_throughput.json` in the working
@@ -42,14 +45,25 @@ const WARMUP_PASSES: usize = 1;
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// Examples per UPDATE frame on the serve ingest path.
 const SERVE_FRAME_EXAMPLES: usize = 1024;
-/// Worker count of the loopback serve node (1 = the sequential fused
-/// pipeline behind the wire, isolating transport overhead).
-const SERVE_SHARDS: usize = 1;
+/// Worker count of the loopback serve node's WM model. v6 serves the
+/// default model through the deferred-heap sharded pipeline (the
+/// single-node throughput configuration), so the wire path rides the
+/// fastest learner the workspace has.
+const SERVE_SHARDS: usize = 2;
+/// Per-shard candidate-tracker capacity of the deferred-heap serve node.
+const SERVE_CANDIDATES: usize = 128;
+/// UPDATE frames each client keeps in flight (pipelining depth). 1 would
+/// reproduce v5's blocking request/response cadence.
+const SERVE_PIPELINE_WINDOW: usize = 8;
+/// Concurrent client connections in the saturation row.
+const SATURATION_CONNECTIONS: usize = 16;
 
 struct Measurement {
     name: String,
     /// Worker count for sharded variants; 1 for the sequential paths.
     shards: usize,
+    /// Concurrent client connections (saturation rows only).
+    connections: Option<usize>,
     ns_per_update: f64,
     updates_per_sec: f64,
     updates_timed: u64,
@@ -104,6 +118,7 @@ fn measure_ab<L>(
         Measurement {
             name: name.to_string(),
             shards: 1,
+            connections: None,
             ns_per_update,
             updates_per_sec: 1e9 / ns_per_update,
             updates_timed: timed,
@@ -148,45 +163,60 @@ fn measure<L>(
     Measurement {
         name: name.to_string(),
         shards,
+        connections: None,
         ns_per_update,
         updates_per_sec: 1e9 / ns_per_update,
         updates_timed: timed,
     }
 }
 
+/// The loopback serve node every serve row runs against: the default WM
+/// model behind a [`SERVE_SHARDS`]-worker **deferred-heap** pool, on the
+/// event backend (pinned, so the row measures the readiness-driven loop
+/// regardless of env; off-Linux the pin clamps to the threaded backend
+/// and the row reflects that platform's real serving path).
+fn serve_node_config(wm_cfg: WmSketchConfig) -> wmsketch_serve::ServeConfig {
+    wmsketch_serve::ServeConfig::new(wm_cfg, SERVE_SHARDS)
+        .deferred_heap(SERVE_CANDIDATES)
+        .backend(wmsketch_serve::ServeBackend::Event)
+}
+
 /// End-to-end loopback ingest through `wmsketch-serve`: one node on an
-/// ephemeral port, UPDATE frames of [`SERVE_FRAME_EXAMPLES`] examples,
-/// model RESET between passes (mirroring `measure`'s rebuild-per-pass),
-/// with framing, syscalls, and payload decode all inside the timed
-/// region.
+/// ephemeral port, **pipelined** UPDATE frames of [`SERVE_FRAME_EXAMPLES`]
+/// examples with [`SERVE_PIPELINE_WINDOW`] in flight, model RESET between
+/// passes (mirroring `measure`'s rebuild-per-pass), with framing,
+/// syscalls, and payload decode all inside the timed region.
 ///
 /// With `registry_template = None` the frames target the node's default
-/// WM model over the legacy-compatible path; with a template snapshot
-/// the bench registers a model via OP_CREATE and drives ingest through
-/// the registry (v5's `AWM_serve_ingest` row), so the cost of the
-/// model-id indirection and registry dispatch is measured, not assumed.
+/// WM model (v6: a deferred-heap shard pool — the node's throughput
+/// configuration); with a template snapshot the bench registers a model
+/// via OP_CREATE and drives ingest through the registry (v5's
+/// `AWM_serve_ingest` row), so the cost of the model-id indirection and
+/// registry dispatch is measured, not assumed.
 fn measure_serve_ingest(
     name: &str,
     wm_cfg: WmSketchConfig,
-    registry_template: Option<&[u8]>,
+    registry_template: Option<(&[u8], usize)>,
     data: &[(SparseVector, Label)],
 ) -> Measurement {
-    use wmsketch_serve::{ServeClient, ServeConfig, WmServer};
-    let server = WmServer::bind("127.0.0.1:0", ServeConfig::new(wm_cfg, SERVE_SHARDS))
+    use wmsketch_serve::{ServeClient, WmServer};
+    let server = WmServer::bind("127.0.0.1:0", serve_node_config(wm_cfg))
         .expect("bind loopback server")
         .spawn();
     let mut client = ServeClient::connect(server.addr()).expect("connect loopback server");
-    if let Some(template) = registry_template {
+    let mut row_shards = SERVE_SHARDS;
+    if let Some((template, shards)) = registry_template {
         let id = client
-            .create_model("bench", template, SERVE_SHARDS as u32)
+            .create_model("bench", template, shards as u32)
             .expect("create registry model");
         client.set_model(id).expect("address registry model");
+        row_shards = shards;
     }
     let pass = |client: &mut ServeClient| {
         client.reset().expect("reset serve node");
-        for chunk in data.chunks(SERVE_FRAME_EXAMPLES) {
-            client.update_batch(chunk).expect("serve ingest");
-        }
+        client
+            .update_many(data, SERVE_FRAME_EXAMPLES, SERVE_PIPELINE_WINDOW)
+            .expect("serve ingest");
     };
     for _ in 0..WARMUP_PASSES {
         pass(&mut client);
@@ -197,9 +227,9 @@ fn measure_serve_ingest(
     while elapsed < MEASURE_SECS {
         client.reset().expect("reset serve node");
         let start = Instant::now();
-        for chunk in data.chunks(SERVE_FRAME_EXAMPLES) {
-            client.update_batch(chunk).expect("serve ingest");
-        }
+        client
+            .update_many(data, SERVE_FRAME_EXAMPLES, SERVE_PIPELINE_WINDOW)
+            .expect("serve ingest");
         let t = start.elapsed().as_secs_f64();
         elapsed += t;
         best = best.min(t);
@@ -210,7 +240,65 @@ fn measure_serve_ingest(
     let ns_per_update = best * 1e9 / data.len() as f64;
     Measurement {
         name: name.to_string(),
+        shards: row_shards,
+        connections: None,
+        ns_per_update,
+        updates_per_sec: 1e9 / ns_per_update,
+        updates_timed: timed,
+    }
+}
+
+/// Many-clients/one-server saturation: [`SATURATION_CONNECTIONS`]
+/// concurrent connections each pipeline the full stream into the node's
+/// default model, and the row reports **aggregate** updates/sec — the
+/// event backend's cross-connection coalescing (one learner-lock
+/// acquisition per queued run of frames) is exactly what this row
+/// exercises. `ns_per_update` is wall time per aggregate update.
+fn measure_serve_saturation(
+    name: &str,
+    wm_cfg: WmSketchConfig,
+    data: &[(SparseVector, Label)],
+) -> Measurement {
+    use wmsketch_serve::{ServeClient, WmServer};
+    let server = WmServer::bind("127.0.0.1:0", serve_node_config(wm_cfg))
+        .expect("bind loopback server")
+        .spawn();
+    let mut clients: Vec<ServeClient> = (0..SATURATION_CONNECTIONS)
+        .map(|_| ServeClient::connect(server.addr()).expect("connect saturation client"))
+        .collect();
+    let mut control = ServeClient::connect(server.addr()).expect("connect control client");
+    let aggregate = (data.len() * SATURATION_CONNECTIONS) as u64;
+    let mut pass = |clients: &mut Vec<ServeClient>| {
+        control.reset().expect("reset serve node");
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for c in clients.iter_mut() {
+                s.spawn(move || {
+                    c.update_many(data, SERVE_FRAME_EXAMPLES, SERVE_PIPELINE_WINDOW)
+                        .expect("saturation ingest");
+                });
+            }
+        });
+        start.elapsed().as_secs_f64()
+    };
+    for _ in 0..WARMUP_PASSES {
+        let _ = pass(&mut clients);
+    }
+    let mut timed = 0u64;
+    let mut elapsed = 0.0f64;
+    let mut best = f64::INFINITY;
+    while elapsed < MEASURE_SECS {
+        let t = pass(&mut clients);
+        elapsed += t;
+        best = best.min(t);
+        timed += aggregate;
+    }
+    server.shutdown();
+    let ns_per_update = best * 1e9 / aggregate as f64;
+    Measurement {
+        name: name.to_string(),
         shards: SERVE_SHARDS,
+        connections: Some(SATURATION_CONNECTIONS),
         ns_per_update,
         updates_per_sec: 1e9 / ns_per_update,
         updates_timed: timed,
@@ -367,21 +455,30 @@ fn main() {
             m.sync();
         },
     ));
+    // v6: the serve node's default WM model runs the deferred-heap
+    // 2-shard pipeline on the event backend, and the client pipelines
+    // its frames — the served path now rides the workspace's fastest
+    // learner instead of paying the wire on top of the slowest one.
     results.push(measure_serve_ingest("serve_ingest", wm_cfg, None, &data));
     // v5: the same loopback ingest through the model registry — an AWM
     // model created via OP_CREATE and addressed with v2 (model-id)
     // frames — so the registry indirection cost shows up as a measured
-    // row next to the default-model path.
+    // row next to the default-model path. (AWM cannot run heap-free, so
+    // this row stays a 1-shard worker-heap pool.)
     {
         use wmsketch_core::SnapshotCodec;
         let template = AwmSketch::new(awm_cfg).to_snapshot_bytes();
         results.push(measure_serve_ingest(
             "AWM_serve_ingest",
             wm_cfg,
-            Some(&template),
+            Some((&template, 1)),
             &data,
         ));
     }
+    // v6: many clients, one node — aggregate throughput with
+    // SATURATION_CONNECTIONS pipelined connections coalescing into the
+    // default model.
+    results.push(measure_serve_saturation("serve_saturation", wm_cfg, &data));
 
     let get = |name: &str| {
         results
@@ -397,9 +494,13 @@ fn main() {
     let wm_simd_speedup = get("WM_fused") / get("WM_simd");
     let awm_simd_speedup = get("AWM_fused") / get("AWM_simd");
     let awm_sharded_speedup = get("AWM_fused") / get("AWM_sharded_4");
-    // Transport overhead of the serve path, as a fraction of the same
-    // pipeline called in-process (< 1.0 means the wire costs something).
+    // The served WM path vs the in-process fused pipeline. v6 serves the
+    // deferred-heap shard pool over the pipelined event backend, so this
+    // is ≥ 1.0 when the served fast path beats in-process fused updates
+    // despite paying framing, syscalls, and decode on the wire.
     let serve_over_fused = get("WM_fused") / get("serve_ingest");
+    // Aggregate saturation throughput vs fused, same normalization.
+    let saturation_over_fused = get("WM_fused") / get("serve_saturation");
     // Registry-path overhead for an AWM model (wire + model-id dispatch
     // vs the in-process fused AWM pipeline).
     let awm_serve_over_fused = get("AWM_fused") / get("AWM_serve_ingest");
@@ -413,7 +514,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"wmsketch-update-throughput/v5\",\n");
+    json.push_str("  \"schema\": \"wmsketch-update-throughput/v6\",\n");
     json.push_str("  \"config\": {\n");
     json.push_str(&format!("    \"budget_bytes\": {BUDGET},\n"));
     // v4: record the host's relevant CPU features and the backend each
@@ -446,7 +547,7 @@ fn main() {
         SHARD_COUNTS.map(|s| s.to_string()).join(", ")
     ));
     json.push_str(&format!(
-        "    \"serve\": {{\"shards\": {SERVE_SHARDS}, \"frame_examples\": {SERVE_FRAME_EXAMPLES}, \"transport\": \"tcp-loopback\", \"registry_variant\": \"AWM_serve_ingest\"}}\n"
+        "    \"serve\": {{\"shards\": {SERVE_SHARDS}, \"wm_mode\": \"deferred_heap\", \"candidates_per_shard\": {SERVE_CANDIDATES}, \"backend\": \"event\", \"frame_examples\": {SERVE_FRAME_EXAMPLES}, \"pipeline_window\": {SERVE_PIPELINE_WINDOW}, \"saturation_connections\": {SATURATION_CONNECTIONS}, \"transport\": \"tcp-loopback\", \"registry_variant\": \"AWM_serve_ingest\"}}\n"
     ));
     json.push_str("  },\n");
     json.push_str("  \"results\": [\n");
@@ -455,8 +556,13 @@ fn main() {
         // v3: every row carries host_cpus so cross-host result files can
         // be compared label-by-label (thread-pool and loopback numbers
         // are meaningless without the core count they ran on).
+        // v6: saturation rows additionally carry their concurrent
+        // connection count (aggregate rows are meaningless without it).
+        let connections = m
+            .connections
+            .map_or(String::new(), |n| format!("\"connections\": {n}, "));
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"shards\": {}, \"host_cpus\": {host_cpus}, \"ns_per_update\": {:.1}, \"updates_per_sec\": {:.0}, \"updates_timed\": {}}}{comma}\n",
+            "    {{\"name\": \"{}\", \"shards\": {}, {connections}\"host_cpus\": {host_cpus}, \"ns_per_update\": {:.1}, \"updates_per_sec\": {:.0}, \"updates_timed\": {}}}{comma}\n",
             m.name, m.shards, m.ns_per_update, m.updates_per_sec, m.updates_timed
         ));
     }
@@ -483,6 +589,9 @@ fn main() {
         "    \"serve_ingest_over_fused\": {serve_over_fused:.2},\n"
     ));
     json.push_str(&format!(
+        "    \"serve_saturation_over_fused\": {saturation_over_fused:.2},\n"
+    ));
+    json.push_str(&format!(
         "    \"awm_serve_ingest_over_fused\": {awm_serve_over_fused:.2}\n"
     ));
     json.push_str("  }\n");
@@ -506,6 +615,9 @@ fn main() {
     }
     eprintln!("AWM sharded x4 over fused: {awm_sharded_speedup:.2}x");
     eprintln!("serve ingest over fused (loopback, {host_cpus} cpu): {serve_over_fused:.2}x");
+    eprintln!(
+        "serve saturation over fused ({SATURATION_CONNECTIONS} connections, aggregate): {saturation_over_fused:.2}x"
+    );
     eprintln!("AWM serve ingest over fused (registry path): {awm_serve_over_fused:.2}x");
     eprintln!("wrote {out_path}");
 }

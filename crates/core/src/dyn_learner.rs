@@ -356,6 +356,45 @@ where
     )))
 }
 
+/// Builds a **deferred-heap-maintenance** sharded WM learner from an
+/// *untrained* WM template snapshot: heap-free worker replicas (their
+/// per-update median re-estimation deferred to merge time) plus
+/// per-shard ℓ1 touch-mass candidate trackers of
+/// `sharding.candidates_per_shard` capacity — the single-node ingest
+/// throughput pipeline, exposed to the serve registry's CREATE op as a
+/// sharding mode.
+///
+/// Unlike [`build_sharded_any`] this is WM-specific by design: deferred
+/// heap maintenance relies on the WM-Sketch's heap being a passive index
+/// over sketch state (the AWM active set is integral model state and
+/// cannot run heap-free).
+///
+/// # Errors
+/// [`CodecError::WrongKind`] for non-WM templates; any decode error;
+/// [`CodecError::Invalid`] if the template has already seen examples.
+pub fn build_sharded_wm_deferred(
+    template: &[u8],
+    sharding: ShardedLearnerConfig,
+) -> Result<Box<dyn DynLearner>, CodecError> {
+    let kind = codec::peek_kind(template)?;
+    if kind != KIND_WM {
+        return Err(CodecError::WrongKind {
+            expected: KIND_WM,
+            got: kind,
+        });
+    }
+    let decoded = WmSketch::from_snapshot_bytes(template)?;
+    if OnlineLearner::examples_seen(&decoded) != 0 {
+        return Err(CodecError::Invalid(
+            "sharded model template must be untrained",
+        ));
+    }
+    Ok(Box::new(crate::sharded::sharded_wm(
+        *decoded.config(),
+        sharding,
+    )))
+}
+
 /// Expands the one registered-learner list into every artifact that must
 /// agree on it — the kind table, the `decode_any` dispatch registry, and
 /// the sharded-wrapper dispatch — so registering a new snapshot-capable
@@ -668,6 +707,58 @@ mod tests {
             assert_eq!(l.examples_seen(), 300, "{name}");
             assert!(l.estimate(10).is_finite());
         }
+    }
+
+    /// The deferred-heap builder: WM templates come up on the PR 2
+    /// throughput pipeline (heap-free workers, live candidate trackers),
+    /// non-WM kinds and trained templates are typed errors.
+    #[test]
+    fn build_sharded_wm_deferred_builds_the_throughput_pipeline() {
+        let cfg = WmSketchConfig::new(128, 2).seed(5);
+        let template = WmSketch::new(cfg).to_snapshot_bytes();
+        let sharding = ShardedLearnerConfig::new(2).candidates_per_shard(64);
+        let mut l = build_sharded_wm_deferred(&template, sharding).expect("build");
+        assert_eq!(l.kind(), KIND_WM);
+        assert_eq!(l.method_name(), "WMx2");
+        for t in 0..600 {
+            let (f, y) = if t % 2 == 0 { (3, 1) } else { (7, -1) };
+            l.update(&SparseVector::one_hot(f, 1.0), y);
+        }
+        l.finalize();
+        assert_eq!(l.examples_seen(), 600);
+        assert!(l.estimate(3) > 0.0 && l.estimate(7) < 0.0);
+        // The deferred pipeline's candidate tracking feeds the root heap.
+        let top = l.recover_top_k(2);
+        let features: Vec<u32> = top.iter().map(|e| e.feature).collect();
+        assert!(
+            features.contains(&3) && features.contains(&7),
+            "{features:?}"
+        );
+        // And it matches the typed constructor bit-for-bit.
+        let mut direct = crate::sharded::sharded_wm(cfg, sharding);
+        for t in 0..600 {
+            let (f, y) = if t % 2 == 0 { (3, 1) } else { (7, -1) };
+            OnlineLearner::update(&mut direct, &SparseVector::one_hot(f, 1.0), y);
+        }
+        direct.sync();
+        assert_eq!(
+            l.snapshot().unwrap(),
+            DynLearner::snapshot(&mut direct).unwrap()
+        );
+
+        // Non-WM templates are rejected from the kind byte.
+        let awm = AwmSketch::new(AwmSketchConfig::new(8, 64).seed(5)).to_snapshot_bytes();
+        assert!(matches!(
+            build_sharded_wm_deferred(&awm, sharding),
+            Err(CodecError::WrongKind { .. })
+        ));
+        // Trained templates are rejected.
+        let mut trained = WmSketch::new(cfg);
+        OnlineLearner::update(&mut trained, &SparseVector::one_hot(1, 1.0), 1);
+        assert!(matches!(
+            build_sharded_wm_deferred(&trained.to_snapshot_bytes(), sharding),
+            Err(CodecError::Invalid(_))
+        ));
     }
 
     #[test]

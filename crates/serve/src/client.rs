@@ -9,6 +9,7 @@
 //! backward-compatibility contract (legacy clients keep working against
 //! a registry server) stays executable in the test suite.
 
+use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 
 use wmsketch_core::WeightEntry;
@@ -22,7 +23,7 @@ use crate::protocol::{
     OP_MERGE, OP_PREDICT, OP_RESET, OP_RESTORE, OP_SHUTDOWN, OP_SNAPSHOT, OP_STATS, OP_TOPK,
     OP_UPDATE, STATUS_OK,
 };
-use crate::server::ServeStats;
+use crate::server::{ServeBackend, ServeStats, CREATE_MODE_DEFERRED_HEAP};
 
 /// One connection to a serving node.
 pub struct ServeClient {
@@ -143,6 +144,35 @@ impl ServeClient {
         Ok(Reader::new(&resp).take_u32()?)
     }
 
+    /// Like [`ServeClient::create_model`], but asks the node to host the
+    /// model in **deferred-heap** sharded mode: heap-free workers plus
+    /// per-worker candidate trackers of `candidates_per_shard` features,
+    /// with top-K recovery deferred to sync points. This is the
+    /// throughput configuration for WM models (the only kind that
+    /// supports heap-free workers; the node rejects other template
+    /// kinds).
+    ///
+    /// # Errors
+    /// Any [`ServeError`]; additionally rejected are non-WM templates
+    /// and `candidates_per_shard` above the node's cap.
+    pub fn create_model_deferred(
+        &mut self,
+        name: &str,
+        template: &[u8],
+        shards: u32,
+        candidates_per_shard: u32,
+    ) -> Result<u32, ServeError> {
+        let mut w = Writer::new();
+        w.put_u32(name.len() as u32);
+        w.put_bytes(name.as_bytes());
+        w.put_u32(shards);
+        w.put_u8(CREATE_MODE_DEFERRED_HEAP);
+        w.put_u32(candidates_per_shard);
+        w.put_bytes(template);
+        let resp = self.call_op(OP_CREATE, w)?;
+        Ok(Reader::new(&resp).take_u32()?)
+    }
+
     /// The node's model registry, one row per hosted model.
     ///
     /// # Errors
@@ -169,6 +199,64 @@ impl ServeClient {
         put_examples(&mut w, batch);
         let resp = self.call_op(OP_UPDATE, w)?;
         Ok(Reader::new(&resp).take_u64()?)
+    }
+
+    /// Ingests a long example stream as **pipelined** UPDATE frames:
+    /// `examples` is cut into frames of `frame_examples`, and up to
+    /// `window` frames are on the wire before the first response is
+    /// read. Against the event backend this keeps the node's decode,
+    /// learner, and socket work overlapped (and lets it coalesce the
+    /// frames' lock acquisitions); against the threaded backend it
+    /// degrades gracefully to streaming writes. Returns the model's
+    /// cumulative ingested-example count after each frame, in frame
+    /// order — the exact sequence [`ServeClient::update_batch`] calls
+    /// would have returned.
+    ///
+    /// # Errors
+    /// Any [`ServeError`]. After an error the connection has unread
+    /// in-flight responses and MUST be discarded, not reused.
+    pub fn update_many(
+        &mut self,
+        examples: &[(SparseVector, Label)],
+        frame_examples: usize,
+        window: usize,
+    ) -> Result<Vec<u64>, ServeError> {
+        let frame_examples = frame_examples.max(1);
+        let window = window.max(1);
+        let chunks: Vec<&[(SparseVector, Label)]> = examples.chunks(frame_examples).collect();
+        let mut counts = Vec::with_capacity(chunks.len());
+        let mut wbuf: Vec<u8> = Vec::new();
+        let mut sent = 0usize;
+        while counts.len() < chunks.len() {
+            // Top the window up, coalescing the writes into one syscall.
+            if sent < chunks.len() && sent - counts.len() < window {
+                wbuf.clear();
+                while sent < chunks.len() && sent - counts.len() < window {
+                    let mut w = Writer::new();
+                    put_examples(&mut w, chunks[sent]);
+                    let body = self.body(OP_UPDATE, w);
+                    wbuf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                    wbuf.extend_from_slice(&body);
+                    sent += 1;
+                }
+                self.stream.write_all(&wbuf)?;
+            }
+            // Retire the oldest in-flight frame.
+            let Some(resp) = read_frame(&mut self.stream)? else {
+                return Err(ServeError::Protocol("connection closed mid-pipeline"));
+            };
+            let mut r = Reader::new(&resp);
+            let status = r
+                .take_u8()
+                .map_err(|_| ServeError::Protocol("empty response"))?;
+            if status != STATUS_OK {
+                return Err(ServeError::Remote(
+                    String::from_utf8_lossy(&resp[1..]).into_owned(),
+                ));
+            }
+            counts.push(r.take_u64()?);
+        }
+        Ok(counts)
     }
 
     /// Predicts one example; returns `(margin, label)` — for a
@@ -275,12 +363,23 @@ impl ServeClient {
         for _ in 0..count {
             models.push(take_model_info(&mut r)?);
         }
+        // The v6 tail (backend byte + coalescing counters) follows the
+        // registry rows; a pre-v6 node simply ends the payload here.
+        let (backend, update_lock_acquisitions, update_frames) = if r.remaining() >= 17 {
+            let b = ServeBackend::from_wire_byte(r.take_u8()?).unwrap_or(ServeBackend::Threaded);
+            (b, r.take_u64()?, r.take_u64()?)
+        } else {
+            (ServeBackend::Threaded, 0, 0)
+        };
         Ok(ServeStats {
             routed,
             root_examples,
             shards,
             synced,
             models,
+            backend,
+            update_lock_acquisitions,
+            update_frames,
         })
     }
 

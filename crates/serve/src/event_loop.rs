@@ -1,0 +1,875 @@
+//! The readiness-driven serve backend: one nonblocking I/O loop over a
+//! raw-`epoll` [`Poller`](crate::poller::Poller), a small executor pool,
+//! and per-model work queues.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!             ┌────────────────────────────  I/O loop thread  ─┐
+//!  sockets ──▶│ epoll wait → read → FrameAssembler → classify  │
+//!             │        ▲                                 │     │
+//!             │  write responses (per-connection order)  ▼     │
+//!             └────────┼──────────────────── per-model queues ─┘
+//!                      │ completions (eventfd wake)       │
+//!             ┌────────┴───────────  executor pool  ──────▼────┐
+//!             │ pop a model's run of UPDATE jobs → one learner │
+//!             │ lock → update_batch per frame → respond        │
+//!             └─────────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Pipelining** — a connection may send frame N+1 without waiting
+//!   for frame N's response; the loop decodes ahead while executors run
+//!   the learner. Responses are written back in request order per
+//!   connection (sequence-numbered slots), so a pipelined client reads
+//!   exactly the response stream a blocking client would.
+//! * **Coalescing** — every frame is queued under its *resolved* model
+//!   id; an executor claiming a model's queue takes the entire run of
+//!   consecutive UPDATE jobs and executes them under a **single**
+//!   learner-lock acquisition (one `update_batch` call per frame, so
+//!   per-connection arrival order into `shard_for` routing — and with it
+//!   bit-identical distributed-vs-local parity — is preserved exactly;
+//!   `update_batch` chunking invariance makes the coalesced execution
+//!   bit-identical to per-frame locking). The observed coalescing factor
+//!   is visible via STATS.
+//! * **Ordering** — all ops addressing one model share that model's FIFO
+//!   queue, so `UPDATE … UPDATE, ESTIMATE` from one connection executes
+//!   in order even when pipelined. Registry-level ops (CREATE, LIST,
+//!   SHUTDOWN) and requests for unresolvable models share a misc FIFO;
+//!   an UPDATE pipelined behind the CREATE that registers its model
+//!   lands on the misc queue too (resolution fails until CREATE runs)
+//!   and therefore still executes after it.
+//! * **Backpressure** — a connection with [`MAX_PIPELINE_DEPTH`]
+//!   decoded-but-unanswered requests has its read interest dropped until
+//!   responses drain; the kernel's TCP window then pushes back on the
+//!   client. Transient accept/registration failures (fd exhaustion) back
+//!   off for [`ACCEPT_BACKOFF`] with listener interest masked, so the
+//!   level-triggered poller doesn't spin a core on a hot listener.
+//!
+//! Memory per idle connection is one `Conn` (retained assembler scratch
+//! plus bookkeeping) — no thread, no stack — which is what lets one node
+//! hold tens of thousands of connections within ordinary fd limits.
+
+#![cfg(target_os = "linux")]
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use wmsketch_hashing::codec::{Reader, Writer};
+use wmsketch_learn::{Label, SparseVector};
+
+use crate::poller::{Event, Poller, Waker, EVENT_READ, EVENT_WRITE};
+use crate::protocol::{
+    take_examples_into, take_request_head, ExamplesScratch, FrameAssembler, OP_CREATE, OP_LIST,
+    OP_SHUTDOWN, OP_UPDATE,
+};
+use crate::server::{
+    accept_loop, finalize_response, handle_request, is_shutdown_request, resolve_model, ModelEntry,
+    ServerState,
+};
+
+/// Token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// Token of the executor-completion waker.
+const TOKEN_WAKER: u64 = 1;
+/// First token handed to an accepted connection.
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Backoff after accept or poller-registration failures (EMFILE-style fd
+/// exhaustion): the same 10 ms the threaded accept loop uses, with
+/// listener interest masked so level triggering doesn't spin meanwhile.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(10);
+
+/// Most decoded-but-unanswered requests per connection before its read
+/// interest is dropped (resumed at half).
+const MAX_PIPELINE_DEPTH: usize = 128;
+
+/// Upper bound on the idle epoll wait, so the loop re-checks the
+/// shutdown flag at least this often (the event backend's analog of the
+/// threaded backend's read-timeout poll).
+const WAIT_TIMEOUT_MS: i32 = 100;
+
+/// How long the shutdown drain waits for in-flight jobs to complete and
+/// their responses to flush.
+const DRAIN_DEADLINE: Duration = Duration::from_millis(2_000);
+
+/// Which queue a job executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum WorkKey {
+    /// All ops addressing one resolved model: that model's FIFO.
+    Model(u32),
+    /// Registry-level ops and unresolvable requests.
+    Misc,
+}
+
+/// One queued request.
+struct Job {
+    /// Connection the response goes back to.
+    token: u64,
+    /// Position in that connection's request order.
+    seq: u64,
+    kind: JobKind,
+}
+
+enum JobKind {
+    /// A pre-decoded UPDATE: the hot path, eligible for coalescing.
+    Update {
+        entry: Arc<ModelEntry>,
+        examples: Vec<(SparseVector, Label)>,
+    },
+    /// Anything else (or an UPDATE that failed decode, replayed through
+    /// `handle_request` for the identical error response).
+    Other { body: Vec<u8> },
+}
+
+/// What an executor claimed from a queue in one pickup.
+enum Work {
+    /// The run of consecutive UPDATE jobs at a model queue's front —
+    /// executed under one learner-lock acquisition.
+    Updates { model: u32, jobs: Vec<Job> },
+    /// A single non-UPDATE job.
+    One { key: WorkKey, job: Job },
+}
+
+impl Work {
+    fn key(&self) -> WorkKey {
+        match self {
+            Work::Updates { model, .. } => WorkKey::Model(*model),
+            Work::One { key, .. } => *key,
+        }
+    }
+}
+
+/// An executed job's response, routed back to its connection slot.
+struct Completion {
+    token: u64,
+    seq: u64,
+    response: Vec<u8>,
+    /// The request was an honored OP_SHUTDOWN: close this connection
+    /// once the response flushes (matching the threaded backend).
+    shutdown: bool,
+}
+
+/// One model's FIFO plus its scheduling flags.
+#[derive(Default)]
+struct ModelQueue {
+    jobs: VecDeque<Job>,
+    /// An executor currently owns this queue (at most one, which is what
+    /// serializes a model's jobs).
+    in_service: bool,
+    /// The key is already on the ready list (at most one entry per key).
+    queued: bool,
+}
+
+/// All queues plus the executor stop flag, behind one mutex.
+#[derive(Default)]
+struct Queues {
+    models: HashMap<u32, ModelQueue>,
+    misc: VecDeque<Job>,
+    misc_in_service: bool,
+    misc_queued: bool,
+    /// Keys with runnable work and no executor on them.
+    ready: VecDeque<WorkKey>,
+    /// Set at drain: executors finish the backlog and exit.
+    stop: bool,
+}
+
+impl Queues {
+    fn enqueue(&mut self, key: WorkKey, job: Job) {
+        match key {
+            WorkKey::Model(id) => {
+                let mq = self.models.entry(id).or_default();
+                mq.jobs.push_back(job);
+                if !mq.in_service && !mq.queued {
+                    mq.queued = true;
+                    self.ready.push_back(key);
+                }
+            }
+            WorkKey::Misc => {
+                self.misc.push_back(job);
+                if !self.misc_in_service && !self.misc_queued {
+                    self.misc_queued = true;
+                    self.ready.push_back(key);
+                }
+            }
+        }
+    }
+
+    fn take_work(&mut self) -> Option<Work> {
+        while let Some(key) = self.ready.pop_front() {
+            match key {
+                WorkKey::Model(id) => {
+                    let mq = self.models.get_mut(&id)?;
+                    mq.queued = false;
+                    if mq.jobs.is_empty() {
+                        continue;
+                    }
+                    mq.in_service = true;
+                    if matches!(mq.jobs.front(), Some(j) if matches!(j.kind, JobKind::Update { .. }))
+                    {
+                        let mut jobs = Vec::new();
+                        while matches!(
+                            mq.jobs.front(),
+                            Some(j) if matches!(j.kind, JobKind::Update { .. })
+                        ) {
+                            jobs.push(mq.jobs.pop_front().expect("checked front"));
+                        }
+                        return Some(Work::Updates { model: id, jobs });
+                    }
+                    let job = mq.jobs.pop_front().expect("checked non-empty");
+                    return Some(Work::One { key, job });
+                }
+                WorkKey::Misc => {
+                    self.misc_queued = false;
+                    if self.misc.is_empty() {
+                        continue;
+                    }
+                    self.misc_in_service = true;
+                    let job = self.misc.pop_front().expect("checked non-empty");
+                    return Some(Work::One { key, job });
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns the queue to the scheduler after an executor finishes with
+    /// it; re-readies it if more jobs arrived meanwhile, and reclaims
+    /// empty per-model queues (bogus model ids must not accrete state).
+    fn release(&mut self, key: WorkKey) {
+        match key {
+            WorkKey::Model(id) => {
+                let requeue = {
+                    let Some(mq) = self.models.get_mut(&id) else {
+                        return;
+                    };
+                    mq.in_service = false;
+                    if mq.jobs.is_empty() {
+                        self.models.remove(&id);
+                        false
+                    } else if !mq.queued {
+                        mq.queued = true;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if requeue {
+                    self.ready.push_back(key);
+                }
+            }
+            WorkKey::Misc => {
+                self.misc_in_service = false;
+                if !self.misc.is_empty() && !self.misc_queued {
+                    self.misc_queued = true;
+                    self.ready.push_back(key);
+                }
+            }
+        }
+    }
+}
+
+/// State shared between the I/O loop and the executor pool.
+struct Shared {
+    state: Arc<ServerState>,
+    queues: Mutex<Queues>,
+    work_ready: Condvar,
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+/// One connection's loop-side state. No thread, no stack — this struct
+/// (plus kernel socket buffers) is the whole per-connection footprint.
+struct Conn {
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    /// Response slots in request order; a slot's response arrives out of
+    /// band from an executor and is written out only when it reaches the
+    /// front.
+    slots: VecDeque<Slot>,
+    next_seq: u64,
+    /// Pending response bytes (`wbuf[wpos..]` unwritten).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Read interest dropped until the pipeline drains below half depth.
+    paused: bool,
+    /// Peer sent EOF; finish pending responses, then close.
+    peer_closed: bool,
+    /// Protocol violation (oversized frame): stop reading, flush what's
+    /// owed, then close.
+    read_dead: bool,
+    /// An honored OP_SHUTDOWN response is queued for this connection.
+    close_after_flush: bool,
+    /// Currently registered interest mask (avoids redundant epoll_ctl).
+    interest: u32,
+}
+
+struct Slot {
+    seq: u64,
+    response: Option<Vec<u8>>,
+    shutdown: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            assembler: FrameAssembler::new(),
+            slots: VecDeque::new(),
+            next_seq: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            paused: false,
+            peer_closed: false,
+            read_dead: false,
+            close_after_flush: false,
+            interest: EVENT_READ,
+        }
+    }
+
+    fn reading(&self) -> bool {
+        !(self.paused || self.peer_closed || self.read_dead || self.close_after_flush)
+    }
+}
+
+/// Runs the event backend until shutdown. If the poller itself cannot be
+/// set up (no epoll fds left, exotic kernel), falls back to the threaded
+/// accept loop rather than leaving the server dead.
+pub(crate) fn run(listener: TcpListener, state: &Arc<ServerState>) {
+    match EventLoop::new(listener, Arc::clone(state)) {
+        Ok(mut ev) => ev.run(),
+        Err((listener, _err)) => {
+            let _ = listener.set_nonblocking(false);
+            accept_loop(&listener, state);
+        }
+    }
+}
+
+struct EventLoop {
+    listener: TcpListener,
+    poller: Poller,
+    shared: Arc<Shared>,
+    executors: Vec<std::thread::JoinHandle<()>>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Jobs enqueued whose completions haven't been applied yet.
+    outstanding: usize,
+    accept_backoff: Option<Instant>,
+    /// Read scratch, reused across every connection's reads.
+    rbuf: Vec<u8>,
+}
+
+impl EventLoop {
+    fn new(
+        listener: TcpListener,
+        state: Arc<ServerState>,
+    ) -> Result<Self, (TcpListener, std::io::Error)> {
+        let setup = (|| {
+            let poller = Poller::new()?;
+            let waker = Waker::new()?;
+            listener.set_nonblocking(true)?;
+            poller.add(&listener, TOKEN_LISTENER, EVENT_READ)?;
+            poller.add(&waker, TOKEN_WAKER, EVENT_READ)?;
+            Ok::<_, std::io::Error>((poller, waker))
+        })();
+        let (poller, waker) = match setup {
+            Ok(x) => x,
+            Err(e) => return Err((listener, e)),
+        };
+        let shared = Arc::new(Shared {
+            state,
+            queues: Mutex::new(Queues::default()),
+            work_ready: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            waker,
+        });
+        let executors = (0..executor_count())
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || executor_main(&shared))
+            })
+            .collect();
+        Ok(Self {
+            listener,
+            poller,
+            shared,
+            executors,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            outstanding: 0,
+            accept_backoff: None,
+            rbuf: vec![0u8; 64 * 1024],
+        })
+    }
+
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.shared.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let timeout = match self.accept_backoff {
+                Some(until) => {
+                    let left = until.saturating_duration_since(Instant::now());
+                    (left.as_millis() as i32).clamp(1, WAIT_TIMEOUT_MS)
+                }
+                None => WAIT_TIMEOUT_MS,
+            };
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // epoll_wait itself failing is unrecoverable; drain and
+                // exit rather than spinning on a broken poller.
+                break;
+            }
+            if let Some(until) = self.accept_backoff {
+                if Instant::now() >= until {
+                    self.accept_backoff = None;
+                    let _ = self
+                        .poller
+                        .modify(&self.listener, TOKEN_LISTENER, EVENT_READ);
+                    self.try_accept();
+                }
+            }
+            for ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => {
+                        if self.accept_backoff.is_none() {
+                            self.try_accept();
+                        }
+                    }
+                    TOKEN_WAKER => self.shared.waker.drain(),
+                    token => {
+                        if ev.readable() {
+                            self.handle_readable(token);
+                        } else if ev.writable() {
+                            self.finish_conn_io(token);
+                        }
+                    }
+                }
+            }
+            self.apply_completions();
+        }
+        self.drain();
+    }
+
+    /// Accepts until the backlog is empty; any failure — accept itself or
+    /// registering the new socket with the poller — enters the shared
+    /// 10 ms backoff with listener interest masked (fd exhaustion recovers
+    /// when connections close; spinning would starve that).
+    fn try_accept(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    match self.poller.add(&stream, token, EVENT_READ) {
+                        Ok(()) => {
+                            self.next_token += 1;
+                            self.conns.insert(token, Conn::new(stream));
+                        }
+                        Err(_) => {
+                            drop(stream);
+                            self.enter_accept_backoff();
+                            return;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    self.enter_accept_backoff();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn enter_accept_backoff(&mut self) {
+        self.accept_backoff = Some(Instant::now() + ACCEPT_BACKOFF);
+        let _ = self.poller.modify(&self.listener, TOKEN_LISTENER, 0);
+    }
+
+    /// Reads until the socket would block, feeding the assembler and
+    /// enqueueing every completed frame.
+    fn handle_readable(&mut self, token: u64) {
+        let mut rbuf = std::mem::take(&mut self.rbuf);
+        let mut fatal = false;
+        if let Some(conn) = self.conns.get_mut(&token) {
+            while conn.reading() {
+                match conn.stream.read(&mut rbuf) {
+                    Ok(0) => {
+                        conn.peer_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.assembler.push(&rbuf[..n]);
+                        if process_frames(conn, token, &self.shared, &mut self.outstanding).is_err()
+                        {
+                            conn.read_dead = true;
+                            break;
+                        }
+                        if n < rbuf.len() {
+                            // Short read: the kernel buffer is (almost
+                            // certainly) drained; level triggering re-arms
+                            // us if not.
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        fatal = true;
+                        break;
+                    }
+                }
+            }
+        }
+        self.rbuf = rbuf;
+        if fatal {
+            self.conns.remove(&token);
+            return;
+        }
+        self.finish_conn_io(token);
+    }
+
+    /// Moves in-order completed responses into the write buffer, flushes
+    /// what the socket will take, re-arms interest, and closes the
+    /// connection once it's finished and flushed.
+    fn finish_conn_io(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        // Promote front slots whose responses have arrived.
+        while let Some(front) = conn.slots.front_mut() {
+            let Some(resp) = front.response.take() else {
+                break;
+            };
+            if front.shutdown {
+                conn.close_after_flush = true;
+            }
+            conn.wbuf
+                .extend_from_slice(&(resp.len() as u32).to_le_bytes());
+            conn.wbuf.extend_from_slice(&resp);
+            conn.slots.pop_front();
+        }
+        if conn.paused && conn.slots.len() < MAX_PIPELINE_DEPTH / 2 {
+            conn.paused = false;
+        }
+        // Flush.
+        while conn.wpos < conn.wbuf.len() {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => {
+                    self.conns.remove(&token);
+                    return;
+                }
+                Ok(n) => conn.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.conns.remove(&token);
+                    return;
+                }
+            }
+        }
+        if conn.wpos == conn.wbuf.len() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+        }
+        // Close when nothing is owed and nothing more will be read.
+        let flushed = conn.wbuf.is_empty() && conn.slots.is_empty();
+        if flushed && (conn.peer_closed || conn.read_dead || conn.close_after_flush) {
+            self.conns.remove(&token);
+            return;
+        }
+        // Re-arm interest.
+        let mut want = 0;
+        if conn.reading() {
+            want |= EVENT_READ;
+        }
+        if conn.wpos < conn.wbuf.len() {
+            want |= EVENT_WRITE;
+        }
+        if want != conn.interest {
+            if self.poller.modify(&conn.stream, token, want).is_err() {
+                self.conns.remove(&token);
+                return;
+            }
+            conn.interest = want;
+        }
+    }
+
+    /// Applies executor completions to their connections' slots, then
+    /// pumps each touched connection's writes.
+    fn apply_completions(&mut self) {
+        let comps = std::mem::take(&mut *self.shared.completions.lock().expect("completions"));
+        if comps.is_empty() {
+            return;
+        }
+        let mut touched: Vec<u64> = Vec::with_capacity(comps.len().min(16));
+        for c in comps {
+            self.outstanding -= 1;
+            let Some(conn) = self.conns.get_mut(&c.token) else {
+                continue; // connection died while the job was in flight
+            };
+            if let Some(slot) = conn.slots.iter_mut().find(|s| s.seq == c.seq) {
+                slot.response = Some(c.response);
+                slot.shutdown = c.shutdown;
+            }
+            if touched.last() != Some(&c.token) {
+                touched.push(c.token);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for token in touched {
+            self.finish_conn_io(token);
+        }
+    }
+
+    /// Graceful drain: stop reading new requests, let executors finish
+    /// the backlog, flush every owed response, then join the pool.
+    fn drain(&mut self) {
+        {
+            let mut q = self.shared.queues.lock().expect("queues");
+            q.stop = true;
+        }
+        self.shared.work_ready.notify_all();
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        let mut events: Vec<Event> = Vec::new();
+        while self.outstanding > 0 && Instant::now() < deadline {
+            let _ = self.poller.wait(&mut events, 20);
+            for ev in &events {
+                match ev.token {
+                    TOKEN_WAKER => self.shared.waker.drain(),
+                    TOKEN_LISTENER => {}
+                    token => self.finish_conn_io(token),
+                }
+            }
+            self.apply_completions();
+        }
+        for h in self.executors.drain(..) {
+            let _ = h.join();
+        }
+        self.apply_completions();
+        // Last-gasp flush for anything still buffered.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.finish_conn_io(token);
+        }
+    }
+}
+
+/// Pulls every completed frame out of a connection's assembler,
+/// classifies it, and enqueues the job. `Err` means a protocol
+/// violation (oversized frame): the stream is beyond recovery.
+fn process_frames(
+    conn: &mut Conn,
+    token: u64,
+    shared: &Shared,
+    outstanding: &mut usize,
+) -> Result<(), ()> {
+    loop {
+        match conn.assembler.next_frame() {
+            Ok(Some(body)) => {
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                conn.slots.push_back(Slot {
+                    seq,
+                    response: None,
+                    shutdown: false,
+                });
+                let (key, job) = classify(shared, body, token, seq);
+                {
+                    let mut q = shared.queues.lock().expect("queues");
+                    q.enqueue(key, job);
+                }
+                shared.work_ready.notify_one();
+                *outstanding += 1;
+                if conn.slots.len() >= MAX_PIPELINE_DEPTH {
+                    conn.paused = true;
+                    return Ok(());
+                }
+            }
+            Ok(None) => return Ok(()),
+            Err(_) => return Err(()),
+        }
+    }
+}
+
+/// Routes one request body to its queue. UPDATE frames for resolvable
+/// models are decoded here (off the executor's critical path); all other
+/// model-addressed ops ride the same model queue as opaque bodies so
+/// per-model order is preserved. Registry ops and unresolvable requests
+/// go to the misc queue.
+fn classify(shared: &Shared, body: Vec<u8>, token: u64, seq: u64) -> (WorkKey, Job) {
+    let other = |body: Vec<u8>| JobKind::Other { body };
+    let head = match take_request_head(&mut Reader::new(&body)) {
+        Ok(h) => h,
+        Err(_) => {
+            return (
+                WorkKey::Misc,
+                Job {
+                    token,
+                    seq,
+                    kind: other(body),
+                },
+            )
+        }
+    };
+    if matches!(head.op, OP_CREATE | OP_LIST | OP_SHUTDOWN) {
+        return (
+            WorkKey::Misc,
+            Job {
+                token,
+                seq,
+                kind: other(body),
+            },
+        );
+    }
+    let Ok(entry) = resolve_model(&shared.state, head.model) else {
+        return (
+            WorkKey::Misc,
+            Job {
+                token,
+                seq,
+                kind: other(body),
+            },
+        );
+    };
+    let key = WorkKey::Model(entry.id);
+    if head.op == OP_UPDATE {
+        let mut r = Reader::new(&body);
+        let _ = take_request_head(&mut r);
+        let mut scratch = ExamplesScratch::new();
+        let decoded =
+            take_examples_into(&mut r, &mut scratch, entry.label_domain).and_then(|()| r.finish());
+        if decoded.is_ok() {
+            return (
+                key,
+                Job {
+                    token,
+                    seq,
+                    kind: JobKind::Update {
+                        entry,
+                        examples: scratch.into_examples(),
+                    },
+                },
+            );
+        }
+        // Malformed UPDATE: replay through handle_request on the same
+        // queue for the identical error response, in order.
+    }
+    (
+        key,
+        Job {
+            token,
+            seq,
+            kind: other(body),
+        },
+    )
+}
+
+/// Executor thread: claim work, run it, publish completions, wake the
+/// loop. Exits when the stop flag is set *and* the backlog is empty.
+fn executor_main(shared: &Shared) {
+    let mut scratch = ExamplesScratch::new();
+    loop {
+        let work = {
+            let mut q = shared.queues.lock().expect("queues");
+            loop {
+                if let Some(w) = q.take_work() {
+                    break w;
+                }
+                if q.stop {
+                    return;
+                }
+                q = shared.work_ready.wait(q).expect("queues");
+            }
+        };
+        let key = work.key();
+        let comps = execute_work(shared, work, &mut scratch);
+        {
+            let mut out = shared.completions.lock().expect("completions");
+            out.extend(comps);
+        }
+        shared.waker.wake();
+        {
+            let mut q = shared.queues.lock().expect("queues");
+            q.release(key);
+        }
+        shared.work_ready.notify_one();
+    }
+}
+
+/// Runs one claimed unit of work, producing a completion per job.
+fn execute_work(shared: &Shared, work: Work, scratch: &mut ExamplesScratch) -> Vec<Completion> {
+    match work {
+        Work::Updates { jobs, .. } => {
+            let entry = match &jobs[0].kind {
+                JobKind::Update { entry, .. } => Arc::clone(entry),
+                JobKind::Other { .. } => unreachable!("Updates run holds only Update jobs"),
+            };
+            let mut comps = Vec::with_capacity(jobs.len());
+            let frames = jobs.len() as u64;
+            // THE coalescing point: one lock acquisition covers the whole
+            // run, but each frame stays its own update_batch call so
+            // arrival order into shard routing is untouched.
+            let mut learner = entry.learner.lock().expect("learner mutex");
+            for job in jobs {
+                let JobKind::Update { examples, .. } = job.kind else {
+                    unreachable!("Updates run holds only Update jobs");
+                };
+                learner.update_batch(&examples);
+                let mut w = Writer::new();
+                w.put_u64(learner.examples_seen());
+                comps.push(Completion {
+                    token: job.token,
+                    seq: job.seq,
+                    response: finalize_response(Ok(w.into_bytes())),
+                    shutdown: false,
+                });
+            }
+            drop(learner);
+            shared
+                .state
+                .update_lock_acquisitions
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .state
+                .update_frames
+                .fetch_add(frames, Ordering::Relaxed);
+            comps
+        }
+        Work::One { job, .. } => {
+            let JobKind::Other { body } = job.kind else {
+                unreachable!("One holds an Other job");
+            };
+            let result = handle_request(&body, &shared.state, scratch);
+            let shutdown = result.is_ok() && is_shutdown_request(&body);
+            vec![Completion {
+                token: job.token,
+                seq: job.seq,
+                response: finalize_response(result),
+                shutdown,
+            }]
+        }
+    }
+}
+
+/// Executor-pool size: `WMSKETCH_SERVE_EXECUTORS` override, else the
+/// host's parallelism capped at 4 (learner work is lock-serialized per
+/// model; a huge pool only adds contention).
+fn executor_count() -> usize {
+    if let Some(n) = std::env::var("WMSKETCH_SERVE_EXECUTORS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.clamp(1, 64);
+    }
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .clamp(1, 4)
+}

@@ -12,14 +12,15 @@
 //! same routing. This crate externalizes that: a versioned binary
 //! snapshot format plus a TCP service speaking it.
 //!
-//! * [`WmServer`] / [`ServerHandle`] — a [`std::net::TcpListener`] accept
-//!   loop, one worker thread per connection, all feeding a **model
-//!   registry**: named [`wmsketch_core::DynLearner`] models (WM, AWM,
-//!   multiclass AWM — anything in
-//!   [`wmsketch_core::REGISTERED_LEARNER_KINDS`]), each optionally
-//!   behind its own [`wmsketch_core::ShardedLearner`] pool and its own
-//!   mutex; graceful drain on shutdown.
-//! * [`ServeClient`] — a small blocking client used by the tests, the
+//! * [`WmServer`] / [`ServerHandle`] — a TCP node with two transport
+//!   [backends](#backends) (a threaded accept loop and a
+//!   readiness-driven event loop), both feeding a **model registry**:
+//!   named [`wmsketch_core::DynLearner`] models (WM, AWM, multiclass
+//!   AWM — anything in [`wmsketch_core::REGISTERED_LEARNER_KINDS`]),
+//!   each optionally behind its own [`wmsketch_core::ShardedLearner`]
+//!   pool and its own mutex; graceful drain on shutdown.
+//! * [`ServeClient`] — a small blocking client (with a pipelined ingest
+//!   path, [`ServeClient::update_many`]) used by the tests, the
 //!   benchmark harness, and the `serve_quickstart` / `serve_multimodel`
 //!   examples.
 //! * The snapshot codec itself lives with the types it serializes
@@ -111,6 +112,26 @@
 //! default model, which [`WmServer::bind`] builds from its [`ServeConfig`]
 //! (registry id 0, name `"default"`, kind `03` WM).
 //!
+//! **Pipelining.** A connection may write request frame N+1 without
+//! waiting for frame N's response — both backends accept it (the event
+//! backend additionally overlaps decode and learner execution across
+//! the pipeline). The server guarantees **per-connection response
+//! ordering**: responses come back in exactly the order the requests
+//! were framed, one response per request, so a pipelined reader pairs
+//! them by position — there are no response tags. Ops addressing the
+//! same model additionally *execute* in their per-connection send order
+//! (a pipelined ESTIMATE never observes the model from before an UPDATE
+//! framed ahead of it). Ops addressing *different* models, or a model op
+//! pipelined against a registry op, may execute out of order relative to
+//! each other on the event backend — only their responses are reordered
+//! back; the one cross-queue guarantee is that a request addressing a
+//! model by *name-derived id* pipelined behind the CREATE that registers
+//! it executes after that CREATE. A client that never pipelines (at most
+//! one request in flight) is unaffected by all of this. After a frame
+//! whose response is an `ERR` the connection stays usable; after a
+//! *framing* violation (oversized length prefix) the server finishes the
+//! responses it owes and closes.
+//!
 //! Shared payload encodings:
 //!
 //! ```text
@@ -143,10 +164,10 @@
 //! | `06` | CHECKPOINT | path | bytes written (u64) |
 //! | `07` | RESTORE | path | model clock (u64) |
 //! | `08` | ESTIMATE | feature (u32) | weight (f64) |
-//! | `09` | STATS | — | routed (u64) \| clock (u64) \| shards (u32) \| synced (u8) \| count (u32) \| count × model |
+//! | `09` | STATS | — | routed (u64) \| clock (u64) \| shards (u32) \| synced (u8) \| count (u32) \| count × model \| backend (u8) \| lock acquisitions (u64) \| update frames (u64) |
 //! | `0A` | RESET | — | — |
 //! | `0B` | SHUTDOWN | — | — (server drains afterwards; registry-level) |
-//! | `0C` | CREATE | name_len (u32) \| name \| shards (u32) \| template snapshot | model id (u32) (registry-level) |
+//! | `0C` | CREATE | name_len (u32) \| name \| shards (u32) \| \[mode] \| template snapshot | model id (u32) (registry-level) |
 //! | `0D` | LIST | — | count (u32) \| count × model (registry-level) |
 //!
 //! CREATE registers a named model from an **untrained** template
@@ -161,6 +182,34 @@
 //! the addressed model, and a mismatch or merge-incompatible peer is a
 //! typed error.
 //!
+//! CREATE's optional **mode block** sits between `shards` and the
+//! template and selects the shard pool's worker pipeline, disambiguated
+//! by its first byte:
+//!
+//! ```text
+//! 00                            worker-heaps mode (the default)
+//! 01 | candidates_per_shard (u32)   deferred-heap mode: heap-free WM
+//!                               workers + per-worker candidate
+//!                               trackers, top-K recovery deferred to
+//!                               sync points — the single-node ingest
+//!                               throughput pipeline. WM templates only;
+//!                               candidates_per_shard is capped by
+//!                               MAX_DEFERRED_CANDIDATES.
+//! anything else                 no mode block: the template starts here
+//!                               (its WMS1 magic begins 0x57 'W', which
+//!                               collides with neither tag), parsed as a
+//!                               pre-v6 worker-heaps payload.
+//! ```
+//!
+//! STATS' three-field tail follows the registry rows (a pre-v6 client
+//! reading only through the rows is unaffected): the node's `backend`
+//! byte (`00` threaded, `01` event), then two node-wide counters —
+//! learner-lock acquisitions that served UPDATE frames, and UPDATE
+//! frames executed. On the threaded backend they are equal; on the event
+//! backend frames-per-acquisition is the observed **batching /
+//! coalescing factor**, which is how the event loop's cross-connection
+//! UPDATE coalescing is made visible on the wire.
+//!
 //! Query ops (PREDICT/ESTIMATE/TOPK/SNAPSHOT/CHECKPOINT) sync the
 //! addressed model's shard pool first, so responses always reflect every
 //! ingested example. MERGE folds the peer model into the model's *sync
@@ -168,6 +217,34 @@
 //! STATS tail and LIST report the registry — per-model kind, shard
 //! count, update clock, and memory — so operators can see what a node is
 //! hosting.
+//!
+//! ## Backends
+//!
+//! Both backends speak the identical wire protocol and produce
+//! bit-identical model state for the same per-connection frame
+//! sequences; which one runs is an operational choice:
+//!
+//! * **Threaded** ([`ServeBackend::Threaded`]) — blocking accept loop,
+//!   one thread per connection. Simple, portable, and the default off
+//!   Linux.
+//! * **Event** ([`ServeBackend::Event`]) — a readiness-driven
+//!   nonblocking loop over raw `epoll` (Linux only, where it is the
+//!   default): per-connection incremental frame reassembly, request
+//!   pipelining, and per-model work queues that coalesce consecutive
+//!   UPDATE frames — from any mix of connections — into a single
+//!   learner-lock acquisition (each frame stays its own `update_batch`
+//!   call, so per-connection arrival order into shard routing, and with
+//!   it distributed-vs-local merge parity, is untouched). Connections
+//!   cost no thread, so one node holds many thousands; a connection with
+//!   128 unanswered requests stops being read until it drains, and
+//!   accept/registration failures (fd exhaustion) back off for 10 ms
+//!   instead of spinning.
+//!
+//! Selection order: an explicit [`ServeConfig::backend`] override, else
+//! the `WMSKETCH_SERVE_BACKEND` environment variable (`threaded` |
+//! `event`), else the platform default. An `Event` selection is clamped
+//! to `Threaded` off Linux, and an event node whose poller cannot be set
+//! up falls back to the threaded loop rather than failing to serve.
 //!
 //! ## Trust model
 //!
@@ -182,10 +259,17 @@
 
 pub mod client;
 pub mod error;
+#[cfg(target_os = "linux")]
+mod event_loop;
+#[cfg(target_os = "linux")]
+mod poller;
 pub mod protocol;
 pub mod server;
 
 pub use client::ServeClient;
 pub use error::ServeError;
 pub use protocol::ModelInfo;
-pub use server::{ServeConfig, ServeStats, ServerHandle, WmServer};
+pub use server::{
+    ServeBackend, ServeConfig, ServeStats, ServerHandle, WmServer, CREATE_MODE_DEFERRED_HEAP,
+    CREATE_MODE_WORKER_HEAPS, MAX_DEFERRED_CANDIDATES,
+};

@@ -193,6 +193,79 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ServeError> {
     Ok(Some(body))
 }
 
+/// Incremental frame reassembly for nonblocking reads: the event
+/// backend's replacement for the blocking [`read_frame`].
+///
+/// Bytes arrive in whatever chunks the kernel delivers them
+/// ([`FrameAssembler::push`]); [`FrameAssembler::next_frame`] yields each
+/// completed `len | body` frame exactly as [`read_frame`] would have —
+/// the equivalence is pinned by a property test against byte-at-a-time,
+/// boundary-split, and coalesced delivery.
+///
+/// The buffer is retained per connection: steady-state reassembly of
+/// same-shaped frames compacts in place instead of reallocating. Frames
+/// are validated against [`MAX_FRAME_LEN`] as soon as their length
+/// prefix is visible, so a hostile prefix is rejected before any body
+/// bytes are buffered, let alone allocated.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    /// Undecoded bytes: `buf[pos..]` is the live window, `buf[..pos]` is
+    /// already-consumed prefix reclaimed by compaction.
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler; the buffer grows on first use and is retained.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly read bytes, compacting the consumed prefix away
+    /// first so the buffer's footprint tracks the unconsumed backlog,
+    /// not the connection's lifetime byte count.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete frame body, or `None` if more bytes
+    /// are needed.
+    ///
+    /// # Errors
+    /// [`ServeError::Protocol`] once a length prefix exceeds
+    /// [`MAX_FRAME_LEN`] — the stream is unrecoverable past that point
+    /// and the connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ServeError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        if len > MAX_FRAME_LEN {
+            return Err(ServeError::Protocol("frame length exceeds MAX_FRAME_LEN"));
+        }
+        let len = len as usize;
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = avail[4..4 + len].to_vec();
+        self.pos += 4 + len;
+        Ok(Some(body))
+    }
+
+    /// Whether a frame is mid-assembly (a partial header or body is
+    /// buffered). A connection closing with this true died mid-frame.
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        self.buf.len() > self.pos
+    }
+}
+
 /// Encodes one feature vector: `nnz (u32) | nnz × (index u32, value f64)`.
 pub fn put_features(w: &mut Writer, x: &SparseVector) {
     w.put_u32(x.nnz() as u32);
@@ -412,6 +485,37 @@ mod tests {
             read_frame(&mut cursor),
             Err(ServeError::Protocol(_))
         ));
+    }
+
+    /// Smoke test of the incremental assembler; the delivery-pattern
+    /// equivalence with [`read_frame`] is property-tested in
+    /// `tests/frame_reassembly.rs`.
+    #[test]
+    fn assembler_reassembles_split_and_coalesced_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &[7u8; 300]).unwrap();
+
+        let mut asm = FrameAssembler::new();
+        assert!(asm.next_frame().unwrap().is_none());
+        // First two frames plus a torn third header in one push.
+        asm.push(&wire[..9 + 4 + 2]);
+        assert_eq!(asm.next_frame().unwrap().unwrap(), b"hello");
+        assert_eq!(asm.next_frame().unwrap().unwrap(), b"");
+        assert!(asm.next_frame().unwrap().is_none());
+        assert!(asm.mid_frame());
+        // Remainder byte-at-a-time; the frame completes on the last byte.
+        for &b in &wire[9 + 4 + 2..] {
+            asm.push(&[b]);
+        }
+        assert_eq!(asm.next_frame().unwrap().unwrap(), vec![7u8; 300]);
+        assert!(!asm.mid_frame());
+
+        // An oversized length prefix is rejected from the prefix alone.
+        let mut asm = FrameAssembler::new();
+        asm.push(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert!(matches!(asm.next_frame(), Err(ServeError::Protocol(_))));
     }
 
     #[test]

@@ -1,19 +1,30 @@
-//! The ingest/query server: a [`std::net::TcpListener`] accept loop with
-//! one worker thread per connection, all feeding a **model registry** —
-//! named [`wmsketch_learn::DynLearner`] models (WM, AWM, multiclass,
-//! each optionally behind a shard pool), every model behind its own
-//! mutex so traffic to different models never serializes.
+//! The ingest/query server: a [`std::net::TcpListener`] feeding a
+//! **model registry** — named [`wmsketch_learn::DynLearner`] models (WM,
+//! AWM, multiclass, each optionally behind a shard pool), every model
+//! behind its own mutex so traffic to different models never serializes.
+//!
+//! Two interchangeable transport backends speak the same wire protocol
+//! (selected by [`ServeBackend`]):
+//!
+//! * **Threaded** — the classic blocking accept loop, one worker thread
+//!   per connection, strict request/response per connection.
+//! * **Event** (Linux, the default there) — a readiness-driven
+//!   nonblocking loop (`crate::event_loop`) over a raw-`epoll` poller:
+//!   incremental frame reassembly, request pipelining with per-connection
+//!   response ordering, and per-model queues that coalesce UPDATE frames
+//!   from many connections into single `update_batch` calls under one
+//!   lock acquisition.
 
 use std::collections::HashMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 use wmsketch_core::{
-    build_sharded_any, sharded_wm, DynLearner, LabelDomain, ShardedLearner, ShardedLearnerConfig,
-    WmSketch, WmSketchConfig,
+    build_sharded_any, build_sharded_wm_deferred, sharded_wm, DynLearner, LabelDomain,
+    ShardedLearner, ShardedLearnerConfig, WmSketch, WmSketchConfig,
 };
 use wmsketch_hashing::codec::{self, Reader, Writer, KIND_WM};
 
@@ -43,6 +54,85 @@ const MAX_MODEL_SHARDS: u32 = 256;
 /// ride the protocol's `i8` slot, so class indices must fit `0..=127`.
 const MAX_WIRE_CLASSES: u32 = 128;
 
+/// Largest per-shard candidate-tracker capacity CREATE accepts for
+/// deferred-heap mode — bounds the tracker's high-water memory per shard.
+pub const MAX_DEFERRED_CANDIDATES: u32 = 8192;
+
+/// CREATE sharding-mode byte: worker replicas carry their own top-K
+/// heaps (the cross-node-parity configuration; the pre-v6 implicit
+/// default).
+pub const CREATE_MODE_WORKER_HEAPS: u8 = 0x00;
+/// CREATE sharding-mode byte: deferred heap maintenance — heap-free
+/// workers plus per-shard ℓ1 touch-mass candidate trackers (the PR 2
+/// single-node throughput pipeline; WM templates only). Followed by
+/// `candidates_per_shard (u32)`.
+pub const CREATE_MODE_DEFERRED_HEAP: u8 = 0x01;
+
+/// Which transport backend a server runs; both speak the identical wire
+/// protocol and produce bit-identical model state for the same
+/// per-connection frame sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeBackend {
+    /// Blocking accept loop, one thread per connection.
+    Threaded,
+    /// Readiness-driven nonblocking event loop (raw `epoll`; Linux only,
+    /// where it is the default). Adds request pipelining and cross-
+    /// connection UPDATE coalescing.
+    Event,
+}
+
+impl ServeBackend {
+    /// The `WMSKETCH_SERVE_BACKEND` env selection (`threaded` | `event`),
+    /// if present and well-formed.
+    fn from_env() -> Option<Self> {
+        match std::env::var("WMSKETCH_SERVE_BACKEND")
+            .ok()?
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "threaded" | "thread" | "blocking" => Some(Self::Threaded),
+            "event" | "epoll" => Some(Self::Event),
+            _ => None,
+        }
+    }
+
+    /// Resolution order: explicit [`ServeConfig::backend`] override, then
+    /// the env var, then the platform default (event on Linux, threaded
+    /// elsewhere). Off-Linux the event backend doesn't exist, so the
+    /// result is clamped to threaded.
+    fn resolve(explicit: Option<Self>) -> Self {
+        let picked = explicit
+            .or_else(Self::from_env)
+            .unwrap_or(if cfg!(target_os = "linux") {
+                Self::Event
+            } else {
+                Self::Threaded
+            });
+        if cfg!(target_os = "linux") {
+            picked
+        } else {
+            Self::Threaded
+        }
+    }
+
+    /// The STATS wire byte for this backend.
+    pub(crate) fn wire_byte(self) -> u8 {
+        match self {
+            Self::Threaded => 0,
+            Self::Event => 1,
+        }
+    }
+
+    /// Decodes a STATS wire byte.
+    pub(crate) fn from_wire_byte(b: u8) -> Result<Self, ServeError> {
+        match b {
+            0 => Ok(Self::Threaded),
+            1 => Ok(Self::Event),
+            _ => Err(ServeError::Protocol("unknown backend byte in STATS")),
+        }
+    }
+}
+
 /// Configuration of one serving node — specifically of its **default
 /// model** (id 0, the model legacy headerless frames address). Further
 /// models of any registered kind are added at runtime via OP_CREATE.
@@ -62,6 +152,9 @@ pub struct ServeConfig {
     /// touch-mass trackers) when single-node ingest throughput matters
     /// more than cross-node heap parity.
     pub worker_heaps: bool,
+    /// Transport backend override; `None` (the default) defers to the
+    /// `WMSKETCH_SERVE_BACKEND` env var and then the platform default.
+    pub backend: Option<ServeBackend>,
 }
 
 impl ServeConfig {
@@ -76,6 +169,7 @@ impl ServeConfig {
             wm,
             sharding: ShardedLearnerConfig::new(shards).candidates_per_shard(0),
             worker_heaps: true,
+            backend: None,
         }
     }
 
@@ -85,6 +179,14 @@ impl ServeConfig {
     pub fn deferred_heap(mut self, candidates_per_shard: usize) -> Self {
         self.worker_heaps = false;
         self.sharding = self.sharding.candidates_per_shard(candidates_per_shard);
+        self
+    }
+
+    /// Forces a transport backend instead of the env/platform selection
+    /// (an `Event` request is still clamped to `Threaded` off-Linux).
+    #[must_use]
+    pub fn backend(mut self, backend: ServeBackend) -> Self {
+        self.backend = Some(backend);
         self
     }
 
@@ -120,6 +222,33 @@ pub struct ServeStats {
     /// The whole registry, one row per hosted model (kind, shards,
     /// update clock, memory) — what this node is hosting, at a glance.
     pub models: Vec<ModelInfo>,
+    /// Which transport backend the node is running.
+    pub backend: ServeBackend,
+    /// Learner-lock acquisitions that served UPDATE frames, node-wide.
+    /// On the threaded backend this equals [`ServeStats::update_frames`];
+    /// on the event backend consecutive queued UPDATE frames for one
+    /// model execute under a single acquisition, so this lags it —
+    /// `update_frames / update_lock_acquisitions` is the observed
+    /// coalescing factor.
+    pub update_lock_acquisitions: u64,
+    /// UPDATE frames executed node-wide (frames rejected at decode are
+    /// not counted).
+    pub update_frames: u64,
+}
+
+/// How to rebuild a shard pool from a CREATE-supplied template — which
+/// worker pipeline the pool runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShardMode {
+    /// Heap-carrying workers, candidate tracking off (cross-node heap
+    /// parity; the default).
+    WorkerHeaps,
+    /// Deferred heap maintenance: heap-free workers plus per-shard ℓ1
+    /// touch-mass trackers of this capacity (WM only).
+    DeferredHeap {
+        /// Per-shard candidate-tracker capacity.
+        candidates_per_shard: u32,
+    },
 }
 
 /// How to rebuild a model from scratch — kept beside the live learner so
@@ -128,32 +257,50 @@ enum ModelSpec {
     /// The default model: the node's [`ServeConfig`].
     Default(ServeConfig),
     /// A registered model: the untrained template snapshot it was created
-    /// from, plus its shard count.
-    Template { template: Vec<u8>, shards: u32 },
+    /// from, plus its shard count and worker pipeline.
+    Template {
+        template: Vec<u8>,
+        shards: u32,
+        mode: ShardMode,
+    },
 }
 
 impl ModelSpec {
     fn build(&self) -> Result<Box<dyn DynLearner>, ServeError> {
         match self {
             ModelSpec::Default(cfg) => Ok(Box::new(cfg.build_learner())),
-            ModelSpec::Template { template, shards } => Ok(build_sharded_any(
+            ModelSpec::Template {
                 template,
-                ShardedLearnerConfig::new(*shards as usize).candidates_per_shard(0),
-            )?),
+                shards,
+                mode,
+            } => {
+                let sharding = ShardedLearnerConfig::new(*shards as usize);
+                Ok(match mode {
+                    ShardMode::WorkerHeaps => {
+                        build_sharded_any(template, sharding.candidates_per_shard(0))?
+                    }
+                    ShardMode::DeferredHeap {
+                        candidates_per_shard,
+                    } => build_sharded_wm_deferred(
+                        template,
+                        sharding.candidates_per_shard(*candidates_per_shard as usize),
+                    )?,
+                })
+            }
         }
     }
 }
 
 /// One hosted model: identity, label contract, rebuild recipe, and the
 /// live learner behind its own mutex.
-struct ModelEntry {
-    id: u32,
+pub(crate) struct ModelEntry {
+    pub(crate) id: u32,
     name: String,
     kind: u8,
     shards: u32,
-    label_domain: LabelDomain,
+    pub(crate) label_domain: LabelDomain,
     spec: ModelSpec,
-    learner: Mutex<Box<dyn DynLearner>>,
+    pub(crate) learner: Mutex<Box<dyn DynLearner>>,
 }
 
 impl ModelEntry {
@@ -191,15 +338,21 @@ impl Registry {
     }
 }
 
-/// State shared between the accept loop and every connection thread.
-struct ServerState {
+/// State shared between the transport backend and every request handler.
+pub(crate) struct ServerState {
     registry: RwLock<Registry>,
-    addr: SocketAddr,
-    shutdown: AtomicBool,
+    pub(crate) addr: SocketAddr,
+    pub(crate) shutdown: AtomicBool,
+    backend: ServeBackend,
+    /// Learner-lock acquisitions that served UPDATE frames (see
+    /// [`ServeStats::update_lock_acquisitions`]).
+    pub(crate) update_lock_acquisitions: AtomicU64,
+    /// UPDATE frames executed.
+    pub(crate) update_frames: AtomicU64,
 }
 
-/// A bound, not-yet-running server. [`WmServer::spawn`] starts the accept
-/// loop.
+/// A bound, not-yet-running server. [`WmServer::spawn`] starts the
+/// selected backend.
 pub struct WmServer {
     listener: TcpListener,
     state: Arc<ServerState>,
@@ -235,6 +388,9 @@ impl WmServer {
                 }),
                 addr,
                 shutdown: AtomicBool::new(false),
+                backend: ServeBackend::resolve(cfg.backend),
+                update_lock_acquisitions: AtomicU64::new(0),
+                update_frames: AtomicU64::new(0),
             }),
         })
     }
@@ -247,13 +403,25 @@ impl WmServer {
         self.listener.local_addr()
     }
 
-    /// Starts the accept loop on a background thread and returns a handle
-    /// that can address and stop the server.
+    /// The transport backend this server resolved to.
+    #[must_use]
+    pub fn backend(&self) -> ServeBackend {
+        self.state.backend
+    }
+
+    /// Starts the selected backend on a background thread and returns a
+    /// handle that can address and stop the server.
     #[must_use]
     pub fn spawn(self) -> ServerHandle {
         let state = Arc::clone(&self.state);
         let listener = self.listener;
-        let accept = std::thread::spawn(move || accept_loop(&listener, &state));
+        let accept = match self.state.backend {
+            #[cfg(target_os = "linux")]
+            ServeBackend::Event => {
+                std::thread::spawn(move || crate::event_loop::run(listener, &state))
+            }
+            _ => std::thread::spawn(move || accept_loop(&listener, &state)),
+        };
         ServerHandle {
             state: self.state,
             accept: Some(accept),
@@ -274,15 +442,21 @@ impl ServerHandle {
         self.state.addr
     }
 
-    /// Signals shutdown, wakes the accept loop, and joins it (which in
-    /// turn drains every connection thread).
+    /// The transport backend the server is running.
+    #[must_use]
+    pub fn backend(&self) -> ServeBackend {
+        self.state.backend
+    }
+
+    /// Signals shutdown, wakes the backend loop, and joins it (which in
+    /// turn drains every in-flight request).
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        // Wake the (blocking) accept call with a throwaway connection.
+        // Wake the (possibly blocking) accept with a throwaway connection.
         let _ = TcpStream::connect(wake_addr(self.state.addr));
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
@@ -295,7 +469,7 @@ impl ServerHandle {
 /// non-portable (it fails outright on some platforms, leaving accept
 /// blocked and shutdown joining forever), so substitute the matching
 /// loopback.
-fn wake_addr(mut addr: SocketAddr) -> SocketAddr {
+pub(crate) fn wake_addr(mut addr: SocketAddr) -> SocketAddr {
     if addr.ip().is_unspecified() {
         addr.set_ip(match addr {
             SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
@@ -313,8 +487,8 @@ impl Drop for ServerHandle {
 
 /// Accepts connections until the shutdown flag is set, then joins every
 /// connection thread so in-flight requests finish before the server
-/// exits (graceful drain).
-fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+/// exits (graceful drain). The threaded backend's top level.
+pub(crate) fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
     let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     loop {
         if state.shutdown.load(Ordering::SeqCst) {
@@ -374,29 +548,7 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) -> Result<(
         // actually honored — a malformed shutdown frame gets an ERR
         // response on a connection that stays open, like any other error.
         let shutdown = result.is_ok() && is_shutdown_request(&body);
-        let mut response = match result {
-            Ok(payload) => {
-                let mut w = Writer::new();
-                w.put_u8(STATUS_OK);
-                w.put_bytes(&payload);
-                w.into_bytes()
-            }
-            Err(e) => {
-                let mut w = Writer::new();
-                w.put_u8(STATUS_ERR);
-                w.put_bytes(e.to_string().as_bytes());
-                w.into_bytes()
-            }
-        };
-        if response.len() > MAX_FRAME_LEN as usize {
-            // E.g. a SNAPSHOT of a sketch too large for one frame: report
-            // the failure instead of silently dropping the connection
-            // when write_frame rejects the oversized body.
-            let mut w = Writer::new();
-            w.put_u8(STATUS_ERR);
-            w.put_bytes(b"response exceeds MAX_FRAME_LEN");
-            response = w.into_bytes();
-        }
+        let response = finalize_response(result);
         write_frame(&mut stream, &response)?;
         if shutdown {
             return Ok(());
@@ -404,9 +556,37 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) -> Result<(
     }
 }
 
+/// Encodes a handler result as a response frame body, substituting a
+/// typed ERR for oversized payloads (e.g. a SNAPSHOT of a sketch too
+/// large for one frame) instead of letting `write_frame` drop the
+/// connection. Shared by both backends so response bytes are identical.
+pub(crate) fn finalize_response(result: Result<Vec<u8>, ServeError>) -> Vec<u8> {
+    let mut response = match result {
+        Ok(payload) => {
+            let mut w = Writer::new();
+            w.put_u8(STATUS_OK);
+            w.put_bytes(&payload);
+            w.into_bytes()
+        }
+        Err(e) => {
+            let mut w = Writer::new();
+            w.put_u8(STATUS_ERR);
+            w.put_bytes(e.to_string().as_bytes());
+            w.into_bytes()
+        }
+    };
+    if response.len() > MAX_FRAME_LEN as usize {
+        let mut w = Writer::new();
+        w.put_u8(STATUS_ERR);
+        w.put_bytes(b"response exceeds MAX_FRAME_LEN");
+        response = w.into_bytes();
+    }
+    response
+}
+
 /// Whether a (successfully handled) request body was an OP_SHUTDOWN, in
 /// either framing.
-fn is_shutdown_request(body: &[u8]) -> bool {
+pub(crate) fn is_shutdown_request(body: &[u8]) -> bool {
     matches!(
         take_request_head(&mut Reader::new(body)),
         Ok(head) if head.op == OP_SHUTDOWN
@@ -471,7 +651,7 @@ fn is_timeout(e: &std::io::Error) -> bool {
 
 /// Looks up the addressed model, cloning its `Arc` out from under the
 /// registry lock so per-model work never holds it.
-fn resolve_model(state: &ServerState, id: u32) -> Result<Arc<ModelEntry>, ServeError> {
+pub(crate) fn resolve_model(state: &ServerState, id: u32) -> Result<Arc<ModelEntry>, ServeError> {
     state
         .registry
         .read()
@@ -495,6 +675,14 @@ fn registry_rows(state: &ServerState) -> Vec<ModelInfo> {
 
 /// Handles OP_CREATE: registers a named model built from an untrained
 /// template snapshot of any registered kind.
+///
+/// Payload: `name_len (u32) | name | shards (u32) | [mode] | template`.
+/// The optional mode block is disambiguated by its first byte:
+/// [`CREATE_MODE_WORKER_HEAPS`] (`0x00`) and
+/// [`CREATE_MODE_DEFERRED_HEAP`] (`0x01`, followed by
+/// `candidates_per_shard u32`) are both outside the `WMS1` magic's first
+/// byte (`0x57`, `'W'`), so a pre-v6 payload — template immediately
+/// after `shards` — parses unchanged as worker-heaps mode.
 fn handle_create(r: &mut Reader<'_>, state: &ServerState) -> Result<u32, ServeError> {
     let name_len = r.take_u32()? as usize;
     if name_len == 0 || name_len > MAX_MODEL_NAME {
@@ -521,7 +709,40 @@ fn handle_create(r: &mut Reader<'_>, state: &ServerState) -> Result<u32, ServeEr
             return Err(ServeError::Protocol("model name already registered"));
         }
     }
-    let template = r.take_bytes(r.remaining())?.to_vec();
+    let rest = r.take_bytes(r.remaining())?;
+    let (mode, template) = match rest.first() {
+        Some(&CREATE_MODE_WORKER_HEAPS) => (ShardMode::WorkerHeaps, &rest[1..]),
+        Some(&CREATE_MODE_DEFERRED_HEAP) => {
+            if rest.len() < 5 {
+                return Err(ServeError::Protocol("truncated deferred-heap mode block"));
+            }
+            let candidates = u32::from_le_bytes([rest[1], rest[2], rest[3], rest[4]]);
+            if candidates > MAX_DEFERRED_CANDIDATES {
+                return Err(ServeError::Protocol(
+                    "candidates_per_shard exceeds MAX_DEFERRED_CANDIDATES",
+                ));
+            }
+            (
+                ShardMode::DeferredHeap {
+                    candidates_per_shard: candidates,
+                },
+                &rest[5..],
+            )
+        }
+        // Anything else — including the `WMS1` magic's 0x57 — is a
+        // pre-v6 payload: the template starts here, worker-heaps mode.
+        _ => (ShardMode::WorkerHeaps, rest),
+    };
+    let template = template.to_vec();
+    if let ShardMode::DeferredHeap { .. } = mode {
+        // Deferred heap maintenance is a WM-worker pipeline; other kinds
+        // are rejected from the kind byte alone, before any decode.
+        if codec::peek_kind(&template)? != KIND_WM {
+            return Err(ServeError::Protocol(
+                "deferred-heap mode requires a WM template",
+            ));
+        }
+    }
     // Validate the label domain on a *single* decoded template before
     // cloning it into up to MAX_MODEL_SHARDS worker replicas — a
     // rejected >128-class template must cost one decode, not a full
@@ -538,10 +759,12 @@ fn handle_create(r: &mut Reader<'_>, state: &ServerState) -> Result<u32, ServeEr
     }
     // Build outside the registry lock: decoding a 64 MiB template must
     // not block every other connection's model lookup.
-    let learner = build_sharded_any(
-        &template,
-        ShardedLearnerConfig::new(shards as usize).candidates_per_shard(0),
-    )?;
+    let spec = ModelSpec::Template {
+        template,
+        shards,
+        mode,
+    };
+    let learner = spec.build()?;
     let label_domain = learner.label_domain();
     let kind = learner.kind();
     let mut registry = state.registry.write().expect("registry lock");
@@ -560,7 +783,7 @@ fn handle_create(r: &mut Reader<'_>, state: &ServerState) -> Result<u32, ServeEr
         kind,
         shards,
         label_domain,
-        spec: ModelSpec::Template { template, shards },
+        spec,
         learner: Mutex::new(learner),
     }));
     Ok(id)
@@ -568,7 +791,7 @@ fn handle_create(r: &mut Reader<'_>, state: &ServerState) -> Result<u32, ServeEr
 
 /// Decodes and executes one request, returning the OK payload.
 /// `scratch` is the calling connection's reusable UPDATE decode buffer.
-fn handle_request(
+pub(crate) fn handle_request(
     body: &[u8],
     state: &Arc<ServerState>,
     scratch: &mut ExamplesScratch,
@@ -612,6 +835,10 @@ fn handle_request(
             r.finish()?;
             let mut learner = entry.learner.lock().expect("learner mutex");
             learner.update_batch(scratch.examples());
+            state
+                .update_lock_acquisitions
+                .fetch_add(1, Ordering::Relaxed);
+            state.update_frames.fetch_add(1, Ordering::Relaxed);
             out.put_u64(learner.examples_seen());
         }
         OP_PREDICT => {
@@ -700,6 +927,12 @@ fn handle_request(
             for row in &rows {
                 protocol::put_model_info(&mut out, row);
             }
+            // v6 tail, after the registry rows so pre-v6 clients (which
+            // stop reading after the rows) are unaffected: backend byte,
+            // then the node-wide UPDATE coalescing counters.
+            out.put_u8(state.backend.wire_byte());
+            out.put_u64(state.update_lock_acquisitions.load(Ordering::Relaxed));
+            out.put_u64(state.update_frames.load(Ordering::Relaxed));
         }
         OP_RESET => {
             r.finish()?;

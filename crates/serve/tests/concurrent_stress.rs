@@ -1,0 +1,189 @@
+//! Concurrency stress for the serve backends: 64 pipelined connections
+//! (63 version-2 sessions on private models plus one legacy headerless
+//! session on the default model) hammering one node, asserting
+//! per-connection response ordering and bit-exact final-state parity
+//! with the same streams ingested over a single blocking connection —
+//! plus, on the event backend, thousands of idle connections coexisting
+//! with an active one.
+
+use wmsketch_core::{AwmSketch, AwmSketchConfig, SnapshotCodec, WmSketch, WmSketchConfig};
+use wmsketch_learn::{Label, SparseVector};
+use wmsketch_serve::{ServeClient, ServeConfig, ServerHandle, WmServer};
+
+const CONNS: usize = 64;
+const FRAME: usize = 64;
+const FRAMES_PER_CONN: usize = 8;
+const EXAMPLES_PER_CONN: usize = FRAME * FRAMES_PER_CONN;
+
+fn default_model() -> ServeConfig {
+    ServeConfig::new(WmSketchConfig::new(64, 2).lambda(1e-5).seed(40), 1)
+}
+
+fn start(cfg: ServeConfig) -> ServerHandle {
+    WmServer::bind("127.0.0.1:0", cfg)
+        .expect("bind ephemeral port")
+        .spawn()
+}
+
+/// Connection `i`'s private stream: a planted signal pair plus
+/// connection-dependent noise, labels in `{+1, -1}`.
+fn stream_for(i: usize) -> Vec<(SparseVector, Label)> {
+    (0..EXAMPLES_PER_CONN)
+        .map(|t| {
+            let noise = 100 + ((i * 31 + t * 17) % 400) as u32;
+            if (i + t).is_multiple_of(2) {
+                (SparseVector::from_pairs(&[(3, 1.0), (noise, 0.5)]), 1)
+            } else {
+                (SparseVector::from_pairs(&[(9, 1.0), (noise, 0.5)]), -1)
+            }
+        })
+        .collect()
+}
+
+/// Creates connection `i`'s model on a node — the model mix cycles
+/// worker-heap WM, AWM, and deferred-heap WM pools — and returns a
+/// client addressing it.
+fn create_model_for(server: &ServerHandle, i: usize) -> ServeClient {
+    let mut c = ServeClient::connect(server.addr()).unwrap();
+    let name = format!("m{i}");
+    let id = match i % 3 {
+        0 => {
+            let t = WmSketch::new(WmSketchConfig::new(64, 2).lambda(1e-5).seed(i as u64))
+                .to_snapshot_bytes();
+            c.create_model(&name, &t, 2).unwrap()
+        }
+        1 => {
+            let t = AwmSketch::new(AwmSketchConfig::new(8, 64).lambda(1e-5).seed(i as u64))
+                .to_snapshot_bytes();
+            c.create_model(&name, &t, 1).unwrap()
+        }
+        _ => {
+            let t = WmSketch::new(WmSketchConfig::new(64, 2).lambda(1e-5).seed(i as u64))
+                .to_snapshot_bytes();
+            c.create_model_deferred(&name, &t, 2, 64).unwrap()
+        }
+    };
+    c.set_model(id).unwrap();
+    c
+}
+
+#[test]
+fn sixty_four_pipelined_connections_order_and_parity() {
+    let stress = start(default_model());
+
+    // 63 v2 sessions in parallel threads; the legacy session runs on
+    // this thread concurrently, so both framings interleave on the node.
+    let snapshots: Vec<(usize, Vec<u8>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (1..CONNS)
+            .map(|i| {
+                let stress = &stress;
+                s.spawn(move || {
+                    let mut c = create_model_for(stress, i);
+                    let data = stream_for(i);
+                    // Odd connections fire the whole pipeline in one
+                    // coalesced write burst; even ones keep a small
+                    // rolling window.
+                    let window = if i % 2 == 1 { FRAMES_PER_CONN } else { 3 };
+                    let counts = c.update_many(&data, FRAME, window).unwrap();
+                    // Response-ordering guarantee: cumulative counts come
+                    // back strictly in frame order.
+                    assert_eq!(counts.len(), FRAMES_PER_CONN);
+                    for (k, &n) in counts.iter().enumerate() {
+                        assert_eq!(n, (FRAME * (k + 1)) as u64, "conn {i} frame {k}");
+                    }
+                    (i, c.snapshot().unwrap())
+                })
+            })
+            .collect();
+
+        let mut legacy = ServeClient::connect_legacy(stress.addr()).unwrap();
+        let legacy_counts = legacy
+            .update_many(&stream_for(0), FRAME, FRAMES_PER_CONN)
+            .unwrap();
+        for (k, &n) in legacy_counts.iter().enumerate() {
+            assert_eq!(n, (FRAME * (k + 1)) as u64, "legacy frame {k}");
+        }
+
+        let mut out: Vec<(usize, Vec<u8>)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("stress connection"))
+            .collect();
+        out.push((0, legacy.snapshot().unwrap()));
+        out
+    });
+
+    // Node-wide accounting: every frame from every connection executed.
+    let mut observer = ServeClient::connect(stress.addr()).unwrap();
+    let stats = observer.stats().unwrap();
+    assert_eq!(stats.update_frames, (CONNS * FRAMES_PER_CONN) as u64);
+    assert!(stats.update_lock_acquisitions >= 1);
+    assert!(stats.update_lock_acquisitions <= stats.update_frames);
+
+    // Parity: one quiet node, one blocking connection, same models, same
+    // streams, same frame boundaries — every model must match the
+    // stressed node bit for bit.
+    let quiet = start(default_model());
+    let mut reference: Vec<(usize, Vec<u8>)> = (1..CONNS)
+        .map(|i| {
+            let mut c = create_model_for(&quiet, i);
+            for chunk in stream_for(i).chunks(FRAME) {
+                c.update_batch(chunk).unwrap();
+            }
+            (i, c.snapshot().unwrap())
+        })
+        .collect();
+    let mut quiet_legacy = ServeClient::connect_legacy(quiet.addr()).unwrap();
+    for chunk in stream_for(0).chunks(FRAME) {
+        quiet_legacy.update_batch(chunk).unwrap();
+    }
+    reference.push((0, quiet_legacy.snapshot().unwrap()));
+
+    let by_conn = |v: &mut Vec<(usize, Vec<u8>)>| v.sort_by_key(|(i, _)| *i);
+    let mut got = snapshots;
+    by_conn(&mut got);
+    by_conn(&mut reference);
+    for ((i, a), (j, b)) in got.iter().zip(reference.iter()) {
+        assert_eq!(i, j);
+        assert_eq!(a, b, "conn {i} model diverged from blocking reference");
+    }
+
+    stress.shutdown();
+    quiet.shutdown();
+}
+
+/// The event backend's reason to exist: thousands of connections held
+/// open by one node without a thread each. Idle sockets must cost only
+/// their registration — an active session threading between them keeps
+/// full service. (Event backend only; the threaded backend would need a
+/// thread per socket.)
+#[cfg(target_os = "linux")]
+#[test]
+fn thousands_of_idle_connections_dont_starve_an_active_one() {
+    use std::net::TcpStream;
+    use wmsketch_serve::ServeBackend;
+
+    // Half the sockets live in this (client) process too, so stay well
+    // inside typical fd limits while still far beyond any thread-per-
+    // connection design's comfort zone.
+    const IDLE: usize = 4096;
+
+    let server = start(default_model().backend(ServeBackend::Event));
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(IDLE);
+    for k in 0..IDLE {
+        idle.push(TcpStream::connect(server.addr()).unwrap_or_else(|e| {
+            panic!("idle connection {k} refused: {e}");
+        }));
+    }
+
+    let mut active = ServeClient::connect(server.addr()).unwrap();
+    let data = stream_for(7);
+    let counts = active.update_many(&data, FRAME, FRAMES_PER_CONN).unwrap();
+    assert_eq!(counts.last().copied(), Some(EXAMPLES_PER_CONN as u64));
+    assert!(active.estimate(3).unwrap() > 0.0);
+    let stats = active.stats().unwrap();
+    assert_eq!(stats.backend, ServeBackend::Event);
+    assert_eq!(stats.update_frames, FRAMES_PER_CONN as u64);
+
+    drop(idle);
+    server.shutdown();
+}

@@ -1,0 +1,138 @@
+//! Property tests for the event backend's incremental frame reassembly:
+//! however the kernel slices the byte stream — one byte at a time, cut
+//! at every frame boundary, many frames coalesced into one delivery, or
+//! arbitrary chunking — [`FrameAssembler`] must recover exactly the
+//! frame sequence the blocking [`read_frame`] reader sees, including the
+//! oversized-length error.
+
+use proptest::prelude::*;
+use wmsketch_serve::protocol::{read_frame, write_frame, FrameAssembler, MAX_FRAME_LEN};
+
+/// Serializes frame bodies into one wire byte stream.
+fn wire(frames: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for body in frames {
+        write_frame(&mut out, body).expect("in-memory write");
+    }
+    out
+}
+
+/// The reference decode: the blocking reader over the whole stream.
+fn blocking_decode(stream: &[u8]) -> Vec<Vec<u8>> {
+    let mut r = stream;
+    let mut out = Vec::new();
+    while let Some(body) = read_frame(&mut r).expect("reference decode") {
+        out.push(body);
+    }
+    out
+}
+
+/// Feeds `stream` to an assembler in the given chunks and drains every
+/// completed frame after each push.
+fn assemble(stream: &[u8], chunk_sizes: impl Iterator<Item = usize>) -> Vec<Vec<u8>> {
+    let mut asm = FrameAssembler::new();
+    let mut out = Vec::new();
+    let mut pos = 0;
+    for size in chunk_sizes {
+        if pos >= stream.len() {
+            break;
+        }
+        let end = (pos + size.max(1)).min(stream.len());
+        asm.push(&stream[pos..end]);
+        pos = end;
+        while let Some(body) = asm.next_frame().expect("assembler decode") {
+            out.push(body);
+        }
+    }
+    assert!(pos >= stream.len(), "chunk plan must cover the stream");
+    assert!(!asm.mid_frame(), "no partial frame may remain");
+    out
+}
+
+/// Frame bodies: empty frames, tiny frames, and frames larger than
+/// typical read chunks all occur.
+fn bodies() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(0u8..255, 0..600), 0..12)
+}
+
+proptest! {
+    /// Byte-at-a-time delivery — the worst case the kernel can produce —
+    /// recovers the reference frame sequence.
+    #[test]
+    fn byte_at_a_time_matches_blocking_reader(frames in bodies()) {
+        let stream = wire(&frames);
+        let got = assemble(&stream, std::iter::repeat(1));
+        prop_assert_eq!(&got, &blocking_decode(&stream));
+        prop_assert_eq!(got, frames);
+    }
+
+    /// Splitting exactly at every frame boundary (one push per frame)
+    /// and fully coalesced delivery (one push for the whole stream) both
+    /// recover the reference sequence.
+    #[test]
+    fn boundary_splits_and_full_coalescing_match(frames in bodies()) {
+        let stream = wire(&frames);
+        let reference = blocking_decode(&stream);
+
+        let per_frame: Vec<usize> = frames.iter().map(|b| 4 + b.len()).collect();
+        prop_assert_eq!(assemble(&stream, per_frame.into_iter()), reference.clone());
+
+        prop_assert_eq!(
+            assemble(&stream, std::iter::once(stream.len().max(1))),
+            reference
+        );
+    }
+
+    /// Arbitrary chunk plans — including cuts inside the 4-byte length
+    /// prefix and chunks spanning several frames — recover the reference
+    /// sequence.
+    #[test]
+    fn random_chunking_matches_blocking_reader(
+        frames in bodies(),
+        chunks in prop::collection::vec(1usize..2048, 1..64),
+    ) {
+        let stream = wire(&frames);
+        let got = assemble(&stream, chunks.into_iter().chain(std::iter::repeat(4096)));
+        prop_assert_eq!(&got, &blocking_decode(&stream));
+        prop_assert_eq!(got, frames);
+    }
+
+    /// An oversized length prefix is rejected from the prefix alone —
+    /// before any body bytes arrive — exactly like the blocking reader,
+    /// and regardless of how the prefix itself was chunked.
+    #[test]
+    fn oversized_prefix_error_parity(valid in bodies(), split in 0usize..5) {
+        let mut stream = wire(&valid);
+        stream.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+
+        let mut r = &stream[..];
+        let mut reference_ok = 0;
+        let reference_err = loop {
+            match read_frame(&mut r) {
+                Ok(Some(_)) => reference_ok += 1,
+                Ok(None) => panic!("reference reader must hit the bad prefix"),
+                Err(e) => break e,
+            }
+        };
+
+        let mut asm = FrameAssembler::new();
+        // Deliver everything up to a cut inside the bad prefix, then the
+        // rest: the error must surface only once the prefix completes.
+        let cut = stream.len() - 4 + split.min(4);
+        asm.push(&stream[..cut]);
+        let mut ok = 0;
+        while let Ok(Some(_)) = asm.next_frame() {
+            ok += 1;
+        }
+        asm.push(&stream[cut..]);
+        let err = loop {
+            match asm.next_frame() {
+                Ok(Some(_)) => ok += 1,
+                Ok(None) => panic!("assembler must hit the bad prefix"),
+                Err(e) => break e,
+            }
+        };
+        prop_assert_eq!(ok, reference_ok);
+        prop_assert_eq!(format!("{err}"), format!("{reference_err}"));
+    }
+}

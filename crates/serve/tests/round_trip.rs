@@ -598,3 +598,100 @@ fn client_initiated_shutdown_drains_the_server() {
     };
     assert!(refused, "server still serving after shutdown");
 }
+
+#[test]
+fn deferred_heap_create_matches_local_deferred_pipeline_bit_for_bit() {
+    use wmsketch_core::{sharded_wm, DynLearner};
+
+    let wm = WmSketchConfig::new(256, 4).lambda(1e-5).seed(21);
+    let template = WmSketch::new(wm).to_snapshot_bytes();
+    let server = start(ServeConfig::new(
+        WmSketchConfig::new(16, 1).heap_capacity(1),
+        1,
+    ));
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    let id = client
+        .create_model_deferred("fast", &template, 2, 128)
+        .unwrap();
+    client.set_model(id).unwrap();
+
+    let data = planted_stream(3000);
+    for chunk in data.chunks(500) {
+        client.update_batch(chunk).unwrap();
+    }
+    assert!(client.estimate(3).unwrap() > 0.2);
+    assert!(client.estimate(9).unwrap() < -0.2);
+    let top: Vec<u32> = client.top_k(2).unwrap().iter().map(|e| e.feature).collect();
+    assert!(top.contains(&3) && top.contains(&9), "top = {top:?}");
+
+    // The wire-created deferred pool is bit-identical to the in-process
+    // constructor fed the same stream (update_batch chunking invariance
+    // makes the server's frame boundaries immaterial).
+    let snap = client.snapshot().unwrap();
+    let mut local = sharded_wm(wm, ShardedLearnerConfig::new(2).candidates_per_shard(128));
+    for (x, y) in &data {
+        OnlineLearner::update(&mut local, x, *y);
+    }
+    local.sync();
+    assert_eq!(snap, DynLearner::snapshot(&mut local).unwrap());
+
+    // Deferred mode is WM-only: an AWM template is rejected from its
+    // kind byte, and an oversized candidate budget is rejected outright.
+    let awm = AwmSketch::new(AwmSketchConfig::new(8, 64).seed(5)).to_snapshot_bytes();
+    assert!(matches!(
+        client.create_model_deferred("bad-kind", &awm, 2, 128),
+        Err(ServeError::Remote(_))
+    ));
+    assert!(matches!(
+        client.create_model_deferred("bad-budget", &template, 2, u32::MAX),
+        Err(ServeError::Remote(_))
+    ));
+
+    server.shutdown();
+}
+
+#[test]
+fn stats_reports_backend_and_coalescing_counters() {
+    let server = start(ServeConfig::new(WmSketchConfig::new(64, 2).seed(4), 1));
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let data = planted_stream(600);
+    for chunk in data.chunks(100) {
+        client.update_batch(chunk).unwrap();
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.backend, server.backend());
+    assert_eq!(stats.update_frames, 6);
+    assert!(
+        (1..=6).contains(&stats.update_lock_acquisitions),
+        "lock acquisitions = {}",
+        stats.update_lock_acquisitions
+    );
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_update_many_matches_blocking_ingest_bit_for_bit() {
+    let wm = WmSketchConfig::new(256, 4).lambda(1e-5).seed(9);
+    let pipelined = start(ServeConfig::new(wm, 2));
+    let blocking = start(ServeConfig::new(wm, 2));
+    let data = planted_stream(4096);
+
+    let mut cp = ServeClient::connect(pipelined.addr()).unwrap();
+    let counts = cp.update_many(&data, 256, 8).unwrap();
+    // Per-connection response ordering: the cumulative counts come back
+    // in frame order, exactly as blocking per-frame calls would.
+    assert_eq!(counts.len(), 16);
+    for (i, &c) in counts.iter().enumerate() {
+        assert_eq!(c, 256 * (i as u64 + 1));
+    }
+
+    let mut cb = ServeClient::connect(blocking.addr()).unwrap();
+    for chunk in data.chunks(256) {
+        cb.update_batch(chunk).unwrap();
+    }
+    assert_eq!(cp.snapshot().unwrap(), cb.snapshot().unwrap());
+
+    pipelined.shutdown();
+    blocking.shutdown();
+}

@@ -68,14 +68,19 @@ fn main() {
         }
     }
 
+    // Pipelined ingest: frames of 1024 examples with several in flight
+    // per connection, which the event backend overlaps and coalesces.
+    // The response ordering guarantee makes the returned counts the
+    // exact cumulative sequence per-frame blocking calls would yield.
     let mut single_client = ServeClient::connect(single.addr()).expect("connect single");
-    for chunk in stream.chunks(1024) {
-        single_client.update_batch(chunk).expect("ingest single");
-    }
+    let counts = single_client
+        .update_many(&stream, 1024, 8)
+        .expect("ingest single");
+    assert_eq!(counts.last().copied(), Some(stream.len() as u64));
     let mut a = ServeClient::connect(node_a.addr()).expect("connect A");
-    a.update_batch(&sub_a).expect("ingest A");
+    a.update_many(&sub_a, 1024, 8).expect("ingest A");
     let mut b = ServeClient::connect(node_b.addr()).expect("connect B");
-    b.update_batch(&sub_b).expect("ingest B");
+    b.update_many(&sub_b, 1024, 8).expect("ingest B");
     println!(
         "ingested {} examples: {} via node A, {} via node B",
         stream.len(),
