@@ -22,6 +22,7 @@
 //! uses a **depth-1** sketch (§7.3) and beats feature hashing despite
 //! spending half its budget on identifiers.
 
+use crate::delta::DirtyCells;
 use wmsketch_hashing::codec::{self, CodecError, Reader, SnapshotCodec, Writer, KIND_AWM};
 use wmsketch_hashing::{CoordPlan, HashFamilyKind, RowHashers};
 use wmsketch_hh::{Offer, TopKWeights};
@@ -165,6 +166,9 @@ pub struct AwmSketch {
     /// input's entries; [`NOT_PLANNED`] marks active-set features.
     slots: Vec<usize>,
     t: u64,
+    /// Per-cell last-touched stamps for delta snapshots; off (empty) until
+    /// the first [`AwmSketch::encode_delta_since`] call.
+    dirty: DirtyCells,
 }
 
 /// Slot marker for features that were in the active set at margin time and
@@ -231,6 +235,7 @@ impl AwmSketch {
             plan: CoordPlan::new(),
             slots: Vec::new(),
             t,
+            dirty: DirtyCells::off(),
         }
     }
 
@@ -268,7 +273,9 @@ impl AwmSketch {
         let width = self.cfg.width as usize;
         let d = delta * self.inv_sqrt_s;
         for (j, bs) in self.hashers.bucket_signs(u64::from(feature)) {
-            self.z[j * width + bs.bucket as usize] += bs.sign * d;
+            let cell = j * width + bs.bucket as usize;
+            self.z[cell] += bs.sign * d;
+            self.dirty.touch(cell);
         }
     }
 
@@ -282,6 +289,9 @@ impl AwmSketch {
         for e in entries {
             self.active.update_existing(e.feature, e.weight * a);
         }
+        // A fold rewrites every stored cell and active weight.
+        self.dirty.touch_all();
+        self.dirty.touch_heap();
     }
 
     /// Replaces the active set with the heaviest sketch estimates among
@@ -302,6 +312,7 @@ impl AwmSketch {
             })
             .collect();
         self.active = TopKWeights::from_heaviest(self.cfg.heap_capacity, ranked);
+        self.dirty.touch_heap();
     }
 
     /// The seed implementation's multi-pass update, retained as the
@@ -312,6 +323,7 @@ impl AwmSketch {
     pub fn update_naive(&mut self, x: &SparseVector, y: Label) {
         debug_check_label(y);
         self.t += 1;
+        self.dirty.set_epoch(self.t);
         let eta = self.cfg.learning_rate.at(self.t);
         let tau = self.margin(x);
         let g = self.cfg.loss.deriv(f64::from(y) * tau) * f64::from(y);
@@ -326,6 +338,7 @@ impl AwmSketch {
             if let Some(w) = self.active.get(i) {
                 // Heap update: exact gradient step on the stored weight.
                 self.active.update_existing(i, w + stored_step);
+                self.dirty.touch_heap();
             } else {
                 // Candidate weight w̃ = Query(i) − η·y·x_i·ℓ'(yτ), pre-scale.
                 let w_tilde = self.query_stored(i) + stored_step;
@@ -335,9 +348,11 @@ impl AwmSketch {
                         // so the sketch's estimate equals its exact weight.
                         let residual = evicted.weight - self.query_stored(evicted.feature);
                         self.sketch_add(evicted.feature, residual);
+                        self.dirty.touch_heap();
                     }
                     Offer::Inserted => {
                         // Admitted into spare capacity; nothing to spill.
+                        self.dirty.touch_heap();
                     }
                     Offer::Rejected => {
                         // Stay in the sketch: plain WM-Sketch gradient step.
@@ -347,6 +362,145 @@ impl AwmSketch {
                 }
             }
         }
+    }
+
+    /// (Re)starts dirty-cell tracking with everything considered dirty at
+    /// the current clock — the state right after shipping a full snapshot.
+    pub(crate) fn begin_tracking(&mut self) {
+        self.begin_tracking_at(self.t);
+    }
+
+    /// [`AwmSketch::begin_tracking`] against an owning composite learner's
+    /// clock (multiclass): class cells change at *model* epochs, so the
+    /// all-dirty baseline must be stamped with the model clock, not the
+    /// smaller per-class update count.
+    pub(crate) fn begin_tracking_at(&mut self, clock: u64) {
+        let cells = self.z.len();
+        self.dirty.enable(cells, clock);
+    }
+
+    /// Hands dirty-stamp epoch control to an owning composite learner
+    /// (multiclass): stamps then use the owner's clock, so one watermark
+    /// selects the dirty cells of every class sketch.
+    pub(crate) fn delta_epoch(&mut self, t: u64) {
+        self.dirty.force_epoch(t);
+    }
+
+    /// Whether a sparse delta since `since` can be encoded (tracking on,
+    /// no clock-less mutation since, watermark not in the future).
+    pub(crate) fn can_delta(&self, since: u64) -> bool {
+        self.dirty.can_delta(since, self.t)
+    }
+
+    /// [`AwmSketch::can_delta`] against an owning composite learner's
+    /// clock (multiclass watermarks are model clocks).
+    pub(crate) fn can_delta_with_clock(&self, since: u64, clock: u64) -> bool {
+        self.dirty.can_delta(since, clock)
+    }
+
+    /// Encodes the delta body sections (everything after the HEAD):
+    /// sparse dirty cells, the full scalar state, and the active set when
+    /// it moved since `since`. Unlike the WM-Sketch's passive heap, the
+    /// active set holds exact model weights, so shipping it on change is
+    /// required for correctness, not just for query freshness.
+    pub(crate) fn encode_delta_body(&self, since: u64, w: &mut Writer) {
+        codec::put_delta_cells(w, &self.dirty.changed(&self.z, since));
+        let mark = w.begin_section(codec::DELTA_SECTION_STATE);
+        w.put_u64(self.t);
+        self.scale.encode_into(w);
+        w.end_section(mark);
+        let mark = w.begin_section(codec::DELTA_SECTION_TOPK);
+        if self.dirty.heap_dirty(since) {
+            w.put_u8(1);
+            self.active.encode_into(w);
+        } else {
+            w.put_u8(0);
+        }
+        w.end_section(mark);
+    }
+
+    /// Decodes and applies the delta body sections written by
+    /// [`AwmSketch::encode_delta_body`]. On error the sketch is unchanged.
+    pub(crate) fn apply_delta_body(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        let cells = codec::take_delta_cells(r, self.z.len())?;
+        let mut s = r.expect_section(codec::DELTA_SECTION_STATE)?;
+        let t = s.take_u64()?;
+        let scale = ScaleState::decode_from(&mut s)?;
+        s.finish()?;
+        let mut h = r.expect_section(codec::DELTA_SECTION_TOPK)?;
+        let active = match h.take_u8()? {
+            // 0: the active set did not move since the watermark; keep ours.
+            0 => None,
+            1 => Some(TopKWeights::decode_from(&mut h, self.cfg.heap_capacity)?),
+            _ => return Err(CodecError::Invalid("bad delta active-set change flag")),
+        };
+        h.finish()?;
+        // Everything validated; commit.
+        for (idx, bits) in cells {
+            self.z[idx as usize] = f64::from_bits(bits);
+        }
+        self.t = t;
+        self.scale = scale;
+        if let Some(active) = active {
+            self.active = active;
+        }
+        // Applied state does not correspond to locally-tracked history any
+        // more; restart tracking conservatively (everything dirty now).
+        if self.dirty.enabled() {
+            self.begin_tracking();
+        }
+        Ok(())
+    }
+
+    /// Encodes a **delta record**: the state changed since clock `since`.
+    /// Same record shape and fallback rules as
+    /// [`crate::WmSketch::encode_delta_since`] (kind [`KIND_AWM`]); the
+    /// TOPK section carries the exact active set instead of a passive
+    /// heap, with no inner presence flag (an AWM active set always
+    /// exists).
+    #[must_use]
+    pub fn encode_delta_since(&mut self, since: u64) -> Vec<u8> {
+        if !self.can_delta(since) {
+            self.begin_tracking();
+            return self.to_snapshot_bytes();
+        }
+        let mut w = Writer::new();
+        w.put_delta_envelope(KIND_AWM);
+        let mark = w.begin_section(codec::DELTA_SECTION_HEAD);
+        w.put_u64(since);
+        w.put_u64(self.t);
+        w.end_section(mark);
+        self.encode_delta_body(since, &mut w);
+        w.into_bytes()
+    }
+
+    /// Applies a delta record produced by [`AwmSketch::encode_delta_since`]
+    /// and returns the new clock. Error contract as
+    /// [`crate::WmSketch::apply_delta`].
+    pub fn apply_delta(&mut self, bytes: &[u8]) -> Result<u64, CodecError> {
+        let mut r = Reader::new(bytes);
+        r.expect_delta_envelope(KIND_AWM)?;
+        let mut head = r.expect_section(codec::DELTA_SECTION_HEAD)?;
+        let from = head.take_u64()?;
+        let to = head.take_u64()?;
+        head.finish()?;
+        if to < from {
+            return Err(CodecError::Invalid("delta interval is reversed"));
+        }
+        if from != self.t {
+            return Err(CodecError::DeltaGap {
+                expected: self.t,
+                got: from,
+            });
+        }
+        self.apply_delta_body(&mut r)?;
+        r.finish()?;
+        if self.t != to {
+            return Err(CodecError::Invalid(
+                "delta state clock disagrees with its interval",
+            ));
+        }
+        Ok(self.t)
     }
 }
 
@@ -386,6 +540,13 @@ impl MergeableLearner for AwmSketch {
             other.cfg.heap_capacity,
             other.cfg.seed
         );
+        // Stamp the whole merge at the post-merge clock; a zero-clock peer
+        // would change bits without advancing the clock, which no sparse
+        // delta watermark can express.
+        self.dirty.set_epoch(self.t + other.t);
+        if other.t == 0 {
+            self.dirty.require_full();
+        }
         self.fold_scale();
         // Evict-all: spill self's active set into its own sketch (residual
         // makes each sketched estimate exact), in deterministic order.
@@ -400,6 +561,7 @@ impl MergeableLearner for AwmSketch {
         for (cell, &o) in self.z.iter_mut().zip(&other.z) {
             *cell += other.scale.load(o);
         }
+        self.dirty.touch_all();
         // Spill other's active set with residuals computed against
         // *other's own* sketch — the same write an eviction in `other`
         // would have produced, now landed in the merged cells.
@@ -430,6 +592,10 @@ impl MergeableLearner for AwmSketch {
         }
         union.extend_from_slice(candidates);
         self.repromote(union);
+    }
+
+    fn inherit_delta_stamps(&mut self, prev: &Self) {
+        self.dirty.inherit(&prev.dirty, &self.z, &prev.z, self.t);
     }
 }
 
@@ -542,6 +708,7 @@ impl OnlineLearner for AwmSketch {
     fn update(&mut self, x: &SparseVector, y: Label) {
         debug_check_label(y);
         self.t += 1;
+        self.dirty.set_epoch(self.t);
         let eta = self.cfg.learning_rate.at(self.t);
         // Margin + single hashing pass over the sketched features.
         self.hashers.begin_plan(&mut self.plan);
@@ -577,14 +744,17 @@ impl OnlineLearner for AwmSketch {
             active,
             hashers,
             slots,
+            dirty,
             ..
         } = self;
         let depth_one = plan.depth() == 1;
+        let tracking = dirty.enabled();
         for (idx, (i, xi)) in x.iter().enumerate() {
             let stored_step = scale.store(-eta * g * xi);
             if let Some(w) = active.get(i) {
                 // Heap update: exact gradient step on the stored weight.
                 active.update_existing(i, w + stored_step);
+                dirty.touch_heap();
             } else {
                 // An earlier eviction this update may have displaced a
                 // feature that was active at margin time; plan it now.
@@ -615,13 +785,25 @@ impl OnlineLearner for AwmSketch {
                         };
                         let residual = evicted.weight - ev_query;
                         plan.slot_scatter(ev_slot, z, residual * inv_sqrt_s);
+                        if tracking {
+                            for &o in plan.coords(ev_slot).0 {
+                                dirty.touch(o as usize);
+                            }
+                        }
+                        dirty.touch_heap();
                     }
                     Offer::Inserted => {
                         // Admitted into spare capacity; nothing to spill.
+                        dirty.touch_heap();
                     }
                     Offer::Rejected => {
                         // Stay in the sketch: plain WM-Sketch gradient step.
                         plan.slot_scatter(slot, z, stored_step * inv_sqrt_s);
+                        if tracking {
+                            for &o in plan.coords(slot).0 {
+                                dirty.touch(o as usize);
+                            }
+                        }
                     }
                     Offer::Updated => unreachable!("feature checked absent from active set"),
                 }

@@ -118,6 +118,14 @@ macro_rules! impl_dyn_mergeable {
                 absorb_typed(self, bytes)
             }
 
+            fn encode_delta_since(&mut self, since: u64) -> Result<Vec<u8>, CodecError> {
+                Ok(<$ty>::encode_delta_since(self, since))
+            }
+
+            fn apply_delta(&mut self, bytes: &[u8]) -> Result<u64, CodecError> {
+                <$ty>::apply_delta(self, bytes)
+            }
+
             fn as_any(&self) -> &dyn std::any::Any {
                 self
             }
@@ -250,9 +258,16 @@ where
         OnlineLearner::examples_seen(self)
     }
 
-    /// The merged root's clock, which does include absorbed peers.
+    /// The pool's replication clock — locally routed examples plus every
+    /// absorbed peer's clock ([`ShardedLearner::merged_clock`]).
+    ///
+    /// Deliberately *not* the root's own clock: the root only reflects
+    /// absorbed and routed state as of the last sync, so a root-derived
+    /// clock would go stale between syncs and a replication layer keyed
+    /// on it would re-ship (or skip) work. The pool-level counters move
+    /// at absorb/route time, so this clock is always current.
     fn clock(&self) -> u64 {
-        OnlineLearner::examples_seen(self.root())
+        self.merged_clock()
     }
 
     fn recover_top_k(&self, k: usize) -> Vec<WeightEntry> {
@@ -289,6 +304,27 @@ where
     fn snapshot(&mut self) -> Result<Vec<u8>, CodecError> {
         self.sync();
         Ok(self.root().to_snapshot_bytes())
+    }
+
+    /// A delta of the synced root since `since` — the same bytes an
+    /// unsharded `L` at the same state would produce, so any replica
+    /// holding this node's prior snapshot can apply it, sharded host or
+    /// not. Falls back to a full snapshot exactly as the root does.
+    fn encode_delta_since(&mut self, since: u64) -> Result<Vec<u8>, CodecError> {
+        self.sync();
+        self.root_mut().encode_delta_since(since)
+    }
+
+    /// Rejected: a delta is a *replica overwrite* ("make your copy match
+    /// the origin at clock `to`"), and a sharded pool's root is rebuilt
+    /// from its own workers at every sync — overwritten state would be
+    /// silently washed away. Peers fold into a sharded pool additively
+    /// via [`DynLearner::absorb_snapshot`] / [`DynLearner::absorb_peer`];
+    /// replicas that track an origin must host the model unsharded.
+    fn apply_delta(&mut self, _bytes: &[u8]) -> Result<u64, CodecError> {
+        Err(CodecError::Invalid(
+            "delta records cannot be applied to a sharded pool; host the replica unsharded",
+        ))
     }
 
     /// Decodes a peer `L` snapshot and folds it into the sync base (the

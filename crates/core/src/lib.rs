@@ -28,6 +28,7 @@
 
 pub mod awm;
 pub mod budget;
+pub(crate) mod delta;
 pub mod dyn_learner;
 pub mod frequent;
 pub mod multiclass;

@@ -23,7 +23,9 @@
 //! for it exactly as they do for the binary sketches.
 
 use crate::awm::{AwmSketch, AwmSketchConfig};
-use wmsketch_hashing::codec::{CodecError, Reader, SnapshotCodec, Writer, KIND_MULTICLASS_AWM};
+use wmsketch_hashing::codec::{
+    self, CodecError, Reader, SnapshotCodec, Writer, KIND_MULTICLASS_AWM,
+};
 use wmsketch_hashing::{fast_range, SplitMix64};
 use wmsketch_learn::{
     Label, MergeableLearner, OnlineLearner, SparseVector, TopKRecovery, WeightEntry,
@@ -130,7 +132,11 @@ impl MulticlassAwmSketch {
     pub fn update_class(&mut self, x: &SparseVector, class: usize) {
         assert!(class < self.sketches.len(), "class {class} out of range");
         self.t += 1;
+        let t = self.t;
         for (c, sketch) in self.sketches.iter_mut().enumerate() {
+            // Delta stamps across classes share the *model* clock, so one
+            // shipped watermark selects every class's dirty cells.
+            sketch.delta_epoch(t);
             sketch.update(x, if c == class { 1 } else { -1 });
         }
     }
@@ -145,11 +151,14 @@ impl MulticlassAwmSketch {
         let m = self.sketches.len();
         assert!(class < m, "class {class} out of range");
         self.t += 1;
+        let t = self.t;
+        self.sketches[class].delta_epoch(t);
         self.sketches[class].update(x, 1);
         for _ in 0..noise_samples {
             // Rejection-free sample over the other M−1 classes.
             let r = fast_range(self.nce_rng.next_u64(), (m - 1) as u64) as usize;
             let noise = if r >= class { r + 1 } else { r };
+            self.sketches[noise].delta_epoch(t);
             self.sketches[noise].update(x, -1);
         }
     }
@@ -170,6 +179,102 @@ impl MulticlassAwmSketch {
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
         self.sketches.iter().map(AwmSketch::memory_bytes).sum()
+    }
+
+    /// Encodes a **delta record**: per-class state changed since *model*
+    /// clock `since` (class dirty stamps all use the model clock, so one
+    /// watermark covers every class even under NCE's partial updates).
+    ///
+    /// Layout (after the `WMS1` envelope with
+    /// [`wmsketch_hashing::codec::FLAG_DELTA`], kind
+    /// [`KIND_MULTICLASS_AWM`]):
+    ///
+    /// ```text
+    /// section 0x20 HEAD:  from_clock (u64) | to_clock (u64)
+    /// section 0x22 STATE: classes (u32) | t (u64) | nce_rng state (u64)
+    /// classes × section 0x24 CLASS: one embedded AWM delta body
+    ///                               (CELLS | STATE | TOPK), class-ascending
+    /// ```
+    ///
+    /// Falls back to a **full snapshot** (switching tracking on) under the
+    /// same rules as [`crate::WmSketch::encode_delta_since`].
+    #[must_use]
+    pub fn encode_delta_since(&mut self, since: u64) -> Vec<u8> {
+        let t = self.t;
+        let can = since <= t
+            && self
+                .sketches
+                .iter()
+                .all(|s| s.can_delta_with_clock(since, t));
+        if !can {
+            for sketch in &mut self.sketches {
+                sketch.begin_tracking_at(t);
+            }
+            return self.to_snapshot_bytes();
+        }
+        let mut w = Writer::new();
+        w.put_delta_envelope(KIND_MULTICLASS_AWM);
+        let mark = w.begin_section(codec::DELTA_SECTION_HEAD);
+        w.put_u64(since);
+        w.put_u64(t);
+        w.end_section(mark);
+        let mark = w.begin_section(codec::DELTA_SECTION_STATE);
+        w.put_u32(self.sketches.len() as u32);
+        w.put_u64(t);
+        w.put_u64(self.nce_rng.state());
+        w.end_section(mark);
+        for sketch in &self.sketches {
+            let mark = w.begin_section(codec::DELTA_SECTION_CLASS);
+            sketch.encode_delta_body(since, &mut w);
+            w.end_section(mark);
+        }
+        w.into_bytes()
+    }
+
+    /// Applies a delta record produced by
+    /// [`MulticlassAwmSketch::encode_delta_since`] and returns the new
+    /// model clock. Error contract as [`crate::WmSketch::apply_delta`]:
+    /// [`CodecError::DeltaGap`] (model unchanged) when `from_clock` does
+    /// not equal this model's clock; on other mid-apply errors the state
+    /// is unspecified and must be discarded.
+    pub fn apply_delta(&mut self, bytes: &[u8]) -> Result<u64, CodecError> {
+        let mut r = Reader::new(bytes);
+        r.expect_delta_envelope(KIND_MULTICLASS_AWM)?;
+        let mut head = r.expect_section(codec::DELTA_SECTION_HEAD)?;
+        let from = head.take_u64()?;
+        let to = head.take_u64()?;
+        head.finish()?;
+        if to < from {
+            return Err(CodecError::Invalid("delta interval is reversed"));
+        }
+        if from != self.t {
+            return Err(CodecError::DeltaGap {
+                expected: self.t,
+                got: from,
+            });
+        }
+        let mut s = r.expect_section(codec::DELTA_SECTION_STATE)?;
+        let classes = s.take_u32()? as usize;
+        let t = s.take_u64()?;
+        let rng_state = s.take_u64()?;
+        s.finish()?;
+        if classes != self.sketches.len() {
+            return Err(CodecError::Invalid("delta class count mismatch"));
+        }
+        if t != to {
+            return Err(CodecError::Invalid(
+                "delta state clock disagrees with its interval",
+            ));
+        }
+        for sketch in &mut self.sketches {
+            let mut c = r.expect_section(codec::DELTA_SECTION_CLASS)?;
+            sketch.apply_delta_body(&mut c)?;
+            c.finish()?;
+        }
+        r.finish()?;
+        self.t = t;
+        self.nce_rng = SplitMix64::new(rng_state);
+        Ok(self.t)
     }
 }
 
@@ -294,14 +399,26 @@ impl MergeableLearner for MulticlassAwmSketch {
             self.sketches.len(),
             other.sketches.len()
         );
+        let t_new = self.t + other.t;
         for (mine, theirs) in self.sketches.iter_mut().zip(&other.sketches) {
+            // Class merges stamp at the post-merge *model* clock.
+            mine.delta_epoch(t_new);
             mine.merge_from(theirs);
         }
-        self.t += other.t;
+        self.t = t_new;
     }
 
     // rebuild_top_k: default no-op — the per-class active sets are
     // integral model state and merge_from already rebuilds them.
+
+    fn inherit_delta_stamps(&mut self, prev: &Self) {
+        if self.sketches.len() != prev.sketches.len() {
+            return;
+        }
+        for (mine, old) in self.sketches.iter_mut().zip(&prev.sketches) {
+            mine.inherit_delta_stamps(old);
+        }
+    }
 }
 
 /// Snapshot layout (after the `WMS1` envelope, kind

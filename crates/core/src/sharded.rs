@@ -241,6 +241,12 @@ pub struct ShardedLearner<L> {
     /// Arrival counter: total examples routed, and the partition-hash key
     /// for the next example.
     routed: u64,
+    /// Sum of the clocks of every peer model folded in via
+    /// [`ShardedLearner::absorb`]. Kept separate from `routed` on purpose:
+    /// `examples_seen` reports locally routed examples only, while
+    /// [`ShardedLearner::merged_clock`] — the learning-rate clock the root
+    /// reaches once synced — is `routed + absorbed`.
+    absorbed: u64,
     /// Examples routed since the last merge.
     since_sync: u64,
     /// Per-shard staging for batch routing: `route_scratch[s]` holds the
@@ -303,6 +309,7 @@ impl<L: MergeableLearner + Clone> ShardedLearner<L> {
             template: root_template,
             shards,
             routed: 0,
+            absorbed: 0,
             since_sync: 0,
             route_scratch,
         }
@@ -319,6 +326,26 @@ impl<L: MergeableLearner + Clone> ShardedLearner<L> {
     #[must_use]
     pub fn root(&self) -> &L {
         &self.root
+    }
+
+    /// Mutable access to the root model, for callers that drive the
+    /// root's own encoding machinery (e.g. delta snapshots) after a
+    /// [`ShardedLearner::sync`].
+    pub(crate) fn root_mut(&mut self) -> &mut L {
+        &mut self.root
+    }
+
+    /// The learning-rate clock the root model reaches once synced: every
+    /// locally routed example plus the clocks of every absorbed peer.
+    ///
+    /// This is the pool's *replication clock* — unlike
+    /// [`OnlineLearner::examples_seen`] (local examples only, the
+    /// documented counting semantics of [`ShardedLearner::absorb`]) it
+    /// advances when peer state is folded in, and unlike
+    /// `self.root().examples_seen()` it does not go stale between syncs.
+    #[must_use]
+    pub fn merged_clock(&self) -> u64 {
+        self.routed + self.absorbed
     }
 
     /// The worker replicas (empty in bypass mode).
@@ -377,7 +404,9 @@ impl<L: MergeableLearner + Clone> ShardedLearner<L> {
     /// [`ShardedLearner::sync`] (which rebuilds the root from the template
     /// plus the live workers) retains it. Peer examples are not added to
     /// [`OnlineLearner::examples_seen`], which counts locally routed
-    /// examples only; the root's own clock does advance by the peer's.
+    /// examples only; the peer's clock instead accrues to
+    /// [`ShardedLearner::merged_clock`], the pool's replication clock,
+    /// which the root's own clock matches after the next sync.
     ///
     /// # Panics
     /// Panics if `peer` is not merge-compatible with this learner's
@@ -387,6 +416,7 @@ impl<L: MergeableLearner + Clone> ShardedLearner<L> {
             self.template.merge_compatible(peer),
             "absorbing a merge-incompatible peer model"
         );
+        self.absorbed += peer.examples_seen();
         if !self.shards.is_empty() {
             self.template.merge_from(peer);
         }
@@ -418,6 +448,11 @@ impl<L: MergeableLearner + Clone> ShardedLearner<L> {
             candidates.dedup();
             root.rebuild_top_k(&candidates);
         }
+        // The rebuilt root starts with delta tracking off; inherit the
+        // outgoing root's change stamps (where the stored bits agree) so a
+        // sync between two delta ships does not degrade every delta to a
+        // full snapshot.
+        root.inherit_delta_stamps(&self.root);
         self.root = root;
     }
 
@@ -835,6 +870,31 @@ mod tests {
         assert_eq!(sharded.root().examples_seen(), 2500);
         let top: Vec<u32> = sharded.recover_top_k(2).iter().map(|e| e.feature).collect();
         assert!(top.contains(&3) && top.contains(&9), "top = {top:?}");
+    }
+
+    #[test]
+    fn absorb_advances_merged_clock_not_examples_seen() {
+        // Regression for the replication clock: absorbing a peer advances
+        // the root's learning-rate clock, but `examples_seen` (locally
+        // routed examples) must not move, and `merged_clock` must report
+        // routed + absorbed *without* waiting for the next sync.
+        let cfg = WmSketchConfig::new(128, 2).lambda(1e-5).seed(3);
+        let mut peer = WmSketch::new(cfg);
+        for (x, y) in planted_stream(700) {
+            peer.update(&x, y);
+        }
+        let mut sharded = sharded_wm(cfg, ShardedLearnerConfig::new(2).sync_every(0));
+        sharded.update_batch(&planted_stream(300));
+        sharded.absorb(&peer);
+        assert_eq!(sharded.examples_seen(), 300);
+        assert_eq!(sharded.merged_clock(), 1000);
+        // Stale root: peer merged in, local examples not yet synced.
+        assert_eq!(sharded.root().examples_seen(), 700);
+        sharded.sync();
+        // Synced root clock agrees with the replication clock.
+        assert_eq!(sharded.root().examples_seen(), 1000);
+        assert_eq!(sharded.merged_clock(), 1000);
+        assert_eq!(sharded.examples_seen(), 300);
     }
 
     #[test]

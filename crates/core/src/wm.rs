@@ -20,6 +20,7 @@
 //! heaviest estimated weights for `O(1)`-time retrieval, as in the
 //! reference implementation.
 
+use crate::delta::DirtyCells;
 use wmsketch_hashing::codec::{self, CodecError, Reader, SnapshotCodec, Writer, KIND_WM};
 use wmsketch_hashing::{CoordPlan, HashFamilyKind, RowHashers};
 use wmsketch_learn::{
@@ -164,6 +165,9 @@ pub struct WmSketch {
     /// buffers are reused across updates.
     plan: CoordPlan,
     t: u64,
+    /// Per-cell last-touched stamps for delta snapshots; off (empty) until
+    /// the first [`WmSketch::encode_delta_since`] call.
+    dirty: DirtyCells,
 }
 
 impl std::fmt::Debug for WmSketch {
@@ -212,6 +216,7 @@ impl WmSketch {
             heap,
             plan: CoordPlan::new(),
             t,
+            dirty: DirtyCells::off(),
         }
     }
 
@@ -238,6 +243,10 @@ impl WmSketch {
         for v in &mut self.z {
             *v *= a;
         }
+        // A fold rewrites every stored cell, so everything is dirty at the
+        // current epoch (the logical weights are unchanged, but deltas ship
+        // stored bits).
+        self.dirty.touch_all();
     }
 
     /// Pre-scale margin contribution `z_vᵀRx`.
@@ -264,6 +273,7 @@ impl WmSketch {
     pub fn update_naive(&mut self, x: &SparseVector, y: Label) {
         debug_check_label(y);
         self.t += 1;
+        self.dirty.set_epoch(self.t);
         let eta = self.cfg.learning_rate.at(self.t);
         let tau = self.scale.load(self.raw_margin(x));
         let g = self.cfg.loss.deriv(f64::from(y) * tau) * f64::from(y);
@@ -275,7 +285,9 @@ impl WmSketch {
             for (i, xi) in x.iter() {
                 let delta = self.scale.store(-eta * g * xi * self.inv_sqrt_s);
                 for (j, bs) in self.hashers.bucket_signs(u64::from(i)) {
-                    self.z[j * width + bs.bucket as usize] += bs.sign * delta;
+                    let cell = j * width + bs.bucket as usize;
+                    self.z[cell] += bs.sign * delta;
+                    self.dirty.touch(cell);
                 }
                 if self.heap.is_some() {
                     // Passive heap maintenance: re-estimate the feature
@@ -287,7 +299,161 @@ impl WmSketch {
                     }
                 }
             }
+            if self.heap.is_some() {
+                self.dirty.touch_heap();
+            }
         }
+    }
+
+    /// (Re)starts dirty-cell tracking with everything considered dirty at
+    /// the current clock — the state right after shipping a full snapshot.
+    pub(crate) fn begin_tracking(&mut self) {
+        let cells = self.z.len();
+        self.dirty.enable(cells, self.t);
+    }
+
+    /// Whether a sparse delta since `since` can be encoded (tracking on,
+    /// no clock-less mutation since, watermark not in the future).
+    pub(crate) fn can_delta(&self, since: u64) -> bool {
+        self.dirty.can_delta(since, self.t)
+    }
+
+    /// Encodes the delta body sections (everything after the HEAD):
+    /// sparse dirty cells, the full scalar state, and the top-K heap when
+    /// it moved since `since`.
+    pub(crate) fn encode_delta_body(&self, since: u64, w: &mut Writer) {
+        codec::put_delta_cells(w, &self.dirty.changed(&self.z, since));
+        let mark = w.begin_section(codec::DELTA_SECTION_STATE);
+        w.put_u64(self.t);
+        self.scale.encode_into(w);
+        w.end_section(mark);
+        let mark = w.begin_section(codec::DELTA_SECTION_TOPK);
+        if self.dirty.heap_dirty(since) {
+            w.put_u8(1);
+            match &self.heap {
+                Some(heap) => {
+                    w.put_u8(1);
+                    heap.encode_into(w);
+                }
+                None => w.put_u8(0),
+            }
+        } else {
+            w.put_u8(0);
+        }
+        w.end_section(mark);
+    }
+
+    /// Decodes and applies the delta body sections written by
+    /// [`WmSketch::encode_delta_body`]. On error the sketch is unchanged.
+    pub(crate) fn apply_delta_body(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        let cells = codec::take_delta_cells(r, self.z.len())?;
+        let mut s = r.expect_section(codec::DELTA_SECTION_STATE)?;
+        let t = s.take_u64()?;
+        let scale = ScaleState::decode_from(&mut s)?;
+        s.finish()?;
+        let mut h = r.expect_section(codec::DELTA_SECTION_TOPK)?;
+        let heap = match h.take_u8()? {
+            // 0: the heap did not move since the watermark; keep ours.
+            0 => None,
+            1 => Some(match h.take_u8()? {
+                0 if self.cfg.heap_capacity == 0 => None,
+                0 => return Err(CodecError::Invalid("missing heap for heap_capacity > 0")),
+                1 => Some(wmsketch_hh::TopKWeights::decode_from(
+                    &mut h,
+                    self.cfg.heap_capacity,
+                )?),
+                _ => return Err(CodecError::Invalid("bad top-K presence flag")),
+            }),
+            _ => return Err(CodecError::Invalid("bad delta top-K change flag")),
+        };
+        h.finish()?;
+        // Everything validated; commit.
+        for (idx, bits) in cells {
+            self.z[idx as usize] = f64::from_bits(bits);
+        }
+        self.t = t;
+        self.scale = scale;
+        if let Some(heap) = heap {
+            self.heap = heap;
+        }
+        // Applied state does not correspond to locally-tracked history any
+        // more; restart tracking conservatively (everything dirty now).
+        if self.dirty.enabled() {
+            self.begin_tracking();
+        }
+        Ok(())
+    }
+
+    /// Encodes a **delta record**: the state changed since clock `since`,
+    /// as shipped to a replica whose copy of this model is exactly the
+    /// state at `since`. Applying it with [`WmSketch::apply_delta`] makes
+    /// the replica bit-identical to this sketch — `base + delta` re-encodes
+    /// byte-for-byte equal to [`SnapshotCodec::to_snapshot_bytes`].
+    ///
+    /// Layout (after the `WMS1` envelope with [`codec::FLAG_DELTA`]):
+    ///
+    /// ```text
+    /// section 0x20 HEAD:  from_clock (u64) | to_clock (u64)
+    /// section 0x21 CELLS: count (u64) | count × (index u32, f64 bits u64)
+    /// section 0x22 STATE: t (u64) | alpha (f64) | fold threshold (f64)
+    /// section 0x23 TOPK:  changed (u8) | [present (u8) | [heap]]
+    /// ```
+    ///
+    /// Deltas *overwrite* raw cell bit patterns rather than adding values:
+    /// sketch updates are state-dependent (the margin feeds the gradient),
+    /// so only overwrites preserve bit-identity.
+    ///
+    /// Falls back to a **full snapshot** (and switches dirty-cell tracking
+    /// on) when a sparse delta since `since` cannot be produced: on the
+    /// first call, after decoding, when `since` is in the future, or after
+    /// a clock-less mutation (merging a zero-clock peer). Callers
+    /// distinguish the two record shapes with [`codec::is_delta_record`].
+    #[must_use]
+    pub fn encode_delta_since(&mut self, since: u64) -> Vec<u8> {
+        if !self.can_delta(since) {
+            self.begin_tracking();
+            return self.to_snapshot_bytes();
+        }
+        let mut w = Writer::new();
+        w.put_delta_envelope(KIND_WM);
+        let mark = w.begin_section(codec::DELTA_SECTION_HEAD);
+        w.put_u64(since);
+        w.put_u64(self.t);
+        w.end_section(mark);
+        self.encode_delta_body(since, &mut w);
+        w.into_bytes()
+    }
+
+    /// Applies a delta record produced by [`WmSketch::encode_delta_since`]
+    /// and returns the new clock. The record's `from_clock` must equal this
+    /// sketch's clock exactly; a mismatch is [`CodecError::DeltaGap`] and
+    /// leaves the sketch unchanged (re-pull from the origin with the right
+    /// watermark). On any other decode error mid-apply the state is
+    /// unspecified and must be discarded.
+    pub fn apply_delta(&mut self, bytes: &[u8]) -> Result<u64, CodecError> {
+        let mut r = Reader::new(bytes);
+        r.expect_delta_envelope(KIND_WM)?;
+        let mut head = r.expect_section(codec::DELTA_SECTION_HEAD)?;
+        let from = head.take_u64()?;
+        let to = head.take_u64()?;
+        head.finish()?;
+        if to < from {
+            return Err(CodecError::Invalid("delta interval is reversed"));
+        }
+        if from != self.t {
+            return Err(CodecError::DeltaGap {
+                expected: self.t,
+                got: from,
+            });
+        }
+        self.apply_delta_body(&mut r)?;
+        r.finish()?;
+        if self.t != to {
+            return Err(CodecError::Invalid(
+                "delta state clock disagrees with its interval",
+            ));
+        }
+        Ok(self.t)
     }
 }
 
@@ -323,10 +489,18 @@ impl MergeableLearner for WmSketch {
             other.cfg.depth,
             other.cfg.seed
         );
+        // Stamp the whole merge at the post-merge clock; a zero-clock peer
+        // would change bits without advancing the clock, which no sparse
+        // delta watermark can express.
+        self.dirty.set_epoch(self.t + other.t);
+        if other.t == 0 {
+            self.dirty.require_full();
+        }
         self.fold_scale();
         for (cell, &o) in self.z.iter_mut().zip(&other.z) {
             *cell += other.scale.load(o);
         }
+        self.dirty.touch_all();
         self.t += other.t;
         if self.heap.is_some() {
             // rebuild_top_k unions with self's current heap features, so
@@ -374,6 +548,11 @@ impl MergeableLearner for WmSketch {
             .collect();
         let heap = self.heap.as_mut().expect("checked above");
         *heap = wmsketch_hh::TopKWeights::from_heaviest(heap.capacity(), ranked);
+        self.dirty.touch_heap();
+    }
+
+    fn inherit_delta_stamps(&mut self, prev: &Self) {
+        self.dirty.inherit(&prev.dirty, &self.z, &prev.z, self.t);
     }
 }
 
@@ -522,6 +701,7 @@ impl OnlineLearner for WmSketch {
     fn update(&mut self, x: &SparseVector, y: Label) {
         debug_check_label(y);
         self.t += 1;
+        self.dirty.set_epoch(self.t);
         let eta = self.cfg.learning_rate.at(self.t);
         // Single hashing pass over the example.
         self.hashers.fill_plan(&mut self.plan, x.indices());
@@ -539,8 +719,15 @@ impl OnlineLearner for WmSketch {
             let inv_sqrt_s = self.inv_sqrt_s;
             let sqrt_s = self.sqrt_s;
             let scale = self.scale;
-            let Self { z, plan, heap, .. } = self;
+            let Self {
+                z,
+                plan,
+                heap,
+                dirty,
+                ..
+            } = self;
             let depth_one = plan.depth() == 1;
+            let tracking = dirty.enabled();
             for (slot, (i, xi)) in x.iter().enumerate() {
                 let delta = scale.store(-eta * g * xi * inv_sqrt_s);
                 if let Some(heap) = heap {
@@ -563,6 +750,14 @@ impl OnlineLearner for WmSketch {
                 } else {
                     plan.slot_scatter(slot, z, delta);
                 }
+                if tracking {
+                    for &o in plan.coords(slot).0 {
+                        dirty.touch(o as usize);
+                    }
+                }
+            }
+            if heap.is_some() {
+                dirty.touch_heap();
             }
         }
     }

@@ -41,6 +41,13 @@ use crate::row_hasher::HashFamilyKind;
 /// version.
 pub const MAGIC: [u8; 4] = *b"WMS1";
 
+/// Envelope flags bit marking a **delta record**: a sparse overwrite of
+/// the cells/heap/state that changed since a watermark clock, applied to
+/// a base snapshot of the same kind via `apply_delta`. Full snapshots
+/// keep flags 0, so every pre-delta decoder rejects a delta record with
+/// a typed error instead of misparsing it as full state.
+pub const FLAG_DELTA: u8 = 0x01;
+
 /// Payload-kind byte for a `CountSketch` snapshot.
 pub const KIND_COUNT_SKETCH: u8 = 0x01;
 /// Payload-kind byte for a `CountMinSketch` snapshot.
@@ -109,6 +116,17 @@ pub enum CodecError {
     /// A well-formed envelope declared a kind no registered decoder
     /// handles (see [`decode_any`]).
     UnknownKind(u8),
+    /// A delta record's watermark interval does not start at the base
+    /// model's clock — applying it would skip or double-apply updates.
+    /// Idempotent re-delivery handling (skip when `got < expected`)
+    /// belongs to the replication layer, which sees this typed rejection
+    /// instead of corrupted state.
+    DeltaGap {
+        /// The base model's clock (the only valid `from_clock`).
+        expected: u64,
+        /// The delta's `from_clock`.
+        got: u64,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -137,6 +155,12 @@ impl std::fmt::Display for CodecError {
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after snapshot body"),
             CodecError::UnknownKind(k) => {
                 write!(f, "no registered decoder for snapshot kind {k:#04x}")
+            }
+            CodecError::DeltaGap { expected, got } => {
+                write!(
+                    f,
+                    "delta gap: record starts at clock {got}, base model is at clock {expected}"
+                )
             }
         }
     }
@@ -211,6 +235,14 @@ impl Writer {
         self.put_bytes(&MAGIC);
         self.put_u8(kind);
         self.put_u8(0); // reserved flags
+    }
+
+    /// Writes a **delta-record** envelope: magic, payload kind, and the
+    /// [`FLAG_DELTA`] flags bit.
+    pub fn put_delta_envelope(&mut self, kind: u8) {
+        self.put_bytes(&MAGIC);
+        self.put_u8(kind);
+        self.put_u8(FLAG_DELTA);
     }
 
     /// Opens a tagged section, returning a mark for
@@ -330,6 +362,30 @@ impl<'a> Reader<'a> {
         }
         if self.take_u8()? != 0 {
             return Err(CodecError::Invalid("reserved envelope flags must be 0"));
+        }
+        Ok(())
+    }
+
+    /// Reads and validates a **delta-record** envelope ([`FLAG_DELTA`]
+    /// set), returning an error if the magic, version, kind, or flags do
+    /// not match.
+    ///
+    /// # Errors
+    /// Everything [`Reader::expect_envelope`] rejects, plus
+    /// [`CodecError::Invalid`] when the buffer is a full snapshot (flags
+    /// 0) or carries unknown flag bits.
+    pub fn expect_delta_envelope(&mut self, kind: u8) -> Result<(), CodecError> {
+        let got = take_magic_and_kind(self)?;
+        if got != kind {
+            return Err(CodecError::WrongKind {
+                expected: kind,
+                got,
+            });
+        }
+        if self.take_u8()? != FLAG_DELTA {
+            return Err(CodecError::Invalid(
+                "expected a delta record (FLAG_DELTA envelope flags)",
+            ));
         }
         Ok(())
     }
@@ -536,6 +592,103 @@ fn take_magic_and_kind(r: &mut Reader<'_>) -> Result<u8, CodecError> {
 /// version.
 pub fn peek_kind(bytes: &[u8]) -> Result<u8, CodecError> {
     take_magic_and_kind(&mut Reader::new(bytes))
+}
+
+/// Reads the envelope far enough to report the flags byte — the way a
+/// transport decides whether `bytes` is a full snapshot (flags 0) or a
+/// delta record ([`FLAG_DELTA`]) before dispatching to the matching
+/// apply path.
+///
+/// # Errors
+/// Everything [`peek_kind`] rejects, plus [`CodecError::Truncated`] when
+/// the buffer ends before the flags byte.
+pub fn peek_flags(bytes: &[u8]) -> Result<u8, CodecError> {
+    let mut r = Reader::new(bytes);
+    let _ = take_magic_and_kind(&mut r)?;
+    r.take_u8()
+}
+
+/// Whether `bytes` is a well-formed-enough envelope carrying
+/// [`FLAG_DELTA`].
+///
+/// # Errors
+/// Everything [`peek_flags`] rejects.
+pub fn is_delta_record(bytes: &[u8]) -> Result<bool, CodecError> {
+    Ok(peek_flags(bytes)? & FLAG_DELTA != 0)
+}
+
+// Delta-record section tags. Tags 0x20.. are disjoint from every full-
+// snapshot section tag (0x01–0x05) so a misrouted buffer fails on the
+// first section header rather than deep inside a payload.
+
+/// Delta section: `from_clock (u64) | to_clock (u64)` — the watermark
+/// interval the record covers.
+pub const DELTA_SECTION_HEAD: u8 = 0x20;
+/// Delta section: sparse cell overwrites,
+/// `count (u64) | count × (index u32, bits u64)` — raw `f64` bit
+/// patterns of every stored cell whose bits changed inside the interval.
+pub const DELTA_SECTION_CELLS: u8 = 0x21;
+/// Delta section: the full post-interval mutable scalar state (update
+/// clock + scale), identical in layout to the full snapshot's STATE
+/// section.
+pub const DELTA_SECTION_STATE: u8 = 0x22;
+/// Delta section: `present (u8)` then, when 1, the full snapshot TOPK
+/// payload replacing the base's heap; 0 means the heap did not change
+/// inside the interval.
+pub const DELTA_SECTION_TOPK: u8 = 0x23;
+/// Delta section (multiclass): one embedded per-class delta body.
+pub const DELTA_SECTION_CLASS: u8 = 0x24;
+
+/// Encodes the sparse cell-overwrite section
+/// ([`DELTA_SECTION_CELLS`]): each entry is the cell's index and the raw
+/// bit pattern of its current stored value.
+pub fn put_delta_cells(w: &mut Writer, cells: &[(u32, u64)]) {
+    let mark = w.begin_section(DELTA_SECTION_CELLS);
+    w.put_u64(cells.len() as u64);
+    for &(idx, bits) in cells {
+        w.put_u32(idx);
+        w.put_u64(bits);
+    }
+    w.end_section(mark);
+}
+
+/// Decodes a [`put_delta_cells`] section, validating indices against
+/// `cells` (the base sketch's cell count) and requiring every overwrite
+/// value to be finite (stored cells of a legitimately trained sketch
+/// always are).
+///
+/// # Errors
+/// Any [`CodecError`] on a tag mismatch, truncation, an out-of-range
+/// index, or a non-finite value.
+pub fn take_delta_cells(r: &mut Reader<'_>, cells: usize) -> Result<Vec<(u32, u64)>, CodecError> {
+    let mut s = r.expect_section(DELTA_SECTION_CELLS)?;
+    let n = s.take_u64()?;
+    if n > cells as u64 {
+        return Err(CodecError::Invalid(
+            "delta overwrites more cells than the sketch has",
+        ));
+    }
+    let n = n as usize;
+    if s.remaining() < n.saturating_mul(12) {
+        return Err(CodecError::Truncated {
+            needed: n.saturating_mul(12),
+            have: s.remaining(),
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let idx = s.take_u32()?;
+        if idx as usize >= cells {
+            return Err(CodecError::Invalid("delta cell index out of range"));
+        }
+        let bits = s.take_u64()?;
+        if !f64::from_bits(bits).is_finite() {
+            return Err(CodecError::Invalid("non-finite delta cell value"));
+        }
+        out.push((idx, bits));
+    }
+    s.finish()?;
+    Ok(out)
 }
 
 /// One entry of a [`decode_any`] registry: the kind byte a decoder

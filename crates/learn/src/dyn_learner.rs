@@ -169,6 +169,36 @@ pub trait DynLearner: Send {
     /// a panic: the bytes come from outside the process.
     fn absorb_snapshot(&mut self, bytes: &[u8]) -> Result<(), CodecError>;
 
+    /// Encodes the model state changed since clock `since` as a `WMS1`
+    /// **delta record** for replication — or a full snapshot when a sparse
+    /// delta cannot be produced (first call, decoded model, clock-less
+    /// mutation, future watermark). Callers distinguish the two shapes
+    /// with `codec::is_delta_record`. `&mut self` because the first call
+    /// switches on dirty-cell tracking (and sharded wrappers sync).
+    ///
+    /// # Errors
+    /// [`CodecError::Invalid`] for learner kinds without a snapshot codec.
+    fn encode_delta_since(&mut self, since: u64) -> Result<Vec<u8>, CodecError> {
+        let _ = since;
+        Err(NO_SNAPSHOT_CODEC)
+    }
+
+    /// Applies a delta record from [`DynLearner::encode_delta_since`],
+    /// making this replica bit-identical to the origin at the delta's
+    /// `to_clock`; returns that clock.
+    ///
+    /// # Errors
+    /// [`CodecError::DeltaGap`] when the record's `from_clock` does not
+    /// equal this model's clock (the model is unchanged; re-pull with the
+    /// right watermark); any other [`CodecError`] for malformed records
+    /// (state then unspecified — discard the replica);
+    /// [`CodecError::Invalid`] for kinds that cannot apply deltas (no
+    /// codec, or sharded pools — deltas apply to *unsharded* replicas).
+    fn apply_delta(&mut self, bytes: &[u8]) -> Result<u64, CodecError> {
+        let _ = bytes;
+        Err(NO_SNAPSHOT_CODEC)
+    }
+
     /// The concrete value, for peer downcasting in
     /// [`DynLearner::absorb_peer`].
     fn as_any(&self) -> &dyn std::any::Any;

@@ -19,11 +19,11 @@ use wmsketch_learn::{Label, SparseVector};
 use crate::error::ServeError;
 use crate::protocol::{
     put_examples, put_features, read_frame, request, request_for_model, take_model_info,
-    write_frame, ModelInfo, DEFAULT_MODEL_ID, OP_CHECKPOINT, OP_CREATE, OP_ESTIMATE, OP_LIST,
-    OP_MERGE, OP_PREDICT, OP_RESET, OP_RESTORE, OP_SHUTDOWN, OP_SNAPSHOT, OP_STATS, OP_TOPK,
-    OP_UPDATE, STATUS_OK,
+    write_frame, ModelInfo, DEFAULT_MODEL_ID, OP_ACK, OP_CHECKPOINT, OP_CREATE, OP_ESTIMATE,
+    OP_LIST, OP_MERGE, OP_PEER_JOIN, OP_PREDICT, OP_PULL_DELTA, OP_RESET, OP_RESTORE, OP_SHUTDOWN,
+    OP_SNAPSHOT, OP_STATS, OP_TOPK, OP_UPDATE, STATUS_OK,
 };
-use crate::server::{ServeBackend, ServeStats, CREATE_MODE_DEFERRED_HEAP};
+use crate::server::{ReplRow, ServeBackend, ServeStats, CREATE_MODE_DEFERRED_HEAP};
 
 /// One connection to a serving node.
 pub struct ServeClient {
@@ -49,6 +49,41 @@ impl ServeClient {
             model: DEFAULT_MODEL_ID,
             legacy: false,
         })
+    }
+
+    /// Connects with a bound on how long the TCP connect may block —
+    /// what the gossip loop uses so a partitioned peer costs one timeout,
+    /// not a hung tick. Resolves `addr` and tries each candidate address
+    /// with the full timeout.
+    ///
+    /// # Errors
+    /// Propagates socket errors; `TimedOut` when no candidate answered.
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: std::time::Duration,
+    ) -> Result<Self, ServeError> {
+        let mut last: Option<std::io::Error> = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(timeout))?;
+                    stream.set_write_timeout(Some(timeout))?;
+                    return Ok(Self {
+                        stream,
+                        model: DEFAULT_MODEL_ID,
+                        legacy: false,
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ServeError::Io(last.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        })))
     }
 
     /// Connects speaking the legacy (version-1, headerless) framing a
@@ -123,7 +158,9 @@ impl ServeClient {
     /// Registers a new model on the node and returns its id. `template`
     /// is an untrained `WMS1` snapshot of any registered learner kind
     /// (WM, AWM, multiclass AWM); the node hosts it behind `shards`
-    /// worker replicas. Does not switch this client to the new model.
+    /// worker replicas, or **unsharded** (the plain decoded learner, the
+    /// replication hosting mode) when `shards == 0`. Does not switch this
+    /// client to the new model.
     ///
     /// # Errors
     /// Any [`ServeError`]; the node rejects trained templates, duplicate
@@ -213,8 +250,13 @@ impl ServeClient {
     /// would have returned.
     ///
     /// # Errors
-    /// Any [`ServeError`]. After an error the connection has unread
-    /// in-flight responses and MUST be discarded, not reused.
+    /// An `ERR` landing mid-window is returned as
+    /// [`ServeError::RemoteFrame`], whose `frame` is the zero-based index
+    /// of the failed frame in this call's frame order — everything before
+    /// it was ingested, so a retry loop resumes at
+    /// `examples[frame * frame_examples..]`. After any error the
+    /// connection has unread in-flight responses and MUST be discarded,
+    /// not reused.
     pub fn update_many(
         &mut self,
         examples: &[(SparseVector, Label)],
@@ -250,9 +292,14 @@ impl ServeClient {
                 .take_u8()
                 .map_err(|_| ServeError::Protocol("empty response"))?;
             if status != STATUS_OK {
-                return Err(ServeError::Remote(
-                    String::from_utf8_lossy(&resp[1..]).into_owned(),
-                ));
+                // Responses retire oldest-first, so the frame this ERR
+                // answers is exactly the next unretired one — its index
+                // lets a retry loop resume instead of replaying the
+                // window.
+                return Err(ServeError::RemoteFrame {
+                    frame: counts.len(),
+                    message: String::from_utf8_lossy(&resp[1..]).into_owned(),
+                });
             }
             counts.push(r.take_u64()?);
         }
@@ -328,6 +375,56 @@ impl ServeClient {
         Ok(Reader::new(&resp).take_u64()?)
     }
 
+    /// Registers a replication peer (`node_id`, reachable at `addr`) with
+    /// the server; returns the server's own node id. Re-joining with a
+    /// new address replaces the old one (registry-level op).
+    ///
+    /// # Errors
+    /// Any [`ServeError`]; the server rejects a peer id equal to its own.
+    pub fn peer_join(&mut self, node_id: u64, addr: &str) -> Result<u64, ServeError> {
+        let mut w = Writer::new();
+        w.put_u64(node_id);
+        w.put_u32(addr.len() as u32);
+        w.put_bytes(addr.as_bytes());
+        let resp = self.call_op(OP_PEER_JOIN, w)?;
+        Ok(Reader::new(&resp).take_u64()?)
+    }
+
+    /// Pulls replication state of `origin`'s copy of the addressed model:
+    /// a delta record since `since` (the caller's applied watermark), a
+    /// full snapshot when `since` is
+    /// [`crate::protocol::PULL_SINCE_FULL`] or a delta cannot be proven
+    /// exact, or empty bytes when the server has nothing newer. Returns
+    /// `(to_clock, record)`.
+    ///
+    /// # Errors
+    /// Any [`ServeError`]; the server rejects origins it holds no replica
+    /// for.
+    pub fn pull_delta(&mut self, origin: u64, since: u64) -> Result<(u64, Vec<u8>), ServeError> {
+        let mut w = Writer::new();
+        w.put_u64(origin);
+        w.put_u64(since);
+        let resp = self.call_op(OP_PULL_DELTA, w)?;
+        let mut r = Reader::new(&resp);
+        let to_clock = r.take_u64()?;
+        Ok((to_clock, resp[8..].to_vec()))
+    }
+
+    /// Records this caller's applied watermark of the addressed model's
+    /// local copy in the server's shipped-clock vector; returns the
+    /// vector's current entry. Equal re-delivery is idempotent; a
+    /// regressing ack is a typed remote error.
+    ///
+    /// # Errors
+    /// Any [`ServeError`].
+    pub fn ack_clock(&mut self, peer: u64, acked: u64) -> Result<u64, ServeError> {
+        let mut w = Writer::new();
+        w.put_u64(peer);
+        w.put_u64(acked);
+        let resp = self.call_op(OP_ACK, w)?;
+        Ok(Reader::new(&resp).take_u64()?)
+    }
+
     /// Writes a checkpoint file on the server; returns its size in bytes.
     ///
     /// # Errors
@@ -371,6 +468,24 @@ impl ServeClient {
         } else {
             (ServeBackend::Threaded, 0, 0)
         };
+        // The v7 replication tail (node id + shipped-clock/applied rows)
+        // follows the v6 tail; a pre-v7 node ends the payload here.
+        let (node_id, replication) = if r.remaining() >= 12 {
+            let node_id = r.take_u64()?;
+            let count = r.take_u32()?;
+            let mut rows = Vec::with_capacity((count as usize).min(r.remaining() / 28));
+            for _ in 0..count {
+                rows.push(ReplRow {
+                    model: r.take_u32()?,
+                    peer: r.take_u64()?,
+                    acked: r.take_u64()?,
+                    applied: r.take_u64()?,
+                });
+            }
+            (node_id, rows)
+        } else {
+            (0, Vec::new())
+        };
         Ok(ServeStats {
             routed,
             root_examples,
@@ -380,6 +495,8 @@ impl ServeClient {
             backend,
             update_lock_acquisitions,
             update_frames,
+            node_id,
+            replication,
         })
     }
 

@@ -12,6 +12,18 @@ pub enum ServeError {
     /// The peer reported an error (the server's `ERR` status); the string
     /// is the peer's message.
     Remote(String),
+    /// An `ERR` landed mid-window on a pipelined request stream
+    /// ([`crate::ServeClient::update_many`]): `frame` is the zero-based
+    /// index — in the caller's frame order — of the request the peer
+    /// rejected. Every frame before it succeeded (their results were
+    /// already returned in order), so a retry loop can resume from
+    /// `frame` instead of replaying the whole window.
+    RemoteFrame {
+        /// Zero-based index of the failed frame in the submitted order.
+        frame: usize,
+        /// The peer's `ERR` message for that frame.
+        message: String,
+    },
     /// The peer violated the framing or payload layout.
     Protocol(&'static str),
 }
@@ -22,6 +34,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
             ServeError::Codec(e) => write!(f, "codec error: {e}"),
             ServeError::Remote(msg) => write!(f, "remote error: {msg}"),
+            ServeError::RemoteFrame { frame, message } => {
+                write!(f, "remote error on frame {frame}: {message}")
+            }
             ServeError::Protocol(what) => write!(f, "protocol violation: {what}"),
         }
     }

@@ -64,7 +64,7 @@ use wmsketch_learn::{Label, SparseVector};
 use crate::poller::{Event, Poller, Waker, EVENT_READ, EVENT_WRITE};
 use crate::protocol::{
     take_examples_into, take_request_head, ExamplesScratch, FrameAssembler, OP_CREATE, OP_LIST,
-    OP_SHUTDOWN, OP_UPDATE,
+    OP_PEER_JOIN, OP_SHUTDOWN, OP_UPDATE,
 };
 use crate::server::{
     accept_loop, finalize_response, handle_request, is_shutdown_request, resolve_model, ModelEntry,
@@ -654,10 +654,33 @@ impl EventLoop {
             let _ = h.join();
         }
         self.apply_completions();
-        // Last-gasp flush for anything still buffered.
-        let tokens: Vec<u64> = self.conns.keys().copied().collect();
-        for token in tokens {
-            self.finish_conn_io(token);
+        // Flush every owed response until the sockets take them or the
+        // deadline expires. Every completion is in its slot by now (the
+        // executors drained their backlog before exiting), so a response
+        // still unwritten is only waiting on socket writability — a
+        // single pass would drop already-computed responses whenever a
+        // full pipeline window's worth of bytes exceeds what one
+        // non-blocking write can move (the kernel send buffer fills and
+        // returns WouldBlock). Keep pumping writability until every
+        // connection is flushed.
+        loop {
+            let pending: Vec<u64> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| {
+                    c.wpos < c.wbuf.len() || c.slots.iter().any(|s| s.response.is_some())
+                })
+                .map(|(&t, _)| t)
+                .collect();
+            if pending.is_empty() || Instant::now() >= deadline {
+                break;
+            }
+            for token in pending {
+                self.finish_conn_io(token);
+            }
+            // Wait for writability (or the slice of deadline left) before
+            // the next pass, so a slow reader doesn't spin this loop.
+            let _ = self.poller.wait(&mut events, 20);
         }
     }
 }
@@ -719,7 +742,11 @@ fn classify(shared: &Shared, body: Vec<u8>, token: u64, seq: u64) -> (WorkKey, J
             )
         }
     };
-    if matches!(head.op, OP_CREATE | OP_LIST | OP_SHUTDOWN) {
+    // Registry-level ops (OP_PEER_JOIN included — it touches the peer
+    // table, not a model) share the misc FIFO. The replication model ops
+    // (OP_PULL_DELTA, OP_ACK) fall through to the model queue below, so
+    // they order against pipelined UPDATE/MERGE traffic on their model.
+    if matches!(head.op, OP_CREATE | OP_LIST | OP_SHUTDOWN | OP_PEER_JOIN) {
         return (
             WorkKey::Misc,
             Job {

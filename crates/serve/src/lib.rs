@@ -169,12 +169,18 @@
 //! | `0B` | SHUTDOWN | — | — (server drains afterwards; registry-level) |
 //! | `0C` | CREATE | name_len (u32) \| name \| shards (u32) \| \[mode] \| template snapshot | model id (u32) (registry-level) |
 //! | `0D` | LIST | — | count (u32) \| count × model (registry-level) |
+//! | `0E` | PEER_JOIN | node id (u64) \| addr_len (u32) \| addr | this node's id (u64) (registry-level) |
+//! | `0F` | PULL_DELTA | origin (u64) \| since (u64) | to_clock (u64) \| record bytes (empty = nothing newer) |
+//! | `10` | ACK | peer (u64) \| acked clock (u64) | current acked clock (u64) |
 //!
 //! CREATE registers a named model from an **untrained** template
 //! snapshot of any registered kind — the template carries the complete
 //! configuration (shape, hash family, seed, hyperparameters), so one op
 //! covers every learner kind; the node wraps it in a shard pool of
-//! `shards` workers. Kind dispatch goes through
+//! `shards` workers, or hosts the plain decoded learner **unsharded**
+//! when `shards == 0` (the replication hosting mode — delta records
+//! apply only to unsharded copies, and only an unsharded copy can be
+//! recovered wholesale from a peer's replica after a restart). Kind dispatch goes through
 //! `wmsketch_hashing::codec::decode_any` (via
 //! [`wmsketch_core::build_sharded_any`]), so an AWM or multiclass node
 //! speaks exactly the protocol a WM node does. MERGE and RESTORE decode
@@ -210,6 +216,16 @@
 //! coalescing factor**, which is how the event loop's cross-connection
 //! UPDATE coalescing is made visible on the wire.
 //!
+//! The v7 **replication tail** follows the v6 tail (again, older clients
+//! just stop reading earlier):
+//!
+//! ```text
+//! node id (u64) | row count (u32)
+//! | count × (model id (u32) | peer id (u64)
+//!            | acked clock (u64, shipped-clock vector entry)
+//!            | applied clock (u64, this node's replica of that origin))
+//! ```
+//!
 //! Query ops (PREDICT/ESTIMATE/TOPK/SNAPSHOT/CHECKPOINT) sync the
 //! addressed model's shard pool first, so responses always reflect every
 //! ingested example. MERGE folds the peer model into the model's *sync
@@ -217,6 +233,78 @@
 //! STATS tail and LIST report the registry — per-model kind, shard
 //! count, update clock, and memory — so operators can see what a node is
 //! hosting.
+//!
+//! ## Merge clock semantics
+//!
+//! A model keeps **two** example counters, and MERGE is exactly where
+//! they diverge: `examples_seen` counts examples this node ingested
+//! locally (UPDATE frames), while the model's **clock** additionally
+//! accumulates the clocks of absorbed peer snapshots. STATS reports
+//! both (`routed` = local, `clock` = merged); UPDATE responses carry
+//! the local count, MERGE responses carry the merged clock. For a
+//! sharded pool the merged clock is maintained as its own counter
+//! (`ShardedLearner::merged_clock` — routed plus absorbed), so it is
+//! correct **immediately** after a MERGE rather than only after the next
+//! shard sync rebuilds the root; the two counters never silently
+//! disagree between syncs.
+//!
+//! ## Replication: delta snapshots + anti-entropy gossip
+//!
+//! Because updates are state-dependent (the margin feeds the gradient),
+//! deltas cannot be additive and stay bit-exact — so a **delta record**
+//! ships sparse *overwrites*: the raw `f64` bit patterns of exactly the
+//! cells touched since a watermark clock, plus the (tiny) scalar state
+//! and the top-K heap when it moved. Applying a delta for the clock
+//! interval `(from, to]` onto a replica at clock `from` makes the
+//! replica re-encode **bit-identically** to a full snapshot of the
+//! origin at `to`; a replica at any other clock rejects it with the
+//! typed `DeltaGap` error and is left untouched — re-delivery is thereby
+//! harmless and out-of-order delivery is detected, which is what makes
+//! the pull loop below safe to retry blindly.
+//!
+//! Delta record layout (the full snapshot's envelope with flags bit
+//! `0x01` set; sections are `tag | len (u32) | payload` as above):
+//!
+//! ```text
+//! "WMS1" | kind | 01
+//! tag 20 HEAD    from clock (u64) | to clock (u64)
+//! tag 21 CELLS   count (u64) | count × (cell index u32 | raw f64 bits u64)
+//! tag 22 STATE   t (u64) | scale state (as in the full STATE section)
+//! tag 23 TOPK    changed (u8) | [heap / active set as in full TOPK]
+//! ```
+//!
+//! A multiclass delta is `HEAD | STATE (classes u32 | t u64 | nce rng
+//! state u64)` followed by `classes` CLASS sections (tag `24`), each
+//! wrapping one embedded AWM delta body, class-ascending — the NCE rng
+//! state rides the delta so replicas stay in noise-sample lockstep.
+//!
+//! On top of the records sit per-model **origin replicas**: each node
+//! hosts its own authoritative copy (ingesting its partition of the
+//! stream, unsharded — `shards == 0`) and, per origin it has heard of, a
+//! replica of that origin's copy advanced purely by pulled records. The
+//! gossip loop ([`ServeConfig::gossip_every_ms`]) ticks on its own timer
+//! thread and, for every registered peer (PEER_JOIN) and shared model
+//! *name* (registry ids are node-local), pulls every cluster member's
+//! origin (PULL_DELTA), applies, and acks the peer's own copy (ACK) —
+//! pulling third-party origins carries state across partitions
+//! transitively through whichever links are up, and pulling one's *own*
+//! origin is restart recovery: a node that lost its local copy adopts a
+//! peer's replica of it and resumes bit-identically. Connect failures
+//! back off exponentially with deterministic splitmix64 jitter keyed by
+//! `(node, peer, attempt)`, so retry schedules reproduce under a fixed
+//! topology yet never phase-lock across a fleet.
+//!
+//! Once a model holds origin replicas, read queries
+//! (PREDICT/ESTIMATE/TOPK/SNAPSHOT) serve the **canonical merged view**:
+//! the origin snapshots (the local copy included, keyed by this node's
+//! id) folded in ascending origin-id order. The fixed fold order matters
+//! — floating-point merge addition is not associative — and is what
+//! makes every node's merged view, and hence its estimates, margins,
+//! top-K, and SNAPSHOT bytes, **bit-identical** once replicas converge.
+//! The view is cached against its `(origin, clock)` basis and rebuilt
+//! only when local ingest or an applied record moves that basis. UPDATE,
+//! MERGE, CHECKPOINT, RESTORE, and RESET keep addressing the node's
+//! local copy.
 //!
 //! ## Backends
 //!
@@ -261,6 +349,7 @@ pub mod client;
 pub mod error;
 #[cfg(target_os = "linux")]
 mod event_loop;
+mod gossip;
 #[cfg(target_os = "linux")]
 mod poller;
 pub mod protocol;
@@ -270,6 +359,6 @@ pub use client::ServeClient;
 pub use error::ServeError;
 pub use protocol::ModelInfo;
 pub use server::{
-    ServeBackend, ServeConfig, ServeStats, ServerHandle, WmServer, CREATE_MODE_DEFERRED_HEAP,
-    CREATE_MODE_WORKER_HEAPS, MAX_DEFERRED_CANDIDATES,
+    ReplRow, ServeBackend, ServeConfig, ServeStats, ServerHandle, WmServer,
+    CREATE_MODE_DEFERRED_HEAP, CREATE_MODE_WORKER_HEAPS, MAX_DEFERRED_CANDIDATES,
 };

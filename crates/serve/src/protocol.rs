@@ -49,6 +49,30 @@ pub const OP_SHUTDOWN: u8 = 0x0B;
 pub const OP_CREATE: u8 = 0x0C;
 /// Request opcode: list the model registry (registry-level).
 pub const OP_LIST: u8 = 0x0D;
+/// Request opcode: register a replication peer (`node id (u64) |
+/// addr_len (u32) | addr UTF-8`) with this node; the OK payload is the
+/// receiving node's own id (registry-level). Re-joining with a new
+/// address replaces the old one — how a restarted node re-announces
+/// itself.
+pub const OP_PEER_JOIN: u8 = 0x0E;
+/// Request opcode: pull replication state of one *origin* node's copy of
+/// the addressed model: `origin node id (u64) | since (u64)`. `since` is
+/// the requester's applied watermark ([`PULL_SINCE_FULL`] requests a full
+/// snapshot); the OK payload is `to_clock (u64) | record bytes` where the
+/// record is a full `WMS1` snapshot or a delta record (distinguished by
+/// its flags byte), and empty when the server has nothing newer than
+/// `since`.
+pub const OP_PULL_DELTA: u8 = 0x0F;
+/// Request opcode: record a peer's applied watermark for the addressed
+/// model in the node's shipped-clock vector: `peer node id (u64) |
+/// acked clock (u64)`. Equal re-delivery is idempotent; a regressing ack
+/// is rejected with a typed error (the vector is monotonic). The OK
+/// payload is the current acked clock (u64).
+pub const OP_ACK: u8 = 0x10;
+
+/// [`OP_PULL_DELTA`] `since` sentinel: the requester has no state for
+/// this origin and needs a full snapshot, not a delta.
+pub const PULL_SINCE_FULL: u64 = u64::MAX;
 
 /// Response status: success; the payload is op-specific.
 pub const STATUS_OK: u8 = 0x00;

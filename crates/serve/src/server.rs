@@ -15,7 +15,7 @@
 //!   from many connections into single `update_batch` calls under one
 //!   lock acquisition.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -31,9 +31,9 @@ use wmsketch_hashing::codec::{self, Reader, Writer, KIND_WM};
 use crate::error::ServeError;
 use crate::protocol::{
     self, take_examples_into, take_features, take_request_head, write_frame, ExamplesScratch,
-    ModelInfo, MAX_FRAME_LEN, OP_CHECKPOINT, OP_CREATE, OP_ESTIMATE, OP_LIST, OP_MERGE, OP_PREDICT,
-    OP_RESET, OP_RESTORE, OP_SHUTDOWN, OP_SNAPSHOT, OP_STATS, OP_TOPK, OP_UPDATE, STATUS_ERR,
-    STATUS_OK,
+    ModelInfo, MAX_FRAME_LEN, OP_ACK, OP_CHECKPOINT, OP_CREATE, OP_ESTIMATE, OP_LIST, OP_MERGE,
+    OP_PEER_JOIN, OP_PREDICT, OP_PULL_DELTA, OP_RESET, OP_RESTORE, OP_SHUTDOWN, OP_SNAPSHOT,
+    OP_STATS, OP_TOPK, OP_UPDATE, PULL_SINCE_FULL, STATUS_ERR, STATUS_OK,
 };
 
 /// How long a connection thread blocks on the socket before re-checking
@@ -57,6 +57,12 @@ const MAX_WIRE_CLASSES: u32 = 128;
 /// Largest per-shard candidate-tracker capacity CREATE accepts for
 /// deferred-heap mode — bounds the tracker's high-water memory per shard.
 pub const MAX_DEFERRED_CANDIDATES: u32 = 8192;
+
+/// Longest peer address OP_PEER_JOIN accepts (bytes of UTF-8).
+const MAX_PEER_ADDR: usize = 256;
+
+/// Most replication peers one node tracks.
+const MAX_PEERS: usize = 1024;
 
 /// CREATE sharding-mode byte: worker replicas carry their own top-K
 /// heaps (the cross-node-parity configuration; the pre-v6 implicit
@@ -155,6 +161,14 @@ pub struct ServeConfig {
     /// Transport backend override; `None` (the default) defers to the
     /// `WMSKETCH_SERVE_BACKEND` env var and then the platform default.
     pub backend: Option<ServeBackend>,
+    /// This node's replication identity. Only needs to be unique within
+    /// a cluster; a node never gossips with a peer whose id equals its
+    /// own. Defaults to 0.
+    pub node_id: u64,
+    /// Anti-entropy gossip cadence in milliseconds; 0 (the default)
+    /// disables the gossip loop entirely. Peers are registered at runtime
+    /// via OP_PEER_JOIN.
+    pub gossip_interval_ms: u64,
 }
 
 impl ServeConfig {
@@ -170,7 +184,23 @@ impl ServeConfig {
             sharding: ShardedLearnerConfig::new(shards).candidates_per_shard(0),
             worker_heaps: true,
             backend: None,
+            node_id: 0,
+            gossip_interval_ms: 0,
         }
+    }
+
+    /// Sets this node's replication identity (cluster-unique).
+    #[must_use]
+    pub fn node_id(mut self, id: u64) -> Self {
+        self.node_id = id;
+        self
+    }
+
+    /// Enables the anti-entropy gossip loop at the given tick interval.
+    #[must_use]
+    pub fn gossip_every_ms(mut self, interval_ms: u64) -> Self {
+        self.gossip_interval_ms = interval_ms;
+        self
     }
 
     /// Switches to the deferred-heap-maintenance worker pipeline with the
@@ -234,6 +264,28 @@ pub struct ServeStats {
     /// UPDATE frames executed node-wide (frames rejected at decode are
     /// not counted).
     pub update_frames: u64,
+    /// The node's replication identity ([`ServeConfig::node_id`]).
+    pub node_id: u64,
+    /// The replication table, one row per (model, peer) pair the node has
+    /// exchanged state with: the shipped-clock vector (what each peer has
+    /// acked of this node's copy) and the applied watermark of each
+    /// origin replica this node holds.
+    pub replication: Vec<ReplRow>,
+}
+
+/// One row of the STATS replication tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplRow {
+    /// The model the row describes.
+    pub model: u32,
+    /// The peer (or origin) node id.
+    pub peer: u64,
+    /// Highest clock of this node's copy the peer has acked via OP_ACK
+    /// (0 when the peer has never acked).
+    pub acked: u64,
+    /// Clock of this node's replica of the peer's copy (0 when this node
+    /// holds no replica for that origin).
+    pub applied: u64,
 }
 
 /// How to rebuild a shard pool from a CREATE-supplied template — which
@@ -274,6 +326,15 @@ impl ModelSpec {
                 shards,
                 mode,
             } => {
+                // `shards == 0` hosts the template *unsharded*: the plain
+                // decoded learner, no worker pool. This is the replication
+                // hosting mode — delta records apply only to unsharded
+                // replicas, and an unsharded model restarted from a peer's
+                // replica resumes bit-identically (a shard pool's internal
+                // routing state cannot be reconstructed from a snapshot).
+                if *shards == 0 {
+                    return Ok(wmsketch_core::decode_any_learner(template)?);
+                }
                 let sharding = ShardedLearnerConfig::new(*shards as usize);
                 Ok(match mode {
                     ShardMode::WorkerHeaps => {
@@ -291,8 +352,41 @@ impl ModelSpec {
     }
 }
 
+/// A replica of one *origin* node's copy of a model, advanced by applying
+/// pulled delta records (or replaced by pulled full snapshots).
+pub(crate) struct OriginReplica {
+    /// The replica's applied watermark (its clock).
+    pub(crate) applied: u64,
+    /// The replica itself — always an unsharded learner.
+    pub(crate) learner: Box<dyn DynLearner>,
+}
+
+/// Per-model replication state (see the crate docs' replication section).
+#[derive(Default)]
+pub(crate) struct ReplState {
+    /// Origin node id → replica of that node's copy of the model.
+    pub(crate) origins: BTreeMap<u64, OriginReplica>,
+    /// The shipped-clock vector: peer node id → highest clock of *this*
+    /// node's copy the peer has acked (OP_ACK). Monotonic; a regressing
+    /// ack is a typed error.
+    pub(crate) acked: BTreeMap<u64, u64>,
+}
+
+/// Cache of the canonical merged view a replicated model serves queries
+/// from, keyed by the clock basis it was built at.
+#[derive(Default)]
+struct MergedCache {
+    /// Sorted `(origin, clock)` pairs (self included) the view reflects.
+    basis: Vec<(u64, u64)>,
+    view: Option<Box<dyn DynLearner>>,
+}
+
 /// One hosted model: identity, label contract, rebuild recipe, and the
 /// live learner behind its own mutex.
+///
+/// Lock order within an entry: `learner` → `repl` → `merged`. Any path
+/// may take a later lock while holding an earlier one, never the
+/// reverse.
 pub(crate) struct ModelEntry {
     pub(crate) id: u32,
     name: String,
@@ -301,9 +395,24 @@ pub(crate) struct ModelEntry {
     pub(crate) label_domain: LabelDomain,
     spec: ModelSpec,
     pub(crate) learner: Mutex<Box<dyn DynLearner>>,
+    /// Replication state; empty (and never locked on the hot path beyond
+    /// a map-emptiness check) for models no peer has gossiped about.
+    pub(crate) repl: Mutex<ReplState>,
+    merged: Mutex<MergedCache>,
 }
 
 impl ModelEntry {
+    /// The model's registry name (the cross-node replication key).
+    pub(crate) fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this entry hosts its learner unsharded (`shards == 0`) —
+    /// the only hosting mode whose local copy can adopt a recovered
+    /// snapshot from a peer's replica.
+    pub(crate) fn unsharded(&self) -> bool {
+        self.shards == 0
+    }
     /// A registry row for LIST/STATS (locks the learner briefly).
     fn info(&self) -> ModelInfo {
         let learner = self.learner.lock().expect("learner mutex");
@@ -349,6 +458,27 @@ pub(crate) struct ServerState {
     pub(crate) update_lock_acquisitions: AtomicU64,
     /// UPDATE frames executed.
     pub(crate) update_frames: AtomicU64,
+    /// This node's replication identity.
+    pub(crate) node_id: u64,
+    /// Gossip cadence (0 = gossip loop not running).
+    pub(crate) gossip_interval_ms: u64,
+    /// Known replication peers: node id → address, registered via
+    /// OP_PEER_JOIN (re-joins replace the address).
+    pub(crate) peers: Mutex<BTreeMap<u64, String>>,
+}
+
+impl ServerState {
+    /// Every hosted model, id-ascending (Arc clones out from under the
+    /// registry lock).
+    pub(crate) fn entries(&self) -> Vec<Arc<ModelEntry>> {
+        self.registry
+            .read()
+            .expect("registry lock")
+            .by_id
+            .iter()
+            .map(Arc::clone)
+            .collect()
+    }
 }
 
 /// A bound, not-yet-running server. [`WmServer::spawn`] starts the
@@ -375,6 +505,8 @@ impl WmServer {
             label_domain: LabelDomain::Binary,
             learner: Mutex::new(Box::new(cfg.build_learner())),
             spec: ModelSpec::Default(cfg),
+            repl: Mutex::new(ReplState::default()),
+            merged: Mutex::new(MergedCache::default()),
         });
         let mut by_name = HashMap::new();
         by_name.insert(default.name.clone(), default.id);
@@ -391,6 +523,9 @@ impl WmServer {
                 backend: ServeBackend::resolve(cfg.backend),
                 update_lock_acquisitions: AtomicU64::new(0),
                 update_frames: AtomicU64::new(0),
+                node_id: cfg.node_id,
+                gossip_interval_ms: cfg.gossip_interval_ms,
+                peers: Mutex::new(BTreeMap::new()),
             }),
         })
     }
@@ -422,9 +557,17 @@ impl WmServer {
             }
             _ => std::thread::spawn(move || accept_loop(&listener, &state)),
         };
+        // The anti-entropy tick runs on its own timer thread for both
+        // backends (it drives blocking client I/O toward peers, which
+        // must never stall the event loop's poller).
+        let gossip = (self.state.gossip_interval_ms > 0).then(|| {
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || crate::gossip::run(&state))
+        });
         ServerHandle {
             state: self.state,
             accept: Some(accept),
+            gossip,
         }
     }
 }
@@ -433,6 +576,7 @@ impl WmServer {
 pub struct ServerHandle {
     state: Arc<ServerState>,
     accept: Option<std::thread::JoinHandle<()>>,
+    gossip: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -459,6 +603,9 @@ impl ServerHandle {
         // Wake the (possibly blocking) accept with a throwaway connection.
         let _ = TcpStream::connect(wake_addr(self.state.addr));
         if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.gossip.take() {
             let _ = handle.join();
         }
     }
@@ -692,7 +839,9 @@ fn handle_create(r: &mut Reader<'_>, state: &ServerState) -> Result<u32, ServeEr
         .map_err(|_| ServeError::Protocol("model name is not UTF-8"))?
         .to_string();
     let shards = r.take_u32()?;
-    if shards == 0 || shards > MAX_MODEL_SHARDS {
+    // `shards == 0` is the unsharded (replication) hosting mode; see
+    // `ModelSpec::build`.
+    if shards > MAX_MODEL_SHARDS {
         return Err(ServeError::Protocol("shard count out of range"));
     }
     // Reject duplicate names and a full registry *before* paying for the
@@ -742,6 +891,11 @@ fn handle_create(r: &mut Reader<'_>, state: &ServerState) -> Result<u32, ServeEr
                 "deferred-heap mode requires a WM template",
             ));
         }
+        if shards == 0 {
+            return Err(ServeError::Protocol(
+                "deferred-heap mode requires at least one shard",
+            ));
+        }
     }
     // Validate the label domain on a *single* decoded template before
     // cloning it into up to MAX_MODEL_SHARDS worker replicas — a
@@ -785,8 +939,85 @@ fn handle_create(r: &mut Reader<'_>, state: &ServerState) -> Result<u32, ServeEr
         label_domain,
         spec,
         learner: Mutex::new(learner),
+        repl: Mutex::new(ReplState::default()),
+        merged: Mutex::new(MergedCache::default()),
     }));
     Ok(id)
+}
+
+/// Runs a read query against the state the model *serves*: the local
+/// learner when the model holds no origin replicas, otherwise the
+/// **canonical merged view** — the origin snapshots (the local copy
+/// included, keyed by this node's id) decoded and absorbed in ascending
+/// origin-id order. The canonical order matters: floating-point merge
+/// addition is not associative, so only a fixed fold order makes every
+/// node's merged view bit-identical once their replicas agree.
+///
+/// The view is cached against the `(origin, clock)` basis it was built
+/// at and rebuilt only when local ingest or an applied delta moves that
+/// basis. Lock order: `learner` → `repl` → `merged`.
+fn serve_query<R>(
+    entry: &ModelEntry,
+    node_id: u64,
+    f: impl FnOnce(&mut dyn DynLearner) -> R,
+) -> Result<R, ServeError> {
+    let mut learner = entry.learner.lock().expect("learner mutex");
+    let mut repl = entry.repl.lock().expect("repl mutex");
+    if repl.origins.is_empty() {
+        drop(repl);
+        learner.finalize();
+        return Ok(f(learner.as_mut()));
+    }
+    let mut basis: Vec<(u64, u64)> = Vec::with_capacity(repl.origins.len() + 1);
+    basis.push((node_id, learner.clock()));
+    for (&origin, replica) in &repl.origins {
+        basis.push((origin, replica.applied));
+    }
+    basis.sort_unstable();
+    let mut merged = entry.merged.lock().expect("merged mutex");
+    if merged.view.is_none() || merged.basis != basis {
+        let mut snaps: Vec<(u64, Vec<u8>)> = Vec::with_capacity(repl.origins.len() + 1);
+        snaps.push((node_id, learner.snapshot()?));
+        for (&origin, replica) in repl.origins.iter_mut() {
+            snaps.push((origin, replica.learner.snapshot()?));
+        }
+        snaps.sort_by_key(|&(origin, _)| origin);
+        let mut view = wmsketch_core::decode_any_learner(&snaps[0].1)?;
+        for (_, snap) in &snaps[1..] {
+            view.absorb_snapshot(snap)?;
+        }
+        merged.basis = basis;
+        merged.view = Some(view);
+    }
+    let view = merged.view.as_mut().expect("view just built");
+    view.finalize();
+    Ok(f(view.as_mut()))
+}
+
+/// The STATS replication tail rows: the union of acked peers and held
+/// origin replicas, for every hosted model.
+fn replication_rows(state: &ServerState) -> Vec<ReplRow> {
+    let mut rows = Vec::new();
+    for entry in state.entries() {
+        let repl = entry.repl.lock().expect("repl mutex");
+        let mut ids: Vec<u64> = repl
+            .acked
+            .keys()
+            .chain(repl.origins.keys())
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for peer in ids {
+            rows.push(ReplRow {
+                model: entry.id,
+                peer,
+                acked: repl.acked.get(&peer).copied().unwrap_or(0),
+                applied: repl.origins.get(&peer).map_or(0, |o| o.applied),
+            });
+        }
+    }
+    rows
 }
 
 /// Decodes and executes one request, returning the OK payload.
@@ -823,6 +1054,29 @@ pub(crate) fn handle_request(
             let _ = TcpStream::connect(wake_addr(state.addr));
             return Ok(out.into_bytes());
         }
+        OP_PEER_JOIN => {
+            let peer = r.take_u64()?;
+            let len = r.take_u32()? as usize;
+            if len == 0 || len > MAX_PEER_ADDR {
+                return Err(ServeError::Protocol("peer address length out of range"));
+            }
+            let addr = std::str::from_utf8(r.take_bytes(len)?)
+                .map_err(|_| ServeError::Protocol("peer address is not UTF-8"))?
+                .to_string();
+            r.finish()?;
+            if peer == state.node_id {
+                return Err(ServeError::Protocol(
+                    "peer node id collides with this node's id",
+                ));
+            }
+            let mut peers = state.peers.lock().expect("peers mutex");
+            if peers.len() >= MAX_PEERS && !peers.contains_key(&peer) {
+                return Err(ServeError::Protocol("peer table is full"));
+            }
+            peers.insert(peer, addr);
+            out.put_u64(state.node_id);
+            return Ok(out.into_bytes());
+        }
         _ => {}
     }
     let entry = resolve_model(state, head.model)?;
@@ -844,24 +1098,20 @@ pub(crate) fn handle_request(
         OP_PREDICT => {
             let x = take_features(&mut r)?;
             r.finish()?;
-            let mut learner = entry.learner.lock().expect("learner mutex");
-            learner.finalize();
-            out.put_f64(learner.margin(&x));
-            out.put_i8(learner.predict(&x));
+            let (margin, label) =
+                serve_query(&entry, state.node_id, |l| (l.margin(&x), l.predict(&x)))?;
+            out.put_f64(margin);
+            out.put_i8(label);
         }
         OP_ESTIMATE => {
             let feature = r.take_u32()?;
             r.finish()?;
-            let mut learner = entry.learner.lock().expect("learner mutex");
-            learner.finalize();
-            out.put_f64(learner.estimate(feature));
+            out.put_f64(serve_query(&entry, state.node_id, |l| l.estimate(feature))?);
         }
         OP_TOPK => {
             let k = r.take_u32()?;
             r.finish()?;
-            let mut learner = entry.learner.lock().expect("learner mutex");
-            learner.finalize();
-            let top = learner.recover_top_k(k as usize);
+            let top = serve_query(&entry, state.node_id, |l| l.recover_top_k(k as usize))?;
             out.put_u32(top.len() as u32);
             for e in top {
                 out.put_u32(e.feature);
@@ -870,8 +1120,7 @@ pub(crate) fn handle_request(
         }
         OP_SNAPSHOT => {
             r.finish()?;
-            let mut learner = entry.learner.lock().expect("learner mutex");
-            out.put_bytes(&learner.snapshot()?);
+            out.put_bytes(&serve_query(&entry, state.node_id, |l| l.snapshot())??);
         }
         OP_MERGE => {
             let bytes = r.take_bytes(r.remaining())?;
@@ -933,12 +1182,70 @@ pub(crate) fn handle_request(
             out.put_u8(state.backend.wire_byte());
             out.put_u64(state.update_lock_acquisitions.load(Ordering::Relaxed));
             out.put_u64(state.update_frames.load(Ordering::Relaxed));
+            // v7 replication tail, after the v6 tail: this node's id,
+            // then the shipped-clock vector and applied watermarks of
+            // every (model, peer) pair the node has exchanged state with.
+            out.put_u64(state.node_id);
+            let rows = replication_rows(state);
+            out.put_u32(rows.len() as u32);
+            for row in &rows {
+                out.put_u32(row.model);
+                out.put_u64(row.peer);
+                out.put_u64(row.acked);
+                out.put_u64(row.applied);
+            }
         }
         OP_RESET => {
             r.finish()?;
             let fresh = entry.spec.build()?;
             let mut learner = entry.learner.lock().expect("learner mutex");
             *learner = fresh;
+        }
+        OP_PULL_DELTA => {
+            let origin = r.take_u64()?;
+            let since = r.take_u64()?;
+            r.finish()?;
+            if origin == state.node_id {
+                // This node is the origin: serve from the local copy.
+                // `encode_delta_since` arms dirty-cell tracking on first
+                // use and falls back to a full snapshot whenever a delta
+                // cannot be proven exact (PULL_SINCE_FULL lands here by
+                // construction: it exceeds any clock).
+                let mut learner = entry.learner.lock().expect("learner mutex");
+                let clock = learner.clock();
+                out.put_u64(clock);
+                if since == PULL_SINCE_FULL || since < clock {
+                    out.put_bytes(&learner.encode_delta_since(since)?);
+                }
+                // `since >= clock`: nothing newer; the empty payload says
+                // "up to date" without re-shipping state.
+            } else {
+                let mut repl = entry.repl.lock().expect("repl mutex");
+                let replica = repl.origins.get_mut(&origin).ok_or(ServeError::Protocol(
+                    "this node holds no replica for the requested origin",
+                ))?;
+                let clock = replica.applied;
+                out.put_u64(clock);
+                if since == PULL_SINCE_FULL || since < clock {
+                    out.put_bytes(&replica.learner.encode_delta_since(since)?);
+                }
+            }
+        }
+        OP_ACK => {
+            let peer = r.take_u64()?;
+            let acked = r.take_u64()?;
+            r.finish()?;
+            let mut repl = entry.repl.lock().expect("repl mutex");
+            let cur = repl.acked.entry(peer).or_insert(0);
+            if acked < *cur {
+                // The shipped-clock vector is monotonic: a regressing ack
+                // is out-of-order delivery, not new information.
+                return Err(ServeError::Protocol(
+                    "stale ack: acked clock regresses the shipped-clock vector",
+                ));
+            }
+            *cur = acked;
+            out.put_u64(*cur);
         }
         _ => return Err(ServeError::Protocol("unknown opcode")),
     }

@@ -6,9 +6,17 @@
 //! plus, on the event backend, thousands of idle connections coexisting
 //! with an active one.
 
-use wmsketch_core::{AwmSketch, AwmSketchConfig, SnapshotCodec, WmSketch, WmSketchConfig};
+use std::io::Write;
+use std::net::TcpStream;
+
+use wmsketch_core::{
+    decode_any_learner, AwmSketch, AwmSketchConfig, SnapshotCodec, WmSketch, WmSketchConfig,
+};
 use wmsketch_learn::{Label, SparseVector};
-use wmsketch_serve::{ServeClient, ServeConfig, ServerHandle, WmServer};
+use wmsketch_serve::protocol::{
+    put_examples, read_frame, request_for_model, write_frame, OP_MERGE, OP_UPDATE, STATUS_OK,
+};
+use wmsketch_serve::{ServeBackend, ServeClient, ServeConfig, ServerHandle, WmServer};
 
 const CONNS: usize = 64;
 const FRAME: usize = 64;
@@ -185,5 +193,173 @@ fn thousands_of_idle_connections_dont_starve_an_active_one() {
     assert_eq!(stats.update_frames, FRAMES_PER_CONN as u64);
 
     drop(idle);
+    server.shutdown();
+}
+
+/// Builds the raw wire bytes of one v2 request frame.
+fn raw_frame(model: u32, op: u8, payload: wmsketch_hashing::codec::Writer) -> Vec<u8> {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &request_for_model(model, op, payload)).expect("in-memory frame");
+    wire
+}
+
+/// Reads one OK response and returns its leading u64.
+fn read_ok_u64(stream: &mut TcpStream, what: &str) -> u64 {
+    let resp = read_frame(stream)
+        .expect("read response frame")
+        .unwrap_or_else(|| panic!("{what}: connection closed before the response"));
+    assert_eq!(
+        resp[0],
+        STATUS_OK,
+        "{what}: {}",
+        String::from_utf8_lossy(&resp[1..])
+    );
+    u64::from_le_bytes(resp[1..9].try_into().expect("u64 response"))
+}
+
+/// An OP_MERGE dropped into the middle of a pipelined burst of same-model
+/// UPDATE frames must retire strictly in frame order — the merged clock
+/// lands between the two UPDATE runs, the post-merge counts resume where
+/// the pre-merge run left off, and the final state matches a blocking
+/// client doing the same sequence. Exercised on both sharding modes:
+/// unsharded (replication hosting, where UPDATE counts include absorbed
+/// peers) and a 2-shard pool (where they stay local-only).
+fn merge_between_pipelined_updates_case(backend: ServeBackend, shards: u32) {
+    const K: usize = 4;
+    let template =
+        WmSketch::new(WmSketchConfig::new(64, 2).lambda(1e-5).seed(77)).to_snapshot_bytes();
+    let mut peer = decode_any_learner(&template).unwrap();
+    peer.update_batch(&stream_for(9)[..100]);
+    let peer_snapshot = peer.snapshot().unwrap();
+
+    let data = stream_for(5);
+    let chunks: Vec<_> = data.chunks(FRAME).collect();
+    assert!(chunks.len() >= 2 * K);
+
+    let server = start(default_model().backend(backend));
+    let mut c = ServeClient::connect(server.addr()).unwrap();
+    let id = c.create_model("fifo", &template, shards).unwrap();
+
+    // One coalesced write: K UPDATE frames, the MERGE, K more UPDATEs —
+    // nothing is read until the whole burst is on the wire.
+    let mut wire = Vec::new();
+    for chunk in &chunks[..K] {
+        let mut w = wmsketch_hashing::codec::Writer::new();
+        put_examples(&mut w, chunk);
+        wire.extend_from_slice(&raw_frame(id, OP_UPDATE, w));
+    }
+    let mut w = wmsketch_hashing::codec::Writer::new();
+    w.put_bytes(&peer_snapshot);
+    wire.extend_from_slice(&raw_frame(id, OP_MERGE, w));
+    for chunk in &chunks[K..2 * K] {
+        let mut w = wmsketch_hashing::codec::Writer::new();
+        put_examples(&mut w, chunk);
+        wire.extend_from_slice(&raw_frame(id, OP_UPDATE, w));
+    }
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.set_nodelay(true).unwrap();
+    raw.write_all(&wire).unwrap();
+
+    // Unsharded models count absorbed peers in UPDATE responses (the
+    // plain learner's clock and example count are one number); a shard
+    // pool's UPDATE responses count only locally routed examples.
+    let absorbed = if shards == 0 { 100 } else { 0 };
+    for k in 0..K {
+        let n = read_ok_u64(&mut raw, "pre-merge update");
+        assert_eq!(n, (FRAME * (k + 1)) as u64, "pre-merge frame {k}");
+    }
+    let merged = read_ok_u64(&mut raw, "merge");
+    assert_eq!(
+        merged,
+        (FRAME * K + 100) as u64,
+        "merge retired out of order"
+    );
+    for k in 0..K {
+        let n = read_ok_u64(&mut raw, "post-merge update");
+        assert_eq!(
+            n,
+            (FRAME * (K + k + 1)) as u64 + absorbed,
+            "post-merge frame {k}"
+        );
+    }
+    drop(raw);
+
+    // Parity: a blocking client replaying the same sequence on a quiet
+    // node must land on the same bytes.
+    let quiet = start(default_model().backend(backend));
+    let mut q = ServeClient::connect(quiet.addr()).unwrap();
+    let qid = q.create_model("fifo", &template, shards).unwrap();
+    q.set_model(qid).unwrap();
+    for chunk in &chunks[..K] {
+        q.update_batch(chunk).unwrap();
+    }
+    q.merge_snapshot(&peer_snapshot).unwrap();
+    for chunk in &chunks[K..2 * K] {
+        q.update_batch(chunk).unwrap();
+    }
+    c.set_model(id).unwrap();
+    assert_eq!(
+        c.snapshot().unwrap(),
+        q.snapshot().unwrap(),
+        "pipelined MERGE interleave diverged from the blocking replay"
+    );
+
+    server.shutdown();
+    quiet.shutdown();
+}
+
+#[test]
+fn merge_between_pipelined_updates_is_fifo_threaded() {
+    merge_between_pipelined_updates_case(ServeBackend::Threaded, 0);
+    merge_between_pipelined_updates_case(ServeBackend::Threaded, 2);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn merge_between_pipelined_updates_is_fifo_event() {
+    merge_between_pipelined_updates_case(ServeBackend::Event, 0);
+    merge_between_pipelined_updates_case(ServeBackend::Event, 2);
+}
+
+/// Shutdown-drain regression: a SHUTDOWN landing while a full pipeline
+/// window is in flight must not drop responses the node already
+/// computed. The event loop's drain used to take a single write pass —
+/// one `WouldBlock` and a computed count vanished; it now pumps
+/// writability until the drain deadline.
+#[cfg(target_os = "linux")]
+#[test]
+fn shutdown_races_full_pipeline_window_without_losing_responses() {
+    let server = start(default_model().backend(ServeBackend::Event));
+    let data = stream_for(3);
+
+    // A raw pipelined connection: every frame on the wire, none read.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.set_nodelay(true).unwrap();
+    let mut wire = Vec::new();
+    for chunk in data.chunks(FRAME) {
+        let mut w = wmsketch_hashing::codec::Writer::new();
+        put_examples(&mut w, chunk);
+        wire.extend_from_slice(&raw_frame(0, OP_UPDATE, w));
+    }
+    raw.write_all(&wire).unwrap();
+
+    // Once node-wide accounting shows every frame executed, each
+    // response exists somewhere between an executor slot and the socket
+    // — exactly the state the drain must flush. Then pull the plug.
+    let mut observer = ServeClient::connect(server.addr()).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while observer.stats().unwrap().update_frames < FRAMES_PER_CONN as u64 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "frames never executed"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    observer.shutdown_server().unwrap();
+
+    for k in 0..FRAMES_PER_CONN {
+        let n = read_ok_u64(&mut raw, "drained response");
+        assert_eq!(n, (FRAME * (k + 1)) as u64, "response {k} lost in drain");
+    }
     server.shutdown();
 }

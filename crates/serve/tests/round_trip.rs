@@ -233,7 +233,8 @@ fn registry_create_list_stats_and_error_surface() {
     assert_ne!(awm_id, 0);
     assert_ne!(mc_id, awm_id);
 
-    // Duplicate name, trained template, and silly shard counts → errors.
+    // Duplicate names and trained templates → errors; `shards == 0` is
+    // the unsharded replication-hosting mode, not an error.
     assert!(matches!(
         client.create_model("awm", &awm_template, 1),
         Err(ServeError::Remote(_))
@@ -244,17 +245,18 @@ fn registry_create_list_stats_and_error_surface() {
         client.create_model("awm2", &trained.to_snapshot_bytes(), 1),
         Err(ServeError::Remote(_))
     ));
-    assert!(matches!(
-        client.create_model("awm3", &awm_template, 0),
-        Err(ServeError::Remote(_))
-    ));
+    let flat_id = client.create_model("awm3", &awm_template, 0).unwrap();
+    client.set_model(flat_id).unwrap();
+    client.update_batch(&planted_stream(100)).unwrap();
+    assert_eq!(client.stats().unwrap().shards, 0);
+    client.set_model(0).unwrap();
 
     // LIST reflects the registry, id-ascending.
     let models = client.list_models().unwrap();
-    assert_eq!(models.len(), 3);
+    assert_eq!(models.len(), 4);
     assert_eq!(
         models.iter().map(|m| m.name.as_str()).collect::<Vec<_>>(),
-        ["default", "awm", "mc"]
+        ["default", "awm", "mc", "awm3"]
     );
     assert_eq!(models[1].kind, KIND_AWM);
     assert_eq!(models[1].shards, 2);
@@ -290,7 +292,7 @@ fn registry_create_list_stats_and_error_surface() {
     let stats = client.stats().unwrap();
     assert_eq!(stats.routed, 500);
     assert_eq!(stats.shards, 2);
-    assert_eq!(stats.models.len(), 3);
+    assert_eq!(stats.models.len(), 4);
     let row = stats.models.iter().find(|m| m.id == awm_id).unwrap();
     assert_eq!(row.clock, 500);
 
