@@ -19,6 +19,17 @@
 //! node, aggregate throughput), and writes the results as JSON so the
 //! perf trajectory can be tracked PR over PR.
 //!
+//! v7 adds the telemetry dimension: every serve row carries the node's
+//! **own** per-frame UPDATE service-latency quantiles (`latency_ns`:
+//! p50/p90/p99, scraped over the wire via the `METRICS` op — the
+//! latency telemetry measuring the very passes the row timed), and the
+//! `serve_ingest` row gains a `serve_ingest_notelemetry` twin measured
+//! as interleaved A/B passes with the telemetry switch off
+//! (`wmsketch_telemetry::set_enabled`), whose ratio is reported as
+//! `speedup.telemetry_overhead` — the measured, not assumed, cost of
+//! the instrumentation on the hot ingest path. In-process rows have no
+//! service boundary to meter, so their `latency_ns` is `null`.
+//!
 //! Usage: `update_throughput_json [OUTPUT_PATH]`
 //! (default output: `BENCH_update_throughput.json` in the working
 //! directory; see `crates/bench/README.md` for the schema).
@@ -67,6 +78,11 @@ struct Measurement {
     ns_per_update: f64,
     updates_per_sec: f64,
     updates_timed: u64,
+    /// Serve rows only: the node's per-frame UPDATE service-latency
+    /// quantiles (p50, p90, p99, ns), scraped via the METRICS op after
+    /// the timed passes. `None` for in-process rows (no service
+    /// boundary) and for the telemetry-off twin (nothing records).
+    latency_ns: Option<(u64, u64, u64)>,
 }
 
 /// Times two variants of the same pipeline with **interleaved** passes —
@@ -122,6 +138,7 @@ fn measure_ab<L>(
             ns_per_update,
             updates_per_sec: 1e9 / ns_per_update,
             updates_timed: timed,
+            latency_ns: None,
         }
     };
     (finish(a.0, best_a, timed_a), finish(b.0, best_b, timed_b))
@@ -167,7 +184,26 @@ fn measure<L>(
         ns_per_update,
         updates_per_sec: 1e9 / ns_per_update,
         updates_timed: timed,
+        latency_ns: None,
     }
+}
+
+/// Scrapes the loopback node's per-frame UPDATE service-latency
+/// quantiles for `model` via the METRICS op — the v7 `latency_ns` row
+/// field. Returns `None` when telemetry is off (nothing recorded) or
+/// the histogram is empty.
+fn scrape_update_latency(
+    client: &mut wmsketch_serve::ServeClient,
+    model: &str,
+) -> Option<(u64, u64, u64)> {
+    let report = client.metrics().ok()?;
+    let labels = [("model", model), ("op", "update")];
+    let q = |name: &str| report.value(name, &labels);
+    Some((
+        q("op_latency_ns_p50")? as u64,
+        q("op_latency_ns_p90")? as u64,
+        q("op_latency_ns_p99")? as u64,
+    ))
 }
 
 /// The loopback serve node every serve row runs against: the default WM
@@ -205,12 +241,14 @@ fn measure_serve_ingest(
         .spawn();
     let mut client = ServeClient::connect(server.addr()).expect("connect loopback server");
     let mut row_shards = SERVE_SHARDS;
+    let mut model_name = "default";
     if let Some((template, shards)) = registry_template {
         let id = client
             .create_model("bench", template, shards as u32)
             .expect("create registry model");
         client.set_model(id).expect("address registry model");
         row_shards = shards;
+        model_name = "bench";
     }
     let pass = |client: &mut ServeClient| {
         client.reset().expect("reset serve node");
@@ -235,6 +273,7 @@ fn measure_serve_ingest(
         best = best.min(t);
         timed += data.len() as u64;
     }
+    let latency_ns = scrape_update_latency(&mut client, model_name);
     server.shutdown();
     // Fastest pass, like `measure` — one estimator for every row.
     let ns_per_update = best * 1e9 / data.len() as f64;
@@ -245,7 +284,77 @@ fn measure_serve_ingest(
         ns_per_update,
         updates_per_sec: 1e9 / ns_per_update,
         updates_timed: timed,
+        latency_ns,
     }
+}
+
+/// The `serve_ingest` row and its telemetry-off twin, measured as
+/// **interleaved** A/B passes over the same node (the `measure_ab`
+/// discipline, for the same reason: the pair's *ratio* is the reported
+/// `telemetry_overhead`, so both variants must see the same drift).
+/// The node lives in this process, so the per-pass toggle is
+/// `wmsketch_telemetry::set_enabled`; the switch is restored to its
+/// prior state before returning. Returns `(on, off, overhead)` with
+/// `overhead = best_on / best_off` (1.00 = free, 1.02 = 2% tax).
+fn measure_serve_telemetry_ab(
+    wm_cfg: WmSketchConfig,
+    data: &[(SparseVector, Label)],
+) -> (Measurement, Measurement, f64) {
+    use wmsketch_serve::{ServeClient, WmServer};
+    let was_enabled = wmsketch_telemetry::enabled();
+    let server = WmServer::bind("127.0.0.1:0", serve_node_config(wm_cfg))
+        .expect("bind loopback server")
+        .spawn();
+    let mut client = ServeClient::connect(server.addr()).expect("connect loopback server");
+    let one_pass = |client: &mut ServeClient, on: bool| {
+        wmsketch_telemetry::set_enabled(on);
+        client.reset().expect("reset serve node");
+        let start = Instant::now();
+        client
+            .update_many(data, SERVE_FRAME_EXAMPLES, SERVE_PIPELINE_WINDOW)
+            .expect("serve ingest");
+        start.elapsed().as_secs_f64()
+    };
+    for _ in 0..WARMUP_PASSES {
+        let _ = one_pass(&mut client, true);
+        let _ = one_pass(&mut client, false);
+    }
+    let (mut elapsed_on, mut elapsed_off) = (0.0f64, 0.0f64);
+    let (mut best_on, mut best_off) = (f64::INFINITY, f64::INFINITY);
+    let (mut timed_on, mut timed_off) = (0u64, 0u64);
+    while elapsed_on < MEASURE_SECS || elapsed_off < MEASURE_SECS {
+        let t = one_pass(&mut client, true);
+        elapsed_on += t;
+        best_on = best_on.min(t);
+        timed_on += data.len() as u64;
+        let t = one_pass(&mut client, false);
+        elapsed_off += t;
+        best_off = best_off.min(t);
+        timed_off += data.len() as u64;
+    }
+    // Scrape with the switch on; only the on-passes recorded, so the
+    // quantiles describe exactly the instrumented variant's frames.
+    wmsketch_telemetry::set_enabled(true);
+    let latency_ns = scrape_update_latency(&mut client, "default");
+    wmsketch_telemetry::set_enabled(was_enabled);
+    server.shutdown();
+    let row = |name: &str, best: f64, timed: u64, latency_ns: Option<(u64, u64, u64)>| {
+        let ns_per_update = best * 1e9 / data.len() as f64;
+        Measurement {
+            name: name.to_string(),
+            shards: SERVE_SHARDS,
+            connections: None,
+            ns_per_update,
+            updates_per_sec: 1e9 / ns_per_update,
+            updates_timed: timed,
+            latency_ns,
+        }
+    };
+    (
+        row("serve_ingest", best_on, timed_on, latency_ns),
+        row("serve_ingest_notelemetry", best_off, timed_off, None),
+        best_on / best_off,
+    )
 }
 
 /// Many-clients/one-server saturation: [`SATURATION_CONNECTIONS`]
@@ -293,6 +402,7 @@ fn measure_serve_saturation(
         best = best.min(t);
         timed += aggregate;
     }
+    let latency_ns = scrape_update_latency(&mut control, "default");
     server.shutdown();
     let ns_per_update = best * 1e9 / aggregate as f64;
     Measurement {
@@ -302,6 +412,7 @@ fn measure_serve_saturation(
         ns_per_update,
         updates_per_sec: 1e9 / ns_per_update,
         updates_timed: timed,
+        latency_ns,
     }
 }
 
@@ -459,7 +570,15 @@ fn main() {
     // 2-shard pipeline on the event backend, and the client pipelines
     // its frames — the served path now rides the workspace's fastest
     // learner instead of paying the wire on top of the slowest one.
-    results.push(measure_serve_ingest("serve_ingest", wm_cfg, None, &data));
+    // v7: measured as an interleaved A/B pair against the same node with
+    // the telemetry switch off, so the instrumentation tax is a number
+    // in the file rather than a claim in a comment.
+    let telemetry_overhead = {
+        let (on, off, overhead) = measure_serve_telemetry_ab(wm_cfg, &data);
+        results.push(on);
+        results.push(off);
+        overhead
+    };
     // v5: the same loopback ingest through the model registry — an AWM
     // model created via OP_CREATE and addressed with v2 (model-id)
     // frames — so the registry indirection cost shows up as a measured
@@ -514,7 +633,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"wmsketch-update-throughput/v6\",\n");
+    json.push_str("  \"schema\": \"wmsketch-update-throughput/v7\",\n");
     json.push_str("  \"config\": {\n");
     json.push_str(&format!("    \"budget_bytes\": {BUDGET},\n"));
     // v4: record the host's relevant CPU features and the backend each
@@ -561,8 +680,14 @@ fn main() {
         let connections = m
             .connections
             .map_or(String::new(), |n| format!("\"connections\": {n}, "));
+        // v7: serve rows carry the node's per-frame UPDATE service-latency
+        // quantiles, scraped from the node's own histograms; rows with no
+        // service boundary carry null.
+        let latency = m.latency_ns.map_or("null".to_string(), |(p50, p90, p99)| {
+            format!("{{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}}}")
+        });
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"shards\": {}, {connections}\"host_cpus\": {host_cpus}, \"ns_per_update\": {:.1}, \"updates_per_sec\": {:.0}, \"updates_timed\": {}}}{comma}\n",
+            "    {{\"name\": \"{}\", \"shards\": {}, {connections}\"host_cpus\": {host_cpus}, \"ns_per_update\": {:.1}, \"updates_per_sec\": {:.0}, \"updates_timed\": {}, \"latency_ns\": {latency}}}{comma}\n",
             m.name, m.shards, m.ns_per_update, m.updates_per_sec, m.updates_timed
         ));
     }
@@ -592,7 +717,12 @@ fn main() {
         "    \"serve_saturation_over_fused\": {saturation_over_fused:.2},\n"
     ));
     json.push_str(&format!(
-        "    \"awm_serve_ingest_over_fused\": {awm_serve_over_fused:.2}\n"
+        "    \"awm_serve_ingest_over_fused\": {awm_serve_over_fused:.2},\n"
+    ));
+    // The measured instrumentation tax on the hot ingest path: fastest
+    // telemetry-on pass over fastest telemetry-off pass (interleaved).
+    json.push_str(&format!(
+        "    \"telemetry_overhead\": {telemetry_overhead:.4}\n"
     ));
     json.push_str("  }\n");
     json.push_str("}\n");
@@ -619,5 +749,13 @@ fn main() {
         "serve saturation over fused ({SATURATION_CONNECTIONS} connections, aggregate): {saturation_over_fused:.2}x"
     );
     eprintln!("AWM serve ingest over fused (registry path): {awm_serve_over_fused:.2}x");
+    eprintln!("telemetry overhead on serve_ingest (on/off, interleaved): {telemetry_overhead:.4}x");
+    if let Some((p50, p90, p99)) = results
+        .iter()
+        .find(|m| m.name == "serve_ingest")
+        .and_then(|m| m.latency_ns)
+    {
+        eprintln!("serve_ingest UPDATE service latency: p50 {p50} ns, p90 {p90} ns, p99 {p99} ns");
+    }
     eprintln!("wrote {out_path}");
 }

@@ -20,8 +20,8 @@ use crate::error::ServeError;
 use crate::protocol::{
     put_examples, put_features, read_frame, request, request_for_model, take_model_info,
     write_frame, ModelInfo, DEFAULT_MODEL_ID, OP_ACK, OP_CHECKPOINT, OP_CREATE, OP_ESTIMATE,
-    OP_LIST, OP_MERGE, OP_PEER_JOIN, OP_PREDICT, OP_PULL_DELTA, OP_RESET, OP_RESTORE, OP_SHUTDOWN,
-    OP_SNAPSHOT, OP_STATS, OP_TOPK, OP_UPDATE, STATUS_OK,
+    OP_LIST, OP_MERGE, OP_METRICS, OP_PEER_JOIN, OP_PREDICT, OP_PULL_DELTA, OP_RESET, OP_RESTORE,
+    OP_SHUTDOWN, OP_SNAPSHOT, OP_STATS, OP_TOPK, OP_UPDATE, STATUS_OK,
 };
 use crate::server::{ReplRow, ServeBackend, ServeStats, CREATE_MODE_DEFERRED_HEAP};
 
@@ -498,6 +498,30 @@ impl ServeClient {
             node_id,
             replication,
         })
+    }
+
+    /// Scrapes the node's telemetry (`OP_METRICS`, registry-level) and
+    /// parses the `wmsketch-metrics/v1` exposition into a
+    /// [`wmsketch_telemetry::MetricsReport`]. The raw text is available
+    /// via [`ServeClient::metrics_text`].
+    ///
+    /// # Errors
+    /// Any [`ServeError`]; `Protocol` when the payload is not valid
+    /// UTF-8 or not a well-formed exposition.
+    pub fn metrics(&mut self) -> Result<wmsketch_telemetry::MetricsReport, ServeError> {
+        let text = self.metrics_text()?;
+        wmsketch_telemetry::MetricsReport::parse(&text)
+            .map_err(|_| ServeError::Protocol("malformed metrics exposition"))
+    }
+
+    /// Scrapes the node's telemetry and returns the raw
+    /// `wmsketch-metrics/v1` exposition text.
+    ///
+    /// # Errors
+    /// Any [`ServeError`]; `Protocol` when the payload is not UTF-8.
+    pub fn metrics_text(&mut self) -> Result<String, ServeError> {
+        let resp = self.call_op(OP_METRICS, Writer::new())?;
+        String::from_utf8(resp).map_err(|_| ServeError::Protocol("metrics payload is not UTF-8"))
     }
 
     /// Discards the addressed model's state (rebuilding it from its

@@ -61,10 +61,11 @@ use std::time::{Duration, Instant};
 use wmsketch_hashing::codec::{Reader, Writer};
 use wmsketch_learn::{Label, SparseVector};
 
+use crate::metrics;
 use crate::poller::{Event, Poller, Waker, EVENT_READ, EVENT_WRITE};
 use crate::protocol::{
     take_examples_into, take_request_head, ExamplesScratch, FrameAssembler, OP_CREATE, OP_LIST,
-    OP_PEER_JOIN, OP_SHUTDOWN, OP_UPDATE,
+    OP_METRICS, OP_PEER_JOIN, OP_SHUTDOWN, OP_UPDATE,
 };
 use crate::server::{
     accept_loop, finalize_response, handle_request, is_shutdown_request, resolve_model, ModelEntry,
@@ -119,6 +120,10 @@ enum JobKind {
     Update {
         entry: Arc<ModelEntry>,
         examples: Vec<(SparseVector, Label)>,
+        /// Wire size of the original frame (length prefix included), so
+        /// per-model byte accounting matches the threaded backend even
+        /// though the body is dropped after pre-decode.
+        wire_bytes: u64,
     },
     /// Anything else (or an UPDATE that failed decode, replayed through
     /// `handle_request` for the identical error response).
@@ -470,6 +475,7 @@ impl EventLoop {
                         Ok(()) => {
                             self.next_token += 1;
                             self.conns.insert(token, Conn::new(stream));
+                            self.shared.state.metrics.connections.inc();
                         }
                         Err(_) => {
                             drop(stream);
@@ -483,6 +489,18 @@ impl EventLoop {
                     self.enter_accept_backoff();
                     return;
                 }
+            }
+        }
+    }
+
+    /// Removes a connection, keeping the open/paused gauges in sync with
+    /// the map — every removal path funnels through here so a paused
+    /// connection can't leak its backpressure gauge.
+    fn remove_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.shared.state.metrics.connections.dec();
+            if conn.paused {
+                self.shared.state.metrics.paused_connections.dec();
             }
         }
     }
@@ -529,7 +547,7 @@ impl EventLoop {
         }
         self.rbuf = rbuf;
         if fatal {
-            self.conns.remove(&token);
+            self.remove_conn(token);
             return;
         }
         self.finish_conn_io(token);
@@ -553,23 +571,29 @@ impl EventLoop {
             conn.wbuf
                 .extend_from_slice(&(resp.len() as u32).to_le_bytes());
             conn.wbuf.extend_from_slice(&resp);
+            self.shared
+                .state
+                .metrics
+                .bytes_tx
+                .add(resp.len() as u64 + 4);
             conn.slots.pop_front();
         }
         if conn.paused && conn.slots.len() < MAX_PIPELINE_DEPTH / 2 {
             conn.paused = false;
+            self.shared.state.metrics.paused_connections.dec();
         }
         // Flush.
         while conn.wpos < conn.wbuf.len() {
             match conn.stream.write(&conn.wbuf[conn.wpos..]) {
                 Ok(0) => {
-                    self.conns.remove(&token);
+                    self.remove_conn(token);
                     return;
                 }
                 Ok(n) => conn.wpos += n,
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => {
-                    self.conns.remove(&token);
+                    self.remove_conn(token);
                     return;
                 }
             }
@@ -581,7 +605,7 @@ impl EventLoop {
         // Close when nothing is owed and nothing more will be read.
         let flushed = conn.wbuf.is_empty() && conn.slots.is_empty();
         if flushed && (conn.peer_closed || conn.read_dead || conn.close_after_flush) {
-            self.conns.remove(&token);
+            self.remove_conn(token);
             return;
         }
         // Re-arm interest.
@@ -594,7 +618,7 @@ impl EventLoop {
         }
         if want != conn.interest {
             if self.poller.modify(&conn.stream, token, want).is_err() {
-                self.conns.remove(&token);
+                self.remove_conn(token);
                 return;
             }
             conn.interest = want;
@@ -622,6 +646,11 @@ impl EventLoop {
                 touched.push(c.token);
             }
         }
+        self.shared
+            .state
+            .metrics
+            .queue_depth
+            .set(self.outstanding as i64);
         touched.sort_unstable();
         touched.dedup();
         for token in touched {
@@ -632,6 +661,8 @@ impl EventLoop {
     /// Graceful drain: stop reading new requests, let executors finish
     /// the backlog, flush every owed response, then join the pool.
     fn drain(&mut self) {
+        let drain_started = Instant::now();
+        let executor_count = self.executors.len() as u64;
         {
             let mut q = self.shared.queues.lock().expect("queues");
             q.stop = true;
@@ -682,6 +713,11 @@ impl EventLoop {
             // the next pass, so a slow reader doesn't spin this loop.
             let _ = self.poller.wait(&mut events, 20);
         }
+        self.shared
+            .state
+            .metrics
+            .journal
+            .push("drain", executor_count, drain_started);
     }
 }
 
@@ -697,6 +733,9 @@ fn process_frames(
     loop {
         match conn.assembler.next_frame() {
             Ok(Some(body)) => {
+                let nm = &shared.state.metrics;
+                nm.frames_rx.inc();
+                nm.bytes_rx.add(body.len() as u64 + 4);
                 let seq = conn.next_seq;
                 conn.next_seq += 1;
                 conn.slots.push_back(Slot {
@@ -711,8 +750,10 @@ fn process_frames(
                 }
                 shared.work_ready.notify_one();
                 *outstanding += 1;
+                nm.queue_depth.set(*outstanding as i64);
                 if conn.slots.len() >= MAX_PIPELINE_DEPTH {
                     conn.paused = true;
+                    nm.paused_connections.inc();
                     return Ok(());
                 }
             }
@@ -743,10 +784,14 @@ fn classify(shared: &Shared, body: Vec<u8>, token: u64, seq: u64) -> (WorkKey, J
         }
     };
     // Registry-level ops (OP_PEER_JOIN included — it touches the peer
-    // table, not a model) share the misc FIFO. The replication model ops
-    // (OP_PULL_DELTA, OP_ACK) fall through to the model queue below, so
-    // they order against pipelined UPDATE/MERGE traffic on their model.
-    if matches!(head.op, OP_CREATE | OP_LIST | OP_SHUTDOWN | OP_PEER_JOIN) {
+    // table, not a model; OP_METRICS scrapes the whole node) share the
+    // misc FIFO. The replication model ops (OP_PULL_DELTA, OP_ACK) fall
+    // through to the model queue below, so they order against pipelined
+    // UPDATE/MERGE traffic on their model.
+    if matches!(
+        head.op,
+        OP_CREATE | OP_LIST | OP_SHUTDOWN | OP_PEER_JOIN | OP_METRICS
+    ) {
         return (
             WorkKey::Misc,
             Job {
@@ -774,6 +819,7 @@ fn classify(shared: &Shared, body: Vec<u8>, token: u64, seq: u64) -> (WorkKey, J
         let decoded =
             take_examples_into(&mut r, &mut scratch, entry.label_domain).and_then(|()| r.finish());
         if decoded.is_ok() {
+            let wire_bytes = body.len() as u64 + 4;
             return (
                 key,
                 Job {
@@ -782,6 +828,7 @@ fn classify(shared: &Shared, body: Vec<u8>, token: u64, seq: u64) -> (WorkKey, J
                     kind: JobKind::Update {
                         entry,
                         examples: scratch.into_examples(),
+                        wire_bytes,
                     },
                 },
             );
@@ -841,15 +888,32 @@ fn execute_work(shared: &Shared, work: Work, scratch: &mut ExamplesScratch) -> V
             };
             let mut comps = Vec::with_capacity(jobs.len());
             let frames = jobs.len() as u64;
+            let mut run_examples = 0u64;
             // THE coalescing point: one lock acquisition covers the whole
             // run, but each frame stays its own update_batch call so
-            // arrival order into shard routing is untouched.
+            // arrival order into shard routing is untouched. Latency is
+            // recorded per frame around its own update_batch call (these
+            // frames never pass through handle_request's wrapper), and
+            // the rate accountant is billed once per run, after the lock
+            // drops.
             let mut learner = entry.learner.lock().expect("learner mutex");
             for job in jobs {
-                let JobKind::Update { examples, .. } = job.kind else {
+                let JobKind::Update {
+                    examples,
+                    wire_bytes,
+                    ..
+                } = job.kind
+                else {
                     unreachable!("Updates run holds only Update jobs");
                 };
+                let started = metrics::now_if_enabled();
                 learner.update_batch(&examples);
+                if let Some(t) = started {
+                    entry.telemetry.op_latency[metrics::CLASS_UPDATE].record_duration(t.elapsed());
+                }
+                entry.telemetry.request_bytes.add(wire_bytes);
+                entry.telemetry.update_examples.add(examples.len() as u64);
+                run_examples += examples.len() as u64;
                 let mut w = Writer::new();
                 w.put_u64(learner.examples_seen());
                 comps.push(Completion {
@@ -868,6 +932,9 @@ fn execute_work(shared: &Shared, work: Work, scratch: &mut ExamplesScratch) -> V
                 .state
                 .update_frames
                 .fetch_add(frames, Ordering::Relaxed);
+            let nm = &shared.state.metrics;
+            nm.coalesce_run_len.record(frames);
+            nm.account_updates(entry.id, run_examples);
             comps
         }
         Work::One { job, .. } => {

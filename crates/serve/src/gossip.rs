@@ -27,6 +27,7 @@ use wmsketch_hashing::codec::is_delta_record;
 
 use crate::client::ServeClient;
 use crate::error::ServeError;
+use crate::metrics;
 use crate::protocol::PULL_SINCE_FULL;
 use crate::server::{ModelEntry, OriginReplica, ServerState};
 
@@ -46,10 +47,13 @@ pub(crate) fn run(state: &Arc<ServerState>) {
     // before which the peer is skipped.
     let mut backoff: HashMap<u64, (u64, Instant)> = HashMap::new();
     while !state.shutdown.load(Ordering::SeqCst) {
+        let tick_started = Instant::now();
+        state.metrics.gossip_rounds.inc();
         let peers: Vec<(u64, String)> = {
             let map = state.peers.lock().expect("peers mutex");
             map.iter().map(|(&id, addr)| (id, addr.clone())).collect()
         };
+        let peer_count = peers.len() as u64;
         // The member set whose origins are pulled: every known peer plus
         // this node itself (self-pull = restart recovery).
         let members: BTreeSet<u64> = peers
@@ -63,20 +67,27 @@ pub(crate) fn run(state: &Arc<ServerState>) {
             }
             if let Some(&(_, until)) = backoff.get(&peer_id) {
                 if Instant::now() < until {
+                    state.metrics.gossip_backoff_skips.inc();
                     continue;
                 }
             }
+            state.metrics.gossip_attempts.inc();
             match gossip_with_peer(state, peer_id, &addr, &members) {
                 Ok(()) => {
                     backoff.remove(&peer_id);
                 }
                 Err(_) => {
+                    state.metrics.gossip_failures.inc();
                     let attempt = backoff.get(&peer_id).map_or(1, |&(a, _)| a + 1);
                     let delay = backoff_delay(state.node_id, peer_id, attempt, interval);
                     backoff.insert(peer_id, (attempt, Instant::now() + delay));
                 }
             }
         }
+        state
+            .metrics
+            .journal
+            .push("gossip_tick", peer_count, tick_started);
         sleep_interruptible(state, interval);
     }
 }
@@ -103,6 +114,7 @@ fn gossip_with_peer(
         client.set_model(remote_id)?;
         for &origin in members {
             let since = pull_watermark(state, &entry, origin);
+            let pull_started = metrics::now_if_enabled();
             let (to_clock, bytes) = match client.pull_delta(origin, since) {
                 Ok(resp) => resp,
                 // The peer holds no replica for this origin (or rejected
@@ -111,6 +123,20 @@ fn gossip_with_peer(
                 Err(e) => return Err(e),
             };
             let advanced = apply_pulled(state, &entry, origin, &bytes).unwrap_or(false);
+            if let Some(t) = pull_started {
+                if advanced {
+                    state.metrics.journal.push("delta_pull", origin, t);
+                }
+                // Publish the lag gauge: the origin clock this peer just
+                // reported minus what is now applied locally. Zero means
+                // this node holds everything the peer knew about.
+                let applied_now = match pull_watermark(state, &entry, origin) {
+                    PULL_SINCE_FULL => 0,
+                    w => w,
+                };
+                let lag = i64::try_from(to_clock.saturating_sub(applied_now)).unwrap_or(i64::MAX);
+                state.metrics.set_repl_lag(entry.id, origin, lag);
+            }
             // Ack only the peer's *own* copy: the shipped-clock vector on
             // the peer tracks who has its local state, not relayed state.
             if advanced && origin == peer_id {

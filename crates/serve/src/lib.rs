@@ -172,6 +172,7 @@
 //! | `0E` | PEER_JOIN | node id (u64) \| addr_len (u32) \| addr | this node's id (u64) (registry-level) |
 //! | `0F` | PULL_DELTA | origin (u64) \| since (u64) | to_clock (u64) \| record bytes (empty = nothing newer) |
 //! | `10` | ACK | peer (u64) \| acked clock (u64) | current acked clock (u64) |
+//! | `11` | METRICS | — | UTF-8 `wmsketch-metrics/v1` exposition (registry-level) |
 //!
 //! CREATE registers a named model from an **untrained** template
 //! snapshot of any registered kind — the template carries the complete
@@ -306,6 +307,69 @@
 //! MERGE, CHECKPOINT, RESTORE, and RESET keep addressing the node's
 //! local copy.
 //!
+//! ## Telemetry: the `OP_METRICS` exposition
+//!
+//! `OP_METRICS` (`11`, registry-level — the model id in the header is
+//! ignored, like LIST) takes an empty payload and returns the node's
+//! telemetry as a UTF-8 text exposition in the `wmsketch-metrics/v1`
+//! format (grammar in `wmsketch_telemetry::expo`): one sample per line,
+//!
+//! ```text
+//! # wmsketch-metrics/v1
+//! <name>{<key>="<value>",...} <number>
+//! ```
+//!
+//! with `"`-quoted, `\`-escaped label values and decimal integer or
+//! float numbers. Histograms export as `<name>_count`, `<name>_sum`,
+//! and `<name>_p50/_p90/_p99/_p999` (log2-bucketed; quantiles carry
+//! within-bucket interpolation and are omitted while empty). The format
+//! is **append-stable**: scrapers must ignore names they don't know, so
+//! the registry below can grow without a version bump.
+//! [`ServeClient::metrics`] performs the scrape and parse.
+//!
+//! Instrumentation is gated on one process-global switch — the
+//! `WMSKETCH_TELEMETRY` environment variable (`off`/`0`/`false` disable;
+//! default on) or `wmsketch_telemetry::set_enabled` — and the hot path
+//! records through relaxed atomics only (fixed histogram arrays hanging
+//! off each registry entry; no locks, no allocation per frame).
+//!
+//! Metric-name registry (labels in parentheses):
+//!
+//! | name | type | meaning |
+//! |------|------|---------|
+//! | `node_info` (`node_id`, `backend`) | const `1` | node identity row |
+//! | `telemetry_enabled` | gauge | `1` while the switch is on |
+//! | `frames_rx_total` | counter | request frames read off sockets |
+//! | `bytes_rx_total` | counter | request bytes read (length prefixes included) |
+//! | `bytes_tx_total` | counter | response bytes handed to the transport |
+//! | `connections_open` | gauge | currently open connections |
+//! | `paused_connections` | gauge | connections under pipeline backpressure (event backend) |
+//! | `executor_queue_depth` | gauge | decoded-but-unanswered requests (event backend) |
+//! | `coalesce_run_len_*` | histogram | UPDATE frames per learner-lock acquisition (event backend) |
+//! | `update_lock_acquisitions_total` | counter | mirror of the STATS tail counter |
+//! | `update_frames_total` | counter | mirror of the STATS tail counter |
+//! | `gossip_rounds_total` | counter | gossip ticks started |
+//! | `gossip_attempts_total` | counter | per-peer exchanges attempted |
+//! | `gossip_failures_total` | counter | exchanges failed (peer enters backoff) |
+//! | `gossip_backoff_skips_total` | counter | peer visits skipped inside a backoff window |
+//! | `op_latency_ns_*` (`model`, `op`) | histogram | per-op service latency; `_count` equals the frames processed for that (model, op) |
+//! | `request_bytes_total` (`model`) | counter | wire bytes addressing the model |
+//! | `update_examples_total` (`model`) | counter | labelled examples ingested |
+//! | `op_errors_total` (`model`) | counter | requests answered with ERR |
+//! | `rate_update_examples_estimate` (`model`) | gauge | Count-Min estimate of the model's ingested examples |
+//! | `rate_queries_estimate` (`model`) | gauge | Count-Min estimate of the model's read queries |
+//! | `replication_lag` (`model`, `origin`) | gauge | origin clock reported by the last gossip exchange minus this node's applied watermark (0 = caught up) |
+//! | `journal_pushed` | counter | span events ever journalled |
+//! | `journal_span` (`seq`, `kind`, `detail`, `at_ns`) | value = span ns | ring-buffered coarse spans: `gossip_tick`, `delta_pull`, `drain`, `model_create` |
+//!
+//! The `model` label is the registry *name* (stable across nodes, unlike
+//! ids); registry-level ops and requests that never resolved a model are
+//! attributed to the reserved pseudo-model `_registry`. The per-model
+//! rate estimates come from a fixed-size Count-Min accountant — the
+//! paper's own substrate doing the fleet's high-cardinality tenant
+//! accounting, so the cost stays constant no matter how many models a
+//! node hosts.
+//!
 //! ## Backends
 //!
 //! Both backends speak the identical wire protocol and produce
@@ -350,6 +414,7 @@ pub mod error;
 #[cfg(target_os = "linux")]
 mod event_loop;
 mod gossip;
+mod metrics;
 #[cfg(target_os = "linux")]
 mod poller;
 pub mod protocol;
@@ -362,3 +427,4 @@ pub use server::{
     ReplRow, ServeBackend, ServeConfig, ServeStats, ServerHandle, WmServer,
     CREATE_MODE_DEFERRED_HEAP, CREATE_MODE_WORKER_HEAPS, MAX_DEFERRED_CANDIDATES,
 };
+pub use wmsketch_telemetry::{MetricsReport, Sample};

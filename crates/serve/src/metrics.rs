@@ -1,0 +1,388 @@
+//! Telemetry composition for the serving node: per-model op telemetry,
+//! node-wide transport and scheduler metrics, replication-lag gauges,
+//! and the `OP_METRICS` text-exposition renderer.
+//!
+//! The hot-path contract: recording a frame costs a fixed array index
+//! plus relaxed atomic adds — no locks, no allocation. The only mutexes
+//! here guard cold-path state: the replication-lag gauge map (written by
+//! the gossip thread, hertz not megahertz) and the Count-Min rate
+//! accountant (locked once per *frame*, never per example). Everything
+//! is further gated on [`wmsketch_telemetry::enabled`], so
+//! `WMSKETCH_TELEMETRY=off` reduces every instrumentation point to one
+//! relaxed load.
+//!
+//! See the crate rustdoc for the metric-name registry table the
+//! exposition emits.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use wmsketch_hashing::codec::Reader;
+use wmsketch_telemetry::{Counter, ExpoWriter, Gauge, Journal, LatencyHistogram, RateAccountant};
+
+use crate::protocol::{
+    take_request_head, OP_ACK, OP_CHECKPOINT, OP_CREATE, OP_ESTIMATE, OP_LIST, OP_MERGE,
+    OP_METRICS, OP_PEER_JOIN, OP_PREDICT, OP_PULL_DELTA, OP_RESET, OP_RESTORE, OP_SHUTDOWN,
+    OP_SNAPSHOT, OP_STATS, OP_TOPK, OP_UPDATE,
+};
+use crate::server::{ServeBackend, ServerState};
+
+/// Number of op classes a latency-histogram array holds: one per wire
+/// opcode plus a trailing catch-all for unknown/malformed requests.
+pub(crate) const OP_CLASSES: usize = 18;
+
+/// Index of [`OP_UPDATE`]'s histogram (the event backend's coalesced
+/// path records here directly, without re-parsing the frame).
+pub(crate) const CLASS_UPDATE: usize = 0;
+
+/// Maps a wire opcode to its histogram slot (unknown opcodes share the
+/// trailing catch-all class).
+pub(crate) fn op_class(op: u8) -> usize {
+    match op {
+        OP_UPDATE => CLASS_UPDATE,
+        OP_PREDICT => 1,
+        OP_TOPK => 2,
+        OP_SNAPSHOT => 3,
+        OP_MERGE => 4,
+        OP_CHECKPOINT => 5,
+        OP_RESTORE => 6,
+        OP_ESTIMATE => 7,
+        OP_STATS => 8,
+        OP_RESET => 9,
+        OP_SHUTDOWN => 10,
+        OP_CREATE => 11,
+        OP_LIST => 12,
+        OP_PEER_JOIN => 13,
+        OP_PULL_DELTA => 14,
+        OP_ACK => 15,
+        OP_METRICS => 16,
+        _ => OP_CLASSES - 1,
+    }
+}
+
+/// The exposition label for an op class (matches the opcode's wire name
+/// in lowercase).
+pub(crate) fn op_class_name(class: usize) -> &'static str {
+    const NAMES: [&str; OP_CLASSES] = [
+        "update",
+        "predict",
+        "topk",
+        "snapshot",
+        "merge",
+        "checkpoint",
+        "restore",
+        "estimate",
+        "stats",
+        "reset",
+        "shutdown",
+        "create",
+        "list",
+        "peer_join",
+        "pull_delta",
+        "ack",
+        "metrics",
+        "other",
+    ];
+    NAMES[class]
+}
+
+/// Whether an op class is a read query the rate accountant bills.
+fn is_query_class(class: usize) -> bool {
+    matches!(class, 1 | 2 | 3 | 7) // predict, topk, snapshot, estimate
+}
+
+/// Per-model telemetry, embedded in every registry entry so recording is
+/// an array index away from the `Arc<ModelEntry>` the hot path already
+/// holds — no map lookups, no locks.
+pub(crate) struct ModelTelemetry {
+    /// Per-op-class service latency (nanoseconds on the execution path:
+    /// decode-to-response on the threaded backend, `update_batch` under
+    /// the coalesced lock on the event backend's UPDATE path).
+    pub(crate) op_latency: [LatencyHistogram; OP_CLASSES],
+    /// Wire bytes (frame header included) of requests addressing this
+    /// model.
+    pub(crate) request_bytes: Counter,
+    /// Labelled examples ingested via UPDATE frames.
+    pub(crate) update_examples: Counter,
+    /// Requests that returned an error response.
+    pub(crate) errors: Counter,
+}
+
+impl ModelTelemetry {
+    pub(crate) fn new() -> Self {
+        ModelTelemetry {
+            op_latency: [const { LatencyHistogram::new() }; OP_CLASSES],
+            request_bytes: Counter::new(),
+            update_examples: Counter::new(),
+            errors: Counter::new(),
+        }
+    }
+}
+
+/// Node-wide telemetry shared by both transport backends, the executor
+/// pool, and the gossip thread.
+pub(crate) struct NodeMetrics {
+    /// Telemetry for registry-level ops (CREATE/LIST/SHUTDOWN/PEER_JOIN/
+    /// METRICS) and for requests that never resolved a model — exposed
+    /// under the reserved model label `_registry`.
+    pub(crate) registry: ModelTelemetry,
+    /// Request frames read off sockets.
+    pub(crate) frames_rx: Counter,
+    /// Request bytes read off sockets (4-byte length prefixes included).
+    pub(crate) bytes_rx: Counter,
+    /// Response bytes handed to the transport (length prefixes included).
+    pub(crate) bytes_tx: Counter,
+    /// Currently open connections.
+    pub(crate) connections: Gauge,
+    /// Event backend: connections whose read interest is dropped because
+    /// their pipeline hit `MAX_PIPELINE_DEPTH` (backpressure engaged).
+    pub(crate) paused_connections: Gauge,
+    /// Event backend: decoded-but-unanswered requests across all
+    /// connections (the executor queue depth the I/O loop observes).
+    pub(crate) queue_depth: Gauge,
+    /// Event backend: UPDATE frames claimed per single learner-lock
+    /// acquisition (the coalescing factor, as a distribution).
+    pub(crate) coalesce_run_len: LatencyHistogram,
+    /// Coarse span journal: gossip ticks, delta pulls, drains, model
+    /// builds.
+    pub(crate) journal: Journal,
+    /// Gossip loop ticks started.
+    pub(crate) gossip_rounds: Counter,
+    /// Per-peer gossip exchanges attempted.
+    pub(crate) gossip_attempts: Counter,
+    /// Per-peer gossip exchanges that failed (entering jittered backoff).
+    pub(crate) gossip_failures: Counter,
+    /// Peer visits skipped because the peer was inside its backoff
+    /// window.
+    pub(crate) gossip_backoff_skips: Counter,
+    /// Replication lag per (model id, origin): the origin clock the last
+    /// gossip exchange reported minus this node's applied watermark —
+    /// zero when fully caught up. Written by the gossip thread only.
+    repl_lag: Mutex<BTreeMap<(u32, u64), i64>>,
+    /// Count-Min-backed per-model update/query accounting (fixed space
+    /// regardless of model count — the paper's substrate monitoring the
+    /// fleet that serves it). Locked once per frame, off the per-example
+    /// path.
+    rates: Mutex<RateAccountant>,
+}
+
+/// Journal capacity: enough to hold several seconds of gossip ticks at
+/// test cadence while bounding a long-lived node's memory.
+const JOURNAL_CAPACITY: usize = 256;
+
+impl NodeMetrics {
+    pub(crate) fn new(node_id: u64) -> Self {
+        NodeMetrics {
+            registry: ModelTelemetry::new(),
+            frames_rx: Counter::new(),
+            bytes_rx: Counter::new(),
+            bytes_tx: Counter::new(),
+            connections: Gauge::new(),
+            paused_connections: Gauge::new(),
+            queue_depth: Gauge::new(),
+            coalesce_run_len: LatencyHistogram::new(),
+            journal: Journal::new(JOURNAL_CAPACITY),
+            gossip_rounds: Counter::new(),
+            gossip_attempts: Counter::new(),
+            gossip_failures: Counter::new(),
+            gossip_backoff_skips: Counter::new(),
+            repl_lag: Mutex::new(BTreeMap::new()),
+            rates: Mutex::new(RateAccountant::new(node_id)),
+        }
+    }
+
+    /// Publishes a (model, origin) replication-lag reading from the
+    /// gossip thread.
+    pub(crate) fn set_repl_lag(&self, model: u32, origin: u64, lag: i64) {
+        if wmsketch_telemetry::enabled() {
+            self.repl_lag
+                .lock()
+                .expect("repl lag mutex")
+                .insert((model, origin), lag);
+        }
+    }
+
+    /// Bills `examples` ingested update examples to `model`.
+    pub(crate) fn account_updates(&self, model: u32, examples: u64) {
+        if wmsketch_telemetry::enabled() {
+            self.rates
+                .lock()
+                .expect("rates mutex")
+                .record_updates(u64::from(model), examples);
+        }
+    }
+
+    /// Bills one read query to `model`.
+    pub(crate) fn account_query(&self, model: u32) {
+        if wmsketch_telemetry::enabled() {
+            self.rates
+                .lock()
+                .expect("rates mutex")
+                .record_queries(u64::from(model), 1);
+        }
+    }
+}
+
+/// `Instant::now()` only when telemetry is on — the single branch that
+/// keeps `WMSKETCH_TELEMETRY=off` from paying for clock reads.
+#[inline]
+pub(crate) fn now_if_enabled() -> Option<Instant> {
+    wmsketch_telemetry::enabled().then(Instant::now)
+}
+
+/// Records one dispatched request (the threaded backend's every frame;
+/// the event backend's non-coalesced frames): latency, wire bytes,
+/// errors, and query-rate accounting, attributed to the addressed model
+/// or to the `_registry` pseudo-model.
+pub(crate) fn record_request(state: &ServerState, body: &[u8], started: Instant, ok: bool) {
+    let elapsed = started.elapsed();
+    let wire_bytes = body.len() as u64 + 4;
+    let metrics = &state.metrics;
+    let (class, entry) = match take_request_head(&mut Reader::new(body)) {
+        Err(_) => (OP_CLASSES - 1, None),
+        Ok(head) => {
+            let class = op_class(head.op);
+            let entry = if matches!(
+                head.op,
+                OP_CREATE | OP_LIST | OP_SHUTDOWN | OP_PEER_JOIN | OP_METRICS
+            ) {
+                None
+            } else {
+                crate::server::resolve_model(state, head.model).ok()
+            };
+            (class, entry)
+        }
+    };
+    let tele = entry.as_ref().map_or(&metrics.registry, |e| &e.telemetry);
+    tele.op_latency[class].record_duration(elapsed);
+    tele.request_bytes.add(wire_bytes);
+    if !ok {
+        tele.errors.inc();
+    }
+    if ok && is_query_class(class) {
+        if let Some(e) = &entry {
+            metrics.account_query(e.id);
+        }
+    }
+}
+
+/// Renders the node's full `wmsketch-metrics/v1` exposition — the
+/// `OP_METRICS` response payload.
+pub(crate) fn render(state: &ServerState) -> String {
+    let m = &state.metrics;
+    let mut w = ExpoWriter::new();
+    let node_id = state.node_id.to_string();
+    let backend = match state.backend {
+        ServeBackend::Threaded => "threaded",
+        ServeBackend::Event => "event",
+    };
+    w.sample_u64(
+        "node_info",
+        &[("node_id", &node_id), ("backend", backend)],
+        1,
+    );
+    w.sample_u64(
+        "telemetry_enabled",
+        &[],
+        u64::from(wmsketch_telemetry::enabled()),
+    );
+
+    // Transport.
+    w.sample_u64("frames_rx_total", &[], m.frames_rx.get());
+    w.sample_u64("bytes_rx_total", &[], m.bytes_rx.get());
+    w.sample_u64("bytes_tx_total", &[], m.bytes_tx.get());
+    w.sample_i64("connections_open", &[], m.connections.get());
+    w.sample_i64("paused_connections", &[], m.paused_connections.get());
+
+    // Scheduler (event backend; zero on the threaded backend).
+    w.sample_i64("executor_queue_depth", &[], m.queue_depth.get());
+    w.histogram("coalesce_run_len", &[], &m.coalesce_run_len.snapshot());
+
+    // The always-on STATS counters, mirrored so one scrape carries both.
+    w.sample_u64(
+        "update_lock_acquisitions_total",
+        &[],
+        state
+            .update_lock_acquisitions
+            .load(std::sync::atomic::Ordering::Relaxed),
+    );
+    w.sample_u64(
+        "update_frames_total",
+        &[],
+        state
+            .update_frames
+            .load(std::sync::atomic::Ordering::Relaxed),
+    );
+
+    // Gossip.
+    w.sample_u64("gossip_rounds_total", &[], m.gossip_rounds.get());
+    w.sample_u64("gossip_attempts_total", &[], m.gossip_attempts.get());
+    w.sample_u64("gossip_failures_total", &[], m.gossip_failures.get());
+    w.sample_u64(
+        "gossip_backoff_skips_total",
+        &[],
+        m.gossip_backoff_skips.get(),
+    );
+
+    // Per-model telemetry (the `_registry` pseudo-model first), then the
+    // Count-Min rate estimates for every registered model.
+    let entries = state.entries();
+    render_model(&mut w, "_registry", &m.registry);
+    for entry in &entries {
+        render_model(&mut w, entry.name(), &entry.telemetry);
+    }
+    {
+        let rates = m.rates.lock().expect("rates mutex");
+        for entry in &entries {
+            let labels = [("model", entry.name())];
+            w.sample_u64(
+                "rate_update_examples_estimate",
+                &labels,
+                rates.updates(u64::from(entry.id)),
+            );
+            w.sample_u64(
+                "rate_queries_estimate",
+                &labels,
+                rates.queries(u64::from(entry.id)),
+            );
+        }
+    }
+
+    // Replication lag, labelled by model *name* (the cross-node
+    // replication key) and origin node id.
+    {
+        let lag = m.repl_lag.lock().expect("repl lag mutex");
+        for (&(model, origin), &v) in lag.iter() {
+            let Some(entry) = entries.iter().find(|e| e.id == model) else {
+                continue;
+            };
+            let origin = origin.to_string();
+            w.sample_i64(
+                "replication_lag",
+                &[("model", entry.name()), ("origin", &origin)],
+                v,
+            );
+        }
+    }
+
+    w.journal(&m.journal);
+    w.finish()
+}
+
+fn render_model(w: &mut ExpoWriter, name: &str, tele: &ModelTelemetry) {
+    let labels = [("model", name)];
+    for class in 0..OP_CLASSES {
+        let snap = tele.op_latency[class].snapshot();
+        if snap.count() > 0 {
+            w.histogram(
+                "op_latency_ns",
+                &[("model", name), ("op", op_class_name(class))],
+                &snap,
+            );
+        }
+    }
+    w.sample_u64("request_bytes_total", &labels, tele.request_bytes.get());
+    w.sample_u64("update_examples_total", &labels, tele.update_examples.get());
+    w.sample_u64("op_errors_total", &labels, tele.errors.get());
+}

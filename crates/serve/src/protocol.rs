@@ -69,6 +69,11 @@ pub const OP_PULL_DELTA: u8 = 0x0F;
 /// is rejected with a typed error (the vector is monotonic). The OK
 /// payload is the current acked clock (u64).
 pub const OP_ACK: u8 = 0x10;
+/// Request opcode (registry-level, model id ignored): scrape the node's
+/// telemetry. The request payload is empty; the OK payload is the UTF-8
+/// `wmsketch-metrics/v1` text exposition (see the crate rustdoc's metric
+/// registry table and `wmsketch_telemetry::expo` for the line grammar).
+pub const OP_METRICS: u8 = 0x11;
 
 /// [`OP_PULL_DELTA`] `since` sentinel: the requester has no state for
 /// this origin and needs a full snapshot, not a delta.

@@ -29,11 +29,12 @@ use wmsketch_core::{
 use wmsketch_hashing::codec::{self, Reader, Writer, KIND_WM};
 
 use crate::error::ServeError;
+use crate::metrics;
 use crate::protocol::{
     self, take_examples_into, take_features, take_request_head, write_frame, ExamplesScratch,
     ModelInfo, MAX_FRAME_LEN, OP_ACK, OP_CHECKPOINT, OP_CREATE, OP_ESTIMATE, OP_LIST, OP_MERGE,
-    OP_PEER_JOIN, OP_PREDICT, OP_PULL_DELTA, OP_RESET, OP_RESTORE, OP_SHUTDOWN, OP_SNAPSHOT,
-    OP_STATS, OP_TOPK, OP_UPDATE, PULL_SINCE_FULL, STATUS_ERR, STATUS_OK,
+    OP_METRICS, OP_PEER_JOIN, OP_PREDICT, OP_PULL_DELTA, OP_RESET, OP_RESTORE, OP_SHUTDOWN,
+    OP_SNAPSHOT, OP_STATS, OP_TOPK, OP_UPDATE, PULL_SINCE_FULL, STATUS_ERR, STATUS_OK,
 };
 
 /// How long a connection thread blocks on the socket before re-checking
@@ -399,6 +400,9 @@ pub(crate) struct ModelEntry {
     /// a map-emptiness check) for models no peer has gossiped about.
     pub(crate) repl: Mutex<ReplState>,
     merged: Mutex<MergedCache>,
+    /// Per-model op telemetry — one array index from the entry `Arc` the
+    /// hot path already holds, so recording never takes a lock.
+    pub(crate) telemetry: metrics::ModelTelemetry,
 }
 
 impl ModelEntry {
@@ -452,7 +456,7 @@ pub(crate) struct ServerState {
     registry: RwLock<Registry>,
     pub(crate) addr: SocketAddr,
     pub(crate) shutdown: AtomicBool,
-    backend: ServeBackend,
+    pub(crate) backend: ServeBackend,
     /// Learner-lock acquisitions that served UPDATE frames (see
     /// [`ServeStats::update_lock_acquisitions`]).
     pub(crate) update_lock_acquisitions: AtomicU64,
@@ -465,6 +469,9 @@ pub(crate) struct ServerState {
     /// Known replication peers: node id → address, registered via
     /// OP_PEER_JOIN (re-joins replace the address).
     pub(crate) peers: Mutex<BTreeMap<u64, String>>,
+    /// Node-wide telemetry (transport counters, scheduler gauges, the
+    /// span journal, gossip counters, replication-lag gauges, rates).
+    pub(crate) metrics: metrics::NodeMetrics,
 }
 
 impl ServerState {
@@ -507,6 +514,7 @@ impl WmServer {
             spec: ModelSpec::Default(cfg),
             repl: Mutex::new(ReplState::default()),
             merged: Mutex::new(MergedCache::default()),
+            telemetry: metrics::ModelTelemetry::new(),
         });
         let mut by_name = HashMap::new();
         by_name.insert(default.name.clone(), default.id);
@@ -526,6 +534,7 @@ impl WmServer {
                 node_id: cfg.node_id,
                 gossip_interval_ms: cfg.gossip_interval_ms,
                 peers: Mutex::new(BTreeMap::new()),
+                metrics: metrics::NodeMetrics::new(cfg.node_id),
             }),
         })
     }
@@ -651,7 +660,9 @@ pub(crate) fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
                 workers.retain(|w| !w.is_finished());
                 let state = Arc::clone(state);
                 workers.push(std::thread::spawn(move || {
+                    state.metrics.connections.inc();
                     let _ = serve_connection(stream, &state);
+                    state.metrics.connections.dec();
                 }));
             }
             Err(_) => {
@@ -666,9 +677,12 @@ pub(crate) fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
             }
         }
     }
+    let drain_started = std::time::Instant::now();
+    let joined = workers.len() as u64;
     for w in workers {
         let _ = w.join();
     }
+    state.metrics.journal.push("drain", joined, drain_started);
 }
 
 /// Reads frames off one connection until EOF or shutdown, dispatching
@@ -690,12 +704,15 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) -> Result<(
             Ok(None) => return Ok(()),
             Err(e) => return Err(e),
         };
+        state.metrics.frames_rx.inc();
+        state.metrics.bytes_rx.add(body.len() as u64 + 4);
         let result = handle_request(&body, state, &mut scratch);
         // OP_SHUTDOWN closes this connection only when the request was
         // actually honored — a malformed shutdown frame gets an ERR
         // response on a connection that stays open, like any other error.
         let shutdown = result.is_ok() && is_shutdown_request(&body);
         let response = finalize_response(result);
+        state.metrics.bytes_tx.add(response.len() as u64 + 4);
         write_frame(&mut stream, &response)?;
         if shutdown {
             return Ok(());
@@ -831,6 +848,8 @@ fn registry_rows(state: &ServerState) -> Vec<ModelInfo> {
 /// byte (`0x57`, `'W'`), so a pre-v6 payload — template immediately
 /// after `shards` — parses unchanged as worker-heaps mode.
 fn handle_create(r: &mut Reader<'_>, state: &ServerState) -> Result<u32, ServeError> {
+    // Coarse span for the journal: covers validation + shard-pool build.
+    let built_started = std::time::Instant::now();
     let name_len = r.take_u32()? as usize;
     if name_len == 0 || name_len > MAX_MODEL_NAME {
         return Err(ServeError::Protocol("model name length out of range"));
@@ -941,7 +960,12 @@ fn handle_create(r: &mut Reader<'_>, state: &ServerState) -> Result<u32, ServeEr
         learner: Mutex::new(learner),
         repl: Mutex::new(ReplState::default()),
         merged: Mutex::new(MergedCache::default()),
+        telemetry: metrics::ModelTelemetry::new(),
     }));
+    state
+        .metrics
+        .journal
+        .push("model_create", u64::from(id), built_started);
     Ok(id)
 }
 
@@ -1022,7 +1046,26 @@ fn replication_rows(state: &ServerState) -> Vec<ReplRow> {
 
 /// Decodes and executes one request, returning the OK payload.
 /// `scratch` is the calling connection's reusable UPDATE decode buffer.
+///
+/// This is [`dispatch_request`] wrapped in telemetry: when the global
+/// switch is on, the whole dispatch is timed and recorded against the
+/// addressed model's (or the `_registry` pseudo-model's) op histogram.
+/// With `WMSKETCH_TELEMETRY=off` the wrapper is one relaxed load.
 pub(crate) fn handle_request(
+    body: &[u8],
+    state: &Arc<ServerState>,
+    scratch: &mut ExamplesScratch,
+) -> Result<Vec<u8>, ServeError> {
+    let started = metrics::now_if_enabled();
+    let result = dispatch_request(body, state, scratch);
+    if let Some(t0) = started {
+        metrics::record_request(state, body, t0, result.is_ok());
+    }
+    result
+}
+
+/// The untimed request dispatcher behind [`handle_request`].
+fn dispatch_request(
     body: &[u8],
     state: &Arc<ServerState>,
     scratch: &mut ExamplesScratch,
@@ -1077,6 +1120,11 @@ pub(crate) fn handle_request(
             out.put_u64(state.node_id);
             return Ok(out.into_bytes());
         }
+        OP_METRICS => {
+            r.finish()?;
+            out.put_bytes(metrics::render(state).as_bytes());
+            return Ok(out.into_bytes());
+        }
         _ => {}
     }
     let entry = resolve_model(state, head.model)?;
@@ -1087,13 +1135,22 @@ pub(crate) fn handle_request(
             // anything reaches the learner.
             take_examples_into(&mut r, scratch, entry.label_domain)?;
             r.finish()?;
-            let mut learner = entry.learner.lock().expect("learner mutex");
-            learner.update_batch(scratch.examples());
+            let seen = {
+                let mut learner = entry.learner.lock().expect("learner mutex");
+                learner.update_batch(scratch.examples());
+                learner.examples_seen()
+            };
             state
                 .update_lock_acquisitions
                 .fetch_add(1, Ordering::Relaxed);
             state.update_frames.fetch_add(1, Ordering::Relaxed);
-            out.put_u64(learner.examples_seen());
+            // Example-count telemetry for this frame (latency is recorded
+            // by the `handle_request` wrapper); both no-ops when off, and
+            // both outside the learner lock.
+            let examples = scratch.examples().len() as u64;
+            entry.telemetry.update_examples.add(examples);
+            state.metrics.account_updates(entry.id, examples);
+            out.put_u64(seen);
         }
         OP_PREDICT => {
             let x = take_features(&mut r)?;

@@ -1,0 +1,355 @@
+//! The `wmsketch-metrics/v1` text exposition format: a stable
+//! line-oriented rendering ([`ExpoWriter`]) and its parser
+//! ([`MetricsReport`]).
+//!
+//! ```text
+//! # wmsketch-metrics/v1
+//! name 42
+//! name{key="value",other="v2"} 3.5
+//! ```
+//!
+//! One sample per line: a `[a-z0-9_]` metric name, an optional
+//! `{key="value",...}` label set (values `"`-quoted, `\`-escaped), one
+//! space, then a decimal integer or float. `#` lines are comments. The
+//! format is append-stable — parsers ignore names they don't know — which
+//! is what lets the serve metric registry grow without breaking scrapers.
+
+use crate::histogram::HistogramSnapshot;
+use crate::journal::Journal;
+
+/// The header line every exposition begins with.
+pub const HEADER: &str = "# wmsketch-metrics/v1";
+
+/// The quantiles a histogram exports, as `(suffix, q)` pairs.
+pub const HISTOGRAM_QUANTILES: [(&str, f64); 4] =
+    [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)];
+
+/// Renders samples into the `wmsketch-metrics/v1` text format.
+#[derive(Debug)]
+pub struct ExpoWriter {
+    out: String,
+}
+
+impl Default for ExpoWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExpoWriter {
+    /// A fresh exposition holding only the format header.
+    pub fn new() -> Self {
+        let mut out = String::with_capacity(1024);
+        out.push_str(HEADER);
+        out.push('\n');
+        ExpoWriter { out }
+    }
+
+    /// Appends a `# `-prefixed comment line.
+    pub fn comment(&mut self, text: &str) {
+        self.out.push_str("# ");
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    /// Appends one unsigned-integer sample.
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.sample_head(name, labels);
+        self.out.push_str(&value.to_string());
+        self.out.push('\n');
+    }
+
+    /// Appends one signed-integer sample.
+    pub fn sample_i64(&mut self, name: &str, labels: &[(&str, &str)], value: i64) {
+        self.sample_head(name, labels);
+        self.out.push_str(&value.to_string());
+        self.out.push('\n');
+    }
+
+    /// Appends one float sample (rendered via `{:?}`, which round-trips).
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.sample_head(name, labels);
+        self.out.push_str(&format!("{value:?}"));
+        self.out.push('\n');
+    }
+
+    /// Appends a histogram as `<name>_count`, `<name>_sum`, and the
+    /// [`HISTOGRAM_QUANTILES`] samples, all sharing `labels`. Quantiles
+    /// are omitted while the histogram is empty.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+        self.sample_u64(&format!("{name}_count"), labels, snap.count());
+        self.sample_u64(&format!("{name}_sum"), labels, snap.sum());
+        for (suffix, q) in HISTOGRAM_QUANTILES {
+            if let Some(v) = snap.quantile(q) {
+                self.sample_u64(&format!("{name}_{suffix}"), labels, v);
+            }
+        }
+    }
+
+    /// Appends a journal as one `journal_span` sample per retained event
+    /// (value = span duration in ns) plus a `journal_pushed` total.
+    pub fn journal(&mut self, journal: &Journal) {
+        self.sample_u64("journal_pushed", &[], journal.pushed());
+        for ev in journal.events() {
+            let seq = ev.seq.to_string();
+            let detail = ev.detail.to_string();
+            let at = ev.at_ns.to_string();
+            self.sample_u64(
+                "journal_span",
+                &[
+                    ("seq", &seq),
+                    ("kind", ev.kind),
+                    ("detail", &detail),
+                    ("at_ns", &at),
+                ],
+                ev.dur_ns,
+            );
+        }
+    }
+
+    /// Consumes the writer, returning the rendered exposition.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn sample_head(&mut self, name: &str, labels: &[(&str, &str)]) {
+        debug_assert!(
+            name.bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_'),
+            "metric names are [a-z0-9_]: {name:?}"
+        );
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                for c in v.chars() {
+                    if c == '"' || c == '\\' {
+                        self.out.push('\\');
+                    }
+                    self.out.push(c);
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+    }
+}
+
+/// One parsed exposition line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The metric name.
+    pub name: String,
+    /// Label `(key, value)` pairs in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (integers are exact up to 2^53).
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether this sample carries every `(key, value)` pair in `want`.
+    pub fn matches(&self, want: &[(&str, &str)]) -> bool {
+        want.iter().all(|&(k, v)| self.label(k) == Some(v))
+    }
+}
+
+/// A malformed exposition line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "exposition parse error at line {}: {}",
+            self.line, self.what
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed `wmsketch-metrics/v1` scrape.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// All parsed samples, in exposition order.
+    pub samples: Vec<Sample>,
+}
+
+impl MetricsReport {
+    /// Parses an exposition. Comment lines are skipped; an unrecognized
+    /// header is not an error (the format is append-stable).
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let mut samples = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            samples.push(parse_sample(line).map_err(|what| ParseError { line: i + 1, what })?);
+        }
+        Ok(MetricsReport { samples })
+    }
+
+    /// The first sample named `name` whose labels include every pair in
+    /// `labels`.
+    pub fn sample(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Sample> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.matches(labels))
+    }
+
+    /// The value of [`Self::sample`], if present.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.sample(name, labels).map(|s| s.value)
+    }
+
+    /// All samples named `name` whose labels include every pair in
+    /// `labels`.
+    pub fn all(&self, name: &str, labels: &[(&str, &str)]) -> Vec<&Sample> {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name && s.matches(labels))
+            .collect()
+    }
+}
+
+fn parse_sample(line: &str) -> Result<Sample, &'static str> {
+    let (head, value) = line.rsplit_once(' ').ok_or("missing value")?;
+    let value: f64 = value.parse().map_err(|_| "unparseable value")?;
+    let (name, labels) = match head.split_once('{') {
+        None => (head.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}').ok_or("unterminated label set")?;
+            (name.to_string(), parse_labels(body)?)
+        }
+    };
+    if name.is_empty() {
+        return Err("empty metric name");
+    }
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, &'static str> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return Err("empty label key");
+        }
+        if chars.next() != Some('"') {
+            return Err("label value must be quoted");
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => value.push(chars.next().ok_or("dangling escape")?),
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err("unterminated label value"),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            None => return Ok(labels),
+            Some(',') => continue,
+            Some(_) => return Err("expected ',' between labels"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LatencyHistogram;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let _g = crate::switch_test_guard();
+        crate::set_enabled(true);
+        let mut w = ExpoWriter::new();
+        w.comment("a comment");
+        w.sample_u64("frames_rx_total", &[], 42);
+        w.sample_i64("replication_lag", &[("model", "m"), ("origin", "2")], -1);
+        w.sample_f64("rate_estimate", &[("model", "quo\"ted\\x")], 2.5);
+        let h = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        w.histogram("op_latency_ns", &[("op", "update")], &h.snapshot());
+        let text = w.finish();
+        assert!(text.starts_with(HEADER));
+
+        let r = MetricsReport::parse(&text).expect("parse");
+        assert_eq!(r.value("frames_rx_total", &[]), Some(42.0));
+        assert_eq!(
+            r.value("replication_lag", &[("model", "m"), ("origin", "2")]),
+            Some(-1.0)
+        );
+        let s = r.sample("rate_estimate", &[]).expect("rate sample");
+        assert_eq!(s.label("model"), Some("quo\"ted\\x"));
+        assert_eq!(s.value, 2.5);
+        assert_eq!(
+            r.value("op_latency_ns_count", &[("op", "update")]),
+            Some(4.0)
+        );
+        assert_eq!(
+            r.value("op_latency_ns_sum", &[("op", "update")]),
+            Some(100.0)
+        );
+        assert!(r.value("op_latency_ns_p50", &[("op", "update")]).is_some());
+        assert!(r.value("op_latency_ns_p999", &[("op", "update")]).is_some());
+    }
+
+    #[test]
+    fn journal_exposition() {
+        let _g = crate::switch_test_guard();
+        crate::set_enabled(true);
+        let j = Journal::new(8);
+        j.push("gossip_tick", 3, std::time::Instant::now());
+        let mut w = ExpoWriter::new();
+        w.journal(&j);
+        let r = MetricsReport::parse(&w.finish()).expect("parse");
+        assert_eq!(r.value("journal_pushed", &[]), Some(1.0));
+        let spans = r.all("journal_span", &[("kind", "gossip_tick")]);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].label("detail"), Some("3"));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let bad = format!("{HEADER}\nok 1\nbroken{{x=\"y\" 2\n");
+        let err = MetricsReport::parse(&bad).unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

@@ -1,0 +1,245 @@
+//! A fixed-size, lock-free, mergeable log2-bucketed histogram.
+//!
+//! Bucket `0` holds the sample `0`; bucket `k ≥ 1` holds samples in
+//! `[2^(k-1), 2^k)` (bucket 64's upper edge saturates at `u64::MAX`).
+//! Recording is O(1) — one `leading_zeros` plus two relaxed `fetch_add`s —
+//! so the serve hot path can record per-frame latencies without locks.
+//! Per-thread histograms merge by bucket addition, and quantiles come out
+//! of a [`HistogramSnapshot`] with within-bucket linear interpolation
+//! (always inside the bucket's bounds, so reported quantiles provably
+//! bracket the true order statistic — pinned by the crate's proptests).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 buckets: one for zero plus one per bit of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// The bucket index a sample lands in: `0` for `0`, else
+/// `64 - v.leading_zeros()` (so bucket `k` covers `[2^(k-1), 2^k)`).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// The inclusive `(low, high)` sample range of bucket `k`.
+///
+/// Bucket 0 is `(0, 0)`; bucket 64's high edge saturates at `u64::MAX`.
+pub fn bucket_bounds(k: usize) -> (u64, u64) {
+    assert!(k < BUCKETS, "bucket index out of range");
+    if k == 0 {
+        (0, 0)
+    } else if k == 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (k - 1), (1u64 << k) - 1)
+    }
+}
+
+/// A shareable log2 histogram of `u64` samples (nanoseconds by
+/// convention). All methods take `&self`; recording never blocks.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    /// Sum of all recorded samples (for mean extraction; wraps only after
+    /// ~584 years of accumulated nanoseconds).
+    sum: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// A fresh, empty histogram.
+    pub const fn new() -> Self {
+        LatencyHistogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (no-op while telemetry is disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Adds every bucket of `other` into `self` (merge by addition —
+    /// exactly equivalent to having recorded the union of both sample
+    /// streams). Not gated on the enable switch: merging is maintenance,
+    /// not hot-path recording.
+    pub fn merge_from(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let s = other.sum.load(Ordering::Relaxed);
+        if s != 0 {
+            self.sum.fetch_add(s, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy for quantile extraction and exposition.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of a [`LatencyHistogram`] at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The per-bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// The estimated `q`-quantile (`0.0 < q ≤ 1.0`), or `None` when the
+    /// histogram is empty. Uses the rank statistic `ceil(q·n)` and
+    /// interpolates linearly inside the owning bucket, so the estimate is
+    /// always within [`Self::quantile_bounds`].
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let (k, pos, n_k) = self.quantile_bucket(q)?;
+        let (lo, hi) = bucket_bounds(k);
+        let span = hi - lo;
+        // pos ∈ 1..=n_k; spread the rank across the bucket's range.
+        let off = (span as u128 * (pos - 1) as u128 / n_k as u128) as u64;
+        Some(lo + off)
+    }
+
+    /// The inclusive `(low, high)` bounds of the bucket containing the
+    /// true `q`-quantile of the recorded samples (`None` when empty). The
+    /// true order statistic is guaranteed to lie within these bounds.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        let (k, _, _) = self.quantile_bucket(q)?;
+        Some(bucket_bounds(k))
+    }
+
+    /// Locates the bucket owning rank `ceil(q·n)`: returns
+    /// `(bucket, rank_within_bucket, bucket_count)`.
+    fn quantile_bucket(&self, q: f64) -> Option<(usize, u64, u64)> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            if c != 0 && cum + c >= rank {
+                return Some((k, rank - cum, c));
+            }
+            cum += c;
+        }
+        None // unreachable: ranks are clamped to the total count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for k in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(k);
+            assert_eq!(bucket_of(lo), k);
+            assert_eq!(bucket_of(hi), k);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_stream() {
+        let _g = crate::switch_test_guard();
+        crate::set_enabled(true);
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum(), 500_500);
+        // p50's rank statistic (the 500th smallest = 500) lives in
+        // bucket 9 = [256, 511]; the estimate must land inside it.
+        let (lo, hi) = s.quantile_bounds(0.5).unwrap();
+        assert_eq!((lo, hi), (256, 511));
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((lo..=hi).contains(&p50));
+        // p100 is the max's bucket.
+        let (lo, hi) = s.quantile_bounds(1.0).unwrap();
+        assert!((lo..=hi).contains(&1000));
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let _g = crate::switch_test_guard();
+        crate::set_enabled(true);
+        let (a, b, u) = (
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        );
+        for v in [0u64, 1, 7, 100, 5_000, u64::MAX] {
+            a.record(v);
+            u.record(v);
+        }
+        for v in [3u64, 7, 900, 1 << 40] {
+            b.record(v);
+            u.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), u.snapshot());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), None);
+        assert_eq!(h.snapshot().quantile_bounds(0.99), None);
+    }
+}

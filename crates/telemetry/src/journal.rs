@@ -1,0 +1,132 @@
+//! A bounded ring-buffer journal of coarse span events.
+//!
+//! The journal records *coarse* operational spans — a gossip tick, a delta
+//! pull, an event-loop drain — at a rate of hertz, not megahertz, so a
+//! mutex around a fixed ring is the right trade: bounded memory, ordered
+//! events, and zero contention with the per-frame hot path (which never
+//! touches the journal).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One journalled span: what happened, an event-specific detail word,
+/// when it started (nanoseconds since the journal was created), and how
+/// long it took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Monotone sequence number (survives ring eviction, so gaps in a
+    /// scrape reveal how many events were dropped).
+    pub seq: u64,
+    /// Event kind, e.g. `"gossip_tick"`, `"delta_pull"`, `"drain"`.
+    pub kind: &'static str,
+    /// Event-specific detail (a peer id, a model id, a frame count — the
+    /// kind documents the meaning; zero when unused).
+    pub detail: u64,
+    /// Start offset in nanoseconds since journal creation.
+    pub at_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A fixed-capacity ring of [`SpanEvent`]s; pushing past capacity evicts
+/// the oldest entry.
+#[derive(Debug)]
+pub struct Journal {
+    epoch: Instant,
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<SpanEvent>,
+    next_seq: u64,
+}
+
+impl Journal {
+    /// A new journal holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Journal {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(Ring {
+                events: VecDeque::new(),
+                next_seq: 0,
+            }),
+        }
+    }
+
+    /// Appends a span that started at `started` and just finished
+    /// (no-op while telemetry is disabled).
+    pub fn push(&self, kind: &'static str, detail: u64, started: Instant) {
+        if !crate::enabled() {
+            return;
+        }
+        let at_ns = clamp_ns(started.saturating_duration_since(self.epoch).as_nanos());
+        let dur_ns = clamp_ns(started.elapsed().as_nanos());
+        let mut ring = self.ring.lock().expect("journal mutex");
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+        }
+        ring.events.push_back(SpanEvent {
+            seq,
+            kind,
+            detail,
+            at_ns,
+            dur_ns,
+        });
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.ring
+            .lock()
+            .expect("journal mutex")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Total events ever pushed (retained or evicted).
+    pub fn pushed(&self) -> u64 {
+        self.ring.lock().expect("journal mutex").next_seq
+    }
+}
+
+fn clamp_ns(ns: u128) -> u64 {
+    u64::try_from(ns).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_seq_survives_eviction() {
+        let _g = crate::switch_test_guard();
+        crate::set_enabled(true);
+        let j = Journal::new(3);
+        for i in 0..5u64 {
+            j.push("tick", i, Instant::now());
+        }
+        let evs = j.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(j.pushed(), 5);
+    }
+
+    #[test]
+    fn disabled_journal_drops_events() {
+        let _g = crate::switch_test_guard();
+        crate::set_enabled(false);
+        let j = Journal::new(4);
+        j.push("tick", 0, Instant::now());
+        crate::set_enabled(true);
+        assert!(j.events().is_empty());
+        assert_eq!(j.pushed(), 0);
+    }
+}

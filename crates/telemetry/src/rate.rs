@@ -1,0 +1,96 @@
+//! Count-Min-backed per-key rate accounting — the paper's own substrate
+//! monitoring the system that serves it.
+//!
+//! A node hosting thousands of tenant models can't afford an exact
+//! per-tenant counter map of unbounded cardinality; the [`RateAccountant`]
+//! keeps two fixed-size [`CountMinSketch`]es (updates and queries) keyed
+//! by an arbitrary `u64` (the serve layer uses the model id), giving
+//! overestimate-only counts in ~128 KiB regardless of tenant count. The
+//! accountant needs `&mut` to record (Count-Min updates are in-place), so
+//! callers wrap it in a mutex and record **per frame**, not per example —
+//! off the per-example hot path.
+
+use wmsketch_sketch::CountMinSketch;
+
+/// Sketch depth: 4 rows bounds the overestimate probability at e^-4.
+const DEPTH: u32 = 4;
+/// Sketch width: 2048 counters per row (≈ e/2048 relative error on the
+/// stream total).
+const WIDTH: u32 = 2048;
+
+/// Fixed-space per-key update/query accounting over Count-Min sketches.
+#[derive(Debug)]
+pub struct RateAccountant {
+    updates: CountMinSketch,
+    queries: CountMinSketch,
+}
+
+impl RateAccountant {
+    /// A fresh accountant; `seed` derives the sketch hash functions.
+    pub fn new(seed: u64) -> Self {
+        RateAccountant {
+            updates: CountMinSketch::new(DEPTH, WIDTH, seed ^ 0x757064), // "upd"
+            queries: CountMinSketch::new(DEPTH, WIDTH, seed ^ 0x717279), // "qry"
+        }
+    }
+
+    /// Records `n` update examples attributed to `key` (no-op while
+    /// telemetry is disabled).
+    pub fn record_updates(&mut self, key: u64, n: u64) {
+        if crate::enabled() && n > 0 {
+            self.updates.update(key, n as f64);
+        }
+    }
+
+    /// Records `n` queries attributed to `key` (no-op while telemetry is
+    /// disabled).
+    pub fn record_queries(&mut self, key: u64, n: u64) {
+        if crate::enabled() && n > 0 {
+            self.queries.update(key, n as f64);
+        }
+    }
+
+    /// The estimated update-example count for `key` (an overestimate,
+    /// never an undercount).
+    pub fn updates(&self, key: u64) -> u64 {
+        self.updates.estimate(key).round().max(0.0) as u64
+    }
+
+    /// The estimated query count for `key`.
+    pub fn queries(&self, key: u64) -> u64 {
+        self.queries.estimate(key).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_overestimates_and_key_separated() {
+        let _g = crate::switch_test_guard();
+        crate::set_enabled(true);
+        let mut acc = RateAccountant::new(7);
+        for k in 0..100u64 {
+            acc.record_updates(k, k + 1);
+            acc.record_queries(k, 2 * (k + 1));
+        }
+        for k in 0..100u64 {
+            assert!(acc.updates(k) > k, "CM never undercounts");
+            assert!(acc.queries(k) >= 2 * (k + 1));
+        }
+        // With 100 keys in a 4×2048 sketch, collisions are unlikely; the
+        // hot key's estimate should be exact.
+        assert_eq!(acc.updates(99), 100);
+    }
+
+    #[test]
+    fn disabled_accountant_records_nothing() {
+        let _g = crate::switch_test_guard();
+        crate::set_enabled(false);
+        let mut acc = RateAccountant::new(7);
+        acc.record_updates(1, 10);
+        crate::set_enabled(true);
+        assert_eq!(acc.updates(1), 0);
+    }
+}

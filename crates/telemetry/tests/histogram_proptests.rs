@@ -1,0 +1,96 @@
+//! Property tests for the log2 latency histogram: every sample lands in
+//! the bucket whose bounds contain it, reported quantiles bracket the
+//! true order statistics, and merging two histograms is bit-identical to
+//! recording the union of their sample streams.
+
+use proptest::prelude::*;
+use wmsketch_telemetry::{bucket_bounds, bucket_of, LatencyHistogram, BUCKETS};
+
+/// Sample values spanning every magnitude: small counts, realistic
+/// nanosecond latencies, and full-width u64s (via squaring).
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..u32::MAX as u64, 1..400)
+}
+
+/// The true `q`-quantile of `sorted` under the rank convention the
+/// histogram uses: the `ceil(q·n)`-th smallest sample (1-based).
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+fn record_all(h: &LatencyHistogram, vs: &[u64]) {
+    for &v in vs {
+        h.record(v);
+    }
+}
+
+proptest! {
+    /// Every sample's bucket bounds contain the sample, the bucket index
+    /// is within range, and the mapping is monotone in the value.
+    #[test]
+    fn samples_land_in_the_right_bucket(vs in samples()) {
+        for &v in &vs {
+            let k = bucket_of(v);
+            prop_assert!(k < BUCKETS);
+            let (lo, hi) = bucket_bounds(k);
+            prop_assert!(lo <= v && v <= hi,
+                "sample {v} outside bucket {k} = [{lo}, {hi}]");
+            let squared = v.saturating_mul(v); // exercise the high buckets
+            let (lo2, hi2) = bucket_bounds(bucket_of(squared));
+            prop_assert!(lo2 <= squared && squared <= hi2);
+        }
+    }
+
+    /// The reported p50/p99 always lie within the bucket that holds the
+    /// true order statistic — i.e. the histogram's quantile brackets the
+    /// exact quantile to within one log2 bucket.
+    #[test]
+    fn quantiles_bracket_the_truth(vs in samples()) {
+        wmsketch_telemetry::set_enabled(true);
+        let h = LatencyHistogram::new();
+        record_all(&h, &vs);
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), vs.len() as u64);
+        let mut sorted = vs.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let truth = true_quantile(&sorted, q);
+            let (lo, hi) = snap.quantile_bounds(q).expect("non-empty");
+            prop_assert!(lo <= truth && truth <= hi,
+                "true q{q} = {truth} outside reported bucket [{lo}, {hi}]");
+            let reported = snap.quantile(q).expect("non-empty");
+            prop_assert!(lo <= reported && reported <= hi,
+                "reported q{q} = {reported} escaped its own bucket [{lo}, {hi}]");
+        }
+    }
+
+    /// merge(h1, h2) is bit-identical to one histogram that recorded
+    /// both sample streams.
+    #[test]
+    fn merge_equals_recording_the_union(a in samples(), b in samples()) {
+        wmsketch_telemetry::set_enabled(true);
+        let (h1, h2, union) = (
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        );
+        record_all(&h1, &a);
+        record_all(&h2, &b);
+        record_all(&union, &a);
+        record_all(&union, &b);
+        h1.merge_from(&h2);
+        prop_assert_eq!(h1.snapshot(), union.snapshot());
+        // Quantiles of the merged histogram bracket the union's truth.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.sort_unstable();
+        let snap = h1.snapshot();
+        for q in [0.5, 0.99] {
+            let (lo, hi) = snap.quantile_bounds(q).expect("non-empty");
+            let truth = true_quantile(&all, q);
+            prop_assert!(lo <= truth && truth <= hi);
+        }
+    }
+}

@@ -22,6 +22,10 @@
 //! * [`serve`] — the `WMS1` snapshot codec's transport: a TCP
 //!   ingest/query service whose nodes checkpoint, ship, and merge sketches
 //!   (exact by linearity) across process boundaries.
+//! * [`telemetry`] — the zero-dependency metrics layer the serve stack is
+//!   instrumented with: counters, gauges, log2-bucketed latency
+//!   histograms, a span journal, and the `wmsketch-metrics/v1` text
+//!   exposition scraped via the serve protocol's `METRICS` op.
 //! * [`apps`] — the paper's §8 applications: streaming explanation,
 //!   relative-deltoid detection, and streaming PMI estimation.
 //!
@@ -60,3 +64,4 @@ pub use wmsketch_hh as hh;
 pub use wmsketch_learn as learn;
 pub use wmsketch_serve as serve;
 pub use wmsketch_sketch as sketch;
+pub use wmsketch_telemetry as telemetry;
