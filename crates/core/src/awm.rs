@@ -471,13 +471,16 @@ impl AwmSketch {
         w.put_u64(self.t);
         w.end_section(mark);
         self.encode_delta_body(since, &mut w);
-        w.into_bytes()
+        let mut bytes = w.into_bytes();
+        codec::seal_record(&mut bytes);
+        bytes
     }
 
     /// Applies a delta record produced by [`AwmSketch::encode_delta_since`]
     /// and returns the new clock. Error contract as
     /// [`crate::WmSketch::apply_delta`].
     pub fn apply_delta(&mut self, bytes: &[u8]) -> Result<u64, CodecError> {
+        let bytes = codec::verify_integrity(bytes)?;
         let mut r = Reader::new(bytes);
         r.expect_delta_envelope(KIND_AWM)?;
         let mut head = r.expect_section(codec::DELTA_SECTION_HEAD)?;

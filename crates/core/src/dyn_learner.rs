@@ -118,6 +118,20 @@ macro_rules! impl_dyn_mergeable {
                 absorb_typed(self, bytes)
             }
 
+            /// Decode-and-replace: the snapshot captures this kind's full
+            /// state, so restore adopts it bit for bit (including the
+            /// pre-scale representation a merge would normalize away).
+            fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+                let peer = <$ty as SnapshotCodec>::from_snapshot_bytes(bytes)?;
+                if !self.merge_compatible(&peer) {
+                    return Err(CodecError::Invalid(
+                        "checkpoint is not shape-compatible with this model",
+                    ));
+                }
+                *self = peer;
+                Ok(())
+            }
+
             fn encode_delta_since(&mut self, since: u64) -> Result<Vec<u8>, CodecError> {
                 Ok(<$ty>::encode_delta_since(self, since))
             }
@@ -337,6 +351,21 @@ where
             ));
         }
         self.absorb(&peer);
+        Ok(())
+    }
+
+    /// Reinstates a checkpoint of this pool's own root — bit-exact
+    /// adoption in bypass mode, sync-base adoption for worker pools —
+    /// with the restored clock counted as routed examples (see
+    /// [`ShardedLearner::restore`]).
+    fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let peer = L::from_snapshot_bytes(bytes)?;
+        if !self.root().merge_compatible(&peer) {
+            return Err(CodecError::Invalid(
+                "checkpoint is not shape-compatible with this model",
+            ));
+        }
+        self.restore(peer);
         Ok(())
     }
 

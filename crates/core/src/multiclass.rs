@@ -228,7 +228,9 @@ impl MulticlassAwmSketch {
             sketch.encode_delta_body(since, &mut w);
             w.end_section(mark);
         }
-        w.into_bytes()
+        let mut bytes = w.into_bytes();
+        codec::seal_record(&mut bytes);
+        bytes
     }
 
     /// Applies a delta record produced by
@@ -238,6 +240,7 @@ impl MulticlassAwmSketch {
     /// not equal this model's clock; on other mid-apply errors the state
     /// is unspecified and must be discarded.
     pub fn apply_delta(&mut self, bytes: &[u8]) -> Result<u64, CodecError> {
+        let bytes = codec::verify_integrity(bytes)?;
         let mut r = Reader::new(bytes);
         r.expect_delta_envelope(KIND_MULTICLASS_AWM)?;
         let mut head = r.expect_section(codec::DELTA_SECTION_HEAD)?;
@@ -829,12 +832,14 @@ mod tests {
         // section tag/len 5 bytes) must be rejected.
         let mut one_class = bytes.clone();
         one_class[11..15].copy_from_slice(&1u32.to_le_bytes());
+        codec::reseal_record(&mut one_class);
         assert!(matches!(
             MulticlassAwmSketch::from_snapshot_bytes(&one_class),
             Err(CodecError::Invalid(_))
         ));
         let mut absurd = bytes;
         absurd[11..15].copy_from_slice(&u32::MAX.to_le_bytes());
+        codec::reseal_record(&mut absurd);
         assert!(matches!(
             MulticlassAwmSketch::from_snapshot_bytes(&absurd),
             Err(CodecError::Invalid(_))

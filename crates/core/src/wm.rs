@@ -421,7 +421,9 @@ impl WmSketch {
         w.put_u64(self.t);
         w.end_section(mark);
         self.encode_delta_body(since, &mut w);
-        w.into_bytes()
+        let mut bytes = w.into_bytes();
+        codec::seal_record(&mut bytes);
+        bytes
     }
 
     /// Applies a delta record produced by [`WmSketch::encode_delta_since`]
@@ -431,6 +433,7 @@ impl WmSketch {
     /// watermark). On any other decode error mid-apply the state is
     /// unspecified and must be discarded.
     pub fn apply_delta(&mut self, bytes: &[u8]) -> Result<u64, CodecError> {
+        let bytes = codec::verify_integrity(bytes)?;
         let mut r = Reader::new(bytes);
         r.expect_delta_envelope(KIND_WM)?;
         let mut head = r.expect_section(codec::DELTA_SECTION_HEAD)?;
@@ -1123,12 +1126,12 @@ mod tests {
                 "prefix {n} decoded"
             );
         }
-        // Appending junk is TrailingBytes.
+        // Appending junk shifts the CRC footer window: ChecksumMismatch.
         let mut long = bytes.clone();
         long.push(0);
         assert!(matches!(
             WmSketch::from_snapshot_bytes(&long),
-            Err(CodecError::TrailingBytes(1))
+            Err(CodecError::ChecksumMismatch { .. })
         ));
     }
 

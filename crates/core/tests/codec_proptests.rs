@@ -157,11 +157,51 @@ proptest! {
         for n in (0..bytes.len()).step_by(7).chain(bytes.len() - 9..bytes.len()) {
             prop_assert!(WmSketch::from_snapshot_bytes(&bytes[..n]).is_err(), "prefix {}", n);
         }
-        // Single-byte corruption: typed error or benign value change.
+        // Single-byte corruption: the CRC-64 footer detects every
+        // single-byte change, so any nonzero delta anywhere must produce
+        // a typed error — no silent value drift, no panic.
         let mut corrupt = bytes.clone();
         let pos = pos % corrupt.len();
         corrupt[pos] = corrupt[pos].wrapping_add(delta);
-        let _ = WmSketch::from_snapshot_bytes(&corrupt);
+        prop_assert!(
+            WmSketch::from_snapshot_bytes(&corrupt).is_err(),
+            "byte {} +{} decoded", pos, delta
+        );
+    }
+
+    /// The same integrity sweep over AWM snapshots (the active-set
+    /// layout shares the envelope but not the section shapes): every
+    /// truncation and every single-byte corruption of a sealed record
+    /// is rejected with a typed [`CodecError`], never a panic and never
+    /// a silently different model.
+    #[test]
+    fn awm_truncation_and_corruption_reject_cleanly(
+        raw in stream(),
+        pos in 0usize..4096,
+        delta in 1u8..255,
+        cut in 0usize..4096,
+    ) {
+        let examples = to_examples(&raw);
+        let mut awm = AwmSketch::new(AwmSketchConfig::new(32, 16).seed(5));
+        for (x, y) in &examples {
+            awm.update(x, *y);
+        }
+        let bytes = awm.to_snapshot_bytes();
+        let cut = cut % bytes.len();
+        prop_assert!(AwmSketch::from_snapshot_bytes(&bytes[..cut]).is_err(), "prefix {}", cut);
+        let mut corrupt = bytes.clone();
+        let pos = pos % corrupt.len();
+        corrupt[pos] = corrupt[pos].wrapping_add(delta);
+        match AwmSketch::from_snapshot_bytes(&corrupt) {
+            Ok(_) => prop_assert!(false, "byte {} +{} decoded", pos, delta),
+            Err(e) => {
+                // Typed rejection; a checksum mismatch must carry the
+                // stored/computed pair (what the serve crate logs).
+                if let CodecError::ChecksumMismatch { stored, computed } = e {
+                    prop_assert!(stored != computed, "mismatch with equal sums");
+                }
+            }
+        }
     }
 }
 
@@ -190,6 +230,8 @@ fn absurd_heap_capacity_is_rejected_before_allocation() {
     ] {
         wm_bytes[HEAP_CAPACITY_RANGE].copy_from_slice(&huge.to_le_bytes());
         awm_bytes[HEAP_CAPACITY_RANGE].copy_from_slice(&huge.to_le_bytes());
+        wmsketch_hashing::codec::reseal_record(&mut wm_bytes);
+        wmsketch_hashing::codec::reseal_record(&mut awm_bytes);
         assert!(matches!(
             WmSketch::from_snapshot_bytes(&wm_bytes),
             Err(CodecError::Invalid(_))
@@ -220,6 +262,7 @@ fn non_finite_eta0_is_rejected_at_decode() {
     for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
         let mut corrupt = bytes.clone();
         corrupt[ETA0_RANGE].copy_from_slice(&bad.to_bits().to_le_bytes());
+        wmsketch_hashing::codec::reseal_record(&mut corrupt);
         assert!(matches!(
             WmSketch::from_snapshot_bytes(&corrupt),
             Err(CodecError::Invalid(_))
@@ -245,6 +288,7 @@ fn non_finite_cells_are_rejected_at_decode() {
     for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
         let mut corrupt = bytes.clone();
         corrupt[first_cell..first_cell + 8].copy_from_slice(&bad.to_bits().to_le_bytes());
+        wmsketch_hashing::codec::reseal_record(&mut corrupt);
         assert!(matches!(
             WmSketch::from_snapshot_bytes(&corrupt),
             Err(CodecError::Invalid(_))

@@ -103,11 +103,12 @@ fn every_registered_kind_decodes_and_every_prefix_is_rejected() {
                 "kind {kind:#04x}: prefix {n} decoded"
             );
         }
+        // Appended junk shifts the CRC footer window: ChecksumMismatch.
         let mut long = bytes.clone();
         long.push(0);
         assert!(matches!(
             decode_any_learner(&long),
-            Err(CodecError::TrailingBytes(1))
+            Err(CodecError::ChecksumMismatch { .. })
         ));
     }
 }

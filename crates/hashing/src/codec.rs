@@ -10,10 +10,19 @@
 //! snapshot := magic  (4 bytes, b"WMS1" — the trailing digit is the
 //!                     format version)
 //!            | kind   (u8, which structure the payload encodes)
-//!            | flags  (u8, reserved, must be 0)
+//!            | flags  (u8: bit 0 = delta record, bit 1 = CRC-sealed)
 //!            | body   (a sequence of tagged sections)
+//!            | footer (8 bytes, only when flags bit 1 is set: the
+//!                      little-endian CRC-64/XZ of everything above)
 //! section  := tag (u8) | len (u32 LE, bytes of payload) | payload
 //! ```
+//!
+//! Records this build encodes are always **sealed**: [`seal_record`] sets
+//! [`FLAG_CRC`] and appends the [`crc64`] footer, and every decode path
+//! runs [`verify_integrity`] first — a torn checkpoint write or a flipped
+//! bit surfaces as [`CodecError::ChecksumMismatch`] instead of a
+//! silently-wrong model. Legacy footer-less records (flag unset) still
+//! decode for compatibility.
 //!
 //! All integers are little-endian; `f64` values are stored as the raw
 //! little-endian bytes of [`f64::to_bits`], so round-trips are
@@ -47,6 +56,130 @@ pub const MAGIC: [u8; 4] = *b"WMS1";
 /// keep flags 0, so every pre-delta decoder rejects a delta record with
 /// a typed error instead of misparsing it as full state.
 pub const FLAG_DELTA: u8 = 0x01;
+
+/// Envelope flags bit marking a record **sealed with the CRC-64 integrity
+/// footer**: the last [`FOOTER_LEN`] bytes of the record are the
+/// little-endian [`crc64`] of everything before them (envelope + body).
+/// Because presence is declared in the envelope rather than sniffed from
+/// trailing bytes, truncating the footer off a sealed record cannot
+/// silently downgrade it to a legacy record — [`verify_integrity`]
+/// rejects it. Legacy records (flag unset) decode unchanged.
+pub const FLAG_CRC: u8 = 0x02;
+
+/// Byte length of the CRC-64 integrity footer appended by
+/// [`seal_record`].
+pub const FOOTER_LEN: usize = 8;
+
+/// Byte offset of the envelope flags byte inside a record
+/// (`magic (4) | kind (1) | flags (1)`).
+const FLAGS_OFFSET: usize = 5;
+
+/// CRC-64/XZ generator polynomial (ECMA-182, reflected form).
+const CRC64_POLY: u64 = 0xC96C_5795_D787_0F42;
+
+/// Byte-at-a-time CRC-64 table, built at compile time — the codec stays
+/// zero-dependency.
+const CRC64_TABLE: [u64; 256] = {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ CRC64_POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-64/XZ checksum of `bytes` (reflected ECMA-182 polynomial, init and
+/// xorout `!0`). Hand-rolled so snapshot integrity needs no external
+/// dependency; any single-byte corruption and any burst error shorter
+/// than 64 bits is guaranteed caught.
+#[must_use]
+pub fn crc64(bytes: &[u8]) -> u64 {
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc = CRC64_TABLE[((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Seals a complete `WMS1` record (envelope + body) with the integrity
+/// footer: sets [`FLAG_CRC`] in the envelope flags, then appends the
+/// [`crc64`] of everything before the footer as 8 little-endian bytes.
+///
+/// # Panics
+/// Panics if `bytes` is shorter than the 6-byte envelope — sealing is for
+/// records this codec just produced, not untrusted input.
+pub fn seal_record(bytes: &mut Vec<u8>) {
+    assert!(
+        bytes.len() > FLAGS_OFFSET,
+        "cannot seal a non-record buffer"
+    );
+    bytes[FLAGS_OFFSET] |= FLAG_CRC;
+    let crc = crc64(bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Recomputes the footer of an already-sealed record in place. For
+/// inspection tools and tests that deliberately patch record bytes and
+/// need the decoder's *structural* validation — not the CRC — to be the
+/// check that fires.
+///
+/// # Panics
+/// Panics if `bytes` is shorter than envelope + footer or [`FLAG_CRC`] is
+/// not set — resealing only applies to records [`seal_record`] produced.
+pub fn reseal_record(bytes: &mut [u8]) {
+    assert!(
+        bytes.len() > FLAGS_OFFSET + FOOTER_LEN && bytes[FLAGS_OFFSET] & FLAG_CRC != 0,
+        "cannot reseal an unsealed record"
+    );
+    let body_len = bytes.len() - FOOTER_LEN;
+    let crc = crc64(&bytes[..body_len]);
+    bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Verifies the integrity footer of a `WMS1` record and returns the
+/// record with the footer stripped, ready for body decoding.
+///
+/// Legacy records (envelope [`FLAG_CRC`] unset) pass through unchanged —
+/// every decode path stays compatible with pre-footer snapshots. Sealed
+/// records are rejected unless the trailing CRC matches, so a torn write,
+/// a flipped bit, or a truncated tail surfaces as a typed error instead
+/// of a silently-wrong model.
+///
+/// # Errors
+/// Everything [`peek_flags`] rejects on a malformed envelope;
+/// [`CodecError::Truncated`] when a sealed record is shorter than
+/// envelope + footer; [`CodecError::ChecksumMismatch`] when the stored
+/// CRC disagrees with the recomputed one.
+pub fn verify_integrity(bytes: &[u8]) -> Result<&[u8], CodecError> {
+    if peek_flags(bytes)? & FLAG_CRC == 0 {
+        return Ok(bytes);
+    }
+    let min = FLAGS_OFFSET + 1 + FOOTER_LEN;
+    if bytes.len() < min {
+        return Err(CodecError::Truncated {
+            needed: min,
+            have: bytes.len(),
+        });
+    }
+    let (record, footer) = bytes.split_at(bytes.len() - FOOTER_LEN);
+    let stored = u64::from_le_bytes(footer.try_into().expect("8-byte footer"));
+    let computed = crc64(record);
+    if stored != computed {
+        return Err(CodecError::ChecksumMismatch { stored, computed });
+    }
+    Ok(record)
+}
 
 /// Payload-kind byte for a `CountSketch` snapshot.
 pub const KIND_COUNT_SKETCH: u8 = 0x01;
@@ -116,6 +249,15 @@ pub enum CodecError {
     /// A well-formed envelope declared a kind no registered decoder
     /// handles (see [`decode_any`]).
     UnknownKind(u8),
+    /// A record sealed with the CRC-64 integrity footer ([`FLAG_CRC`])
+    /// failed verification — the bytes were corrupted between encode and
+    /// decode (torn write, flipped bit, truncated tail).
+    ChecksumMismatch {
+        /// The CRC stored in the footer.
+        stored: u64,
+        /// The CRC recomputed over the record.
+        computed: u64,
+    },
     /// A delta record's watermark interval does not start at the base
     /// model's clock — applying it would skip or double-apply updates.
     /// Idempotent re-delivery handling (skip when `got < expected`)
@@ -155,6 +297,12 @@ impl std::fmt::Display for CodecError {
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after snapshot body"),
             CodecError::UnknownKind(k) => {
                 write!(f, "no registered decoder for snapshot kind {k:#04x}")
+            }
+            CodecError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "integrity footer mismatch: stored CRC {stored:#018x}, computed {computed:#018x}"
+                )
             }
             CodecError::DeltaGap { expected, got } => {
                 write!(
@@ -360,8 +508,10 @@ impl<'a> Reader<'a> {
                 got,
             });
         }
-        if self.take_u8()? != 0 {
-            return Err(CodecError::Invalid("reserved envelope flags must be 0"));
+        if self.take_u8()? & !FLAG_CRC != 0 {
+            return Err(CodecError::Invalid(
+                "full-snapshot envelope flags must be 0 (or CRC-sealed)",
+            ));
         }
         Ok(())
     }
@@ -382,7 +532,7 @@ impl<'a> Reader<'a> {
                 got,
             });
         }
-        if self.take_u8()? != FLAG_DELTA {
+        if self.take_u8()? & !FLAG_CRC != FLAG_DELTA {
             return Err(CodecError::Invalid(
                 "expected a delta record (FLAG_DELTA envelope flags)",
             ));
@@ -542,20 +692,26 @@ pub trait SnapshotCodec: Sized {
     /// Any [`CodecError`] on truncated, corrupted, or invalid input.
     fn decode_body(r: &mut Reader<'_>) -> Result<Self, CodecError>;
 
-    /// Encodes a complete snapshot: envelope plus body.
+    /// Encodes a complete snapshot: envelope plus body, sealed with the
+    /// CRC-64 integrity footer ([`seal_record`]).
     #[must_use]
     fn to_snapshot_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_envelope(Self::KIND);
         self.encode_body(&mut w);
-        w.into_bytes()
+        let mut bytes = w.into_bytes();
+        seal_record(&mut bytes);
+        bytes
     }
 
-    /// Decodes a complete snapshot, rejecting trailing bytes.
+    /// Decodes a complete snapshot, rejecting trailing bytes. Sealed
+    /// records ([`FLAG_CRC`]) are CRC-verified first; legacy footer-less
+    /// records decode unchanged.
     ///
     /// # Errors
     /// Any [`CodecError`]; never panics on untrusted input.
     fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let bytes = verify_integrity(bytes)?;
         let mut r = Reader::new(bytes);
         r.expect_envelope(Self::KIND)?;
         let out = Self::decode_body(&mut r)?;
@@ -898,6 +1054,68 @@ mod tests {
             decode_any(&w.into_bytes(), &registry),
             Err(CodecError::UnknownKind(KIND_COUNT_MIN))
         );
+    }
+
+    #[test]
+    fn crc64_matches_reference_vector() {
+        // CRC-64/XZ check value for "123456789".
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn sealed_record_round_trips_and_rejects_corruption() {
+        let mut w = Writer::new();
+        w.put_envelope(KIND_WM);
+        w.put_u64(0xABCD);
+        let mut bytes = w.into_bytes();
+        seal_record(&mut bytes);
+        assert_eq!(bytes[FLAGS_OFFSET] & FLAG_CRC, FLAG_CRC);
+
+        // Clean verification strips exactly the footer.
+        let body = verify_integrity(&bytes).unwrap();
+        assert_eq!(body.len(), bytes.len() - FOOTER_LEN);
+
+        // Every single-byte corruption is rejected with a typed error.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                verify_integrity(&bad).is_err() || bad[FLAGS_OFFSET] & FLAG_CRC == 0,
+                "corruption at byte {i} went unnoticed"
+            );
+        }
+
+        // Truncating the footer off cannot downgrade to legacy: the flag
+        // still declares a footer, and the tail of the body is not it.
+        let torn = &bytes[..bytes.len() - FOOTER_LEN];
+        assert!(matches!(
+            verify_integrity(torn),
+            Err(CodecError::ChecksumMismatch { .. }) | Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn legacy_footerless_records_pass_through() {
+        let mut w = Writer::new();
+        w.put_envelope(KIND_AWM);
+        w.put_u64(7);
+        let bytes = w.into_bytes();
+        assert_eq!(verify_integrity(&bytes).unwrap(), &bytes[..]);
+        let mut r = Reader::new(&bytes);
+        r.expect_envelope(KIND_AWM).unwrap();
+    }
+
+    #[test]
+    fn sealed_envelopes_decode_with_either_flag_state() {
+        let mut w = Writer::new();
+        w.put_delta_envelope(KIND_WM);
+        let mut bytes = w.into_bytes();
+        seal_record(&mut bytes);
+        let record = verify_integrity(&bytes).unwrap();
+        let mut r = Reader::new(record);
+        r.expect_delta_envelope(KIND_WM).unwrap();
+        assert!(is_delta_record(&bytes).unwrap());
     }
 
     #[test]

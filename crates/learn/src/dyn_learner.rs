@@ -169,6 +169,30 @@ pub trait DynLearner: Send {
     /// a panic: the bytes come from outside the process.
     fn absorb_snapshot(&mut self, bytes: &[u8]) -> Result<(), CodecError>;
 
+    /// Reinstates `bytes` as this learner's *own* checkpointed state —
+    /// the durability counterpart of [`DynLearner::absorb_snapshot`].
+    ///
+    /// Absorb has peer-merge semantics: the foreign clock accrues to the
+    /// replication clock, and the merge folds the peer's scale into
+    /// logical weights, which changes the stored float representation.
+    /// Restore instead *replaces* state where the snapshot captures it
+    /// completely (plain learners, 1-shard bypass pools), bit for bit —
+    /// pre-scale cells, the scale factor, the update clock, the top-K
+    /// heap — so training resumed on a restored learner follows the
+    /// exact trajectory the checkpoint interrupted, and the restored
+    /// clock counts as *locally seen* examples rather than absorbed
+    /// peer state.
+    ///
+    /// The default delegates to [`DynLearner::absorb_snapshot`] for
+    /// learner kinds without a stronger notion of identity.
+    ///
+    /// # Errors
+    /// As [`DynLearner::absorb_snapshot`]: decode failures, a wrong
+    /// kind, or a shape-incompatible snapshot.
+    fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        self.absorb_snapshot(bytes)
+    }
+
     /// Encodes the model state changed since clock `since` as a `WMS1`
     /// **delta record** for replication — or a full snapshot when a sparse
     /// delta cannot be produced (first call, decoded model, clock-less

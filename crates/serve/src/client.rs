@@ -8,9 +8,17 @@
 //! the headerless version-1 framing — it exists so the
 //! backward-compatibility contract (legacy clients keep working against
 //! a registry server) stays executable in the test suite.
+//!
+//! [`SelfHealingClient`] wraps `ServeClient` with a [`RetryPolicy`]:
+//! bounded reconnect-and-retry with deterministic jittered backoff
+//! (shared with the gossip loop's), and an **exactly-once** pipelined
+//! ingest that resumes a broken [`SelfHealingClient::update_many`] from
+//! the server's own clock instead of replaying examples it already
+//! counted.
 
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use wmsketch_core::WeightEntry;
 use wmsketch_hashing::codec::{Reader, Writer};
@@ -25,6 +33,11 @@ use crate::protocol::{
 };
 use crate::server::{ReplRow, ServeBackend, ServeStats, CREATE_MODE_DEFERRED_HEAP};
 
+/// Default per-operation socket deadline: every connection made through
+/// this module reads and writes under a timeout, so a wedged or
+/// half-dead server costs a bounded wait, never a hung client thread.
+const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// One connection to a serving node.
 pub struct ServeClient {
     stream: TcpStream,
@@ -37,13 +50,21 @@ pub struct ServeClient {
 
 impl ServeClient {
     /// Connects to a node, addressing the default model with version-2
-    /// (model-id) framing.
+    /// (model-id) framing. The socket gets a default 30-second read/write
+    /// deadline (timeouts surface as [`ServeError::Io`]).
     ///
     /// # Errors
     /// Propagates socket errors.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        if wmsketch_faults::check(wmsketch_faults::NET_CONNECT).is_some() {
+            return Err(ServeError::Io(wmsketch_faults::injected_io_error(
+                wmsketch_faults::NET_CONNECT,
+            )));
+        }
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(DEFAULT_OP_TIMEOUT))?;
+        stream.set_write_timeout(Some(DEFAULT_OP_TIMEOUT))?;
         Ok(Self {
             stream,
             model: DEFAULT_MODEL_ID,
@@ -62,6 +83,11 @@ impl ServeClient {
         addr: impl ToSocketAddrs,
         timeout: std::time::Duration,
     ) -> Result<Self, ServeError> {
+        if wmsketch_faults::check(wmsketch_faults::NET_CONNECT).is_some() {
+            return Err(ServeError::Io(wmsketch_faults::injected_io_error(
+                wmsketch_faults::NET_CONNECT,
+            )));
+        }
         let mut last: Option<std::io::Error> = None;
         for candidate in addr.to_socket_addrs()? {
             match TcpStream::connect_timeout(&candidate, timeout) {
@@ -549,4 +575,323 @@ fn path_payload(path: &str) -> Writer {
     w.put_u32(path.len() as u32);
     w.put_bytes(path.as_bytes());
     w
+}
+
+/// How a [`SelfHealingClient`] retries: bounded attempts, exponential
+/// backoff with deterministic jitter (the gossip loop's ladder, seeded
+/// by the server address), and a per-operation socket deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total tries per operation (first attempt included). Clamped to at
+    /// least 1.
+    pub max_attempts: u32,
+    /// First backoff step; doubles per attempt (capped) plus jitter.
+    pub base_backoff: Duration,
+    /// Socket read/write/connect deadline for every attempt.
+    pub op_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            op_timeout: DEFAULT_OP_TIMEOUT,
+        }
+    }
+}
+
+/// A [`ServeClient`] that survives its server: connection failures and
+/// mid-operation disconnects reconnect and retry under a
+/// [`RetryPolicy`], and the pipelined ingest path
+/// ([`SelfHealingClient::update_many`]) is **exactly-once** — after a
+/// broken connection it probes the model's clock and resumes at the
+/// first example the server did not count, so a restarting node neither
+/// loses nor double-counts examples (assuming this client is the
+/// model's only writer while the call runs).
+///
+/// Remote errors (typed `ERR` responses) are *not* retried by the query
+/// path: the server answered, so retrying would re-ask a question with
+/// a known answer.
+pub struct SelfHealingClient {
+    addr: String,
+    policy: RetryPolicy,
+    model: u32,
+    conn: Option<ServeClient>,
+    connected_once: bool,
+    retries: u64,
+    reconnects: u64,
+}
+
+impl SelfHealingClient {
+    /// Connects eagerly (so a bad address fails fast), addressing the
+    /// default model.
+    ///
+    /// # Errors
+    /// Propagates the last connect error once the policy's attempts are
+    /// exhausted.
+    pub fn connect(addr: impl Into<String>, policy: RetryPolicy) -> Result<Self, ServeError> {
+        let mut c = Self {
+            addr: addr.into(),
+            policy,
+            model: DEFAULT_MODEL_ID,
+            conn: None,
+            connected_once: false,
+            retries: 0,
+            reconnects: 0,
+        };
+        c.retry(|_| Ok(()))?;
+        Ok(c)
+    }
+
+    /// Addresses subsequent requests to `model`.
+    pub fn set_model(&mut self, model: u32) {
+        self.model = model;
+        self.conn = None;
+    }
+
+    /// Transient-failure retries performed so far (all operations).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Reconnects performed after the initial successful connect.
+    #[must_use]
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// The connection, (re)established if needed.
+    fn ensure_conn(&mut self) -> Result<&mut ServeClient, ServeError> {
+        if self.conn.is_none() {
+            let mut c = ServeClient::connect_timeout(self.addr.as_str(), self.policy.op_timeout)?;
+            c.set_model(self.model)?;
+            if self.connected_once {
+                self.reconnects += 1;
+            }
+            self.connected_once = true;
+            self.conn = Some(c);
+        }
+        Ok(self.conn.as_mut().expect("connection just ensured"))
+    }
+
+    /// Jittered exponential backoff before retry number `attempt`,
+    /// deterministic per (address, attempt) — the gossip loop's ladder,
+    /// so a fleet of clients hammering one restarting server never
+    /// phase-locks.
+    fn backoff(&self, attempt: u64) -> Duration {
+        crate::gossip::backoff_delay(
+            addr_salt(&self.addr),
+            0,
+            attempt - 1,
+            self.policy.base_backoff,
+        )
+    }
+
+    /// Runs one operation with reconnect-and-retry on transient errors.
+    fn retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut ServeClient) -> Result<T, ServeError>,
+    ) -> Result<T, ServeError> {
+        let max = u64::from(self.policy.max_attempts.max(1));
+        let mut attempt = 0u64;
+        loop {
+            let result = self.ensure_conn().and_then(&mut op);
+            match result {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(&e) => {
+                    // The connection is in an unknown state; never reuse.
+                    self.conn = None;
+                    attempt += 1;
+                    if attempt >= max {
+                        return Err(e);
+                    }
+                    self.retries += 1;
+                    std::thread::sleep(self.backoff(attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Pipelined ingest with **exactly-once** delivery across server
+    /// crashes and dropped connections: returns the model's cumulative
+    /// ingested-example count after the stream.
+    ///
+    /// Resume protocol, per broken attempt: [`ServeError::RemoteFrame`]
+    /// carries the exact failing frame index, so delivery restarts at
+    /// `frame * frame_examples` past the current offset; a torn
+    /// connection (no frame index — responses were lost) instead probes
+    /// the server's model clock via `STATS` and resumes at
+    /// `clock - base`, where `base` is the clock captured before the
+    /// first example went out. The *clock* (not the locally-routed
+    /// counter) is the watermark because it survives a server restart:
+    /// a node recovered from a checkpoint reports the restored clock,
+    /// so the resume lands exactly past what the checkpoint held. Both
+    /// resume points count *server-applied* examples, so no example is
+    /// ever replayed into the model — the property the chaos suite
+    /// asserts as `final clock == examples sent`. Returns
+    /// `base + examples.len()`, the model clock the stream left behind.
+    ///
+    /// Single-writer assumption: the probe attributes every clock
+    /// advance past `base` to this call, so concurrent writers (peer
+    /// merges included) would be double-counted as ours.
+    ///
+    /// # Errors
+    /// The last error once attempts are exhausted; non-transient remote
+    /// errors (e.g. a frame the server deterministically rejects)
+    /// surface after `max_attempts` tries.
+    pub fn update_many(
+        &mut self,
+        examples: &[(SparseVector, Label)],
+        frame_examples: usize,
+        window: usize,
+    ) -> Result<u64, ServeError> {
+        let frame_examples = frame_examples.max(1);
+        let max = u64::from(self.policy.max_attempts.max(1));
+        let base = self.retry(|c| c.stats())?.root_examples;
+        let mut offset = 0usize;
+        let mut attempt = 0u64;
+        loop {
+            let result = self
+                .ensure_conn()
+                .and_then(|c| c.update_many(&examples[offset..], frame_examples, window));
+            match result {
+                Ok(_) => {
+                    // Every example past `offset` was acknowledged, so the
+                    // stream is fully applied: the clock advanced by
+                    // exactly `examples.len()` since `base`.
+                    return Ok(base + examples.len() as u64);
+                }
+                Err(e) => {
+                    // After any update_many error the connection has
+                    // unread in-flight responses and must be discarded.
+                    self.conn = None;
+                    attempt += 1;
+                    if attempt >= max {
+                        return Err(e);
+                    }
+                    self.retries += 1;
+                    std::thread::sleep(self.backoff(attempt));
+                    match e {
+                        ServeError::RemoteFrame { frame, .. } => {
+                            // Frames before `frame` were applied.
+                            offset = (offset + frame * frame_examples).min(examples.len());
+                        }
+                        _ => {
+                            // Responses were lost with the connection:
+                            // ask the server what landed. Frames from the
+                            // dead connection may still be executing
+                            // server-side (the event backend queues them),
+                            // so trust the clock only once it stops
+                            // moving — under the single-writer assumption
+                            // a stable clock means our in-flight frames
+                            // have quiesced.
+                            let mut clock = self.retry(|c| c.stats())?.root_examples;
+                            loop {
+                                std::thread::sleep(
+                                    self.policy.base_backoff.max(Duration::from_millis(1)),
+                                );
+                                let again = self.retry(|c| c.stats())?.root_examples;
+                                if again == clock {
+                                    break;
+                                }
+                                clock = again;
+                            }
+                            offset = (clock.saturating_sub(base) as usize).min(examples.len());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`ServeClient::update_batch`], retried exactly-once-style (one
+    /// frame, window 1).
+    ///
+    /// # Errors
+    /// As [`SelfHealingClient::update_many`].
+    pub fn update_batch(&mut self, batch: &[(SparseVector, Label)]) -> Result<u64, ServeError> {
+        self.update_many(batch, batch.len().max(1), 1)
+    }
+
+    /// [`ServeClient::predict`], retried.
+    ///
+    /// # Errors
+    /// As [`SelfHealingClient::retry`]-wrapped operations: the last
+    /// transient error once attempts are exhausted, remote errors
+    /// immediately.
+    pub fn predict(&mut self, x: &SparseVector) -> Result<(f64, Label), ServeError> {
+        self.retry(|c| c.predict(x))
+    }
+
+    /// [`ServeClient::estimate`], retried.
+    ///
+    /// # Errors
+    /// See [`SelfHealingClient::predict`].
+    pub fn estimate(&mut self, feature: u32) -> Result<f64, ServeError> {
+        self.retry(|c| c.estimate(feature))
+    }
+
+    /// [`ServeClient::top_k`], retried.
+    ///
+    /// # Errors
+    /// See [`SelfHealingClient::predict`].
+    pub fn top_k(&mut self, k: u32) -> Result<Vec<WeightEntry>, ServeError> {
+        self.retry(|c| c.top_k(k))
+    }
+
+    /// [`ServeClient::snapshot`], retried.
+    ///
+    /// # Errors
+    /// See [`SelfHealingClient::predict`].
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, ServeError> {
+        self.retry(|c| c.snapshot())
+    }
+
+    /// [`ServeClient::stats`], retried.
+    ///
+    /// # Errors
+    /// See [`SelfHealingClient::predict`].
+    pub fn stats(&mut self) -> Result<ServeStats, ServeError> {
+        self.retry(|c| c.stats())
+    }
+
+    /// [`ServeClient::checkpoint`], retried. Safe to retry: the server's
+    /// checkpoint write is atomic (write-temp, fsync, rename), so a
+    /// repeated request replaces the file wholesale, never tears it.
+    ///
+    /// # Errors
+    /// See [`SelfHealingClient::predict`].
+    pub fn checkpoint(&mut self, path: &str) -> Result<u64, ServeError> {
+        self.retry(|c| c.checkpoint(path))
+    }
+
+    /// [`ServeClient::metrics_text`], retried.
+    ///
+    /// # Errors
+    /// See [`SelfHealingClient::predict`].
+    pub fn metrics_text(&mut self) -> Result<String, ServeError> {
+        self.retry(|c| c.metrics_text())
+    }
+}
+
+/// Errors worth reconnecting for: socket-level failures and torn
+/// connections. A typed remote error means the server is healthy and
+/// said no.
+fn is_transient(e: &ServeError) -> bool {
+    matches!(e, ServeError::Io(_))
+        || matches!(e, ServeError::Protocol(m) if m.starts_with("connection closed"))
+}
+
+/// FNV-1a of the server address — the node-id stand-in that seeds the
+/// client's backoff jitter.
+fn addr_salt(addr: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in addr.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }

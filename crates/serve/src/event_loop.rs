@@ -582,6 +582,18 @@ impl EventLoop {
             conn.paused = false;
             self.shared.state.metrics.paused_connections.dec();
         }
+        // `net.frame_write` failpoint: the requests behind these pending
+        // bytes were applied, but the responses die with the connection —
+        // the same applied-but-unacked ambiguity a crashed NIC produces,
+        // which the self-healing client resolves by probing the model
+        // clock. Checked after slot promotion so it maps to the threaded
+        // backend's post-dispatch injection point.
+        if conn.wpos < conn.wbuf.len()
+            && wmsketch_faults::check(wmsketch_faults::NET_FRAME_WRITE).is_some()
+        {
+            self.remove_conn(token);
+            return;
+        }
         // Flush.
         while conn.wpos < conn.wbuf.len() {
             match conn.stream.write(&conn.wbuf[conn.wpos..]) {

@@ -24,6 +24,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use wmsketch_hashing::codec::is_delta_record;
+use wmsketch_hashing::splitmix64;
 
 use crate::client::ServeClient;
 use crate::error::ServeError;
@@ -237,7 +238,12 @@ fn apply_pulled(
 /// (capped) plus a splitmix64-derived fraction of one interval, seeded by
 /// `(node, peer, attempt)` so retry schedules are reproducible yet never
 /// phase-lock across nodes.
-fn backoff_delay(node_id: u64, peer_id: u64, attempt: u64, interval: Duration) -> Duration {
+pub(crate) fn backoff_delay(
+    node_id: u64,
+    peer_id: u64,
+    attempt: u64,
+    interval: Duration,
+) -> Duration {
     let exp = attempt.min(MAX_BACKOFF_EXP);
     let base = interval.saturating_mul(1u32 << exp.min(31) as u32);
     let interval_ms = interval.as_millis().max(1) as u64;
@@ -245,17 +251,10 @@ fn backoff_delay(node_id: u64, peer_id: u64, attempt: u64, interval: Duration) -
     base + Duration::from_millis(jitter_ms)
 }
 
-/// SplitMix64: the standard 64-bit finalizer-style mixer.
-fn splitmix64(seed: u64) -> u64 {
-    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 /// Sleeps one gossip interval in small slices so shutdown is observed
 /// promptly (the gossip thread is joined by `ServerHandle::shutdown`).
-fn sleep_interruptible(state: &Arc<ServerState>, interval: Duration) {
+/// Shared with the background checkpointer, which ticks the same way.
+pub(crate) fn sleep_interruptible(state: &Arc<ServerState>, interval: Duration) {
     let deadline = Instant::now() + interval;
     while !state.shutdown.load(Ordering::SeqCst) {
         let left = deadline.saturating_duration_since(Instant::now());

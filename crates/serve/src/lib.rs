@@ -307,6 +307,66 @@
 //! MERGE, CHECKPOINT, RESTORE, and RESET keep addressing the node's
 //! local copy.
 //!
+//! ## Durability & recovery
+//!
+//! A node given a data directory ([`ServeConfig::data_dir`]) is
+//! **crash-safe**: a background checkpointer thread
+//! ([`ServeConfig::checkpoint_every_ms`]) persists every registered
+//! model whose clock moved since its last checkpoint. Each write is
+//! atomic and self-verifying:
+//!
+//! * every persisted record carries the `WMS1` envelope's integrity
+//!   footer (flag `0x02`): a CRC-64/XZ of everything before the footer,
+//!   appended at seal time and verified on every decode path — a
+//!   bit-flip or truncation anywhere in a checkpoint yields a typed
+//!   `ChecksumMismatch`/truncation error, never a panic and never a
+//!   silently wrong model;
+//! * files are written to a `.tmp` sibling, `fsync`ed, atomically
+//!   renamed into place (`m-<hex(name)>.ckpt`), and the directory
+//!   entry is synced — a crash mid-write leaves the previous checkpoint
+//!   intact, and stale temporaries are swept at startup.
+//!
+//! CREATE writes a `.spec` sidecar (name, shard count, heap mode,
+//! untrained template) through the same atomic path, so the registry
+//! shape itself is durable. On bind, a node with a data directory
+//! recovers in two passes: every readable spec re-registers its model
+//! (same name; ids are assigned fresh), then every readable checkpoint
+//! **restores** its model's state. Restore is not a peer merge: where
+//! `absorb` folds foreign state in (normalizing the scale
+//! representation), restore reinstates the checkpoint as the model's
+//! own interrupted life — for plain and 1-shard-bypass hosting the
+//! adoption is bit-exact (pre-scale cells, scale factor, update clock,
+//! top-K heap), so training resumed on a recovered node follows the
+//! exact trajectory the crash interrupted and reconverges
+//! bit-identically with a node that never crashed. A worker pool's root
+//! snapshot cannot capture its workers' in-flight trajectories, so its
+//! recovery is aggregate-exact, with routing resumed at the restored
+//! clock. Unreadable, corrupt, or shape-incompatible files are skipped
+//! and counted (`recovery_rejected_total`); they never stop the node
+//! from serving.
+//!
+//! Client-driven CHECKPOINT/RESTORE ops go through the same sealed
+//! records and, on a node with a data directory, are **confined** to
+//! it: paths are joined beneath the directory and any absolute path or
+//! `..` traversal is rejected with a typed error before touching the
+//! filesystem (nodes without a data directory keep the legacy verbatim
+//! behavior).
+//!
+//! The failure drills themselves are deterministic: the
+//! `wmsketch-faults` registry (armed via the `WMSKETCH_FAULTS` /
+//! `WMSKETCH_FAULTS_SEED` environment variables or in-process) injects
+//! torn writes, dropped fsyncs, failed connects, and killed response
+//! writes at named sites with a seeded schedule, and every check and
+//! trip is exported through `OP_METRICS`. On the client side,
+//! [`SelfHealingClient`] wraps [`ServeClient`] with bounded retries,
+//! exponential backoff with deterministic jitter, automatic reconnect,
+//! and an exactly-once `update_many` that resumes mid-stream from the
+//! failing frame index or the server's model clock — the chaos suite
+//! (`tests/chaos.rs`, run by CI's `chaos` matrix with a per-run seed)
+//! asserts the whole loop: kill a node mid-ingest under faults, restart
+//! it, and the recovered node reconverges bit-identically while every
+//! example lands exactly once.
+//!
 //! ## Telemetry: the `OP_METRICS` exposition
 //!
 //! `OP_METRICS` (`11`, registry-level — the model id in the header is
@@ -352,6 +412,13 @@
 //! | `gossip_attempts_total` | counter | per-peer exchanges attempted |
 //! | `gossip_failures_total` | counter | exchanges failed (peer enters backoff) |
 //! | `gossip_backoff_skips_total` | counter | peer visits skipped inside a backoff window |
+//! | `checkpoints_written_total` | counter | checkpoint files atomically renamed into place (spec sidecars included) |
+//! | `checkpoints_skipped_total` | counter | checkpointer passes skipped because a model's clock had not moved |
+//! | `checkpoint_failures_total` | counter | checkpoint writes that failed (e.g. torn by an injected fault; retried next pass) |
+//! | `models_recovered_total` | counter | models restored from a checkpoint at startup |
+//! | `recovery_rejected_total` | counter | corrupt/unreadable/incompatible durable files skipped during recovery |
+//! | `fault_checks_total` (`site`) | counter | failpoint evaluations at an armed site (absent with no plan armed) |
+//! | `fault_trips_total` (`site`) | counter | failpoint evaluations that injected the fault |
 //! | `op_latency_ns_*` (`model`, `op`) | histogram | per-op service latency; `_count` equals the frames processed for that (model, op) |
 //! | `request_bytes_total` (`model`) | counter | wire bytes addressing the model |
 //! | `update_examples_total` (`model`) | counter | labelled examples ingested |
@@ -401,15 +468,19 @@
 //! ## Trust model
 //!
 //! This is an internal aggregation protocol for nodes that already trust
-//! each other, not a public endpoint: CHECKPOINT/RESTORE paths are used
-//! verbatim on the server's filesystem and there is no authentication.
-//! Decoders, however, never panic on malformed bytes — corrupt frames
-//! and snapshots produce typed errors (`ERR` responses), so a bad peer
-//! cannot crash a node.
+//! each other, not a public endpoint: there is no authentication. On a
+//! node with a data directory, CHECKPOINT/RESTORE paths are confined
+//! beneath it (absolute paths and `..` traversal are rejected); without
+//! one they are used verbatim on the server's filesystem — the legacy
+//! contract, acceptable only inside that trust boundary. Decoders never
+//! panic on malformed bytes — corrupt frames and snapshots produce
+//! typed errors (`ERR` responses), and durable state is CRC-verified on
+//! every decode — so a bad peer or a flipped bit cannot crash a node.
 
 #![warn(missing_docs)]
 
 pub mod client;
+mod durability;
 pub mod error;
 #[cfg(target_os = "linux")]
 mod event_loop;
@@ -420,7 +491,7 @@ mod poller;
 pub mod protocol;
 pub mod server;
 
-pub use client::ServeClient;
+pub use client::{RetryPolicy, SelfHealingClient, ServeClient};
 pub use error::ServeError;
 pub use protocol::ModelInfo;
 pub use server::{

@@ -156,6 +156,21 @@ pub(crate) struct NodeMetrics {
     /// Peer visits skipped because the peer was inside its backoff
     /// window.
     pub(crate) gossip_backoff_skips: Counter,
+    /// Checkpoint/spec files durably written (background checkpointer,
+    /// CREATE spec sidecars, and client-driven CHECKPOINT alike).
+    pub(crate) checkpoints_written: Counter,
+    /// Checkpointer sweeps that skipped a model because its clock had
+    /// not moved since the last durable write (dirty-clock tracking).
+    pub(crate) checkpoints_skipped: Counter,
+    /// Checkpoint/spec writes that failed (I/O error or injected fault);
+    /// the previous durable file stays intact and the write is retried
+    /// on the next dirty sweep.
+    pub(crate) checkpoint_failures: Counter,
+    /// Models whose state was restored from a checkpoint at startup.
+    pub(crate) models_recovered: Counter,
+    /// Durable files rejected during startup recovery — unreadable,
+    /// CRC-mismatched, truncated, or orphaned (checkpoint with no spec).
+    pub(crate) recovery_rejected: Counter,
     /// Replication lag per (model id, origin): the origin clock the last
     /// gossip exchange reported minus this node's applied watermark —
     /// zero when fully caught up. Written by the gossip thread only.
@@ -187,6 +202,11 @@ impl NodeMetrics {
             gossip_attempts: Counter::new(),
             gossip_failures: Counter::new(),
             gossip_backoff_skips: Counter::new(),
+            checkpoints_written: Counter::new(),
+            checkpoints_skipped: Counter::new(),
+            checkpoint_failures: Counter::new(),
+            models_recovered: Counter::new(),
+            recovery_rejected: Counter::new(),
             repl_lag: Mutex::new(BTreeMap::new()),
             rates: Mutex::new(RateAccountant::new(node_id)),
         }
@@ -324,6 +344,33 @@ pub(crate) fn render(state: &ServerState) -> String {
         &[],
         m.gossip_backoff_skips.get(),
     );
+
+    // Durability.
+    w.sample_u64(
+        "checkpoints_written_total",
+        &[],
+        m.checkpoints_written.get(),
+    );
+    w.sample_u64(
+        "checkpoints_skipped_total",
+        &[],
+        m.checkpoints_skipped.get(),
+    );
+    w.sample_u64(
+        "checkpoint_failures_total",
+        &[],
+        m.checkpoint_failures.get(),
+    );
+    w.sample_u64("models_recovered_total", &[], m.models_recovered.get());
+    w.sample_u64("recovery_rejected_total", &[], m.recovery_rejected.get());
+
+    // Fault injection: one (checks, trips) pair per armed failpoint
+    // site. Absent entirely when no fault plan is installed, so a clean
+    // node's exposition proves no faults fired.
+    for (site, checks, trips) in wmsketch_faults::counters() {
+        w.sample_u64("fault_checks_total", &[("site", site.as_str())], checks);
+        w.sample_u64("fault_trips_total", &[("site", site.as_str())], trips);
+    }
 
     // Per-model telemetry (the `_registry` pseudo-model first), then the
     // Count-Min rate estimates for every registered model.

@@ -32,9 +32,15 @@ pub const OP_SNAPSHOT: u8 = 0x04;
 /// Request opcode: fold a peer snapshot into this node (exact by sketch
 /// linearity).
 pub const OP_MERGE: u8 = 0x05;
-/// Request opcode: write a snapshot to a server-side file.
+/// Request opcode: write a CRC-sealed snapshot atomically to a
+/// server-side file. On a node with a configured data directory the
+/// path is confined beneath it (absolute paths and `..` traversal are
+/// rejected with ERR); without one the path is used verbatim.
 pub const OP_CHECKPOINT: u8 = 0x06;
-/// Request opcode: replace the model with a server-side checkpoint file.
+/// Request opcode: replace the model with a server-side checkpoint
+/// file (restore semantics: the checkpointed clock counts as the
+/// model's own seen examples, not absorbed peer state). Path
+/// confinement as [`OP_CHECKPOINT`].
 pub const OP_RESTORE: u8 = 0x07;
 /// Request opcode: point estimate of one feature's weight.
 pub const OP_ESTIMATE: u8 = 0x08;

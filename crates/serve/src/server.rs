@@ -18,6 +18,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
@@ -28,6 +29,7 @@ use wmsketch_core::{
 };
 use wmsketch_hashing::codec::{self, Reader, Writer, KIND_WM};
 
+use crate::durability;
 use crate::error::ServeError;
 use crate::metrics;
 use crate::protocol::{
@@ -143,7 +145,7 @@ impl ServeBackend {
 /// Configuration of one serving node — specifically of its **default
 /// model** (id 0, the model legacy headerless frames address). Further
 /// models of any registered kind are added at runtime via OP_CREATE.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Model configuration shared by the root and every worker replica.
     pub wm: WmSketchConfig,
@@ -170,6 +172,18 @@ pub struct ServeConfig {
     /// disables the gossip loop entirely. Peers are registered at runtime
     /// via OP_PEER_JOIN.
     pub gossip_interval_ms: u64,
+    /// The node's durable-state directory. When set, startup recovers
+    /// every checkpointed model from it, OP_CHECKPOINT / OP_RESTORE
+    /// paths are confined inside it, and the background checkpointer
+    /// (if enabled) writes into it. `None` (the default) disables
+    /// durability and keeps the legacy verbatim-path trust model.
+    pub data_dir: Option<PathBuf>,
+    /// Background checkpoint cadence in milliseconds; 0 (the default)
+    /// disables the checkpointer thread. Requires
+    /// [`ServeConfig::data_dir`]. Clean models (clock unchanged since
+    /// their last checkpoint) are skipped, so an idle node costs no
+    /// I/O.
+    pub checkpoint_interval_ms: u64,
 }
 
 impl ServeConfig {
@@ -187,7 +201,27 @@ impl ServeConfig {
             backend: None,
             node_id: 0,
             gossip_interval_ms: 0,
+            data_dir: None,
+            checkpoint_interval_ms: 0,
         }
+    }
+
+    /// Enables durability: startup recovery from `dir`, confined
+    /// OP_CHECKPOINT / OP_RESTORE paths, and (with
+    /// [`ServeConfig::checkpoint_every_ms`]) background checkpoints. The
+    /// directory is created on bind if missing.
+    #[must_use]
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables the background checkpointer thread at the given cadence
+    /// (requires [`ServeConfig::data_dir`]).
+    #[must_use]
+    pub fn checkpoint_every_ms(mut self, interval_ms: u64) -> Self {
+        self.checkpoint_interval_ms = interval_ms;
+        self
     }
 
     /// Sets this node's replication identity (cluster-unique).
@@ -469,6 +503,14 @@ pub(crate) struct ServerState {
     /// Known replication peers: node id → address, registered via
     /// OP_PEER_JOIN (re-joins replace the address).
     pub(crate) peers: Mutex<BTreeMap<u64, String>>,
+    /// Durable-state directory ([`ServeConfig::data_dir`]).
+    pub(crate) data_dir: Option<PathBuf>,
+    /// Background checkpoint cadence (0 = checkpointer not running).
+    pub(crate) checkpoint_interval_ms: u64,
+    /// Set by [`ServerHandle::kill`]: suppresses the checkpointer's
+    /// final graceful pass so a simulated crash loses exactly what a
+    /// real one would.
+    pub(crate) crashed: AtomicBool,
     /// Node-wide telemetry (transport counters, scheduler gauges, the
     /// span journal, gossip counters, replication-lag gauges, rates).
     pub(crate) metrics: metrics::NodeMetrics,
@@ -497,13 +539,27 @@ pub struct WmServer {
 
 impl WmServer {
     /// Binds a listener (use port 0 for an ephemeral port) and builds the
-    /// default model (registry id 0, name `"default"`) from `cfg`.
+    /// default model (registry id 0, name `"default"`) from `cfg`. With a
+    /// configured [`ServeConfig::data_dir`] this is also where **startup
+    /// recovery** runs, before any connection can be accepted: stale
+    /// `*.tmp` files from interrupted writes are swept, every `.spec`
+    /// sidecar re-registers its model, and every `.ckpt` checkpoint is
+    /// absorbed into a fresh build of its model's spec — so the node
+    /// resumes from its last atomic checkpoint and its gossip watermarks
+    /// restart from the recovered clocks.
     ///
     /// # Errors
-    /// Propagates socket errors from binding.
+    /// Propagates socket errors from binding and I/O errors creating the
+    /// data directory. Individual unreadable or corrupt durable files
+    /// are skipped (counted in `recovery_rejected_total`), not fatal.
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let backend = ServeBackend::resolve(cfg.backend);
+        let node_id = cfg.node_id;
+        let gossip_interval_ms = cfg.gossip_interval_ms;
+        let data_dir = cfg.data_dir.clone();
+        let checkpoint_interval_ms = cfg.checkpoint_interval_ms;
         let default = Arc::new(ModelEntry {
             id: protocol::DEFAULT_MODEL_ID,
             name: "default".to_string(),
@@ -518,25 +574,29 @@ impl WmServer {
         });
         let mut by_name = HashMap::new();
         by_name.insert(default.name.clone(), default.id);
-        Ok(Self {
-            listener,
-            state: Arc::new(ServerState {
-                registry: RwLock::new(Registry {
-                    by_id: vec![default],
-                    by_name,
-                    next_id: 1,
-                }),
-                addr,
-                shutdown: AtomicBool::new(false),
-                backend: ServeBackend::resolve(cfg.backend),
-                update_lock_acquisitions: AtomicU64::new(0),
-                update_frames: AtomicU64::new(0),
-                node_id: cfg.node_id,
-                gossip_interval_ms: cfg.gossip_interval_ms,
-                peers: Mutex::new(BTreeMap::new()),
-                metrics: metrics::NodeMetrics::new(cfg.node_id),
+        let state = Arc::new(ServerState {
+            registry: RwLock::new(Registry {
+                by_id: vec![default],
+                by_name,
+                next_id: 1,
             }),
-        })
+            addr,
+            shutdown: AtomicBool::new(false),
+            backend,
+            update_lock_acquisitions: AtomicU64::new(0),
+            update_frames: AtomicU64::new(0),
+            node_id,
+            gossip_interval_ms,
+            peers: Mutex::new(BTreeMap::new()),
+            data_dir,
+            checkpoint_interval_ms,
+            crashed: AtomicBool::new(false),
+            metrics: metrics::NodeMetrics::new(node_id),
+        });
+        if state.data_dir.is_some() {
+            recover_registry(&state)?;
+        }
+        Ok(Self { listener, state })
     }
 
     /// The bound address (the resolved port when bound to port 0).
@@ -573,10 +633,19 @@ impl WmServer {
             let state = Arc::clone(&self.state);
             std::thread::spawn(move || crate::gossip::run(&state))
         });
+        // The checkpointer likewise ticks on its own thread: it holds
+        // each learner lock only long enough to clock-check and encode,
+        // and does its (possibly slow, fault-injected) file I/O outside.
+        let checkpointer = (self.state.checkpoint_interval_ms > 0 && self.state.data_dir.is_some())
+            .then(|| {
+                let state = Arc::clone(&self.state);
+                std::thread::spawn(move || checkpoint_loop(&state))
+            });
         ServerHandle {
             state: self.state,
             accept: Some(accept),
             gossip,
+            checkpointer,
         }
     }
 }
@@ -586,6 +655,7 @@ pub struct ServerHandle {
     state: Arc<ServerState>,
     accept: Option<std::thread::JoinHandle<()>>,
     gossip: Option<std::thread::JoinHandle<()>>,
+    checkpointer: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -602,8 +672,22 @@ impl ServerHandle {
     }
 
     /// Signals shutdown, wakes the backend loop, and joins it (which in
-    /// turn drains every in-flight request).
+    /// turn drains every in-flight request). With durability enabled the
+    /// checkpointer takes one final pass, so a *graceful* shutdown
+    /// persists every model's latest state.
     pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    /// Simulated crash: stops the server like [`ServerHandle::shutdown`]
+    /// but **suppresses the checkpointer's final pass**, so the durable
+    /// state is exactly whatever the background cadence (and any
+    /// injected faults) managed to persist — the restart then recovers
+    /// from the last *atomic* checkpoint, which is what the chaos suite
+    /// proves. In-flight requests still drain; this simulates losing the
+    /// process, not the TCP stack.
+    pub fn kill(mut self) {
+        self.state.crashed.store(true, Ordering::SeqCst);
         self.shutdown_inner();
     }
 
@@ -615,6 +699,9 @@ impl ServerHandle {
             let _ = handle.join();
         }
         if let Some(handle) = self.gossip.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.checkpointer.take() {
             let _ = handle.join();
         }
     }
@@ -685,6 +772,173 @@ pub(crate) fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
     state.metrics.journal.push("drain", joined, drain_started);
 }
 
+/// The background checkpointer: every interval it sweeps the registry
+/// and persists each model whose clock moved since its last successful
+/// checkpoint (**dirty-clock tracking** — a clean model costs one lock
+/// acquisition and a clock read, no encode, no I/O). A graceful
+/// shutdown takes one final pass so the durable state is current;
+/// [`ServerHandle::kill`] (simulated crash) suppresses it.
+pub(crate) fn checkpoint_loop(state: &Arc<ServerState>) {
+    let interval = Duration::from_millis(state.checkpoint_interval_ms.max(1));
+    let mut last_persisted: HashMap<u32, u64> = HashMap::new();
+    while !state.shutdown.load(Ordering::SeqCst) {
+        crate::gossip::sleep_interruptible(state, interval);
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        checkpoint_pass(state, &mut last_persisted);
+    }
+    if !state.crashed.load(Ordering::SeqCst) {
+        checkpoint_pass(state, &mut last_persisted);
+    }
+}
+
+/// One checkpointer sweep over the registry.
+fn checkpoint_pass(state: &ServerState, last_persisted: &mut HashMap<u32, u64>) {
+    let Some(dir) = state.data_dir.clone() else {
+        return;
+    };
+    for entry in state.entries() {
+        // Hold the learner lock only to clock-check and encode; the
+        // (faultable, possibly slow) file I/O runs outside it so a slow
+        // disk never stalls ingest.
+        let snapshot = {
+            let mut learner = entry.learner.lock().expect("learner mutex");
+            let clock = learner.clock();
+            if last_persisted.get(&entry.id) == Some(&clock) {
+                state.metrics.checkpoints_skipped.inc();
+                continue;
+            }
+            learner.snapshot().map(|bytes| (clock, bytes))
+        };
+        let written = snapshot
+            .map_err(ServeError::from)
+            .and_then(|(clock, bytes)| {
+                let path = dir.join(format!(
+                    "{}.{}",
+                    durability::file_stem(entry.name()),
+                    durability::CKPT_EXT
+                ));
+                durability::write_atomic(&path, &bytes)?;
+                Ok(clock)
+            });
+        match written {
+            Ok(clock) => {
+                last_persisted.insert(entry.id, clock);
+                state.metrics.checkpoints_written.inc();
+            }
+            // Failed writes (injected or real) leave the previous
+            // checkpoint intact and the model marked dirty, so the next
+            // pass retries.
+            Err(_) => state.metrics.checkpoint_failures.inc(),
+        }
+    }
+}
+
+/// Startup recovery (bind-time, before any connection is accepted):
+/// sweeps stale `.tmp` files, re-registers every `.spec` model, then
+/// absorbs every `.ckpt` checkpoint into a fresh build of its model's
+/// spec. Corrupt or unreadable files — a torn record from a crash, a
+/// flipped bit caught by the CRC footer — are counted and skipped: they
+/// cost the state they failed to persist, never the node.
+fn recover_registry(state: &ServerState) -> std::io::Result<()> {
+    let dir = state
+        .data_dir
+        .clone()
+        .expect("recovery requires a data dir");
+    std::fs::create_dir_all(&dir)?;
+    durability::clean_stale_tmp(&dir);
+    // Pass 1: `.spec` sidecars re-register non-default models, in name
+    // order. Registry ids may differ from the previous process's —
+    // replication and recovery pair models by *name*, so that is fine.
+    for (stem_name, path) in durability::scan(&dir, durability::SPEC_EXT) {
+        let recovered = std::fs::read(&path)
+            .map_err(ServeError::from)
+            .and_then(|bytes| durability::decode_spec_record(&bytes))
+            .and_then(|(name, shards, mode, template)| {
+                if name != stem_name {
+                    return Err(ServeError::Protocol(
+                        "spec record name does not match its file stem",
+                    ));
+                }
+                register_recovered_model(state, name, shards, mode, template)
+            });
+        if recovered.is_err() {
+            state.metrics.recovery_rejected.inc();
+        }
+    }
+    // Pass 2: `.ckpt` checkpoints restore model state (the default
+    // model included — its spec is the node's own ServeConfig). The
+    // decode verifies the CRC footer, so a lying-disk torn final file
+    // is rejected here rather than absorbed truncated.
+    for (name, path) in durability::scan(&dir, durability::CKPT_EXT) {
+        let restored = std::fs::read(&path)
+            .map_err(ServeError::from)
+            .and_then(|bytes| {
+                let entry = {
+                    let registry = state.registry.read().expect("registry lock");
+                    registry
+                        .by_name
+                        .get(&name)
+                        .copied()
+                        .and_then(|id| registry.get(id))
+                        .ok_or(ServeError::Protocol("checkpoint for a model with no spec"))?
+                };
+                let mut fresh = entry.spec.build()?;
+                fresh.restore_snapshot(&bytes)?;
+                *entry.learner.lock().expect("learner mutex") = fresh;
+                Ok(())
+            });
+        match restored {
+            Ok(()) => state.metrics.models_recovered.inc(),
+            Err(_) => state.metrics.recovery_rejected.inc(),
+        }
+    }
+    Ok(())
+}
+
+/// Re-registers one model from a recovered spec record — the recovery
+/// twin of `handle_create`'s registration tail.
+fn register_recovered_model(
+    state: &ServerState,
+    name: String,
+    shards: u32,
+    mode: ShardMode,
+    template: Vec<u8>,
+) -> Result<(), ServeError> {
+    let spec = ModelSpec::Template {
+        template,
+        shards,
+        mode,
+    };
+    let learner = spec.build()?;
+    let label_domain = learner.label_domain();
+    let kind = learner.kind();
+    let mut registry = state.registry.write().expect("registry lock");
+    if registry.by_id.len() >= MAX_MODELS {
+        return Err(ServeError::Protocol("model registry is full"));
+    }
+    if registry.by_name.contains_key(&name) {
+        return Err(ServeError::Protocol("model name already registered"));
+    }
+    let id = registry.next_id;
+    registry.next_id += 1;
+    registry.by_name.insert(name.clone(), id);
+    registry.by_id.push(Arc::new(ModelEntry {
+        id,
+        name,
+        kind,
+        shards,
+        label_domain,
+        spec,
+        learner: Mutex::new(learner),
+        repl: Mutex::new(ReplState::default()),
+        merged: Mutex::new(MergedCache::default()),
+        telemetry: metrics::ModelTelemetry::new(),
+    }));
+    Ok(())
+}
+
 /// Reads frames off one connection until EOF or shutdown, dispatching
 /// each request and writing one response frame per request.
 fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) -> Result<(), ServeError> {
@@ -713,6 +967,15 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) -> Result<(
         let shutdown = result.is_ok() && is_shutdown_request(&body);
         let response = finalize_response(result);
         state.metrics.bytes_tx.add(response.len() as u64 + 4);
+        // `net.frame_write` failpoint: the request was *applied* but the
+        // response is lost and the connection dies — exactly the ambiguity
+        // a crashed NIC or killed process produces, and what the
+        // self-healing client's clock-probe resume exists to resolve.
+        if wmsketch_faults::check(wmsketch_faults::NET_FRAME_WRITE).is_some() {
+            return Err(ServeError::Io(wmsketch_faults::injected_io_error(
+                wmsketch_faults::NET_FRAME_WRITE,
+            )));
+        }
         write_frame(&mut stream, &response)?;
         if shutdown {
             return Ok(());
@@ -930,6 +1193,12 @@ fn handle_create(r: &mut Reader<'_>, state: &ServerState) -> Result<u32, ServeEr
             }
         }
     }
+    // Encode the durable rebuild recipe before `template` moves into the
+    // spec; it is only written out once registration has succeeded.
+    let spec_record = state
+        .data_dir
+        .as_ref()
+        .map(|_| durability::encode_spec_record(&name, shards, mode, &template));
     // Build outside the registry lock: decoding a 64 MiB template must
     // not block every other connection's model lookup.
     let spec = ModelSpec::Template {
@@ -940,6 +1209,7 @@ fn handle_create(r: &mut Reader<'_>, state: &ServerState) -> Result<u32, ServeEr
     let learner = spec.build()?;
     let label_domain = learner.label_domain();
     let kind = learner.kind();
+    let stem = durability::file_stem(&name);
     let mut registry = state.registry.write().expect("registry lock");
     if registry.by_id.len() >= MAX_MODELS {
         return Err(ServeError::Protocol("model registry is full"));
@@ -962,6 +1232,18 @@ fn handle_create(r: &mut Reader<'_>, state: &ServerState) -> Result<u32, ServeEr
         merged: Mutex::new(MergedCache::default()),
         telemetry: metrics::ModelTelemetry::new(),
     }));
+    drop(registry);
+    // Persist the spec sidecar so a restart re-registers the model.
+    // Best-effort: a failed (or fault-injected) write costs the model its
+    // durability, not the client its CREATE — the counter makes the miss
+    // visible, and the next process simply won't know this model.
+    if let (Some(dir), Some(record)) = (&state.data_dir, spec_record) {
+        let path = dir.join(format!("{stem}.{}", durability::SPEC_EXT));
+        match durability::write_atomic(&path, &record) {
+            Ok(_) => state.metrics.checkpoints_written.inc(),
+            Err(_) => state.metrics.checkpoint_failures.inc(),
+        }
+    }
     state
         .metrics
         .journal
@@ -1199,7 +1481,8 @@ fn dispatch_request(
             out.put_u64(learner.clock());
         }
         OP_CHECKPOINT => {
-            let path = take_path(&mut r)?;
+            let path =
+                durability::resolve_client_path(state.data_dir.as_deref(), &take_path(&mut r)?)?;
             // Hold the lock only to sync and encode; the disk write (to a
             // possibly slow filesystem) must not stall ingest on other
             // connections.
@@ -1207,14 +1490,17 @@ fn dispatch_request(
                 let mut learner = entry.learner.lock().expect("learner mutex");
                 learner.snapshot()?
             };
-            std::fs::write(&path, &bytes)?;
-            out.put_u64(bytes.len() as u64);
+            // Atomic replace-on-rename: a crash mid-write leaves the
+            // previous checkpoint intact plus a stale `.tmp`, never a
+            // torn file under the final name.
+            out.put_u64(durability::write_atomic(&path, &bytes)?);
         }
         OP_RESTORE => {
-            let path = take_path(&mut r)?;
+            let path =
+                durability::resolve_client_path(state.data_dir.as_deref(), &take_path(&mut r)?)?;
             let bytes = std::fs::read(&path)?;
             let mut fresh = entry.spec.build()?;
-            fresh.absorb_snapshot(&bytes)?;
+            fresh.restore_snapshot(&bytes)?;
             let mut learner = entry.learner.lock().expect("learner mutex");
             *learner = fresh;
             out.put_u64(learner.clock());
@@ -1311,9 +1597,12 @@ fn dispatch_request(
 
 /// Decodes a `path_len (u32) | UTF-8 path` payload (CHECKPOINT/RESTORE).
 ///
-/// The path is used verbatim on the server's filesystem: the service
-/// trusts its clients (it is an internal aggregation protocol, not a
-/// public endpoint).
+/// The decoded path is *not* used verbatim: the handlers pass it through
+/// [`durability::resolve_client_path`], which confines it under the
+/// configured data directory (rejecting absolute paths and `..`
+/// traversal) whenever `ServeConfig::data_dir` is set. Only a node run
+/// without a data directory keeps the legacy trust-the-client verbatim
+/// behavior.
 fn take_path(r: &mut Reader<'_>) -> Result<std::path::PathBuf, ServeError> {
     let len = r.take_u32()? as usize;
     let bytes = r.take_bytes(len)?;

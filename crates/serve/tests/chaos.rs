@@ -1,0 +1,438 @@
+//! Chaos suite: crash-safe durability and the self-healing client under
+//! deterministic fault injection.
+//!
+//! The headline scenario kills a node mid-ingest while torn checkpoint
+//! writes, dropped fsyncs, and injected connection kills are armed,
+//! restarts it against the same data directory, and proves it recovers
+//! from the last atomic checkpoint and **reconverges bit-identically**
+//! (snapshot bytes, estimates, margins, top-K) with a fault-free
+//! reference fed the same stream — while a retrying client's examples
+//! land **exactly once** (final clock == examples sent). The converse is
+//! proven too: with no faults armed, the telemetry shows zero retries
+//! and zero trips.
+//!
+//! Fault plans are process-global, so every test serializes on one
+//! mutex and installs its own plan (or `None`). The schedule is
+//! deterministic per seed; CI threads `github.run_id` through
+//! `WMSKETCH_FAULTS_SEED` so every run explores a fresh schedule and a
+//! failure reproduces locally from the printed seed. Assertions are
+//! written to hold for *any* seed: probabilities and retry budgets keep
+//! the chance of a legitimately exhausted retry ladder negligible, and
+//! progress invariants (resume from the server's clock) hold under any
+//! fault placement.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use wmsketch_core::WmSketchConfig;
+use wmsketch_faults::FaultPlan;
+use wmsketch_learn::{Label, SparseVector};
+use wmsketch_serve::{
+    RetryPolicy, SelfHealingClient, ServeClient, ServeConfig, ServerHandle, WmServer,
+};
+
+/// Serializes the tests: the fault plan and its counters are one
+/// process-wide registry.
+static FAULTS: Mutex<()> = Mutex::new(());
+
+fn faults_lock() -> std::sync::MutexGuard<'static, ()> {
+    FAULTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// CI threads its run id through here; local runs default to 42. Printed
+/// so a red run replays with `WMSKETCH_FAULTS_SEED=<seed>`.
+fn chaos_seed() -> u64 {
+    let seed = std::env::var("WMSKETCH_FAULTS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    eprintln!("chaos seed: {seed} (set WMSKETCH_FAULTS_SEED to replay)");
+    seed
+}
+
+/// A fresh per-test scratch directory (no tempfile dependency).
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "wmsketch-chaos-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn wm_cfg() -> WmSketchConfig {
+    WmSketchConfig::new(128, 2).lambda(1e-5).seed(9)
+}
+
+fn start(cfg: ServeConfig) -> ServerHandle {
+    WmServer::bind("127.0.0.1:0", cfg)
+        .expect("bind ephemeral port")
+        .spawn()
+}
+
+/// A labelled stream with a planted signal pair plus seeded noise.
+fn planted_stream(n: usize) -> Vec<(SparseVector, Label)> {
+    let mut rng = 0x00DE_C0DEu64;
+    (0..n)
+        .map(|t| {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let noise = 100 + (rng >> 33) as u32 % 400;
+            if t % 2 == 0 {
+                (SparseVector::from_pairs(&[(3, 1.0), (noise, 0.5)]), 1)
+            } else {
+                (SparseVector::from_pairs(&[(9, 1.0), (noise, 0.5)]), -1)
+            }
+        })
+        .collect()
+}
+
+fn wait_for(secs: u64, mut f: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        if f() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+/// Does the data dir hold at least one fully renamed (non-`.tmp`)
+/// checkpoint file?
+fn has_checkpoint(dir: &std::path::Path) -> bool {
+    std::fs::read_dir(dir).is_ok_and(|entries| {
+        entries
+            .flatten()
+            .any(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+    })
+}
+
+/// With no fault plan armed, the durable node and the retrying client
+/// must be invisible: zero retries, zero reconnects, zero fault trips
+/// (proven from telemetry, not just client state), and a graceful
+/// shutdown's final checkpoint restores the full clock on restart.
+#[test]
+fn zero_faults_means_zero_retries_and_a_clean_final_checkpoint() {
+    let _guard = faults_lock();
+    wmsketch_faults::install(None);
+    let dir = scratch_dir("clean");
+    let data = planted_stream(2000);
+
+    let cfg = ServeConfig::new(wm_cfg(), 2)
+        .data_dir(&dir)
+        .checkpoint_every_ms(10);
+    let server = start(cfg.clone());
+    let addr = server.addr().to_string();
+
+    let mut client = SelfHealingClient::connect(addr, RetryPolicy::default()).expect("connect");
+    let count = client.update_many(&data, 64, 8).expect("fault-free stream");
+    assert_eq!(count, data.len() as u64, "exactly-once, trivially");
+    assert_eq!(client.retries(), 0, "no faults, no retries");
+    assert_eq!(client.reconnects(), 0, "no faults, no reconnects");
+
+    let metrics = client.metrics_text().expect("metrics");
+    assert!(
+        !metrics.contains("fault_trips_total"),
+        "no plan armed, so no fault series at all:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("checkpoint_failures_total 0"),
+        "fault-free checkpointing must not fail:\n{metrics}"
+    );
+    assert_eq!(wmsketch_faults::total_trips(), 0);
+
+    // Graceful shutdown takes a final checkpoint pass; a restart against
+    // the same directory recovers the complete stream without a resend.
+    server.shutdown();
+    let restarted = start(cfg);
+    let mut probe = ServeClient::connect(restarted.addr()).expect("probe connect");
+    let stats = probe.stats().expect("stats");
+    // Recovery folds the checkpoint in as absorbed state, so the model
+    // *clock* carries the restored examples (`routed` counts only what
+    // this process ingested itself — nothing, after a restart).
+    assert_eq!(
+        stats.root_examples,
+        data.len() as u64,
+        "graceful shutdown persists the final clock"
+    );
+    let metrics = probe.metrics_text().expect("metrics");
+    assert!(
+        metrics.contains("models_recovered_total 1"),
+        "the default model restores from its checkpoint:\n{metrics}"
+    );
+    restarted.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The headline crash drill, exercised through whichever backend
+/// `WMSKETCH_SERVE_BACKEND` selects (CI runs the matrix): a node ingests
+/// under torn checkpoint writes + universally dropped fsyncs + injected
+/// response-write kills, is killed (no final checkpoint), restarts from
+/// the same data dir, and the self-healing client finishes the stream.
+/// Final state must be bit-identical to a fault-free reference node fed
+/// the same examples in the same order, and the clock must equal the
+/// number of examples sent — exactly once, no loss, no double-count.
+#[test]
+fn killed_node_recovers_from_checkpoint_and_reconverges_bit_identically() {
+    let _guard = faults_lock();
+    let seed = chaos_seed();
+    let dir = scratch_dir("crash");
+    let data = planted_stream(4000);
+
+    wmsketch_faults::install(Some(
+        FaultPlan::parse("io.write=torn@0.1,io.fsync=drop@1.0,net.frame_write=err@0.02")
+            .expect("plan")
+            .with_seed(seed),
+    ));
+
+    // 1-shard bypass hosting: the documented mode whose state a snapshot
+    // captures completely, so adopt-and-resume is bit-identical (a shard
+    // pool's per-worker routing state is not reconstructible from a root
+    // snapshot — its recovery is aggregate-exact, not trajectory-exact).
+    let cfg = ServeConfig::new(wm_cfg(), 1)
+        .data_dir(&dir)
+        .checkpoint_every_ms(5);
+    let policy = RetryPolicy {
+        max_attempts: 50,
+        base_backoff: Duration::from_millis(1),
+        ..RetryPolicy::default()
+    };
+
+    // Phase 1: stream everything; injected connection kills force the
+    // client through its reconnect + clock-probe resume path.
+    let server = start(cfg.clone());
+    let mut client =
+        SelfHealingClient::connect(server.addr().to_string(), policy).expect("connect");
+    let count = client.update_many(&data, 50, 8).expect("phase-1 stream");
+    assert_eq!(count, data.len() as u64, "exactly-once under faults");
+
+    // The checkpointer retries torn writes on later passes; wait until at
+    // least one checkpoint has been fully renamed, then crash. Dropped
+    // fsyncs (p=1.0) are harmless here — the files survive in the page
+    // cache across an in-process restart — but they guarantee trips.
+    assert!(
+        wait_for(10, || has_checkpoint(&dir)),
+        "no checkpoint survived torn writes in 10s"
+    );
+    server.kill();
+
+    // Phase 2: restart against the same directory (faults still armed —
+    // recovery itself must tolerate them), resume from whatever the last
+    // atomic checkpoint held, and finish the stream exactly once.
+    let restarted = start(cfg);
+    let mut client =
+        SelfHealingClient::connect(restarted.addr().to_string(), policy).expect("reconnect");
+    let recovered = client.stats().expect("stats").root_examples;
+    assert!(
+        recovered <= data.len() as u64,
+        "recovered clock {recovered} beyond the stream"
+    );
+    let count = client
+        .update_many(&data[recovered as usize..], 50, 8)
+        .expect("phase-2 resend");
+    assert_eq!(count, data.len() as u64, "crash loses nothing durable");
+
+    let trips = wmsketch_faults::total_trips();
+    assert!(trips > 0, "the plan must actually have fired");
+    eprintln!("fault counters: {:?}", wmsketch_faults::counters());
+
+    // Comparison runs fault-free: a fresh reference node fed the same
+    // stream in the same order, no durability in the loop.
+    wmsketch_faults::install(None);
+    let reference = start(ServeConfig::new(wm_cfg(), 1));
+    let mut ref_client = ServeClient::connect(reference.addr()).expect("reference connect");
+    for chunk in data.chunks(50) {
+        ref_client.update_batch(chunk).expect("reference ingest");
+    }
+
+    let lhs = client.snapshot().expect("recovered snapshot");
+    let rhs = ref_client.snapshot().expect("reference snapshot");
+    assert_eq!(lhs, rhs, "snapshots diverge after recovery");
+
+    for f in 0..600u32 {
+        let a = client.estimate(f).expect("recovered estimate");
+        let b = ref_client.estimate(f).expect("reference estimate");
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "feature {f}: recovered {a} vs reference {b}"
+        );
+    }
+    for probe in [
+        SparseVector::one_hot(3, 1.0),
+        SparseVector::one_hot(9, 1.0),
+        SparseVector::from_pairs(&[(3, 0.7), (9, 0.7), (123, 0.1)]),
+    ] {
+        let (m1, p1) = client.predict(&probe).expect("recovered predict");
+        let (m2, p2) = ref_client.predict(&probe).expect("reference predict");
+        assert!(m1.to_bits() == m2.to_bits(), "margin {m1} vs {m2}");
+        assert_eq!(p1, p2);
+    }
+    let t1 = client.top_k(16).expect("recovered top-k");
+    let t2 = ref_client.top_k(16).expect("reference top-k");
+    assert_eq!(t1.len(), t2.len());
+    for (a, b) in t1.iter().zip(&t2) {
+        assert_eq!(a.feature, b.feature);
+        assert!(a.weight.to_bits() == b.weight.to_bits());
+    }
+
+    restarted.shutdown();
+    reference.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite (a): CHECKPOINT/RESTORE paths must not escape the
+/// configured data directory — absolute paths and `..` traversal get a
+/// typed remote error, confined relative paths land under the data dir,
+/// and a node run *without* a data dir keeps the legacy verbatim
+/// behavior.
+#[test]
+fn checkpoint_paths_are_confined_to_the_data_dir() {
+    let _guard = faults_lock();
+    wmsketch_faults::install(None);
+    let dir = scratch_dir("confine");
+    let server = start(ServeConfig::new(wm_cfg(), 1).data_dir(&dir));
+    let mut c = ServeClient::connect(server.addr()).expect("connect");
+    c.update_batch(&planted_stream(50)).expect("ingest");
+
+    for escape in ["/tmp/outside.ckpt", "../outside.ckpt", "a/../../b.ckpt"] {
+        let err = c.checkpoint(escape).expect_err("escape must be rejected");
+        assert!(
+            err.to_string().contains("escapes"),
+            "{escape}: unexpected error {err}"
+        );
+        let err = c.restore(escape).expect_err("escape must be rejected");
+        assert!(err.to_string().contains("escapes"), "{escape}: {err}");
+    }
+
+    let written = c.checkpoint("sub/model.ckpt").expect("confined checkpoint");
+    assert!(written > 0);
+    assert!(
+        dir.join("sub/model.ckpt").is_file(),
+        "confined path lands under the data dir"
+    );
+    let clock = c.restore("sub/model.ckpt").expect("confined restore");
+    assert_eq!(clock, 50);
+    server.shutdown();
+
+    // Legacy mode (no data dir): verbatim paths still work — the
+    // pre-durability contract the existing round-trip suite relies on.
+    let legacy = start(ServeConfig::new(wm_cfg(), 1));
+    let mut c = ServeClient::connect(legacy.addr()).expect("connect");
+    c.update_batch(&planted_stream(50)).expect("ingest");
+    let path = dir.join("legacy.ckpt");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    c.checkpoint(path_str).expect("verbatim checkpoint");
+    assert!(path.is_file());
+    assert_eq!(c.restore(path_str).expect("verbatim restore"), 50);
+    legacy.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupt durable state must never take the node down: a bit-flipped
+/// checkpoint is rejected by RESTORE with a typed error (the CRC
+/// footer), the model keeps serving, and a corrupt file found during
+/// startup recovery is skipped and counted, leaving a fresh model.
+#[test]
+fn corrupt_checkpoints_are_rejected_and_survived() {
+    let _guard = faults_lock();
+    wmsketch_faults::install(None);
+    let dir = scratch_dir("corrupt");
+    let server = start(ServeConfig::new(wm_cfg(), 1).data_dir(&dir));
+    let mut c = ServeClient::connect(server.addr()).expect("connect");
+    c.update_batch(&planted_stream(100)).expect("ingest");
+    c.checkpoint("good.ckpt").expect("checkpoint");
+
+    // Flip one payload byte; RESTORE must reject and keep serving.
+    let path = dir.join("good.ckpt");
+    let mut bytes = std::fs::read(&path).expect("read checkpoint");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("rewrite corrupted");
+    let err = c.restore("good.ckpt").expect_err("corrupt restore");
+    assert!(
+        err.to_string().contains("integrity footer mismatch"),
+        "unexpected error: {err}"
+    );
+    // Truncation is rejected too (flag-declared footer: no downgrade).
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("truncate");
+    c.restore("good.ckpt").expect_err("truncated restore");
+    assert_eq!(
+        c.stats().expect("still serving").routed,
+        100,
+        "failed restores leave the model untouched"
+    );
+    server.shutdown();
+
+    // Plant the corrupt bytes where startup recovery will find them: the
+    // default model's own checkpoint slot. Recovery must skip it (typed
+    // rejection, counted) and come up with a fresh model.
+    std::fs::write(dir.join("m-64656661756c74.ckpt"), &bytes).expect("plant corrupt ckpt");
+    let restarted = start(ServeConfig::new(wm_cfg(), 1).data_dir(&dir));
+    let mut c = ServeClient::connect(restarted.addr()).expect("connect");
+    assert_eq!(c.stats().expect("stats").routed, 0, "fresh model");
+    let metrics = c.metrics_text().expect("metrics");
+    assert!(
+        metrics.contains("recovery_rejected_total 1"),
+        "the corrupt file must be counted:\n{metrics}"
+    );
+    restarted.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Created models come back after a crash: the CREATE spec sidecar
+/// re-registers the model (same name, same shape) and its checkpoint
+/// restores its state, so a restarted node serves the model a client
+/// created into the previous process.
+#[test]
+fn created_models_survive_a_crash_via_spec_sidecars() {
+    let _guard = faults_lock();
+    wmsketch_faults::install(None);
+    let dir = scratch_dir("specs");
+    let cfg = ServeConfig::new(wm_cfg(), 1)
+        .data_dir(&dir)
+        .checkpoint_every_ms(5);
+    let server = start(cfg.clone());
+    let mut c = ServeClient::connect(server.addr()).expect("connect");
+    let template = {
+        let learner = wmsketch_core::WmSketch::new(wm_cfg());
+        wmsketch_core::SnapshotCodec::to_snapshot_bytes(&learner)
+    };
+    let id = c.create_model("crashy", &template, 0).expect("create");
+    c.set_model(id).expect("address model");
+    c.update_batch(&planted_stream(300)).expect("ingest");
+    // Wait until the created model's durable checkpoint holds the *full*
+    // ingest (a checkpoint pass may land mid-stream at a smaller clock;
+    // renames are atomic, so a readable file decodes completely).
+    let crashy_ckpt = dir.join("m-637261736879.ckpt"); // hex("crashy")
+    assert!(
+        wait_for(10, || std::fs::read(&crashy_ckpt).is_ok_and(|bytes| {
+            wmsketch_core::decode_any_learner(&bytes).is_ok_and(|l| l.clock() == 300)
+        })),
+        "the created model's full-clock checkpoint should land in 10s"
+    );
+    server.kill();
+
+    let restarted = start(cfg);
+    let mut c = ServeClient::connect(restarted.addr()).expect("connect");
+    let models = c.list_models().expect("list");
+    let row = models
+        .iter()
+        .find(|m| m.name == "crashy")
+        .expect("created model re-registered from its spec sidecar");
+    c.set_model(row.id).expect("address recovered model");
+    assert_eq!(
+        c.stats().expect("stats").routed,
+        300,
+        "recovered model state from its checkpoint"
+    );
+    restarted.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

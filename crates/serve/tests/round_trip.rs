@@ -80,9 +80,9 @@ fn two_node_snapshot_merge_matches_single_node_bit_for_bit() {
     let single_cfg = ServeConfig::new(wm, 2);
     let node_cfg = ServeConfig::new(wm, 1);
 
-    let single = start(single_cfg);
-    let node_a = start(node_cfg);
-    let node_b = start(node_cfg);
+    let single = start(single_cfg.clone());
+    let node_a = start(node_cfg.clone());
+    let node_b = start(node_cfg.clone());
     let aggregator = start(node_cfg);
 
     let data = planted_stream(6000);
@@ -345,9 +345,9 @@ where
 {
     // The host nodes' default WM model is irrelevant here; keep it tiny.
     let host = ServeConfig::new(WmSketchConfig::new(16, 1).heap_capacity(1), 1);
-    let single = start(host);
-    let node_a = start(host);
-    let node_b = start(host);
+    let single = start(host.clone());
+    let node_a = start(host.clone());
+    let node_b = start(host.clone());
     let aggregator = start(host);
 
     let with_model = |server: &ServerHandle, shards: u32| {

@@ -417,6 +417,7 @@ mod tests {
         let mut bytes = cm.to_snapshot_bytes();
         // Policy byte sits right after envelope (6) + section tag/len (5).
         bytes[11] = 9;
+        wmsketch_hashing::codec::reseal_record(&mut bytes);
         assert!(matches!(
             CountMinSketch::from_snapshot_bytes(&bytes),
             Err(CodecError::Invalid(_))

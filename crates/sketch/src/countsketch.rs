@@ -404,6 +404,7 @@ mod tests {
         // Header layout: envelope (6) + tag/len (5) + family (1) = 12;
         // depth u32 starts at offset 12.
         bytes[12..16].copy_from_slice(&0u32.to_le_bytes());
+        codec::reseal_record(&mut bytes);
         assert!(matches!(
             CountSketch::from_snapshot_bytes(&bytes),
             Err(CodecError::Invalid(_))

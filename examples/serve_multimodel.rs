@@ -89,9 +89,9 @@ fn parity<L>(
 {
     // All four nodes' default WM model is irrelevant; keep it tiny.
     let host = ServeConfig::new(WmSketchConfig::new(16, 1).heap_capacity(1), 1);
-    let single = start(host);
-    let node_a = start(host);
-    let node_b = start(host);
+    let single = start(host.clone());
+    let node_a = start(host.clone());
+    let node_b = start(host.clone());
     let aggregator = start(host);
 
     let mut single_client =

@@ -29,10 +29,10 @@ fn main() {
         .expect("bind single node")
         .spawn();
     let node_cfg = ServeConfig::new(wm, 1);
-    let node_a = WmServer::bind("127.0.0.1:0", node_cfg)
+    let node_a = WmServer::bind("127.0.0.1:0", node_cfg.clone())
         .expect("bind node A")
         .spawn();
-    let node_b = WmServer::bind("127.0.0.1:0", node_cfg)
+    let node_b = WmServer::bind("127.0.0.1:0", node_cfg.clone())
         .expect("bind node B")
         .spawn();
     let aggregator = WmServer::bind("127.0.0.1:0", node_cfg)

@@ -28,6 +28,9 @@
 //!   exposition scraped via the serve protocol's `METRICS` op.
 //! * [`apps`] — the paper's §8 applications: streaming explanation,
 //!   relative-deltoid detection, and streaming PMI estimation.
+//! * [`faults`] — the deterministic failpoint registry
+//!   (`WMSKETCH_FAULTS`) the serve stack's chaos suite injects torn
+//!   writes, dropped fsyncs, and connection failures through.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +62,7 @@
 pub use wmsketch_apps as apps;
 pub use wmsketch_core as core;
 pub use wmsketch_datagen as datagen;
+pub use wmsketch_faults as faults;
 pub use wmsketch_hashing as hashing;
 pub use wmsketch_hh as hh;
 pub use wmsketch_learn as learn;
