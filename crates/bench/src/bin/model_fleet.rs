@@ -1,0 +1,57 @@
+//! Standalone driver for the governed model-fleet workload (the same
+//! harness the tracking bin embeds as the BENCH schema-v8 `fleet`
+//! block): ~10k small AWM models on one governed `wmsketch-serve` node
+//! under a budget far below the fleet's hot sum, zipf update traffic,
+//! and a byte-for-byte spot check against an all-hot reference node.
+//!
+//! Scale knobs (all env): `WMSKETCH_FLEET_MODELS` (default 10000),
+//! `WMSKETCH_FLEET_REQUESTS` (default 3× models),
+//! `WMSKETCH_FLEET_BACKEND` (`threaded` | `event`, default event).
+//!
+//! Usage: `model_fleet [OUTPUT_PATH]` — writes the `fleet` JSON object
+//! to OUTPUT_PATH when given, always prints it to stdout. Exits
+//! nonzero when a spot check diverges from the reference (the revival
+//! path must be bit-exact) or when the budget forced no revival at all
+//! (the workload must actually exercise the governor).
+
+use wmsketch_bench::fleet::{FleetConfig, FleetReport};
+
+fn main() {
+    let cfg = FleetConfig::from_env();
+    eprintln!(
+        "model_fleet: {} models, {} requests ({} updates each, zipf s={}), {:?} backend, budget {}% of hot sum",
+        cfg.models,
+        if cfg.requests == 0 { cfg.models * 3 } else { cfg.requests },
+        cfg.updates_per_request,
+        cfg.zipf_s,
+        cfg.backend,
+        (cfg.budget_fraction * 100.0) as u32,
+    );
+    let report: FleetReport = wmsketch_bench::fleet::run_fleet(&cfg);
+    let json = format!("{}\n", report.to_json(""));
+    print!("{json}");
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, &json).expect("write fleet JSON");
+        eprintln!("wrote {path}");
+    }
+    eprintln!(
+        "fleet: {}/{} resident/spilled, {} evictions, {} revivals, hit rate {:.3}, p99 revival {} ns, bit_identical={}",
+        report.resident_models,
+        report.spilled_models,
+        report.evictions,
+        report.revivals,
+        report.hit_rate,
+        report
+            .p99_revival_ns
+            .map_or("n/a".to_string(), |v| v.to_string()),
+        report.bit_identical,
+    );
+    if !report.bit_identical {
+        eprintln!("error: a spilled-and-revived model diverged from its all-hot twin");
+        std::process::exit(1);
+    }
+    if report.revivals == 0 {
+        eprintln!("error: the workload never revived a model — the budget did not bite");
+        std::process::exit(1);
+    }
+}

@@ -30,6 +30,19 @@
 //! the instrumentation on the hot ingest path. In-process rows have no
 //! service boundary to meter, so their `latency_ns` is `null`.
 //!
+//! v8 adds the memory-governor dimension: the `AWM_serve_ingest` row
+//! drops its 1-shard worker pool for the **unsharded** registry path
+//! (shards=0 — the fleet hosting mode, and the shape the v7 0.66×
+//! registry gap pointed at), `serve_ingest` gains a governed twin
+//! (`serve_ingest_governed`: the same node under a memory budget big
+//! enough that nothing ever spills, measured as interleaved A/B passes
+//! whose ratio is `speedup.governor_overhead` — the all-resident cost
+//! of governor accounting on the hot path), and a `fleet` block records
+//! the governed model-fleet workload (~10k AWM models under a budget
+//! far below their hot sum, zipf traffic, spill/revive counters, hit
+//! rate, p99 revival latency, and a bit-identity spot check against an
+//! all-hot reference node — see `wmsketch_bench::fleet`).
+//!
 //! Usage: `update_throughput_json [OUTPUT_PATH]`
 //! (default output: `BENCH_update_throughput.json` in the working
 //! directory; see `crates/bench/README.md` for the schema).
@@ -357,6 +370,79 @@ fn measure_serve_telemetry_ab(
     )
 }
 
+/// The `serve_ingest` row against its **governed** twin: the identical
+/// node configuration plus a memory governor whose budget (1 GiB) is
+/// far above the node's footprint, so nothing ever spills and the pair
+/// isolates exactly the governor's all-resident hot-path cost (the LRU
+/// tick stamp and accounting loads on every frame). Interleaved passes
+/// across the two nodes, same discipline and rationale as
+/// [`measure_serve_telemetry_ab`]. Returns `(governed_row, overhead)`
+/// with `overhead = best_governed / best_ungoverned` against a
+/// freshly measured ungoverned baseline pass set.
+fn measure_serve_governor_ab(
+    wm_cfg: WmSketchConfig,
+    data: &[(SparseVector, Label)],
+) -> (Measurement, f64) {
+    use wmsketch_serve::{ServeClient, WmServer};
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("wmsketch_bench_governed_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plain = WmServer::bind("127.0.0.1:0", serve_node_config(wm_cfg))
+        .expect("bind ungoverned server")
+        .spawn();
+    let governed = WmServer::bind(
+        "127.0.0.1:0",
+        serve_node_config(wm_cfg)
+            .data_dir(&dir)
+            .memory_budget_bytes(1 << 30),
+    )
+    .expect("bind governed server")
+    .spawn();
+    let mut plain_client = ServeClient::connect(plain.addr()).expect("connect ungoverned");
+    let mut gov_client = ServeClient::connect(governed.addr()).expect("connect governed");
+    let one_pass = |client: &mut ServeClient| {
+        client.reset().expect("reset serve node");
+        let start = Instant::now();
+        client
+            .update_many(data, SERVE_FRAME_EXAMPLES, SERVE_PIPELINE_WINDOW)
+            .expect("serve ingest");
+        start.elapsed().as_secs_f64()
+    };
+    for _ in 0..WARMUP_PASSES {
+        let _ = one_pass(&mut gov_client);
+        let _ = one_pass(&mut plain_client);
+    }
+    let (mut elapsed_gov, mut elapsed_plain) = (0.0f64, 0.0f64);
+    let (mut best_gov, mut best_plain) = (f64::INFINITY, f64::INFINITY);
+    let mut timed_gov = 0u64;
+    while elapsed_gov < MEASURE_SECS || elapsed_plain < MEASURE_SECS {
+        let t = one_pass(&mut gov_client);
+        elapsed_gov += t;
+        best_gov = best_gov.min(t);
+        timed_gov += data.len() as u64;
+        let t = one_pass(&mut plain_client);
+        elapsed_plain += t;
+        best_plain = best_plain.min(t);
+    }
+    let latency_ns = scrape_update_latency(&mut gov_client, "default");
+    plain.shutdown();
+    governed.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    let ns_per_update = best_gov * 1e9 / data.len() as f64;
+    (
+        Measurement {
+            name: "serve_ingest_governed".to_string(),
+            shards: SERVE_SHARDS,
+            connections: None,
+            ns_per_update,
+            updates_per_sec: 1e9 / ns_per_update,
+            updates_timed: timed_gov,
+            latency_ns,
+        },
+        best_gov / best_plain,
+    )
+}
+
 /// Many-clients/one-server saturation: [`SATURATION_CONNECTIONS`]
 /// concurrent connections each pipeline the full stream into the node's
 /// default model, and the row reports **aggregate** updates/sec — the
@@ -579,18 +665,31 @@ fn main() {
         results.push(off);
         overhead
     };
+    // v8: the governed twin of serve_ingest — same node shape plus a
+    // never-binding 1 GiB memory budget, so the pair's ratio prices the
+    // governor's per-frame accounting with everything resident.
+    let governor_overhead = {
+        let (governed, overhead) = measure_serve_governor_ab(wm_cfg, &data);
+        results.push(governed);
+        overhead
+    };
     // v5: the same loopback ingest through the model registry — an AWM
     // model created via OP_CREATE and addressed with v2 (model-id)
     // frames — so the registry indirection cost shows up as a measured
-    // row next to the default-model path. (AWM cannot run heap-free, so
-    // this row stays a 1-shard worker-heap pool.)
+    // row next to the default-model path. v8: the model is **unsharded**
+    // (shards=0, the fleet hosting mode): v7's 1-shard worker-heap pool
+    // paid a full cross-thread shard handoff per frame for zero
+    // parallelism, which is where most of its 0.66× gap against the
+    // in-process fused pipeline lived; shards=0 executes on the direct
+    // learner under the slot lock, leaving only wire framing and
+    // registry dispatch in the gap.
     {
         use wmsketch_core::SnapshotCodec;
         let template = AwmSketch::new(awm_cfg).to_snapshot_bytes();
         results.push(measure_serve_ingest(
             "AWM_serve_ingest",
             wm_cfg,
-            Some((&template, 1)),
+            Some((&template, 0)),
             &data,
         ));
     }
@@ -598,6 +697,11 @@ fn main() {
     // SATURATION_CONNECTIONS pipelined connections coalescing into the
     // default model.
     results.push(measure_serve_saturation("serve_saturation", wm_cfg, &data));
+    // v8: the governed model-fleet workload (scale via
+    // WMSKETCH_FLEET_MODELS / _REQUESTS / _BACKEND; default 10k models,
+    // budget 25% of the fleet's hot sum).
+    eprintln!("running fleet workload (WMSKETCH_FLEET_MODELS to rescale)...");
+    let fleet = wmsketch_bench::fleet::run_fleet(&wmsketch_bench::fleet::FleetConfig::from_env());
 
     let get = |name: &str| {
         results
@@ -633,7 +737,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"wmsketch-update-throughput/v7\",\n");
+    json.push_str("  \"schema\": \"wmsketch-update-throughput/v8\",\n");
     json.push_str("  \"config\": {\n");
     json.push_str(&format!("    \"budget_bytes\": {BUDGET},\n"));
     // v4: record the host's relevant CPU features and the backend each
@@ -722,9 +826,17 @@ fn main() {
     // The measured instrumentation tax on the hot ingest path: fastest
     // telemetry-on pass over fastest telemetry-off pass (interleaved).
     json.push_str(&format!(
-        "    \"telemetry_overhead\": {telemetry_overhead:.4}\n"
+        "    \"telemetry_overhead\": {telemetry_overhead:.4},\n"
     ));
-    json.push_str("  }\n");
+    // The measured all-resident governor tax on the same path: fastest
+    // governed pass over fastest ungoverned pass (interleaved nodes).
+    json.push_str(&format!(
+        "    \"governor_overhead\": {governor_overhead:.4}\n"
+    ));
+    json.push_str("  },\n");
+    // v8: the governed model-fleet workload's own block (budget-bound
+    // hosting, not per-update throughput — see crates/bench/README.md).
+    json.push_str(&format!("  \"fleet\": {}\n", fleet.to_json("  ")));
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
@@ -748,8 +860,22 @@ fn main() {
     eprintln!(
         "serve saturation over fused ({SATURATION_CONNECTIONS} connections, aggregate): {saturation_over_fused:.2}x"
     );
-    eprintln!("AWM serve ingest over fused (registry path): {awm_serve_over_fused:.2}x");
+    eprintln!("AWM serve ingest over fused (registry path, unsharded): {awm_serve_over_fused:.2}x");
     eprintln!("telemetry overhead on serve_ingest (on/off, interleaved): {telemetry_overhead:.4}x");
+    eprintln!(
+        "governor overhead on serve_ingest (governed/ungoverned, all-resident, interleaved): {governor_overhead:.4}x"
+    );
+    eprintln!(
+        "fleet: {} models, budget {:.0}% of hot sum, hit rate {:.3}, {} revivals (p99 {} ns), bit_identical={}",
+        fleet.models,
+        fleet.budget_fraction * 100.0,
+        fleet.hit_rate,
+        fleet.revivals,
+        fleet
+            .p99_revival_ns
+            .map_or("n/a".to_string(), |v| v.to_string()),
+        fleet.bit_identical,
+    );
     if let Some((p50, p90, p99)) = results
         .iter()
         .find(|m| m.name == "serve_ingest")

@@ -1,0 +1,335 @@
+//! The model-fleet harness behind the `model_fleet` bench bin and the
+//! tracking bin's `fleet` block (BENCH schema v8).
+//!
+//! One governed `wmsketch-serve` node hosts a fleet of small unsharded
+//! AWM models under a memory budget far below the sum of their hot
+//! sizes, and zipf-distributed update traffic drives the governor's
+//! spill/revive machinery. A second, effectively-unbounded node (the
+//! **all-hot reference**) receives byte-for-byte identical traffic, and
+//! the harness spot-checks that spilled-and-revived models answer with
+//! snapshots bit-identical to their never-evicted twins — the paper's
+//! space–accuracy story at fleet scale: the budget bounds memory, the
+//! revival path keeps answers exact.
+
+use std::time::Instant;
+
+use rand::prelude::*;
+use wmsketch_core::{AwmSketch, AwmSketchConfig, SnapshotCodec, WmSketchConfig};
+use wmsketch_datagen::zipf::Zipf;
+use wmsketch_learn::{Label, SparseVector};
+use wmsketch_serve::{ServeBackend, ServeClient, ServeConfig, ServerHandle, WmServer};
+
+/// Fleet workload shape. [`FleetConfig::from_env`] reads the scale
+/// knobs, so CI can smoke the same harness at reduced size.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Hosted models (`WMSKETCH_FLEET_MODELS`, default 10 000).
+    pub models: usize,
+    /// Zipf-addressed update requests (`WMSKETCH_FLEET_REQUESTS`,
+    /// default `3 × models`).
+    pub requests: usize,
+    /// Labelled examples per update request.
+    pub updates_per_request: usize,
+    /// Zipf skew of the traffic's model choice.
+    pub zipf_s: f64,
+    /// Memory budget as a fraction of the fleet's summed hot size.
+    pub budget_fraction: f64,
+    /// Transport backend of both nodes
+    /// (`WMSKETCH_FLEET_BACKEND=threaded|event`, default event).
+    pub backend: ServeBackend,
+    /// Models whose final snapshots are compared byte-for-byte against
+    /// the all-hot reference node (spread across the zipf rank range,
+    /// so both always-hot and spilled-and-revived models are covered).
+    pub spot_checks: usize,
+    /// Traffic RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            models: 10_000,
+            requests: 0, // 0 = 3 × models, resolved in run_fleet
+            updates_per_request: 4,
+            zipf_s: 1.1,
+            budget_fraction: 0.25,
+            backend: ServeBackend::Event,
+            spot_checks: 32,
+            seed: 42,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The default shape with `WMSKETCH_FLEET_MODELS`,
+    /// `WMSKETCH_FLEET_REQUESTS`, and `WMSKETCH_FLEET_BACKEND` applied.
+    pub fn from_env() -> Self {
+        let mut cfg = FleetConfig::default();
+        if let Some(n) = env_usize("WMSKETCH_FLEET_MODELS") {
+            cfg.models = n.max(1);
+        }
+        if let Some(n) = env_usize("WMSKETCH_FLEET_REQUESTS") {
+            cfg.requests = n;
+        }
+        if let Ok(b) = std::env::var("WMSKETCH_FLEET_BACKEND") {
+            match b.as_str() {
+                "threaded" => cfg.backend = ServeBackend::Threaded,
+                "event" => cfg.backend = ServeBackend::Event,
+                other => panic!("WMSKETCH_FLEET_BACKEND must be threaded|event, got {other:?}"),
+            }
+        }
+        cfg
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok().map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("{key} must be an integer, got {v:?}"))
+    })
+}
+
+/// What one fleet run measured; serialized as the BENCH `fleet` block.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Hosted models.
+    pub models: usize,
+    /// Update requests driven through the governed node.
+    pub requests: usize,
+    /// Labelled examples per request.
+    pub updates_per_request: usize,
+    /// Zipf skew of the traffic.
+    pub zipf_s: f64,
+    /// Sum of every model's hot resident footprint (learner bytes).
+    pub hot_sum_bytes: u64,
+    /// The governed node's budget.
+    pub budget_bytes: u64,
+    /// `budget_bytes / hot_sum_bytes`.
+    pub budget_fraction: f64,
+    /// Resident models at end of traffic.
+    pub resident_models: u32,
+    /// Spilled models at end of traffic.
+    pub spilled_models: u32,
+    /// Governor evictions over the whole run.
+    pub evictions: u64,
+    /// Governor revivals over the whole run.
+    pub revivals: u64,
+    /// Fraction of traffic requests served without a revival.
+    pub hit_rate: f64,
+    /// p99 revival latency in ns (None when nothing revived during
+    /// traffic).
+    pub p99_revival_ns: Option<u64>,
+    /// Whether every spot-checked snapshot matched the all-hot
+    /// reference byte-for-byte.
+    pub bit_identical: bool,
+    /// Snapshots compared for `bit_identical`.
+    pub spot_checks: usize,
+    /// Transport backend label ("threaded" | "event").
+    pub backend: &'static str,
+    /// Wall-clock seconds registering the fleet (both nodes).
+    pub create_secs: f64,
+    /// Wall-clock seconds driving traffic (both nodes).
+    pub traffic_secs: f64,
+}
+
+/// The per-model sketch: small on purpose — a fleet node's whole point
+/// is many tiny models (the paper's sub-linear-space classifiers).
+fn model_cfg() -> AwmSketchConfig {
+    AwmSketchConfig::with_budget_bytes(2048).seed(9)
+}
+
+/// Deterministic labelled examples for request number `step` addressed
+/// to model `salt` — both nodes replay the identical stream, so their
+/// final states must match bit-for-bit.
+fn examples_for(salt: u64, step: u64, n: usize) -> Vec<(SparseVector, Label)> {
+    (0..n as u64)
+        .map(|i| {
+            let t = step * n as u64 + i;
+            let noise = 64 + ((t.wrapping_mul(2654435761).wrapping_add(salt * 97)) % 4096) as u32;
+            if (t + salt).is_multiple_of(2) {
+                (
+                    SparseVector::from_pairs(&[(salt as u32 % 61, 1.0), (noise, 0.5)]),
+                    1,
+                )
+            } else {
+                (
+                    SparseVector::from_pairs(&[(salt as u32 % 53, 1.0), (noise, 0.5)]),
+                    -1,
+                )
+            }
+        })
+        .collect()
+}
+
+fn bind_node(tag: &str, budget: u64, backend: ServeBackend) -> (ServerHandle, std::path::PathBuf) {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("wmsketch_fleet_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServeConfig::new(WmSketchConfig::new(64, 2).seed(1), 1)
+        .backend(backend)
+        .data_dir(&dir)
+        .memory_budget_bytes(budget);
+    let server = WmServer::bind("127.0.0.1:0", cfg)
+        .expect("bind fleet node")
+        .spawn();
+    (server, dir)
+}
+
+/// Runs the fleet workload and returns what it measured. Telemetry is
+/// enabled for the duration (the revival-latency histogram is gated);
+/// governor counters are plain atomics and need no switch.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    wmsketch_telemetry::set_enabled(true);
+    let requests = if cfg.requests == 0 {
+        cfg.models * 3
+    } else {
+        cfg.requests
+    };
+    let template = AwmSketch::new(model_cfg()).to_snapshot_bytes();
+    let hot_model_bytes = AwmSketch::new(model_cfg()).resident_bytes() as u64;
+    let hot_sum = hot_model_bytes * cfg.models as u64;
+    let budget = (hot_sum as f64 * cfg.budget_fraction) as u64;
+
+    let (governed, governed_dir) = bind_node("governed", budget, cfg.backend);
+    // The all-hot reference: governed only so the registry cap lifts to
+    // fleet scale; its budget (4× the hot sum) never forces an eviction.
+    let (reference, reference_dir) = bind_node("reference", hot_sum * 4, cfg.backend);
+    let mut gov_client = ServeClient::connect(governed.addr()).expect("connect governed");
+    let mut ref_client = ServeClient::connect(reference.addr()).expect("connect reference");
+
+    let create_started = Instant::now();
+    let mut gov_ids = Vec::with_capacity(cfg.models);
+    let mut ref_ids = Vec::with_capacity(cfg.models);
+    for i in 0..cfg.models {
+        let name = format!("f{i}");
+        gov_ids.push(
+            gov_client
+                .create_model(&name, &template, 0)
+                .expect("governed create"),
+        );
+        ref_ids.push(
+            ref_client
+                .create_model(&name, &template, 0)
+                .expect("reference create"),
+        );
+    }
+    let create_secs = create_started.elapsed().as_secs_f64();
+
+    let stats_before = gov_client.stats().expect("stats");
+    let revivals_before = stats_before.revivals_total;
+
+    let zipf = Zipf::new(cfg.models as u64, cfg.zipf_s);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut steps = vec![0u64; cfg.models];
+    let traffic_started = Instant::now();
+    for _ in 0..requests {
+        let k = (zipf.sample(&mut rng) - 1) as usize;
+        let batch = examples_for(k as u64, steps[k], cfg.updates_per_request);
+        steps[k] += 1;
+        gov_client
+            .set_model(gov_ids[k])
+            .expect("governed set_model");
+        gov_client.update_batch(&batch).expect("governed update");
+        ref_client
+            .set_model(ref_ids[k])
+            .expect("reference set_model");
+        ref_client.update_batch(&batch).expect("reference update");
+    }
+    let traffic_secs = traffic_started.elapsed().as_secs_f64();
+
+    let stats = gov_client.stats().expect("stats");
+    let revivals_in_traffic = stats.revivals_total - revivals_before;
+    let hit_rate = 1.0 - revivals_in_traffic as f64 / requests as f64;
+    let p99_revival_ns = gov_client
+        .metrics()
+        .ok()
+        .and_then(|r| r.value("governor_revival_latency_ns_p99", &[]))
+        .map(|v| v as u64);
+
+    // Spot-check bit-identity across the rank range: the low ranks are
+    // the zipf head (likely resident), the high ranks the cold tail
+    // (certainly spilled at least once on a tight budget).
+    let picks: Vec<usize> = (0..cfg.spot_checks.min(cfg.models))
+        .map(|j| j * cfg.models / cfg.spot_checks.min(cfg.models).max(1))
+        .collect();
+    let mut bit_identical = true;
+    for &k in &picks {
+        gov_client
+            .set_model(gov_ids[k])
+            .expect("governed set_model");
+        ref_client
+            .set_model(ref_ids[k])
+            .expect("reference set_model");
+        let a = gov_client.snapshot().expect("governed snapshot");
+        let b = ref_client.snapshot().expect("reference snapshot");
+        if a != b {
+            bit_identical = false;
+            eprintln!("fleet: model f{k} diverged from the all-hot reference");
+        }
+    }
+
+    governed.shutdown();
+    reference.shutdown();
+    let _ = std::fs::remove_dir_all(&governed_dir);
+    let _ = std::fs::remove_dir_all(&reference_dir);
+
+    FleetReport {
+        models: cfg.models,
+        requests,
+        updates_per_request: cfg.updates_per_request,
+        zipf_s: cfg.zipf_s,
+        hot_sum_bytes: hot_sum,
+        budget_bytes: budget,
+        budget_fraction: budget as f64 / hot_sum as f64,
+        resident_models: stats.resident_models,
+        spilled_models: stats.spilled_models,
+        evictions: stats.evictions_total,
+        revivals: stats.revivals_total,
+        hit_rate,
+        p99_revival_ns,
+        bit_identical,
+        spot_checks: picks.len(),
+        backend: match cfg.backend {
+            ServeBackend::Threaded => "threaded",
+            ServeBackend::Event => "event",
+        },
+        create_secs,
+        traffic_secs,
+    }
+}
+
+impl FleetReport {
+    /// The BENCH `fleet` JSON object, indented with `indent` (no
+    /// trailing newline or comma).
+    pub fn to_json(&self, indent: &str) -> String {
+        let p99 = self
+            .p99_revival_ns
+            .map_or("null".to_string(), |v| v.to_string());
+        format!(
+            "{{\n\
+             {indent}  \"models\": {}, \"requests\": {}, \"updates_per_request\": {}, \"zipf_s\": {},\n\
+             {indent}  \"hot_sum_bytes\": {}, \"budget_bytes\": {}, \"budget_fraction\": {:.3},\n\
+             {indent}  \"resident_models\": {}, \"spilled_models\": {}, \"evictions\": {}, \"revivals\": {},\n\
+             {indent}  \"hit_rate\": {:.4}, \"p99_revival_ns\": {p99}, \"bit_identical\": {}, \"spot_checks\": {},\n\
+             {indent}  \"backend\": \"{}\", \"create_secs\": {:.2}, \"traffic_secs\": {:.2}\n\
+             {indent}}}",
+            self.models,
+            self.requests,
+            self.updates_per_request,
+            self.zipf_s,
+            self.hot_sum_bytes,
+            self.budget_bytes,
+            self.budget_fraction,
+            self.resident_models,
+            self.spilled_models,
+            self.evictions,
+            self.revivals,
+            self.hit_rate,
+            self.bit_identical,
+            self.spot_checks,
+            self.backend,
+            self.create_secs,
+            self.traffic_secs,
+        )
+    }
+}

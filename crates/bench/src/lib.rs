@@ -16,6 +16,11 @@
 //! `BENCH_update_throughput.json` for PR-over-PR perf tracking; the JSON
 //! schema is documented in this crate's `README.md`.
 //!
-//! This crate intentionally has no library code beyond this doc.
+//! The `model_fleet` bin drives the [`fleet`] harness at full scale
+//! (~10k governed models, zipf traffic, bit-identity spot checks against
+//! an all-hot reference); the tracking bin embeds the same harness's
+//! results as the schema-v8 `fleet` block.
 
 #![warn(missing_docs)]
+
+pub mod fleet;

@@ -251,6 +251,24 @@ impl AwmSketch {
         self.cfg.memory_bytes()
     }
 
+    /// Estimated bytes this instance actually holds resident: the cell
+    /// array, the active set at its allocated capacity, the row-hash
+    /// tables (16 KiB per row under tabulation), and the retained
+    /// coordinate-plan/slot scratch. This is the figure a memory
+    /// governor should charge — typically several times the §7.1 model
+    /// for small sketches, all of it reclaimed by spilling (hashers and
+    /// scratch rebuild deterministically on revival).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.z.capacity() * std::mem::size_of::<f64>()
+            + self.active.resident_bytes()
+            + self.hashers.resident_bytes()
+            + self.plan.resident_bytes()
+            + self.slots.capacity() * std::mem::size_of::<usize>()
+            + self.dirty.resident_bytes()
+    }
+
     /// Number of features currently in the active set.
     #[must_use]
     pub fn active_set_len(&self) -> usize {

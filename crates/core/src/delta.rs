@@ -61,6 +61,11 @@ impl DirtyCells {
         !self.stamps.is_empty()
     }
 
+    /// Heap bytes the stamp vector owns (zero until tracking is armed).
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.stamps.capacity() * std::mem::size_of::<u64>()
+    }
+
     /// (Re)starts tracking over `cells` cells with everything considered
     /// dirty at clock `now` — the state right after shipping a full
     /// snapshot at `now`.

@@ -194,8 +194,24 @@ macro_rules! impl_dyn_baseline {
     };
 }
 
-impl_dyn_mergeable!(WmSketch, KIND_WM, "WM");
-impl_dyn_mergeable!(AwmSketch, KIND_AWM, "AWM");
+impl_dyn_mergeable!(
+    WmSketch,
+    KIND_WM,
+    "WM",
+    /// Truthful resident accounting (buffers, hashers, scratch).
+    fn resident_bytes(&self) -> usize {
+        WmSketch::resident_bytes(self)
+    }
+);
+impl_dyn_mergeable!(
+    AwmSketch,
+    KIND_AWM,
+    "AWM",
+    /// Truthful resident accounting (buffers, hashers, scratch).
+    fn resident_bytes(&self) -> usize {
+        AwmSketch::resident_bytes(self)
+    }
+);
 impl_dyn_mergeable!(
     MulticlassAwmSketch,
     KIND_MULTICLASS_AWM,
@@ -203,6 +219,10 @@ impl_dyn_mergeable!(
     /// Labels are class indices `0..classes`.
     fn label_domain(&self) -> LabelDomain {
         LabelDomain::Classes(self.classes() as u32)
+    },
+    /// Truthful resident accounting (per-class sketches at full cost).
+    fn resident_bytes(&self) -> usize {
+        MulticlassAwmSketch::resident_bytes(self)
     }
 );
 
@@ -302,6 +322,20 @@ where
                 .map(DynLearner::memory_bytes)
                 .sum::<usize>()
             + self.tracker_memory_bound_bytes()
+    }
+
+    /// Truthful resident accounting for the whole pool: the root's and
+    /// every worker replica's actual footprint (hash tables and scratch
+    /// included — replicated per shard) plus the candidate trackers at
+    /// their *current* allocated capacity (the high-water bound belongs
+    /// in [`DynLearner::memory_bytes`], not here).
+    fn resident_bytes(&self) -> usize {
+        DynLearner::resident_bytes(self.root())
+            + self
+                .shard_learners()
+                .map(DynLearner::resident_bytes)
+                .sum::<usize>()
+            + self.tracker_resident_bytes()
     }
 
     /// Merges the workers into the queryable root.

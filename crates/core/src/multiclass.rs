@@ -181,6 +181,19 @@ impl MulticlassAwmSketch {
         self.sketches.iter().map(AwmSketch::memory_bytes).sum()
     }
 
+    /// Estimated resident bytes: every per-class sketch's actual
+    /// footprint ([`AwmSketch::resident_bytes`]) plus the class vector.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.sketches.capacity() * std::mem::size_of::<AwmSketch>()
+            + self
+                .sketches
+                .iter()
+                .map(|s| AwmSketch::resident_bytes(s) - std::mem::size_of::<AwmSketch>())
+                .sum::<usize>()
+    }
+
     /// Encodes a **delta record**: per-class state changed since *model*
     /// clock `since` (class dirty stamps all use the model clock, so one
     /// watermark covers every class even under NCE's partial updates).

@@ -369,6 +369,20 @@ impl<L: MergeableLearner + Clone> ShardedLearner<L> {
             .sum()
     }
 
+    /// Bytes the candidate trackers hold *right now*: allocated map
+    /// capacity, not the high-water bound. This is what a memory
+    /// governor should charge — the bound above can exceed the actual
+    /// footprint by orders of magnitude on a young pool whose maps have
+    /// not grown toward compaction yet.
+    #[must_use]
+    pub fn tracker_resident_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .filter_map(|s| s.candidates.as_ref())
+            .map(|t| t.mass.capacity() * (std::mem::size_of::<(u32, f64)>() + 1))
+            .sum()
+    }
+
     /// Whether the root reflects every routed example.
     #[must_use]
     pub fn is_synced(&self) -> bool {

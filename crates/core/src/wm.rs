@@ -232,6 +232,25 @@ impl WmSketch {
         self.cfg.memory_bytes()
     }
 
+    /// Estimated bytes this instance actually holds resident: the cell
+    /// array, the heap at its allocated capacity, the row-hash tables
+    /// (16 KiB per row under tabulation), and the retained
+    /// coordinate-plan scratch — the figure a memory governor should
+    /// charge, all of it reclaimed by spilling (hashers and scratch
+    /// rebuild deterministically on revival).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.z.capacity() * std::mem::size_of::<f64>()
+            + self
+                .heap
+                .as_ref()
+                .map_or(0, wmsketch_hh::TopKWeights::resident_bytes)
+            + self.hashers.resident_bytes()
+            + self.plan.resident_bytes()
+            + self.dirty.resident_bytes()
+    }
+
     /// The estimated weight of `feature` via Count-Sketch median recovery
     /// (pre-scale; multiply by α for the logical value).
     fn query_stored(&self, feature: u32) -> f64 {

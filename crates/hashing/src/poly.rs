@@ -63,6 +63,12 @@ impl PolyHash {
         self.coeffs.len()
     }
 
+    /// Heap bytes this function owns (its coefficient vector).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.coeffs.capacity() * std::mem::size_of::<u64>()
+    }
+
     /// Hashes a 64-bit key. The key is first reduced into the field.
     #[inline]
     #[must_use]

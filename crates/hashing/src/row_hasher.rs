@@ -213,6 +213,26 @@ impl RowHashers {
         self.width
     }
 
+    /// Heap bytes the row hash functions own. For the tabulation default
+    /// this is 16 KiB *per row* — typically far more than a small
+    /// sketch's cell array, and the reason a memory-governed registry
+    /// must not cost models by the paper's §7.1 figure alone (hashers
+    /// rebuild deterministically from the config seed, so spilling a
+    /// model to disk reclaims this in full).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        match &self.rows {
+            Rows::Tab(v) => {
+                v.capacity() * std::mem::size_of::<TabulationHash>()
+                    + v.iter().map(TabulationHash::resident_bytes).sum::<usize>()
+            }
+            Rows::Poly(v) => {
+                v.capacity() * std::mem::size_of::<PolyHash>()
+                    + v.iter().map(PolyHash::resident_bytes).sum::<usize>()
+            }
+        }
+    }
+
     /// The bucket and sign row `j` assigns to `key`.
     ///
     /// # Panics
@@ -489,6 +509,17 @@ impl CoordPlan {
     #[must_use]
     pub fn nnz(&self) -> usize {
         self.nnz
+    }
+
+    /// Heap bytes the plan's retained buffers own (offsets, signs, and
+    /// the median scratch) — instance-owned working state that the §7.1
+    /// memory model deliberately excludes but truthful resident
+    /// accounting must include.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.signs.capacity() * std::mem::size_of::<f64>()
+            + self.scratch.capacity() * std::mem::size_of::<f64>()
     }
 
     /// Rows per key.

@@ -42,6 +42,14 @@ impl TabulationHash {
         Self { tables }
     }
 
+    /// Heap bytes this function owns: the boxed 8 × 256-word lookup
+    /// table (16 KiB). Dominates the resident cost of small sketches, so
+    /// memory-governed fleets must account for it explicitly.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<[[u64; TABLE_SIZE]; NUM_CHUNKS]>()
+    }
+
     /// Hashes a 64-bit key.
     #[inline]
     #[must_use]

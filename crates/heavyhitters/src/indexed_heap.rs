@@ -61,6 +61,15 @@ impl<K: Copy + Eq + Hash> IndexedHeap<K> {
         self.pos.contains_key(key)
     }
 
+    /// Estimated heap bytes this structure owns: the slot array at its
+    /// allocated capacity plus the position index (hash-table buckets
+    /// cost their entry size plus one control byte each).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<(K, f64)>()
+            + self.pos.capacity() * (std::mem::size_of::<(K, usize)>() + 1)
+    }
+
     /// The priority of `key`, if present.
     #[must_use]
     pub fn priority(&self, key: &K) -> Option<f64> {

@@ -95,6 +95,16 @@ impl TopKWeights {
         self.heap.len()
     }
 
+    /// Estimated heap bytes the tracker owns: the indexed heap (slot
+    /// array plus position index) and the exact-weight map. An estimate
+    /// of allocator reality rather than the paper's §7.1 cost model —
+    /// what a memory governor should charge for a resident tracker.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.heap.resident_bytes()
+            + self.weights.capacity() * (std::mem::size_of::<(u32, f64)>() + 1)
+    }
+
     /// Whether no features are tracked.
     #[must_use]
     pub fn is_empty(&self) -> bool {

@@ -139,6 +139,18 @@ pub trait DynLearner: Send {
     /// Memory cost in bytes under the paper's §7.1 model.
     fn memory_bytes(&self) -> usize;
 
+    /// Best-effort estimate of the bytes this instance actually holds
+    /// resident — allocated buffers at capacity, hash-function tables,
+    /// retained scratch — as opposed to [`DynLearner::memory_bytes`]'s
+    /// config-derived §7.1 figure. This is what a memory governor should
+    /// charge for keeping the model hot: spilling the model to disk and
+    /// reviving it from its snapshot reclaims (and later re-pays)
+    /// roughly this amount. Defaults to the §7.1 figure for learners
+    /// without instance-owned state worth separating.
+    fn resident_bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+
     /// Flushes deferred state before queries or snapshots (sharded
     /// wrappers merge their workers into the queryable root); a no-op
     /// for learners that are always consistent.

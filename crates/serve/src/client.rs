@@ -512,6 +512,28 @@ impl ServeClient {
         } else {
             (0, Vec::new())
         };
+        // The v8 memory-governor tail (budget + residency gauges +
+        // spill/revival counters) follows the v7 tail; a pre-v8 node
+        // ends the payload here and every governor field reads 0.
+        let (
+            memory_budget,
+            resident_models,
+            spilled_models,
+            resident_bytes,
+            evictions_total,
+            revivals_total,
+        ) = if r.remaining() >= 40 {
+            (
+                r.take_u64()?,
+                r.take_u32()?,
+                r.take_u32()?,
+                r.take_u64()?,
+                r.take_u64()?,
+                r.take_u64()?,
+            )
+        } else {
+            (0, 0, 0, 0, 0, 0)
+        };
         Ok(ServeStats {
             routed,
             root_examples,
@@ -523,6 +545,12 @@ impl ServeClient {
             update_frames,
             node_id,
             replication,
+            memory_budget,
+            resident_models,
+            spilled_models,
+            resident_bytes,
+            evictions_total,
+            revivals_total,
         })
     }
 

@@ -908,7 +908,24 @@ fn execute_work(shared: &Shared, work: Work, scratch: &mut ExamplesScratch) -> V
             // frames never pass through handle_request's wrapper), and
             // the rate accountant is billed once per run, after the lock
             // drops.
-            let mut learner = entry.learner.lock().expect("learner mutex");
+            let mut learner = match entry.learner() {
+                Ok(guard) => guard,
+                // Revival failed (governed node, unreadable spill
+                // record): every job in the run gets the typed error —
+                // the connections stay up and the stub stays in place.
+                Err(e) => {
+                    let response = finalize_response(Err(e));
+                    return jobs
+                        .into_iter()
+                        .map(|job| Completion {
+                            token: job.token,
+                            seq: job.seq,
+                            response: response.clone(),
+                            shutdown: false,
+                        })
+                        .collect();
+                }
+            };
             for job in jobs {
                 let JobKind::Update {
                     examples,

@@ -154,7 +154,11 @@ fn gossip_with_peer(
 /// state to delta against.
 fn pull_watermark(state: &Arc<ServerState>, entry: &ModelEntry, origin: u64) -> u64 {
     if origin == state.node_id {
-        let clock = entry.learner.lock().expect("learner mutex").clock();
+        // `clock_hint` reads a spilled model's stub without reviving it
+        // — the gossip timer must not fault the whole fleet back in. A
+        // lazily-recovered stub reads 0 and asks for a full record,
+        // which is exactly right for state this node has not loaded.
+        let clock = entry.clock_hint();
         if clock == 0 {
             PULL_SINCE_FULL
         } else {
@@ -192,11 +196,13 @@ fn apply_pulled(
             return Ok(false);
         }
         let recovered = wmsketch_core::decode_any_learner(bytes)?;
-        let mut learner = entry.learner.lock().expect("learner mutex");
+        let mut learner = entry.learner()?;
         if recovered.clock() <= learner.clock() {
             return Ok(false);
         }
-        *learner = recovered;
+        // Replace through the guard so governor accounting follows the
+        // adopted copy's footprint.
+        learner.install(recovered);
         return Ok(true);
     }
     let mut repl = entry.repl.lock().expect("repl mutex");

@@ -1,0 +1,309 @@
+//! The **memory governor**: admits, evicts, and revives hosted models
+//! against a configurable resident-byte budget, so one node can host a
+//! fleet of models far larger than its memory.
+//!
+//! The governor charges each model its truthful resident footprint
+//! ([`wmsketch_learn::DynLearner::resident_bytes`] — buffers, hashers,
+//! scratch — plus the registry entry's own overhead: the entry struct,
+//! its name, and its spec template, which stay resident even when the
+//! learner is spilled). When the charged total exceeds the budget, the
+//! least-recently-accessed *evictable* model is spilled to disk as a
+//! sealed WMS1 checkpoint record through the durability layer's atomic
+//! write path, leaving a lightweight stub in the registry. The next
+//! request for a spilled model revives it transparently — decode and
+//! [`wmsketch_learn::DynLearner::restore_snapshot`], bit-identical by
+//! the codec's twin guarantee — under the model's own slot mutex, so
+//! concurrent requests for the same cold model pay exactly one decode
+//! (single-flight for free).
+//!
+//! Only **unsharded** models (`shards == 0`, the replication hosting
+//! mode) are evictable: a shard pool's worker routing state cannot be
+//! reconstructed from a snapshot, so spilling one would silently change
+//! its future behavior. Sharded models (the default model included) are
+//! charged but never spilled.
+//!
+//! Deadlock discipline: the revival path holds a model's slot mutex and
+//! then takes the victim table; the eviction path takes the victim
+//! table and then only ever `try_lock`s other models' slots (a
+//! contended slot is a *hot* model — exactly the wrong victim). No lock
+//! in this module is ever awaited while a slot mutex is wanted.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Instant;
+
+use wmsketch_telemetry::LatencyHistogram;
+
+use crate::durability;
+use crate::error::ServeError;
+use crate::server::{ModelEntry, ModelSlot, SpilledStub};
+
+/// The typed admission error OP_CREATE returns when the budget cannot
+/// be met even after evicting every cold model.
+pub(crate) const ERR_BUDGET: &str = "model does not fit in the node's memory budget";
+
+/// Byte-budget enforcement for one node's model registry.
+///
+/// All accounting counters are plain atomics (not telemetry primitives,
+/// which drop writes while telemetry is disabled) — budget enforcement
+/// must be exact regardless of observability settings. Only the
+/// revival-latency histogram is telemetry-gated.
+pub(crate) struct MemoryGovernor {
+    /// The resident-byte ceiling.
+    budget: u64,
+    /// Where spill records are written (the node's data dir; a spill
+    /// file *is* a checkpoint and uses the same naming scheme).
+    data_dir: PathBuf,
+    /// Monotonic access clock for LRU ordering; each model access
+    /// stamps the entry with the next tick.
+    tick: AtomicU64,
+    /// Bytes currently charged (resident learners plus every entry's
+    /// registry overhead).
+    resident_bytes: AtomicU64,
+    /// Models whose learner is resident.
+    resident_models: AtomicU64,
+    /// Models currently living as on-disk stubs.
+    spilled_models: AtomicU64,
+    /// Spills performed (admission- or revival-pressure driven).
+    evictions: AtomicU64,
+    /// Transparent revivals performed.
+    revivals: AtomicU64,
+    /// Revivals that failed (unreadable or corrupt spill record); the
+    /// stub survives and the request gets a typed error.
+    revival_failures: AtomicU64,
+    /// Spill attempts that failed (snapshot or write error); the model
+    /// stays resident and charged.
+    spill_failures: AtomicU64,
+    /// Wall-clock revival latency (telemetry-gated like every
+    /// histogram).
+    revival_latency: LatencyHistogram,
+    /// Evictable models: id → entry. Only unsharded entries are ever
+    /// registered. `Weak` keeps the table from cycling with
+    /// `ModelEntry::governor`.
+    victims: Mutex<HashMap<u32, Weak<ModelEntry>>>,
+}
+
+impl MemoryGovernor {
+    pub(crate) fn new(budget: u64, data_dir: PathBuf) -> Self {
+        Self {
+            budget,
+            data_dir,
+            tick: AtomicU64::new(0),
+            resident_bytes: AtomicU64::new(0),
+            resident_models: AtomicU64::new(0),
+            spilled_models: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            revivals: AtomicU64::new(0),
+            revival_failures: AtomicU64::new(0),
+            spill_failures: AtomicU64::new(0),
+            revival_latency: LatencyHistogram::new(),
+            victims: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The next LRU tick; callers stamp it into the accessed entry.
+    pub(crate) fn touch(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Marks an (unsharded) entry as evictable.
+    pub(crate) fn register_victim(&self, entry: &Arc<ModelEntry>) {
+        self.victims
+            .lock()
+            .expect("victim table")
+            .insert(entry.id, Arc::downgrade(entry));
+    }
+
+    /// Charges a newly admitted model and counts it resident. With
+    /// `strict` (OP_CREATE) victims are evicted to make room, and the
+    /// charge is rolled back with a typed error when the budget cannot
+    /// be met even then. Without it (startup recovery) admission always
+    /// succeeds and — critically — never evicts: mid-recovery an entry
+    /// still holds the fresh template build, and spilling it would
+    /// overwrite its real checkpoint with fresh state. Recovery's lazy
+    /// stub pass resolves the overshoot instead.
+    pub(crate) fn admit(&self, cost: u64, strict: bool) -> Result<(), ServeError> {
+        self.resident_bytes.fetch_add(cost, Ordering::Relaxed);
+        if strict {
+            self.evict_until_fit(u32::MAX);
+            if self.resident_bytes.load(Ordering::Relaxed) > self.budget {
+                self.resident_bytes.fetch_sub(cost, Ordering::Relaxed);
+                return Err(ServeError::Protocol(ERR_BUDGET));
+            }
+        }
+        self.resident_models.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Rolls back a successful [`MemoryGovernor::admit`] whose
+    /// registration then lost (duplicate name / full registry under the
+    /// write lock).
+    pub(crate) fn release_admission(&self, cost: u64) {
+        self.resident_bytes.fetch_sub(cost, Ordering::Relaxed);
+        self.resident_models.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Accounts a completed revival: charge the revived cost, then
+    /// best-effort evict colder models to get back under budget
+    /// (`exempt` — the just-revived model — is never re-evicted in the
+    /// same breath).
+    pub(crate) fn note_revival(&self, cost: u64, exempt: u32, started: Instant) {
+        self.resident_bytes.fetch_add(cost, Ordering::Relaxed);
+        self.resident_models.fetch_add(1, Ordering::Relaxed);
+        self.spilled_models.fetch_sub(1, Ordering::Relaxed);
+        self.revivals.fetch_add(1, Ordering::Relaxed);
+        self.revival_latency.record_duration(started.elapsed());
+        self.evict_until_fit(exempt);
+    }
+
+    /// Accounts a failed revival (stub intact, request errored).
+    pub(crate) fn note_revival_failure(&self) {
+        self.revival_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts an in-place learner replacement (RESET / RESTORE /
+    /// gossip adoption): swaps the learner charge and, when the slot
+    /// held a stub, flips it back to resident. These paths install
+    /// without reading the spill record, so a corrupt spill can never
+    /// wedge a RESET.
+    pub(crate) fn note_install(&self, old_cost: u64, new_cost: u64, was_spilled: bool) {
+        self.resident_bytes.fetch_add(new_cost, Ordering::Relaxed);
+        self.resident_bytes.fetch_sub(old_cost, Ordering::Relaxed);
+        if was_spilled {
+            self.resident_models.fetch_add(1, Ordering::Relaxed);
+            self.spilled_models.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Accounts startup recovery registering a checkpoint as a lazy
+    /// stub instead of restoring it hot.
+    pub(crate) fn note_lazy_stub(&self, freed: u64) {
+        self.resident_bytes.fetch_sub(freed, Ordering::Relaxed);
+        self.resident_models.fetch_sub(1, Ordering::Relaxed);
+        self.spilled_models.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Spills least-recently-accessed victims until the charged total
+    /// fits the budget (or nothing evictable remains). `exempt` is
+    /// never selected. Each candidate is attempted at most once per
+    /// call, so a model whose spill fails cannot loop forever.
+    fn evict_until_fit(&self, exempt: u32) {
+        let mut attempted: Vec<u32> = Vec::new();
+        while self.resident_bytes.load(Ordering::Relaxed) > self.budget {
+            let victim = {
+                let victims = self.victims.lock().expect("victim table");
+                victims
+                    .iter()
+                    .filter(|(id, _)| **id != exempt && !attempted.contains(id))
+                    .filter_map(|(id, weak)| weak.upgrade().map(|e| (*id, e)))
+                    .filter(|(_, e)| e.resident_cost.load(Ordering::Relaxed) > 0)
+                    .min_by_key(|(_, e)| e.last_access.load(Ordering::Relaxed))
+            };
+            let Some((id, entry)) = victim else { break };
+            attempted.push(id);
+            self.try_spill(&entry);
+        }
+    }
+
+    /// Attempts to spill one resident model: snapshot under its slot
+    /// mutex (`try_lock` — a contended slot is a hot model and the
+    /// wrong victim), atomically write the sealed WMS1 record to the
+    /// model's checkpoint path, then replace the learner with a stub
+    /// and discharge its cost. Returns whether the model was spilled.
+    pub(crate) fn try_spill(&self, entry: &ModelEntry) -> bool {
+        let Ok(mut slot) = entry.slot.try_lock() else {
+            return false;
+        };
+        let ModelSlot::Resident(learner) = &mut *slot else {
+            return false; // already a stub
+        };
+        let clock = learner.clock();
+        let memory_bytes = learner.memory_bytes() as u64;
+        let path = self.spill_path(entry.name());
+        let written = learner
+            .snapshot()
+            .map_err(ServeError::from)
+            .and_then(|bytes| durability::write_atomic(&path, &bytes).map_err(ServeError::from));
+        if written.is_err() {
+            self.spill_failures.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        *slot = ModelSlot::Spilled(SpilledStub {
+            clock,
+            memory_bytes,
+            path,
+        });
+        drop(slot);
+        let freed = entry.resident_cost.swap(0, Ordering::Relaxed);
+        self.resident_bytes.fetch_sub(freed, Ordering::Relaxed);
+        self.resident_models.fetch_sub(1, Ordering::Relaxed);
+        self.spilled_models.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Where a model's spill record lives — its checkpoint path, so a
+    /// spill doubles as a durable checkpoint and startup recovery finds
+    /// it with the ordinary scan.
+    pub(crate) fn spill_path(&self, name: &str) -> PathBuf {
+        self.data_dir.join(format!(
+            "{}.{}",
+            durability::file_stem(name),
+            durability::CKPT_EXT
+        ))
+    }
+
+    /// The configured resident-byte ceiling.
+    pub(crate) fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently charged against the budget.
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        self.resident_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Models whose learner is resident.
+    pub(crate) fn resident_models(&self) -> u64 {
+        self.resident_models.load(Ordering::Relaxed)
+    }
+
+    /// Models currently spilled to disk.
+    pub(crate) fn spilled_models(&self) -> u64 {
+        self.spilled_models.load(Ordering::Relaxed)
+    }
+
+    /// Spills performed since startup.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Revivals performed since startup.
+    pub(crate) fn revivals(&self) -> u64 {
+        self.revivals.load(Ordering::Relaxed)
+    }
+
+    /// Revivals that failed on an unreadable or corrupt spill record.
+    pub(crate) fn revival_failures(&self) -> u64 {
+        self.revival_failures.load(Ordering::Relaxed)
+    }
+
+    /// Spill attempts that failed.
+    pub(crate) fn spill_failures(&self) -> u64 {
+        self.spill_failures.load(Ordering::Relaxed)
+    }
+
+    /// The revival-latency histogram (telemetry-gated recording).
+    pub(crate) fn revival_latency(&self) -> &LatencyHistogram {
+        &self.revival_latency
+    }
+}
+
+/// Registry overhead one model permanently charges: its entry struct,
+/// name, and rebuild template stay resident even while the learner is
+/// spilled, so they are charged at admission and never discharged.
+pub(crate) fn entry_overhead(name_len: usize, template_len: usize) -> u64 {
+    (std::mem::size_of::<ModelEntry>() + name_len + template_len) as u64
+}

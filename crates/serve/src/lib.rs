@@ -367,6 +367,55 @@
 //! it, and the recovered node reconverges bit-identically while every
 //! example lands exactly once.
 //!
+//! ## Memory governor & model lifecycle
+//!
+//! A node given both a data directory and a resident-byte budget
+//! ([`ServeConfig::memory_budget_bytes`]; a budget without a directory
+//! is rejected at bind — spill needs somewhere durable to go) hosts a
+//! **memory-governed** registry: it can serve far more models than fit
+//! in memory by keeping a hot working set resident and spilling the
+//! long tail to disk.
+//!
+//! * **Charging.** Every registered model charges its learner's
+//!   measured `resident_bytes` plus a permanent per-entry registry
+//!   overhead (the entry struct, name, and template copy) against the
+//!   budget. CREATE is **admission-controlled**: if the new model still
+//!   does not fit after evicting every candidate, the op fails with a
+//!   typed protocol error (`model does not fit in the node's memory
+//!   budget`) and the registry is unchanged.
+//! * **Eviction.** Under pressure the governor spills the
+//!   least-recently-used *unsharded* model (sharded pools own live
+//!   worker threads and are never victims): the learner is snapshotted
+//!   through the same sealed-`WMS1` atomic-write path as a checkpoint —
+//!   the spill record **is** the model's checkpoint file — and the
+//!   registry entry collapses to a stub holding only the clock, cost,
+//!   and path. Its budget charge is released.
+//! * **Revival.** Any request addressing a cold model revives it inline
+//!   before executing: the spill record is decoded and restored through
+//!   the bit-exact recovery path, so a spilled-and-revived model
+//!   answers estimates, predictions, top-K, and SNAPSHOT **byte for
+//!   byte** as if it had never been evicted. Revival is single-flight —
+//!   concurrent requests for the same cold model perform exactly one
+//!   disk read (the entry's slot lock serializes them) — and a corrupt
+//!   spill record yields a typed error on access, counted in
+//!   `governor_revival_failures_total`, never a panic; RESET rebuilds
+//!   the model from its template.
+//! * **Recovery.** On restart the governed node re-registers every spec
+//!   as usual, then **lazily stubs** models whose checkpoints exist
+//!   until the registry fits the budget — cold models are not paged in
+//!   just to be counted; their first request revives them. Recovery
+//!   admission never evicts (a mid-recovery entry still holds its fresh
+//!   template build; spilling it would overwrite the real checkpoint).
+//!
+//! STATS grows a v8 **governor tail** after the replication tail (older
+//! clients stop reading earlier, as ever): budget (u64) | resident
+//! models (u32) | spilled models (u32) | resident bytes (u64) |
+//! evictions (u64) | revivals (u64) — all zero on an ungoverned node.
+//! The `model_fleet` bench bin and the `fleet` block of
+//! `BENCH_update_throughput.json` drive ~10k governed models under a
+//! quarter-of-hot-sum budget with zipf traffic and spot-check
+//! bit-identity against an all-hot reference node.
+//!
 //! ## Telemetry: the `OP_METRICS` exposition
 //!
 //! `OP_METRICS` (`11`, registry-level — the model id in the header is
@@ -391,7 +440,11 @@
 //! `WMSKETCH_TELEMETRY` environment variable (`off`/`0`/`false` disable;
 //! default on) or `wmsketch_telemetry::set_enabled` — and the hot path
 //! records through relaxed atomics only (fixed histogram arrays hanging
-//! off each registry entry; no locks, no allocation per frame).
+//! off each registry entry; no locks, no allocation per frame). The
+//! per-(model, op) latency histograms use the compact clamped-range
+//! form (`wmsketch_telemetry::CompactLatencyHistogram`) so a governed
+//! node hosting tens of thousands of models pays ~150 B per op class
+//! per model rather than ~530 B — the exposition is unchanged.
 //!
 //! Metric-name registry (labels in parentheses):
 //!
@@ -417,6 +470,15 @@
 //! | `checkpoint_failures_total` | counter | checkpoint writes that failed (e.g. torn by an injected fault; retried next pass) |
 //! | `models_recovered_total` | counter | models restored from a checkpoint at startup |
 //! | `recovery_rejected_total` | counter | corrupt/unreadable/incompatible durable files skipped during recovery |
+//! | `governor_budget_bytes` | gauge | the configured resident-byte budget (block absent on ungoverned nodes) |
+//! | `governor_resident_bytes` | gauge | bytes currently charged against the budget |
+//! | `governor_resident_models` | gauge | models whose learner is resident |
+//! | `governor_spilled_models` | gauge | models currently on disk as stubs |
+//! | `governor_evictions_total` | counter | LRU spills to disk since startup |
+//! | `governor_revivals_total` | counter | cold models transparently revived |
+//! | `governor_revival_failures_total` | counter | revival attempts that failed (corrupt/unreadable spill record) |
+//! | `governor_spill_failures_total` | counter | eviction snapshot writes that failed (model stays resident) |
+//! | `governor_revival_latency_ns_*` | histogram | wall time to page a cold model back in (disk read + decode + restore) |
 //! | `fault_checks_total` (`site`) | counter | failpoint evaluations at an armed site (absent with no plan armed) |
 //! | `fault_trips_total` (`site`) | counter | failpoint evaluations that injected the fault |
 //! | `op_latency_ns_*` (`model`, `op`) | histogram | per-op service latency; `_count` equals the frames processed for that (model, op) |
@@ -485,6 +547,7 @@ pub mod error;
 #[cfg(target_os = "linux")]
 mod event_loop;
 mod gossip;
+mod governor;
 mod metrics;
 #[cfg(target_os = "linux")]
 mod poller;

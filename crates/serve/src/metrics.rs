@@ -19,7 +19,9 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use wmsketch_hashing::codec::Reader;
-use wmsketch_telemetry::{Counter, ExpoWriter, Gauge, Journal, LatencyHistogram, RateAccountant};
+use wmsketch_telemetry::{
+    CompactLatencyHistogram, Counter, ExpoWriter, Gauge, Journal, LatencyHistogram, RateAccountant,
+};
 
 use crate::protocol::{
     take_request_head, OP_ACK, OP_CHECKPOINT, OP_CREATE, OP_ESTIMATE, OP_LIST, OP_MERGE,
@@ -98,8 +100,12 @@ fn is_query_class(class: usize) -> bool {
 pub(crate) struct ModelTelemetry {
     /// Per-op-class service latency (nanoseconds on the execution path:
     /// decode-to-response on the threaded backend, `update_batch` under
-    /// the coalesced lock on the event backend's UPDATE path).
-    pub(crate) op_latency: [LatencyHistogram; OP_CLASSES],
+    /// the coalesced lock on the event backend's UPDATE path). Compact
+    /// histograms: this array is multiplied by every hosted model, and
+    /// on a governed fleet node the registry's per-entry footprint is
+    /// what bounds how many models fit under the memory budget (the full
+    /// 65-bucket array was ~9.5 KB per entry — the dominant term).
+    pub(crate) op_latency: [CompactLatencyHistogram; OP_CLASSES],
     /// Wire bytes (frame header included) of requests addressing this
     /// model.
     pub(crate) request_bytes: Counter,
@@ -112,7 +118,7 @@ pub(crate) struct ModelTelemetry {
 impl ModelTelemetry {
     pub(crate) fn new() -> Self {
         ModelTelemetry {
-            op_latency: [const { LatencyHistogram::new() }; OP_CLASSES],
+            op_latency: [const { CompactLatencyHistogram::new() }; OP_CLASSES],
             request_bytes: Counter::new(),
             update_examples: Counter::new(),
             errors: Counter::new(),
@@ -363,6 +369,29 @@ pub(crate) fn render(state: &ServerState) -> String {
     );
     w.sample_u64("models_recovered_total", &[], m.models_recovered.get());
     w.sample_u64("recovery_rejected_total", &[], m.recovery_rejected.get());
+
+    // Memory governor (rows present only on governed nodes, like the
+    // fault-injection block — an ungoverned node's exposition proves
+    // governance is off).
+    if let Some(gov) = &state.governor {
+        w.sample_u64("governor_budget_bytes", &[], gov.budget());
+        w.sample_u64("governor_resident_bytes", &[], gov.resident_bytes());
+        w.sample_u64("governor_resident_models", &[], gov.resident_models());
+        w.sample_u64("governor_spilled_models", &[], gov.spilled_models());
+        w.sample_u64("governor_evictions_total", &[], gov.evictions());
+        w.sample_u64("governor_revivals_total", &[], gov.revivals());
+        w.sample_u64(
+            "governor_revival_failures_total",
+            &[],
+            gov.revival_failures(),
+        );
+        w.sample_u64("governor_spill_failures_total", &[], gov.spill_failures());
+        w.histogram(
+            "governor_revival_latency_ns",
+            &[],
+            &gov.revival_latency().snapshot(),
+        );
+    }
 
     // Fault injection: one (checks, trips) pair per armed failpoint
     // site. Absent entirely when no fault plan is installed, so a clean

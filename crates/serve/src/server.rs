@@ -50,6 +50,11 @@ const MAX_MODEL_NAME: usize = 128;
 /// keeps a misbehaving client from allocating models in a loop.
 const MAX_MODELS: usize = 1024;
 
+/// Model cap on a memory-governed node: the governor bounds resident
+/// bytes (not model count), and spilled models cost only their stub, so
+/// a governed node can host far larger fleets.
+const MAX_MODELS_GOVERNED: usize = 65536;
+
 /// Most worker shards CREATE accepts per model (each is a full replica).
 const MAX_MODEL_SHARDS: u32 = 256;
 
@@ -184,6 +189,15 @@ pub struct ServeConfig {
     /// their last checkpoint) are skipped, so an idle node costs no
     /// I/O.
     pub checkpoint_interval_ms: u64,
+    /// Resident-byte budget for the memory governor; `None` (the
+    /// default) disables governance entirely. When set, every hosted
+    /// model is charged its truthful resident footprint, cold unsharded
+    /// models are spilled to disk under pressure and revived
+    /// transparently on next access, and OP_CREATE is rejected with a
+    /// typed error when the budget cannot be met. Requires
+    /// [`ServeConfig::data_dir`] (spills ride the durability layer's
+    /// atomic checkpoint path); binding errors otherwise.
+    pub memory_budget: Option<u64>,
 }
 
 impl ServeConfig {
@@ -203,6 +217,7 @@ impl ServeConfig {
             gossip_interval_ms: 0,
             data_dir: None,
             checkpoint_interval_ms: 0,
+            memory_budget: None,
         }
     }
 
@@ -235,6 +250,15 @@ impl ServeConfig {
     #[must_use]
     pub fn gossip_every_ms(mut self, interval_ms: u64) -> Self {
         self.gossip_interval_ms = interval_ms;
+        self
+    }
+
+    /// Enables the memory governor with the given resident-byte budget
+    /// (requires [`ServeConfig::data_dir`]; see
+    /// [`ServeConfig::memory_budget`]).
+    #[must_use]
+    pub fn memory_budget_bytes(mut self, budget: u64) -> Self {
+        self.memory_budget = Some(budget);
         self
     }
 
@@ -306,6 +330,21 @@ pub struct ServeStats {
     /// acked of this node's copy) and the applied watermark of each
     /// origin replica this node holds.
     pub replication: Vec<ReplRow>,
+    /// The memory governor's resident-byte budget (0 = governor
+    /// disabled; every following governor field is then 0 too).
+    pub memory_budget: u64,
+    /// Models whose learner is resident in memory.
+    pub resident_models: u32,
+    /// Models currently spilled to disk as checkpoint stubs.
+    pub spilled_models: u32,
+    /// Bytes currently charged against the governor budget.
+    pub resident_bytes: u64,
+    /// Models spilled to disk since startup (LRU eviction under budget
+    /// pressure).
+    pub evictions_total: u64,
+    /// Cold models transparently revived from their spill records since
+    /// startup.
+    pub revivals_total: u64,
 }
 
 /// One row of the STATS replication tail.
@@ -416,10 +455,32 @@ struct MergedCache {
     view: Option<Box<dyn DynLearner>>,
 }
 
+/// What a model's learner slot holds: the live learner, or — on a
+/// memory-governed node — a stub pointing at the spilled checkpoint
+/// record the learner can be revived from.
+pub(crate) enum ModelSlot {
+    /// The learner is resident.
+    Resident(Box<dyn DynLearner>),
+    /// The learner was spilled to disk; the stub answers monitoring
+    /// reads (LIST/STATS) without forcing a revival.
+    Spilled(SpilledStub),
+}
+
+/// The lightweight registry residue of a spilled model.
+pub(crate) struct SpilledStub {
+    /// The learner's clock at spill time (0 for a lazily-recovered
+    /// checkpoint that has never been read).
+    pub(crate) clock: u64,
+    /// The learner's §7.1 memory figure at spill time (0 when unknown).
+    pub(crate) memory_bytes: u64,
+    /// The sealed WMS1 spill record (also the model's checkpoint path).
+    pub(crate) path: PathBuf,
+}
+
 /// One hosted model: identity, label contract, rebuild recipe, and the
-/// live learner behind its own mutex.
+/// live learner (or its spill stub) behind its own mutex.
 ///
-/// Lock order within an entry: `learner` → `repl` → `merged`. Any path
+/// Lock order within an entry: `slot` → `repl` → `merged`. Any path
 /// may take a later lock while holding an earlier one, never the
 /// reverse.
 pub(crate) struct ModelEntry {
@@ -429,7 +490,7 @@ pub(crate) struct ModelEntry {
     shards: u32,
     pub(crate) label_domain: LabelDomain,
     spec: ModelSpec,
-    pub(crate) learner: Mutex<Box<dyn DynLearner>>,
+    pub(crate) slot: Mutex<ModelSlot>,
     /// Replication state; empty (and never locked on the hot path beyond
     /// a map-emptiness check) for models no peer has gossiped about.
     pub(crate) repl: Mutex<ReplState>,
@@ -437,9 +498,92 @@ pub(crate) struct ModelEntry {
     /// Per-model op telemetry — one array index from the entry `Arc` the
     /// hot path already holds, so recording never takes a lock.
     pub(crate) telemetry: metrics::ModelTelemetry,
+    /// The node's memory governor, when governed. `None` keeps every
+    /// governor touch off the hot path entirely.
+    governor: Option<Arc<crate::governor::MemoryGovernor>>,
+    /// LRU stamp: the governor tick of this model's last access.
+    pub(crate) last_access: AtomicU64,
+    /// Learner bytes currently charged against the governor budget
+    /// (0 while spilled). The entry's own registry overhead is charged
+    /// separately at admission and never discharged.
+    pub(crate) resident_cost: AtomicU64,
+}
+
+/// A locked view of a model's **resident** learner, issued only by
+/// [`ModelEntry::learner`] (which revives a spilled model first). Both
+/// derefs reach the learner box, so existing `learner.update_batch(..)`
+/// call sites read unchanged.
+pub(crate) struct LearnerGuard<'a> {
+    entry: &'a ModelEntry,
+    guard: std::sync::MutexGuard<'a, ModelSlot>,
+}
+
+impl LearnerGuard<'_> {
+    /// Replaces the learner through the held lock, keeping governor
+    /// accounting truthful (gossip's recovered-copy adoption path).
+    pub(crate) fn install(&mut self, fresh: Box<dyn DynLearner>) {
+        let cost = fresh.resident_bytes() as u64;
+        let old = self.entry.resident_cost.swap(cost, Ordering::Relaxed);
+        *self.guard = ModelSlot::Resident(fresh);
+        if let Some(gov) = &self.entry.governor {
+            gov.note_install(old, cost, false);
+        }
+    }
+}
+
+impl std::ops::Deref for LearnerGuard<'_> {
+    type Target = Box<dyn DynLearner>;
+    fn deref(&self) -> &Box<dyn DynLearner> {
+        match &*self.guard {
+            ModelSlot::Resident(l) => l,
+            ModelSlot::Spilled(_) => unreachable!("guard issued for a spilled slot"),
+        }
+    }
+}
+
+impl std::ops::DerefMut for LearnerGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Box<dyn DynLearner> {
+        match &mut *self.guard {
+            ModelSlot::Resident(l) => l,
+            ModelSlot::Spilled(_) => unreachable!("guard issued for a spilled slot"),
+        }
+    }
 }
 
 impl ModelEntry {
+    /// Builds an entry (resident learner, fresh replication state).
+    /// Governor accounting (admission charge, victim registration) is
+    /// the caller's job — it depends on whether the path is CREATE
+    /// (strict) or recovery (best-effort).
+    fn new(
+        id: u32,
+        name: String,
+        shards: u32,
+        label_domain: LabelDomain,
+        spec: ModelSpec,
+        learner: Box<dyn DynLearner>,
+        governor: Option<Arc<crate::governor::MemoryGovernor>>,
+    ) -> Self {
+        let kind = learner.kind();
+        let resident = learner.resident_bytes() as u64;
+        let tick = governor.as_ref().map_or(0, |g| g.touch());
+        Self {
+            id,
+            name,
+            kind,
+            shards,
+            label_domain,
+            spec,
+            slot: Mutex::new(ModelSlot::Resident(learner)),
+            repl: Mutex::new(ReplState::default()),
+            merged: Mutex::new(MergedCache::default()),
+            telemetry: metrics::ModelTelemetry::new(),
+            governor,
+            last_access: AtomicU64::new(tick),
+            resident_cost: AtomicU64::new(resident),
+        }
+    }
+
     /// The model's registry name (the cross-node replication key).
     pub(crate) fn name(&self) -> &str {
         &self.name
@@ -447,20 +591,120 @@ impl ModelEntry {
 
     /// Whether this entry hosts its learner unsharded (`shards == 0`) —
     /// the only hosting mode whose local copy can adopt a recovered
-    /// snapshot from a peer's replica.
+    /// snapshot from a peer's replica, and therefore the only one the
+    /// governor may spill (a shard pool's routing state does not
+    /// survive a snapshot round trip).
     pub(crate) fn unsharded(&self) -> bool {
         self.shards == 0
     }
-    /// A registry row for LIST/STATS (locks the learner briefly).
+
+    /// Locks the model's learner, transparently reviving it from its
+    /// spill record first when the slot holds a stub. Revival runs
+    /// under the slot mutex, so concurrent requests for the same cold
+    /// model serialize behind one decode (single-flight). A failed
+    /// revival (unreadable or corrupt spill record) leaves the stub in
+    /// place, counts `governor_revival_failures_total`, and returns a
+    /// typed error — the node keeps serving.
+    pub(crate) fn learner(&self) -> Result<LearnerGuard<'_>, ServeError> {
+        let mut slot = self.slot.lock().expect("slot mutex");
+        if let ModelSlot::Spilled(stub) = &*slot {
+            let started = std::time::Instant::now();
+            let gov = self
+                .governor
+                .as_ref()
+                .expect("spilled slot on an ungoverned entry");
+            let revived = std::fs::read(&stub.path)
+                .map_err(ServeError::from)
+                .and_then(|bytes| {
+                    let mut fresh = self.spec.build()?;
+                    fresh.restore_snapshot(&bytes)?;
+                    Ok(fresh)
+                });
+            match revived {
+                Ok(fresh) => {
+                    let cost = fresh.resident_bytes() as u64;
+                    *slot = ModelSlot::Resident(fresh);
+                    self.resident_cost.store(cost, Ordering::Relaxed);
+                    gov.note_revival(cost, self.id, started);
+                }
+                Err(e) => {
+                    gov.note_revival_failure();
+                    return Err(e);
+                }
+            }
+        }
+        if let Some(gov) = &self.governor {
+            self.last_access.store(gov.touch(), Ordering::Relaxed);
+        }
+        Ok(LearnerGuard {
+            entry: self,
+            guard: slot,
+        })
+    }
+
+    /// Replaces the learner *without* reading the spill record — the
+    /// RESET / RESTORE / recovery path. A corrupt spill file can
+    /// therefore never wedge a RESET: the stub is simply overwritten by
+    /// the fresh instance and accounting moves back to resident.
+    pub(crate) fn install(&self, fresh: Box<dyn DynLearner>) {
+        let cost = fresh.resident_bytes() as u64;
+        let mut slot = self.slot.lock().expect("slot mutex");
+        let was_spilled = matches!(&*slot, ModelSlot::Spilled(_));
+        let old = self.resident_cost.swap(cost, Ordering::Relaxed);
+        *slot = ModelSlot::Resident(fresh);
+        drop(slot);
+        if let Some(gov) = &self.governor {
+            gov.note_install(old, cost, was_spilled);
+            self.last_access.store(gov.touch(), Ordering::Relaxed);
+        }
+    }
+
+    /// Startup-recovery twin of the governor's spill: registers an
+    /// existing checkpoint as this entry's lazy stub without reading
+    /// it. The fresh (untrained) learner the entry was registered with
+    /// is discarded and its charge released.
+    pub(crate) fn adopt_lazy_stub(&self, path: PathBuf) {
+        let mut slot = self.slot.lock().expect("slot mutex");
+        if !matches!(&*slot, ModelSlot::Resident(_)) {
+            return;
+        }
+        *slot = ModelSlot::Spilled(SpilledStub {
+            clock: 0,
+            memory_bytes: 0,
+            path,
+        });
+        drop(slot);
+        let freed = self.resident_cost.swap(0, Ordering::Relaxed);
+        if let Some(gov) = &self.governor {
+            gov.note_lazy_stub(freed);
+        }
+    }
+
+    /// The model's clock without forcing a revival: the live learner's
+    /// clock, or the stub's spill-time clock (0 for a never-read lazy
+    /// recovery stub, which reads as "nothing ingested" — exactly what
+    /// a gossip watermark should claim for state it hasn't loaded).
+    pub(crate) fn clock_hint(&self) -> u64 {
+        match &*self.slot.lock().expect("slot mutex") {
+            ModelSlot::Resident(l) => l.clock(),
+            ModelSlot::Spilled(stub) => stub.clock,
+        }
+    }
+
+    /// A registry row for LIST/STATS (locks the slot briefly; stub-aware
+    /// so monitoring never revives a cold model).
     fn info(&self) -> ModelInfo {
-        let learner = self.learner.lock().expect("learner mutex");
+        let (clock, memory_bytes) = match &*self.slot.lock().expect("slot mutex") {
+            ModelSlot::Resident(l) => (l.clock(), l.memory_bytes() as u64),
+            ModelSlot::Spilled(stub) => (stub.clock, stub.memory_bytes),
+        };
         ModelInfo {
             id: self.id,
             name: self.name.clone(),
             kind: self.kind,
             shards: self.shards,
-            clock: learner.clock(),
-            memory_bytes: learner.memory_bytes() as u64,
+            clock,
+            memory_bytes,
         }
     }
 }
@@ -514,6 +758,8 @@ pub(crate) struct ServerState {
     /// Node-wide telemetry (transport counters, scheduler gauges, the
     /// span journal, gossip counters, replication-lag gauges, rates).
     pub(crate) metrics: metrics::NodeMetrics,
+    /// The memory governor, when [`ServeConfig::memory_budget`] is set.
+    pub(crate) governor: Option<Arc<crate::governor::MemoryGovernor>>,
 }
 
 impl ServerState {
@@ -527,6 +773,16 @@ impl ServerState {
             .iter()
             .map(Arc::clone)
             .collect()
+    }
+
+    /// The registry's model cap: byte-governed nodes trade the count cap
+    /// for the budget and host much larger fleets.
+    fn max_models(&self) -> usize {
+        if self.governor.is_some() {
+            MAX_MODELS_GOVERNED
+        } else {
+            MAX_MODELS
+        }
     }
 }
 
@@ -560,18 +816,43 @@ impl WmServer {
         let gossip_interval_ms = cfg.gossip_interval_ms;
         let data_dir = cfg.data_dir.clone();
         let checkpoint_interval_ms = cfg.checkpoint_interval_ms;
-        let default = Arc::new(ModelEntry {
-            id: protocol::DEFAULT_MODEL_ID,
-            name: "default".to_string(),
-            kind: KIND_WM,
-            shards: cfg.sharding.shards as u32,
-            label_domain: LabelDomain::Binary,
-            learner: Mutex::new(Box::new(cfg.build_learner())),
-            spec: ModelSpec::Default(cfg),
-            repl: Mutex::new(ReplState::default()),
-            merged: Mutex::new(MergedCache::default()),
-            telemetry: metrics::ModelTelemetry::new(),
-        });
+        let governor = match (cfg.memory_budget, &data_dir) {
+            (Some(budget), Some(dir)) => Some(Arc::new(crate::governor::MemoryGovernor::new(
+                budget,
+                dir.clone(),
+            ))),
+            (Some(_), None) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "memory_budget requires a data_dir (spills need somewhere to live)",
+                ));
+            }
+            (None, _) => None,
+        };
+        let learner: Box<dyn DynLearner> = Box::new(cfg.build_learner());
+        let shards = cfg.sharding.shards as u32;
+        // The default model is charged like any other (it is sharded, so
+        // never spilled); a budget too small to even hold it is a
+        // configuration error surfaced at bind.
+        if let Some(gov) = &governor {
+            let cost = learner.resident_bytes() as u64
+                + crate::governor::entry_overhead("default".len(), 0);
+            gov.admit(cost, true).map_err(|_| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "memory_budget is smaller than the default model's resident footprint",
+                )
+            })?;
+        }
+        let default = Arc::new(ModelEntry::new(
+            protocol::DEFAULT_MODEL_ID,
+            "default".to_string(),
+            shards,
+            LabelDomain::Binary,
+            ModelSpec::Default(cfg),
+            learner,
+            governor.clone(),
+        ));
         let mut by_name = HashMap::new();
         by_name.insert(default.name.clone(), default.id);
         let state = Arc::new(ServerState {
@@ -592,6 +873,7 @@ impl WmServer {
             checkpoint_interval_ms,
             crashed: AtomicBool::new(false),
             metrics: metrics::NodeMetrics::new(node_id),
+            governor,
         });
         if state.data_dir.is_some() {
             recover_registry(&state)?;
@@ -799,11 +1081,20 @@ fn checkpoint_pass(state: &ServerState, last_persisted: &mut HashMap<u32, u64>) 
         return;
     };
     for entry in state.entries() {
-        // Hold the learner lock only to clock-check and encode; the
+        // Hold the slot lock only to clock-check and encode; the
         // (faultable, possibly slow) file I/O runs outside it so a slow
-        // disk never stalls ingest.
+        // disk never stalls ingest. A spilled model is skipped outright:
+        // its spill record *is* its durable state (written atomically at
+        // eviction time), and checkpointing must never revive it.
         let snapshot = {
-            let mut learner = entry.learner.lock().expect("learner mutex");
+            let mut slot = entry.slot.lock().expect("slot mutex");
+            let learner = match &mut *slot {
+                ModelSlot::Resident(l) => l,
+                ModelSlot::Spilled(_) => {
+                    state.metrics.checkpoints_skipped.inc();
+                    continue;
+                }
+            };
             let clock = learner.clock();
             if last_persisted.get(&entry.id) == Some(&clock) {
                 state.metrics.checkpoints_skipped.inc();
@@ -871,24 +1162,35 @@ fn recover_registry(state: &ServerState) -> std::io::Result<()> {
     // model included — its spec is the node's own ServeConfig). The
     // decode verifies the CRC footer, so a lying-disk torn final file
     // is rejected here rather than absorbed truncated.
+    //
+    // On a memory-governed node, unsharded models are recovered
+    // **lazily**: the checkpoint is registered as a spill stub without
+    // being read, so a 10k-model fleet restarts in registry-scan time
+    // and each model pays its decode on first access (where a corrupt
+    // record surfaces as that request's typed error, not a recovery
+    // rejection). Sharded models restore hot as before — their pools
+    // cannot be revived from a snapshot later.
     for (name, path) in durability::scan(&dir, durability::CKPT_EXT) {
-        let restored = std::fs::read(&path)
-            .map_err(ServeError::from)
-            .and_then(|bytes| {
-                let entry = {
-                    let registry = state.registry.read().expect("registry lock");
-                    registry
-                        .by_name
-                        .get(&name)
-                        .copied()
-                        .and_then(|id| registry.get(id))
-                        .ok_or(ServeError::Protocol("checkpoint for a model with no spec"))?
-                };
-                let mut fresh = entry.spec.build()?;
-                fresh.restore_snapshot(&bytes)?;
-                *entry.learner.lock().expect("learner mutex") = fresh;
-                Ok(())
-            });
+        let restored = (|| -> Result<(), ServeError> {
+            let entry = {
+                let registry = state.registry.read().expect("registry lock");
+                registry
+                    .by_name
+                    .get(&name)
+                    .copied()
+                    .and_then(|id| registry.get(id))
+                    .ok_or(ServeError::Protocol("checkpoint for a model with no spec"))?
+            };
+            if state.governor.is_some() && entry.unsharded() {
+                entry.adopt_lazy_stub(path);
+                return Ok(());
+            }
+            let bytes = std::fs::read(&path)?;
+            let mut fresh = entry.spec.build()?;
+            fresh.restore_snapshot(&bytes)?;
+            entry.install(fresh);
+            Ok(())
+        })();
         match restored {
             Ok(()) => state.metrics.models_recovered.inc(),
             Err(_) => state.metrics.recovery_rejected.inc(),
@@ -906,6 +1208,7 @@ fn register_recovered_model(
     mode: ShardMode,
     template: Vec<u8>,
 ) -> Result<(), ServeError> {
+    let template_len = template.len();
     let spec = ModelSpec::Template {
         template,
         shards,
@@ -913,29 +1216,47 @@ fn register_recovered_model(
     };
     let learner = spec.build()?;
     let label_domain = learner.label_domain();
-    let kind = learner.kind();
+    // Recovery admission is best-effort: the node must come back up
+    // regardless of budget; pass 2 immediately stubs the unsharded
+    // entries back out, resolving any overshoot.
+    let cost =
+        learner.resident_bytes() as u64 + crate::governor::entry_overhead(name.len(), template_len);
+    if let Some(gov) = &state.governor {
+        gov.admit(cost, false)?;
+    }
+    let release = |e: ServeError| {
+        if let Some(gov) = &state.governor {
+            gov.release_admission(cost);
+        }
+        e
+    };
     let mut registry = state.registry.write().expect("registry lock");
-    if registry.by_id.len() >= MAX_MODELS {
-        return Err(ServeError::Protocol("model registry is full"));
+    if registry.by_id.len() >= state.max_models() {
+        return Err(release(ServeError::Protocol("model registry is full")));
     }
     if registry.by_name.contains_key(&name) {
-        return Err(ServeError::Protocol("model name already registered"));
+        return Err(release(ServeError::Protocol(
+            "model name already registered",
+        )));
     }
     let id = registry.next_id;
     registry.next_id += 1;
     registry.by_name.insert(name.clone(), id);
-    registry.by_id.push(Arc::new(ModelEntry {
+    let entry = Arc::new(ModelEntry::new(
         id,
         name,
-        kind,
         shards,
         label_domain,
         spec,
-        learner: Mutex::new(learner),
-        repl: Mutex::new(ReplState::default()),
-        merged: Mutex::new(MergedCache::default()),
-        telemetry: metrics::ModelTelemetry::new(),
-    }));
+        learner,
+        state.governor.clone(),
+    ));
+    if let Some(gov) = &state.governor {
+        if entry.unsharded() {
+            gov.register_victim(&entry);
+        }
+    }
+    registry.by_id.push(entry);
     Ok(())
 }
 
@@ -1133,7 +1454,7 @@ fn handle_create(r: &mut Reader<'_>, state: &ServerState) -> Result<u32, ServeEr
     // pass this probe.)
     {
         let registry = state.registry.read().expect("registry lock");
-        if registry.by_id.len() >= MAX_MODELS {
+        if registry.by_id.len() >= state.max_models() {
             return Err(ServeError::Protocol("model registry is full"));
         }
         if registry.by_name.contains_key(&name) {
@@ -1201,6 +1522,7 @@ fn handle_create(r: &mut Reader<'_>, state: &ServerState) -> Result<u32, ServeEr
         .map(|_| durability::encode_spec_record(&name, shards, mode, &template));
     // Build outside the registry lock: decoding a 64 MiB template must
     // not block every other connection's model lookup.
+    let template_len = template.len();
     let spec = ModelSpec::Template {
         template,
         shards,
@@ -1208,30 +1530,50 @@ fn handle_create(r: &mut Reader<'_>, state: &ServerState) -> Result<u32, ServeEr
     };
     let learner = spec.build()?;
     let label_domain = learner.label_domain();
-    let kind = learner.kind();
     let stem = durability::file_stem(&name);
+    // Governor admission — *before* the registry write lock, because
+    // making room may spill victims (snapshot + file I/O), which must
+    // never run under the lock every other connection's model lookup
+    // needs. Strict: when the budget cannot be met even after evicting
+    // every cold model, CREATE fails with the typed budget error.
+    let cost =
+        learner.resident_bytes() as u64 + crate::governor::entry_overhead(name.len(), template_len);
+    if let Some(gov) = &state.governor {
+        gov.admit(cost, true)?;
+    }
+    let release = |e: ServeError| {
+        if let Some(gov) = &state.governor {
+            gov.release_admission(cost);
+        }
+        e
+    };
     let mut registry = state.registry.write().expect("registry lock");
-    if registry.by_id.len() >= MAX_MODELS {
-        return Err(ServeError::Protocol("model registry is full"));
+    if registry.by_id.len() >= state.max_models() {
+        return Err(release(ServeError::Protocol("model registry is full")));
     }
     if registry.by_name.contains_key(&name) {
-        return Err(ServeError::Protocol("model name already registered"));
+        return Err(release(ServeError::Protocol(
+            "model name already registered",
+        )));
     }
     let id = registry.next_id;
     registry.next_id += 1;
     registry.by_name.insert(name.clone(), id);
-    registry.by_id.push(Arc::new(ModelEntry {
+    let entry = Arc::new(ModelEntry::new(
         id,
         name,
-        kind,
         shards,
         label_domain,
         spec,
-        learner: Mutex::new(learner),
-        repl: Mutex::new(ReplState::default()),
-        merged: Mutex::new(MergedCache::default()),
-        telemetry: metrics::ModelTelemetry::new(),
-    }));
+        learner,
+        state.governor.clone(),
+    ));
+    if let Some(gov) = &state.governor {
+        if entry.unsharded() {
+            gov.register_victim(&entry);
+        }
+    }
+    registry.by_id.push(entry);
     drop(registry);
     // Persist the spec sidecar so a restart re-registers the model.
     // Best-effort: a failed (or fault-injected) write costs the model its
@@ -1267,7 +1609,7 @@ fn serve_query<R>(
     node_id: u64,
     f: impl FnOnce(&mut dyn DynLearner) -> R,
 ) -> Result<R, ServeError> {
-    let mut learner = entry.learner.lock().expect("learner mutex");
+    let mut learner = entry.learner()?;
     let mut repl = entry.repl.lock().expect("repl mutex");
     if repl.origins.is_empty() {
         drop(repl);
@@ -1418,7 +1760,7 @@ fn dispatch_request(
             take_examples_into(&mut r, scratch, entry.label_domain)?;
             r.finish()?;
             let seen = {
-                let mut learner = entry.learner.lock().expect("learner mutex");
+                let mut learner = entry.learner()?;
                 learner.update_batch(scratch.examples());
                 learner.examples_seen()
             };
@@ -1476,7 +1818,7 @@ fn dispatch_request(
             // linearity merge holds it, so a large MERGE cannot stall
             // concurrent UPDATE/PREDICT traffic on the same model.
             let peer = wmsketch_core::decode_any_learner(bytes)?;
-            let mut learner = entry.learner.lock().expect("learner mutex");
+            let mut learner = entry.learner()?;
             learner.absorb_peer(&*peer)?;
             out.put_u64(learner.clock());
         }
@@ -1487,7 +1829,7 @@ fn dispatch_request(
             // possibly slow filesystem) must not stall ingest on other
             // connections.
             let bytes = {
-                let mut learner = entry.learner.lock().expect("learner mutex");
+                let mut learner = entry.learner()?;
                 learner.snapshot()?
             };
             // Atomic replace-on-rename: a crash mid-write leaves the
@@ -1501,18 +1843,32 @@ fn dispatch_request(
             let bytes = std::fs::read(&path)?;
             let mut fresh = entry.spec.build()?;
             fresh.restore_snapshot(&bytes)?;
-            let mut learner = entry.learner.lock().expect("learner mutex");
-            *learner = fresh;
-            out.put_u64(learner.clock());
+            let clock = fresh.clock();
+            // `install` swaps the slot without touching any spill record
+            // — a RESTORE onto a spilled model must succeed even when
+            // the spill file is corrupt.
+            entry.install(fresh);
+            out.put_u64(clock);
         }
         OP_STATS => {
             r.finish()?;
-            {
-                let learner = entry.learner.lock().expect("learner mutex");
-                out.put_u64(learner.examples_seen());
-                out.put_u64(learner.clock());
-                out.put_u32(entry.shards);
-                out.put_u8(u8::from(learner.is_synced()));
+            // Stub-aware: STATS is the monitoring op and must never
+            // revive a cold model. A stub's spill-time clock stands in
+            // for both counters (they differ only via absorbed peers),
+            // and a sealed snapshot is synced by construction.
+            match &*entry.slot.lock().expect("slot mutex") {
+                ModelSlot::Resident(l) => {
+                    out.put_u64(l.examples_seen());
+                    out.put_u64(l.clock());
+                    out.put_u32(entry.shards);
+                    out.put_u8(u8::from(l.is_synced()));
+                }
+                ModelSlot::Spilled(stub) => {
+                    out.put_u64(stub.clock);
+                    out.put_u64(stub.clock);
+                    out.put_u32(entry.shards);
+                    out.put_u8(1);
+                }
             }
             let rows = registry_rows(state);
             out.put_u32(rows.len() as u32);
@@ -1537,12 +1893,37 @@ fn dispatch_request(
                 out.put_u64(row.acked);
                 out.put_u64(row.applied);
             }
+            // v8 memory-governor tail, after the v7 tail: the budget
+            // (0 = governor disabled) followed by the node-wide
+            // residency gauges and spill/revival counters. Always
+            // written — ungoverned nodes report zeros — so the client
+            // decode needs no flag byte.
+            match &state.governor {
+                Some(gov) => {
+                    out.put_u64(gov.budget());
+                    out.put_u32(gov.resident_models() as u32);
+                    out.put_u32(gov.spilled_models() as u32);
+                    out.put_u64(gov.resident_bytes());
+                    out.put_u64(gov.evictions());
+                    out.put_u64(gov.revivals());
+                }
+                None => {
+                    out.put_u64(0);
+                    out.put_u32(0);
+                    out.put_u32(0);
+                    out.put_u64(0);
+                    out.put_u64(0);
+                    out.put_u64(0);
+                }
+            }
         }
         OP_RESET => {
             r.finish()?;
             let fresh = entry.spec.build()?;
-            let mut learner = entry.learner.lock().expect("learner mutex");
-            *learner = fresh;
+            // `install`, not the reviving accessor: RESET discards model
+            // state by contract, so it must work even when the model is
+            // spilled and its spill record is unreadable.
+            entry.install(fresh);
         }
         OP_PULL_DELTA => {
             let origin = r.take_u64()?;
@@ -1554,7 +1935,7 @@ fn dispatch_request(
                 // use and falls back to a full snapshot whenever a delta
                 // cannot be proven exact (PULL_SINCE_FULL lands here by
                 // construction: it exceeds any clock).
-                let mut learner = entry.learner.lock().expect("learner mutex");
+                let mut learner = entry.learner()?;
                 let clock = learner.clock();
                 out.put_u64(clock);
                 if since == PULL_SINCE_FULL || since < clock {

@@ -1,0 +1,368 @@
+//! End-to-end tests of the memory governor: budget admission,
+//! LRU spill-to-disk, transparent bit-identical revival, single-flight
+//! revival under concurrent access, corrupt-spill containment, and lazy
+//! startup recovery.
+
+use wmsketch_core::{AwmSketch, AwmSketchConfig, OnlineLearner, SnapshotCodec, WmSketchConfig};
+use wmsketch_learn::{Label, SparseVector};
+use wmsketch_serve::{ServeBackend, ServeClient, ServeConfig, ServeError, ServerHandle, WmServer};
+
+/// A per-model planted stream (distinct per salt, deterministic).
+fn stream_for(salt: u32, n: usize) -> Vec<(SparseVector, Label)> {
+    (0..n)
+        .map(|t| {
+            let noise = 100 + ((t as u32).wrapping_mul(17).wrapping_add(salt * 131) % 400);
+            if (t as u32 + salt).is_multiple_of(2) {
+                (
+                    SparseVector::from_pairs(&[(3 + salt, 1.0), (noise, 0.5)]),
+                    1,
+                )
+            } else {
+                (
+                    SparseVector::from_pairs(&[(9 + salt, 1.0), (noise, 0.5)]),
+                    -1,
+                )
+            }
+        })
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "wmsketch_governor_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn awm_cfg() -> AwmSketchConfig {
+    AwmSketchConfig::new(8, 64).lambda(1e-5).seed(5)
+}
+
+/// A governed node: tiny default model, the given resident budget.
+fn governed(tag: &str, budget: u64, backend: ServeBackend) -> (ServerHandle, std::path::PathBuf) {
+    let dir = temp_dir(tag);
+    let cfg = ServeConfig::new(WmSketchConfig::new(64, 2).seed(1), 1)
+        .backend(backend)
+        .data_dir(&dir)
+        .memory_budget_bytes(budget);
+    let server = WmServer::bind("127.0.0.1:0", cfg).expect("bind").spawn();
+    (server, dir)
+}
+
+/// Budget that fits the default model plus roughly two of the test AWM
+/// models — small enough that a handful of CREATEs forces evictions,
+/// large enough that eight entries' permanent registry overhead plus
+/// one resident learner still admits.
+const TIGHT_BUDGET: u64 = 180_000;
+
+/// The flat durable-file stem (`m-` + lowercase hex of the name).
+fn stem(name: &str) -> String {
+    let mut s = String::from("m-");
+    for b in name.bytes() {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Spilled-and-revived models answer estimates, predictions, top-K, and
+/// whole snapshots bit-identically to a never-evicted local twin — on
+/// both backends.
+#[test]
+fn eviction_then_revival_is_bit_identical() {
+    for backend in [ServeBackend::Threaded, ServeBackend::Event] {
+        let (server, dir) = governed("bitident", TIGHT_BUDGET, backend);
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        let template = AwmSketch::new(awm_cfg()).to_snapshot_bytes();
+
+        // Create and train more unsharded models than the budget holds;
+        // admission pressure spills the colder ones as we go.
+        const MODELS: u32 = 8;
+        let mut locals = Vec::new();
+        for salt in 0..MODELS {
+            let id = client
+                .create_model(&format!("m{salt}"), &template, 0)
+                .unwrap();
+            client.set_model(id).unwrap();
+            let data = stream_for(salt, 300);
+            client.update_batch(&data).unwrap();
+            let mut local = AwmSketch::new(awm_cfg());
+            for (x, y) in &data {
+                local.update(x, *y);
+            }
+            locals.push((id, salt, local));
+        }
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.memory_budget, TIGHT_BUDGET);
+        assert!(
+            stats.evictions_total > 0,
+            "{backend:?}: training {MODELS} models under {TIGHT_BUDGET} B must evict \
+             (resident {} B over {} models)",
+            stats.resident_bytes,
+            stats.resident_models,
+        );
+        assert!(stats.spilled_models > 0, "{backend:?}: none spilled");
+        assert!(
+            stats.resident_bytes <= TIGHT_BUDGET,
+            "{backend:?}: resident {} B over budget with evictable models left",
+            stats.resident_bytes
+        );
+
+        // Revisit every model (reviving the spilled ones) and demand the
+        // exact local twin: same estimates, same top-K, same snapshot
+        // bytes.
+        for (id, salt, local) in &locals {
+            client.set_model(*id).unwrap();
+            let f = 3 + salt;
+            assert_eq!(
+                client.estimate(f).unwrap(),
+                wmsketch_learn::WeightEstimator::estimate(local, f),
+                "{backend:?}: estimate diverged after revival"
+            );
+            let server_top: Vec<(u32, f64)> = client
+                .top_k(4)
+                .unwrap()
+                .iter()
+                .map(|e| (e.feature, e.weight))
+                .collect();
+            let local_top: Vec<(u32, f64)> = wmsketch_learn::TopKRecovery::recover_top_k(local, 4)
+                .iter()
+                .map(|e| (e.feature, e.weight))
+                .collect();
+            assert_eq!(server_top, local_top, "{backend:?}: top-K diverged");
+            assert_eq!(
+                client.snapshot().unwrap(),
+                local.to_snapshot_bytes(),
+                "{backend:?}: snapshot bytes diverged after spill+revival"
+            );
+        }
+        let stats = client.stats().unwrap();
+        assert!(stats.revivals_total > 0, "{backend:?}: nothing was revived");
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Concurrent (pipelined, multi-connection) access to one cold model
+/// pays exactly one revival: the decode runs under the model's slot
+/// mutex, so every other request waits for it instead of re-decoding.
+#[test]
+fn concurrent_access_to_a_cold_model_revives_once() {
+    let (server, dir) = governed("singleflight", TIGHT_BUDGET, ServeBackend::Event);
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let template = AwmSketch::new(awm_cfg()).to_snapshot_bytes();
+
+    // Train "cold", then flood the budget with fresher models so it is
+    // evicted (every later model access re-stamps the LRU clock).
+    let cold_id = client.create_model("cold", &template, 0).unwrap();
+    client.set_model(cold_id).unwrap();
+    client.update_batch(&stream_for(0, 300)).unwrap();
+    for salt in 1..8u32 {
+        let id = client
+            .create_model(&format!("hot{salt}"), &template, 0)
+            .unwrap();
+        client.set_model(id).unwrap();
+        client.update_batch(&stream_for(salt, 300)).unwrap();
+    }
+    let before = client.stats().unwrap();
+    assert!(before.spilled_models > 0, "cold model should be spilled");
+    let revivals_before = before.revivals_total;
+
+    // Hammer the cold model from several connections at once.
+    let addr = server.addr();
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = ServeClient::connect(addr).unwrap();
+                c.set_model(cold_id).unwrap();
+                for _ in 0..16 {
+                    c.estimate(3).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let after = ServeClient::connect(addr).unwrap().stats().unwrap();
+    assert_eq!(
+        after.revivals_total,
+        revivals_before + 1,
+        "concurrent cold access must pay exactly one revival"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// CREATE admission: a model whose footprint cannot fit the budget even
+/// after evicting every cold model is rejected with the typed budget
+/// error, the registry is unchanged, and smaller CREATEs still succeed.
+#[test]
+fn create_rejects_models_that_cannot_fit_the_budget() {
+    let (server, dir) = governed("admission", TIGHT_BUDGET, ServeBackend::Threaded);
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    // A sharded giant: 64 worker replicas of a wide AWM sketch is far
+    // past the budget, and sharded models cannot be spilled to make it
+    // "fit" later.
+    let wide = AwmSketch::new(AwmSketchConfig::new(64, 4096).seed(5)).to_snapshot_bytes();
+    let err = client.create_model("giant", &wide, 64).unwrap_err();
+    match err {
+        ServeError::Remote(msg) => {
+            assert!(
+                msg.contains("memory budget"),
+                "expected the typed budget error, got: {msg}"
+            );
+        }
+        other => panic!("expected a remote budget rejection, got {other:?}"),
+    }
+    let models = client.list_models().unwrap();
+    assert_eq!(models.len(), 1, "rejected CREATE must not register");
+
+    // The node is not wedged: a small model still fits.
+    let small = AwmSketch::new(awm_cfg()).to_snapshot_bytes();
+    let id = client.create_model("small", &small, 0).unwrap();
+    client.set_model(id).unwrap();
+    client.update_batch(&stream_for(1, 50)).unwrap();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupt spill record costs that model's next access a typed error
+/// (counted in `governor_revival_failures_total`) — never the node. The
+/// stub stays, other models keep serving, and RESET recovers the broken
+/// model without ever reading the corrupt file.
+#[test]
+fn corrupt_spill_record_is_contained_and_reset_recovers() {
+    wmsketch_telemetry::set_enabled(true);
+    let (server, dir) = governed("corrupt", TIGHT_BUDGET, ServeBackend::Threaded);
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let template = AwmSketch::new(awm_cfg()).to_snapshot_bytes();
+
+    let victim_id = client.create_model("victim", &template, 0).unwrap();
+    client.set_model(victim_id).unwrap();
+    client.update_batch(&stream_for(0, 300)).unwrap();
+    let mut survivor_id = 0;
+    for salt in 1..8u32 {
+        survivor_id = client
+            .create_model(&format!("s{salt}"), &template, 0)
+            .unwrap();
+        client.set_model(survivor_id).unwrap();
+        client.update_batch(&stream_for(salt, 300)).unwrap();
+    }
+    assert!(client.stats().unwrap().spilled_models > 0);
+
+    // Corrupt the victim's spill record on disk (flip a byte mid-file;
+    // the CRC-64 footer catches it at decode).
+    let path = dir.join(format!("{}.ckpt", stem("victim")));
+    let mut bytes = std::fs::read(&path).expect("spill record exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    client.set_model(victim_id).unwrap();
+    let err = client.estimate(3).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Remote(_)),
+        "corrupt revival must be a typed remote error, got {err:?}"
+    );
+
+    // The node is alive: other models answer, and the failure is
+    // visible in the governor metrics.
+    client.set_model(survivor_id).unwrap();
+    client.estimate(10).unwrap();
+    let report = client.metrics().unwrap();
+    assert!(
+        report
+            .value("governor_revival_failures_total", &[])
+            .unwrap_or(0.0)
+            >= 1.0,
+        "revival failure must be counted"
+    );
+
+    // RESET replaces the slot without reading the spill record.
+    client.set_model(victim_id).unwrap();
+    client.reset().unwrap();
+    client.update_batch(&stream_for(0, 10)).unwrap();
+    assert_eq!(client.stats().unwrap().routed, 10);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A governed restart recovers unsharded checkpoints **lazily**: models
+/// come back as spill stubs (cheap), and first access revives exactly
+/// the persisted state.
+#[test]
+fn governed_restart_recovers_lazily_and_bit_identically() {
+    let dir = temp_dir("lazyrecover");
+    let make_cfg = || {
+        ServeConfig::new(WmSketchConfig::new(64, 2).seed(1), 1)
+            .backend(ServeBackend::Threaded)
+            .data_dir(&dir)
+            // 150 KB: tight enough that registering four recovered
+            // entries overshoots mid-recovery — recovery admission must
+            // tolerate that WITHOUT evicting, or it would overwrite a
+            // real checkpoint with the fresh template build.
+            .checkpoint_every_ms(3_600_000) // one final graceful pass
+            .memory_budget_bytes(150_000)
+    };
+    let server = WmServer::bind("127.0.0.1:0", make_cfg())
+        .expect("bind")
+        .spawn();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let template = AwmSketch::new(awm_cfg()).to_snapshot_bytes();
+    let mut snapshots = Vec::new();
+    for salt in 0..4u32 {
+        let id = client
+            .create_model(&format!("m{salt}"), &template, 0)
+            .unwrap();
+        client.set_model(id).unwrap();
+        client.update_batch(&stream_for(salt, 200)).unwrap();
+        snapshots.push((format!("m{salt}"), client.snapshot().unwrap()));
+    }
+    // Graceful shutdown: the checkpointer's final pass persists every
+    // resident model; already-spilled models are already durable.
+    server.shutdown();
+
+    let server = WmServer::bind("127.0.0.1:0", make_cfg())
+        .expect("rebind")
+        .spawn();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.spilled_models, 4,
+        "governed recovery must register unsharded checkpoints as lazy stubs"
+    );
+    let models = client.list_models().unwrap();
+    for (name, snap) in &snapshots {
+        let id = models
+            .iter()
+            .find(|m| &m.name == name)
+            .expect("recovered model listed")
+            .id;
+        client.set_model(id).unwrap();
+        assert_eq!(
+            &client.snapshot().unwrap(),
+            snap,
+            "{name}: revived state diverged from the pre-restart snapshot"
+        );
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.revivals_total, 4, "each first access revives once");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A budget without a data dir is a bind-time configuration error —
+/// spills need somewhere to live.
+#[test]
+fn memory_budget_without_data_dir_fails_to_bind() {
+    let cfg = ServeConfig::new(WmSketchConfig::new(64, 2).seed(1), 1).memory_budget_bytes(1 << 20);
+    assert!(WmServer::bind("127.0.0.1:0", cfg).is_err());
+}

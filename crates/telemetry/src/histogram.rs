@@ -110,6 +110,82 @@ impl LatencyHistogram {
     }
 }
 
+/// First bucket of the compact histogram's clamped range: samples below
+/// `2^(COMPACT_MIN_BUCKET-1)` ns (= 32 ns) land in it.
+pub const COMPACT_MIN_BUCKET: usize = 6;
+/// Last bucket of the compact histogram's clamped range: samples at or
+/// above `2^(COMPACT_MAX_BUCKET-1)` ns (≈ 137 s) land in it.
+pub const COMPACT_MAX_BUCKET: usize = 38;
+/// Bucket count of [`CompactLatencyHistogram`].
+pub const COMPACT_BUCKETS: usize = COMPACT_MAX_BUCKET - COMPACT_MIN_BUCKET + 1;
+
+/// A compact [`LatencyHistogram`] variant for **per-entity embedding** —
+/// e.g. one histogram per op class per hosted model, where a fleet node
+/// multiplies the footprint by tens of thousands.
+///
+/// Two size levers against the full histogram (528 B → 144 B):
+/// `u32` bucket counts (pinned at `u32::MAX` instead of wrapping), and a
+/// clamped bucket range covering `[32 ns, ~137 s)` — every realistic
+/// service latency — with out-of-range samples absorbed by the edge
+/// buckets, so quantile estimates saturate at the clamp edges rather
+/// than erring. [`CompactLatencyHistogram::snapshot`] maps into the
+/// standard 65-bucket [`HistogramSnapshot`], so quantile extraction and
+/// wire exposition are shared with the full histogram.
+#[derive(Debug)]
+pub struct CompactLatencyHistogram {
+    buckets: [std::sync::atomic::AtomicU32; COMPACT_BUCKETS],
+    /// Sum of all recorded samples (unclamped).
+    sum: AtomicU64,
+}
+
+impl Default for CompactLatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompactLatencyHistogram {
+    /// A fresh, empty histogram.
+    pub const fn new() -> Self {
+        CompactLatencyHistogram {
+            buckets: [const { std::sync::atomic::AtomicU32::new(0) }; COMPACT_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (no-op while telemetry is disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            let k = bucket_of(v).clamp(COMPACT_MIN_BUCKET, COMPACT_MAX_BUCKET) - COMPACT_MIN_BUCKET;
+            // Pin a saturated bucket at u32::MAX instead of wrapping.
+            if self.buckets[k].fetch_add(1, Ordering::Relaxed) == u32::MAX {
+                self.buckets[k].fetch_sub(1, Ordering::Relaxed);
+            }
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy in the standard 65-bucket layout (compact
+    /// bucket `i` holds full-histogram bucket `i + COMPACT_MIN_BUCKET`).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (i, src) in self.buckets.iter().enumerate() {
+            buckets[i + COMPACT_MIN_BUCKET] = u64::from(src.load(Ordering::Relaxed));
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A plain-data copy of a [`LatencyHistogram`] at one instant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
@@ -241,5 +317,37 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.snapshot().quantile(0.5), None);
         assert_eq!(h.snapshot().quantile_bounds(0.99), None);
+    }
+
+    #[test]
+    fn compact_matches_full_inside_the_clamped_range() {
+        let _g = crate::switch_test_guard();
+        crate::set_enabled(true);
+        let (c, f) = (CompactLatencyHistogram::new(), LatencyHistogram::new());
+        for v in [32u64, 100, 999, 65_536, 1_000_000, (1 << 37) - 1] {
+            c.record(v);
+            f.record(v);
+        }
+        assert_eq!(c.snapshot(), f.snapshot());
+    }
+
+    #[test]
+    fn compact_clamps_out_of_range_samples_to_the_edge_buckets() {
+        let _g = crate::switch_test_guard();
+        crate::set_enabled(true);
+        let c = CompactLatencyHistogram::new();
+        c.record(0);
+        c.record(31);
+        c.record(u64::MAX);
+        let s = c.snapshot();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.buckets()[COMPACT_MIN_BUCKET], 2);
+        assert_eq!(s.buckets()[COMPACT_MAX_BUCKET], 1);
+        // The sum stays unclamped (it wraps like the full histogram's).
+        assert_eq!(s.sum(), u64::MAX.wrapping_add(31));
+        // Quantiles saturate at the clamp edge instead of erring.
+        let (lo, hi) = s.quantile_bounds(1.0).unwrap();
+        assert_eq!((lo, hi), bucket_bounds(COMPACT_MAX_BUCKET));
+        assert!((lo..=hi).contains(&s.quantile(1.0).unwrap()));
     }
 }

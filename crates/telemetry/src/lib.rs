@@ -11,6 +11,8 @@
 //! * [`Counter`] — a monotone `u64`, relaxed atomic add.
 //! * [`Gauge`] — a signed instantaneous value (`set`/`add`), relaxed atomics.
 //! * [`LatencyHistogram`] — 65 log2-spaced buckets over `u64` samples
+//!   (and [`CompactLatencyHistogram`], a 144-byte clamped-range variant for
+//!   per-entity embedding at fleet scale)
 //!   (nanoseconds by convention, but any magnitude works — the event loop
 //!   reuses it for coalescing run lengths). Recording is O(1): one
 //!   `leading_zeros`, two relaxed `fetch_add`s, no locks. Histograms merge
@@ -60,7 +62,10 @@ mod rate;
 
 pub use counter::{Counter, Gauge};
 pub use expo::{ExpoWriter, MetricsReport, ParseError, Sample};
-pub use histogram::{bucket_bounds, bucket_of, HistogramSnapshot, LatencyHistogram, BUCKETS};
+pub use histogram::{
+    bucket_bounds, bucket_of, CompactLatencyHistogram, HistogramSnapshot, LatencyHistogram,
+    BUCKETS, COMPACT_BUCKETS, COMPACT_MAX_BUCKET, COMPACT_MIN_BUCKET,
+};
 pub use journal::{Journal, SpanEvent};
 pub use rate::RateAccountant;
 
