@@ -22,11 +22,15 @@
 //! its future behavior. Sharded models (the default model included) are
 //! charged but never spilled.
 //!
-//! Deadlock discipline: the revival path holds a model's slot mutex and
-//! then takes the victim table; the eviction path takes the victim
-//! table and then only ever `try_lock`s other models' slots (a
-//! contended slot is a *hot* model — exactly the wrong victim). No lock
-//! in this module is ever awaited while a slot mutex is wanted.
+//! Deadlock discipline: the eviction path takes the victim table and
+//! then only ever `try_lock`s other models' checkpoint-I/O and slot
+//! mutexes, in that order (a contended lock is a hot or
+//! checkpoint-in-flight model — exactly the wrong victim). Revival
+//! itself never evicts: budget pressure from a revival is resolved by
+//! the request path *after* it releases the revived model's slot mutex
+//! (see `LearnerGuard`'s drop), so victim spill I/O never runs under
+//! any slot lock. No lock in this module is ever awaited while a slot
+//! mutex is held.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -83,6 +87,10 @@ pub(crate) struct MemoryGovernor {
     /// registered. `Weak` keeps the table from cycling with
     /// `ModelEntry::governor`.
     victims: Mutex<HashMap<u32, Weak<ModelEntry>>>,
+    /// Serializes strict (OP_CREATE) admissions so two concurrent
+    /// CREATEs cannot each charge their cost, both observe the combined
+    /// total over budget, and both be spuriously rejected.
+    admit_lock: Mutex<()>,
 }
 
 impl MemoryGovernor {
@@ -100,6 +108,7 @@ impl MemoryGovernor {
             spill_failures: AtomicU64::new(0),
             revival_latency: LatencyHistogram::new(),
             victims: Mutex::new(HashMap::new()),
+            admit_lock: Mutex::new(()),
         }
     }
 
@@ -125,13 +134,33 @@ impl MemoryGovernor {
     /// overwrite its real checkpoint with fresh state. Recovery's lazy
     /// stub pass resolves the overshoot instead.
     pub(crate) fn admit(&self, cost: u64, strict: bool) -> Result<(), ServeError> {
-        self.resident_bytes.fetch_add(cost, Ordering::Relaxed);
         if strict {
-            self.evict_until_fit(u32::MAX);
-            if self.resident_bytes.load(Ordering::Relaxed) > self.budget {
-                self.resident_bytes.fetch_sub(cost, Ordering::Relaxed);
-                return Err(ServeError::Protocol(ERR_BUDGET));
+            let _admissions = self.admit_lock.lock().expect("admit lock");
+            // Make headroom for the new model before charging it, so the
+            // eviction target accounts for the incoming cost.
+            self.evict_down_to(self.budget.saturating_sub(cost), u32::MAX);
+            // Reserve with a compare-exchange instead of
+            // add-then-check: a concurrent charge (a revival, or a
+            // non-strict admission) that lands between our load and
+            // store can then never make *both* parties observe the
+            // combined total and both roll back.
+            let mut charged = self.resident_bytes.load(Ordering::Relaxed);
+            loop {
+                if charged.saturating_add(cost) > self.budget {
+                    return Err(ServeError::Protocol(ERR_BUDGET));
+                }
+                match self.resident_bytes.compare_exchange_weak(
+                    charged,
+                    charged + cost,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => charged = seen,
+                }
             }
+        } else {
+            self.resident_bytes.fetch_add(cost, Ordering::Relaxed);
         }
         self.resident_models.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -145,17 +174,20 @@ impl MemoryGovernor {
         self.resident_models.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// Accounts a completed revival: charge the revived cost, then
-    /// best-effort evict colder models to get back under budget
-    /// (`exempt` — the just-revived model — is never re-evicted in the
-    /// same breath).
-    pub(crate) fn note_revival(&self, cost: u64, exempt: u32, started: Instant) {
+    /// Accounts a completed revival: charges the revived cost and
+    /// records latency. Deliberately does **not** evict — the caller
+    /// still holds the revived model's slot mutex, and spilling victims
+    /// here would run their snapshot encoding and disk writes under
+    /// that lock, stalling every request queued on the hot,
+    /// just-revived model. Budget pressure is instead resolved by
+    /// [`crate::server::LearnerGuard`]'s drop, which calls
+    /// [`MemoryGovernor::evict_to_budget`] *after* releasing the slot.
+    pub(crate) fn note_revival(&self, cost: u64, started: Instant) {
         self.resident_bytes.fetch_add(cost, Ordering::Relaxed);
         self.resident_models.fetch_add(1, Ordering::Relaxed);
         self.spilled_models.fetch_sub(1, Ordering::Relaxed);
         self.revivals.fetch_add(1, Ordering::Relaxed);
         self.revival_latency.record_duration(started.elapsed());
-        self.evict_until_fit(exempt);
     }
 
     /// Accounts a failed revival (stub intact, request errored).
@@ -186,12 +218,20 @@ impl MemoryGovernor {
     }
 
     /// Spills least-recently-accessed victims until the charged total
-    /// fits the budget (or nothing evictable remains). `exempt` is
-    /// never selected. Each candidate is attempted at most once per
-    /// call, so a model whose spill fails cannot loop forever.
-    fn evict_until_fit(&self, exempt: u32) {
+    /// fits the budget (or nothing evictable remains). `exempt` — e.g.
+    /// a just-revived model — is never selected. Callers must not hold
+    /// any slot mutex.
+    pub(crate) fn evict_to_budget(&self, exempt: u32) {
+        self.evict_down_to(self.budget, exempt);
+    }
+
+    /// Spills least-recently-accessed victims until the charged total
+    /// fits `limit` (or nothing evictable remains). Each candidate is
+    /// attempted at most once per call, so a model whose spill fails
+    /// cannot loop forever.
+    fn evict_down_to(&self, limit: u64, exempt: u32) {
         let mut attempted: Vec<u32> = Vec::new();
-        while self.resident_bytes.load(Ordering::Relaxed) > self.budget {
+        while self.resident_bytes.load(Ordering::Relaxed) > limit {
             let victim = {
                 let victims = self.victims.lock().expect("victim table");
                 victims
@@ -207,12 +247,30 @@ impl MemoryGovernor {
         }
     }
 
-    /// Attempts to spill one resident model: snapshot under its slot
-    /// mutex (`try_lock` — a contended slot is a hot model and the
-    /// wrong victim), atomically write the sealed WMS1 record to the
-    /// model's checkpoint path, then replace the learner with a stub
-    /// and discharge its cost. Returns whether the model was spilled.
+    /// Attempts to spill one resident model: snapshot under its
+    /// checkpoint-I/O and slot mutexes (both `try_lock` — a contended
+    /// lock means a hot model or a checkpoint write in flight, either
+    /// way the wrong victim), atomically write the sealed WMS1 record
+    /// to the model's checkpoint path, then replace the learner with a
+    /// stub and discharge its cost. Returns whether the model was
+    /// spilled.
+    ///
+    /// The checkpoint-I/O mutex (taken first — lock order `ckpt_io` →
+    /// `slot`) is what keeps a spill from interleaving with the
+    /// background checkpointer or OP_CHECKPOINT: those paths snapshot
+    /// under the slot lock but write the file outside it, and without
+    /// this mutex a spill landing in that window would have its newer
+    /// record overwritten by the older deferred checkpoint — silently
+    /// losing acknowledged updates on revival.
+    ///
+    /// All accounting runs while the slot guard is still held, so a
+    /// concurrent revival can never complete between the stub install
+    /// and the discharge (which would leave a resident model charged
+    /// zero and the counters corrupted).
     pub(crate) fn try_spill(&self, entry: &ModelEntry) -> bool {
+        let Ok(_ckpt_io) = entry.ckpt_io.try_lock() else {
+            return false; // checkpoint write in flight
+        };
         let Ok(mut slot) = entry.slot.try_lock() else {
             return false;
         };
@@ -235,7 +293,6 @@ impl MemoryGovernor {
             memory_bytes,
             path,
         });
-        drop(slot);
         let freed = entry.resident_cost.swap(0, Ordering::Relaxed);
         self.resident_bytes.fetch_sub(freed, Ordering::Relaxed);
         self.resident_models.fetch_sub(1, Ordering::Relaxed);

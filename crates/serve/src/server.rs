@@ -480,9 +480,9 @@ pub(crate) struct SpilledStub {
 /// One hosted model: identity, label contract, rebuild recipe, and the
 /// live learner (or its spill stub) behind its own mutex.
 ///
-/// Lock order within an entry: `slot` → `repl` → `merged`. Any path
-/// may take a later lock while holding an earlier one, never the
-/// reverse.
+/// Lock order within an entry: `ckpt_io` → `slot` → `repl` → `merged`.
+/// Any path may take a later lock while holding an earlier one, never
+/// the reverse.
 pub(crate) struct ModelEntry {
     pub(crate) id: u32,
     name: String,
@@ -491,6 +491,18 @@ pub(crate) struct ModelEntry {
     pub(crate) label_domain: LabelDomain,
     spec: ModelSpec,
     pub(crate) slot: Mutex<ModelSlot>,
+    /// Serializes writes of this model's checkpoint file. The
+    /// checkpointer and OP_CHECKPOINT snapshot under `slot` but write
+    /// outside it (slow disks must not stall ingest); on a governed
+    /// node the governor's spill writes the *same* path, so every
+    /// snapshot-then-write sequence holds this mutex end to end —
+    /// otherwise a spill landing between a checkpoint's snapshot and
+    /// its deferred write would be overwritten by older state, losing
+    /// acknowledged updates when the stub is revived. Taken *before*
+    /// `slot` (the spill path only ever `try_lock`s it, so a checkpoint
+    /// in flight just disqualifies the victim — no blocking, no
+    /// deadlock).
+    pub(crate) ckpt_io: Mutex<()>,
     /// Replication state; empty (and never locked on the hot path beyond
     /// a map-emptiness check) for models no peer has gossiped about.
     pub(crate) repl: Mutex<ReplState>,
@@ -513,18 +525,38 @@ pub(crate) struct ModelEntry {
 /// [`ModelEntry::learner`] (which revives a spilled model first). Both
 /// derefs reach the learner box, so existing `learner.update_batch(..)`
 /// call sites read unchanged.
+///
+/// When the acquisition revived the model, budget pressure is resolved
+/// on drop — the slot mutex is released *first*, then the governor
+/// spills colder victims. Evicting from inside the revival (under the
+/// slot lock) would run victim snapshot encoding and disk writes while
+/// every queued request on the hot, just-revived model waits behind
+/// them.
 pub(crate) struct LearnerGuard<'a> {
     entry: &'a ModelEntry,
-    guard: std::sync::MutexGuard<'a, ModelSlot>,
+    /// `Some` until drop; taken there so the slot unlocks before any
+    /// deferred eviction runs.
+    guard: Option<std::sync::MutexGuard<'a, ModelSlot>>,
+    /// Set when this acquisition revived the model from its spill
+    /// record and the node may now be over budget.
+    evict_on_release: bool,
 }
 
 impl LearnerGuard<'_> {
+    fn slot(&self) -> &ModelSlot {
+        self.guard.as_deref().expect("guard taken before drop")
+    }
+
+    fn slot_mut(&mut self) -> &mut ModelSlot {
+        self.guard.as_deref_mut().expect("guard taken before drop")
+    }
+
     /// Replaces the learner through the held lock, keeping governor
     /// accounting truthful (gossip's recovered-copy adoption path).
     pub(crate) fn install(&mut self, fresh: Box<dyn DynLearner>) {
         let cost = fresh.resident_bytes() as u64;
         let old = self.entry.resident_cost.swap(cost, Ordering::Relaxed);
-        *self.guard = ModelSlot::Resident(fresh);
+        *self.slot_mut() = ModelSlot::Resident(fresh);
         if let Some(gov) = &self.entry.governor {
             gov.note_install(old, cost, false);
         }
@@ -534,7 +566,7 @@ impl LearnerGuard<'_> {
 impl std::ops::Deref for LearnerGuard<'_> {
     type Target = Box<dyn DynLearner>;
     fn deref(&self) -> &Box<dyn DynLearner> {
-        match &*self.guard {
+        match self.slot() {
             ModelSlot::Resident(l) => l,
             ModelSlot::Spilled(_) => unreachable!("guard issued for a spilled slot"),
         }
@@ -543,9 +575,23 @@ impl std::ops::Deref for LearnerGuard<'_> {
 
 impl std::ops::DerefMut for LearnerGuard<'_> {
     fn deref_mut(&mut self) -> &mut Box<dyn DynLearner> {
-        match &mut *self.guard {
+        match self.slot_mut() {
             ModelSlot::Resident(l) => l,
             ModelSlot::Spilled(_) => unreachable!("guard issued for a spilled slot"),
+        }
+    }
+}
+
+impl Drop for LearnerGuard<'_> {
+    fn drop(&mut self) {
+        if self.evict_on_release {
+            // Release the slot before evicting: victim spill I/O must
+            // never run under this model's lock. The just-revived model
+            // is exempt from its own pressure resolution.
+            drop(self.guard.take());
+            if let Some(gov) = &self.entry.governor {
+                gov.evict_to_budget(self.entry.id);
+            }
         }
     }
 }
@@ -575,6 +621,7 @@ impl ModelEntry {
             label_domain,
             spec,
             slot: Mutex::new(ModelSlot::Resident(learner)),
+            ckpt_io: Mutex::new(()),
             repl: Mutex::new(ReplState::default()),
             merged: Mutex::new(MergedCache::default()),
             telemetry: metrics::ModelTelemetry::new(),
@@ -607,6 +654,7 @@ impl ModelEntry {
     /// typed error — the node keeps serving.
     pub(crate) fn learner(&self) -> Result<LearnerGuard<'_>, ServeError> {
         let mut slot = self.slot.lock().expect("slot mutex");
+        let mut revived_now = false;
         if let ModelSlot::Spilled(stub) = &*slot {
             let started = std::time::Instant::now();
             let gov = self
@@ -625,7 +673,10 @@ impl ModelEntry {
                     let cost = fresh.resident_bytes() as u64;
                     *slot = ModelSlot::Resident(fresh);
                     self.resident_cost.store(cost, Ordering::Relaxed);
-                    gov.note_revival(cost, self.id, started);
+                    gov.note_revival(cost, started);
+                    // Pressure from the revived charge is resolved when
+                    // the guard drops, after the slot unlocks.
+                    revived_now = true;
                 }
                 Err(e) => {
                     gov.note_revival_failure();
@@ -638,7 +689,8 @@ impl ModelEntry {
         }
         Ok(LearnerGuard {
             entry: self,
-            guard: slot,
+            guard: Some(slot),
+            evict_on_release: revived_now,
         })
     }
 
@@ -1086,6 +1138,16 @@ fn checkpoint_pass(state: &ServerState, last_persisted: &mut HashMap<u32, u64>) 
         // disk never stalls ingest. A spilled model is skipped outright:
         // its spill record *is* its durable state (written atomically at
         // eviction time), and checkpointing must never revive it.
+        //
+        // The checkpoint-I/O mutex spans snapshot *and* write: on a
+        // governed node the spill path writes the same file, and
+        // without this a spill landing between our snapshot and our
+        // deferred write would be clobbered by the older state while
+        // the in-memory learner is already gone — silently losing
+        // acknowledged updates. (The governor only `try_lock`s this
+        // mutex, so holding it across the write just shields the model
+        // from eviction for the duration.)
+        let _ckpt_io = entry.ckpt_io.lock().expect("checkpoint io mutex");
         let snapshot = {
             let mut slot = entry.slot.lock().expect("slot mutex");
             let learner = match &mut *slot {
@@ -1825,9 +1887,14 @@ fn dispatch_request(
         OP_CHECKPOINT => {
             let path =
                 durability::resolve_client_path(state.data_dir.as_deref(), &take_path(&mut r)?)?;
-            // Hold the lock only to sync and encode; the disk write (to a
-            // possibly slow filesystem) must not stall ingest on other
-            // connections.
+            // Hold the slot lock only to sync and encode; the disk
+            // write (to a possibly slow filesystem) must not stall
+            // ingest on other connections. The checkpoint-I/O mutex,
+            // though, spans both: the governor's spill path writes the
+            // same file, and a spill landing between snapshot and write
+            // must not be clobbered by this older state (lock order
+            // ckpt_io → slot, same as the background checkpointer).
+            let _ckpt_io = entry.ckpt_io.lock().expect("checkpoint io mutex");
             let bytes = {
                 let mut learner = entry.learner()?;
                 learner.snapshot()?

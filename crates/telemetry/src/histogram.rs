@@ -158,9 +158,23 @@ impl CompactLatencyHistogram {
     pub fn record(&self, v: u64) {
         if crate::enabled() {
             let k = bucket_of(v).clamp(COMPACT_MIN_BUCKET, COMPACT_MAX_BUCKET) - COMPACT_MIN_BUCKET;
-            // Pin a saturated bucket at u32::MAX instead of wrapping.
-            if self.buckets[k].fetch_add(1, Ordering::Relaxed) == u32::MAX {
-                self.buckets[k].fetch_sub(1, Ordering::Relaxed);
+            // Pin a saturated bucket at u32::MAX instead of wrapping: a
+            // compare-exchange that refuses to increment past the cap,
+            // rather than add-then-correct — with the latter, a racing
+            // record between the wrap to 0 and the corrective decrement
+            // would leave the bucket near 0, discarding ~4B samples.
+            let bucket = &self.buckets[k];
+            let mut seen = bucket.load(Ordering::Relaxed);
+            while seen != u32::MAX {
+                match bucket.compare_exchange_weak(
+                    seen,
+                    seen + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(cur) => seen = cur,
+                }
             }
             self.sum.fetch_add(v, Ordering::Relaxed);
         }
@@ -349,5 +363,18 @@ mod tests {
         let (lo, hi) = s.quantile_bounds(1.0).unwrap();
         assert_eq!((lo, hi), bucket_bounds(COMPACT_MAX_BUCKET));
         assert!((lo..=hi).contains(&s.quantile(1.0).unwrap()));
+    }
+
+    #[test]
+    fn compact_bucket_pins_at_u32_max() {
+        let _g = crate::switch_test_guard();
+        crate::set_enabled(true);
+        let c = CompactLatencyHistogram::new();
+        let k = bucket_of(100).clamp(COMPACT_MIN_BUCKET, COMPACT_MAX_BUCKET) - COMPACT_MIN_BUCKET;
+        c.buckets[k].store(u32::MAX - 1, Ordering::Relaxed);
+        c.record(100); // reaches the cap
+        c.record(100); // refused, stays pinned
+        c.record(100);
+        assert_eq!(c.buckets[k].load(Ordering::Relaxed), u32::MAX);
     }
 }
